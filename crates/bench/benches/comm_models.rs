@@ -1,0 +1,50 @@
+//! Criterion bench: communication cost-model evaluation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use daydream_comm::{
+    blueconnect_allreduce_ns, ring_allreduce_ns, BlueConnectStage, ClusterConfig, NcclExecution,
+    NcclModel, PsModel,
+};
+
+fn bench_comm(c: &mut Criterion) {
+    let cluster = ClusterConfig::new(4, 2, 10.0);
+    let nccl = NcclModel::new(cluster);
+    let ps = PsModel::new(ClusterConfig::new(4, 1, 10.0));
+    let stages = [
+        BlueConnectStage {
+            group: 2,
+            bytes_per_ns: 12.0,
+            latency_ns: 2_000.0,
+        },
+        BlueConnectStage {
+            group: 4,
+            bytes_per_ns: 1.25,
+            latency_ns: 25_000.0,
+        },
+    ];
+
+    c.bench_function("comm/ring_allreduce", |b| {
+        b.iter(|| ring_allreduce_ns(std::hint::black_box(&cluster), 25 << 20))
+    });
+    c.bench_function("comm/blueconnect", |b| {
+        b.iter(|| blueconnect_allreduce_ns(std::hint::black_box(&stages), 25 << 20))
+    });
+    c.bench_function("comm/nccl_contended_call", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            nccl.call_ns(
+                25 << 20,
+                NcclExecution::Contended,
+                7,
+                std::hint::black_box(i),
+            )
+        })
+    });
+    c.bench_function("comm/ps_measured_message", |b| {
+        b.iter(|| ps.measured_ns(std::hint::black_box(4 << 20)))
+    });
+}
+
+criterion_group!(benches, bench_comm);
+criterion_main!(benches);

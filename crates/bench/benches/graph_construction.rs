@@ -1,0 +1,37 @@
+//! Criterion bench: dependency-graph construction (paper Phase 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use daydream_core::{build_graph, ProfiledGraph};
+use daydream_models::zoo;
+use daydream_runtime::{baseline_plan, ExecConfig, Executor};
+use daydream_trace::Trace;
+
+fn trace_for(name: &str, batch: u64) -> Trace {
+    let model = zoo::by_name(name).expect("known model");
+    let cfg = ExecConfig::pytorch_2080ti().with_batch(batch);
+    let ex = Executor::new(&model, &cfg);
+    ex.run(&baseline_plan(&model, batch))
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_construction");
+    group.sample_size(20);
+    for (name, batch) in [("ResNet-50", 8), ("GNMT", 8), ("BERT_Large", 2)] {
+        let trace = trace_for(name, batch);
+        group.bench_with_input(
+            BenchmarkId::new(
+                "build_graph",
+                format!("{name}/{} tasks", trace.activities.len()),
+            ),
+            &trace,
+            |b, t| b.iter(|| build_graph(std::hint::black_box(t))),
+        );
+        group.bench_with_input(BenchmarkId::new("full_profile", name), &trace, |b, t| {
+            b.iter(|| ProfiledGraph::from_trace(std::hint::black_box(t)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench: Algorithm 1 simulation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use daydream_core::{simulate, ProfiledGraph};
+use daydream_models::zoo;
+use daydream_runtime::{baseline_plan, ExecConfig, Executor};
+
+fn profile_for(name: &str, batch: u64) -> ProfiledGraph {
+    let model = zoo::by_name(name).expect("known model");
+    let cfg = ExecConfig::pytorch_2080ti().with_batch(batch);
+    let ex = Executor::new(&model, &cfg);
+    ProfiledGraph::from_trace(&ex.run(&baseline_plan(&model, batch)))
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(20);
+    for (name, batch) in [("ResNet-50", 8), ("DenseNet-121", 8), ("BERT_Large", 2)] {
+        let pg = profile_for(name, batch);
+        group.throughput(Throughput::Elements(pg.graph.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("simulate", format!("{name}/{} tasks", pg.graph.len())),
+            &pg,
+            |b, pg| b.iter(|| simulate(std::hint::black_box(&pg.graph)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench: what-if transformation + simulation round trips —
+//! the cost of answering one what-if question from an existing profile.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use daydream_comm::ClusterConfig;
+use daydream_core::{predict, whatif, ProfiledGraph};
+use daydream_models::zoo;
+use daydream_runtime::{baseline_plan, ExecConfig, Executor};
+
+fn profile_for(name: &str, batch: u64) -> ProfiledGraph {
+    let model = zoo::by_name(name).expect("known model");
+    let cfg = ExecConfig::pytorch_2080ti().with_batch(batch);
+    let ex = Executor::new(&model, &cfg);
+    ProfiledGraph::from_trace(&ex.run(&baseline_plan(&model, batch)))
+}
+
+fn bench_whatifs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("whatif");
+    group.sample_size(15);
+    let resnet = profile_for("ResNet-50", 8);
+    let bert = profile_for("BERT_Base", 2);
+    let cluster = ClusterConfig::new(4, 2, 10.0);
+
+    group.bench_function("amp/ResNet-50", |b| {
+        b.iter(|| predict(std::hint::black_box(&resnet), whatif::what_if_amp))
+    });
+    group.bench_function("fused_adam/BERT_Base", |b| {
+        b.iter(|| {
+            predict(std::hint::black_box(&bert), |g| {
+                whatif::what_if_fused_adam(g);
+            })
+        })
+    });
+    group.bench_function("distributed/BERT_Base", |b| {
+        b.iter(|| {
+            predict(std::hint::black_box(&bert), |g| {
+                whatif::what_if_distributed(g, &cluster);
+            })
+        })
+    });
+    group.bench_function("p3_unrolled/ResNet-50", |b| {
+        b.iter(|| {
+            whatif::what_if_p3(
+                std::hint::black_box(&resnet),
+                &whatif::P3Config::p3(ClusterConfig::new(4, 1, 4.0)),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_whatifs);
+criterion_main!(benches);

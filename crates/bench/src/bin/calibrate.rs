@@ -1,0 +1,50 @@
+//! Calibration dump: baseline iteration times and runtime breakdowns for
+//! every model, compared against the scale of the paper's figures.
+//!
+//! Run with `cargo run -p daydream-bench --bin calibrate`.
+
+use daydream_models::zoo;
+use daydream_runtime::{baseline_plan, ExecConfig, Executor};
+use daydream_trace::runtime_breakdown;
+
+fn main() {
+    println!(
+        "{:<14} {:>6} {:>10} {:>9} {:>9} {:>9} {:>8}",
+        "model", "batch", "iter(ms)", "cpu-only", "gpu-only", "overlap", "kernels"
+    );
+    for model in zoo::all_models() {
+        let cfg = ExecConfig::pytorch_2080ti();
+        let ex = Executor::new(&model, &cfg);
+        let plan = baseline_plan(&model, ex.batch());
+        let trace = ex.run(&plan);
+        let b = runtime_breakdown(&trace);
+        println!(
+            "{:<14} {:>6} {:>10.1} {:>8.0}% {:>8.0}% {:>8.0}% {:>8}",
+            model.name,
+            ex.batch(),
+            trace.meta.iteration_ms(),
+            b.cpu_only_frac() * 100.0,
+            b.gpu_only_frac() * 100.0,
+            b.overlap_frac() * 100.0,
+            plan.kernel_count(),
+        );
+        // Weight-update share (paper §6.3: ~30% BERT-base, ~45% BERT-large).
+        let wu_markers: (u64, u64) = trace
+            .markers
+            .iter()
+            .filter(|m| m.phase == daydream_trace::Phase::WeightUpdate)
+            .fold((u64::MAX, 0), |(s, e), m| {
+                (s.min(m.start_ns), e.max(m.end_ns))
+            });
+        if wu_markers.0 != u64::MAX {
+            let wu_ms = (wu_markers.1 - wu_markers.0) as f64 / 1e6;
+            println!(
+                "{:<14} {:>6} wu_phase = {:>6.1} ms ({:.0}% of iteration)",
+                "",
+                "",
+                wu_ms,
+                wu_ms / trace.meta.iteration_ms() * 100.0
+            );
+        }
+    }
+}

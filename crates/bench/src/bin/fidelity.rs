@@ -1,0 +1,37 @@
+//! Fidelity diagnostic: simulating an unmodified dependency graph must
+//! reproduce the measured baseline iteration for every model in the zoo.
+//!
+//! Run with `cargo run --release -p daydream-bench --bin fidelity`.
+
+use daydream_core::{simulate, ProfiledGraph};
+use daydream_models::zoo;
+use daydream_runtime::{baseline_plan, ExecConfig, Executor};
+
+fn main() {
+    println!(
+        "{:<14} {:>12} {:>12} {:>8} {:>8} {:>8}",
+        "model", "measured", "simulated", "error", "tasks", "edges"
+    );
+    let mut worst = 0.0f64;
+    for model in zoo::all_models() {
+        let cfg = ExecConfig::pytorch_2080ti();
+        let ex = Executor::new(&model, &cfg);
+        let trace = ex.run(&baseline_plan(&model, ex.batch()));
+        let pg = ProfiledGraph::from_trace(&trace);
+        let sim = simulate(&pg.graph).expect("profiled graph is a DAG");
+        let measured = trace.meta.iteration_ms();
+        let err = (sim.makespan_ms() - measured).abs() / measured;
+        worst = worst.max(err);
+        println!(
+            "{:<14} {:>10.2}ms {:>10.2}ms {:>7.3}% {:>8} {:>8}",
+            model.name,
+            measured,
+            sim.makespan_ms(),
+            err * 100.0,
+            pg.graph.len(),
+            pg.graph.edge_count(),
+        );
+    }
+    println!("\nworst replay error: {:.3}%", worst * 100.0);
+    assert!(worst < 0.01, "replay fidelity must stay under 1%");
+}

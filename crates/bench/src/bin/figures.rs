@@ -1,0 +1,62 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p daydream-bench --bin figures -- [exhibit...]
+//! ```
+//!
+//! Exhibits: `table1 table2 fig1 fig5 fig6 fig7 sec64 fig8 fig9 fig9b fig10
+//! all` (default: `all`). Each exhibit prints an aligned table and writes
+//! `target/figures/<exhibit>.csv`.
+
+use daydream_bench::exhibits;
+use daydream_bench::Table;
+
+fn run(name: &str) -> Option<Table> {
+    let t = match name {
+        "table1" => exhibits::table1(),
+        "table2" => exhibits::table2(),
+        "fig1" => exhibits::fig1(),
+        "fig5" => exhibits::fig5(),
+        "fig6" => exhibits::fig6(),
+        "fig7" => exhibits::fig7(),
+        "sec64" => exhibits::sec64(),
+        "fig8" => exhibits::fig8(),
+        "fig9" => exhibits::fig9(),
+        "fig9b" => exhibits::sync_sweep(),
+        "fig10" => exhibits::fig10(),
+        "ablation" => exhibits::ablation(),
+        _ => return None,
+    };
+    Some(t)
+}
+
+const ALL: [&str; 12] = [
+    "table1", "table2", "fig1", "fig5", "fig6", "fig7", "sec64", "fig8", "fig9", "fig9b", "fig10",
+    "ablation",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ALL.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    for name in wanted {
+        match run(name) {
+            Some(t) => {
+                println!("{t}");
+                match t.write_csv(name) {
+                    Ok(path) => println!("  csv: {}", path.display()),
+                    Err(e) => eprintln!("  csv export failed: {e}"),
+                }
+            }
+            None => {
+                eprintln!("unknown exhibit '{name}'; available: {}", ALL.join(" "));
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Figure 6: runtime breakdown (CPU-only / GPU-only / CPU+GPU) for the
+//! FP32 baseline and the FP16 (AMP) execution.
+
+use crate::util::{ms, pct, Table};
+use daydream_models::zoo;
+use daydream_runtime::{ground_truth, ExecConfig};
+use daydream_trace::runtime_breakdown;
+
+/// Models shown in Fig. 6.
+pub const FIG6_MODELS: [&str; 4] = ["ResNet-50", "GNMT", "BERT_Base", "BERT_Large"];
+
+/// Regenerates Fig. 6.
+pub fn fig6() -> Table {
+    let mut t = Table::new(
+        "Figure 6: runtime breakdown, FP32 vs FP16",
+        &[
+            "model",
+            "precision",
+            "total (ms)",
+            "cpu+gpu",
+            "cpu-only",
+            "gpu-only",
+        ],
+    );
+    for name in FIG6_MODELS {
+        let model = zoo::by_name(name).expect("known model");
+        let cfg = ExecConfig::pytorch_2080ti();
+        for (label, trace) in [
+            ("FP32", ground_truth::run_baseline(&model, &cfg)),
+            ("FP16", ground_truth::run_amp(&model, &cfg)),
+        ] {
+            let b = runtime_breakdown(&trace);
+            t.row(vec![
+                name.into(),
+                label.into(),
+                ms(b.total_ns as f64 / 1e6),
+                pct(b.overlap_frac()),
+                pct(b.cpu_only_frac()),
+                pct(b.gpu_only_frac()),
+            ]);
+        }
+    }
+    t.note("paper Sec. 6.2: FP16 shrinks GPU-only time; CPU time barely changes,");
+    t.note("so the CPU becomes the bottleneck for models with limited AMP speedups");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fp16_raises_cpu_share() {
+        let t = super::fig6();
+        assert_eq!(t.rows.len(), 8);
+        // For each model: FP16 total < FP32 total and cpu-only share rises.
+        for pair in t.rows.chunks(2) {
+            let total32: f64 = pair[0][2].parse().unwrap();
+            let total16: f64 = pair[1][2].parse().unwrap();
+            assert!(total16 < total32, "{} FP16 must be faster", pair[0][0]);
+            let cpu32: f64 = pair[0][4].trim_end_matches('%').parse().unwrap();
+            let cpu16: f64 = pair[1][4].trim_end_matches('%').parse().unwrap();
+            assert!(
+                cpu16 >= cpu32 - 0.2,
+                "{} CPU share must not shrink",
+                pair[0][0]
+            );
+        }
+    }
+}

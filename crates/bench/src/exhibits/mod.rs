@@ -1,0 +1,23 @@
+//! One module per paper exhibit; each regenerates its table/figure data.
+
+mod ablation;
+mod fig1;
+mod fig10;
+mod fig5;
+mod fig6;
+mod fig7;
+mod fig8;
+mod fig9;
+mod sec64;
+mod tables;
+
+pub use ablation::{ablation, bucket_sweep, dgc_sweep, slice_sweep};
+pub use fig1::fig1;
+pub use fig10::{fig10, fig10_bandwidths, fig10_points, Fig10Point};
+pub use fig5::{fig5, FIG5_MODELS};
+pub use fig6::{fig6, FIG6_MODELS};
+pub use fig7::{fig7, FIG7_MODELS};
+pub use fig8::{fig8, fig8_points, Fig8Point, FIG8_BANDWIDTHS, FIG8_MODELS};
+pub use fig9::{fig9, sync_sweep};
+pub use sec64::sec64;
+pub use tables::{table1, table2};

@@ -1,0 +1,167 @@
+//! Shared harness utilities: result tables, CSV export, profile caching.
+
+use daydream_core::ProfiledGraph;
+use daydream_models::{zoo, Model};
+use daydream_runtime::{ground_truth, ExecConfig};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// A titled result table with aligned text rendering and CSV export.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Exhibit title (e.g. `"Figure 5: AMP"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row-major cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-text notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Writes the table as CSV under `target/figures/<name>.csv`.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from("target/figures");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.join(","));
+            out.push('\n');
+        }
+        std::fs::write(&path, out)?;
+        Ok(path)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "\n== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, "{:<w$}  ", c, w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + widths.len() * 2;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for r in &self.rows {
+            line(f, r)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a millisecond value.
+pub fn ms(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+type ProfileKey = (String, Option<u64>, bool);
+
+static CACHE: OnceLock<Mutex<HashMap<ProfileKey, (ProfiledGraph, Model)>>> = OnceLock::new();
+
+/// Builds (and caches) the single-GPU baseline profile for a model name.
+///
+/// `ps_worker` drops the weight-update phase and uses the MXNet/P4000
+/// configuration — the paper's §6.6 parameter-server setting.
+pub fn profile_for(name: &str, batch: Option<u64>, ps_worker: bool) -> (ProfiledGraph, Model) {
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (name.to_string(), batch, ps_worker);
+    if let Some(hit) = cache.lock().get(&key) {
+        return hit.clone();
+    }
+    let model = zoo::by_name(name).unwrap_or_else(|| panic!("unknown model {name}"));
+    let pg = if ps_worker {
+        let cfg = match batch {
+            Some(b) => ExecConfig::mxnet_p4000().with_batch(b),
+            None => ExecConfig::mxnet_p4000(),
+        };
+        let ex = daydream_runtime::Executor::new(&model, &cfg);
+        let mut plan = daydream_runtime::baseline_plan(&model, ex.batch());
+        plan.wu.clear();
+        ProfiledGraph::from_trace(&ex.run(&plan))
+    } else {
+        let cfg = match batch {
+            Some(b) => ExecConfig::pytorch_2080ti().with_batch(b),
+            None => ExecConfig::pytorch_2080ti(),
+        };
+        ProfiledGraph::from_trace(&ground_truth::run_baseline(&model, &cfg))
+    };
+    cache
+        .lock()
+        .insert(key.clone(), (pg.clone(), model.clone()));
+    (pg, model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_and_exports() {
+        let mut t = Table::new("demo", &["a", "bee"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("hello");
+        let s = t.to_string();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("bee"));
+        assert!(s.contains("note: hello"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(12.345), "12.3");
+        assert_eq!(pct(0.1234), "12.3%");
+    }
+
+    #[test]
+    fn profile_cache_round_trip() {
+        let (a, _) = profile_for("ResNet-50", Some(4), false);
+        let (b, _) = profile_for("ResNet-50", Some(4), false);
+        assert_eq!(a.meta.model, "ResNet-50");
+        assert_eq!(a.graph.len(), b.graph.len());
+    }
+}

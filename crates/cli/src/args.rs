@@ -1,0 +1,101 @@
+//! Minimal dependency-free argument parsing for the CLI.
+
+use std::collections::HashMap;
+
+/// Parsed command line: positional arguments and `--key value` /
+/// `--flag` options.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    /// Option map; bare flags map to `"true"`.
+    pub options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses raw arguments (without the program/subcommand names).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(a) = iter.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("empty option name".into());
+                }
+                if let Some((k, v)) = key.split_once('=') {
+                    out.options.insert(k.to_string(), v.to_string());
+                } else if iter.peek().map(|n| !n.starts_with("--")).unwrap_or(false) {
+                    let v = iter.next().expect("peeked");
+                    out.options.insert(key.to_string(), v);
+                } else {
+                    out.options.insert(key.to_string(), "true".into());
+                }
+            } else {
+                out.positional.push(a);
+            }
+        }
+        Ok(out)
+    }
+
+    /// String option with a default.
+    pub fn opt(&self, key: &str, default: &str) -> String {
+        self.options
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Optional string option.
+    pub fn opt_maybe(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// Numeric option with a default.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {v}")),
+        }
+    }
+
+    /// Returns `true` if a bare flag was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.get(key).map(|v| v != "false").unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::parse(s.iter().map(|x| x.to_string())).unwrap()
+    }
+
+    #[test]
+    fn positionals_and_options() {
+        let a = parse(&["ResNet-50", "--batch", "16", "--out=trace.json", "--chrome"]);
+        assert_eq!(a.positional, vec!["ResNet-50"]);
+        assert_eq!(a.opt("batch", "0"), "16");
+        assert_eq!(a.opt("out", ""), "trace.json");
+        assert!(a.flag("chrome"));
+        assert!(!a.flag("missing"));
+    }
+
+    #[test]
+    fn numeric_parsing() {
+        let a = parse(&["--bw", "12.5"]);
+        assert_eq!(a.num::<f64>("bw", 0.0).unwrap(), 12.5);
+        assert_eq!(a.num::<u64>("batch", 7).unwrap(), 7);
+        let bad = parse(&["--bw", "abc"]);
+        assert!(bad.num::<f64>("bw", 0.0).is_err());
+    }
+
+    #[test]
+    fn trailing_flag() {
+        let a = parse(&["--verbose"]);
+        assert!(a.flag("verbose"));
+    }
+}

@@ -1,0 +1,350 @@
+//! CLI subcommand implementations.
+
+use crate::args::Args;
+use daydream_comm::ClusterConfig;
+use daydream_core::whatif::{
+    what_if_amp, what_if_bandwidth, what_if_blueconnect, what_if_dgc, what_if_distributed,
+    what_if_fused_adam, what_if_gist, what_if_metaflow, what_if_p3, what_if_reconstruct_bn,
+    what_if_upgrade_gpu, what_if_vdnn, DgcConfig, GistConfig, P3Config, Substitution, VdnnConfig,
+};
+use daydream_core::{layer_report, predict, simulate, ProfiledGraph};
+use daydream_device::GpuSpec;
+use daydream_models::{footprint, max_batch, zoo, Model, Optimizer};
+use daydream_runtime::{ground_truth, ExecConfig};
+use daydream_trace::{runtime_breakdown, Framework};
+
+/// Resolves a model name or exits with a helpful message.
+fn model_or_die(name: &str) -> Model {
+    zoo::by_name(name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown model '{name}'. available: VGG-19, DenseNet-121, ResNet-50, GNMT, BERT_Base, BERT_Large"
+        );
+        std::process::exit(2);
+    })
+}
+
+/// Builds the execution configuration from CLI options.
+fn exec_config(args: &Args) -> Result<ExecConfig, String> {
+    let mut cfg = ExecConfig::pytorch_2080ti();
+    cfg.framework = match args.opt("framework", "pytorch").to_lowercase().as_str() {
+        "pytorch" => Framework::PyTorch,
+        "mxnet" => Framework::MxNet,
+        "caffe" => Framework::Caffe,
+        other => return Err(format!("unknown framework '{other}'")),
+    };
+    cfg.gpu = gpu_by_name(&args.opt("gpu", "2080ti"))?;
+    if let Some(b) = args.opt_maybe("batch") {
+        cfg.batch = Some(b.parse().map_err(|_| format!("invalid --batch {b}"))?);
+    }
+    cfg.seed = args.num("seed", cfg.seed)?;
+    Ok(cfg)
+}
+
+fn gpu_by_name(name: &str) -> Result<GpuSpec, String> {
+    match name.to_lowercase().replace([' ', '-', '_'], "").as_str() {
+        "2080ti" | "rtx2080ti" => Ok(GpuSpec::rtx_2080ti()),
+        "v100" => Ok(GpuSpec::v100()),
+        "t4" => Ok(GpuSpec::t4()),
+        "p4000" => Ok(GpuSpec::p4000()),
+        other => Err(format!("unknown GPU '{other}' (2080ti, v100, t4, p4000)")),
+    }
+}
+
+/// `daydream models` — the zoo with parameters and memory needs.
+pub fn cmd_models(_args: &Args) -> Result<(), String> {
+    println!(
+        "{:<14} {:<22} {:>10} {:>7} {:>10} {:>12}",
+        "model", "application", "params", "batch", "optimizer", "mem@batch"
+    );
+    for m in zoo::all_models() {
+        let f = footprint(&m, m.default_batch);
+        println!(
+            "{:<14} {:<22} {:>9.1}M {:>7} {:>10} {:>10.1}GiB",
+            m.name,
+            m.application.name(),
+            m.param_count() as f64 / 1e6,
+            m.default_batch,
+            m.optimizer.name(),
+            f.total_gib()
+        );
+    }
+    Ok(())
+}
+
+/// `daydream profile <model>` — run a baseline iteration and summarize.
+pub fn cmd_profile(args: &Args) -> Result<(), String> {
+    let name = args
+        .positional
+        .first()
+        .ok_or("usage: daydream profile <model>")?;
+    let model = model_or_die(name);
+    let cfg = exec_config(args)?;
+    let trace = ground_truth::run_baseline(&model, &cfg);
+    let b = runtime_breakdown(&trace);
+    println!(
+        "{} on {} ({}), batch {}: {:.1} ms/iteration",
+        model.name,
+        cfg.gpu.name,
+        cfg.framework.name(),
+        trace.meta.batch_size,
+        trace.meta.iteration_ms()
+    );
+    println!(
+        "  {} activities | breakdown: {:.0}% cpu+gpu, {:.0}% cpu-only, {:.0}% gpu-only",
+        trace.activities.len(),
+        b.overlap_frac() * 100.0,
+        b.cpu_only_frac() * 100.0,
+        b.gpu_only_frac() * 100.0
+    );
+    let pg = ProfiledGraph::from_trace(&trace);
+    let sim = simulate(&pg.graph).map_err(|e| e.to_string())?;
+    println!(
+        "  graph: {} tasks, {} edges; replay {:.1} ms",
+        pg.graph.len(),
+        pg.graph.edge_count(),
+        sim.makespan_ms()
+    );
+    if args.flag("verbose") {
+        for (lane, s) in daydream_trace::lane_stats(&trace) {
+            println!(
+                "    {lane}: {} tasks, busy {:.1} ms, idle {:.1} ms",
+                s.count,
+                s.busy_ns as f64 / 1e6,
+                s.idle_ns as f64 / 1e6
+            );
+        }
+    }
+    if let Some(path) = args.opt_maybe("out") {
+        std::fs::write(path, trace.to_json().map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?;
+        println!("  wrote {path}");
+    }
+    if let Some(path) = args.opt_maybe("chrome") {
+        std::fs::write(
+            path,
+            daydream_trace::to_chrome_trace(&trace).map_err(|e| e.to_string())?,
+        )
+        .map_err(|e| e.to_string())?;
+        println!("  wrote {path} (chrome://tracing)");
+    }
+    Ok(())
+}
+
+/// `daydream report <model>` — per-layer time attribution.
+pub fn cmd_report(args: &Args) -> Result<(), String> {
+    let name = args
+        .positional
+        .first()
+        .ok_or("usage: daydream report <model>")?;
+    let model = model_or_die(name);
+    let cfg = exec_config(args)?;
+    let top: usize = args.num("top", 15usize)?;
+    let trace = ground_truth::run_baseline(&model, &cfg);
+    let pg = ProfiledGraph::from_trace(&trace);
+    let rows = layer_report(&pg);
+    println!(
+        "{:<28} {:<12} {:>9} {:>9} {:>9} {:>9} {:>8}",
+        "layer", "kind", "fwd (ms)", "bwd (ms)", "wu (ms)", "cpu (ms)", "kernels"
+    );
+    for r in rows.iter().take(top) {
+        let layer = model.layer(r.layer);
+        println!(
+            "{:<28} {:<12} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>8}",
+            layer.map(|l| l.name.as_str()).unwrap_or("?"),
+            layer.map(|l| l.kind.type_name()).unwrap_or("?"),
+            r.fwd_gpu_ns as f64 / 1e6,
+            r.bwd_gpu_ns as f64 / 1e6,
+            r.wu_gpu_ns as f64 / 1e6,
+            r.cpu_ns as f64 / 1e6,
+            r.kernels
+        );
+    }
+    println!(
+        "({} layers total; showing top {top} by GPU time)",
+        rows.len()
+    );
+    Ok(())
+}
+
+/// `daydream memory <model>` — footprint and feasible batch sizes.
+pub fn cmd_memory(args: &Args) -> Result<(), String> {
+    let name = args
+        .positional
+        .first()
+        .ok_or("usage: daydream memory <model>")?;
+    let model = model_or_die(name);
+    let batch = args.num("batch", model.default_batch)?;
+    let device_gb: f64 = args.num("device-gb", 11.0)?;
+    let device = (device_gb * (1u64 << 30) as f64) as u64;
+    let f = footprint(&model, batch);
+    println!("{} at batch {batch}:", model.name);
+    for (label, v) in [
+        ("parameters", f.params),
+        ("gradients", f.gradients),
+        ("optimizer state", f.optimizer_state),
+        ("activations", f.activations),
+        ("workspace", f.workspace),
+    ] {
+        println!(
+            "  {:<16} {:>8.2} GiB",
+            label,
+            v as f64 / (1u64 << 30) as f64
+        );
+    }
+    println!("  {:<16} {:>8.2} GiB", "total", f.total_gib());
+    println!(
+        "  fits {device_gb} GiB device: {} (max batch {})",
+        if f.fits(device) { "yes" } else { "NO" },
+        max_batch(&model, device)
+    );
+    Ok(())
+}
+
+/// `daydream predict <model> --opt <optimization>` — run a what-if.
+pub fn cmd_predict(args: &Args) -> Result<(), String> {
+    let name = args
+        .positional
+        .first()
+        .ok_or("usage: daydream predict <model> --opt <opt>")?;
+    let model = model_or_die(name);
+    let cfg = exec_config(args)?;
+    let opt = args.opt("opt", "amp");
+    let trace = ground_truth::run_baseline(&model, &cfg);
+    let pg = ProfiledGraph::from_trace(&trace);
+
+    let cluster = ClusterConfig::new(
+        args.num("machines", 4u32)?,
+        args.num("gpus", 1u32)?,
+        args.num("bw", 10.0f64)?,
+    );
+
+    let prediction = match opt.as_str() {
+        "amp" => predict(&pg, what_if_amp),
+        "fused-adam" => {
+            if model.optimizer != Optimizer::Adam {
+                return Err(format!(
+                    "{} trains with SGD; FusedAdam does not apply",
+                    model.name
+                ));
+            }
+            predict(&pg, |g| {
+                what_if_fused_adam(g);
+            })
+        }
+        "reconstruct-bn" => predict(&pg, |g| what_if_reconstruct_bn(g, &model)),
+        "ddp" => predict(&pg, |g| {
+            what_if_distributed(g, &cluster);
+        }),
+        "blueconnect" => predict(&pg, |g| {
+            let ars = what_if_distributed(g, &cluster);
+            what_if_blueconnect(g, &cluster, &ars);
+        }),
+        "dgc" => predict(&pg, |g| {
+            let ars = what_if_distributed(g, &cluster);
+            what_if_dgc(g, &ars, &DgcConfig::default());
+        }),
+        "vdnn" => predict(&pg, |g| {
+            what_if_vdnn(g, &model, &VdnnConfig::default());
+        }),
+        "gist" => predict(&pg, |g| {
+            what_if_gist(g, &GistConfig::default());
+        }),
+        "metaflow" => {
+            let mut policy = Vec::new();
+            for l in &model.layers {
+                if l.name.ends_with("attn.key") || l.name.ends_with("attn.value") {
+                    policy.push(Substitution::RemoveLayer(l.id));
+                } else if l.name.ends_with("attn.query") {
+                    policy.push(Substitution::ScaleLayer(l.id, 1.8));
+                }
+            }
+            if policy.is_empty() {
+                return Err(format!("{} has no attention blocks to fuse", model.name));
+            }
+            predict(&pg, |g| what_if_metaflow(g, &policy))
+        }
+        "bandwidth" => predict(&pg, |g| {
+            what_if_bandwidth(g, args.num("factor", 2.0f64).unwrap_or(2.0));
+        }),
+        "upgrade-gpu" => {
+            let new = gpu_by_name(&args.opt("to", "v100"))?;
+            let old = cfg.gpu.clone();
+            predict(&pg, |g| {
+                what_if_upgrade_gpu(g, &old, &new);
+            })
+        }
+        "p3" => {
+            let p3 = what_if_p3(&pg, &P3Config::p3(cluster));
+            println!(
+                "{} + P3 on {cluster}: predicted steady-state iteration {:.1} ms \
+                 ({} messages/iteration)",
+                model.name,
+                p3.iteration_ms(),
+                p3.messages_per_iteration
+            );
+            return Ok(());
+        }
+        other => {
+            return Err(format!(
+                "unknown optimization '{other}'. available: amp fused-adam reconstruct-bn ddp \
+                 blueconnect dgc vdnn gist metaflow bandwidth upgrade-gpu p3"
+            ))
+        }
+    };
+    println!(
+        "{} + {}: {:.1} ms -> {:.1} ms ({:+.1}% {})",
+        model.name,
+        opt,
+        prediction.baseline_ms(),
+        prediction.predicted_ms(),
+        prediction.improvement().abs() * 100.0,
+        if prediction.improvement() >= 0.0 {
+            "faster"
+        } else {
+            "slower"
+        },
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::parse(s.iter().map(|x| x.to_string())).unwrap()
+    }
+
+    #[test]
+    fn exec_config_parses_options() {
+        let a = args(&["--framework", "mxnet", "--gpu", "p4000", "--batch", "4"]);
+        let cfg = exec_config(&a).unwrap();
+        assert_eq!(cfg.framework, Framework::MxNet);
+        assert_eq!(cfg.gpu.name, "P4000");
+        assert_eq!(cfg.batch, Some(4));
+    }
+
+    #[test]
+    fn exec_config_rejects_garbage() {
+        assert!(exec_config(&args(&["--framework", "tf"])).is_err());
+        assert!(exec_config(&args(&["--gpu", "a100"])).is_err());
+    }
+
+    #[test]
+    fn models_and_memory_commands_run() {
+        cmd_models(&args(&[])).unwrap();
+        cmd_memory(&args(&["ResNet-50", "--batch", "8"])).unwrap();
+    }
+
+    #[test]
+    fn predict_rejects_inapplicable_optimization() {
+        let a = args(&["ResNet-50", "--opt", "fused-adam", "--batch", "4"]);
+        assert!(cmd_predict(&a).is_err());
+    }
+
+    #[test]
+    fn predict_amp_runs() {
+        let a = args(&["ResNet-50", "--opt", "amp", "--batch", "4"]);
+        cmd_predict(&a).unwrap();
+    }
+}

@@ -1,0 +1,77 @@
+//! `daydream` — command-line what-if profiler for DNN training.
+//!
+//! ```text
+//! daydream models                              list the model zoo
+//! daydream profile <model> [--batch N] [--gpu G] [--out t.json] [--chrome c.json]
+//! daydream report  <model> [--top N]           per-layer time attribution
+//! daydream memory  <model> [--device-gb G]     footprint and max batch
+//! daydream predict <model> --opt <opt> [...]   run a what-if analysis
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+const USAGE: &str = "\
+daydream — what-if profiler for DNN training (Zhu et al., ATC'20 reproduction)
+
+USAGE:
+    daydream <command> [args]
+
+COMMANDS:
+    models                         list the model zoo with memory needs
+    profile <model>                profile one training iteration
+    report  <model>                per-layer time attribution
+    memory  <model>                memory footprint and max batch size
+    predict <model> --opt <opt>    predict an optimization's effect
+
+COMMON OPTIONS:
+    --batch N          mini-batch size (default: the paper's per-model value)
+    --framework F      pytorch | mxnet | caffe          (default pytorch)
+    --gpu G            2080ti | v100 | t4 | p4000       (default 2080ti)
+
+PREDICT OPTIONS:
+    --opt O            amp | fused-adam | reconstruct-bn | ddp | blueconnect |
+                       dgc | vdnn | gist | metaflow | bandwidth | upgrade-gpu | p3
+    --machines N --gpus N --bw GBPS    cluster for ddp/blueconnect/dgc/p3
+    --factor F         bandwidth multiplier for --opt bandwidth (default 2)
+    --to G             target device for --opt upgrade-gpu (default v100)
+
+EXAMPLES:
+    daydream profile BERT_Base --out bert.json
+    daydream predict BERT_Large --opt fused-adam
+    daydream predict ResNet-50 --opt ddp --machines 4 --gpus 2 --bw 10
+    daydream predict ResNet-50 --opt upgrade-gpu --to v100
+";
+
+fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" || argv[0] == "help" {
+        print!("{USAGE}");
+        return;
+    }
+    let command = argv.remove(0);
+    let parsed = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("argument error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let result = match command.as_str() {
+        "models" => commands::cmd_models(&parsed),
+        "profile" => commands::cmd_profile(&parsed),
+        "report" => commands::cmd_report(&parsed),
+        "memory" => commands::cmd_memory(&parsed),
+        "predict" => commands::cmd_predict(&parsed),
+        other => {
+            eprintln!("unknown command '{other}'\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

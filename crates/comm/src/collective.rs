@@ -1,0 +1,180 @@
+//! Collective communication cost formulas.
+//!
+//! The ring algorithm costs follow the nccl-tests performance notes the
+//! paper cites as \[56\]: a ring all-reduce of `S` bytes over `n` workers
+//! moves `2(n-1)/n * S` bytes through the bottleneck link, a reduce-scatter
+//! or all-gather moves `(n-1)/n * S`.
+
+use crate::topology::ClusterConfig;
+
+/// Time of a ring all-reduce of `bytes` over the cluster, in nanoseconds.
+///
+/// This is the "Theoretical" series of paper Fig. 9.
+pub fn ring_allreduce_ns(cluster: &ClusterConfig, bytes: u64) -> u64 {
+    let n = cluster.workers() as f64;
+    if n <= 1.0 {
+        return 0;
+    }
+    let bw = cluster.bottleneck_bytes_per_ns();
+    let transfer = 2.0 * (n - 1.0) / n * bytes as f64 / bw;
+    let latency = 2.0 * (n - 1.0) * cluster.latency_ns();
+    (transfer + latency) as u64
+}
+
+/// Time of a ring reduce-scatter of `bytes` over `workers` sharing a link of
+/// `bytes_per_ns`, in nanoseconds.
+pub fn reduce_scatter_ns(workers: u32, bytes: u64, bytes_per_ns: f64, latency_ns: f64) -> u64 {
+    let n = workers as f64;
+    if n <= 1.0 {
+        return 0;
+    }
+    let transfer = (n - 1.0) / n * bytes as f64 / bytes_per_ns;
+    ((n - 1.0) * latency_ns + transfer) as u64
+}
+
+/// Time of a ring all-gather; identical cost structure to reduce-scatter.
+pub fn all_gather_ns(workers: u32, bytes: u64, bytes_per_ns: f64, latency_ns: f64) -> u64 {
+    reduce_scatter_ns(workers, bytes, bytes_per_ns, latency_ns)
+}
+
+/// Algorithm bandwidth (`bytes / time`) of a measured all-reduce, GB/s.
+pub fn algbw_gbs(bytes: u64, time_ns: u64) -> f64 {
+    if time_ns == 0 {
+        return 0.0;
+    }
+    bytes as f64 / time_ns as f64
+}
+
+/// Bus bandwidth as nccl-tests defines it: `algbw * 2(n-1)/n`.
+pub fn busbw_gbs(bytes: u64, time_ns: u64, workers: u32) -> f64 {
+    let n = workers as f64;
+    algbw_gbs(bytes, time_ns) * 2.0 * (n - 1.0) / n
+}
+
+/// One step of a BlueConnect-style hierarchical decomposition.
+///
+/// BlueConnect (paper §5.2) factorizes an `n = p1 * p2 * ... * pk` worker
+/// all-reduce into reduce-scatters over each factor followed by all-gathers
+/// in reverse order, letting each stage use its own (intra- or inter-node)
+/// channel concurrently with other stages' traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlueConnectStage {
+    /// Group size of this stage.
+    pub group: u32,
+    /// Link bandwidth for this stage, bytes/ns.
+    pub bytes_per_ns: f64,
+    /// Per-hop latency of this stage, ns.
+    pub latency_ns: f64,
+}
+
+/// Total time of a BlueConnect all-reduce of `bytes` through `stages`.
+///
+/// Stage `i` operates on `bytes / prod(groups[..i])` of payload (the shard
+/// left by earlier reduce-scatters); the all-gather mirror costs the same as
+/// its reduce-scatter.
+pub fn blueconnect_allreduce_ns(stages: &[BlueConnectStage], bytes: u64) -> u64 {
+    let mut shard = bytes as f64;
+    let mut total = 0u64;
+    for st in stages {
+        let rs = reduce_scatter_ns(st.group, shard as u64, st.bytes_per_ns, st.latency_ns);
+        // Matching all-gather at the same payload on the way back up.
+        total += 2 * rs;
+        shard /= st.group as f64;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allreduce_zero_for_single_worker() {
+        let c = ClusterConfig::new(1, 1, 10.0);
+        assert_eq!(ring_allreduce_ns(&c, 1 << 30), 0);
+    }
+
+    #[test]
+    fn allreduce_matches_formula() {
+        let c = ClusterConfig::new(4, 1, 10.0); // 1.25 bytes/ns
+        let bytes = 100_000_000u64; // 100 MB
+        let t = ring_allreduce_ns(&c, bytes);
+        let expect = 2.0 * 3.0 / 4.0 * 1e8 / 1.25 + 2.0 * 3.0 * 25_000.0;
+        assert!((t as f64 - expect).abs() / expect < 1e-6);
+    }
+
+    #[test]
+    fn allreduce_monotone_in_workers_and_bandwidth() {
+        let bytes = 50_000_000u64;
+        let t2 = ring_allreduce_ns(&ClusterConfig::new(2, 1, 10.0), bytes);
+        let t4 = ring_allreduce_ns(&ClusterConfig::new(4, 1, 10.0), bytes);
+        let t8 = ring_allreduce_ns(&ClusterConfig::new(4, 2, 10.0), bytes);
+        assert!(t2 < t4 && t4 < t8);
+        let fast = ring_allreduce_ns(&ClusterConfig::new(4, 1, 40.0), bytes);
+        assert!(fast < t4);
+    }
+
+    #[test]
+    fn reduce_scatter_half_of_allreduce_transfer() {
+        let c = ClusterConfig::new(4, 1, 10.0);
+        let bytes = 80_000_000u64;
+        let ar = ring_allreduce_ns(&c, bytes) as f64;
+        let rs = reduce_scatter_ns(4, bytes, c.bottleneck_bytes_per_ns(), c.latency_ns()) as f64;
+        let ag = all_gather_ns(4, bytes, c.bottleneck_bytes_per_ns(), c.latency_ns()) as f64;
+        assert!(((rs + ag) - ar).abs() / ar < 1e-6);
+    }
+
+    #[test]
+    fn busbw_at_most_link_bandwidth() {
+        let c = ClusterConfig::new(4, 1, 10.0);
+        let bytes = 200_000_000u64;
+        let t = ring_allreduce_ns(&c, bytes);
+        let bus = busbw_gbs(bytes, t, 4);
+        assert!(bus <= 1.2501);
+        assert!(
+            bus > 1.0,
+            "large payload should approach link bandwidth, got {bus}"
+        );
+    }
+
+    #[test]
+    fn blueconnect_beats_flat_ring_on_hierarchical_topology() {
+        // 4 machines x 2 GPUs, 10 Gbps inter (1.25 B/ns), PCIe intra (12 B/ns).
+        let flat = ring_allreduce_ns(&ClusterConfig::new(4, 2, 10.0), 100_000_000);
+        let stages = [
+            BlueConnectStage {
+                group: 2,
+                bytes_per_ns: 12.0,
+                latency_ns: 2_000.0,
+            },
+            BlueConnectStage {
+                group: 4,
+                bytes_per_ns: 1.25,
+                latency_ns: 25_000.0,
+            },
+        ];
+        let bc = blueconnect_allreduce_ns(&stages, 100_000_000);
+        assert!(
+            bc < flat,
+            "hierarchical decomposition should win: bc={bc} flat={flat}"
+        );
+    }
+
+    #[test]
+    fn blueconnect_single_stage_equals_ring() {
+        let c = ClusterConfig::new(4, 1, 10.0);
+        let stages = [BlueConnectStage {
+            group: 4,
+            bytes_per_ns: c.bottleneck_bytes_per_ns(),
+            latency_ns: c.latency_ns(),
+        }];
+        let bytes = 64_000_000u64;
+        let bc = blueconnect_allreduce_ns(&stages, bytes);
+        let ring = ring_allreduce_ns(&c, bytes);
+        let diff = (bc as f64 - ring as f64).abs() / ring as f64;
+        assert!(
+            diff < 0.01,
+            "single-stage BlueConnect should equal the ring: {diff}"
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Communication substrate for Daydream.
+//!
+//! Substitutes for the paper's physical cluster (four machines, NCCL 2.4.2 /
+//! MXNet parameter server, 10–40 Gbps networks — §6.1): cost models for ring
+//! collectives (with the nccl-tests formulas the paper cites as \[56\]),
+//! BlueConnect-style hierarchical decompositions, an NCCL interference model
+//! reproducing the §6.5 / Fig. 9 behaviour (contended calls ~34% over
+//! theory, sync recovers ~23%), and an MXNet-style parameter-server model
+//! whose server-side overheads reproduce the §6.6 P3 overestimation.
+
+mod collective;
+mod nccl;
+mod param_server;
+mod topology;
+
+pub use collective::{
+    algbw_gbs, all_gather_ns, blueconnect_allreduce_ns, busbw_gbs, reduce_scatter_ns,
+    ring_allreduce_ns, BlueConnectStage,
+};
+pub use nccl::{NcclExecution, NcclModel};
+pub use param_server::PsModel;
+pub use topology::ClusterConfig;

@@ -1,0 +1,171 @@
+//! NCCL execution-behaviour model: interference with compute kernels.
+//!
+//! Paper §6.5 / Fig. 9: an NCCL primitive is simultaneously a communication
+//! primitive and a GPU kernel, so when launched concurrently with compute it
+//! competes for streaming multiprocessors and memory bandwidth. Measured
+//! all-reduce calls ran on average 34% over the theoretical formula;
+//! inserting a CUDA synchronization before each call removed most of the
+//! interference (22.8% average improvement); running calls exclusively
+//! matched theory closely.
+
+use crate::collective::ring_allreduce_ns;
+use crate::topology::ClusterConfig;
+use serde::{Deserialize, Serialize};
+
+/// How an NCCL call executes relative to compute kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NcclExecution {
+    /// Overlapped with backward compute kernels (default frameworks).
+    Contended,
+    /// A CUDA synchronization is inserted before each call (§6.5 fix).
+    Synced,
+    /// Run with the GPU otherwise idle ("Optimal" in Fig. 9).
+    Exclusive,
+}
+
+/// Deterministic splitmix64 hash for reproducible per-call variation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Uniform value in `[0, 1)` derived from a hash of `(seed, idx)`.
+fn unit_hash(seed: u64, idx: u64) -> f64 {
+    (splitmix64(seed ^ splitmix64(idx)) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Cost model for NCCL all-reduce calls on a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NcclModel {
+    /// The cluster the collective spans.
+    pub cluster: ClusterConfig,
+    /// Mean slowdown factor of contended calls over theoretical (paper: 1.34).
+    pub contended_mean: f64,
+    /// Mean slowdown of calls preceded by a synchronization (paper: ~1.09,
+    /// i.e. 22.8% better than contended).
+    pub synced_mean: f64,
+    /// Mean slowdown of exclusive calls (close to 1.0).
+    pub exclusive_mean: f64,
+    /// Half-width of the uniform per-call factor spread.
+    pub spread: f64,
+}
+
+impl NcclModel {
+    /// Builds the model with the paper's measured interference levels.
+    pub fn new(cluster: ClusterConfig) -> Self {
+        NcclModel {
+            cluster,
+            contended_mean: 1.34,
+            synced_mean: 1.09,
+            exclusive_mean: 1.02,
+            spread: 0.18,
+        }
+    }
+
+    /// Theoretical ring time of `bytes` (Fig. 9 "Theoretical").
+    pub fn theoretical_ns(&self, bytes: u64) -> u64 {
+        ring_allreduce_ns(&self.cluster, bytes)
+    }
+
+    /// Per-call slowdown factor for an execution mode.
+    ///
+    /// Deterministic in `(seed, call_idx)` so traces are reproducible.
+    pub fn slowdown(&self, mode: NcclExecution, seed: u64, call_idx: u64) -> f64 {
+        let mean = match mode {
+            NcclExecution::Contended => self.contended_mean,
+            NcclExecution::Synced => self.synced_mean,
+            NcclExecution::Exclusive => self.exclusive_mean,
+        };
+        let spread = match mode {
+            NcclExecution::Contended => self.spread,
+            NcclExecution::Synced => self.spread * 0.4,
+            NcclExecution::Exclusive => self.spread * 0.15,
+        };
+        let u = unit_hash(seed, call_idx); // in [0, 1)
+        (mean + spread * (2.0 * u - 1.0)).max(1.0)
+    }
+
+    /// Measured-call duration under an execution mode.
+    pub fn call_ns(&self, bytes: u64, mode: NcclExecution, seed: u64, call_idx: u64) -> u64 {
+        let t = self.theoretical_ns(bytes) as f64;
+        (t * self.slowdown(mode, seed, call_idx)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> NcclModel {
+        NcclModel::new(ClusterConfig::new(4, 1, 10.0))
+    }
+
+    #[test]
+    fn contended_slower_than_synced_slower_than_exclusive() {
+        let m = model();
+        let bytes = 40_000_000u64;
+        let mut sums = [0u64; 3];
+        for i in 0..64 {
+            sums[0] += m.call_ns(bytes, NcclExecution::Contended, 7, i);
+            sums[1] += m.call_ns(bytes, NcclExecution::Synced, 7, i);
+            sums[2] += m.call_ns(bytes, NcclExecution::Exclusive, 7, i);
+        }
+        assert!(sums[0] > sums[1] && sums[1] > sums[2]);
+    }
+
+    #[test]
+    fn contended_mean_is_about_34_percent_over_theory() {
+        let m = model();
+        let bytes = 40_000_000u64;
+        let theory = m.theoretical_ns(bytes) as f64;
+        let mean: f64 = (0..256)
+            .map(|i| m.call_ns(bytes, NcclExecution::Contended, 3, i) as f64)
+            .sum::<f64>()
+            / 256.0;
+        let over = mean / theory - 1.0;
+        assert!(
+            (0.28..0.40).contains(&over),
+            "mean overshoot {over:.3} should be ~0.34"
+        );
+    }
+
+    #[test]
+    fn sync_improves_over_contended_by_about_23_percent() {
+        let m = model();
+        let bytes = 40_000_000u64;
+        let contended: f64 = (0..256)
+            .map(|i| m.call_ns(bytes, NcclExecution::Contended, 3, i) as f64)
+            .sum::<f64>();
+        let synced: f64 = (0..256)
+            .map(|i| m.call_ns(bytes, NcclExecution::Synced, 3, i) as f64)
+            .sum::<f64>();
+        let gain = 1.0 - synced / contended;
+        assert!(
+            (0.15..0.28).contains(&gain),
+            "sync gain {gain:.3} should be ~0.228"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let m = model();
+        assert_eq!(
+            m.call_ns(1_000_000, NcclExecution::Contended, 42, 5),
+            m.call_ns(1_000_000, NcclExecution::Contended, 42, 5)
+        );
+        assert_ne!(
+            m.call_ns(1_000_000, NcclExecution::Contended, 42, 5),
+            m.call_ns(1_000_000, NcclExecution::Contended, 42, 6)
+        );
+    }
+
+    #[test]
+    fn slowdown_never_below_one() {
+        let m = model();
+        for i in 0..512 {
+            assert!(m.slowdown(NcclExecution::Exclusive, 1, i) >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Cluster topology: machines, GPUs, and link bandwidths.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A data-parallel training cluster, described the way the paper labels its
+/// Fig. 8 x-axis: `machines x gpus_per_machine` at a given network bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of machines.
+    pub machines: u32,
+    /// GPUs per machine.
+    pub gpus_per_machine: u32,
+    /// Inter-machine network bandwidth in Gbit/s (10/20/40 in the paper).
+    pub inter_node_gbps: f64,
+    /// Intra-machine interconnect bandwidth in GB/s (PCIe 3.0 x16).
+    pub intra_node_gbs: f64,
+    /// Per-hop network latency in microseconds.
+    pub latency_us: f64,
+}
+
+impl ClusterConfig {
+    /// A paper-style configuration with PCIe 3.0 intra-node links and 25 us
+    /// hop latency.
+    pub fn new(machines: u32, gpus_per_machine: u32, inter_node_gbps: f64) -> Self {
+        ClusterConfig {
+            machines,
+            gpus_per_machine,
+            inter_node_gbps,
+            intra_node_gbs: 12.0,
+            latency_us: 25.0,
+        }
+    }
+
+    /// Total data-parallel workers.
+    pub fn workers(&self) -> u32 {
+        self.machines * self.gpus_per_machine
+    }
+
+    /// Returns `true` if communication crosses machine boundaries.
+    pub fn is_multi_machine(&self) -> bool {
+        self.machines > 1
+    }
+
+    /// Inter-node bandwidth in bytes per nanosecond.
+    pub fn inter_bytes_per_ns(&self) -> f64 {
+        self.inter_node_gbps * 1e9 / 8.0 / 1e9
+    }
+
+    /// Intra-node bandwidth in bytes per nanosecond.
+    pub fn intra_bytes_per_ns(&self) -> f64 {
+        self.intra_node_gbs
+    }
+
+    /// The bandwidth of the bottleneck link a ring spanning all workers
+    /// traverses: the NIC for multi-machine rings, PCIe inside one machine.
+    pub fn bottleneck_bytes_per_ns(&self) -> f64 {
+        if self.is_multi_machine() {
+            self.inter_bytes_per_ns()
+        } else {
+            self.intra_bytes_per_ns()
+        }
+    }
+
+    /// Per-hop latency in nanoseconds.
+    pub fn latency_ns(&self) -> f64 {
+        self.latency_us * 1_000.0
+    }
+
+    /// The seven worker layouts of paper Fig. 8 for one bandwidth.
+    pub fn fig8_layouts(inter_node_gbps: f64) -> Vec<ClusterConfig> {
+        [(1, 1), (2, 1), (3, 1), (4, 1), (2, 2), (3, 2), (4, 2)]
+            .into_iter()
+            .map(|(m, g)| ClusterConfig::new(m, g, inter_node_gbps))
+            .collect()
+    }
+}
+
+impl fmt::Display for ClusterConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{}@{}Gbps",
+            self.machines, self.gpus_per_machine, self.inter_node_gbps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count() {
+        assert_eq!(ClusterConfig::new(4, 2, 10.0).workers(), 8);
+        assert_eq!(ClusterConfig::new(1, 1, 10.0).workers(), 1);
+    }
+
+    #[test]
+    fn bandwidth_conversions() {
+        let c = ClusterConfig::new(2, 1, 10.0);
+        // 10 Gbps = 1.25 GB/s = 1.25 bytes/ns.
+        assert!((c.inter_bytes_per_ns() - 1.25).abs() < 1e-9);
+        assert!((c.bottleneck_bytes_per_ns() - 1.25).abs() < 1e-9);
+        // Single machine bottleneck is PCIe.
+        let s = ClusterConfig::new(1, 2, 10.0);
+        assert!((s.bottleneck_bytes_per_ns() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig8_layouts_cover_paper() {
+        let layouts = ClusterConfig::fig8_layouts(20.0);
+        assert_eq!(layouts.len(), 7);
+        assert_eq!(layouts[0].workers(), 1);
+        assert_eq!(layouts[6].workers(), 8);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ClusterConfig::new(4, 2, 40.0).to_string(), "4x2@40Gbps");
+    }
+}

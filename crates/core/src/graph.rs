@@ -1,0 +1,367 @@
+//! The kernel-granularity dependency graph (paper §4.2).
+//!
+//! An arena of [`Task`]s plus typed edges. Removal uses tombstones and
+//! bridges thread-sequence edges so the per-thread "linked list" the paper
+//! describes stays intact (Fig. 4).
+
+use crate::task::{ExecThread, Task};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Index of a task in the graph arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub usize);
+
+/// The five dependency types of paper §4.2.2, plus edges added by
+/// graph transformations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DepKind {
+    /// Sequential order of CPU tasks in the same thread.
+    CpuSeq,
+    /// Sequential order of GPU tasks in the same CUDA stream.
+    GpuSeq,
+    /// Correlation from a CUDA launch API to the GPU task it triggers.
+    Correlation,
+    /// CUDA synchronization: GPU task to blocked CPU task.
+    Sync,
+    /// Communication dependency (gradient ready -> transfer -> consumer).
+    Comm,
+    /// Edge introduced by a what-if transformation.
+    Transform,
+}
+
+/// Errors from graph structural validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The graph contains a dependency cycle.
+    Cycle,
+    /// An edge references a removed task.
+    EdgeToRemoved(TaskId, TaskId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Cycle => write!(f, "dependency graph contains a cycle"),
+            GraphError::EdgeToRemoved(a, b) => {
+                write!(f, "edge {} -> {} touches a removed task", a.0, b.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// The dependency graph: tasks plus typed edges.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DependencyGraph {
+    tasks: Vec<Task>,
+    removed: Vec<bool>,
+    succ: Vec<Vec<(TaskId, DepKind)>>,
+    pred: Vec<Vec<(TaskId, DepKind)>>,
+}
+
+impl DependencyGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a task, returning its id.
+    pub fn add_task(&mut self, task: Task) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(task);
+        self.removed.push(false);
+        self.succ.push(Vec::new());
+        self.pred.push(Vec::new());
+        id
+    }
+
+    /// Adds a dependency edge `from -> to`.
+    ///
+    /// Duplicate edges are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of bounds.
+    pub fn add_dep(&mut self, from: TaskId, to: TaskId, kind: DepKind) {
+        assert!(from.0 < self.tasks.len() && to.0 < self.tasks.len());
+        if from == to || self.succ[from.0].iter().any(|&(t, _)| t == to) {
+            return;
+        }
+        self.succ[from.0].push((to, kind));
+        self.pred[to.0].push((from, kind));
+    }
+
+    /// Removes a task, bridging its predecessors to its successors so
+    /// per-thread sequences stay connected (paper's Remove primitive).
+    pub fn remove_task(&mut self, id: TaskId) {
+        if self.removed[id.0] {
+            return;
+        }
+        self.removed[id.0] = true;
+        let preds = self.pred[id.0].clone();
+        let succs = self.succ[id.0].clone();
+        // Detach.
+        for &(p, _) in &preds {
+            self.succ[p.0].retain(|&(t, _)| t != id);
+        }
+        for &(s, _) in &succs {
+            self.pred[s.0].retain(|&(t, _)| t != id);
+        }
+        self.pred[id.0].clear();
+        self.succ[id.0].clear();
+        // Bridge.
+        for &(p, pk) in &preds {
+            for &(s, sk) in &succs {
+                let kind = if pk == sk { pk } else { DepKind::Transform };
+                self.add_dep(p, s, kind);
+            }
+        }
+    }
+
+    /// Returns `true` if the task has been removed.
+    pub fn is_removed(&self, id: TaskId) -> bool {
+        self.removed[id.0]
+    }
+
+    /// Immutable task access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0]
+    }
+
+    /// Mutable task access (the shrink/scale primitives go through this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn task_mut(&mut self, id: TaskId) -> &mut Task {
+        &mut self.tasks[id.0]
+    }
+
+    /// Iterates over live `(TaskId, &Task)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, &Task)> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .filter(move |(i, _)| !self.removed[*i])
+            .map(|(i, t)| (TaskId(i), t))
+    }
+
+    /// Number of live tasks.
+    pub fn len(&self) -> usize {
+        self.removed.iter().filter(|r| !**r).count()
+    }
+
+    /// Arena capacity including removed tasks, for index-aligned side
+    /// tables (every `TaskId` ever issued is `< capacity()`).
+    pub fn capacity(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Removes the edge `from -> to` if present.
+    pub fn remove_dep(&mut self, from: TaskId, to: TaskId) {
+        self.succ[from.0].retain(|&(t, _)| t != to);
+        self.pred[to.0].retain(|&(t, _)| t != from);
+    }
+
+    /// Returns `true` if the graph has no live tasks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Successors of a task.
+    pub fn successors(&self, id: TaskId) -> &[(TaskId, DepKind)] {
+        &self.succ[id.0]
+    }
+
+    /// Predecessors of a task.
+    pub fn predecessors(&self, id: TaskId) -> &[(TaskId, DepKind)] {
+        &self.pred[id.0]
+    }
+
+    /// Live tasks grouped by execution thread, in measured-start order.
+    pub fn threads(&self) -> BTreeMap<ExecThread, Vec<TaskId>> {
+        let mut map: BTreeMap<ExecThread, Vec<TaskId>> = BTreeMap::new();
+        for (id, t) in self.iter() {
+            map.entry(t.thread).or_default().push(id);
+        }
+        for ids in map.values_mut() {
+            ids.sort_by_key(|id| (self.tasks[id.0].measured_start_ns, id.0));
+        }
+        map
+    }
+
+    /// Selects live tasks satisfying a predicate (the Select primitive,
+    /// §4.4).
+    pub fn select<F: Fn(&Task) -> bool>(&self, pred: F) -> Vec<TaskId> {
+        self.iter()
+            .filter(|(_, t)| pred(t))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Checks the graph is acyclic and edges touch only live tasks.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        for (id, _) in self.iter() {
+            for &(s, _) in self.successors(id) {
+                if self.removed[s.0] {
+                    return Err(GraphError::EdgeToRemoved(id, s));
+                }
+            }
+        }
+        // Kahn's algorithm over live tasks.
+        let mut indeg: Vec<usize> = vec![0; self.tasks.len()];
+        let mut live = 0usize;
+        for (id, _) in self.iter() {
+            live += 1;
+            indeg[id.0] = self.pred[id.0].len();
+        }
+        let mut stack: Vec<TaskId> = self
+            .iter()
+            .filter(|(id, _)| indeg[id.0] == 0)
+            .map(|(id, _)| id)
+            .collect();
+        let mut seen = 0usize;
+        while let Some(u) = stack.pop() {
+            seen += 1;
+            for &(v, _) in &self.succ[u.0] {
+                indeg[v.0] -= 1;
+                if indeg[v.0] == 0 {
+                    stack.push(v);
+                }
+            }
+        }
+        if seen == live {
+            Ok(())
+        } else {
+            Err(GraphError::Cycle)
+        }
+    }
+
+    /// Total number of live edges.
+    pub fn edge_count(&self) -> usize {
+        self.iter().map(|(id, _)| self.succ[id.0].len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskKind;
+    use daydream_trace::{CpuThreadId, DeviceId, StreamId};
+
+    fn cpu_task(name: &str) -> Task {
+        Task::new(name, TaskKind::CpuWork, ExecThread::Cpu(CpuThreadId(0)), 10)
+    }
+
+    fn gpu_task(name: &str) -> Task {
+        Task::new(
+            name,
+            TaskKind::GpuKernel,
+            ExecThread::Gpu(DeviceId(0), StreamId(0)),
+            50,
+        )
+    }
+
+    #[test]
+    fn add_and_edge() {
+        let mut g = DependencyGraph::new();
+        let a = g.add_task(cpu_task("a"));
+        let b = g.add_task(gpu_task("b"));
+        g.add_dep(a, b, DepKind::Correlation);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.successors(a), &[(b, DepKind::Correlation)]);
+        assert_eq!(g.predecessors(b), &[(a, DepKind::Correlation)]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_ignored() {
+        let mut g = DependencyGraph::new();
+        let a = g.add_task(cpu_task("a"));
+        let b = g.add_task(cpu_task("b"));
+        g.add_dep(a, b, DepKind::CpuSeq);
+        g.add_dep(a, b, DepKind::CpuSeq);
+        g.add_dep(a, a, DepKind::CpuSeq);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn removal_bridges_sequences() {
+        let mut g = DependencyGraph::new();
+        let a = g.add_task(cpu_task("a"));
+        let b = g.add_task(cpu_task("b"));
+        let c = g.add_task(cpu_task("c"));
+        g.add_dep(a, b, DepKind::CpuSeq);
+        g.add_dep(b, c, DepKind::CpuSeq);
+        g.remove_task(b);
+        assert!(g.is_removed(b));
+        assert_eq!(g.len(), 2);
+        // a -> c bridged with the common kind.
+        assert_eq!(g.successors(a), &[(c, DepKind::CpuSeq)]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn removal_bridges_mixed_kinds_as_transform() {
+        let mut g = DependencyGraph::new();
+        let a = g.add_task(cpu_task("a"));
+        let b = g.add_task(gpu_task("b"));
+        let c = g.add_task(cpu_task("c"));
+        g.add_dep(a, b, DepKind::Correlation);
+        g.add_dep(b, c, DepKind::Sync);
+        g.remove_task(b);
+        assert_eq!(g.successors(a), &[(c, DepKind::Transform)]);
+    }
+
+    #[test]
+    fn double_removal_is_noop() {
+        let mut g = DependencyGraph::new();
+        let a = g.add_task(cpu_task("a"));
+        g.remove_task(a);
+        g.remove_task(a);
+        assert_eq!(g.len(), 0);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = DependencyGraph::new();
+        let a = g.add_task(cpu_task("a"));
+        let b = g.add_task(cpu_task("b"));
+        g.add_dep(a, b, DepKind::CpuSeq);
+        g.add_dep(b, a, DepKind::Transform);
+        assert_eq!(g.validate(), Err(GraphError::Cycle));
+    }
+
+    #[test]
+    fn threads_grouping_sorted_by_measured_start() {
+        let mut g = DependencyGraph::new();
+        let mut t1 = cpu_task("late");
+        t1.measured_start_ns = 100;
+        let mut t2 = cpu_task("early");
+        t2.measured_start_ns = 5;
+        let a = g.add_task(t1);
+        let b = g.add_task(t2);
+        let threads = g.threads();
+        assert_eq!(threads.len(), 1);
+        let ids = &threads[&ExecThread::Cpu(CpuThreadId(0))];
+        assert_eq!(ids, &[b, a]);
+    }
+
+    #[test]
+    fn select_by_predicate() {
+        let mut g = DependencyGraph::new();
+        g.add_task(cpu_task("a"));
+        let b = g.add_task(gpu_task("sgemm_1"));
+        g.add_task(gpu_task("relu"));
+        let sel = g.select(|t| t.is_on_gpu() && t.name.contains("sgemm"));
+        assert_eq!(sel, vec![b]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Synchronization-free task-to-layer mapping (paper §4.3, Fig. 3).
+//!
+//! The framework instrumentation records a CPU window `[start, end)` per
+//! layer phase. Every CPU task whose measured start lies inside the window
+//! belongs to that layer; every GPU task launched by such a task (same
+//! CUPTI correlation id) inherits the mapping. No CUDA synchronization is
+//! ever inserted — the timestamps come for free from the instrumented
+//! framework, so the profiled execution is undisturbed.
+
+use crate::graph::{DepKind, DependencyGraph, TaskId};
+use crate::task::LayerRef;
+use daydream_trace::{Lane, Trace};
+
+/// Applies the layer mapping in place.
+///
+/// `a2t` maps activity indices to task ids (from
+/// [`crate::construct::build_graph`]).
+pub fn map_tasks_to_layers(graph: &mut DependencyGraph, trace: &Trace, a2t: &[TaskId]) {
+    // Sort marker indices per thread by window start for sweep matching.
+    let mut markers: Vec<usize> = (0..trace.markers.len()).collect();
+    markers.sort_by_key(|&i| (trace.markers[i].thread, trace.markers[i].start_ns));
+
+    // CPU activities per thread, by start time.
+    for (lane, ids) in trace.lanes() {
+        let Lane::Cpu(thread) = lane else { continue };
+        let thread_markers: Vec<usize> = markers
+            .iter()
+            .copied()
+            .filter(|&i| trace.markers[i].thread == thread)
+            .collect();
+        if thread_markers.is_empty() {
+            continue;
+        }
+        let mut mi = 0usize;
+        for aid in ids {
+            let a = &trace.activities[aid.0];
+            // Advance past windows that ended before this task.
+            while mi < thread_markers.len()
+                && trace.markers[thread_markers[mi]].end_ns <= a.start_ns
+            {
+                mi += 1;
+            }
+            if mi >= thread_markers.len() {
+                break;
+            }
+            let m = &trace.markers[thread_markers[mi]];
+            if m.contains(a.start_ns) {
+                graph.task_mut(a2t[aid.0]).layer = Some(LayerRef {
+                    layer: m.layer,
+                    phase: m.phase,
+                });
+            }
+        }
+    }
+
+    // Propagate along correlation edges: launched GPU work inherits the
+    // launching API's layer.
+    let updates: Vec<(TaskId, LayerRef)> = graph
+        .iter()
+        .filter_map(|(id, t)| t.layer.map(|l| (id, l)))
+        .flat_map(|(id, l)| {
+            graph
+                .successors(id)
+                .iter()
+                .filter(|&&(_, k)| k == DepKind::Correlation)
+                .map(move |&(s, _)| (s, l))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    for (id, l) in updates {
+        graph.task_mut(id).layer = Some(l);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::build_graph;
+    use daydream_models::zoo;
+    use daydream_runtime::{baseline_plan, ExecConfig, Executor};
+    use daydream_trace::Phase;
+
+    fn mapped_graph() -> (
+        DependencyGraph,
+        daydream_trace::Trace,
+        daydream_models::Model,
+    ) {
+        let model = zoo::resnet50();
+        let cfg = ExecConfig::pytorch_2080ti().with_batch(8);
+        let ex = Executor::new(&model, &cfg);
+        let trace = ex.run(&baseline_plan(&model, 8));
+        let (mut g, a2t) = build_graph(&trace);
+        map_tasks_to_layers(&mut g, &trace, &a2t);
+        (g, trace, model)
+    }
+
+    #[test]
+    fn every_kernel_is_mapped() {
+        let (g, _, _) = mapped_graph();
+        let unmapped: Vec<_> = g
+            .iter()
+            .filter(|(_, t)| t.kind.is_gpu() && t.layer.is_none())
+            .map(|(_, t)| t.name.clone())
+            .collect();
+        // The input HtoD upload and loss copy are not layer work; everything
+        // else must map.
+        assert!(
+            unmapped.iter().all(|n| n.contains("memcpy")),
+            "unmapped GPU tasks: {unmapped:?}"
+        );
+    }
+
+    #[test]
+    fn kernels_map_to_correct_phase() {
+        let (g, _, model) = mapped_graph();
+        // Count GPU kernels per phase and compare with the plan structure.
+        let fwd = g
+            .select(|t| t.kind.is_gpu() && t.in_phase(Phase::Forward))
+            .len();
+        let bwd = g
+            .select(|t| t.kind.is_gpu() && t.in_phase(Phase::Backward))
+            .len();
+        let wu = g
+            .select(|t| t.kind.is_gpu() && t.in_phase(Phase::WeightUpdate))
+            .len();
+        let plan = baseline_plan(&model, 8);
+        let plan_fwd: usize = plan.fwd.iter().map(|l| l.ops.len()).sum();
+        let plan_bwd: usize = plan.bwd.iter().map(|l| l.ops.len()).sum();
+        assert_eq!(fwd, plan_fwd);
+        assert_eq!(bwd, plan_bwd);
+        assert_eq!(wu, plan.wu_kernel_count());
+    }
+
+    #[test]
+    fn specific_layer_kernels_found() {
+        let (g, _, model) = mapped_graph();
+        let conv1 = model.layers.iter().find(|l| l.name == "conv1").unwrap();
+        let kernels = g.select(|t| {
+            t.kind.is_gpu()
+                && t.layer
+                    .map(|l| l.layer == conv1.id && l.phase == Phase::Forward)
+                    .unwrap_or(false)
+        });
+        // conv1 forward launches exactly one convolution kernel.
+        assert_eq!(kernels.len(), 1);
+        assert!(g.task(kernels[0]).name.contains("scudnn"));
+    }
+
+    #[test]
+    fn launch_apis_mapped_too() {
+        let (g, _, _) = mapped_graph();
+        let mapped_apis = g.select(|t| t.thread.is_cpu() && t.layer.is_some()).len();
+        assert!(
+            mapped_apis > 500,
+            "launch APIs inside layer windows must map"
+        );
+    }
+}

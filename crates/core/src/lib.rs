@@ -1,0 +1,54 @@
+//! Daydream: what-if analysis for DNN training (Zhu et al., USENIX ATC'20).
+//!
+//! Daydream answers questions like *"will mixed precision help my model on
+//! my hardware?"* without implementing the optimization. The pipeline
+//! (paper §4):
+//!
+//! 1. **Trace collection** — a CUPTI-style profile plus layer markers
+//!    (`daydream-trace`, produced here by the `daydream-runtime` execution
+//!    simulator).
+//! 2. **Graph construction** ([`ProfiledGraph::from_trace`]) — a
+//!    kernel-granularity dependency graph with the five dependency types of
+//!    §4.2.2, and the synchronization-free task-to-layer mapping of §4.3.
+//! 3. **Graph transformation** ([`transform`], [`whatif`]) — model an
+//!    optimization with select / shrink / insert / remove / schedule
+//!    primitives; ten ready-made models cover the paper's Table 1 set.
+//! 4. **Simulation** ([`simulate`], paper Algorithm 1) — replay the
+//!    transformed graph to predict iteration time.
+//!
+//! # Examples
+//!
+//! ```
+//! use daydream_core::{predict, whatif, ProfiledGraph};
+//! use daydream_models::zoo;
+//! use daydream_runtime::{ground_truth, ExecConfig};
+//!
+//! // Profile one training iteration of ResNet-50 (batch 8 for speed).
+//! let model = zoo::resnet50();
+//! let cfg = ExecConfig::pytorch_2080ti().with_batch(8);
+//! let trace = ground_truth::run_baseline(&model, &cfg);
+//!
+//! // What if we enabled mixed precision?
+//! let profile = ProfiledGraph::from_trace(&trace);
+//! let prediction = predict(&profile, whatif::what_if_amp);
+//! assert!(prediction.speedup() > 1.0);
+//! ```
+
+pub mod construct;
+pub mod graph;
+pub mod layer_map;
+pub mod predict;
+pub mod replicate;
+pub mod report;
+pub mod sim;
+pub mod task;
+pub mod transform;
+pub mod whatif;
+
+pub use construct::{build_graph, ProfiledGraph};
+pub use graph::{DepKind, DependencyGraph, GraphError, TaskId};
+pub use predict::{makespan_ns, predict, predict_with, Prediction};
+pub use replicate::{replicate_iterations, ReplicatedGraph};
+pub use report::{layer_report, LayerTimes};
+pub use sim::{simulate, simulate_with, Candidate, EarliestStart, Scheduler, SimResult};
+pub use task::{CommChannel, CommPrimitive, ExecThread, LayerRef, Task, TaskKind};

@@ -1,0 +1,94 @@
+//! Prediction reports: baseline vs what-if simulated time.
+
+use crate::construct::ProfiledGraph;
+use crate::graph::DependencyGraph;
+use crate::sim::{simulate, simulate_with, Scheduler};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one what-if analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Simulated baseline (untransformed graph) iteration time, ns.
+    pub baseline_ns: u64,
+    /// Simulated iteration time after the transformation, ns.
+    pub predicted_ns: u64,
+}
+
+impl Prediction {
+    /// Baseline iteration time in milliseconds.
+    pub fn baseline_ms(&self) -> f64 {
+        self.baseline_ns as f64 / 1e6
+    }
+
+    /// Predicted iteration time in milliseconds.
+    pub fn predicted_ms(&self) -> f64 {
+        self.predicted_ns as f64 / 1e6
+    }
+
+    /// Predicted speedup (baseline / predicted).
+    pub fn speedup(&self) -> f64 {
+        self.baseline_ns as f64 / self.predicted_ns.max(1) as f64
+    }
+
+    /// Predicted improvement as a fraction of baseline (0.2 = 20% faster).
+    pub fn improvement(&self) -> f64 {
+        1.0 - self.predicted_ns as f64 / self.baseline_ns.max(1) as f64
+    }
+
+    /// Relative error of the prediction against a measured ground truth,
+    /// the metric of paper Figs. 5–10.
+    pub fn error_vs(&self, ground_truth_ns: u64) -> f64 {
+        (self.predicted_ns as f64 - ground_truth_ns as f64).abs() / ground_truth_ns.max(1) as f64
+    }
+}
+
+/// Applies a transformation to a copy of the profile and simulates both
+/// versions with the default scheduler.
+pub fn predict<F>(pg: &ProfiledGraph, transform: F) -> Prediction
+where
+    F: FnOnce(&mut ProfiledGraph),
+{
+    predict_with(pg, transform, &mut crate::sim::EarliestStart)
+}
+
+/// [`predict`] with a custom scheduling policy for the transformed graph
+/// (the baseline always uses the default policy it was profiled under).
+pub fn predict_with<F, S>(pg: &ProfiledGraph, transform: F, scheduler: &mut S) -> Prediction
+where
+    F: FnOnce(&mut ProfiledGraph),
+    S: Scheduler,
+{
+    let baseline = simulate(&pg.graph).expect("profiled graph must be a DAG");
+    let mut transformed = pg.clone();
+    transform(&mut transformed);
+    let predicted =
+        simulate_with(&transformed.graph, scheduler).expect("transformed graph must stay a DAG");
+    Prediction {
+        baseline_ns: baseline.makespan_ns,
+        predicted_ns: predicted.makespan_ns,
+    }
+}
+
+/// Simulates a standalone graph and returns its makespan in nanoseconds.
+pub fn makespan_ns(graph: &DependencyGraph) -> u64 {
+    simulate(graph).expect("graph must be a DAG").makespan_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_math() {
+        let p = Prediction {
+            baseline_ns: 200_000_000,
+            predicted_ns: 100_000_000,
+        };
+        assert!((p.speedup() - 2.0).abs() < 1e-12);
+        assert!((p.improvement() - 0.5).abs() < 1e-12);
+        assert!((p.baseline_ms() - 200.0).abs() < 1e-12);
+        // 100 ms prediction vs 110 ms measured: ~9.1% error.
+        let err = p.error_vs(110_000_000);
+        assert!((err - 10.0 / 110.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,176 @@
+//! Multi-iteration graph replication.
+//!
+//! Some optimizations couple *consecutive* iterations: a parameter-server
+//! pull produced by iteration `k`'s backward gates iteration `k+1`'s
+//! forward (P3, Algorithm 7). Daydream handles these by unrolling the
+//! profiled iteration `n` times — cloning tasks and intra-iteration edges,
+//! and chaining each execution thread across copies — then measuring the
+//! steady-state span between consecutive copies.
+
+use crate::graph::{DepKind, DependencyGraph, TaskId};
+use crate::sim::SimResult;
+use crate::task::ExecThread;
+
+/// A graph unrolled over `n` iterations.
+#[derive(Debug, Clone)]
+pub struct ReplicatedGraph {
+    /// The unrolled graph.
+    pub graph: DependencyGraph,
+    /// `maps[k][orig.0]` is copy `k`'s clone of original task `orig`.
+    maps: Vec<Vec<TaskId>>,
+}
+
+impl ReplicatedGraph {
+    /// The clone of `orig` in iteration `copy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copy` or `orig` is out of range.
+    pub fn replica(&self, copy: usize, orig: TaskId) -> TaskId {
+        self.maps[copy][orig.0]
+    }
+
+    /// Number of unrolled iterations.
+    pub fn iterations(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// End time of iteration `copy` in a simulation of the unrolled graph:
+    /// the maximum end over the copy's live tasks.
+    pub fn iteration_end_ns(&self, copy: usize, sim: &SimResult) -> u64 {
+        self.maps[copy]
+            .iter()
+            .filter_map(|&id| sim.start_ns[id.0].map(|s| s + self.graph.task(id).duration_ns))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Steady-state iteration time: the span between the last two copies'
+    /// ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two iterations were unrolled.
+    pub fn steady_iteration_ns(&self, sim: &SimResult) -> u64 {
+        let n = self.iterations();
+        assert!(
+            n >= 2,
+            "steady state needs at least two unrolled iterations"
+        );
+        self.iteration_end_ns(n - 1, sim) - self.iteration_end_ns(n - 2, sim)
+    }
+}
+
+/// Unrolls the live tasks of `src` over `n` iterations.
+pub fn replicate_iterations(src: &DependencyGraph, n: usize) -> ReplicatedGraph {
+    assert!(n >= 1, "need at least one iteration");
+    let mut graph = DependencyGraph::new();
+    let span = src
+        .iter()
+        .map(|(_, t)| t.measured_start_ns + t.duration_ns)
+        .max()
+        .unwrap_or(0)
+        + 1;
+
+    let cap = src.capacity();
+    let mut maps: Vec<Vec<TaskId>> = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut map = vec![TaskId(usize::MAX); cap];
+        for (id, t) in src.iter() {
+            let mut clone = t.clone();
+            clone.measured_start_ns = t.measured_start_ns + span * k as u64;
+            map[id.0] = graph.add_task(clone);
+        }
+        // Intra-copy edges.
+        for (id, _) in src.iter() {
+            for &(s, kind) in src.successors(id) {
+                graph.add_dep(map[id.0], map[s.0], kind);
+            }
+        }
+        maps.push(map);
+    }
+
+    // Chain each execution thread across copies: the framework's training
+    // loop serializes iterations on every thread.
+    let threads = src.threads();
+    for k in 0..n.saturating_sub(1) {
+        for (thread, ids) in &threads {
+            let (Some(&last), Some(&first)) = (ids.last(), ids.first()) else {
+                continue;
+            };
+            let kind = match thread {
+                ExecThread::Cpu(_) => DepKind::CpuSeq,
+                ExecThread::Gpu(_, _) => DepKind::GpuSeq,
+                ExecThread::Comm(_) => DepKind::Comm,
+            };
+            graph.add_dep(maps[k][last.0], maps[k + 1][first.0], kind);
+        }
+    }
+
+    ReplicatedGraph { graph, maps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::simulate;
+    use crate::task::{Task, TaskKind};
+    use daydream_trace::CpuThreadId;
+
+    fn two_task_graph() -> DependencyGraph {
+        let mut g = DependencyGraph::new();
+        let mut a = Task::new("a", TaskKind::CpuWork, ExecThread::Cpu(CpuThreadId(0)), 10);
+        a.gap_ns = 2;
+        let mut b = Task::new("b", TaskKind::CpuWork, ExecThread::Cpu(CpuThreadId(0)), 20);
+        b.measured_start_ns = 12;
+        let ia = g.add_task(a);
+        let ib = g.add_task(b);
+        g.add_dep(ia, ib, DepKind::CpuSeq);
+        g
+    }
+
+    #[test]
+    fn replication_multiplies_makespan() {
+        let g = two_task_graph();
+        let single = simulate(&g).unwrap().makespan_ns;
+        let rep = replicate_iterations(&g, 3);
+        rep.graph.validate().unwrap();
+        assert_eq!(rep.graph.len(), 6);
+        let sim = simulate(&rep.graph).unwrap();
+        // Each iteration costs single + the trailing gap of task b's pred.
+        assert!(sim.makespan_ns >= 3 * single);
+        let steady = rep.steady_iteration_ns(&sim);
+        assert!(steady >= single);
+    }
+
+    #[test]
+    fn replica_lookup() {
+        let g = two_task_graph();
+        let rep = replicate_iterations(&g, 2);
+        let r0 = rep.replica(0, TaskId(0));
+        let r1 = rep.replica(1, TaskId(0));
+        assert_ne!(r0, r1);
+        assert_eq!(rep.graph.task(r0).name, "a");
+        assert_eq!(rep.graph.task(r1).name, "a");
+        assert!(rep.graph.task(r1).measured_start_ns > rep.graph.task(r0).measured_start_ns);
+    }
+
+    #[test]
+    fn removed_tasks_not_replicated() {
+        let mut g = two_task_graph();
+        g.remove_task(TaskId(0));
+        let rep = replicate_iterations(&g, 2);
+        assert_eq!(rep.graph.len(), 2);
+    }
+
+    #[test]
+    fn iteration_ends_are_monotone() {
+        let g = two_task_graph();
+        let rep = replicate_iterations(&g, 3);
+        let sim = simulate(&rep.graph).unwrap();
+        let e0 = rep.iteration_end_ns(0, &sim);
+        let e1 = rep.iteration_end_ns(1, &sim);
+        let e2 = rep.iteration_end_ns(2, &sim);
+        assert!(e0 < e1 && e1 < e2);
+    }
+}

@@ -1,0 +1,123 @@
+//! Per-layer time attribution — the "framework built-in profiler" view.
+//!
+//! The paper (§2.3) contrasts framework profilers (intuitive per-layer
+//! times, but no CPU detail) with Daydream's task graph. Since the graph
+//! already carries the task-to-layer mapping, the familiar per-layer report
+//! falls out of it for free — including the CPU-side component framework
+//! tools omit, which §2.3 calls "crucial" for prediction.
+
+use crate::construct::ProfiledGraph;
+use daydream_trace::{LayerId, Phase};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Aggregated times of one layer across the iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerTimes {
+    /// The layer.
+    pub layer: LayerId,
+    /// GPU kernel time in the forward phase, ns.
+    pub fwd_gpu_ns: u64,
+    /// GPU kernel time in the backward phase, ns.
+    pub bwd_gpu_ns: u64,
+    /// GPU kernel time in the weight-update phase, ns.
+    pub wu_gpu_ns: u64,
+    /// CPU time (APIs + recorded gaps) attributed to the layer, ns.
+    pub cpu_ns: u64,
+    /// Number of GPU kernels the layer launched.
+    pub kernels: usize,
+}
+
+impl LayerTimes {
+    /// Total GPU time across phases.
+    pub fn gpu_total_ns(&self) -> u64 {
+        self.fwd_gpu_ns + self.bwd_gpu_ns + self.wu_gpu_ns
+    }
+}
+
+/// Builds the per-layer report, sorted by descending total GPU time.
+pub fn layer_report(pg: &ProfiledGraph) -> Vec<LayerTimes> {
+    let mut map: HashMap<LayerId, LayerTimes> = HashMap::new();
+    for (_, t) in pg.graph.iter() {
+        let Some(lr) = t.layer else { continue };
+        let e = map.entry(lr.layer).or_insert(LayerTimes {
+            layer: lr.layer,
+            fwd_gpu_ns: 0,
+            bwd_gpu_ns: 0,
+            wu_gpu_ns: 0,
+            cpu_ns: 0,
+            kernels: 0,
+        });
+        if t.kind.is_gpu() {
+            match lr.phase {
+                Phase::Forward => e.fwd_gpu_ns += t.duration_ns,
+                Phase::Backward => e.bwd_gpu_ns += t.duration_ns,
+                Phase::WeightUpdate => e.wu_gpu_ns += t.duration_ns,
+            }
+            e.kernels += 1;
+        } else if t.thread.is_cpu() {
+            e.cpu_ns += t.duration_ns + t.gap_ns;
+        }
+    }
+    let mut rows: Vec<LayerTimes> = map.into_values().collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.gpu_total_ns()));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daydream_models::zoo;
+    use daydream_runtime::{ground_truth, ExecConfig};
+
+    fn report_for(name: &str) -> (Vec<LayerTimes>, daydream_models::Model, ProfiledGraph) {
+        let model = zoo::by_name(name).unwrap();
+        let cfg = ExecConfig::pytorch_2080ti().with_batch(8);
+        let pg = ProfiledGraph::from_trace(&ground_truth::run_baseline(&model, &cfg));
+        (layer_report(&pg), model, pg)
+    }
+
+    #[test]
+    fn gpu_totals_match_graph_sums() {
+        let (rows, _, pg) = report_for("ResNet-50");
+        let report_total: u64 = rows.iter().map(|r| r.gpu_total_ns()).sum();
+        let graph_total: u64 = pg
+            .graph
+            .iter()
+            .filter(|(_, t)| t.kind.is_gpu() && t.layer.is_some())
+            .map(|(_, t)| t.duration_ns)
+            .sum();
+        assert_eq!(report_total, graph_total);
+    }
+
+    #[test]
+    fn convolutions_dominate_resnet() {
+        let (rows, model, _) = report_for("ResNet-50");
+        let top = &rows[0];
+        let kind = model.layer(top.layer).unwrap().kind.type_name();
+        assert_eq!(
+            kind, "Conv2d",
+            "heaviest ResNet layer must be a convolution"
+        );
+    }
+
+    #[test]
+    fn report_covers_every_model_layer_with_kernels() {
+        let (rows, model, _) = report_for("BERT_Base");
+        // Every parameterized layer must appear.
+        for l in model.param_layers() {
+            assert!(
+                rows.iter().any(|r| r.layer == l.id),
+                "layer {} missing from report",
+                l.name
+            );
+        }
+    }
+
+    #[test]
+    fn cpu_component_is_reported() {
+        let (rows, _, _) = report_for("BERT_Base");
+        let cpu_total: u64 = rows.iter().map(|r| r.cpu_ns).sum();
+        assert!(cpu_total > 0, "the report must include the CPU side (§2.3)");
+    }
+}

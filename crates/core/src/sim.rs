@@ -1,0 +1,274 @@
+//! Runtime simulation (paper Algorithm 1, Phase 4).
+//!
+//! Traverses the dependency graph, dispatching each ready task to its
+//! execution thread and advancing per-thread progress by `duration + gap`.
+//! The scheduling policy is pluggable (paper §4.4 "Schedule" primitive):
+//! the default picks the frontier task with the earliest feasible start;
+//! P3 and vDNN override it.
+
+use crate::graph::{DependencyGraph, GraphError, TaskId};
+use crate::task::ExecThread;
+use std::collections::BTreeMap;
+
+/// A frontier entry: a ready task and its earliest feasible start time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// The ready task.
+    pub task: TaskId,
+    /// `max(thread progress, dependency-induced start)`.
+    pub feasible_start: u64,
+}
+
+/// Scheduling policy: picks the next frontier task to dispatch.
+pub trait Scheduler {
+    /// Returns the index into `frontier` of the task to execute next.
+    ///
+    /// `frontier` is never empty when called.
+    fn pick(&mut self, frontier: &[Candidate], graph: &DependencyGraph) -> usize;
+}
+
+/// The default policy: earliest feasible start, ties broken by task id
+/// (paper: "picks the task with the earliest start").
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EarliestStart;
+
+impl Scheduler for EarliestStart {
+    fn pick(&mut self, frontier: &[Candidate], _graph: &DependencyGraph) -> usize {
+        let mut best = 0usize;
+        for (i, c) in frontier.iter().enumerate().skip(1) {
+            let b = &frontier[best];
+            if (c.feasible_start, c.task.0) < (b.feasible_start, b.task.0) {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Output of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Simulated start time of each task (`None` for removed tasks).
+    pub start_ns: Vec<Option<u64>>,
+    /// End of the last task — the predicted iteration time.
+    pub makespan_ns: u64,
+    /// Final progress of each execution thread.
+    pub thread_end: BTreeMap<ExecThread, u64>,
+    /// Per-task wait between thread availability and actual start (time the
+    /// thread sat idle before the task, e.g. a CPU blocked on the GPU).
+    pub wait_ns: Vec<u64>,
+}
+
+impl SimResult {
+    /// Predicted iteration time in milliseconds.
+    pub fn makespan_ms(&self) -> f64 {
+        self.makespan_ns as f64 / 1e6
+    }
+
+    /// Simulated start of one task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task was removed from the graph before simulation.
+    pub fn start_of(&self, id: TaskId) -> u64 {
+        self.start_ns[id.0].expect("task was removed before simulation")
+    }
+}
+
+/// Simulates the graph with the default earliest-start policy.
+pub fn simulate(graph: &DependencyGraph) -> Result<SimResult, GraphError> {
+    simulate_with(graph, &mut EarliestStart)
+}
+
+/// Simulates the graph with a custom scheduling policy (Algorithm 1).
+pub fn simulate_with<S: Scheduler>(
+    graph: &DependencyGraph,
+    scheduler: &mut S,
+) -> Result<SimResult, GraphError> {
+    let n = graph.capacity();
+    let mut refs: Vec<usize> = vec![0; n];
+    let mut tentative: Vec<u64> = vec![0; n];
+    let mut start: Vec<Option<u64>> = vec![None; n];
+    let mut wait: Vec<u64> = vec![0; n];
+    let mut progress: BTreeMap<ExecThread, u64> = BTreeMap::new();
+
+    let mut live = 0usize;
+    let mut frontier: Vec<Candidate> = Vec::new();
+    for (id, t) in graph.iter() {
+        live += 1;
+        refs[id.0] = graph.predecessors(id).len();
+        progress.entry(t.thread).or_insert(0);
+        if refs[id.0] == 0 {
+            frontier.push(Candidate {
+                task: id,
+                feasible_start: 0,
+            });
+        }
+    }
+
+    let mut done = 0usize;
+    let mut makespan = 0u64;
+    while !frontier.is_empty() {
+        // Refresh feasible starts against current thread progress.
+        for c in frontier.iter_mut() {
+            let t = graph.task(c.task);
+            let p = progress[&t.thread];
+            c.feasible_start = p.max(tentative[c.task.0]);
+        }
+        let idx = scheduler.pick(&frontier, graph);
+        let c = frontier.swap_remove(idx);
+        let u = c.task;
+        let task = graph.task(u);
+        let p = progress[&task.thread];
+        let s = p.max(tentative[u.0]);
+        start[u.0] = Some(s);
+        wait[u.0] = s.saturating_sub(p);
+        let fin = s + task.duration_ns + task.gap_ns;
+        progress.insert(task.thread, fin);
+        makespan = makespan.max(s + task.duration_ns);
+        done += 1;
+
+        for &(child, _) in graph.successors(u) {
+            tentative[child.0] = tentative[child.0].max(fin);
+            refs[child.0] -= 1;
+            if refs[child.0] == 0 {
+                frontier.push(Candidate {
+                    task: child,
+                    feasible_start: tentative[child.0],
+                });
+            }
+        }
+    }
+
+    if done != live {
+        return Err(GraphError::Cycle);
+    }
+    Ok(SimResult {
+        start_ns: start,
+        makespan_ns: makespan,
+        thread_end: progress,
+        wait_ns: wait,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DepKind;
+    use crate::task::{Task, TaskKind};
+    use daydream_trace::{CpuThreadId, DeviceId, StreamId};
+
+    fn cpu(dur: u64, gap: u64) -> Task {
+        let mut t = Task::new("c", TaskKind::CpuWork, ExecThread::Cpu(CpuThreadId(0)), dur);
+        t.gap_ns = gap;
+        t
+    }
+
+    fn gpu(dur: u64) -> Task {
+        Task::new(
+            "g",
+            TaskKind::GpuKernel,
+            ExecThread::Gpu(DeviceId(0), StreamId(0)),
+            dur,
+        )
+    }
+
+    #[test]
+    fn chain_with_gaps() {
+        let mut g = DependencyGraph::new();
+        let a = g.add_task(cpu(10, 5));
+        let b = g.add_task(cpu(20, 0));
+        g.add_dep(a, b, DepKind::CpuSeq);
+        let r = simulate(&g).unwrap();
+        assert_eq!(r.start_of(a), 0);
+        // b starts after a's duration + gap (Algorithm 1 line 13/16).
+        assert_eq!(r.start_of(b), 15);
+        assert_eq!(r.makespan_ns, 35);
+    }
+
+    #[test]
+    fn cross_thread_dependency() {
+        let mut g = DependencyGraph::new();
+        let launch = g.add_task(cpu(10, 0));
+        let k = g.add_task(gpu(100));
+        let sync = g.add_task(cpu(0, 0));
+        g.add_dep(launch, k, DepKind::Correlation);
+        g.add_dep(launch, sync, DepKind::CpuSeq);
+        g.add_dep(k, sync, DepKind::Sync);
+        let r = simulate(&g).unwrap();
+        assert_eq!(r.start_of(k), 10);
+        assert_eq!(r.start_of(sync), 110);
+        assert_eq!(r.wait_ns[sync.0], 100, "the CPU waited for the kernel");
+        assert_eq!(r.makespan_ns, 110);
+    }
+
+    #[test]
+    fn parallel_threads_overlap() {
+        let mut g = DependencyGraph::new();
+        let a = g.add_task(cpu(50, 0));
+        let b = g.add_task(gpu(50));
+        let r = simulate(&g).unwrap();
+        assert_eq!(r.start_of(a), 0);
+        assert_eq!(r.start_of(b), 0);
+        assert_eq!(r.makespan_ns, 50, "independent threads run in parallel");
+    }
+
+    #[test]
+    fn diamond_dependencies() {
+        let mut g = DependencyGraph::new();
+        let a = g.add_task(cpu(10, 0));
+        let b = g.add_task(gpu(30));
+        let mut c2 = gpu(20);
+        c2.thread = ExecThread::Gpu(DeviceId(0), StreamId(1));
+        let c = g.add_task(c2);
+        let d = g.add_task(cpu(5, 0));
+        g.add_dep(a, b, DepKind::Correlation);
+        g.add_dep(a, c, DepKind::Correlation);
+        g.add_dep(b, d, DepKind::Sync);
+        g.add_dep(c, d, DepKind::Sync);
+        let r = simulate(&g).unwrap();
+        // d waits for the slower branch.
+        assert_eq!(r.start_of(d), 40);
+        assert_eq!(r.makespan_ns, 45);
+    }
+
+    #[test]
+    fn removed_tasks_are_skipped() {
+        let mut g = DependencyGraph::new();
+        let a = g.add_task(cpu(10, 0));
+        let b = g.add_task(cpu(1000, 0));
+        let c = g.add_task(cpu(10, 0));
+        g.add_dep(a, b, DepKind::CpuSeq);
+        g.add_dep(b, c, DepKind::CpuSeq);
+        g.remove_task(b);
+        let r = simulate(&g).unwrap();
+        assert_eq!(r.makespan_ns, 20);
+        assert!(r.start_ns[b.0].is_none());
+    }
+
+    #[test]
+    fn cycle_reported() {
+        let mut g = DependencyGraph::new();
+        let a = g.add_task(cpu(10, 0));
+        let b = g.add_task(cpu(10, 0));
+        g.add_dep(a, b, DepKind::CpuSeq);
+        g.add_dep(b, a, DepKind::Transform);
+        assert_eq!(simulate(&g), Err(GraphError::Cycle));
+    }
+
+    #[test]
+    fn starts_respect_thread_serialization() {
+        let mut g = DependencyGraph::new();
+        let ids: Vec<_> = (0..10).map(|i| g.add_task(cpu(10 + i, 2))).collect();
+        // No explicit deps: same thread still serializes.
+        let r = simulate(&g).unwrap();
+        let mut intervals: Vec<(u64, u64)> = ids
+            .iter()
+            .map(|&id| (r.start_of(id), r.start_of(id) + g.task(id).duration_ns))
+            .collect();
+        intervals.sort_unstable();
+        for w in intervals.windows(2) {
+            assert!(w[0].1 <= w[1].0, "thread tasks must not overlap");
+        }
+    }
+}

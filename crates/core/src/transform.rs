@@ -1,0 +1,286 @@
+//! Graph-transformation primitives (paper §4.4).
+//!
+//! The primitives are deliberately small: **select** tasks of interest (by
+//! thread, name keyword, or layer), **shrink/scale** their durations,
+//! **insert/remove** tasks in an execution thread's sequence (inserting a
+//! GPU task also inserts the CPU launch that triggers it — Fig. 4), and
+//! **schedule** (override the simulator's policy, which lives in
+//! [`crate::sim::Scheduler`]). §5 shows ten optimizations built from these.
+
+use crate::graph::{DepKind, DependencyGraph, TaskId};
+use crate::task::{ExecThread, Task, TaskKind};
+use daydream_trace::{CudaApi, Phase};
+
+/// Returns the same-thread sequence successor of a task, if any.
+pub fn thread_successor(g: &DependencyGraph, id: TaskId) -> Option<TaskId> {
+    let thread = g.task(id).thread;
+    g.successors(id)
+        .iter()
+        .filter(|&&(s, k)| {
+            matches!(k, DepKind::CpuSeq | DepKind::GpuSeq) && g.task(s).thread == thread
+        })
+        .map(|&(s, _)| s)
+        .min_by_key(|s| g.task(*s).measured_start_ns)
+}
+
+/// Returns the same-thread sequence predecessor of a task, if any.
+pub fn thread_predecessor(g: &DependencyGraph, id: TaskId) -> Option<TaskId> {
+    let thread = g.task(id).thread;
+    g.predecessors(id)
+        .iter()
+        .filter(|&&(p, k)| {
+            matches!(k, DepKind::CpuSeq | DepKind::GpuSeq) && g.task(p).thread == thread
+        })
+        .map(|&(p, _)| p)
+        .max_by_key(|p| g.task(*p).measured_start_ns)
+}
+
+/// Sequence-edge kind for a thread.
+fn seq_kind(thread: ExecThread) -> DepKind {
+    match thread {
+        ExecThread::Cpu(_) => DepKind::CpuSeq,
+        ExecThread::Gpu(_, _) => DepKind::GpuSeq,
+        ExecThread::Comm(_) => DepKind::Comm,
+    }
+}
+
+/// Inserts `task` into its thread's sequence directly after `after`
+/// (the paper's Insert primitive, Fig. 4a).
+///
+/// The new task inherits `after`'s measured start for stable ordering.
+///
+/// # Panics
+///
+/// Panics if `task.thread` differs from `after`'s thread.
+pub fn insert_after(g: &mut DependencyGraph, after: TaskId, mut task: Task) -> TaskId {
+    let thread = g.task(after).thread;
+    assert_eq!(
+        task.thread, thread,
+        "insert_after requires matching threads"
+    );
+    task.measured_start_ns = g.task(after).measured_start_ns + 1;
+    let succ = thread_successor(g, after);
+    let id = g.add_task(task);
+    let kind = seq_kind(thread);
+    if let Some(s) = succ {
+        g.remove_dep(after, s);
+        g.add_dep(id, s, kind);
+    }
+    g.add_dep(after, id, kind);
+    id
+}
+
+/// Inserts `task` into its thread's sequence directly before `before`.
+///
+/// # Panics
+///
+/// Panics if `task.thread` differs from `before`'s thread.
+pub fn insert_before(g: &mut DependencyGraph, before: TaskId, mut task: Task) -> TaskId {
+    let thread = g.task(before).thread;
+    assert_eq!(
+        task.thread, thread,
+        "insert_before requires matching threads"
+    );
+    task.measured_start_ns = g.task(before).measured_start_ns.saturating_sub(1);
+    let pred = thread_predecessor(g, before);
+    let id = g.add_task(task);
+    let kind = seq_kind(thread);
+    if let Some(p) = pred {
+        g.remove_dep(p, before);
+        g.add_dep(p, id, kind);
+    }
+    g.add_dep(id, before, kind);
+    id
+}
+
+/// Inserts a GPU task after `gpu_after` on its stream, together with the
+/// CPU launch API that triggers it after `cpu_after` (paper Fig. 4b).
+///
+/// Returns `(launch_id, kernel_id)`.
+pub fn insert_gpu_task_with_launch(
+    g: &mut DependencyGraph,
+    cpu_after: TaskId,
+    gpu_after: TaskId,
+    kernel: Task,
+    launch_dur_ns: u64,
+) -> (TaskId, TaskId) {
+    let cpu_thread = g.task(cpu_after).thread;
+    let mut launch = Task::new(
+        "cudaLaunchKernel",
+        TaskKind::CpuApi(CudaApi::LaunchKernel),
+        cpu_thread,
+        launch_dur_ns,
+    );
+    launch.layer = kernel.layer;
+    let launch_id = insert_after(g, cpu_after, launch);
+    let kernel_id = insert_after(g, gpu_after, kernel);
+    g.add_dep(launch_id, kernel_id, DepKind::Correlation);
+    (launch_id, kernel_id)
+}
+
+/// Scales the durations of selected tasks by `factor` (shrink when < 1).
+pub fn scale_durations(g: &mut DependencyGraph, sel: &[TaskId], factor: f64) {
+    for &id in sel {
+        let t = g.task_mut(id);
+        t.duration_ns = (t.duration_ns as f64 * factor).round() as u64;
+    }
+}
+
+/// Removes all selected tasks, bridging their thread sequences.
+pub fn remove_all(g: &mut DependencyGraph, sel: &[TaskId]) {
+    for &id in sel {
+        g.remove_task(id);
+    }
+}
+
+/// Selection helpers mirroring the paper's `Select` examples (§4.4).
+pub mod select {
+    use super::*;
+
+    /// All live GPU tasks (`Select(funcPtr(IsOnGPU))` in the algorithms).
+    pub fn gpu_tasks(g: &DependencyGraph) -> Vec<TaskId> {
+        g.select(|t| t.is_on_gpu())
+    }
+
+    /// Tasks whose name contains a keyword (e.g. `"sgemm"`).
+    pub fn by_keyword(g: &DependencyGraph, keyword: &str) -> Vec<TaskId> {
+        g.select(|t| t.name.contains(keyword))
+    }
+
+    /// GPU tasks of a given phase.
+    pub fn gpu_in_phase(g: &DependencyGraph, phase: Phase) -> Vec<TaskId> {
+        g.select(|t| t.is_on_gpu() && t.in_phase(phase))
+    }
+
+    /// All tasks (CPU and GPU) of a given phase.
+    pub fn in_phase(g: &DependencyGraph, phase: Phase) -> Vec<TaskId> {
+        g.select(|t| t.in_phase(phase))
+    }
+
+    /// GPU tasks belonging to a specific layer id.
+    pub fn gpu_of_layer(g: &DependencyGraph, layer: daydream_trace::LayerId) -> Vec<TaskId> {
+        g.select(|t| t.is_on_gpu() && t.layer.map(|l| l.layer == layer).unwrap_or(false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::simulate;
+    use daydream_trace::{CpuThreadId, DeviceId, StreamId};
+
+    fn cpu(name: &str, dur: u64) -> Task {
+        Task::new(
+            name,
+            TaskKind::CpuWork,
+            ExecThread::Cpu(CpuThreadId(0)),
+            dur,
+        )
+    }
+
+    fn gpu(name: &str, dur: u64) -> Task {
+        Task::new(
+            name,
+            TaskKind::GpuKernel,
+            ExecThread::Gpu(DeviceId(0), StreamId(0)),
+            dur,
+        )
+    }
+
+    fn chain(g: &mut DependencyGraph, names: &[&str]) -> Vec<TaskId> {
+        let mut ids = Vec::new();
+        for (i, n) in names.iter().enumerate() {
+            let mut t = cpu(n, 10);
+            t.measured_start_ns = i as u64 * 100;
+            let id = g.add_task(t);
+            if let Some(&prev) = ids.last() {
+                g.add_dep(prev, id, DepKind::CpuSeq);
+            }
+            ids.push(id);
+        }
+        ids
+    }
+
+    #[test]
+    fn insert_after_splices() {
+        let mut g = DependencyGraph::new();
+        let ids = chain(&mut g, &["a", "b"]);
+        let new = insert_after(&mut g, ids[0], cpu("x", 5));
+        assert_eq!(thread_successor(&g, ids[0]), Some(new));
+        assert_eq!(thread_successor(&g, new), Some(ids[1]));
+        g.validate().unwrap();
+        let r = simulate(&g).unwrap();
+        assert_eq!(r.makespan_ns, 25);
+    }
+
+    #[test]
+    fn insert_before_splices() {
+        let mut g = DependencyGraph::new();
+        let ids = chain(&mut g, &["a", "b"]);
+        let new = insert_before(&mut g, ids[1], cpu("x", 5));
+        assert_eq!(thread_successor(&g, ids[0]), Some(new));
+        assert_eq!(thread_successor(&g, new), Some(ids[1]));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn insert_then_remove_restores_makespan() {
+        let mut g = DependencyGraph::new();
+        let ids = chain(&mut g, &["a", "b", "c"]);
+        let before = simulate(&g).unwrap().makespan_ns;
+        let new = insert_after(&mut g, ids[1], cpu("x", 50));
+        let with = simulate(&g).unwrap().makespan_ns;
+        assert_eq!(with, before + 50);
+        g.remove_task(new);
+        let after = simulate(&g).unwrap().makespan_ns;
+        assert_eq!(after, before);
+    }
+
+    #[test]
+    fn gpu_insert_includes_launch() {
+        let mut g = DependencyGraph::new();
+        let c = g.add_task(cpu("launch0", 10));
+        let k = g.add_task(gpu("k0", 100));
+        g.add_dep(c, k, DepKind::Correlation);
+        let (launch, kernel) = insert_gpu_task_with_launch(&mut g, c, k, gpu("injected", 40), 6);
+        g.validate().unwrap();
+        assert!(g.task(launch).thread.is_cpu());
+        assert!(g.task(kernel).is_on_gpu());
+        let r = simulate(&g).unwrap();
+        // Kernel order: k0 (starts after its launch) then injected (GpuSeq).
+        assert!(r.start_of(kernel) >= r.start_of(k) + 100);
+        assert_eq!(r.makespan_ns, 150);
+    }
+
+    #[test]
+    fn scaling_shrinks() {
+        let mut g = DependencyGraph::new();
+        let ids = chain(&mut g, &["a", "b"]);
+        scale_durations(&mut g, &ids, 0.5);
+        assert_eq!(g.task(ids[0]).duration_ns, 5);
+        let r = simulate(&g).unwrap();
+        assert_eq!(r.makespan_ns, 10);
+    }
+
+    #[test]
+    fn selection_helpers() {
+        let mut g = DependencyGraph::new();
+        g.add_task(cpu("cudaLaunchKernel", 5));
+        let k = g.add_task(gpu("volta_sgemm_128x64", 50));
+        g.add_task(gpu("elementwise_kernel_relu", 20));
+        assert_eq!(select::gpu_tasks(&g).len(), 2);
+        assert_eq!(select::by_keyword(&g, "sgemm"), vec![k]);
+        assert!(select::gpu_in_phase(&g, Phase::Forward).is_empty());
+    }
+
+    #[test]
+    fn remove_all_bridges() {
+        let mut g = DependencyGraph::new();
+        let ids = chain(&mut g, &["a", "b", "c", "d"]);
+        remove_all(&mut g, &[ids[1], ids[2]]);
+        assert_eq!(g.len(), 2);
+        g.validate().unwrap();
+        let r = simulate(&g).unwrap();
+        assert_eq!(r.makespan_ns, 20);
+    }
+}

@@ -1,0 +1,99 @@
+//! What-if: a different mini-batch size.
+//!
+//! Table 1's first optimization strategy is *increasing the mini-batch size*
+//! (enabled by memory optimizations like vDNN and Gist), and §1 asks "does
+//! GPU memory capacity limit the performance of my model?". This model
+//! predicts iteration time at a new batch size from one profile: GPU kernel
+//! work scales with the batch (above each kernel's fixed startup overhead),
+//! input copies scale with the payload, and CPU launch work — per-kernel,
+//! not per-sample — stays put, which is exactly why larger batches improve
+//! hardware utilization.
+
+use crate::construct::ProfiledGraph;
+use crate::graph::TaskId;
+use crate::task::TaskKind;
+
+/// Device-side startup latency assumed fixed per kernel, ns.
+const KERNEL_OVERHEAD_NS: u64 = 3_000;
+
+/// Rescales GPU work for a change from the profiled batch size to
+/// `new_batch`. Returns the affected tasks.
+pub fn what_if_batch_size(pg: &mut ProfiledGraph, new_batch: u64) -> Vec<TaskId> {
+    assert!(new_batch > 0, "batch size must be positive");
+    let old_batch = pg.meta.batch_size as u64;
+    let factor = new_batch as f64 / old_batch as f64;
+    let gpu_tasks = pg.graph.select(|t| t.is_on_gpu());
+    for &id in &gpu_tasks {
+        let t = pg.graph.task_mut(id);
+        match &mut t.kind {
+            TaskKind::GpuMemcpy { bytes, .. } => {
+                *bytes = (*bytes as f64 * factor).round() as u64;
+                t.duration_ns = (t.duration_ns as f64 * factor).round() as u64;
+            }
+            _ => {
+                // Scale the work above the fixed startup overhead.
+                let work = t.duration_ns.saturating_sub(KERNEL_OVERHEAD_NS);
+                t.duration_ns =
+                    KERNEL_OVERHEAD_NS.min(t.duration_ns) + (work as f64 * factor).round() as u64;
+            }
+        }
+    }
+    pg.meta.batch_size = new_batch as u32;
+    gpu_tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::predict;
+    use daydream_models::zoo;
+    use daydream_runtime::{ground_truth, ExecConfig};
+
+    #[test]
+    fn doubling_batch_tracks_ground_truth() {
+        let model = zoo::resnet50();
+        let cfg = ExecConfig::pytorch_2080ti().with_batch(16);
+        let pg = ProfiledGraph::from_trace(&ground_truth::run_baseline(&model, &cfg));
+        let pred = predict(&pg, |g| {
+            what_if_batch_size(g, 32);
+        });
+        let gt_cfg = cfg.with_batch(32).with_seed(0xBA7C);
+        let gt = ground_truth::run_baseline(&model, &gt_cfg)
+            .meta
+            .iteration_ns();
+        let err = pred.error_vs(gt);
+        assert!(err < 0.08, "batch-32 prediction error {err:.3}");
+    }
+
+    #[test]
+    fn throughput_improves_with_batch() {
+        // Per-sample time falls as fixed CPU/overhead costs amortize —
+        // the reason larger mini-batches utilize hardware better.
+        let model = zoo::resnet50();
+        let cfg = ExecConfig::pytorch_2080ti().with_batch(8);
+        let pg = ProfiledGraph::from_trace(&ground_truth::run_baseline(&model, &cfg));
+        let t8 = predict(&pg, |g| {
+            what_if_batch_size(g, 8);
+        });
+        let t32 = predict(&pg, |g| {
+            what_if_batch_size(g, 32);
+        });
+        let per_sample_8 = t8.predicted_ns as f64 / 8.0;
+        let per_sample_32 = t32.predicted_ns as f64 / 32.0;
+        assert!(
+            per_sample_32 < per_sample_8,
+            "per-sample time must fall: {per_sample_8:.0} -> {per_sample_32:.0}"
+        );
+    }
+
+    #[test]
+    fn identity_batch_is_noop() {
+        let model = zoo::resnet50();
+        let cfg = ExecConfig::pytorch_2080ti().with_batch(8);
+        let pg = ProfiledGraph::from_trace(&ground_truth::run_baseline(&model, &cfg));
+        let pred = predict(&pg, |g| {
+            what_if_batch_size(g, 8);
+        });
+        assert_eq!(pred.baseline_ns, pred.predicted_ns);
+    }
+}

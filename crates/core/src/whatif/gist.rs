@@ -1,0 +1,177 @@
+//! What-if: Gist data encodings (paper §5.2, Algorithm 11).
+//!
+//! Gist shrinks stored feature maps by encoding them after the forward
+//! pass and decoding before the backward pass, at the cost of extra GPU
+//! kernels. Daydream estimates the *performance overhead* by inserting
+//! encode/decode kernels — with their CPU launches, per Fig. 4b — sized
+//! from the existing element-wise kernels of the same layer (the paper's
+//! estimation guideline).
+
+use crate::construct::ProfiledGraph;
+use crate::graph::{DepKind, TaskId};
+use crate::task::{Task, TaskKind};
+use crate::transform::insert_gpu_task_with_launch;
+use daydream_trace::Phase;
+
+/// Configuration of the Gist what-if analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GistConfig {
+    /// Also insert the delayed-precision-reduction kernels of Gist's lossy
+    /// mode.
+    pub lossy: bool,
+    /// CPU cost of each inserted kernel launch, ns.
+    pub launch_ns: u64,
+}
+
+impl Default for GistConfig {
+    fn default() -> Self {
+        GistConfig {
+            lossy: false,
+            launch_ns: 6_000,
+        }
+    }
+}
+
+/// Applies the Gist transformation; returns the inserted GPU kernels.
+pub fn what_if_gist(pg: &mut ProfiledGraph, cfg: &GistConfig) -> Vec<TaskId> {
+    // Encode after each ReLU-family forward kernel; decode before the
+    // layer's backward kernel. Sizes mirror the host kernels.
+    // Keyword selection must be specific: cuDNN conv kernels also carry
+    // "relu" in their names ("scudnn_..._relu_interior_nn").
+    let relu_fwd: Vec<TaskId> = pg.graph.select(|t| {
+        t.is_on_gpu() && t.in_phase(Phase::Forward) && t.name.contains("elementwise_kernel_relu")
+    });
+    let relu_bwd: Vec<TaskId> = pg.graph.select(|t| {
+        t.is_on_gpu() && t.in_phase(Phase::Backward) && t.name.contains("elementwise_kernel_relu")
+    });
+    let mut inserted = Vec::new();
+    for &u in &relu_fwd {
+        let (dur, layer, launch_pred) = anchor(pg, u);
+        // Binarization writes 1 bit per element: roughly half the host
+        // kernel's traffic (read activations, write compact form).
+        let dur = dur / 2;
+        let mut k = Task::new(
+            "gist_encode_kernel",
+            TaskKind::GpuKernel,
+            pg.graph.task(u).thread,
+            dur,
+        );
+        k.layer = layer;
+        let (_, kid) = insert_gpu_task_with_launch(&mut pg.graph, launch_pred, u, k, cfg.launch_ns);
+        inserted.push(kid);
+    }
+    for &u in &relu_bwd {
+        let (dur, layer, launch_pred) = anchor(pg, u);
+        let dur = dur / 2;
+        let mut k = Task::new(
+            "gist_decode_kernel",
+            TaskKind::GpuKernel,
+            pg.graph.task(u).thread,
+            dur,
+        );
+        k.layer = layer;
+        // Decode must precede the backward kernel: insert before it on the
+        // stream, launched from the same CPU position.
+        let before = crate::transform::thread_predecessor(&pg.graph, u).unwrap_or(u);
+        let (_, kid) =
+            insert_gpu_task_with_launch(&mut pg.graph, launch_pred, before, k, cfg.launch_ns);
+        pg.graph.add_dep(kid, u, DepKind::Transform);
+        inserted.push(kid);
+    }
+    if cfg.lossy {
+        // Delayed precision reduction after every non-ReLU forward kernel.
+        let others: Vec<TaskId> = pg.graph.select(|t| {
+            t.is_on_gpu()
+                && t.in_phase(Phase::Forward)
+                && !t.name.contains("relu")
+                && !t.name.contains("gist_")
+                && !t.name.contains("memcpy")
+        });
+        for &u in &others {
+            let (dur, layer, launch_pred) = anchor(pg, u);
+            let mut k = Task::new(
+                "gist_dpr_kernel",
+                TaskKind::GpuKernel,
+                pg.graph.task(u).thread,
+                dur / 2,
+            );
+            k.layer = layer;
+            let (_, kid) =
+                insert_gpu_task_with_launch(&mut pg.graph, launch_pred, u, k, cfg.launch_ns);
+            inserted.push(kid);
+        }
+    }
+    inserted
+}
+
+/// Duration estimate, layer tag, and CPU anchor for an insertion next to
+/// task `u` — the "estimate from existing element-wise kernels" rule.
+fn anchor(pg: &ProfiledGraph, u: TaskId) -> (u64, Option<crate::task::LayerRef>, TaskId) {
+    let t = pg.graph.task(u);
+    let launch = pg
+        .graph
+        .predecessors(u)
+        .iter()
+        .find(|&&(_, k)| k == DepKind::Correlation)
+        .map(|&(p, _)| p)
+        .unwrap_or(u);
+    (t.duration_ns, t.layer, launch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::predict;
+    use daydream_models::zoo;
+    use daydream_runtime::{ground_truth, ExecConfig};
+
+    fn profile() -> ProfiledGraph {
+        let model = zoo::resnet50();
+        let cfg = ExecConfig::pytorch_2080ti().with_batch(16);
+        ProfiledGraph::from_trace(&ground_truth::run_baseline(&model, &cfg))
+    }
+
+    #[test]
+    fn gist_predicts_bounded_overhead() {
+        let pg = profile();
+        let pred = predict(&pg, |g| {
+            what_if_gist(g, &GistConfig::default());
+        });
+        let overhead = -pred.improvement();
+        assert!(overhead > 0.0, "encode/decode kernels must cost something");
+        assert!(
+            overhead < 0.25,
+            "Gist overhead {overhead:.3} should be modest"
+        );
+    }
+
+    #[test]
+    fn lossy_costs_more_than_lossless() {
+        let pg = profile();
+        let lossless = predict(&pg, |g| {
+            what_if_gist(g, &GistConfig::default());
+        });
+        let lossy = predict(&pg, |g| {
+            what_if_gist(
+                g,
+                &GistConfig {
+                    lossy: true,
+                    launch_ns: 6_000,
+                },
+            );
+        });
+        assert!(lossy.predicted_ns > lossless.predicted_ns);
+    }
+
+    #[test]
+    fn inserted_kernels_match_relu_count_and_graph_valid() {
+        let mut pg = profile();
+        let relus = pg
+            .graph
+            .select(|t| t.is_on_gpu() && t.name.contains("elementwise_kernel_relu"))
+            .len();
+        let inserted = what_if_gist(&mut pg, &GistConfig::default());
+        assert_eq!(inserted.len(), relus);
+        pg.graph.validate().expect("Gist graph must stay a DAG");
+    }
+}

@@ -1,0 +1,96 @@
+//! What-if: MetaFlow relaxed graph substitutions (paper §5.2, Algorithm 9).
+//!
+//! MetaFlow rewrites the *layer* topology (fusing layers, enlarging
+//! kernels); after a substitution policy is chosen, its runtime effect is
+//! just per-layer task removal and scaling, which Daydream models directly.
+//! The paper notes Daydream can serve as a precise cost model inside
+//! MetaFlow's backtracking search; [`what_if_metaflow`] is that evaluation
+//! function.
+
+use crate::construct::ProfiledGraph;
+use crate::transform::{remove_all, scale_durations, select};
+use daydream_trace::LayerId;
+
+/// One step of a MetaFlow substitution policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Substitution {
+    /// The layer is absorbed into another: its GPU tasks disappear.
+    RemoveLayer(LayerId),
+    /// The layer's kernels change dimensions: scale their durations.
+    ScaleLayer(LayerId, f64),
+}
+
+/// Applies a substitution policy (Algorithm 9's `Remove_layer` /
+/// `Scale_layer` helpers).
+pub fn what_if_metaflow(pg: &mut ProfiledGraph, policy: &[Substitution]) {
+    for sub in policy {
+        match *sub {
+            Substitution::RemoveLayer(layer) => {
+                let sel = select::gpu_of_layer(&pg.graph, layer);
+                remove_all(&mut pg.graph, &sel);
+            }
+            Substitution::ScaleLayer(layer, s) => {
+                let sel = select::gpu_of_layer(&pg.graph, layer);
+                scale_durations(&mut pg.graph, &sel, s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::predict;
+    use daydream_models::zoo;
+    use daydream_runtime::{ground_truth, ExecConfig};
+
+    #[test]
+    fn qkv_fusion_substitution_speeds_up_bert() {
+        // Fuse the per-block query/key/value projections into one widened
+        // GEMM: remove key and value layers, scale query by ~1.8x.
+        let model = zoo::bert_base();
+        let cfg = ExecConfig::pytorch_2080ti().with_batch(4);
+        let pg = ProfiledGraph::from_trace(&ground_truth::run_baseline(&model, &cfg));
+        let mut policy = Vec::new();
+        for l in &model.layers {
+            if l.name.ends_with("attn.key") || l.name.ends_with("attn.value") {
+                policy.push(Substitution::RemoveLayer(l.id));
+            } else if l.name.ends_with("attn.query") {
+                policy.push(Substitution::ScaleLayer(l.id, 1.8));
+            }
+        }
+        let pred = predict(&pg, |g| what_if_metaflow(g, &policy));
+        assert!(
+            pred.improvement() > 0.0,
+            "fusing QKV should help: {:.4}",
+            pred.improvement()
+        );
+        assert!(pred.improvement() < 0.3, "gain must stay plausible");
+    }
+
+    #[test]
+    fn scaling_up_predicts_slowdown() {
+        let model = zoo::resnet50();
+        let cfg = ExecConfig::pytorch_2080ti().with_batch(8);
+        let pg = ProfiledGraph::from_trace(&ground_truth::run_baseline(&model, &cfg));
+        let conv1 = model.layers.iter().find(|l| l.name == "conv1").unwrap().id;
+        let pred = predict(&pg, |g| {
+            what_if_metaflow(g, &[Substitution::ScaleLayer(conv1, 4.0)])
+        });
+        assert!(
+            pred.improvement() < 0.0,
+            "4x slower conv1 must slow the iteration"
+        );
+    }
+
+    #[test]
+    fn graph_stays_valid() {
+        let model = zoo::resnet50();
+        let cfg = ExecConfig::pytorch_2080ti().with_batch(8);
+        let mut pg = ProfiledGraph::from_trace(&ground_truth::run_baseline(&model, &cfg));
+        let relu = model.layers.iter().find(|l| l.name == "relu").unwrap().id;
+        what_if_metaflow(&mut pg, &[Substitution::RemoveLayer(relu)]);
+        pg.graph.validate().unwrap();
+        assert!(select::gpu_of_layer(&pg.graph, relu).is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! What-if models of the paper's ten optimizations (§5, appendix A).
+//!
+//! Every model is a composition of the §4.4 primitives — select, shrink/
+//! scale, insert/remove, schedule — applied to a profiled dependency graph.
+//! The five evaluated in §6 are tested against their ground-truth
+//! executions in `daydream-runtime`; the other five are the §5.2 modeling
+//! demonstrations.
+
+mod amp;
+mod bandwidth;
+mod batch_size;
+mod blueconnect;
+mod dgc;
+mod distributed;
+mod fused_adam;
+mod gist;
+mod metaflow;
+mod p3;
+mod reconstruct_bn;
+mod upgrade_gpu;
+mod vdnn;
+
+pub use amp::{what_if_amp, COMPUTE_BOUND_GAIN, MEMORY_BOUND_GAIN};
+pub use bandwidth::what_if_bandwidth;
+pub use batch_size::what_if_batch_size;
+pub use blueconnect::what_if_blueconnect;
+pub use dgc::{what_if_dgc, DgcConfig};
+pub use distributed::what_if_distributed;
+pub use fused_adam::what_if_fused_adam;
+pub use gist::{what_if_gist, GistConfig};
+pub use metaflow::{what_if_metaflow, Substitution};
+pub use p3::{what_if_p3, P3Config, P3Prediction, P3Scheduler};
+pub use reconstruct_bn::what_if_reconstruct_bn;
+pub use upgrade_gpu::what_if_upgrade_gpu;
+pub use vdnn::{what_if_vdnn, VdnnConfig, VDNN_STREAM, VDNN_THREAD};

@@ -1,0 +1,118 @@
+//! What-if: hardware upgrade ("would a faster GPU improve my training?").
+//!
+//! One of the paper's §1 motivating questions. Each GPU kernel is
+//! classified from its trace name ([`daydream_device::classify_kernel`])
+//! and its duration rescaled by the ratio of the device rates that bind
+//! its class: arithmetic throughput for compute-bound kernels, memory
+//! bandwidth for the rest — the same first-order model behind the paper's
+//! AMP rule, applied across devices instead of across precisions.
+
+use crate::construct::ProfiledGraph;
+use crate::graph::TaskId;
+use daydream_device::{classify_kernel, GpuSpec, Precision};
+use daydream_models::OpClass;
+
+/// Rescales GPU kernels for a move from `old` to `new` hardware; memory
+/// copies scale with PCIe bandwidth. Returns the affected tasks.
+pub fn what_if_upgrade_gpu(pg: &mut ProfiledGraph, old: &GpuSpec, new: &GpuSpec) -> Vec<TaskId> {
+    let compute_ratio =
+        old.peak_flops_per_ns(Precision::Fp32) / new.peak_flops_per_ns(Precision::Fp32);
+    let memory_ratio = old.bw_bytes_per_ns() / new.bw_bytes_per_ns();
+    let pcie_ratio = old.pcie_gbs / new.pcie_gbs;
+
+    let gpu_tasks = pg.graph.select(|t| t.is_on_gpu());
+    for &id in &gpu_tasks {
+        let t = pg.graph.task_mut(id);
+        let ratio = match &t.kind {
+            crate::task::TaskKind::GpuMemcpy { .. } => pcie_ratio,
+            _ => {
+                let class = classify_kernel(&t.name).unwrap_or(OpClass::Elementwise);
+                if class.is_compute_bound() {
+                    compute_ratio
+                } else {
+                    memory_ratio
+                }
+            }
+        };
+        t.duration_ns = (t.duration_ns as f64 * ratio).round() as u64;
+    }
+    gpu_tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::predict;
+    use daydream_models::zoo;
+    use daydream_runtime::{ground_truth, ExecConfig};
+
+    fn profile(model: &daydream_models::Model) -> ProfiledGraph {
+        let cfg = ExecConfig::pytorch_2080ti();
+        ProfiledGraph::from_trace(&ground_truth::run_baseline(model, &cfg))
+    }
+
+    #[test]
+    fn v100_prediction_tracks_ground_truth() {
+        let model = zoo::resnet50();
+        let pg = profile(&model);
+        let (old, new) = (GpuSpec::rtx_2080ti(), GpuSpec::v100());
+        let pred = predict(&pg, |g| {
+            what_if_upgrade_gpu(g, &old, &new);
+        });
+        // Ground truth: actually execute the plan on the V100 cost model.
+        let gt_cfg = ExecConfig {
+            gpu: GpuSpec::v100(),
+            ..ExecConfig::pytorch_2080ti().with_seed(0xF00D)
+        };
+        let gt = ground_truth::run_baseline(&model, &gt_cfg)
+            .meta
+            .iteration_ns();
+        let err = pred.error_vs(gt);
+        assert!(err < 0.10, "V100 upgrade prediction error {err:.3}");
+        assert!(pred.speedup() > 1.1, "a V100 must beat a 2080 Ti in FP32");
+    }
+
+    #[test]
+    fn downgrade_predicts_slowdown() {
+        let model = zoo::bert_base();
+        let pg = profile(&model);
+        let (old, new) = (GpuSpec::rtx_2080ti(), GpuSpec::t4());
+        let pred = predict(&pg, |g| {
+            what_if_upgrade_gpu(g, &old, &new);
+        });
+        assert!(pred.speedup() < 1.0, "a T4 must be slower than a 2080 Ti");
+    }
+
+    #[test]
+    fn cpu_bound_models_gain_less_from_hardware() {
+        // BERT-large's CPU-bound weight update caps hardware gains, exactly
+        // like it caps AMP gains (paper §6.2) — the kind of insight the
+        // upgrade what-if exists to surface.
+        let (old, new) = (GpuSpec::rtx_2080ti(), GpuSpec::v100());
+        let resnet = profile(&zoo::resnet50());
+        let bert = profile(&zoo::bert_large());
+        let r = predict(&resnet, |g| {
+            what_if_upgrade_gpu(g, &old, &new);
+        });
+        let b = predict(&bert, |g| {
+            what_if_upgrade_gpu(g, &old, &new);
+        });
+        assert!(
+            r.speedup() > b.speedup(),
+            "ResNet ({:.2}x) should gain more than CPU-bound BERT-large ({:.2}x)",
+            r.speedup(),
+            b.speedup()
+        );
+    }
+
+    #[test]
+    fn identity_upgrade_is_noop() {
+        let model = zoo::resnet50();
+        let pg = profile(&model);
+        let spec = GpuSpec::rtx_2080ti();
+        let pred = predict(&pg, |g| {
+            what_if_upgrade_gpu(g, &spec, &spec);
+        });
+        assert_eq!(pred.baseline_ns, pred.predicted_ns);
+    }
+}

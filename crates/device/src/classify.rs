@@ -1,0 +1,136 @@
+//! Kernel classification from trace names.
+//!
+//! Going from a kernel's *name* back to its roofline class is what lets
+//! Daydream answer hardware what-ifs ("would a V100 help?") from a trace
+//! alone: each class scales with a different device rate. The vocabulary
+//! matches [`crate::kernel_name`] plus the common real-world cuDNN/cuBLAS
+//! spellings, so the classifier also works on names from genuine CUPTI
+//! dumps.
+
+use daydream_models::OpClass;
+
+/// Infers the kernel class from a trace kernel name.
+///
+/// Returns `None` for names with no recognizable vocabulary (callers
+/// usually fall back to treating those as memory-bound).
+pub fn classify_kernel(name: &str) -> Option<OpClass> {
+    let n = name.to_ascii_lowercase();
+    // Order matters: cuDNN conv kernels contain "relu"/"gemm" fragments.
+    if n.contains("cudnn_rnn")
+        || n.contains("rnn_persist")
+        || n.contains("lstm_fwd")
+        || n.contains("lstm_dgrad")
+        || n.contains("lstm_wgrad")
+    {
+        return Some(OpClass::RnnFused);
+    }
+    if n.contains("scudnn")
+        || n.contains("h884cudnn")
+        || n.contains("implicit_gemm")
+        || n.contains("winograd")
+        || n.contains("conv2d")
+    {
+        return Some(OpClass::Conv);
+    }
+    if n.contains("batched") {
+        return Some(OpClass::BatchedGemm);
+    }
+    if n.contains("sgemm") || n.contains("h884gemm") || n.contains("hgemm") || n.contains("gemv") {
+        return Some(OpClass::Gemm);
+    }
+    if n.contains("bn_") || n.contains("batch_norm") || n.contains("batchnorm") {
+        return Some(OpClass::BatchNorm);
+    }
+    if n.contains("layer_norm") || n.contains("layernorm") {
+        return Some(OpClass::LayerNorm);
+    }
+    if n.contains("softmax") {
+        return Some(OpClass::Softmax);
+    }
+    if n.contains("pooling") || n.contains("pool_") {
+        return Some(OpClass::Pool);
+    }
+    if n.contains("reduce") || n.contains("norm_kernel") {
+        return Some(OpClass::Reduction);
+    }
+    if n.contains("indexselect")
+        || n.contains("embedding")
+        || n.contains("gather")
+        || n.contains("scatter")
+    {
+        return Some(OpClass::Embedding);
+    }
+    if n.contains("dropout") {
+        return Some(OpClass::Dropout);
+    }
+    if n.contains("elementwise") || n.contains("pointwise") || n.contains("vectorized") {
+        return Some(OpClass::Elementwise);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::kernel_name;
+    use crate::gpu::Precision;
+    use daydream_models::OpSpec;
+
+    /// Every name this crate generates must classify back to its class.
+    #[test]
+    fn round_trips_generated_names() {
+        for class in [
+            OpClass::Conv,
+            OpClass::Gemm,
+            OpClass::BatchedGemm,
+            OpClass::RnnFused,
+            OpClass::Elementwise,
+            OpClass::BatchNorm,
+            OpClass::LayerNorm,
+            OpClass::Softmax,
+            OpClass::Pool,
+            OpClass::Reduction,
+            OpClass::Embedding,
+            OpClass::Dropout,
+        ] {
+            for prec in [Precision::Fp32, Precision::Fp16] {
+                let op = OpSpec::new("x", class, 1.0, 1.0);
+                let name = kernel_name(&op, prec);
+                assert_eq!(
+                    classify_kernel(&name),
+                    Some(class),
+                    "name {name} misclassified"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn real_world_spellings() {
+        assert_eq!(
+            classify_kernel("volta_sgemm_128x64_tn"),
+            Some(OpClass::Gemm)
+        );
+        assert_eq!(
+            classify_kernel("volta_scudnn_128x128_relu_interior_nn_v1"),
+            Some(OpClass::Conv)
+        );
+        assert_eq!(
+            classify_kernel("maxwell_scudnn_winograd_128x128"),
+            Some(OpClass::Conv)
+        );
+        assert_eq!(
+            classify_kernel("void cudnn::detail::bn_fw_tr_1C11_kernel_NCHW"),
+            Some(OpClass::BatchNorm)
+        );
+        assert_eq!(
+            classify_kernel("softmax_warp_forward"),
+            Some(OpClass::Softmax)
+        );
+        assert_eq!(
+            classify_kernel("indexSelectLargeIndex"),
+            Some(OpClass::Embedding)
+        );
+        assert_eq!(classify_kernel("totally_unknown_kernel"), None);
+    }
+}

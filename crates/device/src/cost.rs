@@ -1,0 +1,237 @@
+//! Roofline kernel cost model.
+//!
+//! Kernel duration is `max(flops / achievable_compute, bytes /
+//! achievable_bandwidth) + fixed overhead`, with per-class achievable
+//! efficiencies. This substitutes for real cuDNN/cuBLAS kernels: the paper's
+//! what-if models only need *relative* durations with the correct
+//! compute-bound vs memory-bound split (§5.1), which a calibrated roofline
+//! provides.
+
+use crate::gpu::{GpuSpec, Precision};
+use daydream_models::{OpClass, OpSpec};
+use serde::{Deserialize, Serialize};
+
+/// FLOP count at which a Tensor Core kernel reaches half its peak rate.
+const TENSOR_CORE_SATURATION_FLOPS: f64 = 0.7e9;
+
+/// Prices [`OpSpec`]s on a specific GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// The device being modeled.
+    pub gpu: GpuSpec,
+}
+
+impl CostModel {
+    /// Builds a cost model for a GPU.
+    pub fn new(gpu: GpuSpec) -> Self {
+        CostModel { gpu }
+    }
+
+    /// Fraction of peak arithmetic throughput a kernel class achieves.
+    fn compute_efficiency(&self, class: OpClass, prec: Precision) -> f64 {
+        let fp32 = match class {
+            OpClass::Conv => 0.52,
+            OpClass::Gemm => 0.60,
+            OpClass::BatchedGemm => 0.38,
+            OpClass::RnnFused => 0.50,
+            // Memory-bound classes rarely hit arithmetic limits; the value
+            // only matters for degenerate shapes.
+            _ => 0.10,
+        };
+        match prec {
+            Precision::Fp32 => fp32,
+            // Tensor Core kernels reach a lower fraction of their (much
+            // higher) peak; calibrated so compute-bound kernels gain ~3x,
+            // matching the paper's observation (§5.1).
+            Precision::Fp16 => {
+                if self.gpu.has_tensor_cores && class.is_compute_bound() {
+                    fp32 * 0.80
+                } else {
+                    fp32
+                }
+            }
+        }
+    }
+
+    /// Fraction of peak memory bandwidth a kernel class achieves.
+    fn memory_efficiency(&self, class: OpClass) -> f64 {
+        match class {
+            OpClass::Elementwise | OpClass::Dropout => 0.78,
+            OpClass::BatchNorm | OpClass::LayerNorm => 0.62,
+            OpClass::Softmax | OpClass::Reduction => 0.58,
+            OpClass::Pool => 0.65,
+            OpClass::Embedding => 0.45,
+            _ => 0.70,
+        }
+    }
+
+    /// Duration of one kernel in nanoseconds.
+    ///
+    /// Under [`Precision::Fp16`] memory traffic is halved (half-width
+    /// activations/weights) and compute-bound classes use the Tensor Core
+    /// rate; FP32 gradients and optimizer state are the caller's concern
+    /// (optimizer ops should simply be priced as FP32).
+    pub fn op_duration_ns(&self, op: &OpSpec, prec: Precision) -> u64 {
+        let bytes = match prec {
+            Precision::Fp32 => op.bytes,
+            Precision::Fp16 => op.bytes * 0.5,
+        };
+        let mut compute_rate =
+            self.gpu.peak_flops_per_ns(prec) * self.compute_efficiency(op.class, prec);
+        // Tensor Cores need large matrix tiles to reach their rate: small
+        // GEMMs (e.g. BERT at tiny batch sizes) see far less than the
+        // headline 3x, which is precisely where the paper's blanket AMP
+        // rule overestimates (§7.4).
+        if prec == Precision::Fp16 && self.gpu.has_tensor_cores && op.class.is_compute_bound() {
+            compute_rate *= op.flops / (op.flops + TENSOR_CORE_SATURATION_FLOPS);
+        }
+        let mem_rate = self.gpu.bw_bytes_per_ns() * self.memory_efficiency(op.class);
+        let t_compute = if op.flops > 0.0 {
+            op.flops / compute_rate
+        } else {
+            0.0
+        };
+        let t_memory = if bytes > 0.0 { bytes / mem_rate } else { 0.0 };
+        t_compute.max(t_memory) as u64 + self.gpu.kernel_overhead_ns
+    }
+
+    /// Whether the roofline classifies the kernel as compute-bound at the
+    /// given precision (used by tests and diagnostics).
+    pub fn is_compute_bound(&self, op: &OpSpec, prec: Precision) -> bool {
+        let bytes = match prec {
+            Precision::Fp32 => op.bytes,
+            Precision::Fp16 => op.bytes * 0.5,
+        };
+        let compute_rate =
+            self.gpu.peak_flops_per_ns(prec) * self.compute_efficiency(op.class, prec);
+        let mem_rate = self.gpu.bw_bytes_per_ns() * self.memory_efficiency(op.class);
+        op.flops / compute_rate > bytes / mem_rate
+    }
+
+    /// Duration of a host<->device memory copy of `bytes` over PCIe.
+    pub fn pcie_copy_ns(&self, bytes: u64) -> u64 {
+        let rate = self.gpu.pcie_gbs * 1e9 / 1e9; // bytes per ns
+        (bytes as f64 / rate) as u64 + 2_000
+    }
+}
+
+/// Generates the cuDNN/cuBLAS-style kernel name a trace would show.
+///
+/// Names matter: the paper's AMP model selects kernels by the substrings
+/// `sgemm` / `scudnn` (Algorithm 3), and `Select`-by-keyword generally works
+/// on names, so the synthetic trace must use realistic vocabulary.
+pub fn kernel_name(op: &OpSpec, prec: Precision) -> String {
+    let arch = "volta";
+    match (op.class, prec) {
+        (OpClass::Gemm, Precision::Fp32) => format!("{arch}_sgemm_128x64_tn_{}", op.label),
+        (OpClass::Gemm, Precision::Fp16) => format!("{arch}_h884gemm_128x64_tn_{}", op.label),
+        (OpClass::Conv, Precision::Fp32) => {
+            format!("{arch}_scudnn_128x128_relu_interior_nn_{}", op.label)
+        }
+        (OpClass::Conv, Precision::Fp16) => {
+            format!("{arch}_fp16_h884cudnn_256x64_interior_nn_{}", op.label)
+        }
+        (OpClass::BatchedGemm, Precision::Fp32) => {
+            format!("{arch}_sgemm_64x32_batched_{}", op.label)
+        }
+        (OpClass::BatchedGemm, Precision::Fp16) => {
+            format!("{arch}_h884gemm_64x32_batched_{}", op.label)
+        }
+        (OpClass::RnnFused, _) => format!("{arch}_scudnn_rnn_persist_{}", op.label),
+        (OpClass::Elementwise, _) => format!("elementwise_kernel_{}", op.label),
+        (OpClass::BatchNorm, _) => format!("bn_fw_tr_1C11_kernel_{}", op.label),
+        (OpClass::LayerNorm, _) => format!("layer_norm_kernel_{}", op.label),
+        (OpClass::Softmax, _) => format!("softmax_warp_kernel_{}", op.label),
+        (OpClass::Pool, _) => format!("pooling_fw_4d_kernel_{}", op.label),
+        (OpClass::Reduction, _) => format!("reduce_kernel_{}", op.label),
+        (OpClass::Embedding, _) => format!("indexSelectLargeIndex_{}", op.label),
+        (OpClass::Dropout, _) => format!("fused_dropout_kernel_{}", op.label),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::new(GpuSpec::rtx_2080ti())
+    }
+
+    fn gemm(flops: f64, bytes: f64) -> OpSpec {
+        OpSpec::new("t", OpClass::Gemm, flops, bytes)
+    }
+
+    #[test]
+    fn duration_monotone_in_flops() {
+        let m = model();
+        let small = m.op_duration_ns(&gemm(1e9, 1e6), Precision::Fp32);
+        let large = m.op_duration_ns(&gemm(4e9, 1e6), Precision::Fp32);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn compute_bound_gemm_gains_about_3x_under_fp16() {
+        let m = model();
+        // A large, strongly compute-bound GEMM.
+        let op = gemm(6e10, 1e8);
+        assert!(m.is_compute_bound(&op, Precision::Fp32));
+        let fp32 = m.op_duration_ns(&op, Precision::Fp32) as f64;
+        let fp16 = m.op_duration_ns(&op, Precision::Fp16) as f64;
+        let gain = fp32 / fp16;
+        assert!(
+            (2.6..3.6).contains(&gain),
+            "tensor-core gain {gain:.2} outside paper's ~3x"
+        );
+    }
+
+    #[test]
+    fn memory_bound_elementwise_gains_about_2x_under_fp16() {
+        let m = model();
+        let op = OpSpec::new("ew", OpClass::Elementwise, 1e6, 4e8);
+        let fp32 = m.op_duration_ns(&op, Precision::Fp32) as f64;
+        let fp16 = m.op_duration_ns(&op, Precision::Fp16) as f64;
+        let gain = fp32 / fp16;
+        assert!(
+            (1.8..2.1).contains(&gain),
+            "memory-bound gain {gain:.2} should be ~2x"
+        );
+    }
+
+    #[test]
+    fn no_tensor_cores_no_compute_gain() {
+        let m = CostModel::new(GpuSpec::p4000());
+        let op = gemm(8e9, 1e7);
+        let fp32 = m.op_duration_ns(&op, Precision::Fp32) as f64;
+        let fp16 = m.op_duration_ns(&op, Precision::Fp16) as f64;
+        // Only the (tiny) memory term improves; the compute term is unchanged.
+        assert!(fp32 / fp16 < 1.1);
+    }
+
+    #[test]
+    fn overhead_floors_tiny_kernels() {
+        let m = model();
+        let op = OpSpec::new("tiny", OpClass::Elementwise, 10.0, 100.0);
+        let d = m.op_duration_ns(&op, Precision::Fp32);
+        assert!(d >= m.gpu.kernel_overhead_ns);
+        assert!(d < m.gpu.kernel_overhead_ns + 100);
+    }
+
+    #[test]
+    fn kernel_names_carry_amp_keywords() {
+        let g = gemm(1.0, 1.0);
+        assert!(kernel_name(&g, Precision::Fp32).contains("sgemm"));
+        assert!(!kernel_name(&g, Precision::Fp16).contains("sgemm"));
+        let c = OpSpec::new("c", OpClass::Conv, 1.0, 1.0);
+        assert!(kernel_name(&c, Precision::Fp32).contains("scudnn"));
+        let e = OpSpec::new("e", OpClass::Elementwise, 1.0, 1.0);
+        assert!(kernel_name(&e, Precision::Fp32).contains("elementwise"));
+    }
+
+    #[test]
+    fn pcie_copy_scales_with_bytes() {
+        let m = model();
+        let one_mb = m.pcie_copy_ns(1 << 20);
+        let four_mb = m.pcie_copy_ns(4 << 20);
+        assert!(four_mb > 3 * one_mb && four_mb < 5 * one_mb);
+    }
+}

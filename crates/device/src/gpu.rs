@@ -1,0 +1,166 @@
+//! GPU specifications for the paper's two evaluation devices.
+
+use serde::{Deserialize, Serialize};
+
+/// Numeric precision a kernel executes in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// IEEE single precision (the paper's FP32 baseline).
+    Fp32,
+    /// Half precision with Tensor Core matrix math where available.
+    Fp16,
+}
+
+/// Peak rates and overheads of a GPU.
+///
+/// Rates are *peaks*; the [`crate::CostModel`] applies per-kernel-class
+/// achievable-efficiency factors, which is where calibration lives.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name, also recorded in traces.
+    pub name: String,
+    /// Peak FP32 throughput in TFLOP/s.
+    pub fp32_tflops: f64,
+    /// Peak FP16 Tensor Core throughput in TFLOP/s (equals `fp32_tflops`
+    /// when the device has no Tensor Cores).
+    pub fp16_tflops: f64,
+    /// Device memory bandwidth in GB/s.
+    pub mem_bw_gbs: f64,
+    /// Fixed device-side kernel startup latency in nanoseconds.
+    pub kernel_overhead_ns: u64,
+    /// Host-to-device PCIe bandwidth in GB/s (vDNN offload, input upload).
+    pub pcie_gbs: f64,
+    /// Whether the device has Tensor Cores (drives AMP compute gains).
+    pub has_tensor_cores: bool,
+}
+
+impl GpuSpec {
+    /// NVIDIA GeForce RTX 2080 Ti (Turing) — the paper's main evaluation GPU.
+    pub fn rtx_2080ti() -> Self {
+        GpuSpec {
+            name: "RTX 2080 Ti".into(),
+            fp32_tflops: 13.45,
+            // Half-rate-accumulate Tensor Core peak; the cost model's
+            // efficiency factor brings achieved gains to the ~3x the paper
+            // cites for compute-bound kernels.
+            fp16_tflops: 53.8,
+            mem_bw_gbs: 616.0,
+            kernel_overhead_ns: 3_000,
+            pcie_gbs: 12.0,
+            has_tensor_cores: true,
+        }
+    }
+
+    /// NVIDIA Tesla V100 (Volta, 16 GB SXM2) — a common "what if we
+    /// upgraded?" target of the paper's motivating questions.
+    pub fn v100() -> Self {
+        GpuSpec {
+            name: "V100".into(),
+            fp32_tflops: 15.7,
+            fp16_tflops: 125.0,
+            mem_bw_gbs: 900.0,
+            kernel_overhead_ns: 2_800,
+            pcie_gbs: 12.0,
+            has_tensor_cores: true,
+        }
+    }
+
+    /// NVIDIA T4 (Turing, 16 GB) — a lower-power inference-class device.
+    pub fn t4() -> Self {
+        GpuSpec {
+            name: "T4".into(),
+            fp32_tflops: 8.1,
+            fp16_tflops: 65.0,
+            mem_bw_gbs: 320.0,
+            kernel_overhead_ns: 3_200,
+            pcie_gbs: 12.0,
+            has_tensor_cores: true,
+        }
+    }
+
+    /// NVIDIA Quadro P4000 (Pascal) — the GPU of the paper's P3 evaluation
+    /// cluster (§6.6). No Tensor Cores.
+    pub fn p4000() -> Self {
+        GpuSpec {
+            name: "P4000".into(),
+            fp32_tflops: 5.3,
+            fp16_tflops: 5.3,
+            mem_bw_gbs: 243.0,
+            kernel_overhead_ns: 3_500,
+            pcie_gbs: 12.0,
+            has_tensor_cores: false,
+        }
+    }
+
+    /// Peak arithmetic throughput in FLOP/ns for a precision.
+    pub fn peak_flops_per_ns(&self, prec: Precision) -> f64 {
+        let tflops = match prec {
+            Precision::Fp32 => self.fp32_tflops,
+            Precision::Fp16 => self.fp16_tflops,
+        };
+        tflops * 1e12 / 1e9
+    }
+
+    /// Memory bandwidth in bytes/ns.
+    pub fn bw_bytes_per_ns(&self) -> f64 {
+        self.mem_bw_gbs * 1e9 / 1e9
+    }
+}
+
+/// CPU-side timing constants of the host driving the GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuSpec {
+    /// Duration of a `cudaLaunchKernel` call in nanoseconds.
+    pub launch_api_ns: u64,
+    /// Duration of a `cudaMemcpyAsync` call in nanoseconds.
+    pub memcpy_api_ns: u64,
+    /// CPU-side cost of a synchronization API *excluding* wait time.
+    pub sync_api_ns: u64,
+    /// Duration of a `cudaMalloc` call in nanoseconds.
+    pub malloc_ns: u64,
+    /// Duration of a `cudaFree` call in nanoseconds.
+    pub free_ns: u64,
+}
+
+impl CpuSpec {
+    /// AMD EPYC 7601 — the paper's host CPU (§6.1).
+    pub fn epyc_7601() -> Self {
+        CpuSpec {
+            launch_api_ns: 6_000,
+            memcpy_api_ns: 9_000,
+            sync_api_ns: 4_000,
+            malloc_ns: 45_000,
+            free_ns: 30_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_rates() {
+        let gpu = GpuSpec::rtx_2080ti();
+        assert!((gpu.peak_flops_per_ns(Precision::Fp32) - 13_450.0).abs() < 1.0);
+        assert!((gpu.peak_flops_per_ns(Precision::Fp16) - 53_800.0).abs() < 1.0);
+        assert!((gpu.bw_bytes_per_ns() - 616.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p4000_has_no_tensor_cores() {
+        let gpu = GpuSpec::p4000();
+        assert!(!gpu.has_tensor_cores);
+        assert_eq!(
+            gpu.peak_flops_per_ns(Precision::Fp32),
+            gpu.peak_flops_per_ns(Precision::Fp16)
+        );
+    }
+
+    #[test]
+    fn cpu_spec_sane() {
+        let cpu = CpuSpec::epyc_7601();
+        assert!(cpu.launch_api_ns > 1_000);
+        assert!(cpu.malloc_ns > cpu.launch_api_ns);
+    }
+}

@@ -1,0 +1,29 @@
+//! Hardware cost models for Daydream's execution simulator.
+//!
+//! Substitutes for the paper's physical GPUs (RTX 2080 Ti and Quadro P4000,
+//! §6.1): a roofline model prices each [`daydream_models::OpSpec`] from its
+//! FLOPs and memory traffic, with per-kernel-class achievable efficiencies
+//! and precision-dependent rates. The calibration goals are the paper's own
+//! modeling assumptions: Tensor Core kernels gain ~3x under mixed precision,
+//! memory-bound kernels gain ~2x (§5.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use daydream_device::{CostModel, GpuSpec, Precision};
+//! use daydream_models::{OpClass, OpSpec};
+//!
+//! let model = CostModel::new(GpuSpec::rtx_2080ti());
+//! let gemm = OpSpec::new("fc", OpClass::Gemm, 2.0e9, 1.0e7);
+//! let fp32 = model.op_duration_ns(&gemm, Precision::Fp32);
+//! let fp16 = model.op_duration_ns(&gemm, Precision::Fp16);
+//! assert!(fp16 < fp32);
+//! ```
+
+mod classify;
+mod cost;
+mod gpu;
+
+pub use classify::classify_kernel;
+pub use cost::{kernel_name, CostModel};
+pub use gpu::{CpuSpec, GpuSpec, Precision};

@@ -1,0 +1,946 @@
+//! Layer descriptors: parameters, shapes, and per-phase kernel decompositions.
+//!
+//! A [`Layer`] knows how many parameter tensors it owns and which GPU
+//! kernels ([`OpSpec`]s) its forward and backward phases launch. Weight
+//! update is generated separately per optimizer (see [`crate::optimizer`])
+//! because it depends on the training configuration, not the architecture.
+
+use crate::op::{OpClass, OpSpec};
+use crate::shapes::Shape;
+use daydream_trace::LayerId;
+use serde::{Deserialize, Serialize};
+
+/// Bytes per element in single precision; all op byte counts are FP32 and
+/// scaled by the device model for reduced precision.
+pub const F32_BYTES: f64 = 4.0;
+
+/// Element-wise activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActKind {
+    /// Rectified linear unit.
+    ReLU,
+    /// Gaussian error linear unit (BERT).
+    Gelu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl ActKind {
+    /// Approximate FLOPs per element.
+    fn flops_per_elem(&self) -> f64 {
+        match self {
+            ActKind::ReLU => 1.0,
+            ActKind::Gelu => 8.0,
+            ActKind::Tanh => 4.0,
+            ActKind::Sigmoid => 4.0,
+        }
+    }
+
+    /// Display name used in layer labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ActKind::ReLU => "ReLU",
+            ActKind::Gelu => "GELU",
+            ActKind::Tanh => "Tanh",
+            ActKind::Sigmoid => "Sigmoid",
+        }
+    }
+}
+
+/// Pooling flavours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Max pooling.
+    Max,
+    /// Average pooling.
+    Avg,
+    /// Global average pooling to `1x1`.
+    GlobalAvg,
+}
+
+/// Architectural layer types found in the paper's five models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// 2-D convolution.
+    Conv2d {
+        in_ch: u64,
+        out_ch: u64,
+        kernel: u64,
+        stride: u64,
+        pad: u64,
+        bias: bool,
+    },
+    /// Batch normalization over channels.
+    BatchNorm2d { channels: u64 },
+    /// Element-wise activation.
+    Activation { f: ActKind },
+    /// Spatial pooling.
+    Pool {
+        kind: PoolKind,
+        kernel: u64,
+        stride: u64,
+        pad: u64,
+    },
+    /// Dense (fully connected) layer; 2-D or per-timestep 3-D input.
+    Linear {
+        in_features: u64,
+        out_features: u64,
+        bias: bool,
+    },
+    /// Token embedding lookup.
+    Embedding { vocab: u64, dim: u64 },
+    /// (Stacked-direction) LSTM layer over a sequence.
+    ///
+    /// With `stepwise: false` the layer runs as one fused cuDNN sweep (a few
+    /// large kernels); with `stepwise: true` the framework loops over
+    /// timesteps in Python (GNMT's decoder), launching a small kernel group
+    /// per step — the many-tiny-kernels pattern that makes Seq2Seq
+    /// CPU-launch-bound in paper Fig. 6.
+    Lstm {
+        input_size: u64,
+        hidden: u64,
+        dirs: u64,
+        seq_len: u64,
+        stepwise: bool,
+    },
+    /// Scaled dot-product attention core (projections are separate layers).
+    ///
+    /// `stepwise: true` evaluates attention once per decoder timestep.
+    Attention {
+        heads: u64,
+        model_dim: u64,
+        seq_q: u64,
+        seq_k: u64,
+        stepwise: bool,
+    },
+    /// Layer normalization.
+    LayerNorm { dim: u64 },
+    /// Standalone softmax.
+    Softmax,
+    /// Dropout.
+    Dropout,
+    /// Residual addition.
+    Add,
+    /// Channel concatenation (DenseNet).
+    Concat,
+    /// Cross-entropy loss (softmax + NLL + loss readback point).
+    CrossEntropyLoss { classes: u64 },
+}
+
+impl LayerKind {
+    /// Coarse type name used by select-by-layer transformations
+    /// (e.g. "select all `ReLU` layers" in the reconstruct-batchnorm model).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            LayerKind::Conv2d { .. } => "Conv2d",
+            LayerKind::BatchNorm2d { .. } => "BatchNorm",
+            LayerKind::Activation { f } => f.name(),
+            LayerKind::Pool { .. } => "Pool",
+            LayerKind::Linear { .. } => "Linear",
+            LayerKind::Embedding { .. } => "Embedding",
+            LayerKind::Lstm { .. } => "LSTM",
+            LayerKind::Attention { .. } => "Attention",
+            LayerKind::LayerNorm { .. } => "LayerNorm",
+            LayerKind::Softmax => "Softmax",
+            LayerKind::Dropout => "Dropout",
+            LayerKind::Add => "Add",
+            LayerKind::Concat => "Concat",
+            LayerKind::CrossEntropyLoss { .. } => "CrossEntropyLoss",
+        }
+    }
+}
+
+/// One layer of a model, with everything Daydream needs to reason about it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Stable id shared with trace markers.
+    pub id: LayerId,
+    /// Unique human-readable name (e.g. `"layer2.0.conv1"`).
+    pub name: String,
+    /// Architectural type and hyper-parameters.
+    pub kind: LayerKind,
+    /// Per-sample input shape.
+    pub input: Shape,
+    /// Per-sample output shape.
+    pub output: Shape,
+}
+
+impl Layer {
+    /// Element counts of each learnable parameter tensor of the layer.
+    ///
+    /// The optimizer launches a kernel group per tensor, so tensor count —
+    /// not just total parameters — drives weight-update cost (paper §6.3).
+    pub fn param_tensors(&self) -> Vec<u64> {
+        match &self.kind {
+            LayerKind::Conv2d {
+                in_ch,
+                out_ch,
+                kernel,
+                bias,
+                ..
+            } => {
+                let mut t = vec![out_ch * in_ch * kernel * kernel];
+                if *bias {
+                    t.push(*out_ch);
+                }
+                t
+            }
+            LayerKind::BatchNorm2d { channels } => vec![*channels, *channels],
+            LayerKind::Linear {
+                in_features,
+                out_features,
+                bias,
+            } => {
+                let mut t = vec![in_features * out_features];
+                if *bias {
+                    t.push(*out_features);
+                }
+                t
+            }
+            LayerKind::Embedding { vocab, dim } => vec![vocab * dim],
+            LayerKind::Lstm {
+                input_size,
+                hidden,
+                dirs,
+                ..
+            } => {
+                let mut t = Vec::new();
+                for _ in 0..*dirs {
+                    t.push(4 * hidden * input_size); // w_ih
+                    t.push(4 * hidden * hidden); // w_hh
+                    t.push(4 * hidden); // b_ih
+                    t.push(4 * hidden); // b_hh
+                }
+                t
+            }
+            LayerKind::LayerNorm { dim } => vec![*dim, *dim],
+            _ => vec![],
+        }
+    }
+
+    /// Total learnable parameters of the layer.
+    pub fn param_elems(&self) -> u64 {
+        self.param_tensors().iter().sum()
+    }
+
+    /// Returns `true` if the layer has learnable parameters.
+    pub fn has_params(&self) -> bool {
+        !self.param_tensors().is_empty()
+    }
+
+    /// Gradient payload in bytes (FP32 gradients, as frameworks keep even
+    /// under mixed precision).
+    pub fn gradient_bytes(&self) -> u64 {
+        self.param_elems() * 4
+    }
+
+    /// The GPU kernels launched by this layer's forward phase.
+    pub fn fwd_ops(&self, batch: u64) -> Vec<OpSpec> {
+        let b = batch as f64;
+        let in_n = self.input.numel() as f64;
+        let out_n = self.output.numel() as f64;
+        match &self.kind {
+            LayerKind::Conv2d {
+                in_ch,
+                out_ch,
+                kernel,
+                bias,
+                ..
+            } => {
+                let spatial_out = (self.output.numel() / out_ch) as f64;
+                let flops = 2.0
+                    * b
+                    * spatial_out
+                    * (*out_ch as f64)
+                    * (*in_ch as f64)
+                    * (kernel * kernel) as f64;
+                let weight = (out_ch * in_ch * kernel * kernel) as f64;
+                let bytes = F32_BYTES * (b * (in_n + out_n) + weight);
+                let mut ops = vec![OpSpec::new("conv_fwd", OpClass::Conv, flops, bytes)];
+                if *bias {
+                    ops.push(OpSpec::new(
+                        "bias_add",
+                        OpClass::Elementwise,
+                        b * out_n,
+                        F32_BYTES * 2.0 * b * out_n,
+                    ));
+                }
+                ops
+            }
+            LayerKind::BatchNorm2d { .. } => {
+                vec![OpSpec::new(
+                    "bn_fwd",
+                    OpClass::BatchNorm,
+                    10.0 * b * out_n,
+                    F32_BYTES * 4.0 * b * out_n,
+                )]
+            }
+            LayerKind::Activation { f } => {
+                vec![OpSpec::new(
+                    format!("{}_fwd", f.name().to_lowercase()),
+                    OpClass::Elementwise,
+                    f.flops_per_elem() * b * out_n,
+                    F32_BYTES * 2.0 * b * out_n,
+                )]
+            }
+            LayerKind::Pool { .. } => {
+                vec![OpSpec::new(
+                    "pool_fwd",
+                    OpClass::Pool,
+                    b * in_n,
+                    F32_BYTES * b * (in_n + out_n),
+                )]
+            }
+            LayerKind::Linear {
+                in_features,
+                out_features,
+                ..
+            } => {
+                // 3-D inputs ([seq, features]) multiply per timestep.
+                let rows = b * (in_n / *in_features as f64);
+                let flops = 2.0 * rows * (*in_features as f64) * (*out_features as f64);
+                let weight = (in_features * out_features) as f64;
+                let bytes = F32_BYTES * (rows * (*in_features + *out_features) as f64 + weight);
+                vec![OpSpec::new("sgemm_fwd", OpClass::Gemm, flops, bytes)]
+            }
+            LayerKind::Embedding { dim, .. } => {
+                let tokens = b * (in_n.max(1.0));
+                vec![OpSpec::new(
+                    "embedding_gather",
+                    OpClass::Embedding,
+                    0.0,
+                    F32_BYTES * 2.0 * tokens * *dim as f64,
+                )]
+            }
+            LayerKind::Lstm {
+                input_size,
+                hidden,
+                dirs,
+                seq_len,
+                stepwise,
+            } => {
+                let (i, h, d, s) = (
+                    *input_size as f64,
+                    *hidden as f64,
+                    *dirs as f64,
+                    *seq_len as f64,
+                );
+                let flops = d * s * b * 8.0 * h * (i + h);
+                let weight = d * 4.0 * h * (i + h);
+                let bytes = F32_BYTES * (d * s * b * (i + 2.0 * h) + weight);
+                if *stepwise {
+                    // Python loop over timesteps: per step, an input gemm, a
+                    // recurrent gemm, and the fused gate pointwise kernel.
+                    let mut ops = Vec::with_capacity(*seq_len as usize * 3);
+                    let step_flops = flops / s;
+                    let step_bytes = bytes / s;
+                    for t in 0..*seq_len {
+                        ops.push(OpSpec::new(
+                            format!("lstmcell_ih_t{t}"),
+                            OpClass::Gemm,
+                            step_flops * (i / (i + h)),
+                            step_bytes / 2.0,
+                        ));
+                        ops.push(OpSpec::new(
+                            format!("lstmcell_hh_t{t}"),
+                            OpClass::Gemm,
+                            step_flops * (h / (i + h)),
+                            step_bytes / 2.0,
+                        ));
+                        ops.push(OpSpec::new(
+                            format!("lstmcell_gates_t{t}"),
+                            OpClass::Elementwise,
+                            d * b * 9.0 * h,
+                            F32_BYTES * 3.0 * d * b * h,
+                        ));
+                    }
+                    ops
+                } else {
+                    vec![
+                        OpSpec::new("lstm_fwd", OpClass::RnnFused, flops, bytes),
+                        OpSpec::new(
+                            "lstm_pointwise",
+                            OpClass::Elementwise,
+                            d * s * b * 9.0 * h,
+                            F32_BYTES * 3.0 * d * s * b * h,
+                        ),
+                    ]
+                }
+            }
+            LayerKind::Attention {
+                heads,
+                model_dim,
+                seq_q,
+                seq_k,
+                stepwise,
+            } => {
+                let (hh, md, sq, sk) = (
+                    *heads as f64,
+                    *model_dim as f64,
+                    *seq_q as f64,
+                    *seq_k as f64,
+                );
+                let score_flops = 2.0 * b * sq * sk * md;
+                let score_bytes = F32_BYTES * b * (sq * md + sk * md + hh * sq * sk);
+                if *stepwise {
+                    // One query row per decoder step: score gemv, softmax,
+                    // context gemv, and the context-concat copy.
+                    let mut ops = Vec::with_capacity(*seq_q as usize * 4);
+                    for t in 0..*seq_q {
+                        ops.push(OpSpec::new(
+                            format!("attn_score_t{t}"),
+                            OpClass::Gemm,
+                            2.0 * b * sk * md,
+                            F32_BYTES * b * (sk * md + md + hh * sk),
+                        ));
+                        ops.push(OpSpec::new(
+                            format!("attn_softmax_t{t}"),
+                            OpClass::Softmax,
+                            5.0 * b * hh * sk,
+                            F32_BYTES * 2.0 * b * hh * sk,
+                        ));
+                        ops.push(OpSpec::new(
+                            format!("attn_context_t{t}"),
+                            OpClass::Gemm,
+                            2.0 * b * sk * md,
+                            F32_BYTES * b * (sk * md + md + hh * sk),
+                        ));
+                        ops.push(OpSpec::new(
+                            format!("attn_concat_t{t}"),
+                            OpClass::Elementwise,
+                            0.0,
+                            F32_BYTES * 2.0 * b * md,
+                        ));
+                    }
+                    ops
+                } else {
+                    vec![
+                        OpSpec::new(
+                            "attn_scores",
+                            OpClass::BatchedGemm,
+                            score_flops,
+                            score_bytes,
+                        ),
+                        OpSpec::new(
+                            "attn_softmax",
+                            OpClass::Softmax,
+                            5.0 * b * hh * sq * sk,
+                            F32_BYTES * 2.0 * b * hh * sq * sk,
+                        ),
+                        OpSpec::new(
+                            "attn_context",
+                            OpClass::BatchedGemm,
+                            score_flops,
+                            score_bytes,
+                        ),
+                    ]
+                }
+            }
+            LayerKind::LayerNorm { .. } => {
+                vec![OpSpec::new(
+                    "ln_fwd",
+                    OpClass::LayerNorm,
+                    8.0 * b * out_n,
+                    F32_BYTES * 3.0 * b * out_n,
+                )]
+            }
+            LayerKind::Softmax => {
+                vec![OpSpec::new(
+                    "softmax_fwd",
+                    OpClass::Softmax,
+                    5.0 * b * out_n,
+                    F32_BYTES * 2.0 * b * out_n,
+                )]
+            }
+            LayerKind::Dropout => {
+                vec![OpSpec::new(
+                    "dropout_fwd",
+                    OpClass::Dropout,
+                    2.0 * b * out_n,
+                    F32_BYTES * 3.0 * b * out_n,
+                )]
+            }
+            LayerKind::Add => {
+                vec![OpSpec::new(
+                    "residual_add",
+                    OpClass::Elementwise,
+                    b * out_n,
+                    F32_BYTES * 3.0 * b * out_n,
+                )]
+            }
+            LayerKind::Concat => {
+                vec![OpSpec::new(
+                    "concat",
+                    OpClass::Elementwise,
+                    0.0,
+                    F32_BYTES * 2.0 * b * out_n,
+                )]
+            }
+            LayerKind::CrossEntropyLoss { classes } => {
+                let c = *classes as f64;
+                let rows = b * (in_n / c).max(1.0);
+                vec![
+                    OpSpec::new(
+                        "loss_softmax",
+                        OpClass::Softmax,
+                        5.0 * rows * c,
+                        F32_BYTES * 2.0 * rows * c,
+                    ),
+                    OpSpec::new(
+                        "loss_reduce",
+                        OpClass::Reduction,
+                        rows * c,
+                        F32_BYTES * rows * c,
+                    ),
+                ]
+            }
+        }
+    }
+
+    /// The GPU kernels launched by this layer's backward phase.
+    pub fn bwd_ops(&self, batch: u64) -> Vec<OpSpec> {
+        let b = batch as f64;
+        let in_n = self.input.numel() as f64;
+        let out_n = self.output.numel() as f64;
+        match &self.kind {
+            LayerKind::Conv2d {
+                in_ch,
+                out_ch,
+                kernel,
+                bias,
+                ..
+            } => {
+                let spatial_out = (self.output.numel() / out_ch) as f64;
+                let flops = 2.0
+                    * b
+                    * spatial_out
+                    * (*out_ch as f64)
+                    * (*in_ch as f64)
+                    * (kernel * kernel) as f64;
+                let weight = (out_ch * in_ch * kernel * kernel) as f64;
+                let bytes = F32_BYTES * (b * (in_n + out_n) + weight);
+                let mut ops = vec![
+                    OpSpec::new("conv_dgrad", OpClass::Conv, flops, bytes),
+                    OpSpec::new("conv_wgrad", OpClass::Conv, flops, bytes),
+                ];
+                if *bias {
+                    ops.push(OpSpec::new(
+                        "bias_grad",
+                        OpClass::Reduction,
+                        b * out_n,
+                        F32_BYTES * b * out_n,
+                    ));
+                }
+                ops
+            }
+            LayerKind::BatchNorm2d { .. } => {
+                vec![OpSpec::new(
+                    "bn_bwd",
+                    OpClass::BatchNorm,
+                    15.0 * b * out_n,
+                    F32_BYTES * 5.0 * b * out_n,
+                )]
+            }
+            LayerKind::Activation { f } => {
+                vec![OpSpec::new(
+                    format!("{}_bwd", f.name().to_lowercase()),
+                    OpClass::Elementwise,
+                    f.flops_per_elem() * b * out_n,
+                    F32_BYTES * 3.0 * b * out_n,
+                )]
+            }
+            LayerKind::Pool { .. } => {
+                vec![OpSpec::new(
+                    "pool_bwd",
+                    OpClass::Pool,
+                    b * in_n,
+                    F32_BYTES * b * (in_n + out_n),
+                )]
+            }
+            LayerKind::Linear {
+                in_features,
+                out_features,
+                bias,
+            } => {
+                let rows = b * (in_n / *in_features as f64);
+                let flops = 2.0 * rows * (*in_features as f64) * (*out_features as f64);
+                let weight = (in_features * out_features) as f64;
+                let bytes = F32_BYTES * (rows * (*in_features + *out_features) as f64 + weight);
+                let mut ops = vec![
+                    OpSpec::new("sgemm_dgrad", OpClass::Gemm, flops, bytes),
+                    OpSpec::new("sgemm_wgrad", OpClass::Gemm, flops, bytes),
+                ];
+                if *bias {
+                    ops.push(OpSpec::new(
+                        "bias_grad",
+                        OpClass::Reduction,
+                        rows * *out_features as f64,
+                        F32_BYTES * rows * *out_features as f64,
+                    ));
+                }
+                ops
+            }
+            LayerKind::Embedding { dim, .. } => {
+                let tokens = b * in_n.max(1.0);
+                vec![OpSpec::new(
+                    "embedding_scatter",
+                    OpClass::Embedding,
+                    tokens * *dim as f64,
+                    F32_BYTES * 2.0 * tokens * *dim as f64,
+                )]
+            }
+            LayerKind::Lstm {
+                input_size,
+                hidden,
+                dirs,
+                seq_len,
+                stepwise,
+            } => {
+                let (i, h, d, s) = (
+                    *input_size as f64,
+                    *hidden as f64,
+                    *dirs as f64,
+                    *seq_len as f64,
+                );
+                let flops = d * s * b * 8.0 * h * (i + h);
+                let weight = d * 4.0 * h * (i + h);
+                let bytes = F32_BYTES * (d * s * b * (i + 2.0 * h) + weight);
+                if *stepwise {
+                    // Per step: gate pointwise backward, two dgrad gemms,
+                    // and two weight-gradient accumulation gemms.
+                    let mut ops = Vec::with_capacity(*seq_len as usize * 5);
+                    let step_flops = flops / s;
+                    let step_bytes = bytes / s;
+                    for t in 0..*seq_len {
+                        ops.push(OpSpec::new(
+                            format!("lstmcell_gates_bwd_t{t}"),
+                            OpClass::Elementwise,
+                            d * b * 9.0 * h,
+                            F32_BYTES * 4.0 * d * b * h,
+                        ));
+                        for name in ["dgrad_ih", "dgrad_hh", "wgrad_ih", "wgrad_hh"] {
+                            ops.push(OpSpec::new(
+                                format!("lstmcell_{name}_t{t}"),
+                                OpClass::Gemm,
+                                step_flops / 2.0,
+                                step_bytes / 2.0,
+                            ));
+                        }
+                    }
+                    ops
+                } else {
+                    vec![
+                        OpSpec::new("lstm_dgrad", OpClass::RnnFused, flops, bytes),
+                        OpSpec::new("lstm_wgrad", OpClass::RnnFused, flops, bytes),
+                        OpSpec::new(
+                            "lstm_pointwise_bwd",
+                            OpClass::Elementwise,
+                            d * s * b * 9.0 * h,
+                            F32_BYTES * 3.0 * d * s * b * h,
+                        ),
+                    ]
+                }
+            }
+            LayerKind::Attention {
+                heads,
+                model_dim,
+                seq_q,
+                seq_k,
+                stepwise,
+            } => {
+                let (hh, md, sq, sk) = (
+                    *heads as f64,
+                    *model_dim as f64,
+                    *seq_q as f64,
+                    *seq_k as f64,
+                );
+                let score_flops = 2.0 * b * sq * sk * md;
+                let score_bytes = F32_BYTES * b * (sq * md + sk * md + hh * sq * sk);
+                if *stepwise {
+                    let mut ops = Vec::with_capacity(*seq_q as usize * 4);
+                    for t in 0..*seq_q {
+                        ops.push(OpSpec::new(
+                            format!("attn_bwd_ctx_t{t}"),
+                            OpClass::Gemm,
+                            2.0 * b * sk * md,
+                            F32_BYTES * b * (sk * md + md + hh * sk),
+                        ));
+                        ops.push(OpSpec::new(
+                            format!("attn_softmax_bwd_t{t}"),
+                            OpClass::Softmax,
+                            5.0 * b * hh * sk,
+                            F32_BYTES * 3.0 * b * hh * sk,
+                        ));
+                        ops.push(OpSpec::new(
+                            format!("attn_bwd_score_t{t}"),
+                            OpClass::Gemm,
+                            2.0 * b * sk * md,
+                            F32_BYTES * b * (sk * md + md + hh * sk),
+                        ));
+                        ops.push(OpSpec::new(
+                            format!("attn_bwd_split_t{t}"),
+                            OpClass::Elementwise,
+                            0.0,
+                            F32_BYTES * 2.0 * b * md,
+                        ));
+                    }
+                    ops
+                } else {
+                    vec![
+                        OpSpec::new(
+                            "attn_dgrad_q",
+                            OpClass::BatchedGemm,
+                            score_flops,
+                            score_bytes,
+                        ),
+                        OpSpec::new(
+                            "attn_dgrad_k",
+                            OpClass::BatchedGemm,
+                            score_flops,
+                            score_bytes,
+                        ),
+                        OpSpec::new(
+                            "attn_softmax_bwd",
+                            OpClass::Softmax,
+                            5.0 * b * hh * sq * sk,
+                            F32_BYTES * 3.0 * b * hh * sq * sk,
+                        ),
+                        OpSpec::new(
+                            "attn_dgrad_v",
+                            OpClass::BatchedGemm,
+                            score_flops,
+                            score_bytes,
+                        ),
+                        OpSpec::new(
+                            "attn_dgrad_scores",
+                            OpClass::BatchedGemm,
+                            score_flops,
+                            score_bytes,
+                        ),
+                    ]
+                }
+            }
+            LayerKind::LayerNorm { .. } => {
+                vec![
+                    OpSpec::new(
+                        "ln_bwd",
+                        OpClass::LayerNorm,
+                        12.0 * b * out_n,
+                        F32_BYTES * 4.0 * b * out_n,
+                    ),
+                    OpSpec::new(
+                        "ln_param_grad",
+                        OpClass::Reduction,
+                        2.0 * b * out_n,
+                        F32_BYTES * b * out_n,
+                    ),
+                ]
+            }
+            LayerKind::Softmax => {
+                vec![OpSpec::new(
+                    "softmax_bwd",
+                    OpClass::Softmax,
+                    5.0 * b * out_n,
+                    F32_BYTES * 3.0 * b * out_n,
+                )]
+            }
+            LayerKind::Dropout => {
+                vec![OpSpec::new(
+                    "dropout_bwd",
+                    OpClass::Elementwise,
+                    b * out_n,
+                    F32_BYTES * 3.0 * b * out_n,
+                )]
+            }
+            // The gradient of an addition is the identity: no kernels.
+            LayerKind::Add => vec![],
+            LayerKind::Concat => {
+                vec![OpSpec::new(
+                    "concat_bwd",
+                    OpClass::Elementwise,
+                    0.0,
+                    F32_BYTES * 2.0 * b * out_n,
+                )]
+            }
+            LayerKind::CrossEntropyLoss { classes } => {
+                let c = *classes as f64;
+                let rows = b * (in_n / c).max(1.0);
+                vec![OpSpec::new(
+                    "loss_bwd",
+                    OpClass::Elementwise,
+                    rows * c,
+                    F32_BYTES * 2.0 * rows * c,
+                )]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes::conv2d_out_shape;
+
+    fn conv_layer() -> Layer {
+        let input = Shape::chw(64, 56, 56);
+        let output = conv2d_out_shape(&input, 64, 3, 1, 1);
+        Layer {
+            id: LayerId(0),
+            name: "conv".into(),
+            kind: LayerKind::Conv2d {
+                in_ch: 64,
+                out_ch: 64,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                bias: false,
+            },
+            input,
+            output,
+        }
+    }
+
+    #[test]
+    fn conv_params_and_flops() {
+        let l = conv_layer();
+        assert_eq!(l.param_elems(), 64 * 64 * 9);
+        assert_eq!(l.param_tensors().len(), 1);
+        let ops = l.fwd_ops(32);
+        assert_eq!(ops.len(), 1);
+        // 2 * B * H*W * Cout * Cin * k^2.
+        let expect = 2.0 * 32.0 * (56.0 * 56.0) * 64.0 * 64.0 * 9.0;
+        assert!((ops[0].flops - expect).abs() < 1.0);
+        // Backward has dgrad + wgrad.
+        assert_eq!(l.bwd_ops(32).len(), 2);
+    }
+
+    #[test]
+    fn linear_flops_scale_with_batch() {
+        let l = Layer {
+            id: LayerId(1),
+            name: "fc".into(),
+            kind: LayerKind::Linear {
+                in_features: 2048,
+                out_features: 1000,
+                bias: true,
+            },
+            input: Shape::features(2048),
+            output: Shape::features(1000),
+        };
+        let f1 = l.fwd_ops(1)[0].flops;
+        let f8 = l.fwd_ops(8)[0].flops;
+        assert!((f8 / f1 - 8.0).abs() < 1e-9);
+        assert_eq!(l.param_elems(), 2048 * 1000 + 1000);
+        // Bias adds a reduction kernel in backward.
+        assert_eq!(l.bwd_ops(4).len(), 3);
+    }
+
+    #[test]
+    fn linear_handles_sequence_input() {
+        let l = Layer {
+            id: LayerId(2),
+            name: "proj".into(),
+            kind: LayerKind::Linear {
+                in_features: 768,
+                out_features: 768,
+                bias: true,
+            },
+            input: Shape::seq(384, 768),
+            output: Shape::seq(384, 768),
+        };
+        let f = l.fwd_ops(4)[0].flops;
+        let expect = 2.0 * 4.0 * 384.0 * 768.0 * 768.0;
+        assert!((f - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn lstm_param_tensors() {
+        let l = Layer {
+            id: LayerId(3),
+            name: "lstm".into(),
+            kind: LayerKind::Lstm {
+                input_size: 1024,
+                hidden: 1024,
+                dirs: 2,
+                seq_len: 50,
+                stepwise: false,
+            },
+            input: Shape::seq(50, 1024),
+            output: Shape::seq(50, 2048),
+        };
+        assert_eq!(l.param_tensors().len(), 8);
+        let expect = 2 * (4 * 1024 * 1024 + 4 * 1024 * 1024 + 4 * 1024 + 4 * 1024);
+        assert_eq!(l.param_elems(), expect);
+        // Backward launches two RNN sweeps plus pointwise.
+        assert_eq!(l.bwd_ops(32).len(), 3);
+    }
+
+    #[test]
+    fn bn_is_memory_bound() {
+        let l = Layer {
+            id: LayerId(4),
+            name: "bn".into(),
+            kind: LayerKind::BatchNorm2d { channels: 64 },
+            input: Shape::chw(64, 56, 56),
+            output: Shape::chw(64, 56, 56),
+        };
+        let op = &l.fwd_ops(32)[0];
+        assert!(!op.class.is_compute_bound());
+        assert_eq!(l.param_tensors(), vec![64, 64]);
+    }
+
+    #[test]
+    fn add_backward_is_free() {
+        let l = Layer {
+            id: LayerId(5),
+            name: "add".into(),
+            kind: LayerKind::Add,
+            input: Shape::chw(256, 56, 56),
+            output: Shape::chw(256, 56, 56),
+        };
+        assert!(l.fwd_ops(8).len() == 1);
+        assert!(l.bwd_ops(8).is_empty());
+        assert!(!l.has_params());
+    }
+
+    #[test]
+    fn attention_kernel_counts() {
+        let l = Layer {
+            id: LayerId(6),
+            name: "attn".into(),
+            kind: LayerKind::Attention {
+                heads: 12,
+                model_dim: 768,
+                seq_q: 384,
+                seq_k: 384,
+                stepwise: false,
+            },
+            input: Shape::seq(384, 768),
+            output: Shape::seq(384, 768),
+        };
+        assert_eq!(l.fwd_ops(4).len(), 3);
+        assert_eq!(l.bwd_ops(4).len(), 5);
+        assert!(!l.has_params());
+    }
+
+    #[test]
+    fn gradient_bytes_are_fp32() {
+        let l = conv_layer();
+        assert_eq!(l.gradient_bytes(), l.param_elems() * 4);
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(conv_layer().kind.type_name(), "Conv2d");
+        assert_eq!(
+            LayerKind::Activation { f: ActKind::ReLU }.type_name(),
+            "ReLU"
+        );
+        assert_eq!(
+            LayerKind::BatchNorm2d { channels: 1 }.type_name(),
+            "BatchNorm"
+        );
+    }
+}

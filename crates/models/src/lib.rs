@@ -1,0 +1,34 @@
+//! DNN model zoo for Daydream.
+//!
+//! Describes the five models of the paper's Table 2 (VGG-19, DenseNet-121,
+//! ResNet-50, GNMT, BERT base/large) at the granularity Daydream needs:
+//! layers with parameter tensors and per-phase kernel decompositions
+//! ([`OpSpec`]s), which the `daydream-device` roofline model turns into
+//! durations and the `daydream-runtime` executor turns into CUPTI-style
+//! traces.
+//!
+//! # Examples
+//!
+//! ```
+//! use daydream_models::zoo;
+//!
+//! let bert = zoo::bert_large();
+//! // Paper §6.3: BERT-large's unfused Adam step launches ~5164 kernels.
+//! let kernels = bert.weight_update_kernels();
+//! assert!((kernels as f64 - 5164.0).abs() / 5164.0 < 0.05);
+//! ```
+
+mod graph;
+mod layer;
+pub mod memory;
+mod op;
+mod optimizer;
+mod shapes;
+pub mod zoo;
+
+pub use graph::{Application, Model, ModelBuilder};
+pub use layer::{ActKind, Layer, LayerKind, PoolKind, F32_BYTES};
+pub use memory::{footprint, max_batch, vdnn_offloadable_bytes, MemoryFootprint};
+pub use op::{OpClass, OpSpec};
+pub use optimizer::Optimizer;
+pub use shapes::{conv2d_out_shape, conv_out_dim, pool2d_out_shape, Shape};

@@ -1,0 +1,207 @@
+//! Training memory accounting.
+//!
+//! Answers the paper's motivating question *"Does GPU memory capacity limit
+//! the performance of my model?"* (§1) and quantifies what the memory
+//! optimizations of Table 1 (vDNN, Gist) actually buy. The model follows
+//! the standard decomposition: parameters + gradients + optimizer state are
+//! resident for the whole iteration; activations stashed for backward
+//! accumulate across the forward pass and dominate at realistic batch
+//! sizes.
+
+use crate::graph::Model;
+use crate::layer::LayerKind;
+use crate::optimizer::Optimizer;
+use serde::{Deserialize, Serialize};
+
+/// Per-component memory footprint of one training iteration, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryFootprint {
+    /// Model parameters (FP32).
+    pub params: u64,
+    /// Gradient buffers (FP32).
+    pub gradients: u64,
+    /// Optimizer state (momentum buffers; two moments for Adam).
+    pub optimizer_state: u64,
+    /// Activations stashed for the backward pass at the given batch size.
+    pub activations: u64,
+    /// Workspace / fragmentation allowance (cuDNN scratch, allocator slack).
+    pub workspace: u64,
+}
+
+impl MemoryFootprint {
+    /// Total bytes.
+    pub fn total(&self) -> u64 {
+        self.params + self.gradients + self.optimizer_state + self.activations + self.workspace
+    }
+
+    /// Total in GiB.
+    pub fn total_gib(&self) -> f64 {
+        self.total() as f64 / (1u64 << 30) as f64
+    }
+
+    /// Returns `true` if the footprint fits a device with the given memory.
+    pub fn fits(&self, device_bytes: u64) -> bool {
+        self.total() <= device_bytes
+    }
+}
+
+/// Bytes of stashed activation per sample for one layer.
+///
+/// Layers whose backward pass needs their input (convs, linears, pools,
+/// normalizations) stash it; pure shape ops do not allocate new stash.
+fn stashed_activation_bytes(layer: &crate::layer::Layer) -> u64 {
+    let out = layer.output.numel() * 4;
+    match &layer.kind {
+        // Backward needs input and (for BN) saved statistics.
+        LayerKind::Conv2d { .. }
+        | LayerKind::Linear { .. }
+        | LayerKind::Pool { .. }
+        | LayerKind::Attention { .. }
+        | LayerKind::Lstm { .. } => layer.input.numel() * 4,
+        LayerKind::BatchNorm2d { .. } | LayerKind::LayerNorm { .. } => layer.input.numel() * 4 + 64,
+        // ReLU-family backward can run from the output; dropout keeps a mask.
+        LayerKind::Activation { .. } | LayerKind::Softmax => out,
+        LayerKind::Dropout => out + out / 4,
+        LayerKind::Embedding { .. } => layer.input.numel() * 8,
+        LayerKind::Add | LayerKind::Concat | LayerKind::CrossEntropyLoss { .. } => 0,
+    }
+}
+
+/// Estimates the training memory footprint of a model at a batch size.
+pub fn footprint(model: &Model, batch: u64) -> MemoryFootprint {
+    let params = model.param_count() * 4;
+    let gradients = params;
+    let optimizer_state = match model.optimizer {
+        Optimizer::Sgd { momentum: false } => 0,
+        Optimizer::Sgd { momentum: true } => params,
+        Optimizer::Adam => 2 * params,
+    };
+    let activations: u64 = model
+        .layers
+        .iter()
+        .map(|l| stashed_activation_bytes(l) * batch)
+        .sum();
+    // cuDNN workspaces plus allocator slack: ~8% of live tensors, min 256 MB.
+    let workspace = ((params + activations) / 12).max(256 << 20);
+    MemoryFootprint {
+        params,
+        gradients,
+        optimizer_state,
+        activations,
+        workspace,
+    }
+}
+
+/// Largest batch size whose footprint fits a device, by doubling search.
+///
+/// Returns 0 if even batch 1 does not fit.
+pub fn max_batch(model: &Model, device_bytes: u64) -> u64 {
+    if !footprint(model, 1).fits(device_bytes) {
+        return 0;
+    }
+    let mut lo = 1u64;
+    let mut hi = 2u64;
+    while footprint(model, hi).fits(device_bytes) {
+        lo = hi;
+        hi *= 2;
+        if hi > 1 << 20 {
+            return lo;
+        }
+    }
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if footprint(model, mid).fits(device_bytes) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Activation bytes a vDNN(conv) policy offloads at a batch size: the
+/// stashed inputs of all convolution layers.
+pub fn vdnn_offloadable_bytes(model: &Model, batch: u64) -> u64 {
+    model
+        .layers
+        .iter()
+        .filter(|l| matches!(l.kind, LayerKind::Conv2d { .. }))
+        .map(|l| stashed_activation_bytes(l) * batch)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn footprint_components_scale_sensibly() {
+        let m = zoo::resnet50();
+        let f32b = footprint(&m, 32);
+        let f64b = footprint(&m, 64);
+        // Static components are batch-independent.
+        assert_eq!(f32b.params, f64b.params);
+        assert_eq!(f32b.optimizer_state, f64b.optimizer_state);
+        // Activations roughly double.
+        let ratio = f64b.activations as f64 / f32b.activations as f64;
+        assert!((1.9..2.1).contains(&ratio));
+    }
+
+    #[test]
+    fn adam_doubles_state_vs_sgd_momentum() {
+        let bert = zoo::bert_base();
+        let f = footprint(&bert, 8);
+        assert_eq!(f.optimizer_state, 2 * f.params);
+        let resnet = zoo::resnet50();
+        let g = footprint(&resnet, 32);
+        assert_eq!(g.optimizer_state, g.params);
+    }
+
+    #[test]
+    fn paper_batch_sizes_fit_an_11gb_2080ti() {
+        let eleven_gb = 11u64 << 30;
+        for m in zoo::all_models() {
+            let f = footprint(&m, m.default_batch);
+            assert!(
+                f.fits(eleven_gb),
+                "{} at batch {} needs {:.1} GiB",
+                m.name,
+                m.default_batch,
+                f.total_gib()
+            );
+        }
+    }
+
+    #[test]
+    fn max_batch_is_maximal() {
+        let m = zoo::resnet50();
+        let eleven_gb = 11u64 << 30;
+        let b = max_batch(&m, eleven_gb);
+        assert!(b >= m.default_batch, "paper batch must be feasible");
+        assert!(footprint(&m, b).fits(eleven_gb));
+        assert!(!footprint(&m, b + 1).fits(eleven_gb));
+    }
+
+    #[test]
+    fn vdnn_offload_is_a_large_activation_share() {
+        let m = zoo::vgg19();
+        let f = footprint(&m, 32);
+        let off = vdnn_offloadable_bytes(&m, 32);
+        assert!(off > 0);
+        assert!(off < f.activations);
+        // Convolution inputs are a major share of a CNN's stash (ReLU and
+        // pooling stashes make up the rest).
+        assert!(off as f64 / f.activations as f64 > 0.25);
+    }
+
+    #[test]
+    fn tiny_device_fits_nothing() {
+        let m = zoo::bert_large();
+        assert_eq!(
+            max_batch(&m, 1 << 30),
+            0,
+            "BERT-large cannot train in 1 GiB"
+        );
+    }
+}

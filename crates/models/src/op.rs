@@ -1,0 +1,112 @@
+//! Device-independent descriptions of the GPU work a layer performs.
+//!
+//! Each layer phase (forward / backward / weight update) decomposes into a
+//! sequence of [`OpSpec`]s — one per GPU kernel the framework would launch.
+//! An `OpSpec` carries the arithmetic (FLOPs) and memory traffic (bytes) of
+//! the kernel plus an [`OpClass`] that determines its cuDNN-style kernel
+//! name and its roofline behaviour in `daydream-device`.
+
+use serde::{Deserialize, Serialize};
+
+/// Kernel family, used for naming and roofline classification.
+///
+/// The AMP what-if model of the paper (§5.1) distinguishes compute-bound
+/// kernels (names containing `sgemm` / `scudnn`, sped up 3× by Tensor
+/// Cores) from memory-bound kernels (element-wise, batchnorm, ReLU, sped up
+/// 2× by halving traffic); the class drives that naming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// cuDNN convolution (forward, dgrad, or wgrad).
+    Conv,
+    /// cuBLAS dense matrix multiply.
+    Gemm,
+    /// Batched matrix multiply (attention scores/context).
+    BatchedGemm,
+    /// Fused cuDNN RNN time-step sweep (LSTM/GRU).
+    RnnFused,
+    /// Element-wise arithmetic (activations, scales, adds, optimizer steps).
+    Elementwise,
+    /// Batch-normalization statistics + normalization.
+    BatchNorm,
+    /// Layer-normalization.
+    LayerNorm,
+    /// Softmax.
+    Softmax,
+    /// Spatial pooling.
+    Pool,
+    /// Reduction (bias gradients, norms, losses).
+    Reduction,
+    /// Embedding gather / scatter.
+    Embedding,
+    /// Dropout mask generation and application.
+    Dropout,
+}
+
+impl OpClass {
+    /// Returns `true` if kernels of this class are dominated by arithmetic
+    /// throughput rather than memory bandwidth.
+    pub fn is_compute_bound(&self) -> bool {
+        matches!(
+            self,
+            OpClass::Conv | OpClass::Gemm | OpClass::BatchedGemm | OpClass::RnnFused
+        )
+    }
+}
+
+/// One GPU kernel's worth of work, device-independent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpSpec {
+    /// Short human-readable operation label (e.g. `"conv_fwd"`).
+    pub label: String,
+    /// Kernel family.
+    pub class: OpClass,
+    /// Floating-point operations the kernel performs.
+    pub flops: f64,
+    /// Bytes moved to/from device memory.
+    pub bytes: f64,
+}
+
+impl OpSpec {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, class: OpClass, flops: f64, bytes: f64) -> Self {
+        OpSpec {
+            label: label.into(),
+            class,
+            flops,
+            bytes,
+        }
+    }
+
+    /// Arithmetic intensity in FLOPs per byte (0 if no traffic).
+    pub fn intensity(&self) -> f64 {
+        if self.bytes > 0.0 {
+            self.flops / self.bytes
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_bound_classes() {
+        assert!(OpClass::Conv.is_compute_bound());
+        assert!(OpClass::Gemm.is_compute_bound());
+        assert!(OpClass::BatchedGemm.is_compute_bound());
+        assert!(OpClass::RnnFused.is_compute_bound());
+        assert!(!OpClass::Elementwise.is_compute_bound());
+        assert!(!OpClass::BatchNorm.is_compute_bound());
+        assert!(!OpClass::Softmax.is_compute_bound());
+    }
+
+    #[test]
+    fn intensity() {
+        let op = OpSpec::new("x", OpClass::Gemm, 100.0, 25.0);
+        assert_eq!(op.intensity(), 4.0);
+        let z = OpSpec::new("z", OpClass::Elementwise, 10.0, 0.0);
+        assert_eq!(z.intensity(), 0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Optimizer weight-update kernel schedules.
+//!
+//! The weight-update phase launches a group of element-wise kernels for
+//! every parameter tensor. Its cost is therefore driven by *tensor count*,
+//! not parameter count: BERT-large's unfused Adam step launches thousands of
+//! tiny kernels (5164 in the paper, §6.3), making the CPU launch path the
+//! bottleneck — exactly what the FusedAdam what-if removes.
+
+use crate::op::{OpClass, OpSpec};
+use serde::{Deserialize, Serialize};
+
+/// Training optimizer used for a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Optimizer {
+    /// Stochastic gradient descent (optionally with momentum).
+    Sgd {
+        /// Whether a momentum buffer is maintained.
+        momentum: bool,
+    },
+    /// Adam: first/second moment updates, bias correction, and step.
+    Adam,
+}
+
+impl Optimizer {
+    /// Number of element-wise kernels launched per parameter tensor.
+    ///
+    /// Calibrated against the paper's BERT counts (§6.3): an unfused PyTorch
+    /// Adam step runs ~13 small kernels per tensor (moment updates, bias
+    /// corrections, sqrt/eps, scaling, and the parameter write).
+    pub fn kernels_per_tensor(&self) -> usize {
+        match self {
+            Optimizer::Sgd { momentum: false } => 2,
+            Optimizer::Sgd { momentum: true } => 3,
+            Optimizer::Adam => 13,
+        }
+    }
+
+    /// Fixed per-step kernels independent of tensor count (gradient norm /
+    /// scale checks).
+    pub fn fixed_kernels(&self) -> usize {
+        match self {
+            Optimizer::Sgd { .. } => 2,
+            Optimizer::Adam => 21,
+        }
+    }
+
+    /// Human-readable optimizer name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Optimizer::Sgd { .. } => "SGD",
+            Optimizer::Adam => "Adam",
+        }
+    }
+
+    /// The weight-update kernels for one parameter tensor of `elems`
+    /// elements.
+    pub fn tensor_update_ops(&self, elems: u64) -> Vec<OpSpec> {
+        let e = elems as f64;
+        let n = self.kernels_per_tensor();
+        (0..n)
+            .map(|i| {
+                OpSpec::new(
+                    format!("{}_step_{}", self.name().to_lowercase(), i),
+                    OpClass::Elementwise,
+                    2.0 * e,
+                    // Each small kernel touches roughly 1.2 tensor-widths of
+                    // state (some are scalar-heavy bias corrections), for
+                    // ~60 bytes/parameter across an unfused Adam step.
+                    4.0 * 1.2 * e,
+                )
+            })
+            .collect()
+    }
+
+    /// The fixed kernels at the start of a weight-update step.
+    pub fn fixed_update_ops(&self) -> Vec<OpSpec> {
+        (0..self.fixed_kernels())
+            .map(|i| {
+                OpSpec::new(
+                    format!("{}_global_{}", self.name().to_lowercase(), i),
+                    OpClass::Reduction,
+                    1.0e4,
+                    4.0 * 1.0e4,
+                )
+            })
+            .collect()
+    }
+
+    /// Total kernels launched by one full weight-update step over the given
+    /// parameter tensors.
+    pub fn total_kernels(&self, tensor_count: usize) -> usize {
+        tensor_count * self.kernels_per_tensor() + self.fixed_kernels()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_per_tensor() {
+        assert_eq!(Optimizer::Sgd { momentum: false }.kernels_per_tensor(), 2);
+        assert_eq!(Optimizer::Sgd { momentum: true }.kernels_per_tensor(), 3);
+        assert_eq!(Optimizer::Adam.kernels_per_tensor(), 13);
+    }
+
+    #[test]
+    fn tensor_ops_are_elementwise_and_sized() {
+        let ops = Optimizer::Adam.tensor_update_ops(1_000);
+        assert_eq!(ops.len(), 13);
+        for op in &ops {
+            assert_eq!(op.class, OpClass::Elementwise);
+            assert!(op.bytes > 0.0);
+        }
+    }
+
+    #[test]
+    fn total_kernel_count() {
+        let adam = Optimizer::Adam;
+        assert_eq!(adam.total_kernels(201), 201 * 13 + 21);
+        let sgd = Optimizer::Sgd { momentum: true };
+        assert_eq!(sgd.total_kernels(100), 302);
+    }
+}

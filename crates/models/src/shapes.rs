@@ -1,0 +1,136 @@
+//! Tensor shape arithmetic for per-sample activations.
+//!
+//! Shapes exclude the batch dimension; mini-batch size is supplied when ops
+//! are materialized, so one model description serves any batch size.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A per-sample tensor shape (batch dimension excluded).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(pub Vec<u64>);
+
+impl Shape {
+    /// Builds a shape from dimensions.
+    pub fn new(dims: &[u64]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// A scalar (zero-dimensional) shape.
+    pub fn scalar() -> Self {
+        Shape(vec![])
+    }
+
+    /// Number of elements per sample.
+    pub fn numel(&self) -> u64 {
+        self.0.iter().product()
+    }
+
+    /// CNN feature-map constructor: `[channels, height, width]`.
+    pub fn chw(c: u64, h: u64, w: u64) -> Self {
+        Shape(vec![c, h, w])
+    }
+
+    /// Sequence feature constructor: `[seq_len, features]`.
+    pub fn seq(len: u64, features: u64) -> Self {
+        Shape(vec![len, features])
+    }
+
+    /// Flat feature-vector constructor: `[features]`.
+    pub fn features(n: u64) -> Self {
+        Shape(vec![n])
+    }
+
+    /// Channels of a `[C, H, W]` shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not three-dimensional.
+    pub fn channels(&self) -> u64 {
+        assert_eq!(self.0.len(), 3, "channels() requires a CHW shape");
+        self.0[0]
+    }
+
+    /// Spatial size `H * W` of a `[C, H, W]` shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not three-dimensional.
+    pub fn spatial(&self) -> u64 {
+        assert_eq!(self.0.len(), 3, "spatial() requires a CHW shape");
+        self.0[1] * self.0[2]
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Output spatial extent of a convolution/pooling along one dimension.
+///
+/// Uses the standard floor formula `(input + 2*pad - kernel) / stride + 1`.
+pub fn conv_out_dim(input: u64, kernel: u64, stride: u64, pad: u64) -> u64 {
+    (input + 2 * pad - kernel) / stride + 1
+}
+
+/// Output shape of a 2-D convolution over a `[C, H, W]` input.
+pub fn conv2d_out_shape(input: &Shape, out_ch: u64, kernel: u64, stride: u64, pad: u64) -> Shape {
+    let h = conv_out_dim(input.0[1], kernel, stride, pad);
+    let w = conv_out_dim(input.0[2], kernel, stride, pad);
+    Shape::chw(out_ch, h, w)
+}
+
+/// Output shape of a 2-D pooling over a `[C, H, W]` input.
+pub fn pool2d_out_shape(input: &Shape, kernel: u64, stride: u64, pad: u64) -> Shape {
+    conv2d_out_shape(input, input.channels(), kernel, stride, pad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_products() {
+        assert_eq!(Shape::chw(64, 56, 56).numel(), 64 * 56 * 56);
+        assert_eq!(Shape::features(1000).numel(), 1000);
+        assert_eq!(Shape::scalar().numel(), 1);
+    }
+
+    #[test]
+    fn conv_dims_resnet_stem() {
+        // ResNet-50 stem: 224x224 -> 7x7/2 pad 3 -> 112x112.
+        assert_eq!(conv_out_dim(224, 7, 2, 3), 112);
+        // 3x3 maxpool stride 2 pad 1: 112 -> 56.
+        assert_eq!(conv_out_dim(112, 3, 2, 1), 56);
+        // 1x1 stride 1: preserves extent.
+        assert_eq!(conv_out_dim(56, 1, 1, 0), 56);
+    }
+
+    #[test]
+    fn conv2d_shape() {
+        let input = Shape::chw(3, 224, 224);
+        let out = conv2d_out_shape(&input, 64, 7, 2, 3);
+        assert_eq!(out, Shape::chw(64, 112, 112));
+    }
+
+    #[test]
+    fn pool_shape_keeps_channels() {
+        let input = Shape::chw(64, 112, 112);
+        assert_eq!(pool2d_out_shape(&input, 3, 2, 1), Shape::chw(64, 56, 56));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::chw(64, 56, 56).to_string(), "[64x56x56]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+}

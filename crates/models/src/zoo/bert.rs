@@ -1,0 +1,234 @@
+//! BERT (Devlin et al., 2018) — paper Table 2, language modeling on SQuAD.
+//!
+//! Both "base" (12 transformer blocks, hidden 768) and "large" (24 blocks,
+//! hidden 1024) are built. The weight-update phase is the model's defining
+//! performance feature in the paper: unfused Adam launches ~2600 (base) /
+//! ~5200 (large) tiny kernels per step (§6.3), which is what the FusedAdam
+//! what-if collapses to one.
+
+use crate::graph::{Application, Model, ModelBuilder};
+use crate::layer::{ActKind, LayerKind};
+use crate::optimizer::Optimizer;
+use crate::shapes::Shape;
+
+/// WordPiece vocabulary size.
+pub const VOCAB: u64 = 30_522;
+/// Maximum position embeddings.
+pub const MAX_POS: u64 = 512;
+/// SQuAD fine-tuning sequence length used for profiling.
+pub const SEQ: u64 = 384;
+
+/// Transformer size configuration.
+struct BertConfig {
+    name: &'static str,
+    blocks: u64,
+    hidden: u64,
+    heads: u64,
+    ffn: u64,
+    batch: u64,
+}
+
+fn build(cfg: BertConfig) -> Model {
+    let h = cfg.hidden;
+    let mut b = ModelBuilder::new(cfg.name, Shape::new(&[SEQ]));
+
+    // Embeddings: word + position + token-type, summed then normalized.
+    b.push(
+        "embeddings.word",
+        LayerKind::Embedding {
+            vocab: VOCAB,
+            dim: h,
+        },
+    );
+    let seq_h = Shape::seq(SEQ, h);
+    b.push_explicit(
+        "embeddings.position",
+        LayerKind::Embedding {
+            vocab: MAX_POS,
+            dim: h,
+        },
+        Shape::new(&[SEQ]),
+        seq_h.clone(),
+    );
+    b.push("embeddings.add_pos", LayerKind::Add);
+    b.push_explicit(
+        "embeddings.token_type",
+        LayerKind::Embedding { vocab: 2, dim: h },
+        Shape::new(&[SEQ]),
+        seq_h,
+    );
+    b.push("embeddings.add_type", LayerKind::Add);
+    b.push("embeddings.layernorm", LayerKind::LayerNorm { dim: h });
+    b.push("embeddings.dropout", LayerKind::Dropout);
+
+    for i in 0..cfg.blocks {
+        let p = format!("encoder.block{i}");
+        b.push(
+            format!("{p}.attn.query"),
+            LayerKind::Linear {
+                in_features: h,
+                out_features: h,
+                bias: true,
+            },
+        );
+        b.push(
+            format!("{p}.attn.key"),
+            LayerKind::Linear {
+                in_features: h,
+                out_features: h,
+                bias: true,
+            },
+        );
+        b.push(
+            format!("{p}.attn.value"),
+            LayerKind::Linear {
+                in_features: h,
+                out_features: h,
+                bias: true,
+            },
+        );
+        b.push(
+            format!("{p}.attn.core"),
+            LayerKind::Attention {
+                heads: cfg.heads,
+                model_dim: h,
+                seq_q: SEQ,
+                seq_k: SEQ,
+                stepwise: false,
+            },
+        );
+        b.push(
+            format!("{p}.attn.output"),
+            LayerKind::Linear {
+                in_features: h,
+                out_features: h,
+                bias: true,
+            },
+        );
+        b.push(format!("{p}.attn.dropout"), LayerKind::Dropout);
+        b.push(format!("{p}.attn.add"), LayerKind::Add);
+        b.push(
+            format!("{p}.attn.layernorm"),
+            LayerKind::LayerNorm { dim: h },
+        );
+        b.push(
+            format!("{p}.ffn.fc1"),
+            LayerKind::Linear {
+                in_features: h,
+                out_features: cfg.ffn,
+                bias: true,
+            },
+        );
+        b.push(
+            format!("{p}.ffn.gelu"),
+            LayerKind::Activation { f: ActKind::Gelu },
+        );
+        b.push(
+            format!("{p}.ffn.fc2"),
+            LayerKind::Linear {
+                in_features: cfg.ffn,
+                out_features: h,
+                bias: true,
+            },
+        );
+        b.push(format!("{p}.ffn.dropout"), LayerKind::Dropout);
+        b.push(format!("{p}.ffn.add"), LayerKind::Add);
+        b.push(
+            format!("{p}.ffn.layernorm"),
+            LayerKind::LayerNorm { dim: h },
+        );
+    }
+
+    // SQuAD span-prediction head.
+    b.push(
+        "qa.classifier",
+        LayerKind::Linear {
+            in_features: h,
+            out_features: 2,
+            bias: true,
+        },
+    );
+    b.push("loss", LayerKind::CrossEntropyLoss { classes: 2 });
+
+    b.build(
+        Optimizer::Adam,
+        cfg.batch,
+        Application::LanguageModeling,
+        "SQuAD",
+    )
+}
+
+/// Builds BERT-base: 12 blocks, hidden 768, 12 heads (~110 M parameters).
+pub fn bert_base() -> Model {
+    build(BertConfig {
+        name: "BERT_Base",
+        blocks: 12,
+        hidden: 768,
+        heads: 12,
+        ffn: 3072,
+        batch: 8,
+    })
+}
+
+/// Builds BERT-large: 24 blocks, hidden 1024, 16 heads (~340 M parameters).
+pub fn bert_large() -> Model {
+    build(BertConfig {
+        name: "BERT_Large",
+        blocks: 24,
+        hidden: 1024,
+        heads: 16,
+        ffn: 4096,
+        batch: 2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_parameter_count() {
+        let params = bert_base().param_count();
+        // Published BERT-base: ~110 M (109.5 M without pooler).
+        let published = 109_000_000f64;
+        let err = (params as f64 - published).abs() / published;
+        assert!(err < 0.03, "BERT-base params {params} ({err:.3} off)");
+    }
+
+    #[test]
+    fn large_parameter_count() {
+        let params = bert_large().param_count();
+        // Published BERT-large: ~340 M (334 M without pooler).
+        let published = 334_000_000f64;
+        let err = (params as f64 - published).abs() / published;
+        assert!(err < 0.03, "BERT-large params {params} ({err:.3} off)");
+    }
+
+    #[test]
+    fn weight_update_kernel_counts_match_paper() {
+        // Paper §6.3: 2633 kernels for base, 5164 for large.
+        let base = bert_base().weight_update_kernels();
+        let large = bert_large().weight_update_kernels();
+        let base_err = (base as f64 - 2633.0).abs() / 2633.0;
+        let large_err = (large as f64 - 5164.0).abs() / 5164.0;
+        assert!(base_err < 0.03, "base weight-update kernels {base} vs 2633");
+        assert!(
+            large_err < 0.03,
+            "large weight-update kernels {large} vs 5164"
+        );
+    }
+
+    #[test]
+    fn param_tensor_counts() {
+        // 16 tensors per block + 5 embedding-side + 2 head.
+        assert_eq!(bert_base().param_tensor_count(), 12 * 16 + 5 + 2);
+        assert_eq!(bert_large().param_tensor_count(), 24 * 16 + 5 + 2);
+    }
+
+    #[test]
+    fn structure_validates() {
+        bert_base().validate().unwrap();
+        bert_large().validate().unwrap();
+        assert_eq!(bert_base().optimizer, Optimizer::Adam);
+    }
+}

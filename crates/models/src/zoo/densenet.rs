@@ -1,0 +1,215 @@
+//! DenseNet-121 (Huang et al., 2017) — paper Table 2; the Caffe model used
+//! for the reconstructing-batchnorm evaluation (§6.4), chosen because its
+//! many small batchnorm + ReLU layers are exactly what that optimization
+//! restructures.
+
+use crate::graph::{Application, Model, ModelBuilder};
+use crate::layer::{ActKind, LayerKind, PoolKind};
+use crate::optimizer::Optimizer;
+use crate::shapes::Shape;
+
+const GROWTH: u64 = 32;
+const BN_SIZE: u64 = 4;
+
+/// Appends one dense layer: BN -> ReLU -> 1x1 conv -> BN -> ReLU -> 3x3 conv,
+/// then concatenation with the layer input.
+fn dense_layer(b: &mut ModelBuilder, prefix: &str, in_ch: u64, h: u64, w: u64) {
+    let block_input = Shape::chw(in_ch, h, w);
+    b.push(
+        format!("{prefix}.bn1"),
+        LayerKind::BatchNorm2d { channels: in_ch },
+    );
+    b.push(
+        format!("{prefix}.relu1"),
+        LayerKind::Activation { f: ActKind::ReLU },
+    );
+    b.push(
+        format!("{prefix}.conv1"),
+        LayerKind::Conv2d {
+            in_ch,
+            out_ch: BN_SIZE * GROWTH,
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+            bias: false,
+        },
+    );
+    b.push(
+        format!("{prefix}.bn2"),
+        LayerKind::BatchNorm2d {
+            channels: BN_SIZE * GROWTH,
+        },
+    );
+    b.push(
+        format!("{prefix}.relu2"),
+        LayerKind::Activation { f: ActKind::ReLU },
+    );
+    b.push(
+        format!("{prefix}.conv2"),
+        LayerKind::Conv2d {
+            in_ch: BN_SIZE * GROWTH,
+            out_ch: GROWTH,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            bias: false,
+        },
+    );
+    // Dense connectivity: output = concat(input, new features).
+    let out = Shape::chw(in_ch + GROWTH, h, w);
+    b.push_explicit(
+        format!("{prefix}.concat"),
+        LayerKind::Concat,
+        block_input,
+        out,
+    );
+}
+
+/// Builds DenseNet-121 for 224x224 ImageNet input (~8.0 M parameters).
+pub fn densenet121() -> Model {
+    let mut b = ModelBuilder::new("DenseNet-121", Shape::chw(3, 224, 224));
+    b.push(
+        "features.conv0",
+        LayerKind::Conv2d {
+            in_ch: 3,
+            out_ch: 64,
+            kernel: 7,
+            stride: 2,
+            pad: 3,
+            bias: false,
+        },
+    );
+    b.push("features.bn0", LayerKind::BatchNorm2d { channels: 64 });
+    b.push("features.relu0", LayerKind::Activation { f: ActKind::ReLU });
+    b.push(
+        "features.pool0",
+        LayerKind::Pool {
+            kind: PoolKind::Max,
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        },
+    );
+
+    let blocks = [6u64, 12, 24, 16];
+    let mut ch = 64u64;
+    let mut hw = 56u64;
+    for (bi, &layers) in blocks.iter().enumerate() {
+        for li in 0..layers {
+            dense_layer(
+                &mut b,
+                &format!("denseblock{}.layer{}", bi + 1, li + 1),
+                ch,
+                hw,
+                hw,
+            );
+            ch += GROWTH;
+        }
+        if bi + 1 < blocks.len() {
+            // Transition: BN -> ReLU -> 1x1 conv halving channels -> 2x2 avgpool.
+            let out_ch = ch / 2;
+            let p = format!("transition{}", bi + 1);
+            b.push(format!("{p}.bn"), LayerKind::BatchNorm2d { channels: ch });
+            b.push(
+                format!("{p}.relu"),
+                LayerKind::Activation { f: ActKind::ReLU },
+            );
+            b.push(
+                format!("{p}.conv"),
+                LayerKind::Conv2d {
+                    in_ch: ch,
+                    out_ch,
+                    kernel: 1,
+                    stride: 1,
+                    pad: 0,
+                    bias: false,
+                },
+            );
+            b.push(
+                format!("{p}.pool"),
+                LayerKind::Pool {
+                    kind: PoolKind::Avg,
+                    kernel: 2,
+                    stride: 2,
+                    pad: 0,
+                },
+            );
+            ch = out_ch;
+            hw /= 2;
+        }
+    }
+
+    b.push("features.bn5", LayerKind::BatchNorm2d { channels: ch });
+    b.push("features.relu5", LayerKind::Activation { f: ActKind::ReLU });
+    b.push(
+        "avgpool",
+        LayerKind::Pool {
+            kind: PoolKind::GlobalAvg,
+            kernel: 0,
+            stride: 0,
+            pad: 0,
+        },
+    );
+    b.push(
+        "classifier",
+        LayerKind::Linear {
+            in_features: ch,
+            out_features: 1000,
+            bias: true,
+        },
+    );
+    b.push("loss", LayerKind::CrossEntropyLoss { classes: 1000 });
+    b.build(
+        Optimizer::Sgd { momentum: true },
+        32,
+        Application::ImageClassification,
+        "ImageNet",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_matches_published() {
+        let m = densenet121();
+        let params = m.param_count();
+        // torchvision DenseNet-121: 7,978,856 parameters.
+        let published = 7_978_856u64;
+        let err = (params as f64 - published as f64).abs() / published as f64;
+        assert!(
+            err < 0.01,
+            "DenseNet-121 params {params} vs published {published} ({err:.4})"
+        );
+    }
+
+    #[test]
+    fn structure() {
+        let m = densenet121();
+        m.validate().unwrap();
+        // 58 dense layers x 2 convs + stem + 3 transitions = 120 convs.
+        let convs = m
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Conv2d { .. }))
+            .count();
+        assert_eq!(convs, 120);
+        // Final channels: 1024.
+        let cls = m.layers.iter().find(|l| l.name == "classifier").unwrap();
+        assert_eq!(cls.input.numel(), 1024);
+    }
+
+    #[test]
+    fn batchnorm_everywhere() {
+        // DenseNet-121 has 121 batchnorm layers in our decomposition
+        // (2 per dense layer + stem + transitions + final).
+        let m = densenet121();
+        let bns = m
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::BatchNorm2d { .. }))
+            .count();
+        assert_eq!(bns, 58 * 2 + 1 + 3 + 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! The five models of paper Table 2, plus a name-based registry.
+
+mod bert;
+mod densenet;
+mod gnmt;
+mod resnet;
+mod vgg;
+
+pub use bert::{bert_base, bert_large};
+pub use densenet::densenet121;
+pub use gnmt::gnmt;
+pub use resnet::resnet50;
+pub use vgg::vgg19;
+
+use crate::graph::Model;
+
+/// Builds every model of paper Table 2.
+pub fn all_models() -> Vec<Model> {
+    vec![
+        vgg19(),
+        densenet121(),
+        resnet50(),
+        gnmt(),
+        bert_base(),
+        bert_large(),
+    ]
+}
+
+/// Looks a model up by (case-insensitive) name.
+///
+/// Accepts the names used throughout the paper: `"ResNet-50"`, `"VGG-19"`,
+/// `"DenseNet-121"`, `"GNMT"` (or `"Seq2Seq"`), `"BERT_Base"`, `"BERT_Large"`.
+pub fn by_name(name: &str) -> Option<Model> {
+    let n = name.to_ascii_lowercase().replace(['-', '_', ' '], "");
+    match n.as_str() {
+        "resnet50" => Some(resnet50()),
+        "vgg19" => Some(vgg19()),
+        "densenet121" => Some(densenet121()),
+        "gnmt" | "seq2seq" => Some(gnmt()),
+        "bertbase" => Some(bert_base()),
+        "bertlarge" => Some(bert_large()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_table2() {
+        let models = all_models();
+        assert_eq!(models.len(), 6);
+        for m in &models {
+            m.validate().unwrap();
+            assert!(m.param_count() > 1_000_000);
+        }
+    }
+
+    #[test]
+    fn lookup_by_paper_names() {
+        assert!(by_name("ResNet-50").is_some());
+        assert!(by_name("resnet50").is_some());
+        assert!(by_name("Seq2Seq").is_some());
+        assert!(by_name("BERT_Large").is_some());
+        assert!(by_name("AlexNet").is_none());
+    }
+}

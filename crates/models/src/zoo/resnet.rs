@@ -1,0 +1,212 @@
+//! ResNet-50 (He et al., 2015) — paper Table 2, image classification.
+
+use crate::graph::{Application, Model, ModelBuilder};
+use crate::layer::{ActKind, LayerKind, PoolKind};
+use crate::optimizer::Optimizer;
+use crate::shapes::Shape;
+
+/// Appends one bottleneck residual block (1x1 -> 3x3 -> 1x1 convolutions).
+fn bottleneck(
+    b: &mut ModelBuilder,
+    prefix: &str,
+    in_ch: u64,
+    mid: u64,
+    out_ch: u64,
+    stride: u64,
+    downsample: bool,
+) {
+    let block_input = b.current_shape().clone();
+    b.push(
+        format!("{prefix}.conv1"),
+        LayerKind::Conv2d {
+            in_ch,
+            out_ch: mid,
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+            bias: false,
+        },
+    );
+    b.push(
+        format!("{prefix}.bn1"),
+        LayerKind::BatchNorm2d { channels: mid },
+    );
+    b.push(
+        format!("{prefix}.relu1"),
+        LayerKind::Activation { f: ActKind::ReLU },
+    );
+    b.push(
+        format!("{prefix}.conv2"),
+        LayerKind::Conv2d {
+            in_ch: mid,
+            out_ch: mid,
+            kernel: 3,
+            stride,
+            pad: 1,
+            bias: false,
+        },
+    );
+    b.push(
+        format!("{prefix}.bn2"),
+        LayerKind::BatchNorm2d { channels: mid },
+    );
+    b.push(
+        format!("{prefix}.relu2"),
+        LayerKind::Activation { f: ActKind::ReLU },
+    );
+    b.push(
+        format!("{prefix}.conv3"),
+        LayerKind::Conv2d {
+            in_ch: mid,
+            out_ch,
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+            bias: false,
+        },
+    );
+    b.push(
+        format!("{prefix}.bn3"),
+        LayerKind::BatchNorm2d { channels: out_ch },
+    );
+    if downsample {
+        // The shortcut projection consumes the block input.
+        b.set_shape(block_input);
+        b.push(
+            format!("{prefix}.downsample.conv"),
+            LayerKind::Conv2d {
+                in_ch,
+                out_ch,
+                kernel: 1,
+                stride,
+                pad: 0,
+                bias: false,
+            },
+        );
+        b.push(
+            format!("{prefix}.downsample.bn"),
+            LayerKind::BatchNorm2d { channels: out_ch },
+        );
+    }
+    b.push(format!("{prefix}.add"), LayerKind::Add);
+    b.push(
+        format!("{prefix}.relu3"),
+        LayerKind::Activation { f: ActKind::ReLU },
+    );
+}
+
+/// Builds ResNet-50 for 224x224 ImageNet input (~25.6 M parameters).
+pub fn resnet50() -> Model {
+    let mut b = ModelBuilder::new("ResNet-50", Shape::chw(3, 224, 224));
+    b.push(
+        "conv1",
+        LayerKind::Conv2d {
+            in_ch: 3,
+            out_ch: 64,
+            kernel: 7,
+            stride: 2,
+            pad: 3,
+            bias: false,
+        },
+    );
+    b.push("bn1", LayerKind::BatchNorm2d { channels: 64 });
+    b.push("relu", LayerKind::Activation { f: ActKind::ReLU });
+    b.push(
+        "maxpool",
+        LayerKind::Pool {
+            kind: PoolKind::Max,
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        },
+    );
+
+    // (blocks, mid channels, output channels, stride of first block).
+    let stages: [(u64, u64, u64, u64); 4] = [
+        (3, 64, 256, 1),
+        (4, 128, 512, 2),
+        (6, 256, 1024, 2),
+        (3, 512, 2048, 2),
+    ];
+    let mut in_ch = 64;
+    for (si, (blocks, mid, out_ch, stride)) in stages.iter().enumerate() {
+        for bi in 0..*blocks {
+            let s = if bi == 0 { *stride } else { 1 };
+            let ds = bi == 0;
+            bottleneck(
+                &mut b,
+                &format!("layer{}.{}", si + 1, bi),
+                in_ch,
+                *mid,
+                *out_ch,
+                s,
+                ds,
+            );
+            in_ch = *out_ch;
+        }
+    }
+
+    b.push(
+        "avgpool",
+        LayerKind::Pool {
+            kind: PoolKind::GlobalAvg,
+            kernel: 0,
+            stride: 0,
+            pad: 0,
+        },
+    );
+    b.push(
+        "fc",
+        LayerKind::Linear {
+            in_features: 2048,
+            out_features: 1000,
+            bias: true,
+        },
+    );
+    b.push("loss", LayerKind::CrossEntropyLoss { classes: 1000 });
+    b.build(
+        Optimizer::Sgd { momentum: true },
+        32,
+        Application::ImageClassification,
+        "ImageNet",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_matches_published() {
+        let m = resnet50();
+        let params = m.param_count();
+        // torchvision ResNet-50: 25,557,032 parameters.
+        let published = 25_557_032u64;
+        let err = (params as f64 - published as f64).abs() / published as f64;
+        assert!(
+            err < 0.01,
+            "ResNet-50 params {params} vs published {published} ({err:.3})"
+        );
+    }
+
+    #[test]
+    fn structure() {
+        let m = resnet50();
+        m.validate().unwrap();
+        // 16 bottleneck blocks, 53 convolutions total (49 + 4 downsample).
+        let convs = m
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Conv2d { .. }))
+            .count();
+        assert_eq!(convs, 53);
+        // Final feature map is 2048 x 7 x 7 before pooling.
+        let avgpool = m.layers.iter().find(|l| l.name == "avgpool").unwrap();
+        assert_eq!(avgpool.input, Shape::chw(2048, 7, 7));
+    }
+
+    #[test]
+    fn uses_sgd() {
+        assert_eq!(resnet50().optimizer, Optimizer::Sgd { momentum: true });
+    }
+}

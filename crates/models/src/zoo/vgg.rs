@@ -1,0 +1,142 @@
+//! VGG-19 (Simonyan & Zisserman, 2014) — paper Table 2, image
+//! classification; the communication-heavy CNN used in the P3 evaluation
+//! (Fig. 10b) because of its ~144 M parameters.
+
+use crate::graph::{Application, Model, ModelBuilder};
+use crate::layer::{ActKind, LayerKind, PoolKind};
+use crate::optimizer::Optimizer;
+use crate::shapes::Shape;
+
+/// Builds VGG-19 for 224x224 ImageNet input (~143.7 M parameters).
+pub fn vgg19() -> Model {
+    // Configuration "E": conv channel plan with 'M' max-pool boundaries.
+    let plan: [&[u64]; 5] = [
+        &[64, 64],
+        &[128, 128],
+        &[256, 256, 256, 256],
+        &[512, 512, 512, 512],
+        &[512, 512, 512, 512],
+    ];
+    let mut b = ModelBuilder::new("VGG-19", Shape::chw(3, 224, 224));
+    let mut in_ch = 3;
+    for (gi, group) in plan.iter().enumerate() {
+        for (ci, &out_ch) in group.iter().enumerate() {
+            b.push(
+                format!("features.{}.conv{}", gi + 1, ci + 1),
+                LayerKind::Conv2d {
+                    in_ch,
+                    out_ch,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                    bias: true,
+                },
+            );
+            b.push(
+                format!("features.{}.relu{}", gi + 1, ci + 1),
+                LayerKind::Activation { f: ActKind::ReLU },
+            );
+            in_ch = out_ch;
+        }
+        b.push(
+            format!("features.{}.pool", gi + 1),
+            LayerKind::Pool {
+                kind: PoolKind::Max,
+                kernel: 2,
+                stride: 2,
+                pad: 0,
+            },
+        );
+    }
+    b.push(
+        "classifier.fc1",
+        LayerKind::Linear {
+            in_features: 512 * 7 * 7,
+            out_features: 4096,
+            bias: true,
+        },
+    );
+    b.push(
+        "classifier.relu1",
+        LayerKind::Activation { f: ActKind::ReLU },
+    );
+    b.push("classifier.dropout1", LayerKind::Dropout);
+    b.push(
+        "classifier.fc2",
+        LayerKind::Linear {
+            in_features: 4096,
+            out_features: 4096,
+            bias: true,
+        },
+    );
+    b.push(
+        "classifier.relu2",
+        LayerKind::Activation { f: ActKind::ReLU },
+    );
+    b.push("classifier.dropout2", LayerKind::Dropout);
+    b.push(
+        "classifier.fc3",
+        LayerKind::Linear {
+            in_features: 4096,
+            out_features: 1000,
+            bias: true,
+        },
+    );
+    b.push("loss", LayerKind::CrossEntropyLoss { classes: 1000 });
+    b.build(
+        Optimizer::Sgd { momentum: true },
+        32,
+        Application::ImageClassification,
+        "ImageNet",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_matches_published() {
+        let m = vgg19();
+        let params = m.param_count();
+        // torchvision VGG-19: 143,667,240 parameters.
+        let published = 143_667_240u64;
+        let err = (params as f64 - published as f64).abs() / published as f64;
+        assert!(
+            err < 0.01,
+            "VGG-19 params {params} vs published {published} ({err:.4})"
+        );
+    }
+
+    #[test]
+    fn structure() {
+        let m = vgg19();
+        m.validate().unwrap();
+        let convs = m
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Conv2d { .. }))
+            .count();
+        assert_eq!(convs, 16);
+        let fc1 = m
+            .layers
+            .iter()
+            .find(|l| l.name == "classifier.fc1")
+            .unwrap();
+        assert_eq!(fc1.input.numel(), 512 * 7 * 7);
+    }
+
+    #[test]
+    fn classifier_dominates_parameters() {
+        // The three FC layers hold ~86% of VGG-19's parameters — why P3's
+        // slicing matters so much for this model.
+        let m = vgg19();
+        let fc_params: u64 = m
+            .layers
+            .iter()
+            .filter(|l| l.name.starts_with("classifier"))
+            .map(|l| l.param_elems())
+            .sum();
+        assert!(fc_params as f64 / m.param_count() as f64 > 0.85);
+    }
+}

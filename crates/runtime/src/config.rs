@@ -1,0 +1,91 @@
+//! Execution configuration for the framework simulator.
+
+use daydream_device::{CpuSpec, GpuSpec};
+use daydream_trace::Framework;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one profiled training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecConfig {
+    /// Framework whose CPU overhead profile to use.
+    pub framework: Framework,
+    /// GPU to execute on.
+    pub gpu: GpuSpec,
+    /// Host CPU timing constants.
+    pub cpu: CpuSpec,
+    /// Mini-batch size; `None` uses the model's paper default.
+    pub batch: Option<u64>,
+    /// Seed for the deterministic per-kernel duration jitter.
+    pub seed: u64,
+}
+
+impl ExecConfig {
+    /// The paper's main single-GPU setup: PyTorch on an RTX 2080 Ti.
+    pub fn pytorch_2080ti() -> Self {
+        ExecConfig {
+            framework: Framework::PyTorch,
+            gpu: GpuSpec::rtx_2080ti(),
+            cpu: CpuSpec::epyc_7601(),
+            batch: None,
+            seed: 0x0DA1D12EA,
+        }
+    }
+
+    /// The §6.4 setup: Caffe on an RTX 2080 Ti (DenseNet-121).
+    pub fn caffe_2080ti() -> Self {
+        ExecConfig {
+            framework: Framework::Caffe,
+            ..Self::pytorch_2080ti()
+        }
+    }
+
+    /// The §6.6 setup: MXNet on a Quadro P4000 (P3 evaluation).
+    pub fn mxnet_p4000() -> Self {
+        ExecConfig {
+            framework: Framework::MxNet,
+            gpu: GpuSpec::p4000(),
+            ..Self::pytorch_2080ti()
+        }
+    }
+
+    /// Returns a copy with a different jitter seed (used so ground-truth
+    /// runs re-roll kernel variance like a real re-execution would).
+    pub fn with_seed(&self, seed: u64) -> Self {
+        ExecConfig {
+            seed,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with an explicit batch size.
+    pub fn with_batch(&self, batch: u64) -> Self {
+        ExecConfig {
+            batch: Some(batch),
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let pt = ExecConfig::pytorch_2080ti();
+        assert_eq!(pt.framework, Framework::PyTorch);
+        assert_eq!(pt.gpu.name, "RTX 2080 Ti");
+        let mx = ExecConfig::mxnet_p4000();
+        assert_eq!(mx.framework, Framework::MxNet);
+        assert_eq!(mx.gpu.name, "P4000");
+        let cf = ExecConfig::caffe_2080ti();
+        assert_eq!(cf.framework, Framework::Caffe);
+    }
+
+    #[test]
+    fn with_helpers() {
+        let c = ExecConfig::pytorch_2080ti().with_seed(7).with_batch(16);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.batch, Some(16));
+    }
+}

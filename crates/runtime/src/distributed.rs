@@ -1,0 +1,293 @@
+//! Distributed (PyTorch DDP + NCCL) ground-truth execution.
+//!
+//! Extends the single-GPU engine with wait-free backpropagation (paper
+//! §4.2.2): as soon as the backward kernels of a gradient bucket's last
+//! layer complete, an `ncclAllReduce` is launched for the bucket,
+//! overlapping communication with the rest of backward. Weight update waits
+//! for all buckets. NCCL calls run through the interference model of
+//! `daydream-comm` — the effect the theoretical formula (and therefore
+//! Daydream's prediction) does not include, producing the paper's Fig. 8/9
+//! error structure.
+
+use crate::config::ExecConfig;
+use crate::executor::{
+    ddp_buckets, Emitter, Executor, BACKWARD_THREAD, DDP_BUCKET_BYTES, LOADER_THREAD, MAIN_THREAD,
+};
+use crate::plan::IterationPlan;
+use daydream_comm::{ClusterConfig, NcclExecution, NcclModel};
+use daydream_models::Model;
+use daydream_trace::{
+    Activity, ActivityKind, BucketInfo, CudaApi, DeviceId, Lane, LayerId, Phase, StreamId, Trace,
+};
+use std::collections::HashMap;
+
+/// The CUDA stream NCCL kernels execute on in emitted traces.
+pub const NCCL_STREAM: StreamId = StreamId(13);
+
+/// One all-reduce call of a distributed iteration, for Fig. 9-style
+/// analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommCall {
+    /// Gradient bucket the call transfers.
+    pub bucket: u32,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Call start, ns.
+    pub start_ns: u64,
+    /// Measured (interference-adjusted) duration, ns.
+    pub dur_ns: u64,
+    /// Theoretical ring duration, ns.
+    pub theoretical_ns: u64,
+}
+
+/// Result of one distributed ground-truth iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedRun {
+    /// Full trace including communication activities.
+    pub trace: Trace,
+    /// Per-bucket all-reduce calls in launch order.
+    pub comm_calls: Vec<CommCall>,
+}
+
+impl DistributedRun {
+    /// Iteration time in milliseconds.
+    pub fn iteration_ms(&self) -> f64 {
+        self.trace.meta.iteration_ms()
+    }
+}
+
+/// Executes one data-parallel iteration with bucketed NCCL all-reduce.
+///
+/// `mode` selects the §6.5 execution regimes: [`NcclExecution::Contended`]
+/// is the framework default, [`NcclExecution::Synced`] inserts a CUDA
+/// synchronization before each call, [`NcclExecution::Exclusive`] is the
+/// idle-GPU reference.
+pub fn run_distributed(
+    model: &Model,
+    cfg: &ExecConfig,
+    cluster: ClusterConfig,
+    mode: NcclExecution,
+    plan: &IterationPlan,
+) -> DistributedRun {
+    let ex = Executor::new(model, cfg);
+    let nccl = NcclModel::new(cluster);
+    let buckets = ddp_buckets(model, DDP_BUCKET_BYTES);
+    // Layer -> bucket whose readiness it completes (the *last* backward-order
+    // layer of each bucket triggers the call).
+    let mut trigger: HashMap<LayerId, &BucketInfo> = HashMap::new();
+    for b in &buckets {
+        if let Some(last) = b.layers.last() {
+            trigger.insert(*last, b);
+        }
+    }
+
+    let mut em = Emitter::new(&ex);
+    let input_bytes = 4 * model.layers.first().map(|l| l.input.numel()).unwrap_or(0) * plan.batch;
+    let profile = crate::profile::FrameworkProfile::for_framework(cfg.framework);
+    let load_dur = profile.data_load_ns_per_mb * (input_bytes >> 20).max(1);
+    let load_end = em.data_loading(LOADER_THREAD, input_bytes, load_dur);
+
+    em.cpu_advance(MAIN_THREAD, profile.iter_setup_ns);
+    em.cpu_wait_until(MAIN_THREAD, load_end);
+    em.memcpy_htod(MAIN_THREAD, input_bytes);
+    for lp in &plan.fwd {
+        em.run_layer_phase(MAIN_THREAD, lp, Phase::Forward);
+    }
+    em.blocking_dtoh(MAIN_THREAD, 4);
+
+    let bwd_start = em.cpu_now(MAIN_THREAD) + 20_000;
+    em.cpu_wait_until(BACKWARD_THREAD, bwd_start);
+
+    let mut comm_cursor = 0u64;
+    let mut comm_calls = Vec::new();
+    for lp in &plan.bwd {
+        em.run_layer_phase(BACKWARD_THREAD, lp, Phase::Backward);
+        let Some(bucket) = trigger.get(&lp.layer) else {
+            continue;
+        };
+        // Gradients of the bucket are ready once the GPU finishes the
+        // kernels launched so far.
+        let grads_ready = em.gpu;
+        if mode == NcclExecution::Synced {
+            em.device_sync(BACKWARD_THREAD);
+        }
+        // DDP hook launches the collective from the backward thread.
+        let corr = em.fresh_corr();
+        em.push_cpu(
+            BACKWARD_THREAD,
+            CudaApi::LaunchKernel,
+            em.launch_api_ns,
+            Some(corr),
+        );
+        let launch_end = em.cpu_now(BACKWARD_THREAD);
+        let start = comm_cursor.max(grads_ready).max(launch_end);
+        let idx = comm_calls.len() as u64;
+        let dur = nccl.call_ns(bucket.bytes, mode, em.seed ^ 0xC0_11EC, idx);
+        em.acts.push(Activity {
+            name: format!("ncclAllReduceRingLLKernel_bucket{}", bucket.id),
+            kind: ActivityKind::Communication {
+                bytes: bucket.bytes,
+            },
+            lane: Lane::Gpu(DeviceId(0), NCCL_STREAM),
+            start_ns: start,
+            dur_ns: dur,
+            correlation: None,
+        });
+        comm_calls.push(CommCall {
+            bucket: bucket.id,
+            bytes: bucket.bytes,
+            start_ns: start,
+            dur_ns: dur,
+            theoretical_ns: nccl.theoretical_ns(bucket.bytes),
+        });
+        comm_cursor = start + dur;
+    }
+
+    // The optimizer may only run once every bucket has been reduced.
+    let wu_start = em.cpu_now(BACKWARD_THREAD).max(comm_cursor);
+    em.cpu_wait_until(MAIN_THREAD, wu_start);
+    if plan.wu_sync && !plan.wu.is_empty() {
+        em.blocking_dtoh(MAIN_THREAD, 4);
+    }
+    for lp in &plan.wu {
+        em.run_layer_phase(MAIN_THREAD, lp, Phase::WeightUpdate);
+    }
+    // Drain both the compute stream and the NCCL stream.
+    em.gpu = em.gpu.max(comm_cursor);
+    em.device_sync(MAIN_THREAD);
+    let end = em.cpu_now(MAIN_THREAD);
+    let trace = em.finish(&ex, plan, 0, end);
+    DistributedRun { trace, comm_calls }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::baseline_plan;
+    use daydream_models::zoo;
+
+    fn setup() -> (Model, ExecConfig, IterationPlan) {
+        let model = zoo::resnet50();
+        let cfg = ExecConfig::pytorch_2080ti().with_batch(16);
+        let plan = baseline_plan(&model, 16);
+        (model, cfg, plan)
+    }
+
+    #[test]
+    fn single_worker_has_no_comm() {
+        let (model, cfg, plan) = setup();
+        let run = run_distributed(
+            &model,
+            &cfg,
+            ClusterConfig::new(1, 1, 10.0),
+            NcclExecution::Contended,
+            &plan,
+        );
+        // Zero-duration calls for a single worker (no transfer needed).
+        assert!(run.comm_calls.iter().all(|c| c.theoretical_ns == 0));
+    }
+
+    #[test]
+    fn distributed_slower_than_single_gpu() {
+        let (model, cfg, plan) = setup();
+        let single = Executor::new(&model, &cfg).run(&plan).meta.iteration_ms();
+        let dist = run_distributed(
+            &model,
+            &cfg,
+            ClusterConfig::new(4, 1, 10.0),
+            NcclExecution::Contended,
+            &plan,
+        );
+        assert!(dist.iteration_ms() > single, "comm must cost something");
+        assert_eq!(
+            dist.comm_calls.len(),
+            ddp_buckets(&model, DDP_BUCKET_BYTES).len()
+        );
+    }
+
+    #[test]
+    fn more_bandwidth_is_faster() {
+        let (model, cfg, plan) = setup();
+        let slow = run_distributed(
+            &model,
+            &cfg,
+            ClusterConfig::new(4, 1, 10.0),
+            NcclExecution::Contended,
+            &plan,
+        );
+        let fast = run_distributed(
+            &model,
+            &cfg,
+            ClusterConfig::new(4, 1, 40.0),
+            NcclExecution::Contended,
+            &plan,
+        );
+        assert!(fast.iteration_ms() < slow.iteration_ms());
+    }
+
+    #[test]
+    fn sync_mode_never_slower_much_and_calls_faster() {
+        // Paper §6.5: adding a sync before NCCL calls never degrades
+        // iteration time and can improve it by up to ~22%.
+        let (model, cfg, plan) = setup();
+        let base = run_distributed(
+            &model,
+            &cfg,
+            ClusterConfig::new(4, 2, 10.0),
+            NcclExecution::Contended,
+            &plan,
+        );
+        let synced = run_distributed(
+            &model,
+            &cfg,
+            ClusterConfig::new(4, 2, 10.0),
+            NcclExecution::Synced,
+            &plan,
+        );
+        let call_base: u64 = base.comm_calls.iter().map(|c| c.dur_ns).sum();
+        let call_sync: u64 = synced.comm_calls.iter().map(|c| c.dur_ns).sum();
+        assert!(call_sync < call_base, "synced calls must be faster");
+        assert!(synced.iteration_ms() <= base.iteration_ms() * 1.02);
+    }
+
+    #[test]
+    fn contended_calls_exceed_theoretical() {
+        let (model, cfg, plan) = setup();
+        let run = run_distributed(
+            &model,
+            &cfg,
+            ClusterConfig::new(4, 1, 10.0),
+            NcclExecution::Contended,
+            &plan,
+        );
+        let measured: u64 = run.comm_calls.iter().map(|c| c.dur_ns).sum();
+        let theory: u64 = run.comm_calls.iter().map(|c| c.theoretical_ns).sum();
+        let over = measured as f64 / theory as f64 - 1.0;
+        assert!(
+            (0.2..0.5).contains(&over),
+            "interference {over:.2} should be ~34%"
+        );
+    }
+
+    #[test]
+    fn trace_validates_with_comm_activities() {
+        let (model, cfg, plan) = setup();
+        let run = run_distributed(
+            &model,
+            &cfg,
+            ClusterConfig::new(2, 1, 10.0),
+            NcclExecution::Contended,
+            &plan,
+        );
+        run.trace
+            .validate()
+            .expect("distributed trace must validate");
+        let comm = run
+            .trace
+            .activities
+            .iter()
+            .filter(|a| matches!(a.kind, ActivityKind::Communication { .. }))
+            .count();
+        assert_eq!(comm, run.comm_calls.len());
+    }
+}

@@ -1,0 +1,513 @@
+//! Single-GPU execution engine: replays an [`IterationPlan`] into a trace.
+//!
+//! The engine is a small discrete-event simulation of the paper's Fig. 1
+//! timeline: CPU thread 0 runs the training script (forward + optimizer),
+//! CPU thread 1 is the autograd engine launching backward kernels, CPU
+//! thread 2 loads data; all kernels serialize on CUDA stream 0. Launch APIs,
+//! framework gaps, layer markers, a blocking loss read-back, and a final
+//! device synchronization are emitted exactly as CUPTI + instrumentation
+//! would record them.
+
+use crate::config::ExecConfig;
+use crate::jitter::{jittered_ns, KERNEL_SPREAD};
+use crate::plan::{IterationPlan, LayerPlan, PlannedOp};
+use crate::profile::FrameworkProfile;
+use daydream_device::{kernel_name, CostModel};
+use daydream_models::Model;
+use daydream_trace::{
+    Activity, ActivityKind, BucketInfo, CorrelationId, CpuThreadId, CudaApi, DeviceId,
+    GradientInfo, Lane, LayerMarker, MemcpyDir, Phase, StreamId, Trace, TraceMeta,
+};
+
+/// CPU thread running the training script (forward, optimizer).
+pub const MAIN_THREAD: CpuThreadId = CpuThreadId(0);
+/// CPU thread running the autograd engine (backward launches).
+pub const BACKWARD_THREAD: CpuThreadId = CpuThreadId(1);
+/// CPU thread of the data loader.
+pub const LOADER_THREAD: CpuThreadId = CpuThreadId(2);
+
+/// Default PyTorch DDP gradient-bucket capacity (25 MB).
+pub const DDP_BUCKET_BYTES: u64 = 25 * 1024 * 1024;
+
+/// Time for a launched kernel to become visible to the GPU scheduler.
+const SUBMIT_DELAY_NS: u64 = 1_000;
+/// Handoff latency from the script thread to the autograd thread.
+const BACKWARD_HANDOFF_NS: u64 = 20_000;
+
+/// Replays iteration plans for one model/configuration into traces.
+pub struct Executor<'a> {
+    model: &'a Model,
+    cfg: &'a ExecConfig,
+    profile: FrameworkProfile,
+    cost: CostModel,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor for a model under a configuration.
+    pub fn new(model: &'a Model, cfg: &'a ExecConfig) -> Self {
+        Executor {
+            model,
+            cfg,
+            profile: FrameworkProfile::for_framework(cfg.framework),
+            cost: CostModel::new(cfg.gpu.clone()),
+        }
+    }
+
+    /// Mini-batch size in effect.
+    pub fn batch(&self) -> u64 {
+        self.cfg.batch.unwrap_or(self.model.default_batch)
+    }
+
+    /// Executes one training iteration of `plan` and returns the trace.
+    pub fn run(&self, plan: &IterationPlan) -> Trace {
+        let mut em = Emitter::new(self);
+
+        // Data loading overlaps on its own thread; the input upload waits
+        // for it.
+        let input_bytes = self.input_bytes(plan.batch);
+        let load_dur = self.profile.data_load_ns_per_mb * (input_bytes >> 20).max(1);
+        let load_end = em.data_loading(LOADER_THREAD, input_bytes, load_dur);
+
+        em.cpu_advance(MAIN_THREAD, self.profile.iter_setup_ns);
+        em.cpu_wait_until(MAIN_THREAD, load_end);
+        em.memcpy_htod(MAIN_THREAD, input_bytes);
+
+        // Forward on the main thread.
+        for lp in &plan.fwd {
+            em.run_layer_phase(MAIN_THREAD, lp, Phase::Forward);
+        }
+        // The script reads the loss scalar: a blocking DtoH copy.
+        em.blocking_dtoh(MAIN_THREAD, 4);
+
+        // Backward on the autograd thread.
+        let bwd_start = em.cpu_now(MAIN_THREAD) + BACKWARD_HANDOFF_NS;
+        em.cpu_wait_until(BACKWARD_THREAD, bwd_start);
+        for lp in &plan.bwd {
+            em.run_layer_phase(BACKWARD_THREAD, lp, Phase::Backward);
+        }
+
+        // loss.backward() returns once the autograd thread finished
+        // launching; the optimizer then runs on the main thread.
+        let wu_start = em.cpu_now(BACKWARD_THREAD);
+        em.cpu_wait_until(MAIN_THREAD, wu_start);
+        if plan.wu_sync && !plan.wu.is_empty() {
+            // Gradient clipping reads the grad norm back, draining the
+            // backward kernels before the optimizer loop starts.
+            em.blocking_dtoh(MAIN_THREAD, 4);
+        }
+        for lp in &plan.wu {
+            em.run_layer_phase(MAIN_THREAD, lp, Phase::WeightUpdate);
+        }
+
+        em.device_sync(MAIN_THREAD);
+        let end = em.cpu_now(MAIN_THREAD);
+        em.finish(self, plan, 0, end)
+    }
+
+    /// Bytes of one input mini-batch (FP32 elements of the first layer's
+    /// input shape).
+    fn input_bytes(&self, batch: u64) -> u64 {
+        let per_sample = self
+            .model
+            .layers
+            .first()
+            .map(|l| l.input.numel())
+            .unwrap_or(0);
+        4 * per_sample * batch
+    }
+}
+
+/// Computes the PyTorch-DDP gradient buckets of a model: parameters are
+/// bucketed in backward (reverse forward) order up to a capacity, each
+/// bucket later becoming one all-reduce call (paper §4.2.1).
+pub fn ddp_buckets(model: &Model, cap_bytes: u64) -> Vec<BucketInfo> {
+    let mut buckets = Vec::new();
+    let mut cur_layers = Vec::new();
+    let mut cur_bytes = 0u64;
+    for l in model.backward_order().filter(|l| l.has_params()) {
+        cur_layers.push(l.id);
+        cur_bytes += l.gradient_bytes();
+        if cur_bytes >= cap_bytes {
+            buckets.push(BucketInfo {
+                id: buckets.len() as u32,
+                layers: std::mem::take(&mut cur_layers),
+                bytes: std::mem::take(&mut cur_bytes),
+            });
+        }
+    }
+    if !cur_layers.is_empty() {
+        buckets.push(BucketInfo {
+            id: buckets.len() as u32,
+            layers: cur_layers,
+            bytes: cur_bytes,
+        });
+    }
+    buckets
+}
+
+/// Mutable event-emission state for one run.
+pub(crate) struct Emitter {
+    pub(crate) acts: Vec<Activity>,
+    pub(crate) markers: Vec<LayerMarker>,
+    pub(crate) cpu: [u64; 3],
+    pub(crate) gpu: u64,
+    pub(crate) next_corr: u64,
+    pub(crate) kernel_idx: u64,
+    // Copied out of the executor to avoid borrow tangles.
+    profile: FrameworkProfile,
+    cost: CostModel,
+    pub(crate) launch_api_ns: u64,
+    pub(crate) memcpy_api_ns: u64,
+    pub(crate) sync_api_ns: u64,
+    pub(crate) malloc_ns: u64,
+    pub(crate) seed: u64,
+}
+
+impl Emitter {
+    pub(crate) fn new(ex: &Executor<'_>) -> Self {
+        Emitter {
+            acts: Vec::new(),
+            markers: Vec::new(),
+            cpu: [0; 3],
+            gpu: 0,
+            next_corr: 1,
+            kernel_idx: 0,
+            profile: ex.profile,
+            cost: ex.cost.clone(),
+            launch_api_ns: ex.cfg.cpu.launch_api_ns,
+            memcpy_api_ns: ex.cfg.cpu.memcpy_api_ns,
+            sync_api_ns: ex.cfg.cpu.sync_api_ns,
+            malloc_ns: ex.cfg.cpu.malloc_ns,
+            seed: ex.cfg.seed,
+        }
+    }
+
+    pub(crate) fn cpu_now(&self, t: CpuThreadId) -> u64 {
+        self.cpu[t.0 as usize]
+    }
+
+    pub(crate) fn cpu_advance(&mut self, t: CpuThreadId, dur: u64) {
+        self.cpu[t.0 as usize] += dur;
+    }
+
+    pub(crate) fn cpu_wait_until(&mut self, t: CpuThreadId, when: u64) {
+        let c = &mut self.cpu[t.0 as usize];
+        *c = (*c).max(when);
+    }
+
+    pub(crate) fn fresh_corr(&mut self) -> CorrelationId {
+        let c = CorrelationId(self.next_corr);
+        self.next_corr += 1;
+        c
+    }
+
+    pub(crate) fn push_cpu(
+        &mut self,
+        t: CpuThreadId,
+        api: CudaApi,
+        dur: u64,
+        corr: Option<CorrelationId>,
+    ) {
+        let start = self.cpu_now(t);
+        self.acts.push(Activity {
+            name: api.api_name().into(),
+            kind: ActivityKind::RuntimeApi(api),
+            lane: Lane::Cpu(t),
+            start_ns: start,
+            dur_ns: dur,
+            correlation: corr,
+        });
+        self.cpu_advance(t, dur);
+    }
+
+    /// Emits one data-loading task; returns its completion time.
+    pub(crate) fn data_loading(&mut self, t: CpuThreadId, bytes: u64, dur: u64) -> u64 {
+        let start = self.cpu_now(t);
+        self.acts.push(Activity {
+            name: "load_minibatch".into(),
+            kind: ActivityKind::DataLoading { bytes },
+            lane: Lane::Cpu(t),
+            start_ns: start,
+            dur_ns: dur,
+            correlation: None,
+        });
+        self.cpu_advance(t, dur);
+        self.cpu_now(t)
+    }
+
+    /// Launches one kernel: framework gap, launch API, then the GPU kernel.
+    pub(crate) fn launch_kernel(&mut self, t: CpuThreadId, p: &PlannedOp, phase: Phase) {
+        self.cpu_advance(t, self.profile.gap_ns(phase));
+        let corr = self.fresh_corr();
+        let api_start = self.cpu_now(t);
+        self.push_cpu(t, CudaApi::LaunchKernel, self.launch_api_ns, Some(corr));
+
+        let base = self.cost.op_duration_ns(&p.op, p.prec);
+        let dur = jittered_ns(base, self.seed, self.kernel_idx, KERNEL_SPREAD);
+        self.kernel_idx += 1;
+        let start = self.gpu.max(api_start + SUBMIT_DELAY_NS);
+        self.acts.push(Activity {
+            name: kernel_name(&p.op, p.prec),
+            kind: ActivityKind::Kernel,
+            lane: Lane::Gpu(DeviceId(0), StreamId(0)),
+            start_ns: start,
+            dur_ns: dur,
+            correlation: Some(corr),
+        });
+        self.gpu = start + dur;
+    }
+
+    /// Asynchronous host-to-device copy (input upload).
+    pub(crate) fn memcpy_htod(&mut self, t: CpuThreadId, bytes: u64) {
+        let corr = self.fresh_corr();
+        let api_start = self.cpu_now(t);
+        self.push_cpu(
+            t,
+            CudaApi::MemcpyAsync(MemcpyDir::HostToDevice),
+            self.memcpy_api_ns,
+            Some(corr),
+        );
+        let dur = self.cost.pcie_copy_ns(bytes);
+        let start = self.gpu.max(api_start + SUBMIT_DELAY_NS);
+        self.acts.push(Activity {
+            name: "memcpy HtoD".into(),
+            kind: ActivityKind::GpuMemcpy {
+                dir: MemcpyDir::HostToDevice,
+                bytes,
+            },
+            lane: Lane::Gpu(DeviceId(0), StreamId(0)),
+            start_ns: start,
+            dur_ns: dur,
+            correlation: Some(corr),
+        });
+        self.gpu = start + dur;
+    }
+
+    /// Blocking device-to-host copy: the CPU stalls until all prior GPU
+    /// work and the copy complete (paper §4.2.2 observation).
+    pub(crate) fn blocking_dtoh(&mut self, t: CpuThreadId, bytes: u64) {
+        let corr = self.fresh_corr();
+        let api_start = self.cpu_now(t);
+        let copy_start = self.gpu.max(api_start + SUBMIT_DELAY_NS);
+        let copy_dur = self.cost.pcie_copy_ns(bytes);
+        self.acts.push(Activity {
+            name: "memcpy DtoH".into(),
+            kind: ActivityKind::GpuMemcpy {
+                dir: MemcpyDir::DeviceToHost,
+                bytes,
+            },
+            lane: Lane::Gpu(DeviceId(0), StreamId(0)),
+            start_ns: copy_start,
+            dur_ns: copy_dur,
+            correlation: Some(corr),
+        });
+        self.gpu = copy_start + copy_dur;
+        let api_dur = (self.gpu - api_start).max(self.memcpy_api_ns);
+        self.acts.push(Activity {
+            name: "cudaMemcpyAsync".into(),
+            kind: ActivityKind::RuntimeApi(CudaApi::MemcpyAsync(MemcpyDir::DeviceToHost)),
+            lane: Lane::Cpu(t),
+            start_ns: api_start,
+            dur_ns: api_dur,
+            correlation: Some(corr),
+        });
+        self.cpu_wait_until(t, api_start + api_dur);
+    }
+
+    /// `cudaDeviceSynchronize`: the CPU waits for the GPU to drain.
+    pub(crate) fn device_sync(&mut self, t: CpuThreadId) {
+        let api_start = self.cpu_now(t);
+        let end = self.gpu.max(api_start + self.sync_api_ns);
+        self.acts.push(Activity {
+            name: "cudaDeviceSynchronize".into(),
+            kind: ActivityKind::RuntimeApi(CudaApi::DeviceSynchronize),
+            lane: Lane::Cpu(t),
+            start_ns: api_start,
+            dur_ns: end - api_start,
+            correlation: None,
+        });
+        self.cpu_wait_until(t, end);
+    }
+
+    /// Runs one layer phase: marker window, optional allocations, kernels.
+    pub(crate) fn run_layer_phase(&mut self, t: CpuThreadId, lp: &LayerPlan, phase: Phase) {
+        let start = self.cpu_now(t);
+        self.cpu_advance(t, self.profile.layer_overhead_ns);
+        for _ in 0..lp.mallocs {
+            self.push_cpu(t, CudaApi::Malloc, self.malloc_ns, None);
+        }
+        for op in &lp.ops {
+            self.launch_kernel(t, op, phase);
+        }
+        let end = self.cpu_now(t);
+        self.markers.push(LayerMarker {
+            layer: lp.layer,
+            phase,
+            thread: t,
+            start_ns: start,
+            end_ns: end.max(start + 1),
+        });
+    }
+
+    /// Assembles the final trace with metadata.
+    pub(crate) fn finish(
+        self,
+        ex: &Executor<'_>,
+        plan: &IterationPlan,
+        start: u64,
+        end: u64,
+    ) -> Trace {
+        let gradients = ex
+            .model
+            .backward_order()
+            .filter(|l| l.has_params())
+            .map(|l| GradientInfo {
+                layer: l.id,
+                bytes: l.gradient_bytes(),
+            })
+            .collect();
+        Trace {
+            activities: self.acts,
+            markers: self.markers,
+            meta: TraceMeta {
+                model: ex.model.name.clone(),
+                framework: ex.cfg.framework,
+                batch_size: plan.batch as u32,
+                device: ex.cfg.gpu.name.clone(),
+                iteration_start_ns: start,
+                iteration_end_ns: end,
+                gradients,
+                buckets: ddp_buckets(ex.model, DDP_BUCKET_BYTES),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::baseline_plan;
+    use daydream_models::zoo;
+    use daydream_trace::{max_concurrency, runtime_breakdown};
+
+    fn small_trace() -> Trace {
+        // DenseNet under Caffe keeps the test fast but structurally rich.
+        let model = zoo::resnet50();
+        let cfg = ExecConfig::pytorch_2080ti().with_batch(16);
+        let ex = Executor::new(&model, &cfg);
+        let plan = baseline_plan(&model, ex.batch());
+        ex.run(&plan)
+    }
+
+    #[test]
+    fn trace_validates() {
+        let t = small_trace();
+        t.validate()
+            .expect("executor must emit structurally valid traces");
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let model = zoo::resnet50();
+        let cfg = ExecConfig::pytorch_2080ti().with_batch(16);
+        let ex = Executor::new(&model, &cfg);
+        let plan = baseline_plan(&model, ex.batch());
+        let a = ex.run(&plan);
+        let b = ex.run(&plan);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let model = zoo::resnet50();
+        let c1 = ExecConfig::pytorch_2080ti().with_batch(16);
+        let c2 = c1.with_seed(99);
+        let plan = baseline_plan(&model, 16);
+        let t1 = Executor::new(&model, &c1).run(&plan);
+        let t2 = Executor::new(&model, &c2).run(&plan);
+        assert_ne!(t1, t2);
+        // But iteration times stay within jitter range of each other.
+        let (a, b) = (t1.meta.iteration_ms(), t2.meta.iteration_ms());
+        assert!((a - b).abs() / a < 0.05);
+    }
+
+    #[test]
+    fn kernels_match_plan() {
+        let model = zoo::resnet50();
+        let cfg = ExecConfig::pytorch_2080ti().with_batch(16);
+        let ex = Executor::new(&model, &cfg);
+        let plan = baseline_plan(&model, 16);
+        let t = ex.run(&plan);
+        let kernels = t
+            .activities
+            .iter()
+            .filter(|a| matches!(a.kind, ActivityKind::Kernel))
+            .count();
+        assert_eq!(kernels, plan.kernel_count());
+    }
+
+    #[test]
+    fn markers_cover_all_phases() {
+        let model = zoo::resnet50();
+        let t = small_trace();
+        let fwd = t
+            .markers
+            .iter()
+            .filter(|m| m.phase == Phase::Forward)
+            .count();
+        let bwd = t
+            .markers
+            .iter()
+            .filter(|m| m.phase == Phase::Backward)
+            .count();
+        let wu = t
+            .markers
+            .iter()
+            .filter(|m| m.phase == Phase::WeightUpdate)
+            .count();
+        assert_eq!(fwd, model.layers.len());
+        assert_eq!(bwd, model.layers.len());
+        assert_eq!(wu, model.param_layers().count());
+    }
+
+    #[test]
+    fn low_concurrency_like_fig1() {
+        // Paper §3: despite thousands of tasks, few run concurrently.
+        let t = small_trace();
+        assert!(t.activities.len() > 1000);
+        assert!(max_concurrency(&t) <= 3);
+    }
+
+    #[test]
+    fn breakdown_has_all_components() {
+        let t = small_trace();
+        let b = runtime_breakdown(&t);
+        assert!(b.cpu_only_ns > 0);
+        assert!(b.gpu_only_ns > 0, "loss fetch and final sync must appear");
+        assert!(b.overlap_ns > 0);
+    }
+
+    #[test]
+    fn bucket_layout() {
+        let model = zoo::resnet50();
+        let buckets = ddp_buckets(&model, DDP_BUCKET_BYTES);
+        assert!(buckets.len() > 1);
+        let total: u64 = buckets.iter().map(|b| b.bytes).sum();
+        assert_eq!(total, model.gradient_bytes());
+        // Bucket 0 holds the *last* layers (first to finish backward).
+        let first = &buckets[0];
+        let fc = model.layers.iter().find(|l| l.name == "fc").unwrap();
+        assert!(first.layers.contains(&fc.id));
+    }
+
+    #[test]
+    fn backward_runs_on_engine_thread() {
+        let t = small_trace();
+        for m in &t.markers {
+            match m.phase {
+                Phase::Backward => assert_eq!(m.thread, BACKWARD_THREAD),
+                _ => assert_eq!(m.thread, MAIN_THREAD),
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! High-level ground-truth API: "actually run" an optimization.
+//!
+//! Each function is the stand-in for the paper's real implementations
+//! (Apex AMP, Apex FusedAdam, the restructured-batchnorm Caffe code): it
+//! re-plans the iteration with the optimization applied and executes it
+//! with a *different jitter seed*, modeling an independent run. Daydream's
+//! predictions (in `daydream-core`) transform the baseline *trace* instead
+//! — never seeing these plans — so prediction error arises exactly where
+//! the paper says it does.
+
+use crate::config::ExecConfig;
+use crate::executor::Executor;
+use crate::plan::{amp_plan, baseline_plan, fused_adam_plan, reconstruct_bn_plan};
+use daydream_models::Model;
+use daydream_trace::Trace;
+
+/// Seed salt distinguishing re-executions from the profiling run.
+const RERUN_SALT: u64 = 0x5EED_CAFE;
+
+/// Profiles the FP32 baseline iteration (the input to Daydream).
+pub fn run_baseline(model: &Model, cfg: &ExecConfig) -> Trace {
+    let ex = Executor::new(model, cfg);
+    let plan = baseline_plan(model, ex.batch());
+    ex.run(&plan)
+}
+
+/// Ground truth of NVIDIA Apex Automatic Mixed Precision (Fig. 5).
+pub fn run_amp(model: &Model, cfg: &ExecConfig) -> Trace {
+    let cfg = cfg.with_seed(cfg.seed ^ RERUN_SALT);
+    let ex = Executor::new(model, &cfg);
+    let plan = amp_plan(model, ex.batch());
+    ex.run(&plan)
+}
+
+/// Ground truth of the Apex FusedAdam optimizer (Fig. 7).
+///
+/// # Panics
+///
+/// Panics if the model does not train with Adam.
+pub fn run_fused_adam(model: &Model, cfg: &ExecConfig) -> Trace {
+    let cfg = cfg.with_seed(cfg.seed ^ RERUN_SALT);
+    let ex = Executor::new(model, &cfg);
+    let plan = fused_adam_plan(model, ex.batch());
+    ex.run(&plan)
+}
+
+/// Ground truth of restructured batch normalization (§6.4).
+pub fn run_reconstructed_bn(model: &Model, cfg: &ExecConfig) -> Trace {
+    let cfg = cfg.with_seed(cfg.seed ^ RERUN_SALT);
+    let ex = Executor::new(model, &cfg);
+    let plan = reconstruct_bn_plan(model, ex.batch());
+    ex.run(&plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daydream_models::zoo;
+    use daydream_trace::runtime_breakdown;
+
+    #[test]
+    fn amp_speeds_up_resnet_substantially() {
+        let model = zoo::resnet50();
+        let cfg = ExecConfig::pytorch_2080ti();
+        let base = run_baseline(&model, &cfg).meta.iteration_ms();
+        let amp = run_amp(&model, &cfg).meta.iteration_ms();
+        let speedup = base / amp;
+        assert!(
+            (1.3..2.2).contains(&speedup),
+            "ResNet-50 AMP speedup {speedup:.2} should be well under the per-kernel 3x"
+        );
+    }
+
+    #[test]
+    fn amp_speedup_is_sublinear_for_bert_large() {
+        // Paper: BERT-large AMP improves iteration time ~17% because the
+        // CPU-bound weight update does not shrink.
+        let model = zoo::bert_large();
+        let cfg = ExecConfig::pytorch_2080ti();
+        let base = run_baseline(&model, &cfg).meta.iteration_ms();
+        let amp = run_amp(&model, &cfg).meta.iteration_ms();
+        let improvement = 1.0 - amp / base;
+        assert!(
+            (0.05..0.35).contains(&improvement),
+            "BERT-large AMP improvement {improvement:.2} should be modest (paper: 17.2%)"
+        );
+    }
+
+    #[test]
+    fn amp_shifts_breakdown_toward_cpu() {
+        // Paper Fig. 6: FP16 shrinks GPU-only time; CPU time is unchanged,
+        // so its *share* grows.
+        let model = zoo::bert_base();
+        let cfg = ExecConfig::pytorch_2080ti();
+        let base = runtime_breakdown(&run_baseline(&model, &cfg));
+        let amp = runtime_breakdown(&run_amp(&model, &cfg));
+        assert!(amp.total_ns < base.total_ns);
+        assert!(amp.cpu_only_frac() >= base.cpu_only_frac());
+    }
+
+    #[test]
+    fn fused_adam_hits_bert_large_hard() {
+        // Paper: 38.7% improvement on BERT-large.
+        let model = zoo::bert_large();
+        let cfg = ExecConfig::pytorch_2080ti();
+        let base = run_baseline(&model, &cfg).meta.iteration_ms();
+        let fused = run_fused_adam(&model, &cfg).meta.iteration_ms();
+        let improvement = 1.0 - fused / base;
+        assert!(
+            (0.25..0.55).contains(&improvement),
+            "BERT-large FusedAdam improvement {improvement:.3} should be ~0.39"
+        );
+    }
+
+    #[test]
+    fn fused_adam_helps_gnmt_less() {
+        // Paper: GNMT spends <10% in weight update, so gains are small.
+        let model = zoo::gnmt();
+        let cfg = ExecConfig::pytorch_2080ti();
+        let base = run_baseline(&model, &cfg).meta.iteration_ms();
+        let fused = run_fused_adam(&model, &cfg).meta.iteration_ms();
+        let improvement = 1.0 - fused / base;
+        assert!(
+            improvement < 0.15,
+            "GNMT FusedAdam improvement {improvement:.3} should be small"
+        );
+    }
+
+    #[test]
+    fn reconstructed_bn_gives_modest_densenet_gain() {
+        // Paper §6.4: ground truth is a 7% improvement — well under the
+        // 17.5% the optimization's paper claimed.
+        let model = zoo::densenet121();
+        let cfg = ExecConfig::caffe_2080ti();
+        let base = run_baseline(&model, &cfg).meta.iteration_ms();
+        let rec = run_reconstructed_bn(&model, &cfg).meta.iteration_ms();
+        let improvement = 1.0 - rec / base;
+        assert!(
+            (0.05..0.20).contains(&improvement),
+            "reconstructed BN improvement {improvement:.3} should be modest"
+        );
+    }
+}

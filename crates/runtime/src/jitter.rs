@@ -1,0 +1,63 @@
+//! Deterministic per-kernel duration variance.
+//!
+//! Real kernel durations vary a few percent run to run (clocking, cache
+//! state). The simulator reproduces that with a hash-based multiplicative
+//! jitter: deterministic in `(seed, index)` so a given configuration always
+//! produces the same trace, while different seeds model re-execution — the
+//! reason Daydream's predictions differ slightly from ground truth even for
+//! perfectly modeled transformations.
+
+/// splitmix64 — small, high-quality 64-bit mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Multiplicative jitter factor in `[1 - spread, 1 + spread]`,
+/// deterministic in `(seed, idx)`.
+pub fn jitter_factor(seed: u64, idx: u64, spread: f64) -> f64 {
+    let u = (splitmix64(seed ^ splitmix64(idx.wrapping_add(0xA5A5))) >> 11) as f64
+        / (1u64 << 53) as f64;
+    1.0 + spread * (2.0 * u - 1.0)
+}
+
+/// Applies jitter to a duration in nanoseconds.
+pub fn jittered_ns(base_ns: u64, seed: u64, idx: u64, spread: f64) -> u64 {
+    ((base_ns as f64) * jitter_factor(seed, idx, spread)).round() as u64
+}
+
+/// Default kernel-duration spread (±3%).
+pub const KERNEL_SPREAD: f64 = 0.03;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(jitter_factor(1, 2, 0.05), jitter_factor(1, 2, 0.05));
+        assert_ne!(jitter_factor(1, 2, 0.05), jitter_factor(1, 3, 0.05));
+        assert_ne!(jitter_factor(1, 2, 0.05), jitter_factor(2, 2, 0.05));
+    }
+
+    #[test]
+    fn bounded() {
+        for i in 0..1000 {
+            let f = jitter_factor(9, i, 0.03);
+            assert!((0.97..=1.03).contains(&f), "factor {f} out of bounds");
+        }
+    }
+
+    #[test]
+    fn mean_near_one() {
+        let mean: f64 = (0..4096).map(|i| jitter_factor(3, i, 0.03)).sum::<f64>() / 4096.0;
+        assert!((mean - 1.0).abs() < 0.002, "jitter mean {mean} biased");
+    }
+
+    #[test]
+    fn zero_spread_is_identity() {
+        assert_eq!(jittered_ns(12_345, 7, 9, 0.0), 12_345);
+    }
+}

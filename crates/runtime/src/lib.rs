@@ -1,0 +1,47 @@
+//! Framework execution simulator for Daydream.
+//!
+//! This crate substitutes for the paper's instrumented frameworks (PyTorch,
+//! MXNet, Caffe — §6.1) *and* the hardware they ran on. It lowers a model
+//! from `daydream-models` into an [`IterationPlan`] of kernels, prices them
+//! with `daydream-device`, and replays them through a discrete-event engine
+//! that emits CUPTI-equivalent traces (`daydream-trace`): launch APIs,
+//! framework gaps, layer markers, blocking copies, synchronizations.
+//!
+//! It also provides the **ground truth** side of every paper experiment:
+//! re-planned executions with AMP, FusedAdam, or restructured batchnorm
+//! applied ([`ground_truth`]), distributed DDP iterations with NCCL
+//! interference ([`distributed`]), and steady-state parameter-server
+//! training with optional P3 ([`ps`]). Daydream itself (in `daydream-core`)
+//! only ever sees the baseline traces.
+//!
+//! # Examples
+//!
+//! ```
+//! use daydream_models::zoo;
+//! use daydream_runtime::{ground_truth, ExecConfig};
+//!
+//! let model = zoo::resnet50();
+//! let cfg = ExecConfig::pytorch_2080ti().with_batch(8);
+//! let trace = ground_truth::run_baseline(&model, &cfg);
+//! assert!(trace.validate().is_ok());
+//! assert!(trace.meta.iteration_ms() > 0.0);
+//! ```
+
+pub mod config;
+pub mod distributed;
+pub mod executor;
+pub mod ground_truth;
+pub mod jitter;
+pub mod plan;
+pub mod profile;
+pub mod ps;
+
+pub use config::ExecConfig;
+pub use distributed::{run_distributed, CommCall, DistributedRun, NCCL_STREAM};
+pub use executor::{ddp_buckets, Executor, DDP_BUCKET_BYTES};
+pub use plan::{
+    amp_plan, baseline_plan, fused_adam_plan, reconstruct_bn_plan, IterationPlan, LayerPlan,
+    PlannedOp,
+};
+pub use profile::FrameworkProfile;
+pub use ps::{run_parameter_server, PsRun, PsTrainingConfig};

@@ -1,0 +1,360 @@
+//! Iteration plans: the lowered kernel schedule the executor replays.
+//!
+//! A plan is the bridge between a model description and a trace: per layer
+//! and phase, the ordered [`OpSpec`]s the framework will launch, each with
+//! its execution precision. Ground-truth runs of optimizations are produced
+//! by *re-planning* (the analog of actually implementing the optimization),
+//! which naturally includes second-order effects — cast kernels under AMP,
+//! allocation overheads of the reconstructed batchnorm implementation —
+//! that Daydream's graph transformations do not know about. That asymmetry
+//! is the paper's source of prediction error.
+
+use daydream_device::Precision;
+use daydream_models::{ActKind, LayerKind, Model, OpClass, OpSpec};
+use daydream_trace::LayerId;
+
+/// One kernel with its execution precision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedOp {
+    /// The kernel's work description.
+    pub op: OpSpec,
+    /// Precision the kernel executes in.
+    pub prec: Precision,
+}
+
+impl PlannedOp {
+    fn fp32(op: OpSpec) -> Self {
+        PlannedOp {
+            op,
+            prec: Precision::Fp32,
+        }
+    }
+}
+
+/// The kernels of one layer's phase, plus CPU-side extras.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPlan {
+    /// The layer the kernels belong to.
+    pub layer: LayerId,
+    /// Kernels in launch order.
+    pub ops: Vec<PlannedOp>,
+    /// Extra `cudaMalloc` calls the implementation issues before launching
+    /// (non-zero only for ground-truth plans of optimizations that allocate,
+    /// e.g. reconstructed batchnorm §6.4).
+    pub mallocs: u32,
+}
+
+impl LayerPlan {
+    fn new(layer: LayerId, ops: Vec<PlannedOp>) -> Self {
+        LayerPlan {
+            layer,
+            ops,
+            mallocs: 0,
+        }
+    }
+}
+
+/// A complete lowered training iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationPlan {
+    /// Forward phases in execution order.
+    pub fwd: Vec<LayerPlan>,
+    /// Backward phases in execution order (reverse of forward).
+    pub bwd: Vec<LayerPlan>,
+    /// Weight-update phases, one per parameterized layer in forward order.
+    pub wu: Vec<LayerPlan>,
+    /// Whether the script reads the gradient norm back before stepping
+    /// (gradient clipping, standard for Adam-trained BERT/GNMT): a blocking
+    /// copy that serializes the weight update behind all backward kernels —
+    /// the reason the weight update is such a large share of BERT's
+    /// iteration (paper §6.3).
+    pub wu_sync: bool,
+    /// Mini-batch size the plan was lowered for.
+    pub batch: u64,
+}
+
+impl IterationPlan {
+    /// Total number of GPU kernels in the plan.
+    pub fn kernel_count(&self) -> usize {
+        self.fwd
+            .iter()
+            .chain(&self.bwd)
+            .chain(&self.wu)
+            .map(|lp| lp.ops.len())
+            .sum()
+    }
+
+    /// Number of weight-update kernels (the FusedAdam target, §6.3).
+    pub fn wu_kernel_count(&self) -> usize {
+        self.wu.iter().map(|lp| lp.ops.len()).sum()
+    }
+}
+
+/// Lowers the baseline FP32 iteration of a model.
+pub fn baseline_plan(model: &Model, batch: u64) -> IterationPlan {
+    let fwd = model
+        .layers
+        .iter()
+        .map(|l| {
+            LayerPlan::new(
+                l.id,
+                l.fwd_ops(batch).into_iter().map(PlannedOp::fp32).collect(),
+            )
+        })
+        .collect();
+    let bwd = model
+        .backward_order()
+        .map(|l| {
+            LayerPlan::new(
+                l.id,
+                l.bwd_ops(batch).into_iter().map(PlannedOp::fp32).collect(),
+            )
+        })
+        .collect();
+    let mut wu = Vec::new();
+    let mut first = true;
+    for l in model.param_layers() {
+        let mut ops: Vec<PlannedOp> = Vec::new();
+        if first {
+            // Global gradient-scale / norm kernels run once per step.
+            ops.extend(
+                model
+                    .optimizer
+                    .fixed_update_ops()
+                    .into_iter()
+                    .map(PlannedOp::fp32),
+            );
+            first = false;
+        }
+        for t in l.param_tensors() {
+            ops.extend(
+                model
+                    .optimizer
+                    .tensor_update_ops(t)
+                    .into_iter()
+                    .map(PlannedOp::fp32),
+            );
+        }
+        wu.push(LayerPlan::new(l.id, ops));
+    }
+    let wu_sync = model.optimizer == daydream_models::Optimizer::Adam;
+    IterationPlan {
+        fwd,
+        bwd,
+        wu,
+        wu_sync,
+        batch,
+    }
+}
+
+/// Precision AMP executes a kernel class in.
+fn amp_precision(class: OpClass) -> Precision {
+    match class {
+        // Numerically sensitive reductions stay FP32 under Apex O1.
+        OpClass::Softmax | OpClass::Reduction => Precision::Fp32,
+        _ => Precision::Fp16,
+    }
+}
+
+/// Lowers the mixed-precision (Apex AMP) iteration — the *ground truth*
+/// against which `whatif::amp` predictions are scored (Fig. 5).
+///
+/// Differences from the baseline that Daydream's blanket 3x/2x rule cannot
+/// see: per-kernel roofline behaviour at FP16, inserted cast kernels at
+/// layer boundaries, and loss-scaling checks in the optimizer.
+pub fn amp_plan(model: &Model, batch: u64) -> IterationPlan {
+    let mut plan = baseline_plan(model, batch);
+    for (pi, phase) in [&mut plan.fwd, &mut plan.bwd].into_iter().enumerate() {
+        for lp in phase.iter_mut() {
+            for p in lp.ops.iter_mut() {
+                p.prec = amp_precision(p.op.class);
+            }
+            // Apex casts at the boundary of compute-heavy modules on the
+            // forward path; autograd fuses the backward-side casts.
+            if pi != 0 {
+                continue;
+            }
+            let layer = model.layer(lp.layer).expect("plan layer exists in model");
+            let casts = match layer.kind {
+                LayerKind::Conv2d { .. } | LayerKind::Linear { .. } | LayerKind::Lstm { .. } => 1,
+                _ => 0,
+            };
+            let out_elems = layer.output.numel() as f64 * batch as f64;
+            for i in 0..casts {
+                lp.ops.push(PlannedOp {
+                    op: OpSpec::new(
+                        format!("amp_cast_{i}"),
+                        OpClass::Elementwise,
+                        out_elems,
+                        // FP16 read + FP16 write at the module boundary.
+                        4.0 * out_elems,
+                    ),
+                    prec: Precision::Fp32,
+                });
+            }
+        }
+    }
+    // Loss-scale unscale + inf/nan check before the optimizer runs.
+    if let Some(first) = plan.wu.first_mut() {
+        let total = model.param_count() as f64;
+        for name in ["amp_unscale", "amp_inf_check", "amp_scale_update"] {
+            first.ops.insert(
+                0,
+                PlannedOp::fp32(OpSpec::new(name, OpClass::Elementwise, total, 4.0 * total)),
+            );
+        }
+    }
+    plan
+}
+
+/// Lowers the FusedAdam iteration: the entire weight-update phase collapses
+/// into one multi-tensor kernel (ground truth for Fig. 7).
+///
+/// # Panics
+///
+/// Panics if the model does not use Adam (the optimizer the fused kernel
+/// implements), mirroring Apex's applicability constraint.
+pub fn fused_adam_plan(model: &Model, batch: u64) -> IterationPlan {
+    assert_eq!(
+        model.optimizer,
+        daydream_models::Optimizer::Adam,
+        "FusedAdam applies only to Adam-trained models (paper §5.1)"
+    );
+    let mut plan = baseline_plan(model, batch);
+    let total = model.param_count() as f64;
+    // One fused pass: read grad + param + m + v, write param + m + v.
+    let fused = PlannedOp::fp32(OpSpec::new(
+        "fused_adam_multi_tensor",
+        OpClass::Elementwise,
+        10.0 * total,
+        7.0 * 4.0 * total,
+    ));
+    let first_param_layer = model
+        .param_layers()
+        .next()
+        .expect("Adam model has parameters")
+        .id;
+    plan.wu = vec![LayerPlan::new(first_param_layer, vec![fused])];
+    plan
+}
+
+/// Lowers the reconstructed-batchnorm iteration (Jung et al., ground truth
+/// for §6.4): ReLU kernels fuse into the surrounding convolutions and the
+/// split batchnorm sub-layers load half the data — but through a *new*,
+/// less-tuned kernel implementation that also allocates and copies.
+pub fn reconstruct_bn_plan(model: &Model, batch: u64) -> IterationPlan {
+    /// Penalty of the freshly written kernels vs cuDNN's tuned ones.
+    ///
+    /// Calibrated so the DenseNet-121 ground-truth gain lands near the
+    /// paper's measured 7% (§6.4) while Daydream's idealized prediction
+    /// (remove ReLU, halve batchnorm) remains higher — the paper's
+    /// overestimation case.
+    const NEW_IMPL_FACTOR: f64 = 1.55;
+
+    let mut plan = baseline_plan(model, batch);
+    for phase in [&mut plan.fwd, &mut plan.bwd] {
+        for lp in phase.iter_mut() {
+            let layer = model.layer(lp.layer).expect("plan layer exists in model");
+            match layer.kind {
+                LayerKind::Activation { f: ActKind::ReLU } => {
+                    // Fused into the neighbouring convolution.
+                    lp.ops.clear();
+                }
+                LayerKind::BatchNorm2d { .. } => {
+                    for p in lp.ops.iter_mut() {
+                        p.op.bytes *= 0.5 * NEW_IMPL_FACTOR;
+                        p.op.flops *= NEW_IMPL_FACTOR;
+                    }
+                    // The restructured implementation introduces new CUDA
+                    // memory allocations and a staging copy (§6.4).
+                    lp.mallocs = 1;
+                    lp.ops.push(PlannedOp::fp32(OpSpec::new(
+                        "bn_restructure_copy",
+                        OpClass::Elementwise,
+                        0.0,
+                        2.0 * layer.output.numel() as f64 * batch as f64,
+                    )));
+                }
+                _ => {}
+            }
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daydream_models::zoo;
+
+    #[test]
+    fn baseline_counts_match_model() {
+        let m = zoo::bert_base();
+        let plan = baseline_plan(&m, 8);
+        assert_eq!(plan.wu_kernel_count(), m.weight_update_kernels());
+        assert_eq!(plan.fwd.len(), m.layers.len());
+        assert_eq!(plan.bwd.len(), m.layers.len());
+        assert_eq!(plan.wu.len(), m.param_layers().count());
+    }
+
+    #[test]
+    fn amp_plan_changes_precision_and_adds_casts() {
+        let m = zoo::resnet50();
+        let base = baseline_plan(&m, 64);
+        let amp = amp_plan(&m, 64);
+        assert!(
+            amp.kernel_count() > base.kernel_count(),
+            "AMP must add cast kernels"
+        );
+        let conv_plan = amp
+            .fwd
+            .iter()
+            .find(|lp| m.layer(lp.layer).unwrap().name == "conv1")
+            .unwrap();
+        assert_eq!(conv_plan.ops[0].prec, Precision::Fp16);
+        assert!(conv_plan.ops.last().unwrap().op.label.contains("amp_cast"));
+    }
+
+    #[test]
+    fn fused_adam_collapses_weight_update() {
+        let m = zoo::bert_large();
+        let plan = fused_adam_plan(&m, 2);
+        assert_eq!(plan.wu_kernel_count(), 1);
+        // Forward/backward untouched.
+        let base = baseline_plan(&m, 2);
+        assert_eq!(plan.fwd, base.fwd);
+        assert_eq!(plan.bwd, base.bwd);
+    }
+
+    #[test]
+    #[should_panic(expected = "FusedAdam applies only to Adam")]
+    fn fused_adam_rejects_sgd_models() {
+        let m = zoo::resnet50();
+        let _ = fused_adam_plan(&m, 32);
+    }
+
+    #[test]
+    fn reconstruct_bn_removes_relu_and_shrinks_bn() {
+        let m = zoo::densenet121();
+        let base = baseline_plan(&m, 32);
+        let rec = reconstruct_bn_plan(&m, 32);
+        let relu_id = m
+            .layers
+            .iter()
+            .find(|l| l.kind.type_name() == "ReLU")
+            .unwrap()
+            .id;
+        let base_relu = base.fwd.iter().find(|lp| lp.layer == relu_id).unwrap();
+        let rec_relu = rec.fwd.iter().find(|lp| lp.layer == relu_id).unwrap();
+        assert!(!base_relu.ops.is_empty());
+        assert!(rec_relu.ops.is_empty());
+        let bn_id = m
+            .layers
+            .iter()
+            .find(|l| l.kind.type_name() == "BatchNorm")
+            .unwrap()
+            .id;
+        let rec_bn = rec.fwd.iter().find(|lp| lp.layer == bn_id).unwrap();
+        assert_eq!(rec_bn.mallocs, 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Per-framework CPU overhead profiles.
+//!
+//! The paper's key modeling insight is that CPU-side time — launch APIs plus
+//! the "gaps" of non-CUDA framework code between them (§4.2.1) — is a
+//! first-class component of iteration time. Frameworks differ mainly in
+//! those gaps: PyTorch's Python dispatch costs more per op than Caffe's C++
+//! loop, and the unfused optimizer loop is the most gap-heavy phase of all.
+
+use daydream_trace::{Framework, Phase};
+use serde::{Deserialize, Serialize};
+
+/// CPU-side overheads of one framework, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameworkProfile {
+    /// Gap before each kernel launch in the forward phase.
+    pub fwd_gap_ns: u64,
+    /// Gap before each kernel launch in the backward phase (autograd engine
+    /// bookkeeping).
+    pub bwd_gap_ns: u64,
+    /// Gap before each kernel launch in the weight-update phase (optimizer
+    /// loop; dominates for unfused Adam, §6.3).
+    pub wu_gap_ns: u64,
+    /// Per-layer module-dispatch overhead at the start of a layer phase.
+    pub layer_overhead_ns: u64,
+    /// Fixed per-iteration setup (zeroing state, Python loop head).
+    pub iter_setup_ns: u64,
+    /// CPU time to materialize one mini-batch (collate, pin). Runs on the
+    /// data-loader thread, off the critical path.
+    pub data_load_ns_per_mb: u64,
+}
+
+impl FrameworkProfile {
+    /// Profile of a framework, calibrated to the per-op dispatch costs
+    /// reported for the era's releases (PyTorch 1.0, MXNet 1.1, Caffe 1.0).
+    pub fn for_framework(fw: Framework) -> Self {
+        match fw {
+            Framework::PyTorch => FrameworkProfile {
+                fwd_gap_ns: 16_000,
+                bwd_gap_ns: 22_000,
+                wu_gap_ns: 24_000,
+                layer_overhead_ns: 9_000,
+                iter_setup_ns: 150_000,
+                data_load_ns_per_mb: 900_000,
+            },
+            Framework::MxNet => FrameworkProfile {
+                fwd_gap_ns: 5_500,
+                bwd_gap_ns: 8_000,
+                wu_gap_ns: 15_000,
+                layer_overhead_ns: 7_000,
+                iter_setup_ns: 120_000,
+                data_load_ns_per_mb: 900_000,
+            },
+            Framework::Caffe => FrameworkProfile {
+                fwd_gap_ns: 3_000,
+                bwd_gap_ns: 4_000,
+                wu_gap_ns: 6_000,
+                layer_overhead_ns: 3_500,
+                iter_setup_ns: 80_000,
+                data_load_ns_per_mb: 900_000,
+            },
+        }
+    }
+
+    /// Gap before a launch in the given phase.
+    pub fn gap_ns(&self, phase: Phase) -> u64 {
+        match phase {
+            Phase::Forward => self.fwd_gap_ns,
+            Phase::Backward => self.bwd_gap_ns,
+            Phase::WeightUpdate => self.wu_gap_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pytorch_has_heaviest_optimizer_loop() {
+        let pt = FrameworkProfile::for_framework(Framework::PyTorch);
+        let caffe = FrameworkProfile::for_framework(Framework::Caffe);
+        assert!(pt.wu_gap_ns > pt.fwd_gap_ns);
+        assert!(pt.wu_gap_ns > caffe.wu_gap_ns);
+    }
+
+    #[test]
+    fn gap_selection_by_phase() {
+        let p = FrameworkProfile::for_framework(Framework::PyTorch);
+        assert_eq!(p.gap_ns(Phase::Forward), p.fwd_gap_ns);
+        assert_eq!(p.gap_ns(Phase::Backward), p.bwd_gap_ns);
+        assert_eq!(p.gap_ns(Phase::WeightUpdate), p.wu_gap_ns);
+    }
+}

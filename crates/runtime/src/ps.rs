@@ -1,0 +1,335 @@
+//! MXNet parameter-server training ground truth (paper §6.6, Fig. 10).
+//!
+//! A steady-state multi-iteration simulation of data-parallel training over
+//! a parameter server: after a layer's backward completes, its gradients
+//! are pushed to the servers (wait-free backpropagation); the updated
+//! parameters are pulled back and gate the *next* iteration's forward pass
+//! of that layer. P3 (Jayarajan et al.) slices tensors and prioritizes
+//! slices of input-side layers so pulls finish in the order the next
+//! forward pass needs them.
+//!
+//! Ground truth includes per-message server/worker engine overheads
+//! ([`daydream_comm::PsModel::measured_ns`]) that Daydream's wire-time
+//! prediction omits — the §6.6 overestimation at high bandwidth.
+
+use crate::config::ExecConfig;
+use crate::jitter::{jittered_ns, KERNEL_SPREAD};
+use daydream_comm::{ClusterConfig, PsModel};
+use daydream_device::{CostModel, Precision};
+use daydream_models::Model;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a parameter-server training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PsTrainingConfig {
+    /// Cluster: one worker and one server per machine.
+    pub cluster: ClusterConfig,
+    /// Gradient slice size in bytes; `None` communicates whole layers
+    /// (the MXNet baseline), `Some(s)` enables P3-style slicing.
+    pub slice_bytes: Option<u64>,
+    /// Enables P3's priority scheduling (input-side layers first).
+    pub priority: bool,
+}
+
+impl PsTrainingConfig {
+    /// The MXNet baseline: layer-granularity FIFO communication.
+    pub fn baseline(cluster: ClusterConfig) -> Self {
+        PsTrainingConfig {
+            cluster,
+            slice_bytes: None,
+            priority: false,
+        }
+    }
+
+    /// P3 with its paper-default 4 MB slices and priority scheduling.
+    pub fn p3(cluster: ClusterConfig) -> Self {
+        PsTrainingConfig {
+            cluster,
+            slice_bytes: Some(4 << 20),
+            priority: true,
+        }
+    }
+}
+
+/// Result of a steady-state parameter-server simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PsRun {
+    /// Steady-state iteration time, nanoseconds.
+    pub iteration_ns: u64,
+    /// Total busy time of the send channel in the measured iteration.
+    pub send_busy_ns: u64,
+    /// Number of push/pull message pairs per iteration.
+    pub messages: usize,
+}
+
+impl PsRun {
+    /// Iteration time in milliseconds.
+    pub fn iteration_ms(&self) -> f64 {
+        self.iteration_ns as f64 / 1e6
+    }
+}
+
+/// A queued communication message (one push+pull pair for a slice).
+#[derive(Debug, Clone, Copy)]
+struct Message {
+    /// Forward index of the owning layer (lower = earlier in forward).
+    layer_idx: usize,
+    /// Slice payload bytes.
+    bytes: u64,
+    /// When the gradients become available (backward completion).
+    ready_ns: u64,
+    /// P3 priority: input-side layers first. Ignored under FIFO.
+    priority: i64,
+}
+
+/// Per-layer compute durations (GPU-serial model of the MXNet engine).
+fn layer_durations(model: &Model, cfg: &ExecConfig, batch: u64) -> (Vec<u64>, Vec<u64>) {
+    let cost = CostModel::new(cfg.gpu.clone());
+    let mut idx = 0u64;
+    let mut price = |ops: Vec<daydream_models::OpSpec>| -> u64 {
+        let mut total = 8_000; // engine dispatch per layer
+        for op in ops {
+            let base = cost.op_duration_ns(&op, Precision::Fp32);
+            total += jittered_ns(base, cfg.seed ^ 0x95, idx, KERNEL_SPREAD);
+            idx += 1;
+        }
+        total
+    };
+    let fwd = model
+        .layers
+        .iter()
+        .map(|l| price(l.fwd_ops(batch)))
+        .collect();
+    let bwd = model
+        .layers
+        .iter()
+        .map(|l| price(l.bwd_ops(batch)))
+        .collect();
+    (fwd, bwd)
+}
+
+/// Splits a layer's gradient into slices per the configuration.
+fn slices(bytes: u64, cfg: &PsTrainingConfig) -> Vec<u64> {
+    match cfg.slice_bytes {
+        None => vec![bytes],
+        Some(s) => {
+            let s = s.max(1);
+            let mut rem = bytes;
+            let mut out = Vec::new();
+            while rem > 0 {
+                let take = rem.min(s);
+                out.push(take);
+                rem -= take;
+            }
+            out
+        }
+    }
+}
+
+/// Runs `iters` training iterations and returns the last iteration's span
+/// (steady state) plus channel statistics.
+pub fn run_parameter_server(
+    model: &Model,
+    cfg: &ExecConfig,
+    ps_cfg: PsTrainingConfig,
+    iters: u32,
+) -> PsRun {
+    let batch = cfg.batch.unwrap_or(model.default_batch);
+    let (fwd_dur, bwd_dur) = layer_durations(model, cfg, batch);
+    let ps = PsModel::new(ps_cfg.cluster);
+    let n_layers = model.layers.len();
+
+    // pull_done[L]: when layer L's updated parameters are back on the worker.
+    let mut pull_done = vec![0u64; n_layers];
+    let mut send_cursor = 0u64;
+    let mut recv_cursor = 0u64;
+    let mut compute = 0u64;
+    let mut iter_end_prev = 0u64;
+    let mut last_iter_span = 0u64;
+    let mut last_send_busy = 0u64;
+    let mut message_count = 0usize;
+
+    for it in 0..iters.max(2) {
+        // Forward: layer L waits for its parameters from last iteration.
+        for l in 0..n_layers {
+            compute = compute.max(pull_done[l]) + fwd_dur[l];
+        }
+        // Backward in reverse order; parameterized layers emit messages.
+        let mut pending: Vec<Message> = Vec::new();
+        for l in (0..n_layers).rev() {
+            compute += bwd_dur[l];
+            let layer = &model.layers[l];
+            if !layer.has_params() {
+                continue;
+            }
+            for s in slices(layer.gradient_bytes(), &ps_cfg) {
+                pending.push(Message {
+                    layer_idx: l,
+                    bytes: s,
+                    ready_ns: compute,
+                    priority: l as i64,
+                });
+            }
+        }
+        message_count = pending.len();
+
+        // Channel simulation: send carries pushes, recv carries pulls; a
+        // pull becomes ready when its push (and the server update) is done.
+        let mut send_busy = 0u64;
+        let mut done = vec![false; pending.len()];
+        let mut push_done = vec![0u64; pending.len()];
+        let mut remaining = pending.len();
+        while remaining > 0 {
+            // Pick the next message: among those ready at the channel
+            // cursor, highest priority (lowest layer index) under P3, else
+            // earliest-ready FIFO.
+            let mut best: Option<usize> = None;
+            let horizon = send_cursor;
+            for (i, m) in pending.iter().enumerate() {
+                if done[i] || m.ready_ns > horizon {
+                    continue;
+                }
+                best = match best {
+                    None => Some(i),
+                    Some(j) => {
+                        let mj = &pending[j];
+                        let better = if ps_cfg.priority {
+                            m.priority < mj.priority
+                                || (m.priority == mj.priority && m.ready_ns < mj.ready_ns)
+                        } else {
+                            m.ready_ns < mj.ready_ns || (m.ready_ns == mj.ready_ns && i < j)
+                        };
+                        if better {
+                            Some(i)
+                        } else {
+                            Some(j)
+                        }
+                    }
+                };
+            }
+            let i = match best {
+                Some(i) => i,
+                None => {
+                    // Idle until the next message becomes ready.
+                    let next = pending
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| !done[*i])
+                        .map(|(_, m)| m.ready_ns)
+                        .min()
+                        .expect("remaining messages exist");
+                    send_cursor = send_cursor.max(next);
+                    continue;
+                }
+            };
+            let m = pending[i];
+            let push_ns = ps.measured_ns(m.bytes);
+            let start = send_cursor.max(m.ready_ns);
+            send_cursor = start + push_ns;
+            send_busy += push_ns;
+            push_done[i] = send_cursor;
+            done[i] = true;
+            remaining -= 1;
+
+            // Matching pull on the receive channel.
+            let pull_ns = ps.measured_ns(m.bytes);
+            let pstart = recv_cursor.max(push_done[i]);
+            recv_cursor = pstart + pull_ns;
+            let l = m.layer_idx;
+            pull_done[l] = pull_done[l].max(recv_cursor);
+        }
+
+        let iter_end = compute;
+        if it == iters.max(2) - 1 {
+            last_iter_span = iter_end - iter_end_prev;
+            last_send_busy = send_busy;
+        }
+        iter_end_prev = iter_end;
+    }
+
+    PsRun {
+        iteration_ns: last_iter_span,
+        send_busy_ns: last_send_busy,
+        messages: message_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daydream_models::zoo;
+
+    fn cfg() -> ExecConfig {
+        ExecConfig::mxnet_p4000().with_batch(16)
+    }
+
+    #[test]
+    fn p3_beats_baseline_at_low_bandwidth() {
+        let model = zoo::vgg19();
+        let cluster = ClusterConfig::new(4, 1, 5.0);
+        let base = run_parameter_server(&model, &cfg(), PsTrainingConfig::baseline(cluster), 3);
+        let p3 = run_parameter_server(&model, &cfg(), PsTrainingConfig::p3(cluster), 3);
+        assert!(
+            p3.iteration_ns < base.iteration_ns,
+            "P3 {} should beat baseline {} at 5 Gbps",
+            p3.iteration_ms(),
+            base.iteration_ms()
+        );
+    }
+
+    #[test]
+    fn p3_advantage_shrinks_with_bandwidth() {
+        // Fig. 10 trend: the gap between baseline and P3 narrows as the
+        // network gets faster.
+        let model = zoo::vgg19();
+        let gain = |gbps: f64| {
+            let cluster = ClusterConfig::new(4, 1, gbps);
+            let base = run_parameter_server(&model, &cfg(), PsTrainingConfig::baseline(cluster), 3);
+            let p3 = run_parameter_server(&model, &cfg(), PsTrainingConfig::p3(cluster), 3);
+            base.iteration_ns as f64 / p3.iteration_ns as f64
+        };
+        let low = gain(4.0);
+        let high = gain(20.0);
+        assert!(
+            low > high,
+            "P3 speedup should shrink: low={low:.3} high={high:.3}"
+        );
+    }
+
+    #[test]
+    fn iteration_time_decreases_with_bandwidth() {
+        let model = zoo::resnet50();
+        let t = |gbps: f64| {
+            run_parameter_server(
+                &model,
+                &cfg(),
+                PsTrainingConfig::baseline(ClusterConfig::new(4, 1, gbps)),
+                3,
+            )
+            .iteration_ns
+        };
+        assert!(t(1.0) > t(4.0));
+        assert!(t(4.0) > t(8.0));
+    }
+
+    #[test]
+    fn slicing_multiplies_messages() {
+        let model = zoo::vgg19();
+        let cluster = ClusterConfig::new(4, 1, 10.0);
+        let base = run_parameter_server(&model, &cfg(), PsTrainingConfig::baseline(cluster), 2);
+        let p3 = run_parameter_server(&model, &cfg(), PsTrainingConfig::p3(cluster), 2);
+        assert!(p3.messages > base.messages);
+        // VGG-19: fc1 alone is 411 MB -> >100 slices of 4 MB.
+        assert!(p3.messages > 100);
+    }
+
+    #[test]
+    fn steady_state_is_stable() {
+        let model = zoo::resnet50();
+        let cluster = ClusterConfig::new(2, 1, 10.0);
+        let a = run_parameter_server(&model, &cfg(), PsTrainingConfig::baseline(cluster), 3);
+        let b = run_parameter_server(&model, &cfg(), PsTrainingConfig::baseline(cluster), 5);
+        let diff = (a.iteration_ns as f64 - b.iteration_ns as f64).abs() / a.iteration_ns as f64;
+        assert!(diff < 0.02, "steady state should not drift: {diff:.4}");
+    }
+}

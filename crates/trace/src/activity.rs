@@ -1,0 +1,280 @@
+//! Activity records: the CUPTI-equivalent unit of profiling data.
+//!
+//! CUPTI reports every CUDA runtime API call made on a CPU thread and every
+//! kernel / memory copy executed on a GPU stream, each with a name, start
+//! timestamp, duration, and a correlation id that links an API call to the
+//! GPU work it triggered. This module defines the same record shape so the
+//! rest of Daydream is agnostic to whether a trace came from real hardware
+//! or from the `daydream-runtime` execution simulator.
+
+use crate::ids::{CorrelationId, Lane};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The CUDA runtime API invoked by a CPU-side activity record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CudaApi {
+    /// `cudaLaunchKernel`: asynchronously enqueues a kernel on a stream.
+    LaunchKernel,
+    /// `cudaMemcpyAsync`: asynchronously enqueues a memory copy.
+    ///
+    /// Device-to-host copies block the CPU until prior work on the stream
+    /// completes (paper §4.2.2), which the graph builder turns into a
+    /// synchronization edge.
+    MemcpyAsync(MemcpyDir),
+    /// `cudaMemcpy`: synchronous memory copy.
+    Memcpy(MemcpyDir),
+    /// `cudaDeviceSynchronize`: blocks until all prior GPU work completes.
+    DeviceSynchronize,
+    /// `cudaStreamSynchronize`: blocks until prior work on one stream completes.
+    StreamSynchronize,
+    /// `cudaEventRecord`: records an event on a stream (non-blocking).
+    EventRecord,
+    /// `cudaEventSynchronize`: blocks until an event completes.
+    EventSynchronize,
+    /// `cudaMalloc`: device memory allocation.
+    Malloc,
+    /// `cudaFree`: device memory release.
+    Free,
+    /// `cudaMemsetAsync`: asynchronous device memory set.
+    MemsetAsync,
+    /// Any other CUDA runtime API (e.g. `cudaGetDevice`, attribute queries).
+    Other,
+}
+
+impl CudaApi {
+    /// Returns `true` if the API blocks the calling CPU thread until
+    /// previously launched GPU work completes.
+    ///
+    /// Per paper §4.2.2 this covers the explicit synchronization APIs and
+    /// `cudaMemcpyAsync` device-to-host copies, which were observed to block
+    /// until all prior kernels on the stream finish.
+    pub fn is_blocking_sync(&self) -> bool {
+        matches!(
+            self,
+            CudaApi::DeviceSynchronize
+                | CudaApi::StreamSynchronize
+                | CudaApi::EventSynchronize
+                | CudaApi::Memcpy(_)
+                | CudaApi::MemcpyAsync(MemcpyDir::DeviceToHost)
+        )
+    }
+
+    /// Returns `true` if the API enqueues work on a GPU stream and therefore
+    /// carries a correlation id linking it to a GPU activity.
+    pub fn launches_gpu_work(&self) -> bool {
+        matches!(
+            self,
+            CudaApi::LaunchKernel
+                | CudaApi::MemcpyAsync(_)
+                | CudaApi::Memcpy(_)
+                | CudaApi::MemsetAsync
+        )
+    }
+
+    /// Canonical API name as CUPTI would report it.
+    pub fn api_name(&self) -> &'static str {
+        match self {
+            CudaApi::LaunchKernel => "cudaLaunchKernel",
+            CudaApi::MemcpyAsync(_) => "cudaMemcpyAsync",
+            CudaApi::Memcpy(_) => "cudaMemcpy",
+            CudaApi::DeviceSynchronize => "cudaDeviceSynchronize",
+            CudaApi::StreamSynchronize => "cudaStreamSynchronize",
+            CudaApi::EventRecord => "cudaEventRecord",
+            CudaApi::EventSynchronize => "cudaEventSynchronize",
+            CudaApi::Malloc => "cudaMalloc",
+            CudaApi::Free => "cudaFree",
+            CudaApi::MemsetAsync => "cudaMemsetAsync",
+            CudaApi::Other => "cudaApi",
+        }
+    }
+}
+
+/// Direction of a CUDA memory copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemcpyDir {
+    /// Host memory to device memory (e.g. input batch upload).
+    HostToDevice,
+    /// Device memory to host memory (e.g. loss readback, vDNN offload).
+    DeviceToHost,
+    /// Device memory to device memory.
+    DeviceToDevice,
+}
+
+impl fmt::Display for MemcpyDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemcpyDir::HostToDevice => "HtoD",
+            MemcpyDir::DeviceToHost => "DtoH",
+            MemcpyDir::DeviceToDevice => "DtoD",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What a trace activity represents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ActivityKind {
+    /// A CPU-side CUDA runtime API call.
+    RuntimeApi(CudaApi),
+    /// A GPU kernel execution on a stream.
+    Kernel,
+    /// A GPU-side memory copy on a stream.
+    GpuMemcpy { dir: MemcpyDir, bytes: u64 },
+    /// A GPU-side memory set on a stream.
+    GpuMemset { bytes: u64 },
+    /// Loading one mini-batch from storage into CPU memory.
+    ///
+    /// The paper treats data loading as a CPU task (§4.2.1); the record lives
+    /// on a CPU lane.
+    DataLoading { bytes: u64 },
+    /// A communication primitive (all-reduce, push, pull, reduce-scatter,
+    /// all-gather). Present only in traces of distributed ground-truth runs.
+    Communication { bytes: u64 },
+}
+
+impl ActivityKind {
+    /// Returns `true` for GPU-side records (kernels, copies, memsets).
+    pub fn is_gpu_side(&self) -> bool {
+        matches!(
+            self,
+            ActivityKind::Kernel | ActivityKind::GpuMemcpy { .. } | ActivityKind::GpuMemset { .. }
+        )
+    }
+}
+
+/// One CUPTI-equivalent activity record.
+///
+/// # Examples
+///
+/// ```
+/// use daydream_trace::{Activity, ActivityKind, CudaApi, CpuThreadId, CorrelationId, Lane};
+///
+/// let launch = Activity {
+///     name: "cudaLaunchKernel".into(),
+///     kind: ActivityKind::RuntimeApi(CudaApi::LaunchKernel),
+///     lane: Lane::Cpu(CpuThreadId(0)),
+///     start_ns: 1_000,
+///     dur_ns: 6_000,
+///     correlation: Some(CorrelationId(42)),
+/// };
+/// assert!(launch.lane.is_cpu());
+/// assert_eq!(launch.end_ns(), 7_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Activity {
+    /// Kernel name (e.g. `volta_sgemm_128x64_nn`) or API name.
+    pub name: String,
+    /// What the record represents.
+    pub kind: ActivityKind,
+    /// The execution timeline the record belongs to.
+    pub lane: Lane,
+    /// Start timestamp in nanoseconds since trace origin.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Correlation id linking launch APIs to the GPU work they trigger.
+    pub correlation: Option<CorrelationId>,
+}
+
+impl Activity {
+    /// End timestamp in nanoseconds (`start + duration`).
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+
+    /// Returns `true` if this is a CPU-side runtime API record.
+    pub fn is_runtime_api(&self) -> bool {
+        matches!(self.kind, ActivityKind::RuntimeApi(_))
+    }
+
+    /// Returns the runtime API if this is a CPU-side API record.
+    pub fn runtime_api(&self) -> Option<CudaApi> {
+        match self.kind {
+            ActivityKind::RuntimeApi(api) => Some(api),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the record is GPU-side (kernel, memcpy, memset).
+    pub fn is_gpu_side(&self) -> bool {
+        self.kind.is_gpu_side()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{CpuThreadId, DeviceId, StreamId};
+
+    fn cpu_act(api: CudaApi, start: u64, dur: u64, corr: Option<u64>) -> Activity {
+        Activity {
+            name: api.api_name().to_string(),
+            kind: ActivityKind::RuntimeApi(api),
+            lane: Lane::Cpu(CpuThreadId(0)),
+            start_ns: start,
+            dur_ns: dur,
+            correlation: corr.map(CorrelationId),
+        }
+    }
+
+    #[test]
+    fn blocking_sync_classification() {
+        assert!(CudaApi::DeviceSynchronize.is_blocking_sync());
+        assert!(CudaApi::StreamSynchronize.is_blocking_sync());
+        assert!(CudaApi::EventSynchronize.is_blocking_sync());
+        assert!(CudaApi::MemcpyAsync(MemcpyDir::DeviceToHost).is_blocking_sync());
+        assert!(!CudaApi::MemcpyAsync(MemcpyDir::HostToDevice).is_blocking_sync());
+        assert!(!CudaApi::LaunchKernel.is_blocking_sync());
+        assert!(!CudaApi::Malloc.is_blocking_sync());
+    }
+
+    #[test]
+    fn launch_classification() {
+        assert!(CudaApi::LaunchKernel.launches_gpu_work());
+        assert!(CudaApi::MemcpyAsync(MemcpyDir::HostToDevice).launches_gpu_work());
+        assert!(CudaApi::MemsetAsync.launches_gpu_work());
+        assert!(!CudaApi::DeviceSynchronize.launches_gpu_work());
+        assert!(!CudaApi::Free.launches_gpu_work());
+    }
+
+    #[test]
+    fn activity_end_and_predicates() {
+        let a = cpu_act(CudaApi::LaunchKernel, 100, 50, Some(7));
+        assert_eq!(a.end_ns(), 150);
+        assert!(a.is_runtime_api());
+        assert_eq!(a.runtime_api(), Some(CudaApi::LaunchKernel));
+        assert!(!a.is_gpu_side());
+
+        let k = Activity {
+            name: "volta_sgemm_128x64_nn".into(),
+            kind: ActivityKind::Kernel,
+            lane: Lane::Gpu(DeviceId(0), StreamId(0)),
+            start_ns: 200,
+            dur_ns: 300,
+            correlation: Some(CorrelationId(7)),
+        };
+        assert!(k.is_gpu_side());
+        assert_eq!(k.runtime_api(), None);
+    }
+
+    #[test]
+    fn memcpy_dir_display() {
+        assert_eq!(MemcpyDir::HostToDevice.to_string(), "HtoD");
+        assert_eq!(MemcpyDir::DeviceToHost.to_string(), "DtoH");
+        assert_eq!(MemcpyDir::DeviceToDevice.to_string(), "DtoD");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = cpu_act(
+            CudaApi::MemcpyAsync(MemcpyDir::DeviceToHost),
+            5,
+            10,
+            Some(1),
+        );
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Activity = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,299 @@
+//! Trace analysis: runtime breakdown and lane statistics.
+//!
+//! Implements the decomposition of paper §6.2 / Fig. 6, which splits an
+//! iteration into three components:
+//!
+//! - **GPU-only**: the CPU is blocked waiting for the GPU (durations of CUDA
+//!   synchronization APIs and blocking device-to-host `cudaMemcpyAsync`
+//!   calls);
+//! - **CPU+GPU**: both are busy (GPU busy time outside the waiting windows);
+//! - **CPU-only**: the remainder — the CPU is working while the GPU is idle.
+
+use crate::activity::ActivityKind;
+use crate::intervals::IntervalSet;
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// The three-way runtime decomposition of paper Fig. 6, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuntimeBreakdown {
+    /// Time the CPU is busy while no GPU kernel runs.
+    pub cpu_only_ns: u64,
+    /// Time the CPU is blocked waiting for the GPU.
+    pub gpu_only_ns: u64,
+    /// Time both CPU and GPU are busy.
+    pub overlap_ns: u64,
+    /// Total iteration time the three components partition.
+    pub total_ns: u64,
+}
+
+impl RuntimeBreakdown {
+    /// CPU-only share of the iteration, in `[0, 1]`.
+    pub fn cpu_only_frac(&self) -> f64 {
+        self.cpu_only_ns as f64 / self.total_ns.max(1) as f64
+    }
+
+    /// GPU-only share of the iteration, in `[0, 1]`.
+    pub fn gpu_only_frac(&self) -> f64 {
+        self.gpu_only_ns as f64 / self.total_ns.max(1) as f64
+    }
+
+    /// Overlap share of the iteration, in `[0, 1]`.
+    pub fn overlap_frac(&self) -> f64 {
+        self.overlap_ns as f64 / self.total_ns.max(1) as f64
+    }
+}
+
+/// Computes the Fig. 6 breakdown over the trace's iteration window.
+///
+/// The decomposition follows §6.2: GPU-only time is the union of blocking
+/// API windows; CPU+GPU time is GPU busy time outside those windows; the
+/// rest of the iteration is CPU-only. The three parts always sum to the
+/// iteration length.
+pub fn runtime_breakdown(trace: &Trace) -> RuntimeBreakdown {
+    let (w_start, w_end) = iteration_window(trace);
+    let total = w_end.saturating_sub(w_start);
+
+    let mut gpu_busy = IntervalSet::new();
+    let mut cpu_wait = IntervalSet::new();
+    for a in &trace.activities {
+        match &a.kind {
+            k if k.is_gpu_side() => gpu_busy.add(a.start_ns, a.end_ns()),
+            ActivityKind::RuntimeApi(api) if api.is_blocking_sync() => {
+                cpu_wait.add(a.start_ns, a.end_ns())
+            }
+            _ => {}
+        }
+    }
+    let gpu_busy = gpu_busy.clamp(w_start, w_end);
+    let cpu_wait = cpu_wait.clamp(w_start, w_end);
+
+    let gpu_only = cpu_wait.measure();
+    let overlap = gpu_busy.subtract(&cpu_wait).measure();
+    let cpu_only = total.saturating_sub(gpu_only).saturating_sub(overlap);
+
+    RuntimeBreakdown {
+        cpu_only_ns: cpu_only,
+        gpu_only_ns: gpu_only,
+        overlap_ns: overlap,
+        total_ns: total,
+    }
+}
+
+/// Returns the analysis window: the recorded iteration span if set, else the
+/// full activity span.
+pub fn iteration_window(trace: &Trace) -> (u64, u64) {
+    if trace.meta.iteration_end_ns > trace.meta.iteration_start_ns {
+        (trace.meta.iteration_start_ns, trace.meta.iteration_end_ns)
+    } else {
+        (trace.start_ns(), trace.end_ns())
+    }
+}
+
+/// Busy/idle statistics for one lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaneStats {
+    /// Number of activities on the lane.
+    pub count: usize,
+    /// Sum of activity durations.
+    pub busy_ns: u64,
+    /// Sum of gaps between consecutive activities.
+    pub idle_ns: u64,
+    /// Longest single gap between consecutive activities.
+    pub max_gap_ns: u64,
+}
+
+/// Computes per-lane busy/idle statistics.
+///
+/// Gaps are measured between consecutive activities on the same lane — the
+/// quantity Daydream records as the `gap` field of CPU tasks (paper §4.2.1)
+/// to account for non-CUDA CPU time that CUPTI cannot observe.
+pub fn lane_stats(trace: &Trace) -> Vec<(crate::ids::Lane, LaneStats)> {
+    let mut out = Vec::new();
+    for (lane, ids) in trace.lanes() {
+        let mut busy = 0u64;
+        let mut idle = 0u64;
+        let mut max_gap = 0u64;
+        let mut prev_end: Option<u64> = None;
+        for id in &ids {
+            let a = &trace.activities[id.0];
+            busy += a.dur_ns;
+            if let Some(pe) = prev_end {
+                let gap = a.start_ns.saturating_sub(pe);
+                idle += gap;
+                max_gap = max_gap.max(gap);
+            }
+            prev_end = Some(a.end_ns());
+        }
+        out.push((
+            lane,
+            LaneStats {
+                count: ids.len(),
+                busy_ns: busy,
+                idle_ns: idle,
+                max_gap_ns: max_gap,
+            },
+        ));
+    }
+    out
+}
+
+/// Maximum number of activities that execute concurrently across all lanes.
+///
+/// The paper's key observation (§3) is that DNN training traces are highly
+/// sequential: despite thousands of tasks, at most a handful run at once.
+pub fn max_concurrency(trace: &Trace) -> usize {
+    let mut events: Vec<(u64, i32)> = Vec::with_capacity(trace.activities.len() * 2);
+    for a in &trace.activities {
+        if a.dur_ns == 0 {
+            continue;
+        }
+        events.push((a.start_ns, 1));
+        events.push((a.end_ns(), -1));
+    }
+    // Ends sort before starts at equal timestamps so touching activities do
+    // not count as concurrent.
+    events.sort_by_key(|&(t, d)| (t, d));
+    let mut cur = 0i32;
+    let mut max = 0i32;
+    for (_, d) in events {
+        cur += d;
+        max = max.max(cur);
+    }
+    max as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::{Activity, ActivityKind, CudaApi, MemcpyDir};
+    use crate::ids::{CorrelationId, CpuThreadId, DeviceId, Lane, StreamId};
+    use crate::meta::{Framework, TraceMeta};
+
+    fn meta(start: u64, end: u64) -> TraceMeta {
+        TraceMeta {
+            model: "toy".into(),
+            framework: Framework::PyTorch,
+            batch_size: 1,
+            device: "test".into(),
+            iteration_start_ns: start,
+            iteration_end_ns: end,
+            gradients: vec![],
+            buckets: vec![],
+        }
+    }
+
+    fn api(api: CudaApi, start: u64, dur: u64, corr: Option<u64>) -> Activity {
+        Activity {
+            name: api.api_name().into(),
+            kind: ActivityKind::RuntimeApi(api),
+            lane: Lane::Cpu(CpuThreadId(0)),
+            start_ns: start,
+            dur_ns: dur,
+            correlation: corr.map(CorrelationId),
+        }
+    }
+
+    fn kernel(start: u64, dur: u64, corr: u64) -> Activity {
+        Activity {
+            name: "k".into(),
+            kind: ActivityKind::Kernel,
+            lane: Lane::Gpu(DeviceId(0), StreamId(0)),
+            start_ns: start,
+            dur_ns: dur,
+            correlation: Some(CorrelationId(corr)),
+        }
+    }
+
+    /// CPU launches at [0,10), kernel runs [10,60), CPU syncs [20,60):
+    /// cpu_only = 10 (launch) + 10 [10,20) while kernel runs? No:
+    /// overlap = gpu busy minus wait = [10,20) = 10; gpu_only = 40; total 100.
+    #[test]
+    fn breakdown_partitions_iteration() {
+        let mut t = crate::trace::Trace::empty(meta(0, 100));
+        t.activities
+            .push(api(CudaApi::LaunchKernel, 0, 10, Some(1)));
+        t.activities.push(kernel(10, 50, 1));
+        t.activities
+            .push(api(CudaApi::DeviceSynchronize, 20, 40, None));
+        let b = runtime_breakdown(&t);
+        assert_eq!(b.total_ns, 100);
+        assert_eq!(b.gpu_only_ns, 40);
+        assert_eq!(b.overlap_ns, 10);
+        assert_eq!(b.cpu_only_ns, 50);
+        assert_eq!(b.cpu_only_ns + b.gpu_only_ns + b.overlap_ns, b.total_ns);
+        assert!((b.cpu_only_frac() + b.gpu_only_frac() + b.overlap_frac() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocking_memcpy_counts_as_gpu_only() {
+        let mut t = crate::trace::Trace::empty(meta(0, 50));
+        t.activities.push(api(
+            CudaApi::MemcpyAsync(MemcpyDir::DeviceToHost),
+            0,
+            30,
+            Some(1),
+        ));
+        t.activities.push(Activity {
+            name: "memcpy DtoH".into(),
+            kind: ActivityKind::GpuMemcpy {
+                dir: MemcpyDir::DeviceToHost,
+                bytes: 64,
+            },
+            lane: Lane::Gpu(DeviceId(0), StreamId(0)),
+            start_ns: 10,
+            dur_ns: 10,
+            correlation: Some(CorrelationId(1)),
+        });
+        let b = runtime_breakdown(&t);
+        assert_eq!(b.gpu_only_ns, 30);
+        assert_eq!(b.overlap_ns, 0); // copy lies inside the waiting window
+        assert_eq!(b.cpu_only_ns, 20);
+    }
+
+    #[test]
+    fn window_falls_back_to_activity_span() {
+        let mut t = crate::trace::Trace::empty(meta(0, 0));
+        t.activities
+            .push(api(CudaApi::LaunchKernel, 5, 10, Some(1)));
+        t.activities.push(kernel(20, 10, 1));
+        assert_eq!(iteration_window(&t), (5, 30));
+    }
+
+    #[test]
+    fn lane_stats_gaps() {
+        let mut t = crate::trace::Trace::empty(meta(0, 100));
+        t.activities
+            .push(api(CudaApi::LaunchKernel, 0, 10, Some(1)));
+        t.activities
+            .push(api(CudaApi::LaunchKernel, 25, 5, Some(2)));
+        t.activities.push(kernel(12, 8, 1));
+        t.activities.push(kernel(40, 10, 2));
+        let stats = lane_stats(&t);
+        assert_eq!(stats.len(), 2);
+        let (lane, cpu) = stats[0];
+        assert!(lane.is_cpu());
+        assert_eq!(cpu.count, 2);
+        assert_eq!(cpu.busy_ns, 15);
+        assert_eq!(cpu.idle_ns, 15);
+        assert_eq!(cpu.max_gap_ns, 15);
+        let (_, gpu) = stats[1];
+        assert_eq!(gpu.busy_ns, 18);
+        assert_eq!(gpu.idle_ns, 20);
+    }
+
+    #[test]
+    fn max_concurrency_counts_lanes() {
+        let mut t = crate::trace::Trace::empty(meta(0, 100));
+        t.activities
+            .push(api(CudaApi::LaunchKernel, 0, 20, Some(1)));
+        t.activities.push(kernel(10, 20, 1)); // overlaps the launch
+        assert_eq!(max_concurrency(&t), 2);
+        // Touching activities are not concurrent.
+        let mut t2 = crate::trace::Trace::empty(meta(0, 100));
+        t2.activities
+            .push(api(CudaApi::LaunchKernel, 0, 10, Some(1)));
+        t2.activities.push(kernel(10, 10, 1));
+        assert_eq!(max_concurrency(&t2), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Export traces to the Chrome tracing (`chrome://tracing` / Perfetto)
+//! JSON array format for visual inspection.
+
+use crate::activity::ActivityKind;
+use crate::ids::Lane;
+use crate::trace::Trace;
+use serde::Serialize;
+
+/// One complete ("X" phase) event in Chrome trace format.
+#[derive(Debug, Serialize)]
+struct ChromeEvent<'a> {
+    name: &'a str,
+    cat: &'static str,
+    ph: &'static str,
+    /// Microseconds, as the format requires.
+    ts: f64,
+    dur: f64,
+    pid: u32,
+    tid: u32,
+}
+
+fn lane_ids(lane: Lane) -> (u32, u32) {
+    match lane {
+        // CPU threads under pid 1, GPU streams under pid 2 + device.
+        Lane::Cpu(t) => (1, t.0),
+        Lane::Gpu(d, s) => (2 + d.0, s.0),
+    }
+}
+
+fn category(kind: &ActivityKind) -> &'static str {
+    match kind {
+        ActivityKind::RuntimeApi(_) => "cuda_api",
+        ActivityKind::Kernel => "kernel",
+        ActivityKind::GpuMemcpy { .. } => "memcpy",
+        ActivityKind::GpuMemset { .. } => "memset",
+        ActivityKind::DataLoading { .. } => "dataload",
+        ActivityKind::Communication { .. } => "comm",
+    }
+}
+
+/// Serializes the trace as a Chrome trace JSON array.
+///
+/// Load the output in `chrome://tracing` or Perfetto to see the CPU / GPU
+/// timelines the way paper Fig. 1 shows NVProf output.
+pub fn to_chrome_trace(trace: &Trace) -> serde_json::Result<String> {
+    let mut events = Vec::with_capacity(trace.activities.len() + trace.markers.len());
+    for a in &trace.activities {
+        let (pid, tid) = lane_ids(a.lane);
+        events.push(ChromeEvent {
+            name: &a.name,
+            cat: category(&a.kind),
+            ph: "X",
+            ts: a.start_ns as f64 / 1e3,
+            dur: a.dur_ns as f64 / 1e3,
+            pid,
+            tid,
+        });
+    }
+    let marker_names: Vec<String> = trace
+        .markers
+        .iter()
+        .map(|m| format!("{} {}", m.layer, m.phase))
+        .collect();
+    for (m, name) in trace.markers.iter().zip(&marker_names) {
+        events.push(ChromeEvent {
+            name,
+            cat: "layer",
+            ph: "X",
+            ts: m.start_ns as f64 / 1e3,
+            dur: (m.end_ns - m.start_ns) as f64 / 1e3,
+            pid: 0,
+            tid: m.thread.0,
+        });
+    }
+    serde_json::to_string(&events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::{Activity, CudaApi};
+    use crate::ids::{CorrelationId, CpuThreadId, DeviceId, LayerId, StreamId};
+    use crate::marker::{LayerMarker, Phase};
+    use crate::meta::{Framework, TraceMeta};
+
+    #[test]
+    fn exports_all_records() {
+        let mut t = Trace::empty(TraceMeta {
+            model: "toy".into(),
+            framework: Framework::PyTorch,
+            batch_size: 1,
+            device: "test".into(),
+            iteration_start_ns: 0,
+            iteration_end_ns: 100,
+            gradients: vec![],
+            buckets: vec![],
+        });
+        t.activities.push(Activity {
+            name: "cudaLaunchKernel".into(),
+            kind: ActivityKind::RuntimeApi(CudaApi::LaunchKernel),
+            lane: Lane::Cpu(CpuThreadId(0)),
+            start_ns: 0,
+            dur_ns: 10,
+            correlation: Some(CorrelationId(1)),
+        });
+        t.activities.push(Activity {
+            name: "sgemm".into(),
+            kind: ActivityKind::Kernel,
+            lane: Lane::Gpu(DeviceId(0), StreamId(0)),
+            start_ns: 12,
+            dur_ns: 30,
+            correlation: Some(CorrelationId(1)),
+        });
+        t.markers.push(LayerMarker {
+            layer: LayerId(0),
+            phase: Phase::Forward,
+            thread: CpuThreadId(0),
+            start_ns: 0,
+            end_ns: 15,
+        });
+        let json = to_chrome_trace(&t).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = parsed.as_array().unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0]["cat"], "cuda_api");
+        assert_eq!(events[1]["cat"], "kernel");
+        assert_eq!(events[2]["cat"], "layer");
+        // Timestamps are microseconds.
+        assert_eq!(events[1]["ts"], 0.012);
+    }
+}

@@ -1,0 +1,113 @@
+//! Identifier newtypes shared across the trace substrate.
+//!
+//! These mirror the identifiers CUPTI attaches to activity records: CPU
+//! thread ids, CUDA stream ids, device ids, and correlation ids that tie a
+//! runtime API call (e.g. `cudaLaunchKernel`) to the GPU activity it
+//! triggered. Layer ids are produced by framework instrumentation rather
+//! than CUPTI, but live here because they tag the same trace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a CPU thread that issued runtime API calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CpuThreadId(pub u32);
+
+/// Identifier of a CUDA stream on a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StreamId(pub u32);
+
+/// Identifier of a GPU device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceId(pub u32);
+
+/// Correlation id linking a CPU-side runtime API record to the GPU activity
+/// it launched, exactly as CUPTI reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CorrelationId(pub u64);
+
+/// Identifier of a DNN layer, assigned by framework instrumentation.
+///
+/// CUPTI itself has no application knowledge; layer ids appear only in the
+/// instrumentation side-channel ([`crate::LayerMarker`]) and are later joined
+/// against activities by Daydream's synchronization-free mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LayerId(pub u32);
+
+/// Index of an activity inside a [`crate::Trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ActivityId(pub usize);
+
+/// An execution timeline: either a CPU thread or a CUDA stream on a device.
+///
+/// Activities on the same lane are serialized; this is the "thread" of paper
+/// Algorithm 1 before communication channels are added.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Lane {
+    /// A CPU thread issuing runtime API calls (and data-loading tasks).
+    Cpu(CpuThreadId),
+    /// A CUDA stream executing kernels and memory copies.
+    Gpu(DeviceId, StreamId),
+}
+
+impl Lane {
+    /// Returns `true` if this lane is a CPU thread.
+    pub fn is_cpu(&self) -> bool {
+        matches!(self, Lane::Cpu(_))
+    }
+
+    /// Returns `true` if this lane is a GPU stream.
+    pub fn is_gpu(&self) -> bool {
+        matches!(self, Lane::Gpu(_, _))
+    }
+}
+
+impl fmt::Display for Lane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lane::Cpu(t) => write!(f, "cpu:{}", t.0),
+            Lane::Gpu(d, s) => write!(f, "gpu{}:stream{}", d.0, s.0),
+        }
+    }
+}
+
+impl fmt::Display for LayerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_kind_predicates() {
+        let c = Lane::Cpu(CpuThreadId(1));
+        let g = Lane::Gpu(DeviceId(0), StreamId(7));
+        assert!(c.is_cpu() && !c.is_gpu());
+        assert!(g.is_gpu() && !g.is_cpu());
+    }
+
+    #[test]
+    fn lane_display() {
+        assert_eq!(Lane::Cpu(CpuThreadId(2)).to_string(), "cpu:2");
+        assert_eq!(
+            Lane::Gpu(DeviceId(0), StreamId(3)).to_string(),
+            "gpu0:stream3"
+        );
+    }
+
+    #[test]
+    fn lane_ordering_is_total() {
+        let mut lanes = vec![
+            Lane::Gpu(DeviceId(1), StreamId(0)),
+            Lane::Cpu(CpuThreadId(9)),
+            Lane::Gpu(DeviceId(0), StreamId(2)),
+            Lane::Cpu(CpuThreadId(1)),
+        ];
+        lanes.sort();
+        assert_eq!(lanes[0], Lane::Cpu(CpuThreadId(1)));
+        assert!(lanes[3] > lanes[0]);
+    }
+}

@@ -1,0 +1,245 @@
+//! Half-open interval sets over nanosecond timestamps.
+//!
+//! The runtime-breakdown analysis of paper Fig. 6 (CPU-only / GPU-only /
+//! CPU+GPU) is interval algebra over busy sets; this module provides a small
+//! normalized interval-set type with union, intersection, subtraction, and
+//! total measure.
+
+use serde::{Deserialize, Serialize};
+
+/// A set of disjoint, sorted, half-open intervals `[start, end)` over `u64`
+/// nanosecond timestamps.
+///
+/// # Examples
+///
+/// ```
+/// use daydream_trace::IntervalSet;
+///
+/// let mut a = IntervalSet::new();
+/// a.add(0, 10);
+/// a.add(5, 20); // overlapping intervals are merged
+/// assert_eq!(a.measure(), 20);
+///
+/// let mut b = IntervalSet::new();
+/// b.add(15, 30);
+/// assert_eq!(a.intersect(&b).measure(), 5);
+/// assert_eq!(a.union(&b).measure(), 30);
+/// assert_eq!(a.subtract(&b).measure(), 15);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalSet {
+    /// Normalized (disjoint, sorted, non-empty) intervals.
+    ivs: Vec<(u64, u64)>,
+}
+
+impl IntervalSet {
+    /// Creates an empty interval set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from arbitrary (possibly overlapping) intervals.
+    pub fn from_intervals<I: IntoIterator<Item = (u64, u64)>>(ivs: I) -> Self {
+        let mut s = Self::new();
+        for (a, b) in ivs {
+            s.add(a, b);
+        }
+        s
+    }
+
+    /// Adds `[start, end)` to the set, merging overlaps.
+    ///
+    /// Empty intervals (`start >= end`) are ignored.
+    pub fn add(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        // Find insertion window: all intervals that touch [start, end).
+        let mut new_start = start;
+        let mut new_end = end;
+        let mut i = 0;
+        let mut out = Vec::with_capacity(self.ivs.len() + 1);
+        while i < self.ivs.len() && self.ivs[i].1 < new_start {
+            out.push(self.ivs[i]);
+            i += 1;
+        }
+        while i < self.ivs.len() && self.ivs[i].0 <= new_end {
+            new_start = new_start.min(self.ivs[i].0);
+            new_end = new_end.max(self.ivs[i].1);
+            i += 1;
+        }
+        out.push((new_start, new_end));
+        out.extend_from_slice(&self.ivs[i..]);
+        self.ivs = out;
+    }
+
+    /// Returns the disjoint sorted intervals of the set.
+    pub fn intervals(&self) -> &[(u64, u64)] {
+        &self.ivs
+    }
+
+    /// Total covered time in nanoseconds.
+    pub fn measure(&self) -> u64 {
+        self.ivs.iter().map(|(a, b)| b - a).sum()
+    }
+
+    /// Returns `true` if the set covers no time.
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    /// Returns `true` if `t` lies inside the set.
+    pub fn contains(&self, t: u64) -> bool {
+        self.ivs
+            .binary_search_by(|&(a, b)| {
+                if t < a {
+                    std::cmp::Ordering::Greater
+                } else if t >= b {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for &(a, b) in &other.ivs {
+            out.add(a, b);
+        }
+        out
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &Self) -> Self {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ivs.len() && j < other.ivs.len() {
+            let (a1, b1) = self.ivs[i];
+            let (a2, b2) = other.ivs[j];
+            let lo = a1.max(a2);
+            let hi = b1.min(b2);
+            if lo < hi {
+                out.push((lo, hi));
+            }
+            if b1 < b2 {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        Self { ivs: out }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn subtract(&self, other: &Self) -> Self {
+        let mut out = Vec::new();
+        let mut j = 0;
+        for &(a, b) in &self.ivs {
+            let mut cur = a;
+            while j < other.ivs.len() && other.ivs[j].1 <= cur {
+                j += 1;
+            }
+            let mut k = j;
+            while k < other.ivs.len() && other.ivs[k].0 < b {
+                let (oa, ob) = other.ivs[k];
+                if oa > cur {
+                    out.push((cur, oa.min(b)));
+                }
+                cur = cur.max(ob);
+                if cur >= b {
+                    break;
+                }
+                k += 1;
+            }
+            if cur < b {
+                out.push((cur, b));
+            }
+        }
+        Self { ivs: out }
+    }
+
+    /// Restricts the set to the window `[start, end)`.
+    pub fn clamp(&self, start: u64, end: u64) -> Self {
+        self.intersect(&Self::from_intervals([(start, end)]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_merges_overlapping_and_adjacent() {
+        let mut s = IntervalSet::new();
+        s.add(10, 20);
+        s.add(30, 40);
+        s.add(20, 30); // adjacent on both sides: all merge
+        assert_eq!(s.intervals(), &[(10, 40)]);
+        assert_eq!(s.measure(), 30);
+    }
+
+    #[test]
+    fn add_ignores_empty() {
+        let mut s = IntervalSet::new();
+        s.add(5, 5);
+        s.add(7, 3);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn add_keeps_disjoint_sorted() {
+        let s = IntervalSet::from_intervals([(50, 60), (10, 20), (30, 40)]);
+        assert_eq!(s.intervals(), &[(10, 20), (30, 40), (50, 60)]);
+    }
+
+    #[test]
+    fn contains_binary_search() {
+        let s = IntervalSet::from_intervals([(10, 20), (30, 40)]);
+        assert!(s.contains(10));
+        assert!(s.contains(19));
+        assert!(!s.contains(20));
+        assert!(!s.contains(25));
+        assert!(s.contains(35));
+        assert!(!s.contains(45));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = IntervalSet::from_intervals([(0, 10), (20, 30)]);
+        let b = IntervalSet::from_intervals([(5, 25)]);
+        assert_eq!(a.intersect(&b).intervals(), &[(5, 10), (20, 25)]);
+        assert_eq!(a.intersect(&IntervalSet::new()).measure(), 0);
+    }
+
+    #[test]
+    fn subtraction_cases() {
+        let a = IntervalSet::from_intervals([(0, 100)]);
+        let b = IntervalSet::from_intervals([(10, 20), (50, 60)]);
+        assert_eq!(a.subtract(&b).intervals(), &[(0, 10), (20, 50), (60, 100)]);
+        // Subtracting a superset leaves nothing.
+        let c = IntervalSet::from_intervals([(0, 100)]);
+        assert!(b.subtract(&c).is_empty());
+        // Subtracting disjoint set is identity.
+        let d = IntervalSet::from_intervals([(200, 300)]);
+        assert_eq!(a.subtract(&d), a);
+    }
+
+    #[test]
+    fn clamp_window() {
+        let a = IntervalSet::from_intervals([(0, 10), (20, 30), (40, 50)]);
+        let c = a.clamp(5, 45);
+        assert_eq!(c.intervals(), &[(5, 10), (20, 30), (40, 45)]);
+    }
+
+    #[test]
+    fn union_measure_inclusion_exclusion() {
+        let a = IntervalSet::from_intervals([(0, 10), (20, 30)]);
+        let b = IntervalSet::from_intervals([(5, 25)]);
+        let u = a.union(&b);
+        let i = a.intersect(&b);
+        assert_eq!(u.measure() + i.measure(), a.measure() + b.measure());
+    }
+}

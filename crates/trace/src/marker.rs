@@ -1,0 +1,108 @@
+//! Framework instrumentation markers: per-layer phase timestamps.
+//!
+//! Daydream instruments the layer modules of the DNN framework to record a
+//! timestamp before and after the forward, backward, and weight-update phase
+//! of every layer (paper §4.1 Phase 1). These markers are the only
+//! application-level knowledge in the trace; together with CUPTI correlation
+//! ids they enable the synchronization-free task-to-layer mapping of §4.3.
+
+use crate::ids::{CpuThreadId, LayerId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The training phase a marker (or task) belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Forward pass of a layer.
+    Forward,
+    /// Backward (gradient) pass of a layer.
+    Backward,
+    /// Weight-update (optimizer) step of a layer's parameters.
+    WeightUpdate,
+}
+
+impl Phase {
+    /// All phases in execution order.
+    pub const ALL: [Phase; 3] = [Phase::Forward, Phase::Backward, Phase::WeightUpdate];
+
+    /// Short lowercase name used in task labels.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Phase::Forward => "fwd",
+            Phase::Backward => "bwd",
+            Phase::WeightUpdate => "wu",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// A layer-phase window recorded on a CPU thread by framework instrumentation.
+///
+/// The window `[start_ns, end_ns)` covers the CPU-side execution of one
+/// layer's phase: every launch API issued inside it belongs to that layer
+/// (paper Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerMarker {
+    /// The instrumented layer.
+    pub layer: LayerId,
+    /// Which phase of the layer the window covers.
+    pub phase: Phase,
+    /// CPU thread the framework executed the layer on.
+    pub thread: CpuThreadId,
+    /// Window start, nanoseconds since trace origin.
+    pub start_ns: u64,
+    /// Window end, nanoseconds since trace origin.
+    pub end_ns: u64,
+}
+
+impl LayerMarker {
+    /// Returns `true` if `t` falls inside the marker window.
+    pub fn contains(&self, t: u64) -> bool {
+        t >= self.start_ns && t < self.end_ns
+    }
+
+    /// Window length in nanoseconds (the `C_L` of paper Fig. 3).
+    pub fn cpu_duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_order_matches_training_loop() {
+        assert!(Phase::Forward < Phase::Backward);
+        assert!(Phase::Backward < Phase::WeightUpdate);
+        assert_eq!(Phase::ALL.len(), 3);
+    }
+
+    #[test]
+    fn marker_containment_is_half_open() {
+        let m = LayerMarker {
+            layer: LayerId(3),
+            phase: Phase::Forward,
+            thread: CpuThreadId(0),
+            start_ns: 100,
+            end_ns: 200,
+        };
+        assert!(m.contains(100));
+        assert!(m.contains(199));
+        assert!(!m.contains(200));
+        assert!(!m.contains(99));
+        assert_eq!(m.cpu_duration_ns(), 100);
+    }
+
+    #[test]
+    fn phase_display() {
+        assert_eq!(Phase::Forward.to_string(), "fwd");
+        assert_eq!(Phase::Backward.to_string(), "bwd");
+        assert_eq!(Phase::WeightUpdate.to_string(), "wu");
+    }
+}

@@ -1,0 +1,156 @@
+//! Training metadata attached to a trace by framework instrumentation.
+//!
+//! Beyond raw CUPTI records, Daydream's instrumentation collects the
+//! information needed to predict *distributed* training from a single-GPU
+//! profile (paper §4.1 Phase 1): the size of each layer's gradients and, for
+//! PyTorch-style DDP, the mapping from layers to gradient buckets that are
+//! sent with a single all-reduce call each.
+
+use crate::ids::LayerId;
+use serde::{Deserialize, Serialize};
+
+/// The DNN framework a trace was collected from.
+///
+/// Frameworks differ in CPU-side overhead per launch and in how they
+/// schedule communication (PyTorch buckets all-reduce calls, MXNet uses a
+/// parameter server), which the execution simulator reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Framework {
+    /// PyTorch v1.0 with NCCL collectives and bucketed DDP.
+    PyTorch,
+    /// MXNet v1.1 with parameter-server push/pull.
+    MxNet,
+    /// Caffe v1.0 (single-GPU in the paper's evaluation).
+    Caffe,
+}
+
+impl Framework {
+    /// Human-readable framework name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Framework::PyTorch => "PyTorch",
+            Framework::MxNet => "MXNet",
+            Framework::Caffe => "Caffe",
+        }
+    }
+}
+
+/// Gradient payload produced by one layer's backward phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GradientInfo {
+    /// The layer whose parameters produce this gradient.
+    pub layer: LayerId,
+    /// Gradient size in bytes (parameter count × element size).
+    pub bytes: u64,
+}
+
+/// A DDP gradient bucket: a group of layers whose gradients are transferred
+/// with one all-reduce call (paper §4.2.1, PyTorch behaviour).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketInfo {
+    /// Bucket index; bucket 0 is the first to become ready during backward.
+    pub id: u32,
+    /// Layers contributing gradients to this bucket.
+    pub layers: Vec<LayerId>,
+    /// Total payload of the bucket in bytes.
+    pub bytes: u64,
+}
+
+/// Instrumentation metadata describing the profiled training iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Name of the profiled model (e.g. `"ResNet-50"`).
+    pub model: String,
+    /// Framework the profile was collected from.
+    pub framework: Framework,
+    /// Mini-batch size of the profiled iteration.
+    pub batch_size: u32,
+    /// Name of the GPU the profile was collected on.
+    pub device: String,
+    /// Start of the profiled iteration, nanoseconds since trace origin.
+    pub iteration_start_ns: u64,
+    /// End of the profiled iteration, nanoseconds since trace origin.
+    pub iteration_end_ns: u64,
+    /// Per-layer gradient sizes, in backward completion order.
+    pub gradients: Vec<GradientInfo>,
+    /// Layer-to-bucket mapping for frameworks that group gradients.
+    ///
+    /// Empty for parameter-server frameworks, which communicate per layer.
+    pub buckets: Vec<BucketInfo>,
+}
+
+impl TraceMeta {
+    /// Iteration wall-clock time in nanoseconds.
+    pub fn iteration_ns(&self) -> u64 {
+        self.iteration_end_ns
+            .saturating_sub(self.iteration_start_ns)
+    }
+
+    /// Iteration wall-clock time in milliseconds.
+    pub fn iteration_ms(&self) -> f64 {
+        self.iteration_ns() as f64 / 1e6
+    }
+
+    /// Total gradient payload in bytes (the model's parameter traffic).
+    pub fn total_gradient_bytes(&self) -> u64 {
+        self.gradients.iter().map(|g| g.bytes).sum()
+    }
+
+    /// Looks up the bucket a layer's gradients belong to, if bucketed.
+    pub fn bucket_of(&self, layer: LayerId) -> Option<&BucketInfo> {
+        self.buckets.iter().find(|b| b.layers.contains(&layer))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> TraceMeta {
+        TraceMeta {
+            model: "toy".into(),
+            framework: Framework::PyTorch,
+            batch_size: 32,
+            device: "RTX 2080 Ti".into(),
+            iteration_start_ns: 1_000,
+            iteration_end_ns: 201_000,
+            gradients: vec![
+                GradientInfo {
+                    layer: LayerId(0),
+                    bytes: 400,
+                },
+                GradientInfo {
+                    layer: LayerId(1),
+                    bytes: 600,
+                },
+            ],
+            buckets: vec![BucketInfo {
+                id: 0,
+                layers: vec![LayerId(0), LayerId(1)],
+                bytes: 1_000,
+            }],
+        }
+    }
+
+    #[test]
+    fn iteration_time_and_gradient_totals() {
+        let m = meta();
+        assert_eq!(m.iteration_ns(), 200_000);
+        assert!((m.iteration_ms() - 0.2).abs() < 1e-12);
+        assert_eq!(m.total_gradient_bytes(), 1_000);
+    }
+
+    #[test]
+    fn bucket_lookup() {
+        let m = meta();
+        assert_eq!(m.bucket_of(LayerId(1)).unwrap().id, 0);
+        assert!(m.bucket_of(LayerId(9)).is_none());
+    }
+
+    #[test]
+    fn framework_names() {
+        assert_eq!(Framework::PyTorch.name(), "PyTorch");
+        assert_eq!(Framework::MxNet.name(), "MXNet");
+        assert_eq!(Framework::Caffe.name(), "Caffe");
+    }
+}

@@ -1,0 +1,487 @@
+//! The trace container: all activity records of one profiled iteration.
+
+use crate::activity::{Activity, ActivityKind};
+use crate::ids::{ActivityId, CorrelationId, Lane};
+use crate::marker::LayerMarker;
+use crate::meta::TraceMeta;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Errors detected while validating a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Two activities on the same lane overlap in time.
+    LaneOverlap {
+        lane: Lane,
+        first: ActivityId,
+        second: ActivityId,
+    },
+    /// A GPU-side activity has no correlation id.
+    MissingCorrelation(ActivityId),
+    /// A GPU-side activity's correlation id matches no CPU launch record.
+    DanglingCorrelation(ActivityId, CorrelationId),
+    /// Two GPU-side activities share the same correlation id.
+    DuplicateCorrelation(CorrelationId),
+    /// A GPU activity starts before the API call that launched it ends...
+    /// which is impossible on real hardware.
+    TimeTravel { api: ActivityId, gpu: ActivityId },
+    /// A layer marker window is empty or inverted.
+    BadMarker { index: usize },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::LaneOverlap {
+                lane,
+                first,
+                second,
+            } => {
+                write!(
+                    f,
+                    "activities {} and {} overlap on lane {lane}",
+                    first.0, second.0
+                )
+            }
+            TraceError::MissingCorrelation(a) => {
+                write!(f, "GPU activity {} has no correlation id", a.0)
+            }
+            TraceError::DanglingCorrelation(a, c) => {
+                write!(
+                    f,
+                    "GPU activity {} has correlation {} with no launch record",
+                    a.0, c.0
+                )
+            }
+            TraceError::DuplicateCorrelation(c) => {
+                write!(f, "correlation id {} used by multiple GPU activities", c.0)
+            }
+            TraceError::TimeTravel { api, gpu } => {
+                write!(
+                    f,
+                    "GPU activity {} starts before its launch API {} began",
+                    gpu.0, api.0
+                )
+            }
+            TraceError::BadMarker { index } => write!(f, "layer marker {index} has empty window"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A complete profile of one (or more) training iterations: CUPTI-equivalent
+/// activity records plus framework instrumentation.
+///
+/// # Examples
+///
+/// ```
+/// use daydream_trace::{Trace, TraceMeta, Framework};
+///
+/// let trace = Trace::empty(TraceMeta {
+///     model: "demo".into(),
+///     framework: Framework::PyTorch,
+///     batch_size: 32,
+///     device: "RTX 2080 Ti".into(),
+///     iteration_start_ns: 0,
+///     iteration_end_ns: 0,
+///     gradients: vec![],
+///     buckets: vec![],
+/// });
+/// assert!(trace.activities.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// All activity records, in no particular order.
+    pub activities: Vec<Activity>,
+    /// Per-layer phase windows from framework instrumentation.
+    pub markers: Vec<LayerMarker>,
+    /// Training metadata (model, gradients, buckets, iteration span).
+    pub meta: TraceMeta,
+}
+
+impl Trace {
+    /// Creates a trace with no activities.
+    pub fn empty(meta: TraceMeta) -> Self {
+        Self {
+            activities: Vec::new(),
+            markers: Vec::new(),
+            meta,
+        }
+    }
+
+    /// Returns the activity with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn activity(&self, id: ActivityId) -> &Activity {
+        &self.activities[id.0]
+    }
+
+    /// Iterates over `(ActivityId, &Activity)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ActivityId, &Activity)> {
+        self.activities
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (ActivityId(i), a))
+    }
+
+    /// Groups activity ids by lane, each group sorted by start time.
+    pub fn lanes(&self) -> BTreeMap<Lane, Vec<ActivityId>> {
+        let mut map: BTreeMap<Lane, Vec<ActivityId>> = BTreeMap::new();
+        for (id, a) in self.iter() {
+            map.entry(a.lane).or_default().push(id);
+        }
+        for ids in map.values_mut() {
+            ids.sort_by_key(|id| {
+                (
+                    self.activities[id.0].start_ns,
+                    self.activities[id.0].end_ns(),
+                )
+            });
+        }
+        map
+    }
+
+    /// Maps each correlation id to its CPU-side launch API record.
+    pub fn launch_by_correlation(&self) -> HashMap<CorrelationId, ActivityId> {
+        let mut map = HashMap::new();
+        for (id, a) in self.iter() {
+            if let ActivityKind::RuntimeApi(api) = a.kind {
+                if api.launches_gpu_work() {
+                    if let Some(c) = a.correlation {
+                        map.insert(c, id);
+                    }
+                }
+            }
+        }
+        map
+    }
+
+    /// Maps each correlation id to its GPU-side activity record.
+    pub fn gpu_by_correlation(&self) -> HashMap<CorrelationId, ActivityId> {
+        let mut map = HashMap::new();
+        for (id, a) in self.iter() {
+            if a.is_gpu_side() {
+                if let Some(c) = a.correlation {
+                    map.insert(c, id);
+                }
+            }
+        }
+        map
+    }
+
+    /// Earliest activity start in the trace, or 0 for an empty trace.
+    pub fn start_ns(&self) -> u64 {
+        self.activities
+            .iter()
+            .map(|a| a.start_ns)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Latest activity end in the trace, or 0 for an empty trace.
+    pub fn end_ns(&self) -> u64 {
+        self.activities
+            .iter()
+            .map(|a| a.end_ns())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Wall-clock span covered by activities, in nanoseconds.
+    pub fn span_ns(&self) -> u64 {
+        self.end_ns().saturating_sub(self.start_ns())
+    }
+
+    /// Number of GPU-side activity records.
+    pub fn gpu_activity_count(&self) -> usize {
+        self.activities.iter().filter(|a| a.is_gpu_side()).count()
+    }
+
+    /// Number of CPU-side runtime API records.
+    pub fn api_activity_count(&self) -> usize {
+        self.activities
+            .iter()
+            .filter(|a| a.is_runtime_api())
+            .count()
+    }
+
+    /// Checks structural invariants of the trace (paper §4.2 assumptions).
+    ///
+    /// Verified properties:
+    /// - activities on one lane never overlap (tasks are serialized per
+    ///   CPU thread / CUDA stream);
+    /// - every GPU-side record carries a correlation id that matches exactly
+    ///   one CPU launch record;
+    /// - no GPU activity starts before its launch API call started;
+    /// - layer marker windows are non-empty.
+    pub fn validate(&self) -> Result<(), Vec<TraceError>> {
+        let mut errors = Vec::new();
+
+        for (lane, ids) in self.lanes() {
+            for w in ids.windows(2) {
+                let (a, b) = (&self.activities[w[0].0], &self.activities[w[1].0]);
+                if a.end_ns() > b.start_ns {
+                    errors.push(TraceError::LaneOverlap {
+                        lane,
+                        first: w[0],
+                        second: w[1],
+                    });
+                }
+            }
+        }
+
+        let launches = self.launch_by_correlation();
+        let mut seen: HashMap<CorrelationId, ActivityId> = HashMap::new();
+        for (id, a) in self.iter() {
+            if !a.is_gpu_side() {
+                continue;
+            }
+            match a.correlation {
+                None => errors.push(TraceError::MissingCorrelation(id)),
+                Some(c) => {
+                    if let Some(prev) = seen.insert(c, id) {
+                        let _ = prev;
+                        errors.push(TraceError::DuplicateCorrelation(c));
+                    }
+                    match launches.get(&c) {
+                        None => errors.push(TraceError::DanglingCorrelation(id, c)),
+                        Some(&api_id) => {
+                            let api = &self.activities[api_id.0];
+                            if a.start_ns < api.start_ns {
+                                errors.push(TraceError::TimeTravel {
+                                    api: api_id,
+                                    gpu: id,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        for (i, m) in self.markers.iter().enumerate() {
+            if m.end_ns <= m.start_ns {
+                errors.push(TraceError::BadMarker { index: i });
+            }
+        }
+
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Serializes the trace to pretty-printed JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserializes a trace from JSON produced by [`Trace::to_json`].
+    pub fn from_json(s: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::{CudaApi, MemcpyDir};
+    use crate::ids::{CpuThreadId, DeviceId, LayerId, StreamId};
+    use crate::marker::Phase;
+    use crate::meta::Framework;
+
+    fn meta() -> TraceMeta {
+        TraceMeta {
+            model: "toy".into(),
+            framework: Framework::PyTorch,
+            batch_size: 32,
+            device: "RTX 2080 Ti".into(),
+            iteration_start_ns: 0,
+            iteration_end_ns: 1_000,
+            gradients: vec![],
+            buckets: vec![],
+        }
+    }
+
+    fn launch(start: u64, dur: u64, corr: u64) -> Activity {
+        Activity {
+            name: "cudaLaunchKernel".into(),
+            kind: ActivityKind::RuntimeApi(CudaApi::LaunchKernel),
+            lane: Lane::Cpu(CpuThreadId(0)),
+            start_ns: start,
+            dur_ns: dur,
+            correlation: Some(CorrelationId(corr)),
+        }
+    }
+
+    fn kernel(start: u64, dur: u64, corr: u64) -> Activity {
+        Activity {
+            name: "k".into(),
+            kind: ActivityKind::Kernel,
+            lane: Lane::Gpu(DeviceId(0), StreamId(0)),
+            start_ns: start,
+            dur_ns: dur,
+            correlation: Some(CorrelationId(corr)),
+        }
+    }
+
+    fn valid_trace() -> Trace {
+        let mut t = Trace::empty(meta());
+        t.activities.push(launch(0, 10, 1));
+        t.activities.push(launch(20, 10, 2));
+        t.activities.push(kernel(15, 20, 1));
+        t.activities.push(kernel(40, 5, 2));
+        t.markers.push(LayerMarker {
+            layer: LayerId(0),
+            phase: Phase::Forward,
+            thread: CpuThreadId(0),
+            start_ns: 0,
+            end_ns: 30,
+        });
+        t
+    }
+
+    #[test]
+    fn valid_trace_passes_validation() {
+        assert!(valid_trace().validate().is_ok());
+    }
+
+    #[test]
+    fn lanes_are_sorted_by_start() {
+        let t = valid_trace();
+        let lanes = t.lanes();
+        assert_eq!(lanes.len(), 2);
+        let gpu = &lanes[&Lane::Gpu(DeviceId(0), StreamId(0))];
+        assert_eq!(gpu.len(), 2);
+        assert!(t.activity(gpu[0]).start_ns <= t.activity(gpu[1]).start_ns);
+    }
+
+    #[test]
+    fn overlap_detected() {
+        let mut t = valid_trace();
+        t.activities.push(launch(5, 10, 3)); // overlaps launch(0,10) on cpu:0
+        t.activities.push(kernel(100, 5, 3));
+        let errs = t.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, TraceError::LaneOverlap { .. })));
+    }
+
+    #[test]
+    fn dangling_correlation_detected() {
+        let mut t = valid_trace();
+        t.activities.push(kernel(60, 5, 99));
+        let errs = t.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, TraceError::DanglingCorrelation(_, CorrelationId(99)))));
+    }
+
+    #[test]
+    fn duplicate_correlation_detected() {
+        let mut t = valid_trace();
+        t.activities.push(kernel(60, 5, 1));
+        let errs = t.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, TraceError::DuplicateCorrelation(CorrelationId(1)))));
+    }
+
+    #[test]
+    fn time_travel_detected() {
+        let mut t = Trace::empty(meta());
+        t.activities.push(launch(100, 10, 1));
+        t.activities.push(kernel(50, 5, 1)); // starts before the launch API
+        let errs = t.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, TraceError::TimeTravel { .. })));
+    }
+
+    #[test]
+    fn missing_correlation_detected() {
+        let mut t = Trace::empty(meta());
+        let mut k = kernel(50, 5, 1);
+        k.correlation = None;
+        t.activities.push(k);
+        let errs = t.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, TraceError::MissingCorrelation(_))));
+    }
+
+    #[test]
+    fn bad_marker_detected() {
+        let mut t = valid_trace();
+        t.markers.push(LayerMarker {
+            layer: LayerId(1),
+            phase: Phase::Forward,
+            thread: CpuThreadId(0),
+            start_ns: 50,
+            end_ns: 50,
+        });
+        let errs = t.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, TraceError::BadMarker { index: 1 })));
+    }
+
+    #[test]
+    fn correlation_maps() {
+        let t = valid_trace();
+        let launches = t.launch_by_correlation();
+        let gpus = t.gpu_by_correlation();
+        assert_eq!(launches.len(), 2);
+        assert_eq!(gpus.len(), 2);
+        assert_eq!(launches[&CorrelationId(1)], ActivityId(0));
+        assert_eq!(gpus[&CorrelationId(1)], ActivityId(2));
+    }
+
+    #[test]
+    fn span_and_counts() {
+        let t = valid_trace();
+        assert_eq!(t.start_ns(), 0);
+        assert_eq!(t.end_ns(), 45);
+        assert_eq!(t.span_ns(), 45);
+        assert_eq!(t.gpu_activity_count(), 2);
+        assert_eq!(t.api_activity_count(), 2);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = valid_trace();
+        let json = t.to_json().unwrap();
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn memcpy_blocking_records_validate() {
+        let mut t = valid_trace();
+        t.activities.push(Activity {
+            name: "cudaMemcpyAsync".into(),
+            kind: ActivityKind::RuntimeApi(CudaApi::MemcpyAsync(MemcpyDir::DeviceToHost)),
+            lane: Lane::Cpu(CpuThreadId(0)),
+            start_ns: 60,
+            dur_ns: 10,
+            correlation: Some(CorrelationId(3)),
+        });
+        t.activities.push(Activity {
+            name: "memcpy DtoH".into(),
+            kind: ActivityKind::GpuMemcpy {
+                dir: MemcpyDir::DeviceToHost,
+                bytes: 4096,
+            },
+            lane: Lane::Gpu(DeviceId(0), StreamId(0)),
+            start_ns: 70,
+            dur_ns: 5,
+            correlation: Some(CorrelationId(3)),
+        });
+        assert!(t.validate().is_ok());
+    }
+}

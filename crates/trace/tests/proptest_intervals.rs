@@ -1,0 +1,140 @@
+//! Property tests for the interval-set algebra and trace invariants.
+
+use daydream_trace::{
+    max_concurrency, runtime_breakdown, Activity, ActivityKind, CorrelationId, CpuThreadId,
+    CudaApi, DeviceId, Framework, IntervalSet, Lane, StreamId, Trace, TraceMeta,
+};
+use proptest::prelude::*;
+
+fn arb_intervals() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..1000, 1u64..100), 0..40)
+        .prop_map(|v| v.into_iter().map(|(a, d)| (a, a + d)).collect())
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative(xs in arb_intervals(), ys in arb_intervals()) {
+        let a = IntervalSet::from_intervals(xs);
+        let b = IntervalSet::from_intervals(ys);
+        prop_assert_eq!(a.union(&b), b.union(&a));
+    }
+
+    #[test]
+    fn intersect_is_commutative(xs in arb_intervals(), ys in arb_intervals()) {
+        let a = IntervalSet::from_intervals(xs);
+        let b = IntervalSet::from_intervals(ys);
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+    }
+
+    #[test]
+    fn inclusion_exclusion(xs in arb_intervals(), ys in arb_intervals()) {
+        let a = IntervalSet::from_intervals(xs);
+        let b = IntervalSet::from_intervals(ys);
+        prop_assert_eq!(
+            a.union(&b).measure() + a.intersect(&b).measure(),
+            a.measure() + b.measure()
+        );
+    }
+
+    #[test]
+    fn subtract_partitions(xs in arb_intervals(), ys in arb_intervals()) {
+        let a = IntervalSet::from_intervals(xs);
+        let b = IntervalSet::from_intervals(ys);
+        // a = (a \ b) ∪ (a ∩ b), and the parts are disjoint.
+        let diff = a.subtract(&b);
+        let inter = a.intersect(&b);
+        prop_assert_eq!(diff.measure() + inter.measure(), a.measure());
+        prop_assert_eq!(diff.intersect(&inter).measure(), 0);
+    }
+
+    #[test]
+    fn normalization_invariants(xs in arb_intervals()) {
+        let s = IntervalSet::from_intervals(xs);
+        let ivs = s.intervals();
+        for w in ivs.windows(2) {
+            // Strictly increasing with gaps between normalized intervals.
+            prop_assert!(w[0].1 < w[1].0);
+        }
+        for &(a, b) in ivs {
+            prop_assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn contains_agrees_with_intervals(xs in arb_intervals(), probe in 0u64..1200) {
+        let s = IntervalSet::from_intervals(xs);
+        let expect = s.intervals().iter().any(|&(a, b)| probe >= a && probe < b);
+        prop_assert_eq!(s.contains(probe), expect);
+    }
+}
+
+/// Builds a sequential CPU-launch/GPU-kernel trace from random durations.
+fn sequential_trace(durs: &[(u64, u64)]) -> Trace {
+    let mut t = Trace::empty(TraceMeta {
+        model: "prop".into(),
+        framework: Framework::PyTorch,
+        batch_size: 1,
+        device: "test".into(),
+        iteration_start_ns: 0,
+        iteration_end_ns: 0,
+        gradients: vec![],
+        buckets: vec![],
+    });
+    let mut cpu_t = 0u64;
+    let mut gpu_t = 0u64;
+    for (i, &(api_d, k_d)) in durs.iter().enumerate() {
+        let corr = CorrelationId(i as u64 + 1);
+        t.activities.push(Activity {
+            name: "cudaLaunchKernel".into(),
+            kind: ActivityKind::RuntimeApi(CudaApi::LaunchKernel),
+            lane: Lane::Cpu(CpuThreadId(0)),
+            start_ns: cpu_t,
+            dur_ns: api_d,
+            correlation: Some(corr),
+        });
+        let k_start = gpu_t.max(cpu_t + api_d);
+        t.activities.push(Activity {
+            name: format!("kernel_{i}"),
+            kind: ActivityKind::Kernel,
+            lane: Lane::Gpu(DeviceId(0), StreamId(0)),
+            start_ns: k_start,
+            dur_ns: k_d,
+            correlation: Some(corr),
+        });
+        cpu_t += api_d;
+        gpu_t = k_start + k_d;
+    }
+    t.meta.iteration_end_ns = t.end_ns();
+    t
+}
+
+proptest! {
+    #[test]
+    fn generated_traces_validate(durs in prop::collection::vec((1u64..50, 1u64..200), 1..60)) {
+        let t = sequential_trace(&durs);
+        prop_assert!(t.validate().is_ok(), "trace should satisfy structural invariants");
+    }
+
+    #[test]
+    fn breakdown_always_partitions(durs in prop::collection::vec((1u64..50, 1u64..200), 1..60)) {
+        let t = sequential_trace(&durs);
+        let b = runtime_breakdown(&t);
+        prop_assert_eq!(b.cpu_only_ns + b.gpu_only_ns + b.overlap_ns, b.total_ns);
+    }
+
+    #[test]
+    fn sequential_traces_have_bounded_concurrency(
+        durs in prop::collection::vec((1u64..50, 1u64..200), 1..60)
+    ) {
+        let t = sequential_trace(&durs);
+        // One CPU thread plus one GPU stream: at most two concurrent tasks.
+        prop_assert!(max_concurrency(&t) <= 2);
+    }
+
+    #[test]
+    fn json_round_trip(durs in prop::collection::vec((1u64..50, 1u64..200), 1..20)) {
+        let t = sequential_trace(&durs);
+        let back = Trace::from_json(&t.to_json().unwrap()).unwrap();
+        prop_assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,53 @@
+//! Export a profiled iteration as a Chrome-trace timeline.
+//!
+//! Run with `cargo run --release --example export_timeline [model]`, then
+//! load `target/<model>_timeline.json` in `chrome://tracing` or Perfetto to
+//! see the CPU-thread / GPU-stream structure of paper Fig. 1, and
+//! `target/<model>_trace.json` for the raw CUPTI-style records.
+
+use daydream::models::zoo;
+use daydream::runtime::{ground_truth, ExecConfig};
+use daydream::trace::{lane_stats, max_concurrency, to_chrome_trace};
+
+fn main() -> std::io::Result<()> {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ResNet-50".to_string());
+    let model = zoo::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown model '{name}'");
+        std::process::exit(2);
+    });
+    let cfg = ExecConfig::pytorch_2080ti();
+    let trace = ground_truth::run_baseline(&model, &cfg);
+
+    println!(
+        "{}: {} activities over {:.1} ms",
+        model.name,
+        trace.activities.len(),
+        trace.meta.iteration_ms()
+    );
+    for (lane, s) in lane_stats(&trace) {
+        println!(
+            "  {lane}: {} tasks, busy {:.1} ms, longest gap {:.2} ms",
+            s.count,
+            s.busy_ns as f64 / 1e6,
+            s.max_gap_ns as f64 / 1e6
+        );
+    }
+    println!(
+        "  max concurrency: {} (paper Sec. 3)",
+        max_concurrency(&trace)
+    );
+
+    std::fs::create_dir_all("target")?;
+    let slug = name.to_lowercase().replace('-', "_");
+    let chrome = to_chrome_trace(&trace).expect("serializable trace");
+    let chrome_path = format!("target/{slug}_timeline.json");
+    std::fs::write(&chrome_path, chrome)?;
+    println!("wrote {chrome_path} (open in chrome://tracing)");
+
+    let raw_path = format!("target/{slug}_trace.json");
+    std::fs::write(&raw_path, trace.to_json().expect("serializable trace"))?;
+    println!("wrote {raw_path} (CUPTI-style records + markers + metadata)");
+    Ok(())
+}

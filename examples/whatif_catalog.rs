@@ -1,0 +1,152 @@
+//! What-if catalog: evaluate all ten modeled optimizations on one profile.
+//!
+//! Run with `cargo run --release --example whatif_catalog [model]`.
+//!
+//! This is the paper's headline use case (§1): given *one* profile of *your*
+//! model on *your* hardware, rank candidate optimizations by predicted
+//! benefit before implementing any of them. Optimizations that do not apply
+//! (FusedAdam on SGD models) or that cost time (vDNN, Gist — they buy
+//! memory, not speed) are reported as such.
+
+use daydream::comm::ClusterConfig;
+use daydream::core::whatif::{
+    what_if_amp, what_if_blueconnect, what_if_dgc, what_if_distributed, what_if_fused_adam,
+    what_if_gist, what_if_metaflow, what_if_p3, what_if_reconstruct_bn, what_if_vdnn, DgcConfig,
+    GistConfig, P3Config, Substitution, VdnnConfig,
+};
+use daydream::core::{predict, ProfiledGraph};
+use daydream::models::zoo;
+use daydream::runtime::{ground_truth, ExecConfig};
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BERT_Base".to_string());
+    let model = zoo::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown model '{name}'; try ResNet-50, VGG-19, DenseNet-121, GNMT, BERT_Base, BERT_Large");
+        std::process::exit(2);
+    });
+    let cfg = ExecConfig::pytorch_2080ti();
+    let trace = ground_truth::run_baseline(&model, &cfg);
+    let profile = ProfiledGraph::from_trace(&trace);
+    println!(
+        "profile: {} @ batch {} = {:.1} ms/iteration\n",
+        model.name,
+        trace.meta.batch_size,
+        trace.meta.iteration_ms()
+    );
+
+    let cluster = ClusterConfig::new(4, 2, 10.0);
+    let mut results: Vec<(String, f64, f64)> = Vec::new();
+
+    let amp = predict(&profile, what_if_amp);
+    results.push((
+        "mixed precision (AMP)".into(),
+        amp.predicted_ms(),
+        amp.improvement(),
+    ));
+
+    if model.optimizer == daydream::models::Optimizer::Adam {
+        let fused = predict(&profile, |g| {
+            what_if_fused_adam(g);
+        });
+        results.push((
+            "FusedAdam".into(),
+            fused.predicted_ms(),
+            fused.improvement(),
+        ));
+    } else {
+        println!("FusedAdam: not applicable ({} trains with SGD)", model.name);
+    }
+
+    let rbn = predict(&profile, |g| what_if_reconstruct_bn(g, &model));
+    results.push((
+        "reconstructed batchnorm".into(),
+        rbn.predicted_ms(),
+        rbn.improvement(),
+    ));
+
+    // Fuse attention QKV projections, MetaFlow-style, where present.
+    let mut policy = Vec::new();
+    for l in &model.layers {
+        if l.name.ends_with("attn.key") || l.name.ends_with("attn.value") {
+            policy.push(Substitution::RemoveLayer(l.id));
+        } else if l.name.ends_with("attn.query") {
+            policy.push(Substitution::ScaleLayer(l.id, 1.8));
+        }
+    }
+    if !policy.is_empty() {
+        let mf = predict(&profile, |g| what_if_metaflow(g, &policy));
+        results.push((
+            "MetaFlow QKV fusion".into(),
+            mf.predicted_ms(),
+            mf.improvement(),
+        ));
+    }
+
+    let vdnn = predict(&profile, |g| {
+        what_if_vdnn(g, &model, &VdnnConfig::default());
+    });
+    results.push((
+        "vDNN offloading (memory)".into(),
+        vdnn.predicted_ms(),
+        vdnn.improvement(),
+    ));
+
+    let gist = predict(&profile, |g| {
+        what_if_gist(g, &GistConfig::default());
+    });
+    results.push((
+        "Gist encodings (memory)".into(),
+        gist.predicted_ms(),
+        gist.improvement(),
+    ));
+
+    // Distributed family: predicted 8-worker iteration times.
+    let ddp = predict(&profile, |g| {
+        what_if_distributed(g, &cluster);
+    });
+    results.push((
+        format!("DDP {cluster}"),
+        ddp.predicted_ms(),
+        ddp.improvement(),
+    ));
+    let bc = predict(&profile, |g| {
+        let ars = what_if_distributed(g, &cluster);
+        what_if_blueconnect(g, &cluster, &ars);
+    });
+    results.push((
+        format!("DDP+BlueConnect {cluster}"),
+        bc.predicted_ms(),
+        bc.improvement(),
+    ));
+    let dgc = predict(&profile, |g| {
+        let ars = what_if_distributed(g, &cluster);
+        what_if_dgc(g, &ars, &DgcConfig::default());
+    });
+    results.push((
+        format!("DDP+DGC {cluster}"),
+        dgc.predicted_ms(),
+        dgc.improvement(),
+    ));
+
+    let ps = ClusterConfig::new(4, 1, 10.0);
+    let p3 = what_if_p3(&profile, &P3Config::p3(ps));
+    results.push((
+        format!("P3 parameter server {ps}"),
+        p3.iteration_ms(),
+        1.0 - p3.iteration_ms() / trace.meta.iteration_ms(),
+    ));
+
+    results.sort_by(|a, b| b.2.total_cmp(&a.2));
+    println!(
+        "{:<34} {:>12} {:>12}",
+        "optimization", "pred (ms)", "improvement"
+    );
+    println!("{}", "-".repeat(62));
+    for (name, ms, imp) in results {
+        println!("{:<34} {:>12.1} {:>11.1}%", name, ms, imp * 100.0);
+    }
+    println!("\nnegative improvements are overheads (memory savers) or added");
+    println!("communication (distributed modes keep per-GPU batch fixed).");
+}

@@ -1,0 +1,129 @@
+//! End-to-end pipeline fidelity: trace -> graph -> simulate must reproduce
+//! the measured baseline for every model in the zoo.
+
+use daydream::core::{simulate, ProfiledGraph};
+use daydream::models::zoo;
+use daydream::runtime::{ground_truth, ExecConfig};
+use daydream::trace::Phase;
+
+#[test]
+fn baseline_simulation_reproduces_measured_time_for_all_models() {
+    for model in zoo::all_models() {
+        let cfg = ExecConfig::pytorch_2080ti();
+        let trace = ground_truth::run_baseline(&model, &cfg);
+        trace
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: invalid trace: {e:?}", model.name));
+        let pg = ProfiledGraph::from_trace(&trace);
+        pg.graph
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: invalid graph: {e}", model.name));
+        let sim = simulate(&pg.graph).expect("DAG");
+        let measured = trace.meta.iteration_ns() as f64;
+        let err = (sim.makespan_ns as f64 - measured).abs() / measured;
+        assert!(
+            err < 0.01,
+            "{}: simulated {:.2} ms vs measured {:.2} ms ({:.3}% error)",
+            model.name,
+            sim.makespan_ms(),
+            measured / 1e6,
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn every_kernel_maps_to_a_layer_phase() {
+    for model in [zoo::resnet50(), zoo::bert_base()] {
+        let cfg = ExecConfig::pytorch_2080ti().with_batch(4);
+        let trace = ground_truth::run_baseline(&model, &cfg);
+        let pg = ProfiledGraph::from_trace(&trace);
+        let unmapped = pg
+            .graph
+            .select(|t| t.kind.is_gpu() && t.layer.is_none() && !t.name.contains("memcpy"));
+        assert!(
+            unmapped.is_empty(),
+            "{}: {} unmapped kernels",
+            model.name,
+            unmapped.len()
+        );
+    }
+}
+
+#[test]
+fn phase_kernel_counts_match_the_lowered_plan() {
+    let model = zoo::bert_base();
+    let cfg = ExecConfig::pytorch_2080ti().with_batch(2);
+    let ex = daydream::runtime::Executor::new(&model, &cfg);
+    let plan = daydream::runtime::baseline_plan(&model, 2);
+    let trace = ex.run(&plan);
+    let pg = ProfiledGraph::from_trace(&trace);
+    for (phase, expect) in [
+        (
+            Phase::Forward,
+            plan.fwd.iter().map(|l| l.ops.len()).sum::<usize>(),
+        ),
+        (
+            Phase::Backward,
+            plan.bwd.iter().map(|l| l.ops.len()).sum::<usize>(),
+        ),
+        (Phase::WeightUpdate, plan.wu_kernel_count()),
+    ] {
+        let got = pg
+            .graph
+            .select(|t| t.kind.is_gpu() && t.in_phase(phase))
+            .len();
+        assert_eq!(got, expect, "kernel count mismatch in {phase:?}");
+    }
+}
+
+#[test]
+fn weight_update_kernel_counts_match_paper_section_6_3() {
+    // 2633 kernels for BERT-base, 5164 for BERT-large (within 3%).
+    for (model, paper) in [(zoo::bert_base(), 2633.0), (zoo::bert_large(), 5164.0)] {
+        let cfg = ExecConfig::pytorch_2080ti().with_batch(2);
+        let trace = ground_truth::run_baseline(&model, &cfg);
+        let pg = ProfiledGraph::from_trace(&trace);
+        let wu = pg
+            .graph
+            .select(|t| t.kind.is_gpu() && t.in_phase(Phase::WeightUpdate))
+            .len() as f64;
+        assert!(
+            (wu - paper).abs() / paper < 0.03,
+            "{}: {} weight-update kernels vs paper's {}",
+            model.name,
+            wu,
+            paper
+        );
+    }
+}
+
+#[test]
+fn traces_are_deterministic_and_seed_sensitive() {
+    let model = zoo::resnet50();
+    let cfg = ExecConfig::pytorch_2080ti().with_batch(8);
+    let a = ground_truth::run_baseline(&model, &cfg);
+    let b = ground_truth::run_baseline(&model, &cfg);
+    assert_eq!(a, b, "same configuration must reproduce identical traces");
+    let c = ground_truth::run_baseline(&model, &cfg.with_seed(1234));
+    assert_ne!(a, c, "different seeds must re-roll kernel variance");
+    let rel = (a.meta.iteration_ms() - c.meta.iteration_ms()).abs() / a.meta.iteration_ms();
+    assert!(rel < 0.05, "jitter must stay small: {rel:.4}");
+}
+
+#[test]
+fn trace_serialization_round_trips() {
+    let model = zoo::densenet121();
+    let cfg = ExecConfig::caffe_2080ti().with_batch(4);
+    let trace = ground_truth::run_baseline(&model, &cfg);
+    let json = trace.to_json().expect("serialize");
+    let back = daydream::trace::Trace::from_json(&json).expect("deserialize");
+    assert_eq!(trace, back);
+    // Chrome export emits one event per activity plus one per marker.
+    let chrome = daydream::trace::to_chrome_trace(&trace).expect("chrome export");
+    let parsed: serde_json::Value = serde_json::from_str(&chrome).expect("valid JSON");
+    assert_eq!(
+        parsed.as_array().unwrap().len(),
+        trace.activities.len() + trace.markers.len()
+    );
+}

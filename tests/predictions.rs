@@ -1,0 +1,168 @@
+//! The paper's headline accuracy claims, checked end to end.
+
+use daydream::comm::{ClusterConfig, NcclExecution};
+use daydream::core::{predict, whatif, ProfiledGraph};
+use daydream::models::zoo;
+use daydream::runtime::{baseline_plan, ground_truth, run_distributed, ExecConfig};
+
+fn profile(model: &daydream::models::Model, cfg: &ExecConfig) -> ProfiledGraph {
+    ProfiledGraph::from_trace(&ground_truth::run_baseline(model, cfg))
+}
+
+/// Fig. 5: AMP predictions within 13% for all four evaluated models.
+#[test]
+fn amp_predictions_within_13_percent() {
+    let cfg = ExecConfig::pytorch_2080ti();
+    for name in ["BERT_Base", "BERT_Large", "Seq2Seq", "ResNet-50"] {
+        let model = zoo::by_name(name).unwrap();
+        let pg = profile(&model, &cfg);
+        let pred = predict(&pg, whatif::what_if_amp);
+        let gt = ground_truth::run_amp(&model, &cfg).meta.iteration_ns();
+        let err = pred.error_vs(gt);
+        assert!(err < 0.13, "{name}: AMP error {err:.3}");
+        assert!(pred.speedup() > 1.0 && pred.speedup() < 3.0);
+    }
+}
+
+/// Fig. 7: FusedAdam predictions within 13%; per-model ordering holds.
+#[test]
+fn fused_adam_predictions_and_ordering() {
+    let cfg = ExecConfig::pytorch_2080ti();
+    let mut improvements = Vec::new();
+    for name in ["BERT_Base", "BERT_Large", "Seq2Seq"] {
+        let model = zoo::by_name(name).unwrap();
+        let pg = profile(&model, &cfg);
+        let pred = predict(&pg, |g| {
+            whatif::what_if_fused_adam(g);
+        });
+        let gt = ground_truth::run_fused_adam(&model, &cfg)
+            .meta
+            .iteration_ns();
+        let err = pred.error_vs(gt);
+        assert!(err < 0.13, "{name}: FusedAdam error {err:.3}");
+        improvements.push((name, pred.improvement()));
+    }
+    // BERT-large gains most (paper: 38.7%), GNMT least (<10% WU share).
+    assert!(improvements[1].1 > improvements[0].1);
+    assert!(improvements[2].1 < improvements[0].1);
+}
+
+/// §6.4: the reconstructed-batchnorm prediction overestimates ground truth.
+#[test]
+fn reconstruct_bn_overestimates_ground_truth() {
+    let model = zoo::densenet121();
+    let cfg = ExecConfig::caffe_2080ti();
+    let pg = profile(&model, &cfg);
+    let pred = predict(&pg, |g| whatif::what_if_reconstruct_bn(g, &model));
+    let gt = ground_truth::run_reconstructed_bn(&model, &cfg)
+        .meta
+        .iteration_ns();
+    let gt_gain = 1.0 - gt as f64 / pred.baseline_ns as f64;
+    assert!(
+        pred.improvement() > gt_gain,
+        "prediction must overestimate (paper: 12.7% vs 7%)"
+    );
+    assert!(gt_gain > 0.0);
+}
+
+/// Fig. 8: distributed predictions track the synced ground truth within 15%
+/// across a sample of configurations, from single-GPU profiles only.
+#[test]
+fn distributed_predictions_track_ground_truth() {
+    let cfg = ExecConfig::pytorch_2080ti();
+    for name in ["ResNet-50", "GNMT"] {
+        let model = zoo::by_name(name).unwrap();
+        let pg = profile(&model, &cfg);
+        let plan = baseline_plan(&model, model.default_batch);
+        for cluster in [
+            ClusterConfig::new(2, 1, 10.0),
+            ClusterConfig::new(4, 1, 20.0),
+            ClusterConfig::new(4, 2, 40.0),
+        ] {
+            let pred = predict(&pg, |g| {
+                whatif::what_if_distributed(g, &cluster);
+            });
+            let gt = run_distributed(&model, &cfg, cluster, NcclExecution::Synced, &plan)
+                .trace
+                .meta
+                .iteration_ns();
+            let err = pred.error_vs(gt);
+            assert!(err < 0.15, "{name} {cluster}: error {err:.3}");
+        }
+    }
+}
+
+/// §6.5: contended NCCL calls run well over theory; sync recovers most.
+#[test]
+fn nccl_interference_magnitudes() {
+    let model = zoo::gnmt();
+    let cfg = ExecConfig::pytorch_2080ti();
+    let plan = baseline_plan(&model, model.default_batch);
+    let cluster = ClusterConfig::new(4, 1, 10.0);
+    let base = run_distributed(&model, &cfg, cluster, NcclExecution::Contended, &plan);
+    let sync = run_distributed(&model, &cfg, cluster, NcclExecution::Synced, &plan);
+    let sum = |r: &daydream::runtime::DistributedRun,
+               f: fn(&daydream::runtime::CommCall) -> u64| {
+        r.comm_calls.iter().map(f).sum::<u64>() as f64
+    };
+    let over = sum(&base, |c| c.dur_ns) / sum(&base, |c| c.theoretical_ns) - 1.0;
+    assert!(
+        (0.25..0.45).contains(&over),
+        "contended overshoot {over:.3} (paper: 34%)"
+    );
+    let gain = 1.0 - sum(&sync, |c| c.dur_ns) / sum(&base, |c| c.dur_ns);
+    assert!(
+        (0.12..0.30).contains(&gain),
+        "sync call gain {gain:.3} (paper: 22.8%)"
+    );
+    // Iteration level: sync never hurts (paper: improves up to 22%).
+    assert!(sync.iteration_ms() <= base.iteration_ms() * 1.01);
+}
+
+/// Fig. 10: P3 predictions within the paper's 16.2% worst case, and the
+/// speedup trend shrinks with bandwidth.
+#[test]
+fn p3_predictions_within_paper_bound() {
+    let model = zoo::vgg19();
+    let cfg = ExecConfig::mxnet_p4000().with_batch(8);
+    let ex = daydream::runtime::Executor::new(&model, &cfg);
+    let mut plan = baseline_plan(&model, 8);
+    plan.wu.clear();
+    let pg = ProfiledGraph::from_trace(&ex.run(&plan));
+    let mut gains = Vec::new();
+    for bw in [2.0, 5.0, 10.0, 25.0] {
+        let cluster = ClusterConfig::new(4, 1, bw);
+        let pred = whatif::what_if_p3(&pg, &whatif::P3Config::p3(cluster));
+        let gt = daydream::runtime::run_parameter_server(
+            &model,
+            &cfg,
+            daydream::runtime::PsTrainingConfig::p3(cluster),
+            3,
+        );
+        let err =
+            (pred.iteration_ns as f64 - gt.iteration_ns as f64).abs() / gt.iteration_ns as f64;
+        assert!(err < 0.162, "VGG-19 @ {bw} Gbps: P3 error {err:.3}");
+        let base = daydream::runtime::run_parameter_server(
+            &model,
+            &cfg,
+            daydream::runtime::PsTrainingConfig::baseline(cluster),
+            3,
+        );
+        gains.push(base.iteration_ns as f64 / gt.iteration_ns as f64);
+    }
+    // Fig. 10b shape: P3 helps where communication binds, and its speedup
+    // vanishes once the network is fast enough that compute dominates.
+    assert!(
+        gains.iter().all(|&g| g >= 0.99),
+        "P3 never hurts: {gains:?}"
+    );
+    assert!(
+        gains[..3].iter().any(|&g| g > 1.2),
+        "P3 must clearly win somewhere: {gains:?}"
+    );
+    let peak = gains.iter().cloned().fold(0.0f64, f64::max);
+    assert!(
+        *gains.last().unwrap() < peak,
+        "P3 speedup must fall off at high bandwidth: {gains:?}"
+    );
+}

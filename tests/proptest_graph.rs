@@ -1,0 +1,125 @@
+//! Property tests on the dependency graph and simulator invariants.
+
+use daydream::core::transform::{insert_after, thread_successor};
+use daydream::core::{simulate, DepKind, DependencyGraph, ExecThread, Task, TaskId, TaskKind};
+use daydream::trace::{CpuThreadId, DeviceId, StreamId};
+use proptest::prelude::*;
+
+/// Strategy: a random layered DAG over a few threads.
+fn arb_graph() -> impl Strategy<Value = DependencyGraph> {
+    // (thread id in 0..3, duration, gap, edges-to-earlier as bitmask)
+    prop::collection::vec((0u32..3, 1u64..1000, 0u64..50, any::<u16>()), 1..60).prop_map(|specs| {
+        let mut g = DependencyGraph::new();
+        let mut ids: Vec<TaskId> = Vec::new();
+        for (i, (thread, dur, gap, mask)) in specs.into_iter().enumerate() {
+            let th = match thread {
+                0 => ExecThread::Cpu(CpuThreadId(0)),
+                1 => ExecThread::Cpu(CpuThreadId(1)),
+                _ => ExecThread::Gpu(DeviceId(0), StreamId(0)),
+            };
+            let kind = if th.is_gpu() {
+                TaskKind::GpuKernel
+            } else {
+                TaskKind::CpuWork
+            };
+            let mut t = Task::new(format!("t{i}"), kind, th, dur);
+            t.gap_ns = gap;
+            t.measured_start_ns = i as u64;
+            let id = g.add_task(t);
+            // Edges only to earlier tasks: guarantees a DAG.
+            for (j, &src) in ids.iter().enumerate().take(16) {
+                if mask & (1 << j) != 0 {
+                    g.add_dep(src, id, DepKind::Transform);
+                }
+            }
+            ids.push(id);
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simulation_respects_dependencies(g in arb_graph()) {
+        let sim = simulate(&g).expect("constructed graphs are DAGs");
+        for (id, t) in g.iter() {
+            let start = sim.start_ns[id.0].unwrap();
+            for &(p, _) in g.predecessors(id) {
+                let pt = g.task(p);
+                let p_end = sim.start_ns[p.0].unwrap() + pt.duration_ns + pt.gap_ns;
+                prop_assert!(
+                    start >= p_end,
+                    "task {} starts at {} before dep {} finishes at {}",
+                    t.name, start, g.task(p).name, p_end
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_serializes_threads(g in arb_graph()) {
+        let sim = simulate(&g).expect("DAG");
+        for (_, ids) in g.threads() {
+            let mut intervals: Vec<(u64, u64)> = ids
+                .iter()
+                .map(|&id| {
+                    let s = sim.start_ns[id.0].unwrap();
+                    (s, s + g.task(id).duration_ns)
+                })
+                .collect();
+            intervals.sort_unstable();
+            for w in intervals.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "thread tasks overlap: {:?}", w);
+            }
+        }
+    }
+
+    #[test]
+    fn makespan_bounded_by_total_work(g in arb_graph()) {
+        let sim = simulate(&g).expect("DAG");
+        let total: u64 = g.iter().map(|(_, t)| t.duration_ns + t.gap_ns).sum();
+        prop_assert!(sim.makespan_ns <= total);
+        let longest = g.iter().map(|(_, t)| t.duration_ns).max().unwrap_or(0);
+        prop_assert!(sim.makespan_ns >= longest);
+    }
+
+    #[test]
+    fn removal_never_increases_makespan(g in arb_graph(), pick in any::<prop::sample::Index>()) {
+        let before = simulate(&g).expect("DAG").makespan_ns;
+        let ids: Vec<TaskId> = g.iter().map(|(id, _)| id).collect();
+        let victim = ids[pick.index(ids.len())];
+        let mut g2 = g.clone();
+        g2.remove_task(victim);
+        g2.validate().expect("removal keeps the DAG valid");
+        let after = simulate(&g2).expect("DAG").makespan_ns;
+        prop_assert!(after <= before, "removing work must not slow the graph");
+    }
+
+    #[test]
+    fn scaling_up_never_decreases_makespan(g in arb_graph(), factor in 1.0f64..3.0) {
+        let before = simulate(&g).expect("DAG").makespan_ns;
+        let mut g2 = g.clone();
+        let ids: Vec<TaskId> = g2.iter().map(|(id, _)| id).collect();
+        daydream::core::transform::scale_durations(&mut g2, &ids, factor);
+        let after = simulate(&g2).expect("DAG").makespan_ns;
+        prop_assert!(after >= before);
+    }
+
+    #[test]
+    fn insert_then_remove_is_identity(g in arb_graph(), pick in any::<prop::sample::Index>(), dur in 1u64..500) {
+        let before = simulate(&g).expect("DAG").makespan_ns;
+        let ids: Vec<TaskId> = g.iter().map(|(id, _)| id).collect();
+        let anchor = ids[pick.index(ids.len())];
+        let mut g2 = g.clone();
+        let thread = g2.task(anchor).thread;
+        let kind = if thread.is_gpu() { TaskKind::GpuKernel } else { TaskKind::CpuWork };
+        let new = insert_after(&mut g2, anchor, Task::new("inserted", kind, thread, dur));
+        g2.validate().expect("insertion keeps the DAG valid");
+        prop_assert_eq!(thread_successor(&g2, anchor), Some(new));
+        g2.remove_task(new);
+        let after = simulate(&g2).expect("DAG").makespan_ns;
+        prop_assert_eq!(after, before, "insert+remove must be a no-op");
+    }
+}
