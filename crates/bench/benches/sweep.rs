@@ -1,0 +1,56 @@
+//! Criterion bench: sweep-engine throughput scaling with thread count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use daydream_sweep::{SweepEngine, SweepGrid};
+
+fn bench_grid() -> SweepGrid {
+    SweepGrid::builder()
+        .models(["ResNet-50", "BERT_Base"])
+        .batches([4, 8])
+        .opts(["amp", "fused-adam", "gist", "ddp", "dgc", "bandwidth"])
+        .bandwidths([10.0, 25.0])
+        .machines([4])
+        .dgc_ratios([0.01])
+        .build()
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let grid = bench_grid();
+    let scenarios = grid.expand().expect("valid grid").len() as u64;
+
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        // One engine per thread count, profiles warmed outside the timed
+        // region; the result cache is cleared per iteration so every
+        // iteration evaluates all scenarios (not cache lookups).
+        let engine = SweepEngine::new(threads);
+        engine.run(&grid).expect("warmup run");
+        group.throughput(Throughput::Elements(scenarios));
+        group.bench_with_input(
+            BenchmarkId::new("scenarios", format!("{threads}threads/{scenarios}scen")),
+            &engine,
+            |b, engine| {
+                b.iter(|| {
+                    engine.clear_result_cache();
+                    std::hint::black_box(engine.run(&grid).expect("bench grid"))
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Cache-hit path: the same grid answered entirely from the cache.
+    let engine = SweepEngine::new(8);
+    engine.run(&grid).expect("fill cache");
+    let mut group = c.benchmark_group("sweep_cached");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(scenarios));
+    group.bench_function("full_cache_hit", |b| {
+        b.iter(|| std::hint::black_box(engine.run(&grid).expect("cached grid")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -3,11 +3,10 @@
 use daydream_core::ProfiledGraph;
 use daydream_models::{zoo, Model};
 use daydream_runtime::{ground_truth, ExecConfig};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// A titled result table with aligned text rendering and CSV export.
 #[derive(Debug, Clone)]
@@ -110,7 +109,7 @@ static CACHE: OnceLock<Mutex<HashMap<ProfileKey, (ProfiledGraph, Model)>>> = Onc
 pub fn profile_for(name: &str, batch: Option<u64>, ps_worker: bool) -> (ProfiledGraph, Model) {
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let key = (name.to_string(), batch, ps_worker);
-    if let Some(hit) = cache.lock().get(&key) {
+    if let Some(hit) = cache.lock().unwrap().get(&key) {
         return hit.clone();
     }
     let model = zoo::by_name(name).unwrap_or_else(|| panic!("unknown model {name}"));
@@ -132,6 +131,7 @@ pub fn profile_for(name: &str, batch: Option<u64>, ps_worker: bool) -> (Profiled
     };
     cache
         .lock()
+        .unwrap()
         .insert(key.clone(), (pg.clone(), model.clone()));
     (pg, model)
 }

@@ -22,13 +22,16 @@ impl Args {
                 if key.is_empty() {
                     return Err("empty option name".into());
                 }
-                if let Some((k, v)) = key.split_once('=') {
-                    out.options.insert(k.to_string(), v.to_string());
+                let (k, v) = if let Some((k, v)) = key.split_once('=') {
+                    (k.to_string(), v.to_string())
                 } else if iter.peek().map(|n| !n.starts_with("--")).unwrap_or(false) {
                     let v = iter.next().expect("peeked");
-                    out.options.insert(key.to_string(), v);
+                    (key.to_string(), v)
                 } else {
-                    out.options.insert(key.to_string(), "true".into());
+                    (key.to_string(), "true".into())
+                };
+                if out.options.insert(k.clone(), v).is_some() {
+                    return Err(format!("duplicate option --{k}"));
                 }
             } else {
                 out.positional.push(a);
@@ -97,5 +100,45 @@ mod tests {
     fn trailing_flag() {
         let a = parse(&["--verbose"]);
         assert!(a.flag("verbose"));
+    }
+
+    #[test]
+    fn key_equals_value_forms() {
+        let a = parse(&["--out=trace.json", "--ratio=0.01", "--name="]);
+        assert_eq!(a.opt("out", ""), "trace.json");
+        assert_eq!(a.num::<f64>("ratio", 0.0).unwrap(), 0.01);
+        assert_eq!(a.opt("name", "x"), "", "--key= yields an empty value");
+    }
+
+    #[test]
+    fn bare_flags_before_options_and_positionals() {
+        let a = parse(&["--chrome", "--batch", "16", "ResNet-50", "--dry-run"]);
+        assert!(a.flag("chrome"));
+        assert!(a.flag("dry-run"));
+        assert_eq!(a.opt("batch", "0"), "16");
+        assert_eq!(a.positional, vec!["ResNet-50"]);
+    }
+
+    #[test]
+    fn negative_number_values() {
+        // A leading single dash is a value, not an option.
+        let a = parse(&["--offset", "-5", "--scale=-1.25"]);
+        assert_eq!(a.num::<i64>("offset", 0).unwrap(), -5);
+        assert_eq!(a.num::<f64>("scale", 0.0).unwrap(), -1.25);
+        let b = parse(&["-3"]);
+        assert_eq!(b.positional, vec!["-3"]);
+    }
+
+    #[test]
+    fn duplicate_options_are_rejected() {
+        let argv = |s: &[&str]| Args::parse(s.iter().map(|x| x.to_string()));
+        let err = argv(&["--batch", "8", "--batch", "16"]).unwrap_err();
+        assert!(err.contains("duplicate option --batch"), "got: {err}");
+        // Mixed spellings of the same key also collide.
+        assert!(argv(&["--out=a.json", "--out", "b.json"]).is_err());
+        // A repeated bare flag is a duplicate too.
+        assert!(argv(&["--verbose", "--verbose"]).is_err());
+        // Distinct keys are fine.
+        assert!(argv(&["--batch", "8", "--bw", "10"]).is_ok());
     }
 }

@@ -11,6 +11,7 @@ use daydream_core::{layer_report, predict, simulate, ProfiledGraph};
 use daydream_device::GpuSpec;
 use daydream_models::{footprint, max_batch, zoo, Model, Optimizer};
 use daydream_runtime::{ground_truth, ExecConfig};
+use daydream_sweep::{SweepEngine, SweepGrid};
 use daydream_trace::{runtime_breakdown, Framework};
 
 /// Resolves a model name or exits with a helpful message.
@@ -32,22 +33,12 @@ fn exec_config(args: &Args) -> Result<ExecConfig, String> {
         "caffe" => Framework::Caffe,
         other => return Err(format!("unknown framework '{other}'")),
     };
-    cfg.gpu = gpu_by_name(&args.opt("gpu", "2080ti"))?;
+    cfg.gpu = GpuSpec::by_name(&args.opt("gpu", "2080ti"))?;
     if let Some(b) = args.opt_maybe("batch") {
         cfg.batch = Some(b.parse().map_err(|_| format!("invalid --batch {b}"))?);
     }
     cfg.seed = args.num("seed", cfg.seed)?;
     Ok(cfg)
-}
-
-fn gpu_by_name(name: &str) -> Result<GpuSpec, String> {
-    match name.to_lowercase().replace([' ', '-', '_'], "").as_str() {
-        "2080ti" | "rtx2080ti" => Ok(GpuSpec::rtx_2080ti()),
-        "v100" => Ok(GpuSpec::v100()),
-        "t4" => Ok(GpuSpec::t4()),
-        "p4000" => Ok(GpuSpec::p4000()),
-        other => Err(format!("unknown GPU '{other}' (2080ti, v100, t4, p4000)")),
-    }
 }
 
 /// `daydream models` — the zoo with parameters and memory needs.
@@ -267,7 +258,7 @@ pub fn cmd_predict(args: &Args) -> Result<(), String> {
             what_if_bandwidth(g, args.num("factor", 2.0f64).unwrap_or(2.0));
         }),
         "upgrade-gpu" => {
-            let new = gpu_by_name(&args.opt("to", "v100"))?;
+            let new = GpuSpec::by_name(&args.opt("to", "v100"))?;
             let old = cfg.gpu.clone();
             predict(&pg, |g| {
                 what_if_upgrade_gpu(g, &old, &new);
@@ -304,6 +295,156 @@ pub fn cmd_predict(args: &Args) -> Result<(), String> {
             "slower"
         },
     );
+    Ok(())
+}
+
+/// Parses a comma-separated option into typed values.
+fn parse_list<T: std::str::FromStr>(
+    args: &Args,
+    key: &str,
+    default: &str,
+) -> Result<Vec<T>, String> {
+    args.opt(key, default)
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("invalid value '{s}' in --{key}"))
+        })
+        .collect()
+}
+
+/// Option keys `sweep` understands; anything else is a typo, not a
+/// silently ignored request (the axis surface is too large to guess).
+const SWEEP_KEYS: &[&str] = &[
+    "models",
+    "batches",
+    "opts",
+    "bw",
+    "machines",
+    "gpus",
+    "ratios",
+    "factors",
+    "to",
+    "lossy",
+    "lookaheads",
+    "target-batches",
+    "max-batch",
+    "threads",
+    "top",
+    "out",
+    "csv",
+    "cache-file",
+];
+
+/// `daydream sweep` — run a batch what-if grid in parallel.
+pub fn cmd_sweep(args: &Args) -> Result<(), String> {
+    if let Some(pos) = args.positional.first() {
+        return Err(format!(
+            "unexpected argument '{pos}': sweep takes axes as options (e.g. --models {pos})"
+        ));
+    }
+    if let Some(unknown) = args
+        .options
+        .keys()
+        .find(|k| !SWEEP_KEYS.contains(&k.as_str()))
+    {
+        return Err(format!(
+            "unknown sweep option --{unknown} (see `daydream help` for the sweep option list)"
+        ));
+    }
+    let lossy = match args.opt("lossy", "off").as_str() {
+        "off" => vec![false],
+        "on" => vec![true],
+        "both" => vec![false, true],
+        other => return Err(format!("invalid --lossy '{other}' (off | on | both)")),
+    };
+    let max_batch: u64 = args.num("max-batch", u64::MAX)?;
+
+    let grid = SweepGrid::builder()
+        .models(parse_list::<String>(args, "models", "ResNet-50,BERT_Base")?)
+        .batches(parse_list(args, "batches", "4,8")?)
+        .opts(parse_list::<String>(
+            args,
+            "opts",
+            "amp,fused-adam,gist,ddp,dgc,bandwidth",
+        )?)
+        .bandwidths(parse_list(args, "bw", "10,25")?)
+        .machines(parse_list(args, "machines", "4")?)
+        .gpus_per_machine(args.num("gpus", 1u32)?)
+        .dgc_ratios(parse_list(args, "ratios", "0.01")?)
+        .bandwidth_factors(parse_list(args, "factors", "2.0")?)
+        .upgrade_targets(parse_list::<String>(args, "to", "v100")?)
+        .gist_lossy(lossy)
+        .vdnn_lookaheads(parse_list(args, "lookaheads", "2")?)
+        .target_batches(parse_list(args, "target-batches", "16")?)
+        .filter(move |s| s.batch <= max_batch)
+        .build();
+
+    let engine = match args.opt_maybe("threads") {
+        Some(t) => SweepEngine::new(t.parse().map_err(|_| format!("invalid --threads {t}"))?),
+        None => SweepEngine::with_available_parallelism(),
+    };
+    if let Some(path) = args.opt_maybe("cache-file") {
+        match std::fs::read_to_string(path) {
+            Ok(json) => {
+                let loaded = engine.cache().load_json(&json)?;
+                println!("loaded {loaded} cached results from {path}");
+            }
+            // A missing file is a cold start; anything else (permissions,
+            // bad encoding) must not silently discard the cache and then
+            // overwrite it after a full re-execution.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(format!("cannot read --cache-file {path}: {e}")),
+        }
+    }
+
+    let start = std::time::Instant::now();
+    let report = engine.run(&grid)?;
+    let elapsed = start.elapsed();
+    let stats = engine.last_stats();
+
+    println!(
+        "swept {} scenarios on {} threads in {:.2}s ({:.1} scenarios/s, {} base profiles built, {} steals)",
+        report.scenario_count,
+        stats.executor.workers.max(1),
+        elapsed.as_secs_f64(),
+        report.scenario_count as f64 / elapsed.as_secs_f64().max(1e-9),
+        stats.profiles_built,
+        stats.executor.steals,
+    );
+    if report.cache_hits > 0 {
+        println!(
+            "cache: {} hits, {} executed ({}% free)",
+            report.cache_hits,
+            report.executed,
+            report.cache_hits * 100 / report.scenario_count.max(1)
+        );
+    }
+    let top: usize = args.num("top", 15usize)?;
+    println!("\n{}", report.render(top));
+
+    // Save the cache first: it holds the expensive computed results, and
+    // must survive even if a report path below turns out to be unwritable.
+    if let Some(path) = args.opt_maybe("cache-file") {
+        // Write-then-rename so an interrupted save can't leave a
+        // truncated cache that fails every later run.
+        let tmp = format!("{path}.tmp.{}", std::process::id());
+        std::fs::write(&tmp, engine.cache().to_json().map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?;
+        std::fs::rename(&tmp, path).map_err(|e| e.to_string())?;
+        println!("saved {} cached results to {path}", engine.cache().len());
+    }
+    if let Some(path) = args.opt_maybe("out") {
+        std::fs::write(path, report.to_json().map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = args.opt_maybe("csv") {
+        std::fs::write(path, report.to_csv()).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
     Ok(())
 }
 
@@ -346,5 +487,52 @@ mod tests {
     fn predict_amp_runs() {
         let a = args(&["ResNet-50", "--opt", "amp", "--batch", "4"]);
         cmd_predict(&a).unwrap();
+    }
+
+    #[test]
+    fn sweep_runs_a_tiny_grid() {
+        let a = args(&[
+            "--models",
+            "ResNet-50",
+            "--batches",
+            "4",
+            "--opts",
+            "amp,gist",
+            "--threads",
+            "2",
+        ]);
+        cmd_sweep(&a).unwrap();
+    }
+
+    #[test]
+    fn sweep_rejects_bad_inputs() {
+        assert!(cmd_sweep(&args(&["--models", "AlexNet"])).is_err());
+        assert!(cmd_sweep(&args(&["--opts", "quantum"])).is_err());
+        assert!(cmd_sweep(&args(&["--lossy", "maybe"])).is_err());
+        assert!(cmd_sweep(&args(&["--batches", "four"])).is_err());
+        // A typo'd GPU target fails during grid validation, before any
+        // scenario executes.
+        assert!(cmd_sweep(&args(&["--opts", "upgrade-gpu", "--to", "v200"])).is_err());
+    }
+
+    #[test]
+    fn sweep_rejects_typos_instead_of_ignoring_them() {
+        // Singular --model (vs --models) must not silently run defaults.
+        let err = cmd_sweep(&args(&["--model", "ResNet-50"])).unwrap_err();
+        assert!(err.contains("unknown sweep option --model"), "got: {err}");
+        // Positional arguments are not part of the sweep vocabulary.
+        let err = cmd_sweep(&args(&["ResNet-101"])).unwrap_err();
+        assert!(
+            err.contains("unexpected argument 'ResNet-101'"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn parse_list_handles_types_and_garbage() {
+        let a = args(&["--xs", "1,2,3"]);
+        assert_eq!(parse_list::<u64>(&a, "xs", "9").unwrap(), vec![1, 2, 3]);
+        assert_eq!(parse_list::<u64>(&a, "missing", "7,8").unwrap(), vec![7, 8]);
+        assert!(parse_list::<u64>(&args(&["--xs", "1,zap"]), "xs", "").is_err());
     }
 }

@@ -6,6 +6,7 @@
 //! daydream report  <model> [--top N]           per-layer time attribution
 //! daydream memory  <model> [--device-gb G]     footprint and max batch
 //! daydream predict <model> --opt <opt> [...]   run a what-if analysis
+//! daydream sweep [--models ...] [--opts ...]   batch what-if grid in parallel
 //! ```
 
 mod args;
@@ -25,6 +26,7 @@ COMMANDS:
     report  <model>                per-layer time attribution
     memory  <model>                memory footprint and max batch size
     predict <model> --opt <opt>    predict an optimization's effect
+    sweep                          run a what-if grid in parallel, ranked
 
 COMMON OPTIONS:
     --batch N          mini-batch size (default: the paper's per-model value)
@@ -38,11 +40,32 @@ PREDICT OPTIONS:
     --factor F         bandwidth multiplier for --opt bandwidth (default 2)
     --to G             target device for --opt upgrade-gpu (default v100)
 
+SWEEP OPTIONS (comma-separated lists expand into grid axes):
+    --models M,N       model axis                       (default ResNet-50,BERT_Base)
+    --batches B,C      profile batch-size axis          (default 4,8)
+    --opts O,P         optimization families            (default amp,fused-adam,gist,ddp,dgc,bandwidth)
+    --bw G,H           inter-node Gbit/s axis           (default 10,25)
+    --machines M,N     machine-count axis               (default 4)
+    --gpus N           GPUs per machine                 (default 1)
+    --ratios R,S       DGC compression ratios           (default 0.01)
+    --factors F,G      bandwidth what-if multipliers    (default 2.0)
+    --to G,H           upgrade-gpu targets              (default v100)
+    --lossy MODE       gist mode: off | on | both       (default off)
+    --lookaheads N,M   vdnn prefetch lookaheads         (default 2)
+    --target-batches B,C  batch-size what-if targets    (default 16)
+    --max-batch N      drop scenarios with batch > N    (default unlimited)
+    --threads N        worker threads                   (default all cores)
+    --top N            rows to print                    (default 15)
+    --out F.json       write the ranked report as JSON
+    --csv F.csv        write the ranked results as CSV
+    --cache-file F     load/save the result cache (repeat runs are free)
+
 EXAMPLES:
     daydream profile BERT_Base --out bert.json
     daydream predict BERT_Large --opt fused-adam
     daydream predict ResNet-50 --opt ddp --machines 4 --gpus 2 --bw 10
     daydream predict ResNet-50 --opt upgrade-gpu --to v100
+    daydream sweep --models ResNet-50,BERT_Base --opts amp,ddp,dgc --bw 10,25,40
 ";
 
 fn main() {
@@ -65,6 +88,7 @@ fn main() {
         "report" => commands::cmd_report(&parsed),
         "memory" => commands::cmd_memory(&parsed),
         "predict" => commands::cmd_predict(&parsed),
+        "sweep" => commands::cmd_sweep(&parsed),
         other => {
             eprintln!("unknown command '{other}'\n\n{USAGE}");
             std::process::exit(2);

@@ -1,0 +1,106 @@
+//! End-to-end test of the `daydream sweep` subcommand: spawns the real
+//! binary on an acceptance-sized grid, checks the ranked JSON report,
+//! and verifies cache-file reuse across processes.
+
+use std::process::Command;
+
+fn daydream() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_daydream"))
+}
+
+#[test]
+fn sweep_end_to_end_with_report_and_cache() {
+    let dir = std::env::temp_dir().join(format!("daydream-sweep-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let report_path = dir.join("report.json");
+    let csv_path = dir.join("report.csv");
+    let cache_path = dir.join("sweep.cache.json");
+
+    // >= 24 scenarios: 2 models x {amp, gist, ddp x (2 bw), dgc x (2 bw),
+    // bandwidth} x 2 batches, minus nothing (all applicable).
+    let grid_args = [
+        "sweep",
+        "--models",
+        "ResNet-50,BERT_Base",
+        "--batches",
+        "4,8",
+        "--opts",
+        "amp,gist,ddp,dgc,bandwidth",
+        "--bw",
+        "10,25",
+        "--machines",
+        "4",
+        "--threads",
+        "4",
+    ];
+
+    let out = daydream()
+        .args(grid_args)
+        .args(["--out", report_path.to_str().unwrap()])
+        .args(["--csv", csv_path.to_str().unwrap()])
+        .args(["--cache-file", cache_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "sweep failed: {stdout}");
+    assert!(stdout.contains("swept 28 scenarios"), "got: {stdout}");
+    assert!(stdout.contains("pareto front"));
+
+    // The JSON report parses and is ranked.
+    let json = std::fs::read_to_string(&report_path).unwrap();
+    let report: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(report["scenario_count"], 28u64);
+    assert_eq!(report["cache_hits"], 0u64);
+    let results = report["results"].as_array().unwrap();
+    assert_eq!(results.len(), 28);
+    let times: Vec<u64> = results
+        .iter()
+        .map(|r| r["predicted_ns"].as_u64().unwrap())
+        .collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]), "ranked ascending");
+
+    // CSV: header + one row per scenario.
+    let csv = std::fs::read_to_string(&csv_path).unwrap();
+    assert_eq!(csv.lines().count(), 29);
+    assert!(csv.starts_with("rank,label,model"));
+
+    // Second process, same grid, same cache file: everything is free.
+    let out2 = daydream()
+        .args(grid_args)
+        .args(["--cache-file", cache_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    let stdout2 = String::from_utf8_lossy(&out2.stdout);
+    assert!(out2.status.success(), "cached sweep failed: {stdout2}");
+    assert!(
+        stdout2.contains("cache: 28 hits, 0 executed"),
+        "expected full cache reuse, got: {stdout2}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_rejects_unknown_model_with_nonzero_exit() {
+    let out = daydream()
+        .args(["sweep", "--models", "AlexNet"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown model"), "got: {stderr}");
+}
+
+#[test]
+fn sweep_rejects_duplicate_options() {
+    let out = daydream()
+        .args(["sweep", "--threads", "2", "--threads", "4"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("duplicate option --threads"),
+        "got: {stderr}"
+    );
+}

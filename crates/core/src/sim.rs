@@ -246,6 +246,29 @@ mod tests {
         assert!(r.start_ns[b.0].is_none());
     }
 
+    /// Graham's scheduling anomaly: removing work CAN increase the
+    /// makespan of a greedy list scheduler. Here `x` delays `a` past `b`,
+    /// so the critical `b -> c` chain starts first on thread 0; removing
+    /// `x` makes `a` dispatchable at t=0 (earlier id wins the tie) and
+    /// pushes the critical chain back by 50.
+    #[test]
+    fn removal_can_increase_makespan_graham_anomaly() {
+        let t1 = ExecThread::Cpu(CpuThreadId(0));
+        let t2 = ExecThread::Gpu(DeviceId(0), StreamId(0));
+        let mut g = DependencyGraph::new();
+        let x = g.add_task(Task::new("x", TaskKind::GpuKernel, t2, 5));
+        let a = g.add_task(Task::new("a", TaskKind::CpuWork, t1, 50));
+        let b = g.add_task(Task::new("b", TaskKind::CpuWork, t1, 10));
+        let c = g.add_task(Task::new("c", TaskKind::GpuKernel, t2, 100));
+        g.add_dep(x, a, DepKind::Transform);
+        g.add_dep(b, c, DepKind::Transform);
+        let before = simulate(&g).unwrap().makespan_ns;
+        g.remove_task(x);
+        let after = simulate(&g).unwrap().makespan_ns;
+        assert_eq!(before, 110);
+        assert_eq!(after, 160, "anomaly: less work, later finish");
+    }
+
     #[test]
     fn cycle_reported() {
         let mut g = DependencyGraph::new();

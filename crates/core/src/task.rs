@@ -227,7 +227,7 @@ mod tests {
 
     #[test]
     fn thread_ordering_is_stable() {
-        let mut v = vec![
+        let mut v = [
             ExecThread::Comm(CommChannel::Send),
             ExecThread::Gpu(DeviceId(0), StreamId(1)),
             ExecThread::Cpu(CpuThreadId(2)),

@@ -92,6 +92,19 @@ impl GpuSpec {
         }
     }
 
+    /// Resolves a user-facing GPU name (case/punctuation-insensitive) to
+    /// its spec — the single name table shared by the CLI `--gpu`/`--to`
+    /// options and the sweep engine's upgrade-gpu scenarios.
+    pub fn by_name(name: &str) -> Result<Self, String> {
+        match name.to_lowercase().replace([' ', '-', '_'], "").as_str() {
+            "2080ti" | "rtx2080ti" => Ok(GpuSpec::rtx_2080ti()),
+            "v100" => Ok(GpuSpec::v100()),
+            "t4" => Ok(GpuSpec::t4()),
+            "p4000" => Ok(GpuSpec::p4000()),
+            other => Err(format!("unknown GPU '{other}' (2080ti, v100, t4, p4000)")),
+        }
+    }
+
     /// Peak arithmetic throughput in FLOP/ns for a precision.
     pub fn peak_flops_per_ns(&self, prec: Precision) -> f64 {
         let tflops = match prec {

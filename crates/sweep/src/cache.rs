@@ -1,0 +1,146 @@
+//! Content-hash result cache: repeated or overlapping sub-grids are free.
+//!
+//! Keys are [`crate::Scenario::fingerprint`] values — stable FNV-1a
+//! content hashes — so the cache survives process restarts via a JSON
+//! file (the CLI's `--cache-file`).
+
+use crate::report::ScenarioOutcome;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Thread-safe scenario-result cache.
+#[derive(Debug, Default)]
+pub struct SweepCache {
+    entries: Mutex<HashMap<u64, ScenarioOutcome>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl SweepCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks a fingerprint up, counting the hit or miss. Hits come back
+    /// with `cached = true` so reports can show reuse.
+    pub fn lookup(&self, fingerprint: u64) -> Option<ScenarioOutcome> {
+        let got = self.entries.lock().unwrap().get(&fingerprint).cloned();
+        match got {
+            Some(mut outcome) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                outcome.cached = true;
+                Some(outcome)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a freshly computed outcome.
+    pub fn insert(&self, fingerprint: u64, outcome: &ScenarioOutcome) {
+        let mut stored = outcome.clone();
+        stored.cached = false;
+        self.entries.lock().unwrap().insert(fingerprint, stored);
+    }
+
+    /// Cache hits since construction (or the last [`SweepCache::clear`]).
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses since construction.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of stored outcomes.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries and counters.
+    pub fn clear(&self) {
+        self.entries.lock().unwrap().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Serializes all entries as a JSON array of outcomes (fingerprints
+    /// are recomputable, but each outcome carries its `key` hex anyway).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        let mut entries: Vec<ScenarioOutcome> =
+            self.entries.lock().unwrap().values().cloned().collect();
+        entries.sort_by(|a, b| a.key.cmp(&b.key));
+        serde_json::to_string_pretty(&entries)
+    }
+
+    /// Loads entries from [`SweepCache::to_json`] output, merging over
+    /// existing ones.
+    pub fn load_json(&self, json: &str) -> Result<usize, String> {
+        let entries: Vec<ScenarioOutcome> =
+            serde_json::from_str(json).map_err(|e| format!("invalid cache file: {e}"))?;
+        let mut map = self.entries.lock().unwrap();
+        let mut loaded = 0;
+        for outcome in entries {
+            let fp = u64::from_str_radix(&outcome.key, 16)
+                .map_err(|_| format!("invalid cache key '{}'", outcome.key))?;
+            map.insert(fp, outcome);
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(key: u64, label: &str) -> ScenarioOutcome {
+        ScenarioOutcome {
+            key: format!("{key:016x}"),
+            label: label.into(),
+            model: "ResNet-50".into(),
+            batch: 8,
+            opt: "amp".into(),
+            baseline_ns: 100,
+            predicted_ns: 80,
+            speedup: 1.25,
+            memory_bytes: 1 << 30,
+            comm_bytes: 0,
+            cached: false,
+        }
+    }
+
+    #[test]
+    fn hit_miss_accounting_and_cached_flag() {
+        let cache = SweepCache::new();
+        assert!(cache.lookup(7).is_none());
+        cache.insert(7, &outcome(7, "a"));
+        let hit = cache.lookup(7).unwrap();
+        assert!(hit.cached, "hits are flagged");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn json_round_trip_merges() {
+        let cache = SweepCache::new();
+        cache.insert(1, &outcome(1, "a"));
+        cache.insert(2, &outcome(2, "b"));
+        let json = cache.to_json().unwrap();
+
+        let other = SweepCache::new();
+        other.insert(3, &outcome(3, "c"));
+        assert_eq!(other.load_json(&json).unwrap(), 2);
+        assert_eq!(other.len(), 3);
+        assert!(other.lookup(1).is_some() && other.lookup(3).is_some());
+    }
+}

@@ -1,0 +1,409 @@
+//! The sweep engine: profiles each (model, batch) base once, shares it
+//! immutably across workers, evaluates every scenario in parallel, and
+//! assembles the ranked report.
+
+use crate::cache::SweepCache;
+use crate::executor::{parallel_map, ExecutorStats};
+use crate::grid::SweepGrid;
+use crate::report::{ScenarioOutcome, SweepReport};
+use crate::scenario::{OptSpec, Scenario};
+use daydream_comm::ClusterConfig;
+use daydream_core::whatif::{
+    what_if_amp, what_if_bandwidth, what_if_batch_size, what_if_blueconnect, what_if_dgc,
+    what_if_distributed, what_if_fused_adam, what_if_gist, what_if_metaflow, what_if_p3,
+    what_if_reconstruct_bn, what_if_upgrade_gpu, what_if_vdnn, DgcConfig, GistConfig, P3Config,
+    Substitution, VdnnConfig,
+};
+use daydream_core::{predict, simulate, Prediction, ProfiledGraph};
+use daydream_device::GpuSpec;
+use daydream_models::{footprint, vdnn_offloadable_bytes, Model, F32_BYTES};
+use daydream_runtime::{ground_truth, ExecConfig};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+
+/// A profiled (model, batch) base shared immutably across scenarios.
+struct BaseProfile {
+    model: Model,
+    graph: ProfiledGraph,
+    baseline_ns: u64,
+}
+
+/// Wall-clock-free throughput counters of the last `run` call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// Base profiles built this run (cache misses on the profile cache).
+    pub profiles_built: usize,
+    /// Work-stealing counters of the scenario evaluation phase.
+    pub executor: ExecutorStats,
+}
+
+/// Parallel scenario-sweep engine with result and profile caches that
+/// persist across `run` calls, so overlapping grids only pay for their
+/// novel scenarios.
+pub struct SweepEngine {
+    threads: usize,
+    profiles: Mutex<HashMap<(String, u64), Arc<BaseProfile>>>,
+    cache: SweepCache,
+    last_stats: Mutex<RunStats>,
+}
+
+impl SweepEngine {
+    /// An engine evaluating scenarios on `threads` worker threads.
+    pub fn new(threads: usize) -> Self {
+        SweepEngine {
+            threads: threads.max(1),
+            profiles: Mutex::new(HashMap::new()),
+            cache: SweepCache::new(),
+            last_stats: Mutex::new(RunStats::default()),
+        }
+    }
+
+    /// An engine sized to the host's available parallelism.
+    pub fn with_available_parallelism() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self::new(threads)
+    }
+
+    /// The result cache (e.g. for `--cache-file` persistence).
+    pub fn cache(&self) -> &SweepCache {
+        &self.cache
+    }
+
+    /// Drops cached scenario results but keeps base profiles — used by
+    /// benchmarks to re-measure evaluation without re-profiling.
+    pub fn clear_result_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Counters of the most recent [`SweepEngine::run`].
+    pub fn last_stats(&self) -> RunStats {
+        *self.last_stats.lock().unwrap()
+    }
+
+    /// Expands the grid, evaluates every scenario in parallel (sharing
+    /// base profiles, consulting the result cache), and returns the
+    /// ranked report. Deterministic for a given grid: the report is
+    /// byte-identical across thread counts.
+    pub fn run(&self, grid: &SweepGrid) -> Result<SweepReport, String> {
+        let scenarios = grid.expand()?;
+
+        // Phase 0: answer what we can from the result cache, so fully
+        // cached scenarios cost neither evaluation nor base profiling
+        // (a cross-process `--cache-file` rerun builds no profiles).
+        let mut outcomes: Vec<Option<ScenarioOutcome>> = Vec::with_capacity(scenarios.len());
+        let mut misses: Vec<(usize, Scenario)> = Vec::new();
+        for (i, scenario) in scenarios.into_iter().enumerate() {
+            let hit = self.cache.lookup(scenario.fingerprint());
+            if hit.is_none() {
+                misses.push((i, scenario));
+            }
+            outcomes.push(hit);
+        }
+
+        // Phase 1: build the (model, batch) base profiles the cache
+        // misses need, also in parallel — each is an independent
+        // simulated training iteration.
+        let needed: Vec<(String, u64)> = {
+            let have = self.profiles.lock().unwrap();
+            let mut seen = HashSet::new();
+            misses
+                .iter()
+                .map(|(_, s)| (s.model.clone(), s.batch))
+                .filter(|k| !have.contains_key(k) && seen.insert(k.clone()))
+                .collect()
+        };
+        let profiles_built = needed.len();
+        let (built, _) = parallel_map(needed, self.threads, |(model_name, batch)| {
+            let profile = build_profile(&model_name, batch);
+            ((model_name, batch), profile)
+        });
+        {
+            let mut have = self.profiles.lock().unwrap();
+            for (key, profile) in built {
+                have.insert(key, Arc::new(profile?));
+            }
+        }
+
+        // Phase 2: evaluate the misses under work stealing. Bases are
+        // shared as `Arc`s; `predict` clones the graph per scenario.
+        let bases: HashMap<(String, u64), Arc<BaseProfile>> = self.profiles.lock().unwrap().clone();
+        let (evaluated, exec_stats) =
+            parallel_map(misses, self.threads, |(i, scenario)| -> Result<_, String> {
+                let base = bases
+                    .get(&(scenario.model.clone(), scenario.batch))
+                    .expect("phase 1 built every base");
+                let outcome = evaluate(&scenario, base)?;
+                self.cache.insert(scenario.fingerprint(), &outcome);
+                Ok((i, outcome))
+            });
+        for result in evaluated {
+            let (i, outcome) = result?;
+            outcomes[i] = Some(outcome);
+        }
+        let outcomes: Vec<ScenarioOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("every slot is a hit or an evaluated miss"))
+            .collect();
+
+        *self.last_stats.lock().unwrap() = RunStats {
+            profiles_built,
+            executor: exec_stats,
+        };
+        Ok(SweepReport::from_outcomes(outcomes))
+    }
+}
+
+/// Profiles one baseline iteration (the paper's PyTorch / RTX 2080 Ti
+/// single-GPU setting, fixed seed).
+fn build_profile(model_name: &str, batch: u64) -> Result<BaseProfile, String> {
+    let model = daydream_models::zoo::by_name(model_name)
+        .ok_or_else(|| format!("unknown model '{model_name}'"))?;
+    let cfg = ExecConfig::pytorch_2080ti().with_batch(batch);
+    let trace = ground_truth::run_baseline(&model, &cfg);
+    let graph = ProfiledGraph::from_trace(&trace);
+    let baseline_ns = simulate(&graph.graph)
+        .map_err(|e| format!("baseline graph for {model_name} b{batch}: {e}"))?
+        .makespan_ns;
+    Ok(BaseProfile {
+        model,
+        graph,
+        baseline_ns,
+    })
+}
+
+/// Evaluates one scenario against its shared base profile.
+fn evaluate(scenario: &Scenario, base: &BaseProfile) -> Result<ScenarioOutcome, String> {
+    let pg = &base.graph;
+    let model = &base.model;
+    let grad_bytes = (model.param_count() as f64 * F32_BYTES) as u64;
+
+    // Estimated per-GPU memory under the optimization. These are
+    // footprint-model estimates (models crate), not simulated values:
+    // AMP halves activation stash, Gist compresses ReLU stashes (~2x
+    // lossless, ~4x lossy on the affected share — approximated as a
+    // quarter/half of all activations), vDNN offloads conv stashes.
+    let fp = footprint(model, scenario.batch);
+    let mut memory_bytes = fp.total();
+    let mut comm_bytes = 0u64;
+
+    let prediction: Prediction = match &scenario.opt {
+        OptSpec::Baseline => Prediction {
+            baseline_ns: base.baseline_ns,
+            predicted_ns: base.baseline_ns,
+        },
+        OptSpec::Amp => {
+            memory_bytes = fp.total() - fp.activations / 2;
+            predict(pg, what_if_amp)
+        }
+        OptSpec::FusedAdam => predict(pg, |g| {
+            what_if_fused_adam(g);
+        }),
+        OptSpec::ReconstructBn => predict(pg, |g| what_if_reconstruct_bn(g, model)),
+        OptSpec::Metaflow => {
+            let mut policy = Vec::new();
+            for l in &model.layers {
+                if l.name.ends_with("attn.key") || l.name.ends_with("attn.value") {
+                    policy.push(Substitution::RemoveLayer(l.id));
+                } else if l.name.ends_with("attn.query") {
+                    policy.push(Substitution::ScaleLayer(l.id, 1.8));
+                }
+            }
+            predict(pg, |g| what_if_metaflow(g, &policy))
+        }
+        OptSpec::Ddp {
+            machines,
+            gpus_per_machine,
+            bw_gbps,
+        } => {
+            let cluster = ClusterConfig::new(*machines, *gpus_per_machine, *bw_gbps);
+            comm_bytes = grad_bytes;
+            predict(pg, |g| {
+                what_if_distributed(g, &cluster);
+            })
+        }
+        OptSpec::BlueConnect {
+            machines,
+            gpus_per_machine,
+            bw_gbps,
+        } => {
+            let cluster = ClusterConfig::new(*machines, *gpus_per_machine, *bw_gbps);
+            comm_bytes = grad_bytes;
+            predict(pg, |g| {
+                let ars = what_if_distributed(g, &cluster);
+                what_if_blueconnect(g, &cluster, &ars);
+            })
+        }
+        OptSpec::Dgc {
+            machines,
+            gpus_per_machine,
+            bw_gbps,
+            ratio,
+        } => {
+            let cluster = ClusterConfig::new(*machines, *gpus_per_machine, *bw_gbps);
+            comm_bytes = (grad_bytes as f64 * ratio).ceil() as u64;
+            let cfg = DgcConfig {
+                compression_ratio: *ratio,
+                ..DgcConfig::default()
+            };
+            predict(pg, |g| {
+                let ars = what_if_distributed(g, &cluster);
+                what_if_dgc(g, &ars, &cfg);
+            })
+        }
+        OptSpec::P3 {
+            machines,
+            gpus_per_machine,
+            bw_gbps,
+        } => {
+            let cluster = ClusterConfig::new(*machines, *gpus_per_machine, *bw_gbps);
+            comm_bytes = grad_bytes;
+            // P3's comparable baseline is the same parameter-server
+            // cluster with FIFO layer-granularity transfers (paper
+            // §6.6), not the single-GPU profile — so the speedup column
+            // means "what P3's slicing+priority buys on this cluster".
+            let fifo = what_if_p3(pg, &P3Config::baseline(cluster));
+            let p3 = what_if_p3(pg, &P3Config::p3(cluster));
+            Prediction {
+                baseline_ns: (fifo.iteration_ms() * 1e6) as u64,
+                predicted_ns: (p3.iteration_ms() * 1e6) as u64,
+            }
+        }
+        OptSpec::Vdnn { lookahead } => {
+            memory_bytes = fp
+                .total()
+                .saturating_sub(vdnn_offloadable_bytes(model, scenario.batch));
+            let cfg = VdnnConfig {
+                prefetch_lookahead: *lookahead,
+                ..VdnnConfig::default()
+            };
+            predict(pg, |g| {
+                what_if_vdnn(g, model, &cfg);
+            })
+        }
+        OptSpec::Gist { lossy } => {
+            let saved = if *lossy {
+                fp.activations / 2
+            } else {
+                fp.activations / 4
+            };
+            memory_bytes = fp.total() - saved;
+            let cfg = GistConfig {
+                lossy: *lossy,
+                ..GistConfig::default()
+            };
+            predict(pg, |g| {
+                what_if_gist(g, &cfg);
+            })
+        }
+        OptSpec::Bandwidth { factor } => predict(pg, |g| {
+            what_if_bandwidth(g, *factor);
+        }),
+        OptSpec::UpgradeGpu { to } => {
+            let new = GpuSpec::by_name(to)?;
+            let old = GpuSpec::rtx_2080ti();
+            predict(pg, |g| {
+                what_if_upgrade_gpu(g, &old, &new);
+            })
+        }
+        OptSpec::BatchSize { batch } => {
+            memory_bytes = footprint(model, *batch).total();
+            let target = *batch;
+            predict(pg, |g| {
+                what_if_batch_size(g, target);
+            })
+        }
+    };
+
+    Ok(ScenarioOutcome {
+        key: scenario.fingerprint_hex(),
+        label: scenario.label(),
+        model: scenario.model.clone(),
+        batch: scenario.batch,
+        opt: scenario.opt.label(),
+        baseline_ns: prediction.baseline_ns,
+        predicted_ns: prediction.predicted_ns,
+        speedup: prediction.speedup(),
+        memory_bytes,
+        comm_bytes,
+        cached: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::SweepGrid;
+
+    fn small_grid() -> SweepGrid {
+        SweepGrid::builder()
+            .models(["ResNet-50"])
+            .batches([4])
+            .opts(["baseline", "amp", "gist"])
+            .build()
+    }
+
+    #[test]
+    fn runs_a_small_grid() {
+        let engine = SweepEngine::new(2);
+        let report = engine.run(&small_grid()).unwrap();
+        assert_eq!(report.scenario_count, 3);
+        assert_eq!(report.cache_hits, 0);
+        // The baseline row predicts its own baseline.
+        let baseline = report.results.iter().find(|o| o.opt == "baseline").unwrap();
+        assert_eq!(baseline.baseline_ns, baseline.predicted_ns);
+        // AMP beats the baseline on ResNet (paper §6.2).
+        let amp = report.results.iter().find(|o| o.opt == "amp").unwrap();
+        assert!(amp.speedup > 1.0);
+        assert_eq!(engine.last_stats().profiles_built, 1);
+    }
+
+    #[test]
+    fn second_run_is_fully_cached() {
+        let engine = SweepEngine::new(2);
+        engine.run(&small_grid()).unwrap();
+        let again = engine.run(&small_grid()).unwrap();
+        assert_eq!(again.cache_hits, 3);
+        assert_eq!(again.executed, 0);
+        assert_eq!(engine.last_stats().profiles_built, 0, "profiles reused too");
+    }
+
+    #[test]
+    fn amp_reduces_estimated_memory() {
+        let engine = SweepEngine::new(1);
+        let report = engine.run(&small_grid()).unwrap();
+        let baseline = report.results.iter().find(|o| o.opt == "baseline").unwrap();
+        let amp = report.results.iter().find(|o| o.opt == "amp").unwrap();
+        assert!(amp.memory_bytes < baseline.memory_bytes);
+    }
+
+    #[test]
+    fn distributed_scenarios_report_comm_cost() {
+        let engine = SweepEngine::new(2);
+        let grid = SweepGrid::builder()
+            .models(["ResNet-50"])
+            .batches([4])
+            .opts(["ddp", "dgc"])
+            .bandwidths([10.0])
+            .machines([4])
+            .dgc_ratios([0.01])
+            .build();
+        let report = engine.run(&grid).unwrap();
+        let ddp = report
+            .results
+            .iter()
+            .find(|o| o.opt.starts_with("ddp"))
+            .unwrap();
+        let dgc = report
+            .results
+            .iter()
+            .find(|o| o.opt.starts_with("dgc"))
+            .unwrap();
+        assert!(ddp.comm_bytes > 0);
+        assert!(
+            dgc.comm_bytes < ddp.comm_bytes / 50,
+            "DGC compresses gradient traffic ~100x"
+        );
+    }
+}

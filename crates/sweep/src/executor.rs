@@ -1,0 +1,161 @@
+//! Work-stealing parallel map over scenario-sized work items.
+//!
+//! Std-threads only (the workspace builds offline): each worker owns a
+//! deque seeded round-robin; a worker drains its own queue from the
+//! front and, when empty, steals half of the largest victim queue from
+//! the back. Results land in their input slot, so output order — and
+//! therefore every downstream ranking — is independent of thread count
+//! and interleaving.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Counters from one parallel run (informational; not part of reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Items executed.
+    pub executed: usize,
+    /// Successful steal operations across all workers.
+    pub steals: usize,
+    /// Worker threads actually spawned.
+    pub workers: usize,
+}
+
+/// Applies `f` to every item on `threads` workers with work stealing;
+/// returns results in input order plus run counters.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> (Vec<R>, ExecutorStats)
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return (Vec::new(), ExecutorStats::default());
+    }
+    let workers = threads.max(1).min(n);
+
+    let queues: Vec<Mutex<VecDeque<(usize, T)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        queues[i % workers].lock().unwrap().push_back((i, item));
+    }
+
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let steals = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let queues = &queues;
+            let slots = &slots;
+            let steals = &steals;
+            let f = &f;
+            scope.spawn(move || loop {
+                // Own queue first (front: preserves locality of the
+                // round-robin seeding).
+                let own = queues[me].lock().unwrap().pop_front();
+                let (idx, item) = match own {
+                    Some(work) => work,
+                    None => {
+                        // Steal half of the fullest victim, from the back.
+                        match steal_batch(queues, me) {
+                            Some(batch) => {
+                                steals.fetch_add(1, Ordering::Relaxed);
+                                let mut q = queues[me].lock().unwrap();
+                                for w in batch {
+                                    q.push_back(w);
+                                }
+                                continue;
+                            }
+                            // Nothing anywhere: workers cannot create new
+                            // work, so empty queues mean we are done.
+                            None => return,
+                        }
+                    }
+                };
+                *slots[idx].lock().unwrap() = Some(f(item));
+            });
+        }
+    });
+
+    let results: Vec<R> = slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result mutex poisoned")
+                .expect("every slot filled when all queues drain")
+        })
+        .collect();
+    (
+        results,
+        ExecutorStats {
+            executed: n,
+            steals: steals.load(Ordering::Relaxed),
+            workers,
+        },
+    )
+}
+
+/// Pops up to half (at least one) of the fullest other queue.
+fn steal_batch<T>(queues: &[Mutex<VecDeque<(usize, T)>>], me: usize) -> Option<Vec<(usize, T)>> {
+    let victim = (0..queues.len())
+        .filter(|&v| v != me)
+        .max_by_key(|&v| queues[v].lock().unwrap().len())?;
+    let mut q = queues[victim].lock().unwrap();
+    if q.is_empty() {
+        return None;
+    }
+    let take = (q.len() / 2).max(1);
+    let from = q.len() - take;
+    Some(q.drain(from..).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn maps_in_input_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            let (out, stats) = parallel_map(items.clone(), threads, |x| x * x);
+            assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+            assert_eq!(stats.executed, 97);
+            assert!(stats.workers <= 97);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let (out, stats) = parallel_map(Vec::<u32>::new(), 4, |x| x);
+        assert!(out.is_empty());
+        assert_eq!(stats.workers, 0);
+    }
+
+    #[test]
+    fn uneven_work_gets_stolen() {
+        // One poison-pill slow item forces other workers to steal the
+        // fast items parked behind it on the same queue.
+        let ran = AtomicUsize::new(0);
+        let (out, _) = parallel_map((0..64).collect::<Vec<u64>>(), 8, |x| {
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            ran.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 64);
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn single_thread_is_sequential() {
+        let order = Mutex::new(Vec::new());
+        parallel_map((0..10).collect::<Vec<u64>>(), 1, |x| {
+            order.lock().unwrap().push(x);
+        });
+        assert_eq!(*order.lock().unwrap(), (0..10).collect::<Vec<u64>>());
+    }
+}

@@ -1,0 +1,473 @@
+//! Grid expansion: named axes crossed into a deterministic scenario list.
+//!
+//! A [`SweepGrid`] is plain data (so the CLI can build one from `--key`
+//! lists); expansion crosses model x batch x optimization, each
+//! optimization family additionally crossed with the parameter axes that
+//! apply to it. Inapplicable combinations (FusedAdam on an SGD model,
+//! vDNN on a conv-free model) are dropped during expansion, and custom
+//! filters can prune further.
+
+use crate::scenario::{OptSpec, Scenario};
+use daydream_models::zoo;
+
+/// Predicate pruning expanded scenarios.
+pub type ScenarioFilter = Box<dyn Fn(&Scenario) -> bool + Send + Sync>;
+
+/// A named parameter grid for a batch what-if sweep.
+pub struct SweepGrid {
+    /// Zoo model names.
+    pub models: Vec<String>,
+    /// Mini-batch sizes to profile at.
+    pub batches: Vec<u64>,
+    /// Optimization families (the `OptSpec::family` vocabulary).
+    pub opts: Vec<String>,
+    /// Inter-node bandwidths (Gbit/s) for cluster-shaped families.
+    pub bandwidths: Vec<f64>,
+    /// Machine counts for cluster-shaped families.
+    pub machines: Vec<u32>,
+    /// GPUs per machine for cluster-shaped families.
+    pub gpus_per_machine: u32,
+    /// DGC compression ratios.
+    pub dgc_ratios: Vec<f64>,
+    /// Bandwidth what-if multipliers.
+    pub bandwidth_factors: Vec<f64>,
+    /// Upgrade-GPU target names.
+    pub upgrade_targets: Vec<String>,
+    /// Gist lossy-mode settings.
+    pub gist_lossy: Vec<bool>,
+    /// vDNN prefetch lookaheads.
+    pub vdnn_lookaheads: Vec<usize>,
+    /// Batch-size what-if targets.
+    pub target_batches: Vec<u64>,
+    filters: Vec<ScenarioFilter>,
+}
+
+impl Default for SweepGrid {
+    fn default() -> Self {
+        SweepGrid {
+            models: vec!["ResNet-50".into(), "BERT_Base".into()],
+            batches: vec![4, 8],
+            opts: vec![
+                "amp".into(),
+                "fused-adam".into(),
+                "gist".into(),
+                "ddp".into(),
+                "dgc".into(),
+                "bandwidth".into(),
+            ],
+            bandwidths: vec![10.0, 25.0],
+            machines: vec![4],
+            gpus_per_machine: 1,
+            dgc_ratios: vec![0.01],
+            bandwidth_factors: vec![2.0],
+            upgrade_targets: vec!["v100".into()],
+            gist_lossy: vec![false],
+            vdnn_lookaheads: vec![2],
+            target_batches: vec![16],
+            filters: Vec::new(),
+        }
+    }
+}
+
+impl SweepGrid {
+    /// Starts a builder over the default grid.
+    pub fn builder() -> SweepGridBuilder {
+        SweepGridBuilder {
+            grid: SweepGrid::default(),
+        }
+    }
+
+    /// The named axes and their cardinalities, for logging and reports.
+    pub fn axes(&self) -> Vec<(&'static str, usize)> {
+        vec![
+            ("model", self.models.len()),
+            ("batch", self.batches.len()),
+            ("opt", self.opts.len()),
+            ("bandwidth", self.bandwidths.len()),
+            ("machines", self.machines.len()),
+            ("dgc-ratio", self.dgc_ratios.len()),
+            ("bandwidth-factor", self.bandwidth_factors.len()),
+            ("upgrade-target", self.upgrade_targets.len()),
+            ("gist-lossy", self.gist_lossy.len()),
+            ("vdnn-lookahead", self.vdnn_lookaheads.len()),
+            ("target-batch", self.target_batches.len()),
+        ]
+    }
+
+    /// Expands one optimization family into its parameterized variants.
+    fn expand_family(&self, family: &str) -> Result<Vec<OptSpec>, String> {
+        let cluster = |f: &mut dyn FnMut(u32, u32, f64) -> OptSpec| -> Vec<OptSpec> {
+            let mut out = Vec::new();
+            for &m in &self.machines {
+                for &bw in &self.bandwidths {
+                    out.push(f(m, self.gpus_per_machine, bw));
+                }
+            }
+            out
+        };
+        Ok(match family {
+            "baseline" => vec![OptSpec::Baseline],
+            "amp" => vec![OptSpec::Amp],
+            "fused-adam" => vec![OptSpec::FusedAdam],
+            "reconstruct-bn" => vec![OptSpec::ReconstructBn],
+            "metaflow" => vec![OptSpec::Metaflow],
+            "ddp" => cluster(&mut |machines, gpus_per_machine, bw_gbps| OptSpec::Ddp {
+                machines,
+                gpus_per_machine,
+                bw_gbps,
+            }),
+            "blueconnect" => {
+                cluster(
+                    &mut |machines, gpus_per_machine, bw_gbps| OptSpec::BlueConnect {
+                        machines,
+                        gpus_per_machine,
+                        bw_gbps,
+                    },
+                )
+            }
+            "p3" => cluster(&mut |machines, gpus_per_machine, bw_gbps| OptSpec::P3 {
+                machines,
+                gpus_per_machine,
+                bw_gbps,
+            }),
+            "dgc" => {
+                let mut out = Vec::new();
+                for &machines in &self.machines {
+                    for &bw_gbps in &self.bandwidths {
+                        for &ratio in &self.dgc_ratios {
+                            out.push(OptSpec::Dgc {
+                                machines,
+                                gpus_per_machine: self.gpus_per_machine,
+                                bw_gbps,
+                                ratio,
+                            });
+                        }
+                    }
+                }
+                out
+            }
+            "vdnn" => self
+                .vdnn_lookaheads
+                .iter()
+                .map(|&lookahead| OptSpec::Vdnn { lookahead })
+                .collect(),
+            "gist" => self
+                .gist_lossy
+                .iter()
+                .map(|&lossy| OptSpec::Gist { lossy })
+                .collect(),
+            "bandwidth" => self
+                .bandwidth_factors
+                .iter()
+                .map(|&factor| OptSpec::Bandwidth { factor })
+                .collect(),
+            "upgrade-gpu" => self
+                .upgrade_targets
+                .iter()
+                .map(|to| OptSpec::UpgradeGpu { to: to.clone() })
+                .collect(),
+            "batch-size" => self
+                .target_batches
+                .iter()
+                .map(|&batch| OptSpec::BatchSize { batch })
+                .collect(),
+            other => {
+                return Err(format!(
+                    "unknown optimization family '{other}'. available: baseline amp fused-adam \
+                     reconstruct-bn metaflow ddp blueconnect dgc p3 vdnn gist bandwidth \
+                     upgrade-gpu batch-size"
+                ))
+            }
+        })
+        .and_then(|variants| {
+            if variants.is_empty() {
+                // Only reachable via an empty parameter axis (e.g. ddp
+                // with no bandwidths): surface it instead of silently
+                // sweeping nothing.
+                Err(format!(
+                    "optimization family '{family}' expands to no scenarios: its parameter axis is empty"
+                ))
+            } else {
+                Ok(variants)
+            }
+        })
+    }
+
+    /// Expands the full cartesian product, drops inapplicable or filtered
+    /// scenarios, and returns the deterministic ordered list.
+    pub fn expand(&self) -> Result<Vec<Scenario>, String> {
+        self.validate()?;
+        let mut out = Vec::new();
+        for model_name in &self.models {
+            let model = zoo::by_name(model_name)
+                .ok_or_else(|| format!("unknown model '{model_name}' in sweep grid"))?;
+            for &batch in &self.batches {
+                for family in &self.opts {
+                    for opt in self.expand_family(family)? {
+                        if !opt.applicable(&model) {
+                            continue;
+                        }
+                        let s = Scenario::new(model.name.clone(), batch, opt);
+                        if self.filters.iter().all(|f| f(&s)) {
+                            out.push(s);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rejects physically meaningless axis values up front, so they
+    /// fail with a clear message instead of producing nonsense
+    /// predictions (e.g. a finite iteration time at negative bandwidth).
+    fn validate(&self) -> Result<(), String> {
+        for (axis, empty) in [
+            ("models", self.models.is_empty()),
+            ("batches", self.batches.is_empty()),
+            ("opts", self.opts.is_empty()),
+        ] {
+            if empty {
+                return Err(format!(
+                    "empty '{axis}' axis: a sweep needs at least one value"
+                ));
+            }
+        }
+        if let Some(b) = self.batches.iter().find(|&&b| b == 0) {
+            return Err(format!("invalid batch size {b}: must be >= 1"));
+        }
+        if let Some(bw) = self.bandwidths.iter().find(|&&bw| bw <= 0.0) {
+            return Err(format!("invalid bandwidth {bw} Gbit/s: must be > 0"));
+        }
+        if let Some(m) = self.machines.iter().find(|&&m| m == 0) {
+            return Err(format!("invalid machine count {m}: must be >= 1"));
+        }
+        if self.gpus_per_machine == 0 {
+            return Err("invalid gpus-per-machine 0: must be >= 1".into());
+        }
+        if let Some(r) = self.dgc_ratios.iter().find(|&&r| !(r > 0.0 && r <= 1.0)) {
+            return Err(format!("invalid DGC ratio {r}: must be in (0, 1]"));
+        }
+        if let Some(f) = self.bandwidth_factors.iter().find(|&&f| f <= 0.0) {
+            return Err(format!("invalid bandwidth factor {f}: must be > 0"));
+        }
+        // Resolve GPU targets now: a typo'd --to must fail before the
+        // sweep runs, not mid-evaluation after profiles are built.
+        for target in &self.upgrade_targets {
+            daydream_device::GpuSpec::by_name(target)?;
+        }
+        if let Some(b) = self.target_batches.iter().find(|&&b| b == 0) {
+            return Err(format!("invalid target batch {b}: must be >= 1"));
+        }
+        Ok(())
+    }
+}
+
+/// Fluent construction of a [`SweepGrid`].
+pub struct SweepGridBuilder {
+    grid: SweepGrid,
+}
+
+impl SweepGridBuilder {
+    /// Sets the model axis.
+    pub fn models<I: IntoIterator<Item = S>, S: Into<String>>(mut self, models: I) -> Self {
+        self.grid.models = models.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the batch-size axis.
+    pub fn batches<I: IntoIterator<Item = u64>>(mut self, batches: I) -> Self {
+        self.grid.batches = batches.into_iter().collect();
+        self
+    }
+
+    /// Sets the optimization-family axis.
+    pub fn opts<I: IntoIterator<Item = S>, S: Into<String>>(mut self, opts: I) -> Self {
+        self.grid.opts = opts.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the inter-node bandwidth axis (Gbit/s).
+    pub fn bandwidths<I: IntoIterator<Item = f64>>(mut self, bw: I) -> Self {
+        self.grid.bandwidths = bw.into_iter().collect();
+        self
+    }
+
+    /// Sets the machine-count axis.
+    pub fn machines<I: IntoIterator<Item = u32>>(mut self, machines: I) -> Self {
+        self.grid.machines = machines.into_iter().collect();
+        self
+    }
+
+    /// Sets GPUs per machine (a scalar, not an axis).
+    pub fn gpus_per_machine(mut self, gpus: u32) -> Self {
+        self.grid.gpus_per_machine = gpus;
+        self
+    }
+
+    /// Sets the DGC compression-ratio axis.
+    pub fn dgc_ratios<I: IntoIterator<Item = f64>>(mut self, ratios: I) -> Self {
+        self.grid.dgc_ratios = ratios.into_iter().collect();
+        self
+    }
+
+    /// Sets the bandwidth-multiplier axis.
+    pub fn bandwidth_factors<I: IntoIterator<Item = f64>>(mut self, factors: I) -> Self {
+        self.grid.bandwidth_factors = factors.into_iter().collect();
+        self
+    }
+
+    /// Sets the upgrade-GPU target axis.
+    pub fn upgrade_targets<I: IntoIterator<Item = S>, S: Into<String>>(mut self, to: I) -> Self {
+        self.grid.upgrade_targets = to.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the Gist lossy-mode axis.
+    pub fn gist_lossy<I: IntoIterator<Item = bool>>(mut self, lossy: I) -> Self {
+        self.grid.gist_lossy = lossy.into_iter().collect();
+        self
+    }
+
+    /// Sets the vDNN lookahead axis.
+    pub fn vdnn_lookaheads<I: IntoIterator<Item = usize>>(mut self, la: I) -> Self {
+        self.grid.vdnn_lookaheads = la.into_iter().collect();
+        self
+    }
+
+    /// Sets the batch-size what-if target axis.
+    pub fn target_batches<I: IntoIterator<Item = u64>>(mut self, batches: I) -> Self {
+        self.grid.target_batches = batches.into_iter().collect();
+        self
+    }
+
+    /// Adds a scenario filter; all filters must accept a scenario.
+    pub fn filter<F: Fn(&Scenario) -> bool + Send + Sync + 'static>(mut self, f: F) -> Self {
+        self.grid.filters.push(Box::new(f));
+        self
+    }
+
+    /// Finishes the grid.
+    pub fn build(self) -> SweepGrid {
+        self.grid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_expands_to_a_rich_sweep() {
+        let grid = SweepGrid::default();
+        let scenarios = grid.expand().unwrap();
+        // 2 models x 2 batches x {amp 1, gist 1, ddp 2, dgc 2, bandwidth 1}
+        // = 28, plus fused-adam on the two BERT bases.
+        assert_eq!(scenarios.len(), 30);
+        assert!(scenarios.len() >= 24, "acceptance floor");
+        // Deterministic order: expansion is pure iteration.
+        let again = grid.expand().unwrap();
+        assert_eq!(scenarios, again);
+    }
+
+    #[test]
+    fn inapplicable_combinations_are_dropped() {
+        let grid = SweepGrid::builder()
+            .models(["ResNet-50"])
+            .batches([4])
+            .opts(["fused-adam", "metaflow", "amp"])
+            .build();
+        let scenarios = grid.expand().unwrap();
+        // ResNet trains with SGD and has no attention: only AMP survives.
+        assert_eq!(scenarios.len(), 1);
+        assert_eq!(scenarios[0].opt, OptSpec::Amp);
+    }
+
+    #[test]
+    fn filters_prune_scenarios() {
+        let grid = SweepGrid::builder()
+            .models(["ResNet-50"])
+            .batches([4, 8, 16])
+            .opts(["amp"])
+            .filter(|s| s.batch <= 8)
+            .build();
+        assert_eq!(grid.expand().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn cluster_axes_cross() {
+        let grid = SweepGrid::builder()
+            .models(["ResNet-50"])
+            .batches([4])
+            .opts(["ddp", "dgc"])
+            .bandwidths([10.0, 25.0, 40.0])
+            .machines([2, 4])
+            .dgc_ratios([0.01, 0.05])
+            .build();
+        let scenarios = grid.expand().unwrap();
+        // ddp: 2 machines x 3 bw = 6; dgc: 6 x 2 ratios = 12.
+        assert_eq!(scenarios.len(), 18);
+    }
+
+    #[test]
+    fn unknown_inputs_error() {
+        let bad_model = SweepGrid::builder().models(["AlexNet"]).build();
+        assert!(bad_model.expand().is_err());
+        let bad_opt = SweepGrid::builder().opts(["quantum"]).build();
+        assert!(bad_opt.expand().is_err());
+    }
+
+    #[test]
+    fn empty_axes_are_rejected() {
+        let no_models = SweepGrid::builder().models(Vec::<String>::new()).build();
+        assert!(no_models.expand().unwrap_err().contains("'models' axis"));
+        let no_batches = SweepGrid::builder().batches(Vec::<u64>::new()).build();
+        assert!(no_batches.expand().unwrap_err().contains("'batches' axis"));
+        let no_opts = SweepGrid::builder().opts(Vec::<String>::new()).build();
+        assert!(no_opts.expand().unwrap_err().contains("'opts' axis"));
+        // An empty parameter axis of a requested family is an error, not
+        // a silent zero-scenario sweep.
+        let no_bw = SweepGrid::builder()
+            .opts(["ddp"])
+            .bandwidths(Vec::<f64>::new())
+            .build();
+        assert!(no_bw.expand().unwrap_err().contains("'ddp' expands to no"));
+        // ... but an unused empty parameter axis is fine.
+        let unused = SweepGrid::builder()
+            .models(["ResNet-50"])
+            .batches([4])
+            .opts(["amp"])
+            .bandwidths(Vec::<f64>::new())
+            .build();
+        assert_eq!(unused.expand().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn meaningless_axis_values_are_rejected() {
+        let cases: Vec<(SweepGrid, &str)> = vec![
+            (SweepGrid::builder().batches([0]).build(), "batch size"),
+            (
+                SweepGrid::builder().bandwidths([-10.0]).build(),
+                "bandwidth",
+            ),
+            (SweepGrid::builder().machines([0]).build(), "machine count"),
+            (
+                SweepGrid::builder().gpus_per_machine(0).build(),
+                "gpus-per-machine",
+            ),
+            (SweepGrid::builder().dgc_ratios([1.5]).build(), "DGC ratio"),
+            (
+                SweepGrid::builder().bandwidth_factors([0.0]).build(),
+                "bandwidth factor",
+            ),
+            (
+                SweepGrid::builder().target_batches([0]).build(),
+                "target batch",
+            ),
+        ];
+        for (grid, needle) in cases {
+            let err = grid.expand().unwrap_err();
+            assert!(err.contains(needle), "expected '{needle}' in: {err}");
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Acceptance-level integration tests: determinism across thread counts
+//! and cache behavior on overlapping sub-grids.
+
+use daydream_sweep::{SweepEngine, SweepGrid};
+
+/// A >= 24-scenario acceptance grid: 2 models x 3+ optimization families
+/// x parameter axes.
+fn acceptance_grid() -> SweepGrid {
+    SweepGrid::builder()
+        .models(["ResNet-50", "BERT_Base"])
+        .batches([4, 8])
+        .opts(["amp", "fused-adam", "gist", "ddp", "dgc", "bandwidth"])
+        .bandwidths([10.0, 25.0])
+        .machines([4])
+        .dgc_ratios([0.01])
+        .build()
+}
+
+#[test]
+fn grid_meets_acceptance_size() {
+    let scenarios = acceptance_grid().expand().unwrap();
+    assert!(
+        scenarios.len() >= 24,
+        "acceptance requires >= 24 scenarios, got {}",
+        scenarios.len()
+    );
+    let models: std::collections::HashSet<_> = scenarios.iter().map(|s| &s.model).collect();
+    let families: std::collections::HashSet<_> = scenarios.iter().map(|s| s.opt.family()).collect();
+    assert!(models.len() >= 2);
+    assert!(families.len() >= 3);
+}
+
+#[test]
+fn ranked_report_is_identical_for_1_2_and_8_threads() {
+    let grid = acceptance_grid();
+    let reference = SweepEngine::new(1).run(&grid).unwrap();
+    assert!(reference.scenario_count >= 24);
+    for threads in [2, 8] {
+        let report = SweepEngine::new(threads).run(&grid).unwrap();
+        assert_eq!(
+            report, reference,
+            "report must not depend on thread count ({threads} threads)"
+        );
+        // Byte-identical serialized form too — what a user diffs.
+        assert_eq!(report.to_json().unwrap(), reference.to_json().unwrap());
+        assert_eq!(report.to_csv(), reference.to_csv());
+    }
+}
+
+#[test]
+fn overlapping_subgrids_hit_the_cache() {
+    let engine = SweepEngine::new(4);
+
+    // First: a sub-grid at one bandwidth.
+    let narrow = SweepGrid::builder()
+        .models(["ResNet-50", "BERT_Base"])
+        .batches([4, 8])
+        .opts(["amp", "fused-adam", "gist", "ddp", "dgc", "bandwidth"])
+        .bandwidths([10.0])
+        .machines([4])
+        .dgc_ratios([0.01])
+        .build();
+    let first = engine.run(&narrow).unwrap();
+    assert_eq!(first.cache_hits, 0, "cold cache");
+
+    // Then the full acceptance grid: everything from the narrow grid is
+    // free; only the bw=25 cluster scenarios execute.
+    let wide = acceptance_grid();
+    let second = engine.run(&wide).unwrap();
+    assert_eq!(second.cache_hits, first.scenario_count);
+    let narrow_count = narrow.expand().unwrap().len();
+    let wide_count = wide.expand().unwrap().len();
+    assert_eq!(second.executed, wide_count - narrow_count);
+    // Cached rows are flagged in the ranked output.
+    assert_eq!(
+        second.results.iter().filter(|o| o.cached).count(),
+        second.cache_hits
+    );
+
+    // A cached re-run produces the same ranking as a cold engine.
+    let cold = SweepEngine::new(4).run(&wide).unwrap();
+    let mut warm_results = second.results.clone();
+    for o in &mut warm_results {
+        o.cached = false;
+    }
+    assert_eq!(warm_results, cold.results);
+}
+
+#[test]
+fn cache_file_round_trip_survives_processes() {
+    let engine = SweepEngine::new(2);
+    let grid = SweepGrid::builder()
+        .models(["ResNet-50"])
+        .batches([4])
+        .opts(["amp", "gist"])
+        .build();
+    engine.run(&grid).unwrap();
+    let json = engine.cache().to_json().unwrap();
+
+    // Simulated fresh process: a new engine loading the cache file.
+    let restored = SweepEngine::new(2);
+    restored.cache().load_json(&json).unwrap();
+    let report = restored.run(&grid).unwrap();
+    assert_eq!(report.cache_hits, report.scenario_count);
+    assert_eq!(report.executed, 0);
+    // A fully cached run must not pay for base profiling either.
+    assert_eq!(restored.last_stats().profiles_built, 0);
+}

@@ -100,7 +100,7 @@ mod tests {
 
     #[test]
     fn lane_ordering_is_total() {
-        let mut lanes = vec![
+        let mut lanes = [
             Lane::Gpu(DeviceId(1), StreamId(0)),
             Lane::Cpu(CpuThreadId(9)),
             Lane::Gpu(DeviceId(0), StreamId(2)),

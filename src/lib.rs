@@ -18,6 +18,7 @@
 //! | [`comm`] | `daydream-comm` | collectives, parameter server, NCCL interference |
 //! | [`runtime`] | `daydream-runtime` | execution simulator + ground truths |
 //! | [`core`] | `daydream-core` | dependency graph, primitives, simulator, what-ifs |
+//! | [`sweep`] | `daydream-sweep` | parallel scenario-sweep engine with ranked reports |
 //!
 //! # Examples
 //!
@@ -39,6 +40,7 @@ pub use daydream_core as core;
 pub use daydream_device as device;
 pub use daydream_models as models;
 pub use daydream_runtime as runtime;
+pub use daydream_sweep as sweep;
 pub use daydream_trace as trace;
 
 /// Convenience re-exports for the common profile-transform-simulate loop.
@@ -49,5 +51,6 @@ pub mod prelude {
     };
     pub use daydream_models::{zoo, Model};
     pub use daydream_runtime::{ground_truth, ExecConfig, Executor};
+    pub use daydream_sweep::{OptSpec, Scenario, SweepEngine, SweepGrid, SweepReport};
     pub use daydream_trace::{runtime_breakdown, Trace};
 }

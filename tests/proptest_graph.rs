@@ -85,16 +85,26 @@ proptest! {
         prop_assert!(sim.makespan_ns >= longest);
     }
 
+    // Note: "removal never increases makespan" is NOT an invariant of a
+    // greedy list scheduler — removing a task can reorder dispatch on its
+    // thread and delay a critical successor (Graham's scheduling anomaly;
+    // see `sim::tests::removal_can_increase_makespan_graham_anomaly`).
+    // The properties that do hold: the victim is unscheduled, everything
+    // else still runs, and the work bounds survive.
     #[test]
-    fn removal_never_increases_makespan(g in arb_graph(), pick in any::<prop::sample::Index>()) {
-        let before = simulate(&g).expect("DAG").makespan_ns;
+    fn removal_keeps_schedule_valid(g in arb_graph(), pick in any::<prop::sample::Index>()) {
         let ids: Vec<TaskId> = g.iter().map(|(id, _)| id).collect();
         let victim = ids[pick.index(ids.len())];
         let mut g2 = g.clone();
         g2.remove_task(victim);
         g2.validate().expect("removal keeps the DAG valid");
-        let after = simulate(&g2).expect("DAG").makespan_ns;
-        prop_assert!(after <= before, "removing work must not slow the graph");
+        let sim = simulate(&g2).expect("DAG");
+        prop_assert!(sim.start_ns[victim.0].is_none(), "removed task must not run");
+        for (id, _) in g2.iter() {
+            prop_assert!(sim.start_ns[id.0].is_some(), "surviving task must run");
+        }
+        let total: u64 = g2.iter().map(|(_, t)| t.duration_ns + t.gap_ns).sum();
+        prop_assert!(sim.makespan_ns <= total);
     }
 
     #[test]

@@ -1,0 +1,510 @@
+//! Vendored minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the real syn/quote
+//! crates are unavailable offline). Supports the shapes this workspace
+//! declares: named structs, tuple structs, unit structs, and enums with
+//! unit / tuple / struct variants, with optional simple generics
+//! (lifetimes and unbounded type parameters). Enum representation is
+//! externally tagged, matching real serde's default.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Item {
+    name: String,
+    /// Generic parameter list with bounds, e.g. `<'a, T>`; empty if none.
+    generics_decl: String,
+    /// Generic arguments for the self type, e.g. `<'a, T>`; empty if none.
+    generics_use: String,
+    /// Bare type-parameter idents (for added trait bounds).
+    type_params: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    let (generics_decl, generics_use, type_params) = parse_generics(&tokens, &mut i);
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("enum without a body"),
+        },
+        other => panic!("derive supports struct/enum, got `{other}`"),
+    };
+
+    Item {
+        name,
+        generics_decl,
+        generics_use,
+        type_params,
+        kind,
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` plus the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, got {other:?}"),
+    }
+}
+
+/// Parses an optional `<...>` parameter list, returning the declaration,
+/// the usage form (idents only), and the type-parameter names.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> (String, String, Vec<String>) {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return (String::new(), String::new(), Vec::new()),
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut inner: Vec<TokenTree> = Vec::new();
+    while depth > 0 {
+        let t = tokens.get(*i).expect("unclosed generics").clone();
+        *i += 1;
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        inner.push(t);
+    }
+
+    // Split params on top-level commas.
+    let mut params: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut d = 0usize;
+    for t in inner {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => d += 1,
+                '>' => d = d.saturating_sub(1),
+                ',' if d == 0 => {
+                    params.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        params.last_mut().unwrap().push(t);
+    }
+    params.retain(|p| !p.is_empty());
+
+    let mut use_parts = Vec::new();
+    let mut type_params = Vec::new();
+    for p in &params {
+        // A lifetime is `'` punct followed by an ident; a type/const param
+        // leads with an ident. Everything after `:` (bounds) is dropped.
+        match &p[0] {
+            TokenTree::Punct(q) if q.as_char() == '\'' => {
+                let lt = match &p[1] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => panic!("bad lifetime token {other:?}"),
+                };
+                use_parts.push(format!("'{lt}"));
+            }
+            TokenTree::Ident(id) if id.to_string() == "const" => {
+                let cname = match &p[1] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => panic!("bad const param {other:?}"),
+                };
+                use_parts.push(cname);
+            }
+            TokenTree::Ident(id) => {
+                let t = id.to_string();
+                use_parts.push(t.clone());
+                type_params.push(t);
+            }
+            other => panic!("unsupported generic parameter start {other:?}"),
+        }
+    }
+
+    // TokenStream's Display preserves joint spacing (e.g. renders `'a`
+    // as one lexeme), which naive per-token joining would not.
+    let decl_body: String = params
+        .iter()
+        .map(|p| p.iter().cloned().collect::<TokenStream>().to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    (
+        format!("<{decl_body}>"),
+        format!("<{}>", use_parts.join(", ")),
+        type_params,
+    )
+}
+
+/// Field names of a `{ ... }` body (types skipped, attributes ignored).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        // Skip the type: everything until a comma outside `<...>`.
+        let mut depth = 0usize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Arity of a `( ... )` tuple body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0usize;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    commas + if trailing_comma { 0 } else { 1 }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an optional `= discriminant` and the separating comma.
+        let mut depth = 0usize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn impl_header(item: &Item, trait_path: &str) -> String {
+    let bounds = if item.type_params.is_empty() {
+        String::new()
+    } else {
+        let clauses: Vec<String> = item
+            .type_params
+            .iter()
+            .map(|t| format!("{t}: {trait_path}"))
+            .collect();
+        format!(" where {}", clauses.join(", "))
+    };
+    format!(
+        "impl{} {} for {}{}{}",
+        item.generics_decl, trait_path, item.name, item.generics_use, bounds
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let name = &item.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantFields::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Map(vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Map(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        impl_header(item, "::serde::Serialize")
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::map_get(__m, \"{f}\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}\"))?;\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", \"{name}\"))?;\
+                 if __s.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::expected(\"array of {n}\", \"{name}\")); }}\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),")
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => unreachable!(),
+                        VariantFields::Tuple(1) => format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__payload)?)),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ let __s = __payload.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", \"{name}::{vn}\"))?;\
+                                 if __s.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::expected(\"array of {n}\", \"{name}::{vn}\")); }}\
+                                 ::std::result::Result::Ok({name}::{vn}({})) }}",
+                                inits.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(::serde::map_get(__m, \"{f}\"))?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ let __m = __payload.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}::{vn}\"))?;\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }}) }}",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\
+                   ::serde::Value::Str(__s) => match __s.as_str() {{\
+                     {}\
+                     __other => ::std::result::Result::Err(::serde::DeError(format!(\"unknown {name} variant {{__other}}\"))),\
+                   }},\
+                   ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\
+                     let (__tag, __payload) = &__entries[0];\
+                     match __tag.as_str() {{\
+                       {}\
+                       __other => ::std::result::Result::Err(::serde::DeError(format!(\"unknown {name} variant {{__other}}\"))),\
+                     }}\
+                   }}\
+                   _ => ::std::result::Result::Err(::serde::DeError::expected(\"string or single-entry map\", \"{name}\")),\
+                 }}",
+                unit_arms.join(" "),
+                payload_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "{} {{ fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}",
+        impl_header(item, "::serde::Deserialize")
+    )
+}
