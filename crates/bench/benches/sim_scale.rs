@@ -1,0 +1,158 @@
+//! Criterion bench: heap-based compiled simulator vs the reference loop.
+//!
+//! Synthetic kernel-granularity graphs shaped like a communication-bound
+//! training iteration (the regime where Daydream's what-ifs matter most):
+//! a CPU launch chain, kernels round-robined over four CUDA streams, and
+//! one unchained gradient transfer per kernel contending for a single
+//! collective channel. The channel is slower than the kernels, so its
+//! ready-set grows with graph size — the frontier shape that made the
+//! reference loop quadratic.
+//!
+//! Three scales (1k/10k/100k tasks) measure the compiled path; the
+//! reference oracle runs at 1k and 10k only (its quadratic frontier
+//! refresh needs tens of seconds per iteration at 100k). Unless running
+//! in `--test` smoke mode, the measurements are snapshotted to
+//! `BENCH_sim.json` at the workspace root.
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use daydream_core::{
+    simulate, simulate_compiled, simulate_reference, CommChannel, CompiledGraph, DepKind,
+    DependencyGraph, ExecThread, Task, TaskKind,
+};
+use daydream_trace::{CpuThreadId, DeviceId, StreamId};
+use std::hint::black_box;
+
+const STREAMS: u32 = 4;
+
+/// A communication-bound iteration graph with ~`n` tasks
+/// (launch + kernel + transfer per step).
+fn synthetic_graph(n: usize) -> DependencyGraph {
+    let steps = n / 3;
+    let mut g = DependencyGraph::new();
+    g.reserve(steps * 3);
+    let cpu = ExecThread::Cpu(CpuThreadId(0));
+    let chan = ExecThread::Comm(CommChannel::Collective);
+    let mut prev_launch: Option<daydream_core::TaskId> = None;
+    let mut prev_kernel = vec![None; STREAMS as usize];
+    for i in 0..steps {
+        let stream = (i as u32) % STREAMS;
+        let launch = g.add_task(Task::new("cudaLaunchKernel", TaskKind::CpuWork, cpu, 4_000));
+        let kernel = g.add_task(Task::new(
+            "kernel",
+            TaskKind::GpuKernel,
+            ExecThread::Gpu(DeviceId(0), StreamId(stream)),
+            30_000,
+        ));
+        let comm = g.add_task(Task::new(
+            "allreduce_slice",
+            TaskKind::Communication {
+                prim: daydream_core::CommPrimitive::AllReduce,
+                bytes: 1 << 20,
+            },
+            chan,
+            45_000,
+        ));
+        if let Some(p) = prev_launch {
+            g.add_dep(p, launch, DepKind::CpuSeq);
+        }
+        if let Some(p) = prev_kernel[stream as usize] {
+            g.add_dep(p, kernel, DepKind::GpuSeq);
+        }
+        g.add_dep(launch, kernel, DepKind::Correlation);
+        g.add_dep(kernel, comm, DepKind::Comm);
+        prev_launch = Some(launch);
+        prev_kernel[stream as usize] = Some(kernel);
+    }
+    g
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    let quick = c.is_quick_mode();
+    let mut rows: Vec<String> = Vec::new();
+
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let g = synthetic_graph(n);
+        let tasks = g.len();
+        let edges = g.edge_count();
+        let compiled = CompiledGraph::compile(&g);
+
+        let mut group = c.benchmark_group("sim_scale");
+        group.sample_size(if n >= 100_000 { 10 } else { 20 });
+        group.throughput(Throughput::Elements(tasks as u64));
+        group.bench_with_input(
+            BenchmarkId::new("compiled", format!("{tasks} tasks")),
+            &g,
+            |b, g| b.iter(|| simulate(black_box(g)).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compiled_hot", format!("{tasks} tasks")),
+            &compiled,
+            |b, cg| b.iter(|| simulate_compiled(black_box(cg)).unwrap()),
+        );
+        let reference_feasible = n <= 10_000;
+        if reference_feasible {
+            group.sample_size(if n >= 10_000 { 3 } else { 10 });
+            group.bench_with_input(
+                BenchmarkId::new("reference", format!("{tasks} tasks")),
+                &g,
+                |b, g| b.iter(|| simulate_reference(black_box(g)).unwrap()),
+            );
+        }
+        group.finish();
+
+        let find = |kind: &str| {
+            c.records()
+                .iter()
+                .rev()
+                .find(|r| r.name.contains(&format!("/{kind}/{tasks} tasks")))
+                .map(|r| r.ns_per_iter)
+        };
+        let (comp, hot, reference) = (find("compiled"), find("compiled_hot"), find("reference"));
+        let speedup = match (comp, reference) {
+            (Some(cn), Some(rn)) if cn > 0.0 => Some(rn / cn),
+            _ => None,
+        };
+        if let Some(s) = speedup {
+            println!("sim_scale {tasks} tasks: reference/compiled speedup {s:.1}x");
+        }
+        let fmt_opt = |v: Option<f64>| {
+            v.map(|x| format!("{x:.1}"))
+                .unwrap_or_else(|| "null".to_string())
+        };
+        rows.push(format!(
+            concat!(
+                "    {{\"tasks\": {}, \"edges\": {}, ",
+                "\"compiled_ns_per_iter\": {}, \"compiled_hot_ns_per_iter\": {}, ",
+                "\"reference_ns_per_iter\": {}, \"speedup_vs_reference\": {}}}"
+            ),
+            tasks,
+            edges,
+            fmt_opt(comp),
+            fmt_opt(hot),
+            fmt_opt(reference),
+            fmt_opt(speedup.map(|s| (s * 10.0).round() / 10.0)),
+        ));
+    }
+
+    // Smoke runs (`--test`) measure one iteration — not worth snapshotting.
+    if !quick {
+        let json = format!(
+            concat!(
+                "{{\n  \"bench\": \"sim_scale\",\n",
+                "  \"graph\": \"communication-bound synthetic iteration ",
+                "(launch chain + {} streams + contended collective channel)\",\n",
+                "  \"note\": \"reference omitted at 100k tasks: quadratic frontier ",
+                "refresh takes tens of seconds per iteration\",\n",
+                "  \"results\": [\n{}\n  ]\n}}\n"
+            ),
+            STREAMS,
+            rows.join(",\n")
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+        match std::fs::write(path, json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}

@@ -95,6 +95,29 @@ pub fn cmd_profile(args: &Args) -> Result<(), String> {
         pg.graph.edge_count(),
         sim.makespan_ms()
     );
+    if args.flag("verify") {
+        // Cross-check the compiled heap simulator against the quadratic
+        // reference oracle on this profile, and report the speedup.
+        let reps = 5u32;
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(simulate(&pg.graph).map_err(|e| e.to_string())?);
+        }
+        let fast_ns = t0.elapsed().as_nanos() as f64 / reps as f64;
+        let t0 = std::time::Instant::now();
+        let oracle = daydream_core::simulate_reference(&pg.graph).map_err(|e| e.to_string())?;
+        let ref_ns = t0.elapsed().as_nanos() as f64;
+        if oracle != sim {
+            return Err("compiled simulator DIVERGED from the reference oracle".to_string());
+        }
+        println!(
+            "  verify: compiled simulator matches reference oracle; \
+             {:.0} us vs {:.0} us per replay ({:.1}x)",
+            fast_ns / 1e3,
+            ref_ns / 1e3,
+            ref_ns / fast_ns.max(1.0)
+        );
+    }
     if args.flag("verbose") {
         for (lane, s) in daydream_trace::lane_stats(&trace) {
             println!(

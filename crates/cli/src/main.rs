@@ -33,6 +33,10 @@ COMMON OPTIONS:
     --framework F      pytorch | mxnet | caffe          (default pytorch)
     --gpu G            2080ti | v100 | t4 | p4000       (default 2080ti)
 
+PROFILE OPTIONS:
+    --verify           cross-check the compiled simulator against the
+                       reference oracle on this profile and print the speedup
+
 PREDICT OPTIONS:
     --opt O            amp | fused-adam | reconstruct-bn | ddp | blueconnect |
                        dgc | vdnn | gist | metaflow | bandwidth | upgrade-gpu | p3

@@ -34,6 +34,7 @@
 //! assert!(prediction.speedup() > 1.0);
 //! ```
 
+pub mod compiled;
 pub mod construct;
 pub mod graph;
 pub mod layer_map;
@@ -45,10 +46,15 @@ pub mod task;
 pub mod transform;
 pub mod whatif;
 
+pub use compiled::{CompactId, CompiledGraph, ThreadId};
 pub use construct::{build_graph, ProfiledGraph};
 pub use graph::{DepKind, DependencyGraph, GraphError, TaskId};
-pub use predict::{makespan_ns, predict, predict_with, Prediction};
+pub use predict::{makespan_ns, predict, predict_from_baseline, predict_with, Prediction};
 pub use replicate::{replicate_iterations, ReplicatedGraph};
 pub use report::{layer_report, LayerTimes};
-pub use sim::{simulate, simulate_with, Candidate, EarliestStart, Scheduler, SimResult};
+pub use sim::{
+    simulate, simulate_compiled, simulate_compiled_with, simulate_reference, simulate_with,
+    simulate_with_reference, Candidate, CompiledSim, EarliestStart, FrontierOrder, Rank, Scheduler,
+    SimResult,
+};
 pub use task::{CommChannel, CommPrimitive, ExecThread, LayerRef, Task, TaskKind};

@@ -2,7 +2,7 @@
 
 use crate::construct::ProfiledGraph;
 use crate::graph::DependencyGraph;
-use crate::sim::{simulate, simulate_with, Scheduler};
+use crate::sim::{simulate, simulate_with, FrontierOrder};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of one what-if analysis.
@@ -48,23 +48,50 @@ pub fn predict<F>(pg: &ProfiledGraph, transform: F) -> Prediction
 where
     F: FnOnce(&mut ProfiledGraph),
 {
-    predict_with(pg, transform, &mut crate::sim::EarliestStart)
+    predict_with(pg, transform, &crate::sim::EarliestStart)
 }
 
-/// [`predict`] with a custom scheduling policy for the transformed graph
+/// [`predict`] with a custom frontier policy for the transformed graph
 /// (the baseline always uses the default policy it was profiled under).
-pub fn predict_with<F, S>(pg: &ProfiledGraph, transform: F, scheduler: &mut S) -> Prediction
+pub fn predict_with<F, O>(pg: &ProfiledGraph, transform: F, order: &O) -> Prediction
 where
     F: FnOnce(&mut ProfiledGraph),
-    S: Scheduler,
+    O: FrontierOrder,
 {
     let baseline = simulate(&pg.graph).expect("profiled graph must be a DAG");
+    predict_from_baseline_with(baseline.makespan_ns, pg, transform, order)
+}
+
+/// [`predict`] against a baseline makespan simulated once up front.
+///
+/// Callers that evaluate many what-ifs over one shared base profile (the
+/// sweep engine, the CLI's analyze command) simulate the baseline a single
+/// time and pass its makespan here, so per-scenario work is just
+/// transform + compile + simulate of the transformed graph.
+pub fn predict_from_baseline<F>(baseline_ns: u64, pg: &ProfiledGraph, transform: F) -> Prediction
+where
+    F: FnOnce(&mut ProfiledGraph),
+{
+    predict_from_baseline_with(baseline_ns, pg, transform, &crate::sim::EarliestStart)
+}
+
+/// [`predict_from_baseline`] with a custom frontier policy.
+pub fn predict_from_baseline_with<F, O>(
+    baseline_ns: u64,
+    pg: &ProfiledGraph,
+    transform: F,
+    order: &O,
+) -> Prediction
+where
+    F: FnOnce(&mut ProfiledGraph),
+    O: FrontierOrder,
+{
     let mut transformed = pg.clone();
     transform(&mut transformed);
     let predicted =
-        simulate_with(&transformed.graph, scheduler).expect("transformed graph must stay a DAG");
+        simulate_with(&transformed.graph, order).expect("transformed graph must stay a DAG");
     Prediction {
-        baseline_ns: baseline.makespan_ns,
+        baseline_ns,
         predicted_ns: predicted.makespan_ns,
     }
 }

@@ -73,6 +73,7 @@ pub fn replicate_iterations(src: &DependencyGraph, n: usize) -> ReplicatedGraph 
         + 1;
 
     let cap = src.capacity();
+    graph.reserve(src.len() * n);
     let mut maps: Vec<Vec<TaskId>> = Vec::with_capacity(n);
     for k in 0..n {
         let mut map = vec![TaskId(usize::MAX); cap];

@@ -4,27 +4,54 @@
 //! execution thread and advancing per-thread progress by `duration + gap`.
 //! The scheduling policy is pluggable (paper §4.4 "Schedule" primitive):
 //! the default picks the frontier task with the earliest feasible start;
-//! P3 and vDNN override it.
+//! P3 overrides the tie-break on communication channels.
+//!
+//! # The hot path
+//!
+//! [`simulate`] freezes the graph into a [`CompiledGraph`] and runs a
+//! heap-based frontier in O((V+E) log V):
+//!
+//! * each execution thread keeps a **two-tier frontier**: a `pending`
+//!   min-heap ordered by `(tentative_start, rank)` for tasks whose
+//!   dependency-induced start is still ahead of the thread's progress, and
+//!   a `ready` min-heap ordered by `rank` alone for tasks the thread could
+//!   start immediately. When progress advances, pending entries whose
+//!   tentative start has been overtaken migrate to `ready` (each task
+//!   migrates at most once);
+//! * a **global lazy heap** holds the best `(feasible_start, rank)`
+//!   candidate per thread; stale entries are discarded on pop by
+//!   revalidating against the thread's current best.
+//!
+//! This dispatches exactly the same task sequence as the quadratic
+//! reference loop ([`simulate_reference`]), which refreshes every frontier
+//! candidate against thread progress on each step and linear-scans for the
+//! minimum: within one thread all ready candidates share the thread's
+//! progress as feasible start (ordered by rank), pending candidates are
+//! ordered by their fixed tentative starts, and the cross-thread minimum
+//! is the global one. The reference loop is retained as the oracle for the
+//! equivalence proptests and the `sim_scale` benchmark.
 
+use crate::compiled::{CompactId, CompiledGraph, ThreadId};
 use crate::graph::{DependencyGraph, GraphError, TaskId};
 use crate::task::ExecThread;
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
-/// A frontier entry: a ready task and its earliest feasible start time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Candidate {
-    /// The ready task.
-    pub task: TaskId,
-    /// `max(thread progress, dependency-induced start)`.
-    pub feasible_start: u64,
-}
+/// Secondary dispatch key: breaks ties among candidates feasible at the
+/// same instant. Lower ranks dispatch first; ranks must be fixed per task
+/// for the whole simulation.
+pub type Rank = (u64, u64);
 
-/// Scheduling policy: picks the next frontier task to dispatch.
-pub trait Scheduler {
-    /// Returns the index into `frontier` of the task to execute next.
-    ///
-    /// `frontier` is never empty when called.
-    fn pick(&mut self, frontier: &[Candidate], graph: &DependencyGraph) -> usize;
+/// Scheduling policy over the compiled frontier (paper §4.4 "Schedule").
+///
+/// The frontier always dispatches the candidate with the smallest
+/// `(feasible_start, rank)` pair; a policy only chooses the rank. The
+/// default [`EarliestStart`] ranks by task id, reproducing Algorithm 1's
+/// "earliest start, ties by id" exactly; P3 ranks communication tasks by
+/// priority.
+pub trait FrontierOrder {
+    /// The tie-break rank of `task`.
+    fn rank(&self, graph: &CompiledGraph, task: CompactId) -> Rank;
 }
 
 /// The default policy: earliest feasible start, ties broken by task id
@@ -32,16 +59,11 @@ pub trait Scheduler {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct EarliestStart;
 
-impl Scheduler for EarliestStart {
-    fn pick(&mut self, frontier: &[Candidate], _graph: &DependencyGraph) -> usize {
-        let mut best = 0usize;
-        for (i, c) in frontier.iter().enumerate().skip(1) {
-            let b = &frontier[best];
-            if (c.feasible_start, c.task.0) < (b.feasible_start, b.task.0) {
-                best = i;
-            }
-        }
-        best
+impl FrontierOrder for EarliestStart {
+    fn rank(&self, _graph: &CompiledGraph, task: CompactId) -> Rank {
+        // Compact ids ascend with TaskIds, so this is the reference
+        // tie-break.
+        (task.0 as u64, 0)
     }
 }
 
@@ -75,13 +97,257 @@ impl SimResult {
     }
 }
 
-/// Simulates the graph with the default earliest-start policy.
-pub fn simulate(graph: &DependencyGraph) -> Result<SimResult, GraphError> {
-    simulate_with(graph, &mut EarliestStart)
+/// Dense simulation output over a [`CompiledGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledSim {
+    /// Start time per compact task.
+    pub start_ns: Vec<u64>,
+    /// Idle wait per compact task.
+    pub wait_ns: Vec<u64>,
+    /// Final progress per interned thread.
+    pub thread_end: Vec<u64>,
+    /// End of the last task.
+    pub makespan_ns: u64,
 }
 
-/// Simulates the graph with a custom scheduling policy (Algorithm 1).
-pub fn simulate_with<S: Scheduler>(
+impl CompiledSim {
+    /// Expands dense results back to arena-indexed [`SimResult`] form.
+    pub fn into_sim_result(self, graph: &CompiledGraph) -> SimResult {
+        let mut start = vec![None; graph.arena_len()];
+        let mut wait = vec![0u64; graph.arena_len()];
+        for i in 0..self.start_ns.len() {
+            let c = CompactId(i as u32);
+            let id = graph.task_id(c);
+            start[id.0] = Some(self.start_ns[i]);
+            wait[id.0] = self.wait_ns[i];
+        }
+        let thread_end = self
+            .thread_end
+            .iter()
+            .enumerate()
+            .map(|(t, &end)| (graph.exec_thread(ThreadId(t as u32)), end))
+            .collect();
+        SimResult {
+            start_ns: start,
+            makespan_ns: self.makespan_ns,
+            thread_end,
+            wait_ns: wait,
+        }
+    }
+}
+
+/// One execution thread's frontier: `ready` holds tasks startable at the
+/// thread's current progress (ordered by rank), `pending` holds tasks
+/// whose dependency-induced start is still in the thread's future
+/// (ordered by that start, then rank).
+#[derive(Debug, Default)]
+struct ThreadFrontier {
+    pending: BinaryHeap<Reverse<(u64, Rank, u32)>>,
+    ready: BinaryHeap<Reverse<(Rank, u32)>>,
+}
+
+impl ThreadFrontier {
+    /// Migrates pending tasks overtaken by `progress` into the ready tier.
+    #[inline]
+    fn refresh(&mut self, progress: u64) {
+        while let Some(&Reverse((t, rank, id))) = self.pending.peek() {
+            if t > progress {
+                break;
+            }
+            self.pending.pop();
+            self.ready.push(Reverse((rank, id)));
+        }
+    }
+
+    /// The thread's best candidate as `(feasible_start, rank, task)`.
+    /// Call [`ThreadFrontier::refresh`] first.
+    #[inline]
+    fn best(&self, progress: u64) -> Option<(u64, Rank, u32)> {
+        if let Some(&Reverse((rank, id))) = self.ready.peek() {
+            return Some((progress, rank, id));
+        }
+        self.pending
+            .peek()
+            .map(|&Reverse((t, rank, id))| (t, rank, id))
+    }
+
+    /// Inserts a newly dispatchable task.
+    #[inline]
+    fn push(&mut self, tentative: u64, rank: Rank, task: u32, progress: u64) {
+        if tentative <= progress {
+            self.ready.push(Reverse((rank, task)));
+        } else {
+            self.pending.push(Reverse((tentative, rank, task)));
+        }
+    }
+
+    /// Removes the current best (after [`ThreadFrontier::refresh`]).
+    #[inline]
+    fn pop_best(&mut self) {
+        if self.ready.pop().is_none() {
+            self.pending.pop();
+        }
+    }
+}
+
+/// Simulates the graph with the default earliest-start policy.
+pub fn simulate(graph: &DependencyGraph) -> Result<SimResult, GraphError> {
+    simulate_with(graph, &EarliestStart)
+}
+
+/// Simulates the graph with a custom frontier policy (Algorithm 1).
+pub fn simulate_with<O: FrontierOrder>(
+    graph: &DependencyGraph,
+    order: &O,
+) -> Result<SimResult, GraphError> {
+    let cg = CompiledGraph::compile(graph);
+    Ok(simulate_compiled_with(&cg, order)?.into_sim_result(&cg))
+}
+
+/// Simulates a compiled graph with the default policy.
+pub fn simulate_compiled(graph: &CompiledGraph) -> Result<CompiledSim, GraphError> {
+    simulate_compiled_with(graph, &EarliestStart)
+}
+
+/// Simulates a compiled graph: the O((V+E) log V) hot path.
+pub fn simulate_compiled_with<O: FrontierOrder>(
+    cg: &CompiledGraph,
+    order: &O,
+) -> Result<CompiledSim, GraphError> {
+    let n = cg.len();
+    let t_count = cg.thread_count();
+    let ranks: Vec<Rank> = (0..n)
+        .map(|i| order.rank(cg, CompactId(i as u32)))
+        .collect();
+
+    let mut tentative = vec![0u64; n];
+    let mut preds = cg.pred_counts();
+    let mut start = vec![0u64; n];
+    let mut wait = vec![0u64; n];
+    let mut progress = vec![0u64; t_count];
+    let mut fronts: Vec<ThreadFrontier> = (0..t_count).map(|_| ThreadFrontier::default()).collect();
+
+    // Global lazy heap over per-thread bests: (feasible, rank, task, thread).
+    let mut global: BinaryHeap<Reverse<(u64, Rank, u32, u32)>> = BinaryHeap::new();
+
+    for i in 0..n {
+        if preds[i] == 0 {
+            let t = cg.thread_of(CompactId(i as u32)).0 as usize;
+            fronts[t].push(0, ranks[i], i as u32, 0);
+        }
+    }
+    for (t, front) in fronts.iter_mut().enumerate() {
+        if let Some((f, r, id)) = front.best(0) {
+            global.push(Reverse((f, r, id, t as u32)));
+        }
+    }
+
+    let mut done = 0usize;
+    let mut makespan = 0u64;
+    while let Some(Reverse((feas, rank, u, t))) = global.pop() {
+        let ti = t as usize;
+        let front = &mut fronts[ti];
+        front.refresh(progress[ti]);
+        // Discard stale entries: the thread's real best was re-pushed when
+        // it changed, so a mismatch means this entry is outdated.
+        if front.best(progress[ti]) != Some((feas, rank, u)) {
+            continue;
+        }
+        front.pop_best();
+
+        let ui = u as usize;
+        let s = feas;
+        start[ui] = s;
+        wait[ui] = s - progress[ti];
+        let fin = s + cg.cost_ns(CompactId(u));
+        makespan = makespan.max(s + cg.duration_ns(CompactId(u)));
+        progress[ti] = fin;
+        done += 1;
+
+        for &v in cg.successors(CompactId(u)) {
+            let vi = v.0 as usize;
+            tentative[vi] = tentative[vi].max(fin);
+            preds[vi] -= 1;
+            if preds[vi] == 0 {
+                let tv = cg.thread_of(v).0 as usize;
+                fronts[tv].push(tentative[vi], ranks[vi], v.0, progress[tv]);
+                if tv != ti {
+                    // The other thread's best may have improved.
+                    if let Some((f, r, id)) = fronts[tv].best(progress[tv]) {
+                        global.push(Reverse((f, r, id, tv as u32)));
+                    }
+                }
+            }
+        }
+        // This thread's progress advanced and its best was consumed:
+        // re-announce whatever is best now.
+        let front = &mut fronts[ti];
+        front.refresh(progress[ti]);
+        if let Some((f, r, id)) = front.best(progress[ti]) {
+            global.push(Reverse((f, r, id, t)));
+        }
+    }
+
+    if done != n {
+        return Err(GraphError::Cycle);
+    }
+    Ok(CompiledSim {
+        start_ns: start,
+        wait_ns: wait,
+        thread_end: progress,
+        makespan_ns: makespan,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementation (the oracle)
+// ---------------------------------------------------------------------------
+
+/// A frontier entry of the reference loop: a ready task and its earliest
+/// feasible start time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// The ready task.
+    pub task: TaskId,
+    /// `max(thread progress, dependency-induced start)`.
+    pub feasible_start: u64,
+}
+
+/// Scheduling policy of the reference loop: picks the next frontier task.
+///
+/// Retained for the oracle only — the hot path's policies implement
+/// [`FrontierOrder`] instead.
+pub trait Scheduler {
+    /// Returns the index into `frontier` of the task to execute next.
+    ///
+    /// `frontier` is never empty when called.
+    fn pick(&mut self, frontier: &[Candidate], graph: &DependencyGraph) -> usize;
+}
+
+impl Scheduler for EarliestStart {
+    fn pick(&mut self, frontier: &[Candidate], _graph: &DependencyGraph) -> usize {
+        let mut best = 0usize;
+        for (i, c) in frontier.iter().enumerate().skip(1) {
+            let b = &frontier[best];
+            if (c.feasible_start, c.task.0) < (b.feasible_start, b.task.0) {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Simulates with the original quadratic loop and the default policy —
+/// the equivalence oracle for [`simulate`] and the `sim_scale` baseline.
+pub fn simulate_reference(graph: &DependencyGraph) -> Result<SimResult, GraphError> {
+    simulate_with_reference(graph, &mut EarliestStart)
+}
+
+/// The original refresh-everything simulation loop: on every dispatch the
+/// feasible start of the *entire* frontier is recomputed against thread
+/// progress (a `BTreeMap` lookup per candidate) and the scheduler
+/// linear-scans it. O(V · frontier) — kept as the test oracle.
+pub fn simulate_with_reference<S: Scheduler>(
     graph: &DependencyGraph,
     scheduler: &mut S,
 ) -> Result<SimResult, GraphError> {
@@ -173,13 +439,22 @@ mod tests {
         )
     }
 
+    /// Runs both simulators and asserts they agree before returning the
+    /// fast path's result.
+    fn simulate_checked(g: &DependencyGraph) -> Result<SimResult, GraphError> {
+        let fast = simulate(g);
+        let oracle = simulate_reference(g);
+        assert_eq!(fast, oracle, "heap simulator diverged from the oracle");
+        fast
+    }
+
     #[test]
     fn chain_with_gaps() {
         let mut g = DependencyGraph::new();
         let a = g.add_task(cpu(10, 5));
         let b = g.add_task(cpu(20, 0));
         g.add_dep(a, b, DepKind::CpuSeq);
-        let r = simulate(&g).unwrap();
+        let r = simulate_checked(&g).unwrap();
         assert_eq!(r.start_of(a), 0);
         // b starts after a's duration + gap (Algorithm 1 line 13/16).
         assert_eq!(r.start_of(b), 15);
@@ -195,7 +470,7 @@ mod tests {
         g.add_dep(launch, k, DepKind::Correlation);
         g.add_dep(launch, sync, DepKind::CpuSeq);
         g.add_dep(k, sync, DepKind::Sync);
-        let r = simulate(&g).unwrap();
+        let r = simulate_checked(&g).unwrap();
         assert_eq!(r.start_of(k), 10);
         assert_eq!(r.start_of(sync), 110);
         assert_eq!(r.wait_ns[sync.0], 100, "the CPU waited for the kernel");
@@ -207,7 +482,7 @@ mod tests {
         let mut g = DependencyGraph::new();
         let a = g.add_task(cpu(50, 0));
         let b = g.add_task(gpu(50));
-        let r = simulate(&g).unwrap();
+        let r = simulate_checked(&g).unwrap();
         assert_eq!(r.start_of(a), 0);
         assert_eq!(r.start_of(b), 0);
         assert_eq!(r.makespan_ns, 50, "independent threads run in parallel");
@@ -226,7 +501,7 @@ mod tests {
         g.add_dep(a, c, DepKind::Correlation);
         g.add_dep(b, d, DepKind::Sync);
         g.add_dep(c, d, DepKind::Sync);
-        let r = simulate(&g).unwrap();
+        let r = simulate_checked(&g).unwrap();
         // d waits for the slower branch.
         assert_eq!(r.start_of(d), 40);
         assert_eq!(r.makespan_ns, 45);
@@ -241,7 +516,7 @@ mod tests {
         g.add_dep(a, b, DepKind::CpuSeq);
         g.add_dep(b, c, DepKind::CpuSeq);
         g.remove_task(b);
-        let r = simulate(&g).unwrap();
+        let r = simulate_checked(&g).unwrap();
         assert_eq!(r.makespan_ns, 20);
         assert!(r.start_ns[b.0].is_none());
     }
@@ -262,9 +537,9 @@ mod tests {
         let c = g.add_task(Task::new("c", TaskKind::GpuKernel, t2, 100));
         g.add_dep(x, a, DepKind::Transform);
         g.add_dep(b, c, DepKind::Transform);
-        let before = simulate(&g).unwrap().makespan_ns;
+        let before = simulate_checked(&g).unwrap().makespan_ns;
         g.remove_task(x);
-        let after = simulate(&g).unwrap().makespan_ns;
+        let after = simulate_checked(&g).unwrap().makespan_ns;
         assert_eq!(before, 110);
         assert_eq!(after, 160, "anomaly: less work, later finish");
     }
@@ -277,6 +552,7 @@ mod tests {
         g.add_dep(a, b, DepKind::CpuSeq);
         g.add_dep(b, a, DepKind::Transform);
         assert_eq!(simulate(&g), Err(GraphError::Cycle));
+        assert_eq!(simulate_reference(&g), Err(GraphError::Cycle));
     }
 
     #[test]
@@ -284,7 +560,7 @@ mod tests {
         let mut g = DependencyGraph::new();
         let ids: Vec<_> = (0..10).map(|i| g.add_task(cpu(10 + i, 2))).collect();
         // No explicit deps: same thread still serializes.
-        let r = simulate(&g).unwrap();
+        let r = simulate_checked(&g).unwrap();
         let mut intervals: Vec<(u64, u64)> = ids
             .iter()
             .map(|&id| (r.start_of(id), r.start_of(id) + g.task(id).duration_ns))
@@ -292,6 +568,29 @@ mod tests {
         intervals.sort_unstable();
         for w in intervals.windows(2) {
             assert!(w[0].1 <= w[1].0, "thread tasks must not overlap");
+        }
+    }
+
+    #[test]
+    fn empty_graph_simulates_to_zero() {
+        let g = DependencyGraph::new();
+        let r = simulate_checked(&g).unwrap();
+        assert_eq!(r.makespan_ns, 0);
+        assert!(r.thread_end.is_empty());
+    }
+
+    /// A wide comm channel frontier — the shape that made the reference
+    /// loop quadratic — still dispatches in id order at equal feasibility.
+    #[test]
+    fn wide_frontier_dispatches_in_id_order() {
+        let mut g = DependencyGraph::new();
+        let chan = ExecThread::Comm(crate::task::CommChannel::Collective);
+        let ids: Vec<TaskId> = (0..50)
+            .map(|_| g.add_task(Task::new("m", TaskKind::CpuWork, chan, 7)))
+            .collect();
+        let r = simulate_checked(&g).unwrap();
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(r.start_of(id), 7 * i as u64);
         }
     }
 }

@@ -174,6 +174,13 @@ impl Task {
         self.thread.is_gpu()
     }
 
+    /// Time the task occupies its thread: duration plus the trailing gap
+    /// to its thread successor (Algorithm 1 line 13).
+    #[inline]
+    pub fn cost_ns(&self) -> u64 {
+        self.duration_ns + self.gap_ns
+    }
+
     /// Returns `true` if the task belongs to the given phase.
     pub fn in_phase(&self, phase: Phase) -> bool {
         self.layer.map(|l| l.phase == phase).unwrap_or(false)

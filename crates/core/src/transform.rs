@@ -4,8 +4,10 @@
 //! thread, name keyword, or layer), **shrink/scale** their durations,
 //! **insert/remove** tasks in an execution thread's sequence (inserting a
 //! GPU task also inserts the CPU launch that triggers it — Fig. 4), and
-//! **schedule** (override the simulator's policy, which lives in
-//! [`crate::sim::Scheduler`]). §5 shows ten optimizations built from these.
+//! **schedule** (override the simulator's policy via
+//! [`crate::sim::FrontierOrder`]; the legacy [`crate::sim::Scheduler`]
+//! trait drives only the reference oracle). §5 shows ten optimizations
+//! built from these.
 
 use crate::graph::{DepKind, DependencyGraph, TaskId};
 use crate::task::{ExecThread, Task, TaskKind};

@@ -13,10 +13,11 @@
 //! overheads, which is why the paper overestimates P3's speedup at higher
 //! bandwidths (§6.6).
 
+use crate::compiled::{CompactId, CompiledGraph};
 use crate::construct::ProfiledGraph;
 use crate::graph::{DepKind, TaskId};
 use crate::replicate::{replicate_iterations, ReplicatedGraph};
-use crate::sim::{simulate_with, Candidate, Scheduler, SimResult};
+use crate::sim::{simulate_with, Candidate, FrontierOrder, Rank, Scheduler, SimResult};
 use crate::task::{CommChannel, CommPrimitive, ExecThread, Task, TaskKind};
 use daydream_comm::{ClusterConfig, PsModel};
 use daydream_trace::{LayerId, Phase};
@@ -56,8 +57,41 @@ impl P3Config {
 
 /// The P3 scheduler: earliest feasible start, ties on communication
 /// channels broken by priority (Algorithm 7's `Schedule` override).
+///
+/// Implements both [`FrontierOrder`] (the compiled heap frontier the
+/// simulator actually runs) and the legacy [`Scheduler`] trait (the
+/// reference-loop oracle).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct P3Scheduler;
+
+/// Maps a priority to a rank component so *higher* priorities order
+/// *first* (ranks are min-ordered).
+fn descending(priority: i64) -> u64 {
+    !((priority as u64) ^ (1 << 63))
+}
+
+impl FrontierOrder for P3Scheduler {
+    fn rank(&self, graph: &CompiledGraph, task: CompactId) -> Rank {
+        if graph.on_comm_thread(task) {
+            // Highest priority first; ties by task id.
+            (descending(graph.priority(task)), task.0 as u64)
+        } else {
+            // Compute threads keep the default earliest-id order. The id
+            // component stays below any comm rank's priority component, so
+            // cross-thread ties at equal feasibility favor compute tasks.
+            //
+            // This total order is the canonical P3 semantics. The legacy
+            // `Scheduler` impl below scans the frontier with a *pairwise*
+            // comparison that is intransitive across mixed comm/compute
+            // candidates — its pick on such ties depends on frontier
+            // layout, so the two implementations can legitimately differ
+            // there (pinned in `sim_equivalence.rs`). Equal-feasibility
+            // mixed ties are rare and were arbitrary before; the heap
+            // frontier makes them deterministic.
+            (task.0 as u64, 0)
+        }
+    }
+}
 
 impl Scheduler for P3Scheduler {
     fn pick(&mut self, frontier: &[Candidate], graph: &crate::graph::DependencyGraph) -> usize {
@@ -209,8 +243,7 @@ pub fn what_if_p3(pg: &ProfiledGraph, cfg: &P3Config) -> P3Prediction {
         }
     }
 
-    let sim: SimResult =
-        simulate_with(&rep.graph, &mut P3Scheduler).expect("P3 graph must stay a DAG");
+    let sim: SimResult = simulate_with(&rep.graph, &P3Scheduler).expect("P3 graph must stay a DAG");
     P3Prediction {
         iteration_ns: steady(&rep, &sim),
         messages_per_iteration: messages,

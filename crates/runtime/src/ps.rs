@@ -18,6 +18,8 @@ use daydream_comm::{ClusterConfig, PsModel};
 use daydream_device::{CostModel, Precision};
 use daydream_models::Model;
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Configuration of a parameter-server training run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -175,65 +177,50 @@ pub fn run_parameter_server(
 
         // Channel simulation: send carries pushes, recv carries pulls; a
         // pull becomes ready when its push (and the server update) is done.
+        //
+        // Messages arrive at the channel in ready-time order, so instead of
+        // rescanning every message per dispatch (O(M^2)), walk a
+        // ready-time-sorted arrival list and keep the arrived-but-unsent
+        // messages in a heap ordered by the pick policy: highest priority
+        // (lowest layer index) under P3, else earliest-ready FIFO — with
+        // the original index as the final tie-break either way.
         let mut send_busy = 0u64;
-        let mut done = vec![false; pending.len()];
-        let mut push_done = vec![0u64; pending.len()];
-        let mut remaining = pending.len();
-        while remaining > 0 {
-            // Pick the next message: among those ready at the channel
-            // cursor, highest priority (lowest layer index) under P3, else
-            // earliest-ready FIFO.
-            let mut best: Option<usize> = None;
-            let horizon = send_cursor;
-            for (i, m) in pending.iter().enumerate() {
-                if done[i] || m.ready_ns > horizon {
-                    continue;
-                }
-                best = match best {
-                    None => Some(i),
-                    Some(j) => {
-                        let mj = &pending[j];
-                        let better = if ps_cfg.priority {
-                            m.priority < mj.priority
-                                || (m.priority == mj.priority && m.ready_ns < mj.ready_ns)
-                        } else {
-                            m.ready_ns < mj.ready_ns || (m.ready_ns == mj.ready_ns && i < j)
-                        };
-                        if better {
-                            Some(i)
-                        } else {
-                            Some(j)
-                        }
-                    }
-                };
+        let mut arrivals: Vec<usize> = (0..pending.len()).collect();
+        arrivals.sort_unstable_by_key(|&i| (pending[i].ready_ns, i));
+        let mut next_arrival = 0usize;
+        let mut ready: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+        let key = |i: usize, m: &Message| {
+            if ps_cfg.priority {
+                debug_assert!(m.priority >= 0, "layer-index priorities are non-negative");
+                (m.priority as u64, m.ready_ns, i)
+            } else {
+                (m.ready_ns, i as u64, 0)
             }
-            let i = match best {
-                Some(i) => i,
-                None => {
-                    // Idle until the next message becomes ready.
-                    let next = pending
-                        .iter()
-                        .enumerate()
-                        .filter(|(i, _)| !done[*i])
-                        .map(|(_, m)| m.ready_ns)
-                        .min()
-                        .expect("remaining messages exist");
-                    send_cursor = send_cursor.max(next);
-                    continue;
-                }
+        };
+        while next_arrival < arrivals.len() || !ready.is_empty() {
+            while next_arrival < arrivals.len()
+                && pending[arrivals[next_arrival]].ready_ns <= send_cursor
+            {
+                let i = arrivals[next_arrival];
+                ready.push(Reverse(key(i, &pending[i])));
+                next_arrival += 1;
+            }
+            let Some(Reverse(k)) = ready.pop() else {
+                // Idle until the next message becomes ready.
+                send_cursor = send_cursor.max(pending[arrivals[next_arrival]].ready_ns);
+                continue;
             };
+            let i = if ps_cfg.priority { k.2 } else { k.1 as usize };
             let m = pending[i];
             let push_ns = ps.measured_ns(m.bytes);
             let start = send_cursor.max(m.ready_ns);
             send_cursor = start + push_ns;
             send_busy += push_ns;
-            push_done[i] = send_cursor;
-            done[i] = true;
-            remaining -= 1;
+            let push_done = send_cursor;
 
             // Matching pull on the receive channel.
             let pull_ns = ps.measured_ns(m.bytes);
-            let pstart = recv_cursor.max(push_done[i]);
+            let pstart = recv_cursor.max(push_done);
             recv_cursor = pstart + pull_ns;
             let l = m.layer_idx;
             pull_done[l] = pull_done[l].max(recv_cursor);

@@ -14,14 +14,18 @@ use daydream_core::whatif::{
     what_if_reconstruct_bn, what_if_upgrade_gpu, what_if_vdnn, DgcConfig, GistConfig, P3Config,
     Substitution, VdnnConfig,
 };
-use daydream_core::{predict, simulate, Prediction, ProfiledGraph};
+use daydream_core::{predict_from_baseline, simulate, Prediction, ProfiledGraph};
 use daydream_device::GpuSpec;
 use daydream_models::{footprint, vdnn_offloadable_bytes, Model, F32_BYTES};
 use daydream_runtime::{ground_truth, ExecConfig};
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
-/// A profiled (model, batch) base shared immutably across scenarios.
+/// A profiled (model, batch) base shared immutably (via `Arc`) across
+/// scenarios. The baseline is simulated exactly once, at profile-build
+/// time, so per-scenario work is transform + compile + simulate of the
+/// transformed graph only — no scenario re-derives baseline makespans or
+/// predecessor counts.
 struct BaseProfile {
     model: Model,
     graph: ProfiledGraph,
@@ -195,12 +199,14 @@ fn evaluate(scenario: &Scenario, base: &BaseProfile) -> Result<ScenarioOutcome, 
         },
         OptSpec::Amp => {
             memory_bytes = fp.total() - fp.activations / 2;
-            predict(pg, what_if_amp)
+            predict_from_baseline(base.baseline_ns, pg, what_if_amp)
         }
-        OptSpec::FusedAdam => predict(pg, |g| {
+        OptSpec::FusedAdam => predict_from_baseline(base.baseline_ns, pg, |g| {
             what_if_fused_adam(g);
         }),
-        OptSpec::ReconstructBn => predict(pg, |g| what_if_reconstruct_bn(g, model)),
+        OptSpec::ReconstructBn => {
+            predict_from_baseline(base.baseline_ns, pg, |g| what_if_reconstruct_bn(g, model))
+        }
         OptSpec::Metaflow => {
             let mut policy = Vec::new();
             for l in &model.layers {
@@ -210,7 +216,7 @@ fn evaluate(scenario: &Scenario, base: &BaseProfile) -> Result<ScenarioOutcome, 
                     policy.push(Substitution::ScaleLayer(l.id, 1.8));
                 }
             }
-            predict(pg, |g| what_if_metaflow(g, &policy))
+            predict_from_baseline(base.baseline_ns, pg, |g| what_if_metaflow(g, &policy))
         }
         OptSpec::Ddp {
             machines,
@@ -219,7 +225,7 @@ fn evaluate(scenario: &Scenario, base: &BaseProfile) -> Result<ScenarioOutcome, 
         } => {
             let cluster = ClusterConfig::new(*machines, *gpus_per_machine, *bw_gbps);
             comm_bytes = grad_bytes;
-            predict(pg, |g| {
+            predict_from_baseline(base.baseline_ns, pg, |g| {
                 what_if_distributed(g, &cluster);
             })
         }
@@ -230,7 +236,7 @@ fn evaluate(scenario: &Scenario, base: &BaseProfile) -> Result<ScenarioOutcome, 
         } => {
             let cluster = ClusterConfig::new(*machines, *gpus_per_machine, *bw_gbps);
             comm_bytes = grad_bytes;
-            predict(pg, |g| {
+            predict_from_baseline(base.baseline_ns, pg, |g| {
                 let ars = what_if_distributed(g, &cluster);
                 what_if_blueconnect(g, &cluster, &ars);
             })
@@ -247,7 +253,7 @@ fn evaluate(scenario: &Scenario, base: &BaseProfile) -> Result<ScenarioOutcome, 
                 compression_ratio: *ratio,
                 ..DgcConfig::default()
             };
-            predict(pg, |g| {
+            predict_from_baseline(base.baseline_ns, pg, |g| {
                 let ars = what_if_distributed(g, &cluster);
                 what_if_dgc(g, &ars, &cfg);
             })
@@ -278,7 +284,7 @@ fn evaluate(scenario: &Scenario, base: &BaseProfile) -> Result<ScenarioOutcome, 
                 prefetch_lookahead: *lookahead,
                 ..VdnnConfig::default()
             };
-            predict(pg, |g| {
+            predict_from_baseline(base.baseline_ns, pg, |g| {
                 what_if_vdnn(g, model, &cfg);
             })
         }
@@ -293,24 +299,24 @@ fn evaluate(scenario: &Scenario, base: &BaseProfile) -> Result<ScenarioOutcome, 
                 lossy: *lossy,
                 ..GistConfig::default()
             };
-            predict(pg, |g| {
+            predict_from_baseline(base.baseline_ns, pg, |g| {
                 what_if_gist(g, &cfg);
             })
         }
-        OptSpec::Bandwidth { factor } => predict(pg, |g| {
+        OptSpec::Bandwidth { factor } => predict_from_baseline(base.baseline_ns, pg, |g| {
             what_if_bandwidth(g, *factor);
         }),
         OptSpec::UpgradeGpu { to } => {
             let new = GpuSpec::by_name(to)?;
             let old = GpuSpec::rtx_2080ti();
-            predict(pg, |g| {
+            predict_from_baseline(base.baseline_ns, pg, |g| {
                 what_if_upgrade_gpu(g, &old, &new);
             })
         }
         OptSpec::BatchSize { batch } => {
             memory_bytes = footprint(model, *batch).total();
             let target = *batch;
-            predict(pg, |g| {
+            predict_from_baseline(base.baseline_ns, pg, |g| {
                 what_if_batch_size(g, target);
             })
         }

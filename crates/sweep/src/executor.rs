@@ -42,50 +42,57 @@ where
         queues[i % workers].lock().unwrap().push_back((i, item));
     }
 
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // Each worker accumulates `(input index, result)` pairs privately and
+    // merges them once at exit — one result-lock acquisition per worker
+    // instead of one per item.
+    let merged: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
     let steals = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
         for me in 0..workers {
             let queues = &queues;
-            let slots = &slots;
+            let merged = &merged;
             let steals = &steals;
             let f = &f;
-            scope.spawn(move || loop {
-                // Own queue first (front: preserves locality of the
-                // round-robin seeding).
-                let own = queues[me].lock().unwrap().pop_front();
-                let (idx, item) = match own {
-                    Some(work) => work,
-                    None => {
-                        // Steal half of the fullest victim, from the back.
-                        match steal_batch(queues, me) {
-                            Some(batch) => {
-                                steals.fetch_add(1, Ordering::Relaxed);
-                                let mut q = queues[me].lock().unwrap();
-                                for w in batch {
-                                    q.push_back(w);
+            scope.spawn(move || {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    // Own queue first (front: preserves locality of the
+                    // round-robin seeding).
+                    let own = queues[me].lock().unwrap().pop_front();
+                    let (idx, item) = match own {
+                        Some(work) => work,
+                        None => {
+                            // Steal half of the fullest victim, from the back.
+                            match steal_batch(queues, me) {
+                                Some(batch) => {
+                                    steals.fetch_add(1, Ordering::Relaxed);
+                                    let mut q = queues[me].lock().unwrap();
+                                    for w in batch {
+                                        q.push_back(w);
+                                    }
+                                    continue;
                                 }
-                                continue;
+                                // Nothing anywhere: workers cannot create new
+                                // work, so empty queues mean we are done.
+                                None => break,
                             }
-                            // Nothing anywhere: workers cannot create new
-                            // work, so empty queues mean we are done.
-                            None => return,
                         }
-                    }
-                };
-                *slots[idx].lock().unwrap() = Some(f(item));
+                    };
+                    local.push((idx, f(item)));
+                }
+                merged.lock().unwrap().append(&mut local);
             });
         }
     });
 
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (idx, r) in merged.into_inner().expect("result mutex poisoned") {
+        slots[idx] = Some(r);
+    }
     let results: Vec<R> = slots
         .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .expect("result mutex poisoned")
-                .expect("every slot filled when all queues drain")
-        })
+        .map(|s| s.expect("every slot filled when all queues drain"))
         .collect();
     (
         results,
@@ -98,17 +105,29 @@ where
 }
 
 /// Pops up to half (at least one) of the fullest other queue.
+///
+/// Victims are ranked by a racy length snapshot, but the chosen victim is
+/// re-checked and drained under a *single* lock acquisition — a queue that
+/// was emptied between the snapshot and the steal is simply skipped in
+/// favor of the next-fullest, so the steal never misses work that still
+/// exists elsewhere.
 fn steal_batch<T>(queues: &[Mutex<VecDeque<(usize, T)>>], me: usize) -> Option<Vec<(usize, T)>> {
-    let victim = (0..queues.len())
+    let mut victims: Vec<(usize, usize)> = (0..queues.len())
         .filter(|&v| v != me)
-        .max_by_key(|&v| queues[v].lock().unwrap().len())?;
-    let mut q = queues[victim].lock().unwrap();
-    if q.is_empty() {
-        return None;
+        .map(|v| (queues[v].lock().unwrap().len(), v))
+        .filter(|&(len, _)| len > 0)
+        .collect();
+    victims.sort_unstable_by(|a, b| b.cmp(a));
+    for (_, v) in victims {
+        let mut q = queues[v].lock().unwrap();
+        if q.is_empty() {
+            continue;
+        }
+        let take = (q.len() / 2).max(1);
+        let from = q.len() - take;
+        return Some(q.drain(from..).collect());
     }
-    let take = (q.len() / 2).max(1);
-    let from = q.len() - take;
-    Some(q.drain(from..).collect())
+    None
 }
 
 #[cfg(test)]

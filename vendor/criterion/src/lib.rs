@@ -9,11 +9,23 @@
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
+/// One completed benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full benchmark name (`group/function/parameter`).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
 /// Top-level benchmark driver.
 pub struct Criterion {
     sample_size: usize,
     /// Smoke-test mode: one measured iteration per benchmark.
     quick: bool,
+    records: Vec<BenchRecord>,
 }
 
 impl Default for Criterion {
@@ -22,6 +34,7 @@ impl Default for Criterion {
         Criterion {
             sample_size: 10,
             quick,
+            records: Vec::new(),
         }
     }
 }
@@ -29,8 +42,26 @@ impl Default for Criterion {
 impl Criterion {
     /// Registers and immediately runs one benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_bench(name, self.effective_samples(), f);
+        let samples = self.effective_samples();
+        self.record(run_bench(name, samples, f));
         self
+    }
+
+    /// `true` when running under `--test` / `--quick-bench-test` (one
+    /// iteration per benchmark; CI smoke mode).
+    pub fn is_quick_mode(&self) -> bool {
+        self.quick
+    }
+
+    /// Measurements completed so far, in execution order.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    fn record(&mut self, r: Option<BenchRecord>) {
+        if let Some(r) = r {
+            self.records.push(r);
+        }
     }
 
     /// Opens a named group of related benchmarks.
@@ -73,7 +104,8 @@ impl BenchmarkGroup<'_> {
     /// Runs a benchmark inside the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
         let full = format!("{}/{}", self.name, name);
-        run_bench(&full, self.samples(), f);
+        let r = run_bench(&full, self.samples(), f);
+        self.criterion.record(r);
         self
     }
 
@@ -88,7 +120,8 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let full = format!("{}/{}", self.name, id);
-        run_bench(&full, self.samples(), |b| f(b, input));
+        let r = run_bench(&full, self.samples(), |b| f(b, input));
+        self.criterion.record(r);
         self
     }
 
@@ -155,7 +188,7 @@ impl Bencher {
     }
 }
 
-fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) -> Option<BenchRecord> {
     let mut b = Bencher {
         samples,
         total: Duration::ZERO,
@@ -168,8 +201,14 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
             "bench {name:<55} {:>12.1} ns/iter ({} iters)",
             per_iter, b.iters
         );
+        Some(BenchRecord {
+            name: name.to_string(),
+            ns_per_iter: per_iter,
+            iters: b.iters,
+        })
     } else {
         println!("bench {name:<55} (no measurement)");
+        None
     }
 }
 
