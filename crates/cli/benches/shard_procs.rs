@@ -1,0 +1,110 @@
+//! Criterion bench: wall time of draining one sharded run with 1, 2,
+//! and 4 real `daydream sweep-worker` processes.
+//!
+//! Each iteration plans a fresh run directory, spawns K single-threaded
+//! worker processes on the built binary, waits for them to drain the
+//! queue, and merges the partials. This measures the whole distributed
+//! path — process startup, per-process base profiling, claim-by-rename
+//! contention, partial-file I/O, and the merge — which is why the
+//! speedup is sublinear: every process rebuilds the base profiles its
+//! shards touch, the price of process isolation. On a host with K+
+//! cores the K-process drain approaches a K-fold wall-time win; on a
+//! single-core host (some CI containers) all processes serialize and
+//! the exhibit degenerates to measuring pure protocol overhead — the
+//! deltas between rows are then the coordination cost itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use daydream_shard::{merge_run, RunDir, ShardPlan};
+use daydream_sweep::SweepGrid;
+use std::process::Command;
+
+fn bench_grid() -> SweepGrid {
+    // ~236 scenarios: big enough that evaluation work, not process
+    // startup, dominates the comparison.
+    SweepGrid::builder()
+        .models(["ResNet-50", "DenseNet-121"])
+        .batches([4, 8])
+        .opts([
+            "baseline",
+            "amp",
+            "gist",
+            "vdnn",
+            "bandwidth",
+            "reconstruct-bn",
+            "batch-size",
+            "ddp",
+            "blueconnect",
+            "dgc",
+        ])
+        .bandwidths([5.0, 10.0, 25.0, 50.0])
+        .machines([2, 4, 8])
+        .dgc_ratios([0.01, 0.1])
+        .bandwidth_factors([2.0, 4.0])
+        .vdnn_lookaheads([1, 2])
+        .gist_lossy([false, true])
+        .target_batches([16, 32])
+        .build()
+}
+
+fn drain_with_workers(scenario_tag: &str, workers: usize) -> usize {
+    let dir = std::env::temp_dir().join(format!(
+        "daydream-bench-shard-{}-{scenario_tag}-{workers}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    // Eight shards regardless of worker count, so contention (not the
+    // partition) is what varies across the comparison.
+    let plan = ShardPlan::partition(bench_grid().expand().expect("valid grid"), 8)
+        .expect("plan partitions");
+    let (run, _) = RunDir::init_or_open(&dir, "bench", &plan).expect("init run dir");
+
+    let children: Vec<_> = (0..workers)
+        .map(|w| {
+            Command::new(env!("CARGO_BIN_EXE_daydream"))
+                .args([
+                    "sweep-worker",
+                    "--run-dir",
+                    run.path().to_str().expect("utf8 path"),
+                    "--worker-id",
+                    &format!("bench-w{w}"),
+                    "--threads",
+                    "1",
+                ])
+                .stdout(std::process::Stdio::null())
+                .spawn()
+                .expect("worker spawns")
+        })
+        .collect();
+    for mut child in children {
+        let status = child.wait().expect("worker exits");
+        assert!(status.success(), "worker failed");
+    }
+    let report = merge_run(&run).expect("drained run merges");
+    std::fs::remove_dir_all(&dir).ok();
+    report.scenario_count
+}
+
+fn bench_shard_procs(c: &mut Criterion) {
+    let scenarios = bench_grid().expand().expect("valid grid").len() as u64;
+    let mut group = c.benchmark_group("shard_procs");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.throughput(Throughput::Elements(scenarios));
+        group.bench_with_input(
+            BenchmarkId::new("drain", format!("{workers}proc/{scenarios}scen")),
+            &workers,
+            |b, &workers| {
+                let mut iter = 0usize;
+                b.iter(|| {
+                    iter += 1;
+                    let tag = format!("i{iter}");
+                    std::hint::black_box(drain_with_workers(&tag, workers))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_procs);
+criterion_main!(benches);

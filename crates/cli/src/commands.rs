@@ -11,6 +11,10 @@ use daydream_core::{layer_report, predict, simulate, ProfiledGraph};
 use daydream_device::GpuSpec;
 use daydream_models::{footprint, max_batch, zoo, Model, Optimizer};
 use daydream_runtime::{ground_truth, ExecConfig};
+use daydream_shard::{
+    diff_runs, merge_run, merged_cache, process_shard, run_worker, write_merged, RunDir,
+    ShardDisposition, ShardPlan, WorkerConfig,
+};
 use daydream_sweep::{SweepEngine, SweepGrid};
 use daydream_trace::{runtime_breakdown, Framework};
 
@@ -359,6 +363,11 @@ const SWEEP_KEYS: &[&str] = &[
     "out",
     "csv",
     "cache-file",
+    "shards",
+    "shard-index",
+    "run-dir",
+    "worker-id",
+    "lease-ttl-secs",
 ];
 
 /// `daydream sweep` — run a batch what-if grid in parallel.
@@ -409,6 +418,16 @@ pub fn cmd_sweep(args: &Args) -> Result<(), String> {
         Some(t) => SweepEngine::new(t.parse().map_err(|_| format!("invalid --threads {t}"))?),
         None => SweepEngine::with_available_parallelism(),
     };
+    if args.opt_maybe("run-dir").is_some() {
+        return cmd_sweep_sharded(args, &grid, &engine);
+    }
+    for key in ["shards", "shard-index", "worker-id", "lease-ttl-secs"] {
+        if args.opt_maybe(key).is_some() {
+            return Err(format!(
+                "--{key} requires --run-dir (distributed sweep mode)"
+            ));
+        }
+    }
     if let Some(path) = args.opt_maybe("cache-file") {
         match std::fs::read_to_string(path) {
             Ok(json) => {
@@ -467,6 +486,237 @@ pub fn cmd_sweep(args: &Args) -> Result<(), String> {
     if let Some(path) = args.opt_maybe("csv") {
         std::fs::write(path, report.to_csv()).map_err(|e| e.to_string())?;
         println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Rejects unknown options and stray positionals for the shard
+/// subcommands — the same typo discipline `sweep` applies with
+/// `SWEEP_KEYS`: a misspelled option must fail, not silently run with
+/// defaults.
+fn reject_unknown(
+    args: &Args,
+    command: &str,
+    known: &[&str],
+    positionals: usize,
+) -> Result<(), String> {
+    if args.positional.len() > positionals {
+        return Err(format!(
+            "unexpected argument '{}' for {command}",
+            args.positional[positionals]
+        ));
+    }
+    if let Some(unknown) = args.options.keys().find(|k| !known.contains(&k.as_str())) {
+        return Err(format!(
+            "unknown {command} option --{unknown} (see `daydream help`)"
+        ));
+    }
+    Ok(())
+}
+
+/// Builds the worker-identity/lease knobs shared by the sharded `sweep`
+/// path and `sweep-worker`.
+fn worker_config(args: &Args) -> Result<WorkerConfig, String> {
+    let mut cfg = WorkerConfig::default();
+    if let Some(id) = args.opt_maybe("worker-id") {
+        cfg.worker_id = id.to_string();
+    }
+    cfg.lease_ttl_ms = args.num("lease-ttl-secs", cfg.lease_ttl_ms / 1000)? * 1000;
+    cfg.poll_ms = args.num("poll-ms", cfg.poll_ms)?.max(1);
+    cfg.max_wait_ms = args.num("max-wait-secs", cfg.max_wait_ms / 1000)? * 1000;
+    Ok(cfg)
+}
+
+/// Prints where a sharded run stands and what to do next.
+fn print_run_status(run: &RunDir) -> Result<(), String> {
+    let status = run.status()?;
+    println!(
+        "run {}: {} todo, {} leased, {} done of {} shards",
+        run.path().display(),
+        status.todo,
+        status.leased,
+        status.done,
+        status.shards
+    );
+    if status.is_drained() {
+        println!(
+            "run is drained; merge with: daydream sweep-merge --run-dir {}",
+            run.path().display()
+        );
+    }
+    Ok(())
+}
+
+/// `daydream sweep --shards N [--shard-index I] --run-dir D` — plan a
+/// distributed run and optionally evaluate one shard of it.
+fn cmd_sweep_sharded(args: &Args, grid: &SweepGrid, engine: &SweepEngine) -> Result<(), String> {
+    for key in ["out", "csv", "cache-file", "top"] {
+        if args.opt_maybe(key).is_some() {
+            return Err(format!(
+                "--{key} does not apply to a sharded sweep invocation; \
+                 reports come from `daydream sweep-merge`"
+            ));
+        }
+    }
+    let run_dir = args.opt_maybe("run-dir").expect("checked by caller");
+    let shards: usize = args.num("shards", 0)?;
+    if shards == 0 {
+        return Err("sharded sweeps need --shards N (the total shard count)".into());
+    }
+    let plan = ShardPlan::partition(grid.expand()?, shards)?;
+    let run_id = std::path::Path::new(run_dir)
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "run".into());
+    let (run, created) = RunDir::init_or_open(run_dir, &run_id, &plan)?;
+    if created {
+        println!(
+            "planned run {}: {} scenarios in {} shards (grid {})",
+            run.path().display(),
+            plan.scenario_count(),
+            plan.shard_count(),
+            plan.grid_fingerprint_hex()
+        );
+    }
+    match args.opt_maybe("shard-index") {
+        None => {
+            println!(
+                "no --shard-index given; start workers with: daydream sweep-worker --run-dir {}",
+                run.path().display()
+            );
+        }
+        Some(raw) => {
+            let index: usize = raw
+                .parse()
+                .map_err(|_| format!("invalid --shard-index {raw}"))?;
+            let cfg = worker_config(args)?;
+            let start = std::time::Instant::now();
+            match process_shard(&run, engine, index, &cfg)? {
+                ShardDisposition::Evaluated(n) => println!(
+                    "worker {} evaluated shard {index}: {n} scenarios in {:.2}s",
+                    cfg.worker_id,
+                    start.elapsed().as_secs_f64()
+                ),
+                ShardDisposition::AlreadyDone => {
+                    println!("shard {index} already has results; nothing to do")
+                }
+            }
+        }
+    }
+    print_run_status(&run)
+}
+
+/// `daydream sweep-worker --run-dir D` — claim shards until the run
+/// drains, reclaiming leases abandoned by crashed peers.
+pub fn cmd_sweep_worker(args: &Args) -> Result<(), String> {
+    reject_unknown(
+        args,
+        "sweep-worker",
+        &[
+            "run-dir",
+            "threads",
+            "worker-id",
+            "lease-ttl-secs",
+            "poll-ms",
+            "max-wait-secs",
+        ],
+        0,
+    )?;
+    let run_dir = args
+        .opt_maybe("run-dir")
+        .ok_or("usage: daydream sweep-worker --run-dir <dir>")?;
+    let run = RunDir::open(run_dir)?;
+    let engine = match args.opt_maybe("threads") {
+        Some(t) => SweepEngine::new(t.parse().map_err(|_| format!("invalid --threads {t}"))?),
+        None => SweepEngine::with_available_parallelism(),
+    };
+    let cfg = worker_config(args)?;
+    let start = std::time::Instant::now();
+    let summary = run_worker(&run, &engine, &cfg)?;
+    println!(
+        "worker {} drained: {} shards, {} scenarios in {:.2}s ({} stale leases reclaimed, \
+         {:.1}s waiting on peers)",
+        cfg.worker_id,
+        summary.shards_completed,
+        summary.scenarios_evaluated,
+        start.elapsed().as_secs_f64(),
+        summary.leases_reclaimed,
+        summary.waited_ms as f64 / 1000.0
+    );
+    print_run_status(&run)
+}
+
+/// `daydream sweep-merge --run-dir D` — union the partial results into
+/// the ranked report, byte-identical to the single-process sweep.
+pub fn cmd_sweep_merge(args: &Args) -> Result<(), String> {
+    reject_unknown(
+        args,
+        "sweep-merge",
+        &["run-dir", "top", "out", "csv", "cache-out"],
+        0,
+    )?;
+    let run_dir = args
+        .opt_maybe("run-dir")
+        .ok_or("usage: daydream sweep-merge --run-dir <dir>")?;
+    let run = RunDir::open(run_dir)?;
+    let report = merge_run(&run)?;
+    write_merged(&run, &report)?;
+    println!(
+        "merged {} scenarios from {} shards into {}",
+        report.scenario_count,
+        run.manifest()?.shards,
+        run.merged_path().display()
+    );
+    let top: usize = args.num("top", 15usize)?;
+    println!("\n{}", report.render(top));
+    if let Some(path) = args.opt_maybe("out") {
+        std::fs::write(path, report.to_json().map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = args.opt_maybe("csv") {
+        std::fs::write(path, report.to_csv()).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = args.opt_maybe("cache-out") {
+        let cache = merged_cache(&report);
+        std::fs::write(path, cache.to_json().map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?;
+        println!("wrote {} cache entries to {path}", cache.len());
+    }
+    Ok(())
+}
+
+/// `daydream sweep-diff <run A> <run B>` — regression-track predicted
+/// times between two runs.
+pub fn cmd_sweep_diff(args: &Args) -> Result<(), String> {
+    reject_unknown(
+        args,
+        "sweep-diff",
+        &["tolerance", "out", "fail-on-regression"],
+        2,
+    )?;
+    let (a_dir, b_dir) = match args.positional.as_slice() {
+        [a, b] => (a, b),
+        _ => return Err("usage: daydream sweep-diff <run dir A> <run dir B>".into()),
+    };
+    let tolerance: f64 = args.num("tolerance", 0.001)?;
+    let a = RunDir::open(a_dir)?;
+    let b = RunDir::open(b_dir)?;
+    let diff = diff_runs(&a, &b, tolerance)?;
+    print!("{}", diff.render());
+    if let Some(path) = args.opt_maybe("out") {
+        std::fs::write(path, diff.to_json().map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    if args.flag("fail-on-regression") && !diff.is_clean() {
+        return Err(format!(
+            "{} regression(s) / coverage change(s) between {} and {}",
+            diff.regressions.len() + diff.only_in_a.len() + diff.only_in_b.len(),
+            diff.a_id,
+            diff.b_id
+        ));
     }
     Ok(())
 }
@@ -549,6 +799,84 @@ mod tests {
             err.contains("unexpected argument 'ResNet-101'"),
             "got: {err}"
         );
+    }
+
+    #[test]
+    fn top_option_parses_with_default_and_rejects_garbage() {
+        assert_eq!(args(&[]).num("top", 15usize).unwrap(), 15);
+        assert_eq!(args(&["--top", "3"]).num("top", 15usize).unwrap(), 3);
+        let err = args(&["--top", "lots"])
+            .num::<usize>("top", 15)
+            .unwrap_err();
+        assert!(err.contains("invalid value for --top"), "got: {err}");
+    }
+
+    #[test]
+    fn shard_options_require_run_dir() {
+        for key in ["shards", "shard-index", "worker-id", "lease-ttl-secs"] {
+            let err = cmd_sweep(&args(&[&format!("--{key}"), "1"])).unwrap_err();
+            assert!(err.contains("requires --run-dir"), "--{key}: {err}");
+        }
+        // --run-dir without --shards names the missing piece.
+        let dir = std::env::temp_dir().join("daydream-cmd-shard-args");
+        let err = cmd_sweep(&args(&["--run-dir", dir.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("--shards"), "got: {err}");
+    }
+
+    #[test]
+    fn worker_config_parses_knobs() {
+        let cfg = worker_config(&args(&[
+            "--worker-id",
+            "w-test",
+            "--lease-ttl-secs",
+            "5",
+            "--poll-ms",
+            "10",
+            "--max-wait-secs",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.worker_id, "w-test");
+        assert_eq!(cfg.lease_ttl_ms, 5000);
+        assert_eq!(cfg.poll_ms, 10);
+        assert_eq!(cfg.max_wait_ms, 2000);
+        let default = worker_config(&args(&[])).unwrap();
+        assert_eq!(default.lease_ttl_ms, 60_000);
+        assert!(default.worker_id.starts_with('w'));
+    }
+
+    #[test]
+    fn sweep_diff_requires_two_run_dirs() {
+        let err = cmd_sweep_diff(&args(&["only-one"])).unwrap_err();
+        assert!(err.contains("usage"), "got: {err}");
+    }
+
+    #[test]
+    fn shard_subcommands_reject_unknown_options() {
+        // `--cache-file` belongs to `sweep`; merge spells it --cache-out.
+        let err =
+            cmd_sweep_merge(&args(&["--run-dir", "/tmp/x", "--cache-file", "c.json"])).unwrap_err();
+        assert!(
+            err.contains("unknown sweep-merge option --cache-file"),
+            "got: {err}"
+        );
+        // A typo'd lease knob must not silently run with the default.
+        let err =
+            cmd_sweep_worker(&args(&["--run-dir", "/tmp/x", "--lease-ttl-sec", "30"])).unwrap_err();
+        assert!(
+            err.contains("unknown sweep-worker option --lease-ttl-sec"),
+            "got: {err}"
+        );
+        let err = cmd_sweep_diff(&args(&["a", "b", "--tolerence", "0.1"])).unwrap_err();
+        assert!(
+            err.contains("unknown sweep-diff option --tolerence"),
+            "got: {err}"
+        );
+        // Stray positionals are typos too.
+        let err = cmd_sweep_worker(&args(&["rundir"])).unwrap_err();
+        assert!(err.contains("unexpected argument 'rundir'"), "got: {err}");
+        let err = cmd_sweep_diff(&args(&["a", "b", "c"])).unwrap_err();
+        assert!(err.contains("unexpected argument 'c'"), "got: {err}");
     }
 
     #[test]

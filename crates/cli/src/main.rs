@@ -7,6 +7,9 @@
 //! daydream memory  <model> [--device-gb G]     footprint and max batch
 //! daydream predict <model> --opt <opt> [...]   run a what-if analysis
 //! daydream sweep [--models ...] [--opts ...]   batch what-if grid in parallel
+//! daydream sweep-worker --run-dir D            drain a sharded run's shards
+//! daydream sweep-merge  --run-dir D            merge shard results into a report
+//! daydream sweep-diff   <A> <B>                compare two runs' predictions
 //! ```
 
 mod args;
@@ -27,6 +30,9 @@ COMMANDS:
     memory  <model>                memory footprint and max batch size
     predict <model> --opt <opt>    predict an optimization's effect
     sweep                          run a what-if grid in parallel, ranked
+    sweep-worker --run-dir D       claim and evaluate shards until a run drains
+    sweep-merge  --run-dir D       merge shard results into the ranked report
+    sweep-diff   <A> <B>           diff two runs' predicted times (regressions)
 
 COMMON OPTIONS:
     --batch N          mini-batch size (default: the paper's per-model value)
@@ -64,12 +70,27 @@ SWEEP OPTIONS (comma-separated lists expand into grid axes):
     --csv F.csv        write the ranked results as CSV
     --cache-file F     load/save the result cache (repeat runs are free)
 
+DISTRIBUTED SWEEP OPTIONS (shard a grid across processes/machines):
+    --shards N         split the grid into N fingerprint-balanced shards
+    --shard-index I    plan the run (if needed) and evaluate shard I
+    --run-dir D        shared run directory (manifest, shard queue, results)
+    --worker-id W      worker name recorded in shard leases  (default w<pid>)
+    --lease-ttl-secs S reclaim a dead worker's shard after S  (default 60)
+  sweep-worker also accepts: --threads N, --poll-ms MS, --max-wait-secs S
+  sweep-merge  also accepts: --top N, --out F.json, --csv F.csv, --cache-out F
+  sweep-diff   also accepts: --tolerance FRAC (default 0.001), --out F.json,
+               --fail-on-regression (nonzero exit when B regressed vs A)
+
 EXAMPLES:
     daydream profile BERT_Base --out bert.json
     daydream predict BERT_Large --opt fused-adam
     daydream predict ResNet-50 --opt ddp --machines 4 --gpus 2 --bw 10
     daydream predict ResNet-50 --opt upgrade-gpu --to v100
     daydream sweep --models ResNet-50,BERT_Base --opts amp,ddp,dgc --bw 10,25,40
+    daydream sweep --shards 4 --run-dir /shared/run1   # plan a distributed run
+    daydream sweep-worker --run-dir /shared/run1       # on each of 4 machines
+    daydream sweep-merge --run-dir /shared/run1 --out ranked.json
+    daydream sweep-diff /shared/run1 /shared/run2 --fail-on-regression
 ";
 
 fn main() {
@@ -93,6 +114,9 @@ fn main() {
         "memory" => commands::cmd_memory(&parsed),
         "predict" => commands::cmd_predict(&parsed),
         "sweep" => commands::cmd_sweep(&parsed),
+        "sweep-worker" => commands::cmd_sweep_worker(&parsed),
+        "sweep-merge" => commands::cmd_sweep_merge(&parsed),
+        "sweep-diff" => commands::cmd_sweep_diff(&parsed),
         other => {
             eprintln!("unknown command '{other}'\n\n{USAGE}");
             std::process::exit(2);

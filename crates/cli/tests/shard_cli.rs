@@ -1,0 +1,418 @@
+//! End-to-end tests of the distributed sweep subcommands: real worker
+//! processes draining a shared run directory, the merged report's
+//! byte-identity with the single-process sweep, stale-lease recovery,
+//! and run diffing.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn daydream() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_daydream"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("daydream-shard-cli-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Axis options expanding to a ≥ 200-scenario grid (236: 2 conv models
+/// x 2 batches x {7 single-GPU variants + 48 cluster variants — 14
+/// dropped as inapplicable}).
+const BIG_GRID: &[&str] = &[
+    "--models",
+    "ResNet-50,DenseNet-121",
+    "--batches",
+    "4,8",
+    "--opts",
+    "baseline,amp,gist,vdnn,bandwidth,reconstruct-bn,batch-size,ddp,blueconnect,dgc",
+    "--bw",
+    "5,10,25,50",
+    "--machines",
+    "2,4,8",
+    "--ratios",
+    "0.01,0.1",
+    "--factors",
+    "2,4",
+    "--lookaheads",
+    "1,2",
+    "--lossy",
+    "both",
+    "--target-batches",
+    "16,32",
+];
+
+fn run_ok(mut cmd: Command) -> String {
+    let out = cmd.output().expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        out.status.success(),
+        "command failed\nstdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    stdout
+}
+
+/// The acceptance-criteria determinism proof: a ≥ 200-scenario grid
+/// split across 4 worker *processes*, merged, must be byte-identical to
+/// the single-process sweep; diffing the run against itself is clean.
+#[test]
+fn four_worker_processes_merge_byte_identical_to_single_process() {
+    let dir = tmp_dir("determinism");
+    let run_dir = dir.join("run");
+    let merged_path = dir.join("merged.json");
+    let single_path = dir.join("single.json");
+
+    // Plan the run (no shard evaluated yet).
+    let mut plan = daydream();
+    plan.arg("sweep").args(BIG_GRID).args([
+        "--shards",
+        "4",
+        "--run-dir",
+        run_dir.to_str().unwrap(),
+    ]);
+    let stdout = run_ok(plan);
+    assert!(
+        stdout.contains("scenarios in 4 shards"),
+        "planner output: {stdout}"
+    );
+    let count: usize = stdout
+        .split("planned run")
+        .nth(1)
+        .and_then(|s| s.split(':').nth(1))
+        .and_then(|s| s.trim().split(' ').next())
+        .and_then(|n| n.parse().ok())
+        .expect("planner prints the scenario count");
+    assert!(
+        count >= 200,
+        "acceptance needs >= 200 scenarios, got {count}"
+    );
+
+    // 4 concurrent worker processes race on the shard queue.
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            daydream()
+                .args(["sweep-worker", "--run-dir", run_dir.to_str().unwrap()])
+                .args(["--worker-id", &format!("test-w{w}"), "--threads", "2"])
+                .spawn()
+                .expect("worker spawns")
+        })
+        .collect();
+    for mut child in workers {
+        assert!(child.wait().expect("worker exits").success());
+    }
+
+    let stdout = run_ok({
+        let mut merge = daydream();
+        merge
+            .args(["sweep-merge", "--run-dir", run_dir.to_str().unwrap()])
+            .args(["--out", merged_path.to_str().unwrap(), "--top", "5"]);
+        merge
+    });
+    assert!(stdout.contains(&format!("merged {count} scenarios from 4 shards")));
+
+    run_ok({
+        let mut single = daydream();
+        single.arg("sweep").args(BIG_GRID).args([
+            "--threads",
+            "4",
+            "--out",
+            single_path.to_str().unwrap(),
+        ]);
+        single
+    });
+
+    let merged = std::fs::read(&merged_path).unwrap();
+    let single = std::fs::read(&single_path).unwrap();
+    assert!(
+        merged == single,
+        "merged report must be byte-identical to the single-process sweep \
+         ({} vs {} bytes)",
+        merged.len(),
+        single.len()
+    );
+
+    // A run diffed against itself is clean.
+    let stdout = run_ok({
+        let mut diff = daydream();
+        diff.args([
+            "sweep-diff",
+            run_dir.to_str().unwrap(),
+            run_dir.to_str().unwrap(),
+            "--fail-on-regression",
+        ]);
+        diff
+    });
+    assert!(stdout.contains("0 regressions"), "diff output: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A worker that died mid-shard (simulated by a stale lease file) must
+/// not lose scenarios: the next worker reclaims the shard and the run
+/// drains to a report identical to the healthy path.
+#[test]
+fn stale_lease_is_reclaimed_and_the_run_still_drains() {
+    let dir = tmp_dir("reclaim");
+    let run_dir = dir.join("run");
+    let small_grid: &[&str] = &[
+        "--models",
+        "ResNet-50",
+        "--batches",
+        "4",
+        "--opts",
+        "baseline,amp,gist,vdnn,bandwidth",
+    ];
+
+    run_ok({
+        let mut plan = daydream();
+        plan.arg("sweep").args(small_grid).args([
+            "--shards",
+            "2",
+            "--run-dir",
+            run_dir.to_str().unwrap(),
+        ]);
+        plan
+    });
+
+    // Simulate the dead worker: claim shard 0 by hand (the same rename
+    // the claim protocol performs) and leave behind a long-expired lease.
+    let todo = run_dir.join("todo/shard-0000.json");
+    let lease = run_dir.join("leases/shard-0000.json");
+    std::fs::rename(&todo, &lease).unwrap();
+    std::fs::write(
+        run_dir.join("leases/shard-0000.lease"),
+        r#"{"index": 0, "worker": "crashed-worker", "claimed_unix_ms": 1000, "ttl_ms": 1}"#,
+    )
+    .unwrap();
+
+    let stdout = run_ok({
+        let mut worker = daydream();
+        worker
+            .args(["sweep-worker", "--run-dir", run_dir.to_str().unwrap()])
+            .args(["--worker-id", "rescuer", "--threads", "2"]);
+        worker
+    });
+    assert!(
+        stdout.contains("1 stale leases reclaimed"),
+        "worker output: {stdout}"
+    );
+    assert!(stdout.contains("run is drained"), "worker output: {stdout}");
+
+    // The merged report covers every scenario — nothing was lost.
+    let merged_path = dir.join("merged.json");
+    run_ok({
+        let mut merge = daydream();
+        merge
+            .args(["sweep-merge", "--run-dir", run_dir.to_str().unwrap()])
+            .args(["--out", merged_path.to_str().unwrap()]);
+        merge
+    });
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&merged_path).unwrap()).unwrap();
+    assert_eq!(report["scenario_count"], 5u64);
+    assert_eq!(report["results"].as_array().unwrap().len(), 5);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Re-planning a run directory with a different grid must be rejected;
+/// sharded invocations reject single-process-only options.
+#[test]
+fn sharded_sweep_guards_against_operator_mistakes() {
+    let dir = tmp_dir("guards");
+    let run_dir = dir.join("run");
+    let base: &[&str] = &[
+        "--models",
+        "ResNet-50",
+        "--batches",
+        "4",
+        "--opts",
+        "amp,gist",
+    ];
+
+    run_ok({
+        let mut plan = daydream();
+        plan.arg("sweep").args(base).args([
+            "--shards",
+            "2",
+            "--run-dir",
+            run_dir.to_str().unwrap(),
+        ]);
+        plan
+    });
+
+    // Same run dir, different grid: refused.
+    let out = daydream()
+        .arg("sweep")
+        .args(["--models", "BERT_Base", "--batches", "8", "--opts", "amp"])
+        .args(["--shards", "2", "--run-dir", run_dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("different sweep"), "got: {stderr}");
+
+    // Shard options without --run-dir: refused.
+    let out = daydream()
+        .arg("sweep")
+        .args(base)
+        .args(["--shards", "2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("requires --run-dir"),
+        "got: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // --out in sharded mode: refused (reports come from sweep-merge).
+    let out = daydream()
+        .arg("sweep")
+        .args(base)
+        .args(["--shards", "2", "--run-dir", run_dir.to_str().unwrap()])
+        .args(["--out", dir.join("x.json").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("sweep-merge"),
+        "got: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Merging an undrained run: refused, naming the missing shards.
+    let out = daydream()
+        .args(["sweep-merge", "--run-dir", run_dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("not drained"),
+        "got: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `sweep --shard-index` is idempotent and each index evaluates its own
+/// disjoint slice.
+#[test]
+fn shard_index_invocations_partition_the_work() {
+    let dir = tmp_dir("indexed");
+    let run_dir = dir.join("run");
+    let base: &[&str] = &[
+        "--models",
+        "ResNet-50",
+        "--batches",
+        "4",
+        "--opts",
+        "baseline,amp,gist,vdnn,bandwidth",
+    ];
+    let shard = |i: &str| {
+        let mut cmd = daydream();
+        cmd.arg("sweep")
+            .args(base)
+            .args(["--shards", "2", "--shard-index", i])
+            .args(["--run-dir", run_dir.to_str().unwrap(), "--threads", "2"]);
+        cmd
+    };
+    let first = run_ok(shard("0"));
+    assert!(first.contains("evaluated shard 0"), "got: {first}");
+    let again = run_ok(shard("0"));
+    assert!(
+        again.contains("already has results"),
+        "second run of the same shard is a no-op: {again}"
+    );
+    let second = run_ok(shard("1"));
+    assert!(second.contains("run is drained"), "got: {second}");
+
+    // Out-of-range index fails cleanly.
+    let out = shard("7").output().unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("out of range"),
+        "got: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `sweep-diff` spots a regression planted between two otherwise
+/// identical runs and `--fail-on-regression` turns it into a nonzero
+/// exit.
+#[test]
+fn sweep_diff_flags_planted_regressions() {
+    let dir = tmp_dir("diff");
+    let grid: &[&str] = &[
+        "--models",
+        "ResNet-50",
+        "--batches",
+        "4",
+        "--opts",
+        "amp,gist",
+    ];
+    let make_run = |name: &str| -> PathBuf {
+        let run_dir = dir.join(name);
+        run_ok({
+            let mut plan = daydream();
+            plan.arg("sweep")
+                .args(grid)
+                .args(["--shards", "1", "--shard-index", "0"])
+                .args(["--run-dir", run_dir.to_str().unwrap(), "--threads", "2"]);
+            plan
+        });
+        run_ok({
+            let mut merge = daydream();
+            merge.args(["sweep-merge", "--run-dir", run_dir.to_str().unwrap()]);
+            merge
+        });
+        run_dir
+    };
+    let a = make_run("run-a");
+    let b = make_run("run-b");
+
+    // Identical runs diff clean even with --fail-on-regression.
+    let clean = run_ok({
+        let mut diff = daydream();
+        diff.args([
+            "sweep-diff",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--fail-on-regression",
+        ]);
+        diff
+    });
+    assert!(clean.contains("0 regressions"), "got: {clean}");
+
+    // Plant a 20% slowdown in run B's merged report.
+    slow_first_result(&b.join("merged.json"));
+    let out = daydream()
+        .args([
+            "sweep-diff",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--fail-on-regression",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "regression must fail the diff");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 regressions"), "got: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Multiplies the first ranked result's predicted time by 1.2, editing
+/// the merged JSON the way a regressed cost model would.
+fn slow_first_result(merged: &Path) {
+    let json = std::fs::read_to_string(merged).unwrap();
+    let report: serde_json::Value = serde_json::from_str(&json).unwrap();
+    let old = report["results"][0]["predicted_ns"].as_u64().unwrap();
+    let new = old * 12 / 10;
+    // The value appears as `"predicted_ns": N`; patch its first
+    // occurrence (rank order guarantees it belongs to results[0]).
+    let needle = format!("\"predicted_ns\": {old}");
+    let patched = json.replacen(&needle, &format!("\"predicted_ns\": {new}"), 1);
+    assert_ne!(patched, json, "needle {needle} not found");
+    std::fs::write(merged, patched).unwrap();
+}

@@ -81,6 +81,55 @@ fn sweep_end_to_end_with_report_and_cache() {
 }
 
 #[test]
+fn sweep_top_controls_ranked_row_count() {
+    let base = [
+        "sweep",
+        "--models",
+        "ResNet-50",
+        "--batches",
+        "4",
+        "--opts",
+        "baseline,amp,gist,vdnn,bandwidth",
+        "--threads",
+        "2",
+    ];
+    let out = daydream().args(base).args(["--top", "2"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let ranked_rows = stdout
+        .lines()
+        .filter(|l| l.starts_with("1 ") || l.starts_with("2 ") || l.starts_with("3 "))
+        .count();
+    assert_eq!(ranked_rows, 2, "--top 2 prints two ranked rows: {stdout}");
+    assert!(
+        stdout.contains("... 3 more rows"),
+        "truncation is announced: {stdout}"
+    );
+
+    // Default --top 15 shows all five rows, no truncation notice.
+    let out = daydream().args(base).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("more rows"), "got: {stdout}");
+    assert!(
+        stdout.lines().any(|l| l.starts_with("5    ")),
+        "all five ranked rows print: {stdout}"
+    );
+
+    // Garbage --top is an argument error, not a silent default.
+    let out = daydream()
+        .args(base)
+        .args(["--top", "lots"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("invalid value for --top"),
+        "got: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn sweep_rejects_unknown_model_with_nonzero_exit() {
     let out = daydream()
         .args(["sweep", "--models", "AlexNet"])

@@ -1,0 +1,197 @@
+//! Merging: union the per-shard partial results back into one
+//! [`SweepReport`] — byte-identical to the single-process sweep.
+
+use daydream_sweep::{SweepCache, SweepReport};
+use std::collections::HashSet;
+
+use crate::rundir::{write_json_atomic, RunDir};
+
+/// Merges every shard's partial outcomes into a ranked [`SweepReport`].
+///
+/// Fails if any shard is incomplete, if a scenario fingerprint appears
+/// twice (shards must be disjoint), or if the outcome count disagrees
+/// with the manifest. The `cached` flag is normalized to `false` so the
+/// merged report is byte-identical to a cold single-process sweep of the
+/// same grid, regardless of which worker-local caches answered what:
+/// [`SweepReport::from_outcomes`] ranks by (predicted time, label), and
+/// every prediction is deterministic, so the union carries no trace of
+/// how the scenarios were split.
+pub fn merge_run(run: &RunDir) -> Result<SweepReport, String> {
+    let manifest = run.manifest()?;
+    let mut outcomes = Vec::with_capacity(manifest.scenario_count);
+    let mut missing = Vec::new();
+    for index in 0..manifest.shards {
+        match run.partial(index)? {
+            Some(result) => {
+                if result.index != index {
+                    return Err(format!(
+                        "partial result for shard {index} reports index {} \
+                         (corrupt run directory)",
+                        result.index
+                    ));
+                }
+                outcomes.extend(result.outcomes);
+            }
+            None => missing.push(index),
+        }
+    }
+    if !missing.is_empty() {
+        let status = run.status()?;
+        return Err(format!(
+            "run is not drained: shard(s) {missing:?} have no results yet \
+             ({} todo, {} leased, {} done of {})",
+            status.todo, status.leased, status.done, status.shards
+        ));
+    }
+    if outcomes.len() != manifest.scenario_count {
+        return Err(format!(
+            "merged {} outcomes but the manifest expects {}",
+            outcomes.len(),
+            manifest.scenario_count
+        ));
+    }
+    let mut seen = HashSet::with_capacity(outcomes.len());
+    for o in &outcomes {
+        if !seen.insert(o.key.clone()) {
+            return Err(format!(
+                "scenario {} ('{}') appears in more than one shard result",
+                o.key, o.label
+            ));
+        }
+    }
+    for o in &mut outcomes {
+        o.cached = false;
+    }
+    Ok(SweepReport::from_outcomes(outcomes))
+}
+
+/// Writes the merged report into the run directory (`merged.json`),
+/// atomically. This is what [`crate::diff_runs`] reads.
+pub fn write_merged(run: &RunDir, report: &SweepReport) -> Result<(), String> {
+    write_json_atomic(&run.merged_path(), report)
+}
+
+/// Loads a previously written merged report, if any.
+pub fn load_merged(run: &RunDir) -> Result<Option<SweepReport>, String> {
+    let path = run.merged_path();
+    match std::fs::read_to_string(&path) {
+        Ok(json) => serde_json::from_str(&json)
+            .map(Some)
+            .map_err(|e| format!("invalid merged report {}: {e}", path.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}
+
+/// Builds a [`SweepCache`] holding every merged outcome, so a sharded
+/// run can seed later single-process sweeps (`--cache-file`): the
+/// partial-result format is the cache's own entry type.
+pub fn merged_cache(report: &SweepReport) -> SweepCache {
+    let cache = SweepCache::new();
+    for o in &report.results {
+        if let Ok(fp) = u64::from_str_radix(&o.key, 16) {
+            cache.insert(fp, o);
+        }
+    }
+    cache
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ShardPlan;
+    use crate::rundir::RunDir;
+    use crate::worker::{run_worker, WorkerConfig};
+    use daydream_sweep::{SweepEngine, SweepGrid};
+
+    fn grid() -> SweepGrid {
+        SweepGrid::builder()
+            .models(["ResNet-50"])
+            .batches([4])
+            .opts([
+                "baseline",
+                "amp",
+                "gist",
+                "bandwidth",
+                "vdnn",
+                "reconstruct-bn",
+            ])
+            .build()
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "daydream-merge-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn merged_report_is_byte_identical_to_single_process() {
+        let root = tmp_dir("identical");
+        let scenarios = grid().expand().unwrap();
+        let plan = ShardPlan::partition(scenarios, 3).unwrap();
+        let (run, _) = RunDir::init_or_open(&root, "t", &plan).unwrap();
+        // Three workers with *separate* engines (as separate processes
+        // would have), interleaving claims.
+        for _ in 0..3 {
+            let engine = SweepEngine::new(1);
+            let cfg = WorkerConfig::default();
+            // Each worker claims at most one shard then yields.
+            if let Some(claim) = run.claim_any(&cfg.worker_id, cfg.lease_ttl_ms).unwrap() {
+                let outcomes = engine.run_scenarios(claim.scenarios.clone()).unwrap();
+                run.complete(&claim, outcomes).unwrap();
+            }
+        }
+        let merged = merge_run(&run).unwrap();
+
+        let single = SweepEngine::new(2).run(&grid()).unwrap();
+        assert_eq!(merged, single);
+        assert_eq!(
+            merged.to_json().unwrap(),
+            single.to_json().unwrap(),
+            "serialized forms must match byte-for-byte"
+        );
+        assert_eq!(merged.to_csv(), single.to_csv());
+
+        write_merged(&run, &merged).unwrap();
+        assert_eq!(load_merged(&run).unwrap().unwrap(), merged);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn merge_refuses_an_undrained_run() {
+        let root = tmp_dir("undrained");
+        let plan = ShardPlan::partition(grid().expand().unwrap(), 2).unwrap();
+        let (run, _) = RunDir::init_or_open(&root, "t", &plan).unwrap();
+        let engine = SweepEngine::new(1);
+        let claim = run.claim(0, "w0", 60_000).unwrap().unwrap();
+        let outcomes = engine.run_scenarios(claim.scenarios.clone()).unwrap();
+        run.complete(&claim, outcomes).unwrap();
+        let err = merge_run(&run).unwrap_err();
+        assert!(err.contains("not drained"), "got: {err}");
+        assert!(err.contains("[1]"), "names the missing shard: {err}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn merged_cache_seeds_a_fresh_engine() {
+        let root = tmp_dir("cache");
+        let plan = ShardPlan::partition(grid().expand().unwrap(), 2).unwrap();
+        let (run, _) = RunDir::init_or_open(&root, "t", &plan).unwrap();
+        let engine = SweepEngine::new(2);
+        run_worker(&run, &engine, &WorkerConfig::default()).unwrap();
+        let merged = merge_run(&run).unwrap();
+
+        let cache_json = merged_cache(&merged).to_json().unwrap();
+        let fresh = SweepEngine::new(2);
+        fresh.cache().load_json(&cache_json).unwrap();
+        let report = fresh.run(&grid()).unwrap();
+        assert_eq!(report.cache_hits, report.scenario_count);
+        assert_eq!(report.executed, 0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

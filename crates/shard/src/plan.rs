@@ -1,0 +1,171 @@
+//! Shard planning: a deterministic, balanced partition of a grid's
+//! expanded scenario list, keyed by scenario content fingerprints.
+
+use daydream_sweep::scenario::fnv1a64;
+use daydream_sweep::Scenario;
+
+/// A deterministic partition of scenarios into N balanced shards.
+///
+/// Scenarios are ordered by [`Scenario::fingerprint`] (a stable FNV-1a
+/// content hash) and striped round-robin across shards, so:
+///
+/// - every process planning the same grid derives the same partition,
+///   regardless of grid iteration order;
+/// - shard sizes differ by at most one scenario;
+/// - a scenario's shard never depends on thread scheduling or wall time.
+///
+/// Duplicate fingerprints are rejected: two scenarios hashing to the
+/// same key would silently merge in the result cache and the merged
+/// report, dropping one of them from the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlan {
+    shards: Vec<Vec<Scenario>>,
+    grid_fingerprint: u64,
+}
+
+impl ShardPlan {
+    /// Partitions `scenarios` into `shards` balanced shards.
+    pub fn partition(mut scenarios: Vec<Scenario>, shards: usize) -> Result<ShardPlan, String> {
+        if shards == 0 {
+            return Err("shard count must be >= 1".into());
+        }
+        if scenarios.is_empty() {
+            return Err("cannot shard an empty scenario list".into());
+        }
+        scenarios.sort_by_key(Scenario::fingerprint);
+        if let Some(w) = scenarios
+            .windows(2)
+            .find(|w| w[0].fingerprint() == w[1].fingerprint())
+        {
+            return Err(format!(
+                "fingerprint collision between scenarios '{}' and '{}' ({}): sharding \
+                 would silently merge their results",
+                w[0].label(),
+                w[1].label(),
+                w[0].fingerprint_hex()
+            ));
+        }
+        let grid_fingerprint = grid_fingerprint_of(&scenarios);
+        let mut out = vec![Vec::new(); shards];
+        for (i, s) in scenarios.into_iter().enumerate() {
+            out[i % shards].push(s);
+        }
+        Ok(ShardPlan {
+            shards: out,
+            grid_fingerprint,
+        })
+    }
+
+    /// Number of shards in the plan.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total scenarios across all shards.
+    pub fn scenario_count(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum()
+    }
+
+    /// The scenarios assigned to shard `index`.
+    pub fn shard(&self, index: usize) -> &[Scenario] {
+        &self.shards[index]
+    }
+
+    /// Per-shard sizes, in shard order.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(Vec::len).collect()
+    }
+
+    /// A stable content hash of the whole partitioned grid: FNV-1a over
+    /// the sorted scenario fingerprints. Two plans agree on this exactly
+    /// when they cover the same scenario set, so a run directory can
+    /// reject a re-plan from a different grid.
+    pub fn grid_fingerprint(&self) -> u64 {
+        self.grid_fingerprint
+    }
+
+    /// [`ShardPlan::grid_fingerprint`] as fixed-width hex (the manifest
+    /// encoding).
+    pub fn grid_fingerprint_hex(&self) -> String {
+        format!("{:016x}", self.grid_fingerprint)
+    }
+}
+
+/// FNV-1a over the big-endian bytes of already-sorted fingerprints.
+fn grid_fingerprint_of(sorted: &[Scenario]) -> u64 {
+    let mut bytes = Vec::with_capacity(sorted.len() * 8);
+    for s in sorted {
+        bytes.extend_from_slice(&s.fingerprint().to_be_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daydream_sweep::SweepGrid;
+
+    fn scenarios() -> Vec<Scenario> {
+        SweepGrid::default().expand().unwrap()
+    }
+
+    #[test]
+    fn partition_is_balanced_and_complete() {
+        let all = scenarios();
+        let plan = ShardPlan::partition(all.clone(), 4).unwrap();
+        assert_eq!(plan.shard_count(), 4);
+        assert_eq!(plan.scenario_count(), all.len());
+        let sizes = plan.shard_sizes();
+        let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "balanced within one scenario: {sizes:?}");
+        // Every input scenario lands in exactly one shard.
+        let mut seen: Vec<u64> = (0..plan.shard_count())
+            .flat_map(|i| plan.shard(i).iter().map(Scenario::fingerprint))
+            .collect();
+        seen.sort_unstable();
+        let mut expected: Vec<u64> = all.iter().map(Scenario::fingerprint).collect();
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn partition_ignores_input_order() {
+        let all = scenarios();
+        let mut reversed = all.clone();
+        reversed.reverse();
+        let a = ShardPlan::partition(all, 3).unwrap();
+        let b = ShardPlan::partition(reversed, 3).unwrap();
+        assert_eq!(a, b, "assignment depends only on fingerprints");
+        assert_eq!(a.grid_fingerprint(), b.grid_fingerprint());
+    }
+
+    #[test]
+    fn more_shards_than_scenarios_leaves_empty_shards() {
+        let two: Vec<Scenario> = scenarios().into_iter().take(2).collect();
+        let plan = ShardPlan::partition(two, 5).unwrap();
+        assert_eq!(plan.shard_count(), 5);
+        assert_eq!(plan.scenario_count(), 2);
+        assert_eq!(plan.shard_sizes().iter().filter(|&&n| n == 0).count(), 3);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        assert!(ShardPlan::partition(scenarios(), 0).is_err());
+        assert!(ShardPlan::partition(Vec::new(), 2).is_err());
+        // A duplicated scenario is a fingerprint collision by definition.
+        let mut dup = scenarios();
+        let first = dup[0].clone();
+        dup.push(first);
+        let err = ShardPlan::partition(dup, 2).unwrap_err();
+        assert!(err.contains("fingerprint collision"), "got: {err}");
+    }
+
+    #[test]
+    fn grid_fingerprint_distinguishes_grids() {
+        let all = scenarios();
+        let fewer: Vec<Scenario> = all.iter().skip(1).cloned().collect();
+        let a = ShardPlan::partition(all, 2).unwrap();
+        let b = ShardPlan::partition(fewer, 2).unwrap();
+        assert_ne!(a.grid_fingerprint(), b.grid_fingerprint());
+    }
+}

@@ -1,0 +1,747 @@
+//! The on-disk coordination protocol: a run directory that many worker
+//! processes share with no coordinator and no network.
+//!
+//! ```text
+//! <run>/
+//!   manifest.json            run identity, shard count, grid fingerprint
+//!   todo/shard-0003.json     unclaimed shard (its scenario list)
+//!   leases/shard-0003.json   claimed shard (renamed here atomically)
+//!   leases/shard-0003.lease  claim metadata: worker, claim time, TTL
+//!   partial/shard-0003.json  completed shard's outcomes
+//!   merged.json              union of all partials (written by merge)
+//! ```
+//!
+//! Claiming is **rename-based**: a worker claims shard k by renaming
+//! `todo/shard-k.json` into `leases/`. `rename(2)` of one source path is
+//! atomic, so when two workers race, exactly one succeeds and the other
+//! sees `NotFound` and moves on. Completion writes the partial result
+//! via write-to-temp-then-rename, so readers never observe a truncated
+//! file. A crashed worker leaves its lease behind; any worker may
+//! reclaim a lease whose TTL has expired by renaming it back into
+//! `todo/` (again atomic — one reclaimer wins). Because evaluation is
+//! deterministic, the worst case of a reclaim race is the same shard
+//! evaluated twice with identical results — scenarios are never lost.
+
+use daydream_sweep::report::ScenarioOutcome;
+use daydream_sweep::Scenario;
+use serde::{Deserialize, Serialize};
+use std::io::ErrorKind;
+use std::path::{Path, PathBuf};
+
+use crate::plan::ShardPlan;
+
+/// Manifest format version this crate reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// The run directory's JSON manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// On-disk format version, for forward-compatibility checks.
+    pub format_version: u32,
+    /// Caller-chosen run identifier (the run store uses `run-NNNN`).
+    pub run_id: String,
+    /// Unix milliseconds when the run was planned.
+    pub created_unix_ms: u64,
+    /// Number of shards in the plan.
+    pub shards: usize,
+    /// Total scenarios across all shards.
+    pub scenario_count: usize,
+    /// [`ShardPlan::grid_fingerprint_hex`] — identifies the grid so a
+    /// second planner with a different grid is rejected.
+    pub grid_fingerprint: String,
+    /// Per-shard scenario counts, in shard order.
+    pub shard_sizes: Vec<usize>,
+}
+
+/// One shard's scenario list (`todo/` and `leases/` file content).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardFile {
+    /// Shard index within the plan.
+    pub index: usize,
+    /// The scenarios this shard evaluates.
+    pub scenarios: Vec<Scenario>,
+}
+
+/// Claim metadata written next to a leased shard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardLease {
+    /// Shard index the lease covers.
+    pub index: usize,
+    /// Claiming worker's identifier.
+    pub worker: String,
+    /// Unix milliseconds when the shard was claimed.
+    pub claimed_unix_ms: u64,
+    /// Milliseconds after `claimed_unix_ms` at which any worker may
+    /// treat this lease as abandoned and reclaim the shard.
+    pub ttl_ms: u64,
+}
+
+impl ShardLease {
+    /// Whether the lease had expired at `now_ms`.
+    pub fn is_stale(&self, now_ms: u64) -> bool {
+        now_ms >= self.claimed_unix_ms.saturating_add(self.ttl_ms)
+    }
+}
+
+/// A completed shard's outcomes (`partial/` file content).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardResult {
+    /// Shard index within the plan.
+    pub index: usize,
+    /// Worker that evaluated the shard.
+    pub worker: String,
+    /// One outcome per scenario, in shard order.
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
+/// A successfully claimed shard, ready to evaluate.
+#[derive(Debug, Clone)]
+pub struct ClaimedShard {
+    /// Shard index within the plan.
+    pub index: usize,
+    /// The scenarios to evaluate.
+    pub scenarios: Vec<Scenario>,
+    /// Worker id recorded in the lease.
+    pub worker: String,
+}
+
+/// Counts of shard states, for progress reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStatus {
+    /// Shards waiting in `todo/`.
+    pub todo: usize,
+    /// Shards currently leased (claimed, not yet completed).
+    pub leased: usize,
+    /// Shards with a partial result.
+    pub done: usize,
+    /// Total shards in the manifest.
+    pub shards: usize,
+}
+
+impl RunStatus {
+    /// Whether every shard has a partial result.
+    pub fn is_drained(&self) -> bool {
+        self.done == self.shards
+    }
+}
+
+/// Unix milliseconds now (the protocol's only clock).
+pub fn now_unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Handle on an initialized run directory.
+#[derive(Debug, Clone)]
+pub struct RunDir {
+    root: PathBuf,
+}
+
+impl RunDir {
+    /// Initializes `root` from a plan, or opens it if another process
+    /// already did. Initialization is atomic: the whole layout is staged
+    /// in a sibling directory and renamed into place, so concurrent
+    /// first invocations race safely (exactly one rename wins; losers
+    /// open the winner's directory). Returns the handle and whether this
+    /// call created the directory. Opening validates that the existing
+    /// run covers the same grid (by fingerprint) and shard count.
+    pub fn init_or_open(
+        root: impl Into<PathBuf>,
+        run_id: &str,
+        plan: &ShardPlan,
+    ) -> Result<(RunDir, bool), String> {
+        let root = root.into();
+        if root.join("manifest.json").exists() {
+            let run = RunDir::open(&root)?;
+            run.validate_plan(plan)?;
+            return Ok((run, false));
+        }
+
+        let staging = staging_path(&root)?;
+        let build = || -> std::io::Result<()> {
+            std::fs::create_dir_all(staging.join("todo"))?;
+            std::fs::create_dir_all(staging.join("leases"))?;
+            std::fs::create_dir_all(staging.join("partial"))?;
+            for index in 0..plan.shard_count() {
+                let shard = ShardFile {
+                    index,
+                    scenarios: plan.shard(index).to_vec(),
+                };
+                std::fs::write(
+                    staging.join("todo").join(shard_name(index)),
+                    serde_json::to_string_pretty(&shard)
+                        .map_err(|e| std::io::Error::other(e.to_string()))?,
+                )?;
+            }
+            let manifest = RunManifest {
+                format_version: FORMAT_VERSION,
+                run_id: run_id.to_string(),
+                created_unix_ms: now_unix_ms(),
+                shards: plan.shard_count(),
+                scenario_count: plan.scenario_count(),
+                grid_fingerprint: plan.grid_fingerprint_hex(),
+                shard_sizes: plan.shard_sizes(),
+            };
+            std::fs::write(
+                staging.join("manifest.json"),
+                serde_json::to_string_pretty(&manifest)
+                    .map_err(|e| std::io::Error::other(e.to_string()))?,
+            )
+        };
+        if let Err(e) = build() {
+            std::fs::remove_dir_all(&staging).ok();
+            return Err(format!("cannot stage run directory: {e}"));
+        }
+        if let Some(parent) = root.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+        match std::fs::rename(&staging, &root) {
+            Ok(()) => Ok((RunDir { root }, true)),
+            Err(_) => {
+                // Lost the init race (or `root` pre-existed non-empty):
+                // discard our staging and open whatever won.
+                std::fs::remove_dir_all(&staging).ok();
+                let run = RunDir::open(&root)?;
+                run.validate_plan(plan)?;
+                Ok((run, false))
+            }
+        }
+    }
+
+    /// Opens an existing run directory (its manifest must parse).
+    pub fn open(root: impl Into<PathBuf>) -> Result<RunDir, String> {
+        let run = RunDir { root: root.into() };
+        let manifest = run.manifest()?;
+        if manifest.format_version != FORMAT_VERSION {
+            return Err(format!(
+                "run directory {} has format version {} (this build reads {FORMAT_VERSION})",
+                run.root.display(),
+                manifest.format_version
+            ));
+        }
+        Ok(run)
+    }
+
+    /// The run directory path.
+    pub fn path(&self) -> &Path {
+        &self.root
+    }
+
+    /// Reads and parses the manifest.
+    pub fn manifest(&self) -> Result<RunManifest, String> {
+        let path = self.root.join("manifest.json");
+        let json = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        serde_json::from_str(&json).map_err(|e| format!("invalid manifest {}: {e}", path.display()))
+    }
+
+    fn validate_plan(&self, plan: &ShardPlan) -> Result<(), String> {
+        let manifest = self.manifest()?;
+        if manifest.grid_fingerprint != plan.grid_fingerprint_hex()
+            || manifest.shards != plan.shard_count()
+        {
+            return Err(format!(
+                "run directory {} was planned for a different sweep: manifest has {} shards \
+                 over grid {}, this invocation has {} shards over grid {}",
+                self.root.display(),
+                manifest.shards,
+                manifest.grid_fingerprint,
+                plan.shard_count(),
+                plan.grid_fingerprint_hex()
+            ));
+        }
+        Ok(())
+    }
+
+    fn todo_path(&self, index: usize) -> PathBuf {
+        self.root.join("todo").join(shard_name(index))
+    }
+
+    fn lease_path(&self, index: usize) -> PathBuf {
+        self.root.join("leases").join(shard_name(index))
+    }
+
+    fn lease_meta_path(&self, index: usize) -> PathBuf {
+        self.root
+            .join("leases")
+            .join(format!("shard-{index:04}.lease"))
+    }
+
+    fn partial_path(&self, index: usize) -> PathBuf {
+        self.root.join("partial").join(shard_name(index))
+    }
+
+    /// Path of the merged report, if written.
+    pub fn merged_path(&self) -> PathBuf {
+        self.root.join("merged.json")
+    }
+
+    /// Attempts to claim shard `index`: atomic rename `todo/ -> leases/`
+    /// followed by writing the lease metadata. Returns `Ok(None)` when
+    /// the shard is not in `todo/` (already claimed or completed), or
+    /// when the claim was snatched back by a racing reclaimer before we
+    /// could read it — a lost claim, never an error.
+    pub fn claim(
+        &self,
+        index: usize,
+        worker: &str,
+        ttl_ms: u64,
+    ) -> Result<Option<ClaimedShard>, String> {
+        let todo = self.todo_path(index);
+        let lease = self.lease_path(index);
+        match std::fs::rename(&todo, &lease) {
+            Ok(()) => {}
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("cannot claim shard {index}: {e}")),
+        }
+        // Refresh the lease file's mtime to the claim time: rename(2)
+        // preserves the source mtime (the *planning* time), which would
+        // make the sidecar-less staleness fallback in
+        // [`RunDir::reclaim_stale`] treat every claim in a TTL-old run
+        // as instantly abandoned.
+        if let Ok(f) = std::fs::File::options().write(true).open(&lease) {
+            f.set_modified(std::time::SystemTime::now()).ok();
+        }
+        let meta = ShardLease {
+            index,
+            worker: worker.to_string(),
+            claimed_unix_ms: now_unix_ms(),
+            ttl_ms,
+        };
+        write_json_atomic(&self.lease_meta_path(index), &meta)?;
+        let json = match std::fs::read_to_string(&lease) {
+            Ok(j) => j,
+            // A reclaimer judged us dead and moved the shard back to
+            // `todo/` between our rename and this read: the claim is
+            // lost, not the run.
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("cannot read claimed shard {index}: {e}")),
+        };
+        let shard: ShardFile = serde_json::from_str(&json)
+            .map_err(|e| format!("invalid shard file for shard {index}: {e}"))?;
+        if shard.index != index {
+            return Err(format!(
+                "shard file {} claims index {} (corrupt run directory)",
+                lease.display(),
+                shard.index
+            ));
+        }
+        Ok(Some(ClaimedShard {
+            index,
+            scenarios: shard.scenarios,
+            worker: worker.to_string(),
+        }))
+    }
+
+    /// Renews a held lease: rewrites the sidecar with a fresh claim
+    /// timestamp (and refreshes the lease file's mtime for the
+    /// sidecar-less fallback). Workers heartbeat this during long
+    /// evaluations so peers don't reclaim live work. Best-effort by
+    /// design: if the lease was already reclaimed, the renewal recreates
+    /// only a harmless orphan sidecar that the next claim overwrites.
+    pub fn renew(&self, index: usize, worker: &str, ttl_ms: u64) -> Result<(), String> {
+        let meta = ShardLease {
+            index,
+            worker: worker.to_string(),
+            claimed_unix_ms: now_unix_ms(),
+            ttl_ms,
+        };
+        write_json_atomic(&self.lease_meta_path(index), &meta)?;
+        if let Ok(f) = std::fs::File::options()
+            .write(true)
+            .open(self.lease_path(index))
+        {
+            f.set_modified(std::time::SystemTime::now()).ok();
+        }
+        Ok(())
+    }
+
+    /// Claims the lowest-indexed shard still in `todo/`, if any.
+    pub fn claim_any(&self, worker: &str, ttl_ms: u64) -> Result<Option<ClaimedShard>, String> {
+        for index in self.indices_in("todo")? {
+            if let Some(claim) = self.claim(index, worker, ttl_ms)? {
+                return Ok(Some(claim));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Completes a claimed shard: atomically writes the partial result,
+    /// then releases the lease. Write-then-release ordering means a
+    /// crash can only lose the *lease* (later reclaimed), never the
+    /// result.
+    pub fn complete(
+        &self,
+        claim: &ClaimedShard,
+        outcomes: Vec<ScenarioOutcome>,
+    ) -> Result<(), String> {
+        if outcomes.len() != claim.scenarios.len() {
+            return Err(format!(
+                "shard {}: {} outcomes for {} scenarios",
+                claim.index,
+                outcomes.len(),
+                claim.scenarios.len()
+            ));
+        }
+        let result = ShardResult {
+            index: claim.index,
+            worker: claim.worker.clone(),
+            outcomes,
+        };
+        write_json_atomic(&self.partial_path(claim.index), &result)?;
+        // Best-effort release; a leftover lease next to a partial is
+        // treated as completed by every reader.
+        std::fs::remove_file(self.lease_meta_path(claim.index)).ok();
+        std::fs::remove_file(self.lease_path(claim.index)).ok();
+        Ok(())
+    }
+
+    /// Reads shard `index`'s partial result, if completed.
+    pub fn partial(&self, index: usize) -> Result<Option<ShardResult>, String> {
+        let path = self.partial_path(index);
+        let json = match std::fs::read_to_string(&path) {
+            Ok(j) => j,
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+        };
+        let result: ShardResult = serde_json::from_str(&json)
+            .map_err(|e| format!("invalid partial result {}: {e}", path.display()))?;
+        Ok(Some(result))
+    }
+
+    /// Reads shard `index`'s lease metadata, if present.
+    pub fn lease(&self, index: usize) -> Result<Option<ShardLease>, String> {
+        let path = self.lease_meta_path(index);
+        let json = match std::fs::read_to_string(&path) {
+            Ok(j) => j,
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+        };
+        serde_json::from_str(&json)
+            .map(Some)
+            .map_err(|e| format!("invalid lease {}: {e}", path.display()))
+    }
+
+    /// Returns abandoned leases to `todo/`. A lease is abandoned when
+    /// its shard has no partial result and either its metadata's TTL
+    /// expired, or its metadata is missing (a worker died between the
+    /// claim rename and the metadata write) and the lease file's mtime
+    /// is older than `default_ttl_ms`. The metadata is removed *before*
+    /// the rename so a re-claimer's fresh lease is never deleted by a
+    /// stale reclaimer. Returns the reclaimed shard indices.
+    pub fn reclaim_stale(&self, now_ms: u64, default_ttl_ms: u64) -> Result<Vec<usize>, String> {
+        let mut reclaimed = Vec::new();
+        for index in self.indices_in("leases")? {
+            if self.partial_path(index).exists() {
+                // Completed but lease removal was lost in a crash:
+                // finish the release instead of re-queuing done work.
+                std::fs::remove_file(self.lease_meta_path(index)).ok();
+                std::fs::remove_file(self.lease_path(index)).ok();
+                continue;
+            }
+            let stale = match self.lease(index)? {
+                Some(meta) => meta.is_stale(now_ms),
+                None => std::fs::metadata(self.lease_path(index))
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+                    .map(|d| now_ms >= (d.as_millis() as u64).saturating_add(default_ttl_ms))
+                    .unwrap_or(false),
+            };
+            if !stale {
+                continue;
+            }
+            std::fs::remove_file(self.lease_meta_path(index)).ok();
+            match std::fs::rename(self.lease_path(index), self.todo_path(index)) {
+                Ok(()) => reclaimed.push(index),
+                // Another reclaimer won, or the owner completed after
+                // our staleness check; both are fine.
+                Err(e) if e.kind() == ErrorKind::NotFound => {}
+                Err(e) => return Err(format!("cannot reclaim shard {index}: {e}")),
+            }
+        }
+        Ok(reclaimed)
+    }
+
+    /// Counts shards by state.
+    pub fn status(&self) -> Result<RunStatus, String> {
+        let manifest = self.manifest()?;
+        let mut status = RunStatus {
+            shards: manifest.shards,
+            ..RunStatus::default()
+        };
+        for index in 0..manifest.shards {
+            if self.partial_path(index).exists() {
+                status.done += 1;
+            } else if self.lease_path(index).exists() {
+                status.leased += 1;
+            } else if self.todo_path(index).exists() {
+                status.todo += 1;
+            }
+        }
+        Ok(status)
+    }
+
+    /// Shard indices currently present in a state subdirectory, sorted.
+    fn indices_in(&self, state: &str) -> Result<Vec<usize>, String> {
+        let dir = self.root.join(state);
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+        let mut indices = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(idx) = name
+                .strip_prefix("shard-")
+                .and_then(|r| r.strip_suffix(".json"))
+                .and_then(|n| n.parse::<usize>().ok())
+            {
+                indices.push(idx);
+            }
+        }
+        indices.sort_unstable();
+        Ok(indices)
+    }
+}
+
+fn shard_name(index: usize) -> String {
+    format!("shard-{index:04}.json")
+}
+
+fn staging_path(root: &Path) -> Result<PathBuf, String> {
+    // Unique per call, not just per process: two threads initializing
+    // the same root (e.g. concurrent `RunStore::create_run`) must not
+    // interleave writes in a shared staging directory.
+    static STAGING_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = STAGING_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let name = root
+        .file_name()
+        .ok_or_else(|| format!("run directory path {} has no name", root.display()))?
+        .to_string_lossy();
+    Ok(root.with_file_name(format!(".{name}.init-{}-{seq}", std::process::id())))
+}
+
+/// Write-to-temp-then-rename, so concurrent readers and a crash mid-write
+/// never observe a truncated JSON file.
+pub(crate) fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, json).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot publish {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daydream_sweep::SweepGrid;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "daydream-rundir-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn plan(shards: usize) -> ShardPlan {
+        ShardPlan::partition(SweepGrid::default().expand().unwrap(), shards).unwrap()
+    }
+
+    fn outcome_stub(s: &Scenario) -> ScenarioOutcome {
+        ScenarioOutcome {
+            key: s.fingerprint_hex(),
+            label: s.label(),
+            model: s.model.clone(),
+            batch: s.batch,
+            opt: s.opt.label(),
+            baseline_ns: 100,
+            predicted_ns: 90,
+            speedup: 100.0 / 90.0,
+            memory_bytes: 1,
+            comm_bytes: 0,
+            cached: false,
+        }
+    }
+
+    #[test]
+    fn init_claim_complete_drain() {
+        let root = tmp_dir("lifecycle");
+        let p = plan(3);
+        let (run, created) = RunDir::init_or_open(&root, "t", &p).unwrap();
+        assert!(created);
+        let manifest = run.manifest().unwrap();
+        assert_eq!(manifest.shards, 3);
+        assert_eq!(manifest.scenario_count, p.scenario_count());
+        assert_eq!(manifest.grid_fingerprint, p.grid_fingerprint_hex());
+        assert_eq!(run.status().unwrap().todo, 3);
+
+        // Second init of the same plan opens instead of re-planning.
+        let (_, created_again) = RunDir::init_or_open(&root, "t", &p).unwrap();
+        assert!(!created_again);
+
+        // Claim all three; a fourth claim finds nothing.
+        let mut claims = Vec::new();
+        for _ in 0..3 {
+            claims.push(run.claim_any("w0", 60_000).unwrap().unwrap());
+        }
+        assert!(run.claim_any("w0", 60_000).unwrap().is_none());
+        assert_eq!(run.status().unwrap().leased, 3);
+
+        // A claimed shard cannot be claimed again by index either.
+        assert!(run.claim(claims[0].index, "w1", 60_000).unwrap().is_none());
+
+        for claim in &claims {
+            let outcomes = claim.scenarios.iter().map(outcome_stub).collect();
+            run.complete(claim, outcomes).unwrap();
+        }
+        let status = run.status().unwrap();
+        assert!(status.is_drained(), "{status:?}");
+        assert_eq!(run.partial(0).unwrap().unwrap().worker, "w0");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn init_rejects_a_different_grid() {
+        let root = tmp_dir("mismatch");
+        let p = plan(2);
+        RunDir::init_or_open(&root, "t", &p).unwrap();
+        let other = ShardPlan::partition(
+            SweepGrid::builder()
+                .models(["ResNet-50"])
+                .batches([4])
+                .opts(["amp"])
+                .build()
+                .expand()
+                .unwrap(),
+            2,
+        )
+        .unwrap();
+        let err = RunDir::init_or_open(&root, "t", &other).unwrap_err();
+        assert!(err.contains("different sweep"), "got: {err}");
+        // Same grid, different shard count is a mismatch too.
+        let err = RunDir::init_or_open(&root, "t", &plan(4)).unwrap_err();
+        assert!(err.contains("different sweep"), "got: {err}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn stale_leases_are_reclaimed_fresh_ones_kept() {
+        let root = tmp_dir("reclaim");
+        let (run, _) = RunDir::init_or_open(&root, "t", &plan(2)).unwrap();
+
+        // Shard 0: stale lease (TTL expired long ago). Shard 1: fresh.
+        let dead = run.claim(0, "dead-worker", 10).unwrap().unwrap();
+        let meta = ShardLease {
+            index: 0,
+            worker: "dead-worker".into(),
+            claimed_unix_ms: 0,
+            ttl_ms: 10,
+        };
+        write_json_atomic(&run.lease_meta_path(0), &meta).unwrap();
+        run.claim(1, "live-worker", 3_600_000).unwrap().unwrap();
+
+        let reclaimed = run.reclaim_stale(now_unix_ms(), 60_000).unwrap();
+        assert_eq!(reclaimed, vec![0]);
+        assert_eq!(run.status().unwrap().todo, 1);
+        assert_eq!(run.status().unwrap().leased, 1);
+
+        // The reclaimed shard is claimable again and completes normally.
+        let again = run.claim(0, "w2", 60_000).unwrap().unwrap();
+        assert_eq!(again.scenarios, dead.scenarios);
+        let outcomes = again.scenarios.iter().map(outcome_stub).collect();
+        run.complete(&again, outcomes).unwrap();
+        assert!(run.partial(0).unwrap().is_some());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn reclaim_with_missing_lease_metadata_uses_mtime() {
+        let root = tmp_dir("no-meta");
+        let (run, _) = RunDir::init_or_open(&root, "t", &plan(1)).unwrap();
+        run.claim(0, "w0", 60_000).unwrap().unwrap();
+        // Simulate a crash between the claim rename and the metadata
+        // write: no `.lease` sidecar exists.
+        std::fs::remove_file(run.lease_meta_path(0)).unwrap();
+        // With a generous default TTL the fresh file is kept...
+        assert!(run
+            .reclaim_stale(now_unix_ms(), 3_600_000)
+            .unwrap()
+            .is_empty());
+        // ...with TTL 0 it is immediately reclaimable.
+        assert_eq!(run.reclaim_stale(now_unix_ms(), 0).unwrap(), vec![0]);
+        assert_eq!(run.status().unwrap().todo, 1);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn claim_refreshes_mtime_so_old_runs_do_not_false_reclaim() {
+        let root = tmp_dir("mtime-refresh");
+        let (run, _) = RunDir::init_or_open(&root, "t", &plan(1)).unwrap();
+        // Backdate the planned shard file: the run is "old" relative to
+        // any TTL (rename preserves mtime, so without the refresh a
+        // fresh claim would inherit this ancient timestamp).
+        let f = std::fs::File::options()
+            .write(true)
+            .open(run.todo_path(0))
+            .unwrap();
+        f.set_modified(std::time::UNIX_EPOCH + std::time::Duration::from_secs(1))
+            .unwrap();
+        drop(f);
+        run.claim(0, "w0", 60_000).unwrap().unwrap();
+        // Crash before the sidecar write: staleness falls back to mtime,
+        // which must now reflect the *claim* time, not the plan time.
+        std::fs::remove_file(run.lease_meta_path(0)).unwrap();
+        assert!(
+            run.reclaim_stale(now_unix_ms(), 60_000).unwrap().is_empty(),
+            "a just-claimed shard in an old run must not be reclaimed"
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn renew_extends_a_lease() {
+        let root = tmp_dir("renew");
+        let (run, _) = RunDir::init_or_open(&root, "t", &plan(1)).unwrap();
+        run.claim(0, "w0", 1_000).unwrap().unwrap();
+        // Backdate the sidecar so the lease reads as expired...
+        let stale = ShardLease {
+            index: 0,
+            worker: "w0".into(),
+            claimed_unix_ms: 0,
+            ttl_ms: 1_000,
+        };
+        write_json_atomic(&run.lease_meta_path(0), &stale).unwrap();
+        // ...then renew: the lease is fresh again and survives reclaim.
+        run.renew(0, "w0", 1_000).unwrap();
+        let lease = run.lease(0).unwrap().unwrap();
+        assert!(!lease.is_stale(now_unix_ms()));
+        assert!(run.reclaim_stale(now_unix_ms(), 1_000).unwrap().is_empty());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn reclaim_releases_leases_of_completed_shards() {
+        let root = tmp_dir("done-lease");
+        let (run, _) = RunDir::init_or_open(&root, "t", &plan(1)).unwrap();
+        let claim = run.claim(0, "w0", 10).unwrap().unwrap();
+        let outcomes: Vec<ScenarioOutcome> = claim.scenarios.iter().map(outcome_stub).collect();
+        // Write the partial but "crash" before releasing the lease.
+        let result = ShardResult {
+            index: 0,
+            worker: "w0".into(),
+            outcomes,
+        };
+        write_json_atomic(&run.partial_path(0), &result).unwrap();
+        let reclaimed = run.reclaim_stale(now_unix_ms() + 1_000_000, 0).unwrap();
+        assert!(reclaimed.is_empty(), "done work is not re-queued");
+        assert!(!run.lease_path(0).exists(), "orphaned lease is released");
+        assert!(run.status().unwrap().is_drained());
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

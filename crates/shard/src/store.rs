@@ -1,0 +1,350 @@
+//! The persistent run store: an append-only `runs/` history of sweep
+//! runs, and diffing two runs for regression tracking of predicted
+//! times.
+
+use daydream_sweep::report::ScenarioOutcome;
+use daydream_sweep::SweepReport;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::merge::{load_merged, merge_run};
+use crate::plan::ShardPlan;
+use crate::rundir::RunDir;
+
+/// An append-only collection of run directories under `<root>/runs/`.
+///
+/// Runs are named `run-NNNN` in allocation order and never mutated after
+/// they drain, so the store doubles as a history: diff any two runs to
+/// see how predicted times moved between sweeps (new profiler data, a
+/// changed cost model, a regressed optimization pass).
+#[derive(Debug, Clone)]
+pub struct RunStore {
+    root: PathBuf,
+}
+
+impl RunStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<RunStore, String> {
+        let root = root.into();
+        let runs = root.join("runs");
+        std::fs::create_dir_all(&runs)
+            .map_err(|e| format!("cannot create run store {}: {e}", runs.display()))?;
+        Ok(RunStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn path(&self) -> &Path {
+        &self.root
+    }
+
+    fn runs_dir(&self) -> PathBuf {
+        self.root.join("runs")
+    }
+
+    /// Existing run ids, sorted (allocation order, since ids are
+    /// zero-padded sequence numbers).
+    pub fn list(&self) -> Result<Vec<String>, String> {
+        let dir = self.runs_dir();
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+        let mut ids = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with("run-") && entry.path().join("manifest.json").exists() {
+                ids.push(name);
+            }
+        }
+        ids.sort();
+        Ok(ids)
+    }
+
+    /// Opens one run by id.
+    pub fn open_run(&self, id: &str) -> Result<RunDir, String> {
+        RunDir::open(self.runs_dir().join(id))
+    }
+
+    /// Allocates the next `run-NNNN` id and initializes it from `plan`.
+    /// Concurrent allocators race on the directory rename inside
+    /// [`RunDir::init_or_open`]; the loser retries with the next number,
+    /// so ids stay unique and the history append-only.
+    pub fn create_run(&self, plan: &ShardPlan) -> Result<RunDir, String> {
+        let first = self
+            .list()?
+            .iter()
+            .filter_map(|id| id.strip_prefix("run-").and_then(|n| n.parse::<u64>().ok()))
+            .max()
+            .map(|n| n + 1)
+            .unwrap_or(1);
+        for next in first..first + 1000 {
+            let id = format!("run-{next:04}");
+            let path = self.runs_dir().join(&id);
+            if !path.exists() {
+                let (run, created) = RunDir::init_or_open(&path, &id, plan)?;
+                if created {
+                    return Ok(run);
+                }
+            }
+        }
+        Err("run store exhausted 1000 consecutive allocation attempts".into())
+    }
+}
+
+/// One scenario whose predicted time moved between two runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffEntry {
+    /// Scenario fingerprint (hex).
+    pub key: String,
+    /// Scenario label.
+    pub label: String,
+    /// Predicted time in run A, ns.
+    pub a_predicted_ns: u64,
+    /// Predicted time in run B, ns.
+    pub b_predicted_ns: u64,
+    /// `(b - a) / a`: positive means B is slower (a regression when B
+    /// is the newer run).
+    pub delta_frac: f64,
+}
+
+/// The comparison of two runs' merged outcomes, keyed by scenario
+/// fingerprint. "Regression" means run B predicts a slower time than
+/// run A beyond the tolerance; with B as the newer run this is the
+/// CI-style question "did anything get slower?".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunDiff {
+    /// Run A's id (the reference / older run).
+    pub a_id: String,
+    /// Run B's id (the candidate / newer run).
+    pub b_id: String,
+    /// Relative tolerance under which a change counts as noise.
+    pub tolerance: f64,
+    /// Scenarios slower in B, worst first.
+    pub regressions: Vec<DiffEntry>,
+    /// Scenarios faster in B, best first.
+    pub improvements: Vec<DiffEntry>,
+    /// Scenarios within tolerance.
+    pub unchanged: usize,
+    /// Scenario labels only present in run A.
+    pub only_in_a: Vec<String>,
+    /// Scenario labels only present in run B.
+    pub only_in_b: Vec<String>,
+}
+
+impl RunDiff {
+    /// No regressions and identical scenario coverage.
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty() && self.only_in_a.is_empty() && self.only_in_b.is_empty()
+    }
+
+    /// Serializes as pretty JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Renders a human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} vs {} (tolerance {:.2}%): {} regressions, {} improvements, {} unchanged\n",
+            self.a_id,
+            self.b_id,
+            self.tolerance * 100.0,
+            self.regressions.len(),
+            self.improvements.len(),
+            self.unchanged
+        );
+        for (title, entries) in [
+            ("regressions", &self.regressions),
+            ("improvements", &self.improvements),
+        ] {
+            if !entries.is_empty() {
+                out.push_str(&format!("{title}:\n"));
+                for e in entries {
+                    out.push_str(&format!(
+                        "  {:<44} {:>10.2} ms -> {:>10.2} ms ({:+.2}%)\n",
+                        e.label,
+                        e.a_predicted_ns as f64 / 1e6,
+                        e.b_predicted_ns as f64 / 1e6,
+                        e.delta_frac * 100.0
+                    ));
+                }
+            }
+        }
+        if !self.only_in_a.is_empty() {
+            out.push_str(&format!("only in {}: {:?}\n", self.a_id, self.only_in_a));
+        }
+        if !self.only_in_b.is_empty() {
+            out.push_str(&format!("only in {}: {:?}\n", self.b_id, self.only_in_b));
+        }
+        out
+    }
+}
+
+/// Loads a run's outcomes: the written `merged.json` if present, else a
+/// fresh in-memory merge of its partial results.
+fn run_outcomes(run: &RunDir) -> Result<Vec<ScenarioOutcome>, String> {
+    let report: SweepReport = match load_merged(run)? {
+        Some(r) => r,
+        None => merge_run(run)?,
+    };
+    Ok(report.results)
+}
+
+/// Diffs two runs' predicted times with a relative `tolerance` (e.g.
+/// `0.001` = 0.1%). Scenarios are matched by content fingerprint, so
+/// runs of overlapping-but-different grids diff sensibly: disjoint
+/// scenarios land in `only_in_a` / `only_in_b`.
+pub fn diff_runs(a: &RunDir, b: &RunDir, tolerance: f64) -> Result<RunDiff, String> {
+    if tolerance.is_nan() || tolerance < 0.0 {
+        return Err(format!("invalid tolerance {tolerance}: must be >= 0"));
+    }
+    let a_manifest = a.manifest()?;
+    let b_manifest = b.manifest()?;
+    let a_by_key: BTreeMap<String, ScenarioOutcome> = run_outcomes(a)?
+        .into_iter()
+        .map(|o| (o.key.clone(), o))
+        .collect();
+    let b_by_key: BTreeMap<String, ScenarioOutcome> = run_outcomes(b)?
+        .into_iter()
+        .map(|o| (o.key.clone(), o))
+        .collect();
+
+    let mut diff = RunDiff {
+        a_id: a_manifest.run_id,
+        b_id: b_manifest.run_id,
+        tolerance,
+        regressions: Vec::new(),
+        improvements: Vec::new(),
+        unchanged: 0,
+        only_in_a: Vec::new(),
+        only_in_b: Vec::new(),
+    };
+    for (key, ao) in &a_by_key {
+        let Some(bo) = b_by_key.get(key) else {
+            diff.only_in_a.push(ao.label.clone());
+            continue;
+        };
+        let a_ns = ao.predicted_ns;
+        let b_ns = bo.predicted_ns;
+        let delta_frac = (b_ns as f64 - a_ns as f64) / (a_ns as f64).max(1.0);
+        let entry = DiffEntry {
+            key: key.clone(),
+            label: ao.label.clone(),
+            a_predicted_ns: a_ns,
+            b_predicted_ns: b_ns,
+            delta_frac,
+        };
+        if delta_frac > tolerance {
+            diff.regressions.push(entry);
+        } else if delta_frac < -tolerance {
+            diff.improvements.push(entry);
+        } else {
+            diff.unchanged += 1;
+        }
+    }
+    for (key, bo) in &b_by_key {
+        if !a_by_key.contains_key(key) {
+            diff.only_in_b.push(bo.label.clone());
+        }
+    }
+    // Worst regression / best improvement first; label breaks ties so
+    // the report is deterministic.
+    diff.regressions.sort_by(|x, y| {
+        y.delta_frac
+            .partial_cmp(&x.delta_frac)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| x.label.cmp(&y.label))
+    });
+    diff.improvements.sort_by(|x, y| {
+        x.delta_frac
+            .partial_cmp(&y.delta_frac)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| x.label.cmp(&y.label))
+    });
+    Ok(diff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::write_merged;
+    use crate::worker::{run_worker, WorkerConfig};
+    use daydream_sweep::{SweepEngine, SweepGrid};
+
+    fn grid() -> SweepGrid {
+        SweepGrid::builder()
+            .models(["ResNet-50"])
+            .batches([4])
+            .opts(["baseline", "amp", "gist"])
+            .build()
+    }
+
+    fn tmp_store(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "daydream-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn drained_run(store: &RunStore, engine: &SweepEngine) -> RunDir {
+        let plan = ShardPlan::partition(grid().expand().unwrap(), 2).unwrap();
+        let run = store.create_run(&plan).unwrap();
+        run_worker(&run, engine, &WorkerConfig::default()).unwrap();
+        let report = merge_run(&run).unwrap();
+        write_merged(&run, &report).unwrap();
+        run
+    }
+
+    #[test]
+    fn store_appends_runs_and_diffs_identical_runs_clean() {
+        let root = tmp_store("append");
+        let store = RunStore::open(&root).unwrap();
+        assert!(store.list().unwrap().is_empty());
+        let engine = SweepEngine::new(2);
+        let a = drained_run(&store, &engine);
+        let b = drained_run(&store, &engine);
+        assert_eq!(store.list().unwrap(), vec!["run-0001", "run-0002"]);
+        assert_eq!(a.manifest().unwrap().run_id, "run-0001");
+        assert_eq!(b.manifest().unwrap().run_id, "run-0002");
+
+        let diff = diff_runs(&a, &b, 0.001).unwrap();
+        assert!(diff.is_clean(), "identical runs: {}", diff.render());
+        assert_eq!(diff.regressions.len() + diff.improvements.len(), 0);
+        assert_eq!(diff.unchanged, 3);
+        // Reopening by id works.
+        store.open_run("run-0001").unwrap();
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn diff_flags_regressions_and_coverage_changes() {
+        let root = tmp_store("regress");
+        let store = RunStore::open(&root).unwrap();
+        let engine = SweepEngine::new(2);
+        let a = drained_run(&store, &engine);
+        let b = drained_run(&store, &engine);
+
+        // Tamper with run B's merged report: slow one scenario by 10%
+        // and drop another, as a changed cost model might.
+        let mut report = load_merged(&b).unwrap().unwrap();
+        report.results[0].predicted_ns = report.results[0].predicted_ns * 11 / 10;
+        let dropped = report.results.pop().unwrap();
+        write_merged(&b, &report).unwrap();
+
+        let diff = diff_runs(&a, &b, 0.001).unwrap();
+        assert!(!diff.is_clean());
+        assert_eq!(diff.regressions.len(), 1);
+        assert!(diff.regressions[0].delta_frac > 0.09);
+        assert_eq!(diff.only_in_a, vec![dropped.label]);
+        assert!(diff.only_in_b.is_empty());
+        let rendered = diff.render();
+        assert!(rendered.contains("1 regressions"), "got: {rendered}");
+        // JSON round-trips.
+        let back: RunDiff = serde_json::from_str(&diff.to_json().unwrap()).unwrap();
+        assert_eq!(back, diff);
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

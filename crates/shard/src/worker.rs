@@ -1,0 +1,304 @@
+//! The worker loop: claim shards, evaluate them with a [`SweepEngine`],
+//! publish partial results, and reclaim work abandoned by dead peers.
+
+use daydream_sweep::report::ScenarioOutcome;
+use daydream_sweep::SweepEngine;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::rundir::{now_unix_ms, ClaimedShard, RunDir};
+
+/// Worker behavior knobs.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Identifier recorded in leases (defaults to `w<pid>`).
+    pub worker_id: String,
+    /// Lease TTL: how long peers wait before presuming this worker dead.
+    pub lease_ttl_ms: u64,
+    /// Sleep between polls while other workers hold the remaining shards.
+    pub poll_ms: u64,
+    /// Give up after this much time with no claimable work and an
+    /// undrained run (covers a peer that holds a lease forever while
+    /// renewing nothing — should not happen, but a worker must not hang).
+    pub max_wait_ms: u64,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            worker_id: format!("w{}", std::process::id()),
+            lease_ttl_ms: 60_000,
+            poll_ms: 50,
+            max_wait_ms: 600_000,
+        }
+    }
+}
+
+/// What one worker did over a [`run_worker`] drain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Shards this worker claimed and completed.
+    pub shards_completed: usize,
+    /// Scenarios evaluated across those shards.
+    pub scenarios_evaluated: usize,
+    /// Stale leases this worker returned to the queue.
+    pub leases_reclaimed: usize,
+    /// Total milliseconds spent polling for claimable work.
+    pub waited_ms: u64,
+}
+
+/// Evaluates a claimed shard while a heartbeat thread renews the lease
+/// every quarter-TTL, so peers never mistake a long evaluation for a
+/// dead worker (without this, any shard slower than the TTL would be
+/// reclaimed and re-evaluated by every idle peer). Renewal failures are
+/// ignored: the worst case is a duplicate evaluation with identical
+/// results, which the protocol already tolerates.
+fn evaluate_with_heartbeat(
+    run: &RunDir,
+    engine: &SweepEngine,
+    claim: &ClaimedShard,
+    cfg: &WorkerConfig,
+) -> Result<Vec<ScenarioOutcome>, String> {
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let interval = (cfg.lease_ttl_ms / 4).clamp(10, 15_000);
+            let step = std::time::Duration::from_millis(interval.min(25));
+            let mut since_renewal = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                std::thread::sleep(step);
+                since_renewal += step.as_millis() as u64;
+                if since_renewal >= interval {
+                    run.renew(claim.index, &claim.worker, cfg.lease_ttl_ms).ok();
+                    since_renewal = 0;
+                }
+            }
+        });
+        let result = engine.run_scenarios(claim.scenarios.clone());
+        done.store(true, Ordering::Relaxed);
+        result
+    })
+}
+
+/// Claims and evaluates shards until the run drains. Between claims the
+/// worker reclaims stale leases, so a run always completes as long as at
+/// least one worker survives. Returns this worker's contribution.
+pub fn run_worker(
+    run: &RunDir,
+    engine: &SweepEngine,
+    cfg: &WorkerConfig,
+) -> Result<WorkerSummary, String> {
+    let mut summary = WorkerSummary::default();
+    let mut idle_ms = 0u64;
+    loop {
+        if let Some(claim) = run.claim_any(&cfg.worker_id, cfg.lease_ttl_ms)? {
+            let outcomes = evaluate_with_heartbeat(run, engine, &claim, cfg)?;
+            summary.scenarios_evaluated += outcomes.len();
+            run.complete(&claim, outcomes)?;
+            summary.shards_completed += 1;
+            idle_ms = 0;
+            continue;
+        }
+        let status = run.status()?;
+        if status.is_drained() {
+            return Ok(summary);
+        }
+        let reclaimed = run.reclaim_stale(now_unix_ms(), cfg.lease_ttl_ms)?.len();
+        summary.leases_reclaimed += reclaimed;
+        if reclaimed > 0 {
+            idle_ms = 0;
+            continue;
+        }
+        if idle_ms >= cfg.max_wait_ms {
+            return Err(format!(
+                "worker {} gave up after {idle_ms} ms: {} shard(s) still leased by peers \
+                 and none claimable",
+                cfg.worker_id,
+                status.leased + status.todo
+            ));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(cfg.poll_ms));
+        idle_ms += cfg.poll_ms;
+        summary.waited_ms += cfg.poll_ms;
+    }
+}
+
+/// What [`process_shard`] found when asked for one specific shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardDisposition {
+    /// This call claimed and evaluated the shard (scenario count given).
+    Evaluated(usize),
+    /// The shard already has a partial result.
+    AlreadyDone,
+}
+
+/// Claims and evaluates exactly shard `index` (the `daydream sweep
+/// --shard-index I` path). A completed shard is a no-op; a shard leased
+/// by a live peer is an error (two deliberate single-shard invocations
+/// of the same index indicate an operator mistake); a stale lease is
+/// reclaimed first.
+pub fn process_shard(
+    run: &RunDir,
+    engine: &SweepEngine,
+    index: usize,
+    cfg: &WorkerConfig,
+) -> Result<ShardDisposition, String> {
+    let manifest = run.manifest()?;
+    if index >= manifest.shards {
+        return Err(format!(
+            "shard index {index} out of range: run has {} shards",
+            manifest.shards
+        ));
+    }
+    if run.partial(index)?.is_some() {
+        return Ok(ShardDisposition::AlreadyDone);
+    }
+    run.reclaim_stale(now_unix_ms(), cfg.lease_ttl_ms)?;
+    match run.claim(index, &cfg.worker_id, cfg.lease_ttl_ms)? {
+        Some(claim) => {
+            let outcomes = evaluate_with_heartbeat(run, engine, &claim, cfg)?;
+            let count = outcomes.len();
+            run.complete(&claim, outcomes)?;
+            Ok(ShardDisposition::Evaluated(count))
+        }
+        None => {
+            if run.partial(index)?.is_some() {
+                Ok(ShardDisposition::AlreadyDone)
+            } else {
+                let holder = run
+                    .lease(index)?
+                    .map(|l| l.worker)
+                    .unwrap_or_else(|| "unknown".into());
+                Err(format!(
+                    "shard {index} is leased by worker '{holder}' and not stale; \
+                     wait for it or re-run after its lease TTL expires"
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ShardPlan;
+    use crate::rundir::RunDir;
+    use daydream_sweep::SweepGrid;
+
+    fn small_grid() -> SweepGrid {
+        SweepGrid::builder()
+            .models(["ResNet-50"])
+            .batches([4])
+            .opts(["baseline", "amp", "gist", "bandwidth", "vdnn"])
+            .build()
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "daydream-worker-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn one_worker_drains_a_run() {
+        let root = tmp_dir("drain");
+        let scenarios = small_grid().expand().unwrap();
+        let total = scenarios.len();
+        let plan = ShardPlan::partition(scenarios, 2).unwrap();
+        let (run, _) = RunDir::init_or_open(&root, "t", &plan).unwrap();
+        let engine = SweepEngine::new(2);
+        let summary = run_worker(&run, &engine, &WorkerConfig::default()).unwrap();
+        assert_eq!(summary.shards_completed, 2);
+        assert_eq!(summary.scenarios_evaluated, total);
+        assert!(run.status().unwrap().is_drained());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn process_shard_is_idempotent_and_bounded() {
+        let root = tmp_dir("single");
+        let plan = ShardPlan::partition(small_grid().expand().unwrap(), 2).unwrap();
+        let (run, _) = RunDir::init_or_open(&root, "t", &plan).unwrap();
+        let engine = SweepEngine::new(1);
+        let cfg = WorkerConfig::default();
+        let first = process_shard(&run, &engine, 0, &cfg).unwrap();
+        assert_eq!(first, ShardDisposition::Evaluated(plan.shard(0).len()));
+        let second = process_shard(&run, &engine, 0, &cfg).unwrap();
+        assert_eq!(second, ShardDisposition::AlreadyDone);
+        assert!(
+            process_shard(&run, &engine, 9, &cfg).is_err(),
+            "out of range"
+        );
+        assert!(!run.status().unwrap().is_drained(), "shard 1 untouched");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn heartbeat_keeps_long_evaluations_from_being_reclaimed() {
+        let root = tmp_dir("heartbeat");
+        // One shard whose evaluation comfortably outlives the tiny TTL
+        // (6 base profiles + 24 scenarios on one thread is several
+        // hundred ms even in release builds).
+        let grid = SweepGrid::builder()
+            .models(["ResNet-50", "BERT_Base", "BERT_Large"])
+            .batches([4, 8])
+            .opts(["baseline", "amp", "gist", "bandwidth"])
+            .build();
+        let plan = ShardPlan::partition(grid.expand().unwrap(), 1).unwrap();
+        let (run, _) = RunDir::init_or_open(&root, "t", &plan).unwrap();
+        let cfg = WorkerConfig {
+            lease_ttl_ms: 250,
+            ..WorkerConfig::default()
+        };
+        std::thread::scope(|scope| {
+            let worker_run = run.clone();
+            let worker_cfg = cfg.clone();
+            let handle = scope.spawn(move || {
+                let engine = SweepEngine::new(1);
+                run_worker(&worker_run, &engine, &worker_cfg).unwrap()
+            });
+            // An aggressive peer tries to reclaim until well past the
+            // TTL (even if evaluation finishes sooner — completion
+            // releases the lease, so late checks stay empty either
+            // way, while a missing heartbeat would surface here as a
+            // reclaim of the still-held lease).
+            let deadline = std::time::Instant::now() + std::time::Duration::from_millis(600);
+            let mut reclaims = 0usize;
+            while std::time::Instant::now() < deadline || !run.status().unwrap().is_drained() {
+                reclaims += run
+                    .reclaim_stale(crate::rundir::now_unix_ms(), cfg.lease_ttl_ms)
+                    .unwrap()
+                    .len();
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            let summary = handle.join().unwrap();
+            assert_eq!(summary.shards_completed, 1);
+            assert_eq!(
+                reclaims, 0,
+                "a heartbeating worker's lease must never be reclaimed"
+            );
+        });
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn worker_times_out_instead_of_hanging() {
+        let root = tmp_dir("timeout");
+        let plan = ShardPlan::partition(small_grid().expand().unwrap(), 1).unwrap();
+        let (run, _) = RunDir::init_or_open(&root, "t", &plan).unwrap();
+        // A live peer holds the only shard with a long TTL.
+        run.claim(0, "peer", 3_600_000).unwrap().unwrap();
+        let engine = SweepEngine::new(1);
+        let cfg = WorkerConfig {
+            poll_ms: 5,
+            max_wait_ms: 20,
+            ..WorkerConfig::default()
+        };
+        let err = run_worker(&run, &engine, &cfg).unwrap_err();
+        assert!(err.contains("gave up"), "got: {err}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -92,7 +92,15 @@ impl SweepEngine {
     /// byte-identical across thread counts.
     pub fn run(&self, grid: &SweepGrid) -> Result<SweepReport, String> {
         let scenarios = grid.expand()?;
+        Ok(SweepReport::from_outcomes(self.run_scenarios(scenarios)?))
+    }
 
+    /// Evaluates an explicit scenario list (one shard of a grid, in
+    /// distributed sweeps) and returns outcomes in input order. Shares
+    /// base profiles and consults the result cache exactly like
+    /// [`SweepEngine::run`]; outcome values are independent of thread
+    /// count and of how scenarios are split across calls.
+    pub fn run_scenarios(&self, scenarios: Vec<Scenario>) -> Result<Vec<ScenarioOutcome>, String> {
         // Phase 0: answer what we can from the result cache, so fully
         // cached scenarios cost neither evaluation nor base profiling
         // (a cross-process `--cache-file` rerun builds no profiles).
@@ -155,7 +163,7 @@ impl SweepEngine {
             profiles_built,
             executor: exec_stats,
         };
-        Ok(SweepReport::from_outcomes(outcomes))
+        Ok(outcomes)
     }
 }
 
@@ -373,6 +381,22 @@ mod tests {
         assert_eq!(again.cache_hits, 3);
         assert_eq!(again.executed, 0);
         assert_eq!(engine.last_stats().profiles_built, 0, "profiles reused too");
+    }
+
+    #[test]
+    fn run_scenarios_split_across_engines_matches_run() {
+        // The distributed-sweep contract: evaluating disjoint scenario
+        // slices on separate engines and re-ranking the union matches a
+        // single engine's `run` exactly.
+        let grid = small_grid();
+        let scenarios = grid.expand().unwrap();
+        let (a, b) = scenarios.split_at(scenarios.len() / 2);
+        let mut outcomes = SweepEngine::new(1).run_scenarios(a.to_vec()).unwrap();
+        outcomes.extend(SweepEngine::new(2).run_scenarios(b.to_vec()).unwrap());
+        let merged = SweepReport::from_outcomes(outcomes);
+        let single = SweepEngine::new(2).run(&grid).unwrap();
+        assert_eq!(merged, single);
+        assert_eq!(merged.to_json().unwrap(), single.to_json().unwrap());
     }
 
     #[test]

@@ -194,10 +194,16 @@ impl SweepGrid {
     }
 
     /// Expands the full cartesian product, drops inapplicable or filtered
-    /// scenarios, and returns the deterministic ordered list.
+    /// scenarios, and returns the deterministic ordered list. Exact
+    /// duplicates (a repeated axis value, e.g. `--ratios 0.01,0.01`)
+    /// collapse to their first occurrence: downstream consumers key on
+    /// the scenario content fingerprint (result cache, shard partition,
+    /// merged reports), where a duplicate would silently swallow a
+    /// result slot.
     pub fn expand(&self) -> Result<Vec<Scenario>, String> {
         self.validate()?;
         let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
         for model_name in &self.models {
             let model = zoo::by_name(model_name)
                 .ok_or_else(|| format!("unknown model '{model_name}' in sweep grid"))?;
@@ -208,7 +214,7 @@ impl SweepGrid {
                             continue;
                         }
                         let s = Scenario::new(model.name.clone(), batch, opt);
-                        if self.filters.iter().all(|f| f(&s)) {
+                        if self.filters.iter().all(|f| f(&s)) && seen.insert(s.label()) {
                             out.push(s);
                         }
                     }
@@ -407,6 +413,23 @@ mod tests {
         let scenarios = grid.expand().unwrap();
         // ddp: 2 machines x 3 bw = 6; dgc: 6 x 2 ratios = 12.
         assert_eq!(scenarios.len(), 18);
+    }
+
+    #[test]
+    fn duplicate_axis_values_collapse() {
+        let grid = SweepGrid::builder()
+            .models(["ResNet-50", "ResNet-50"])
+            .batches([4, 4])
+            .opts(["amp", "dgc"])
+            .machines([4])
+            .bandwidths([10.0])
+            .dgc_ratios([0.01, 0.01])
+            .build();
+        let scenarios = grid.expand().unwrap();
+        // One amp + one dgc: every repeated axis value collapses.
+        assert_eq!(scenarios.len(), 2);
+        let labels: std::collections::HashSet<_> = scenarios.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), scenarios.len());
     }
 
     #[test]

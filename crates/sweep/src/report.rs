@@ -147,6 +147,9 @@ impl SweepReport {
     }
 
     /// Serializes the ranked results as CSV (one row per scenario).
+    /// Text fields are RFC 4180-escaped: scenario option labels can
+    /// carry commas (`dgc[... ratio=0.01,momentum]`-style parameter
+    /// lists), which would otherwise shift every later column.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "rank,label,model,batch,opt,baseline_ms,predicted_ms,speedup,memory_gib,comm_mib,cached\n",
@@ -155,10 +158,10 @@ impl SweepReport {
             out.push_str(&format!(
                 "{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{}\n",
                 i + 1,
-                o.label,
-                o.model,
+                csv_field(&o.label),
+                csv_field(&o.model),
                 o.batch,
-                o.opt,
+                csv_field(&o.opt),
                 o.baseline_ns as f64 / 1e6,
                 o.predicted_ns as f64 / 1e6,
                 o.speedup,
@@ -226,6 +229,18 @@ impl SweepReport {
             out.push_str(&format!("  {label}\n"));
         }
         out
+    }
+}
+
+/// RFC 4180 field escaping: fields containing a comma, quote, or line
+/// break are wrapped in double quotes, with embedded quotes doubled.
+/// Everything else passes through unquoted, keeping the common case
+/// byte-identical to the historical output.
+fn csv_field(s: &str) -> std::borrow::Cow<'_, str> {
+    if s.contains([',', '"', '\n', '\r']) {
+        std::borrow::Cow::Owned(format!("\"{}\"", s.replace('"', "\"\"")))
+    } else {
+        std::borrow::Cow::Borrowed(s)
     }
 }
 
@@ -352,6 +367,49 @@ mod tests {
         assert_eq!(csv.lines().count(), 2);
         let back: SweepReport = serde_json::from_str(&r.to_json().unwrap()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        // Option labels can carry comma-separated parameter lists; a
+        // quote inside a label must be doubled per RFC 4180.
+        let r = SweepReport::from_outcomes(vec![outcome(
+            "A b8 dgc[ratio=0.01,momentum=0.9]",
+            "A",
+            "dgc[ratio=0.01,momentum=0.9] \"warm\"",
+            50,
+            100,
+            0,
+        )]);
+        let csv = r.to_csv();
+        let row = csv.lines().nth(1).unwrap();
+        assert!(
+            row.starts_with("1,\"A b8 dgc[ratio=0.01,momentum=0.9]\",A,8,"),
+            "comma-bearing label must be quoted, got: {row}"
+        );
+        assert!(
+            row.contains("\"dgc[ratio=0.01,momentum=0.9] \"\"warm\"\"\""),
+            "embedded quotes must be doubled, got: {row}"
+        );
+        // Unquoting the escaped fields restores the exact column count.
+        let mut cols = 0usize;
+        let mut in_quotes = false;
+        for c in row.chars() {
+            match c {
+                '"' => in_quotes = !in_quotes,
+                ',' if !in_quotes => cols += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(cols + 1, 11, "escaped row parses to 11 columns");
+        // Comma-free fields stay unquoted (historical output unchanged).
+        let plain = SweepReport::from_outcomes(vec![outcome("a", "A", "amp", 50, 100, 0)]);
+        assert!(plain
+            .to_csv()
+            .lines()
+            .nth(1)
+            .unwrap()
+            .starts_with("1,a,A,8,amp,"));
     }
 
     #[test]

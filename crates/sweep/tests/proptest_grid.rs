@@ -1,0 +1,132 @@
+//! Property tests for grid expansion: the invariants distributed
+//! sharding leans on. `daydream-shard` partitions scenarios purely by
+//! content fingerprint, so expansion must be deterministic across calls
+//! (every planner derives the same scenario set) and fingerprints must
+//! be unique within a grid (a collision would silently merge two
+//! scenarios' results in the cache, the shards, and the merged report).
+
+use daydream_sweep::{Scenario, SweepGrid};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Strategy: a random valid grid over the real model zoo and the full
+/// optimization-family vocabulary, with random parameter axes.
+fn arb_grid() -> impl Strategy<Value = SweepGrid> {
+    let families = [
+        "baseline",
+        "amp",
+        "fused-adam",
+        "reconstruct-bn",
+        "metaflow",
+        "ddp",
+        "blueconnect",
+        "dgc",
+        "p3",
+        "vdnn",
+        "gist",
+        "bandwidth",
+        "upgrade-gpu",
+        "batch-size",
+    ];
+    (
+        // Model subset (non-empty) via bitmask over the zoo.
+        1u8..32,
+        // Batch axis: 1-3 values from a plausible range.
+        prop::collection::vec(1u64..33, 1..4),
+        // Family subset (non-empty bitmask over the 14 families).
+        1u16..(1 << 14),
+        // Cluster axes.
+        prop::collection::vec(1u32..65, 1..3),
+        prop::collection::vec((1u64..101).prop_map(|n| n as f64 / 2.0), 1..3),
+        // DGC ratios in (0, 1].
+        prop::collection::vec((1u64..101).prop_map(|n| n as f64 / 100.0), 1..3),
+        // Bandwidth factors and batch-size targets.
+        prop::collection::vec((1u64..41).prop_map(|n| n as f64 / 4.0), 1..3),
+        prop::collection::vec(1u64..65, 1..3),
+    )
+        .prop_map(
+            move |(model_mask, batches, family_mask, machines, bws, ratios, factors, targets)| {
+                let zoo = [
+                    "ResNet-50",
+                    "BERT_Base",
+                    "BERT_Large",
+                    "VGG-19",
+                    "DenseNet-121",
+                ];
+                let models: Vec<&str> = zoo
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| model_mask & (1 << i) != 0)
+                    .map(|(_, m)| *m)
+                    .collect();
+                let opts: Vec<&str> = families
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| family_mask & (1 << i) != 0)
+                    .map(|(_, f)| *f)
+                    .collect();
+                SweepGrid::builder()
+                    .models(if models.is_empty() {
+                        vec!["ResNet-50"]
+                    } else {
+                        models
+                    })
+                    .batches(batches)
+                    .opts(opts)
+                    .machines(machines)
+                    .bandwidths(bws)
+                    .dgc_ratios(ratios)
+                    .bandwidth_factors(factors)
+                    .target_batches(targets)
+                    .gist_lossy([false, true])
+                    .vdnn_lookaheads([1, 2])
+                    .build()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn expansion_is_deterministic_across_calls(grid in arb_grid()) {
+        // Random grids may legitimately fail validation (e.g. a family
+        // whose parameter axis filters to nothing) — but they must fail
+        // the same way every time too.
+        let first = grid.expand();
+        let second = grid.expand();
+        prop_assert_eq!(&first, &second, "expand() must be a pure function of the grid");
+        if let Ok(scenarios) = first {
+            let relabeled: Vec<String> = scenarios.iter().map(Scenario::label).collect();
+            let again: Vec<String> = grid
+                .expand()
+                .unwrap()
+                .iter()
+                .map(Scenario::label)
+                .collect();
+            prop_assert_eq!(relabeled, again, "ordering must be stable too");
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_unique_within_a_grid(grid in arb_grid()) {
+        let Ok(scenarios) = grid.expand() else { return Ok(()) };
+        let mut seen: HashMap<u64, &Scenario> = HashMap::with_capacity(scenarios.len());
+        for s in &scenarios {
+            if let Some(prev) = seen.insert(s.fingerprint(), s) {
+                prop_assert!(
+                    false,
+                    "fingerprint collision within one grid: '{}' and '{}' both hash to {}; \
+                     shard partitioning and the result cache would silently merge them",
+                    prev.label(),
+                    s.label(),
+                    s.fingerprint_hex()
+                );
+            }
+        }
+        // Fingerprints are pure content hashes: recomputing agrees.
+        for s in &scenarios {
+            prop_assert_eq!(s.fingerprint(), s.clone().fingerprint());
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Sharded sweep: split a what-if grid across cooperating workers with
+//! no coordinator, then merge and regression-track the results.
+//!
+//! Run with `cargo run --release --example sharded_sweep`.
+//!
+//! `sweep_search` drives one engine on one host. This example shows the
+//! multi-process story behind `daydream sweep --shards`: a run
+//! directory planned from scenario fingerprints, workers that claim
+//! shards by atomic rename (simulated here by threads, each with its
+//! own engine — exactly what separate processes would hold), recovery
+//! of a shard abandoned mid-run, a merged report byte-identical to the
+//! single-process sweep, and a run-store diff between two sweeps.
+
+use daydream::shard::{
+    diff_runs, merge_run, run_worker, write_merged, RunStore, ShardPlan, WorkerConfig,
+};
+use daydream::sweep::{SweepEngine, SweepGrid};
+
+fn grid() -> SweepGrid {
+    SweepGrid::builder()
+        .models(["ResNet-50", "DenseNet-121", "BERT_Base"])
+        .batches([4, 8])
+        .opts([
+            "baseline",
+            "amp",
+            "fused-adam",
+            "gist",
+            "vdnn",
+            "ddp",
+            "dgc",
+        ])
+        .bandwidths([10.0, 25.0])
+        .machines([4])
+        .dgc_ratios([0.01])
+        .build()
+}
+
+fn main() {
+    let store_dir = std::env::temp_dir().join(format!("daydream-sharded-{}", std::process::id()));
+    let store = RunStore::open(&store_dir).expect("store opens");
+
+    // Plan: scenarios sorted by content fingerprint, striped into 4
+    // balanced shards — every planner of this grid derives the same
+    // partition, so any number of hosts can race to initialize the run.
+    let scenarios = grid().expand().expect("known models and opts");
+    let plan = ShardPlan::partition(scenarios, 4).expect("non-empty grid");
+    println!(
+        "planned {} scenarios into {} shards (sizes {:?}, grid {})",
+        plan.scenario_count(),
+        plan.shard_count(),
+        plan.shard_sizes(),
+        plan.grid_fingerprint_hex()
+    );
+
+    // First run: three workers drain four shards. Each worker owns a
+    // private engine, as separate worker processes would.
+    let run = store.create_run(&plan).expect("run allocates");
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..3 {
+            let run = run.clone();
+            scope.spawn(move || {
+                let engine = SweepEngine::new(2);
+                let cfg = WorkerConfig {
+                    worker_id: format!("worker-{w}"),
+                    ..WorkerConfig::default()
+                };
+                let summary = run_worker(&run, &engine, &cfg).expect("worker drains");
+                println!(
+                    "  {} completed {} shards / {} scenarios",
+                    cfg.worker_id, summary.shards_completed, summary.scenarios_evaluated
+                );
+            });
+        }
+    });
+    let report = merge_run(&run).expect("drained run merges");
+    write_merged(&run, &report).expect("merged report persists");
+    println!(
+        "run {} drained in {:.2}s; merged report ranks {} scenarios:\n",
+        run.manifest().unwrap().run_id,
+        start.elapsed().as_secs_f64(),
+        report.scenario_count
+    );
+    println!("{}", report.render(8));
+
+    // The merge is deterministic: byte-identical to one engine doing
+    // everything itself.
+    let single = SweepEngine::new(4)
+        .run(&grid())
+        .expect("single-process sweep");
+    assert_eq!(
+        report.to_json().unwrap(),
+        single.to_json().unwrap(),
+        "merged report must match the single-process sweep byte-for-byte"
+    );
+    println!("merged report verified byte-identical to the single-process sweep\n");
+
+    // Second run of the same grid — the run store keeps both, and the
+    // diff shows regression tracking between sweeps.
+    let run2 = store.create_run(&plan).expect("second run allocates");
+    let engine = SweepEngine::new(4);
+    run_worker(&run2, &engine, &WorkerConfig::default()).expect("solo worker drains");
+    let report2 = merge_run(&run2).expect("merge");
+    write_merged(&run2, &report2).expect("persist");
+
+    println!("run store now holds: {:?}", store.list().unwrap());
+    let diff = diff_runs(&run, &run2, 0.001).expect("runs diff");
+    print!("{}", diff.render());
+    assert!(diff.is_clean(), "identical sweeps must diff clean");
+
+    std::fs::remove_dir_all(&store_dir).ok();
+}

@@ -19,6 +19,7 @@
 //! | [`runtime`] | `daydream-runtime` | execution simulator + ground truths |
 //! | [`core`] | `daydream-core` | dependency graph, primitives, simulator, what-ifs |
 //! | [`sweep`] | `daydream-sweep` | parallel scenario-sweep engine with ranked reports |
+//! | [`shard`] | `daydream-shard` | distributed sweep sharding, run store, report merge/diff |
 //!
 //! # Examples
 //!
@@ -40,6 +41,7 @@ pub use daydream_core as core;
 pub use daydream_device as device;
 pub use daydream_models as models;
 pub use daydream_runtime as runtime;
+pub use daydream_shard as shard;
 pub use daydream_sweep as sweep;
 pub use daydream_trace as trace;
 
@@ -51,6 +53,9 @@ pub mod prelude {
     };
     pub use daydream_models::{zoo, Model};
     pub use daydream_runtime::{ground_truth, ExecConfig, Executor};
+    pub use daydream_shard::{
+        diff_runs, merge_run, run_worker, RunDir, RunStore, ShardPlan, WorkerConfig,
+    };
     pub use daydream_sweep::{OptSpec, Scenario, SweepEngine, SweepGrid, SweepReport};
     pub use daydream_trace::{runtime_breakdown, Trace};
 }

@@ -3,8 +3,10 @@
 //! Deterministic randomized testing covering the API surface this
 //! workspace uses: the [`proptest!`] macro (with an optional
 //! `#![proptest_config(..)]` header), `prop_assert*` / `prop_assume!`,
-//! range and tuple strategies, `any`, `prop::collection::vec`,
-//! `prop::sample::{select, Index}`, and `prop::bool::ANY`.
+//! range and tuple strategies (up to arity 8 — widened from 6 for the
+//! sweep-grid determinism properties backing `daydream-shard`), `any`,
+//! `prop::collection::vec`, `prop::sample::{select, Index}`, and
+//! `prop::bool::ANY`.
 //!
 //! Unlike real proptest there is no shrinking: a failing case reports its
 //! generated inputs (via the per-case RNG seed) and panics immediately.
@@ -158,6 +160,8 @@ pub mod strategy {
         (A.0, B.1, C.2, D.3)
         (A.0, B.1, C.2, D.3, E.4)
         (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
     }
 }
 

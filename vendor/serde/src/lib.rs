@@ -10,6 +10,14 @@
 //! structs, enums with unit/tuple/struct variants (externally tagged,
 //! like real serde), std scalars, `String`, `Option`, `Vec`, arrays,
 //! tuples, and ordered maps.
+//!
+//! Audited for `daydream-shard`'s manifest/lease/result/diff types
+//! (`RunManifest`, `ShardFile`, `ShardLease`, `ShardResult`, `RunDiff`):
+//! all are named structs of scalars, `String`, `f64`, and `Vec`s of the
+//! same or of already-derived types, so they fit the existing surface —
+//! no additions were required. (The vendored `proptest` shim, by
+//! contrast, grew tuple-strategy arity 7-8 for the grid-determinism
+//! properties backing sharding.)
 
 pub use serde_derive::{Deserialize, Serialize};
 
