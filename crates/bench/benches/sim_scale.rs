@@ -11,8 +11,10 @@
 //! Three scales (1k/10k/100k tasks) measure the compiled path; the
 //! reference oracle runs at 1k and 10k only (its quadratic frontier
 //! refresh needs tens of seconds per iteration at 100k). Unless running
-//! in `--test` smoke mode, the measurements are snapshotted to
-//! `BENCH_sim.json` at the workspace root.
+//! in `--test` smoke mode, the measurements are snapshotted into the
+//! `"sim_scale"` section of `BENCH_sim.json` at the workspace root
+//! (shared with `transform_patch` via the criterion-shim snapshot
+//! registry).
 
 use criterion::{BenchmarkId, Criterion, Throughput};
 use daydream_core::{
@@ -139,19 +141,18 @@ fn main() {
     if !quick {
         let json = format!(
             concat!(
-                "{{\n  \"bench\": \"sim_scale\",\n",
-                "  \"graph\": \"communication-bound synthetic iteration ",
+                "{{\n  \"graph\": \"communication-bound synthetic iteration ",
                 "(launch chain + {} streams + contended collective channel)\",\n",
                 "  \"note\": \"reference omitted at 100k tasks: quadratic frontier ",
                 "refresh takes tens of seconds per iteration\",\n",
-                "  \"results\": [\n{}\n  ]\n}}\n"
+                "  \"results\": [\n{}\n  ]\n  }}"
             ),
             STREAMS,
             rows.join(",\n")
         );
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
-        match std::fs::write(path, json) {
-            Ok(()) => println!("wrote {path}"),
+        match criterion::snapshot::merge_section(path, "sim_scale", &json) {
+            Ok(()) => println!("wrote sim_scale section of {path}"),
             Err(e) => eprintln!("could not write {path}: {e}"),
         }
     }

@@ -1,0 +1,226 @@
+//! Criterion bench: patch-based scenario evaluation vs clone+recompile.
+//!
+//! The sweep engine's per-scenario cost used to be "clone the
+//! `DependencyGraph`, mutate it, compile a fresh `CompiledGraph`". The
+//! `GraphPatch` pipeline replaces that with "record the mutations against
+//! the shared base, `CompiledGraph::apply` the delta". This bench prices
+//! both pipelines on the same synthetic communication-bound iteration
+//! graphs as `sim_scale` (1k/10k/100k tasks), for the two patch shapes
+//! the what-if catalog produces:
+//!
+//! * **retime** — duration scaling only (AMP, bandwidth, upgrade-gpu,
+//!   batch-size, DGC's transfer shrink): the patched graph shares the
+//!   whole CSR topology with the base;
+//! * **structural** — inserts, removals, and edge rewires (DDP,
+//!   BlueConnect, Gist, vDNN, FusedAdam): the CSR is rebuilt in flat
+//!   array passes, still without touching `Task` structs or the arena.
+//!
+//! Unless running in `--test` smoke mode the measurements are snapshotted
+//! into the `"transform_patch"` section of `BENCH_sim.json` (shared with
+//! `sim_scale` via the criterion-shim snapshot registry).
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use daydream_core::{
+    CommChannel, CommPrimitive, CompiledGraph, DepKind, DependencyGraph, ExecThread, GraphEdit,
+    PatchGraph, Task, TaskId, TaskKind,
+};
+use daydream_trace::{CpuThreadId, DeviceId, StreamId};
+use std::hint::black_box;
+
+const STREAMS: u32 = 4;
+
+/// The `sim_scale` graph shape: a CPU launch chain, kernels round-robined
+/// over four streams, one gradient transfer per kernel contending for a
+/// collective channel.
+fn synthetic_graph(n: usize) -> DependencyGraph {
+    let steps = n / 3;
+    let mut g = DependencyGraph::new();
+    g.reserve(steps * 3);
+    let cpu = ExecThread::Cpu(CpuThreadId(0));
+    let chan = ExecThread::Comm(CommChannel::Collective);
+    let mut prev_launch: Option<TaskId> = None;
+    let mut prev_kernel = vec![None; STREAMS as usize];
+    for i in 0..steps {
+        let stream = (i as u32) % STREAMS;
+        let launch = g.add_task(Task::new("cudaLaunchKernel", TaskKind::CpuWork, cpu, 4_000));
+        let kernel = g.add_task(Task::new(
+            "kernel",
+            TaskKind::GpuKernel,
+            ExecThread::Gpu(DeviceId(0), StreamId(stream)),
+            30_000,
+        ));
+        let comm = g.add_task(Task::new(
+            "allreduce_slice",
+            TaskKind::Communication {
+                prim: CommPrimitive::AllReduce,
+                bytes: 1 << 20,
+            },
+            chan,
+            45_000,
+        ));
+        if let Some(p) = prev_launch {
+            g.add_dep(p, launch, DepKind::CpuSeq);
+        }
+        if let Some(p) = prev_kernel[stream as usize] {
+            g.add_dep(p, kernel, DepKind::GpuSeq);
+        }
+        g.add_dep(launch, kernel, DepKind::Correlation);
+        g.add_dep(kernel, comm, DepKind::Comm);
+        prev_launch = Some(launch);
+        prev_kernel[stream as usize] = Some(kernel);
+    }
+    g
+}
+
+/// An AMP-shaped transformation (Algorithm 3's select-and-shrink):
+/// rescale every GPU kernel.
+fn retime<G: GraphEdit>(g: &mut G) {
+    for id in g.select_ids(|t| t.thread.is_gpu()) {
+        let scaled = (g.task(id).duration_ns as f64 / 3.0).round() as u64;
+        g.set_duration(id, scaled);
+    }
+}
+
+/// A DDP/Gist-shaped transformation: insert a compression kernel in front
+/// of every 8th transfer, remove every 16th transfer (bridged), and
+/// shrink the rest.
+fn structural<G: GraphEdit>(g: &mut G) {
+    let comms = g.select_ids(|t| t.thread.is_comm());
+    for (i, &id) in comms.iter().enumerate() {
+        if i % 16 == 0 {
+            g.remove_task(id);
+        } else if i % 8 == 0 {
+            let gpu = ExecThread::Gpu(DeviceId(0), StreamId((i as u32) % STREAMS));
+            let k = g.add_task(Task::new("compress", TaskKind::GpuKernel, gpu, 9_000));
+            g.add_dep(k, id, DepKind::Comm);
+            let shrunk = g.task(id).duration_ns / 100;
+            g.set_duration(id, shrunk);
+        } else {
+            let shrunk = g.task(id).duration_ns / 2;
+            g.set_duration(id, shrunk);
+        }
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    let quick = c.is_quick_mode();
+    let mut rows: Vec<String> = Vec::new();
+
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let g = synthetic_graph(n);
+        let tasks = g.len();
+        let compiled = CompiledGraph::compile(&g);
+
+        let mut group = c.benchmark_group("transform_patch");
+        group.sample_size(if n >= 100_000 { 10 } else { 30 });
+        group.throughput(Throughput::Elements(tasks as u64));
+
+        // Patch pipeline: emit against the shared base + incremental apply.
+        group.bench_with_input(
+            BenchmarkId::new("retime_patch", format!("{tasks} tasks")),
+            &(&g, &compiled),
+            |b, (g, compiled)| {
+                b.iter(|| {
+                    let mut ov = PatchGraph::new(black_box(g));
+                    retime(&mut ov);
+                    black_box(compiled.apply(&ov.finish()))
+                })
+            },
+        );
+        // Legacy pipeline: clone the graph, mutate, recompile.
+        group.bench_with_input(
+            BenchmarkId::new("retime_clone_recompile", format!("{tasks} tasks")),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    let mut clone = black_box(g).clone();
+                    retime(&mut clone);
+                    black_box(CompiledGraph::compile(&clone))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("structural_patch", format!("{tasks} tasks")),
+            &(&g, &compiled),
+            |b, (g, compiled)| {
+                b.iter(|| {
+                    let mut ov = PatchGraph::new(black_box(g));
+                    structural(&mut ov);
+                    black_box(compiled.apply(&ov.finish()))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("structural_clone_recompile", format!("{tasks} tasks")),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    let mut clone = black_box(g).clone();
+                    structural(&mut clone);
+                    black_box(CompiledGraph::compile(&clone))
+                })
+            },
+        );
+        group.finish();
+
+        let find = |kind: &str| {
+            c.records()
+                .iter()
+                .rev()
+                .find(|r| r.name.contains(&format!("/{kind}/{tasks} tasks")))
+                .map(|r| r.ns_per_iter)
+        };
+        let speedup = |patch: Option<f64>, legacy: Option<f64>| match (patch, legacy) {
+            (Some(p), Some(l)) if p > 0.0 => Some(l / p),
+            _ => None,
+        };
+        let (rp, rc) = (find("retime_patch"), find("retime_clone_recompile"));
+        let (sp, sc) = (find("structural_patch"), find("structural_clone_recompile"));
+        let (rs, ss) = (speedup(rp, rc), speedup(sp, sc));
+        if let (Some(rs), Some(ss)) = (rs, ss) {
+            println!(
+                "transform_patch {tasks} tasks: retime {rs:.1}x, structural {ss:.1}x over clone+recompile"
+            );
+        }
+        let fmt_opt = |v: Option<f64>| {
+            v.map(|x| format!("{x:.1}"))
+                .unwrap_or_else(|| "null".to_string())
+        };
+        rows.push(format!(
+            concat!(
+                "    {{\"tasks\": {}, ",
+                "\"retime_patch_ns\": {}, \"retime_clone_recompile_ns\": {}, ",
+                "\"retime_speedup\": {}, ",
+                "\"structural_patch_ns\": {}, \"structural_clone_recompile_ns\": {}, ",
+                "\"structural_speedup\": {}}}"
+            ),
+            tasks,
+            fmt_opt(rp),
+            fmt_opt(rc),
+            fmt_opt(rs.map(|s| (s * 10.0).round() / 10.0)),
+            fmt_opt(sp),
+            fmt_opt(sc),
+            fmt_opt(ss.map(|s| (s * 10.0).round() / 10.0)),
+        ));
+    }
+
+    // Smoke runs (`--test`) measure one iteration — not worth snapshotting.
+    if !quick {
+        let json = format!(
+            concat!(
+                "{{\n  \"pipelines\": \"patch = PatchGraph emit + CompiledGraph::apply; ",
+                "clone_recompile = DependencyGraph clone + mutate + compile\",\n",
+                "  \"note\": \"per-scenario transform cost only; the simulate stage ",
+                "is identical for both pipelines\",\n",
+                "  \"results\": [\n{}\n  ]\n  }}"
+            ),
+            rows.join(",\n")
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+        match criterion::snapshot::merge_section(path, "transform_patch", &json) {
+            Ok(()) => println!("wrote transform_patch section of {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}

@@ -130,6 +130,19 @@ mod tests {
     }
 
     #[test]
+    fn explain_fingerprint_option_parses() {
+        // `sweep --explain <fingerprint>` takes a hex key as its value —
+        // both spellings, never as a bare flag.
+        let a = parse(&["--explain", "93b1f00ddeadbeef", "--models", "ResNet-50"]);
+        assert_eq!(a.opt_maybe("explain"), Some("93b1f00ddeadbeef"));
+        let b = parse(&["--explain=93b1"]);
+        assert_eq!(b.opt_maybe("explain"), Some("93b1"));
+        let bare = parse(&["--explain"]);
+        assert_eq!(bare.opt("explain", ""), "true", "bare flag has no key");
+        assert!(Args::parse(["--explain".into(), "a".into(), "--explain=b".into()]).is_err());
+    }
+
+    #[test]
     fn duplicate_options_are_rejected() {
         let argv = |s: &[&str]| Args::parse(s.iter().map(|x| x.to_string()));
         let err = argv(&["--batch", "8", "--batch", "16"]).unwrap_err();

@@ -15,7 +15,7 @@ use daydream_shard::{
     diff_runs, merge_run, merged_cache, process_shard, run_worker, write_merged, RunDir,
     ShardDisposition, ShardPlan, WorkerConfig,
 };
-use daydream_sweep::{SweepEngine, SweepGrid};
+use daydream_sweep::{explain_scenario, SweepEngine, SweepGrid};
 use daydream_trace::{runtime_breakdown, Framework};
 
 /// Resolves a model name or exits with a helpful message.
@@ -363,6 +363,7 @@ const SWEEP_KEYS: &[&str] = &[
     "out",
     "csv",
     "cache-file",
+    "explain",
     "shards",
     "shard-index",
     "run-dir",
@@ -413,6 +414,24 @@ pub fn cmd_sweep(args: &Args) -> Result<(), String> {
         .target_batches(parse_list(args, "target-batches", "16")?)
         .filter(move |s| s.batch <= max_batch)
         .build();
+
+    if let Some(prefix) = args.opt_maybe("explain") {
+        for key in [
+            "run-dir",
+            "shards",
+            "shard-index",
+            "worker-id",
+            "lease-ttl-secs",
+            "out",
+            "csv",
+            "cache-file",
+        ] {
+            if args.opt_maybe(key).is_some() {
+                return Err(format!("--explain does not combine with --{key}"));
+            }
+        }
+        return cmd_sweep_explain(&grid, prefix);
+    }
 
     let engine = match args.opt_maybe("threads") {
         Some(t) => SweepEngine::new(t.parse().map_err(|_| format!("invalid --threads {t}"))?),
@@ -545,6 +564,37 @@ fn print_run_status(run: &RunDir) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// `daydream sweep --explain <fingerprint>` — print the graph patch one
+/// scenario of the grid emits (tasks scaled/inserted/removed, deps
+/// changed) instead of sweeping. The fingerprint is the result `key`
+/// from a report/cache file; any unambiguous prefix works.
+fn cmd_sweep_explain(grid: &SweepGrid, prefix: &str) -> Result<(), String> {
+    let prefix = prefix.to_lowercase();
+    let scenarios = grid.expand()?;
+    let matches: Vec<_> = scenarios
+        .iter()
+        .filter(|s| s.fingerprint_hex().starts_with(&prefix))
+        .collect();
+    match matches.as_slice() {
+        [] => Err(format!(
+            "no scenario in this grid matches fingerprint '{prefix}' \
+             ({} scenarios expanded; keys come from the report's `key` column)",
+            scenarios.len()
+        )),
+        [one] => {
+            println!("{}", explain_scenario(one)?);
+            Ok(())
+        }
+        many => Err(format!(
+            "fingerprint prefix '{prefix}' is ambiguous: {} scenarios match \
+             (e.g. {} -> {}); use more hex digits",
+            many.len(),
+            many[0].fingerprint_hex(),
+            many[0].label()
+        )),
+    }
 }
 
 /// `daydream sweep --shards N [--shard-index I] --run-dir D` — plan a
@@ -775,6 +825,54 @@ mod tests {
             "2",
         ]);
         cmd_sweep(&a).unwrap();
+    }
+
+    #[test]
+    fn sweep_explain_prints_patch_summary() {
+        // An unknown fingerprint fails fast, before any profiling.
+        let err = cmd_sweep(&args(&[
+            "--models",
+            "ResNet-50",
+            "--batches",
+            "4",
+            "--opts",
+            "amp",
+            "--explain",
+            "ffffffffffffffff",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("no scenario"), "got: {err}");
+
+        // A valid key (any prefix of the scenario fingerprint) succeeds.
+        let scenario = daydream_sweep::Scenario::new(
+            "ResNet-50",
+            4,
+            daydream_sweep::OptSpec::Gist { lossy: false },
+        );
+        let key = scenario.fingerprint_hex();
+        cmd_sweep(&args(&[
+            "--models",
+            "ResNet-50",
+            "--batches",
+            "4",
+            "--opts",
+            "gist",
+            "--explain",
+            &key[..8],
+        ]))
+        .unwrap();
+
+        // --explain refuses to combine with sweep outputs/sharding.
+        let err = cmd_sweep(&args(&[
+            "--models",
+            "ResNet-50",
+            "--explain",
+            &key,
+            "--run-dir",
+            "/tmp/x",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("does not combine"), "got: {err}");
     }
 
     #[test]

@@ -69,6 +69,9 @@ SWEEP OPTIONS (comma-separated lists expand into grid axes):
     --out F.json       write the ranked report as JSON
     --csv F.csv        write the ranked results as CSV
     --cache-file F     load/save the result cache (repeat runs are free)
+    --explain FP       print one scenario's graph patch (tasks scaled /
+                       inserted / removed, deps changed) instead of sweeping;
+                       FP is a result-key (fingerprint) prefix from a report
 
 DISTRIBUTED SWEEP OPTIONS (shard a grid across processes/machines):
     --shards N         split the grid into N fingerprint-balanced shards

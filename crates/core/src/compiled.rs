@@ -20,8 +20,10 @@
 //! constants, no `BTreeMap` in the loop.
 
 use crate::graph::{DependencyGraph, TaskId};
+use crate::patch::GraphPatch;
 use crate::task::ExecThread;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Dense index of a live task in a [`CompiledGraph`] (the compaction of
 /// [`TaskId`]; ascending `CompactId` order equals ascending `TaskId`
@@ -34,30 +36,34 @@ pub struct CompactId(pub u32);
 pub struct ThreadId(pub u32);
 
 /// A frozen dependency graph in CSR form, ready for simulation.
+///
+/// Every array is behind an [`Arc`], so [`CompiledGraph::apply`] can
+/// produce a patched graph that *shares* untouched regions with its base
+/// (a retime-only patch shares the whole topology; clones are O(1)).
 #[derive(Debug, Clone)]
 pub struct CompiledGraph {
     /// `CompactId -> TaskId` (ascending).
-    task_ids: Vec<TaskId>,
+    task_ids: Arc<Vec<TaskId>>,
     /// Arena capacity of the source graph (for index-aligned outputs).
     arena_len: usize,
     /// Interned threads, `ThreadId -> ExecThread` (first-appearance order).
-    threads: Vec<ExecThread>,
+    threads: Arc<Vec<ExecThread>>,
     /// Per-task interned thread.
-    thread_of: Vec<ThreadId>,
+    thread_of: Arc<Vec<ThreadId>>,
     /// Per-task `duration + gap`: what dispatch advances the thread by.
-    cost_ns: Vec<u64>,
+    cost_ns: Arc<Vec<u64>>,
     /// Per-task duration (what the makespan sees).
-    duration_ns: Vec<u64>,
+    duration_ns: Arc<Vec<u64>>,
     /// Per-task scheduling priority (P3's `Schedule` override).
-    priority: Vec<i64>,
+    priority: Arc<Vec<i64>>,
     /// Per-thread "is a communication channel" flag.
-    comm_thread: Vec<bool>,
+    comm_thread: Arc<Vec<bool>>,
     /// CSR offsets into `succ`, length `len() + 1`.
-    succ_off: Vec<u32>,
+    succ_off: Arc<Vec<u32>>,
     /// Flattened successor lists.
-    succ: Vec<CompactId>,
+    succ: Arc<Vec<CompactId>>,
     /// Predecessor counts (the simulator's initial reference counts).
-    pred_count: Vec<u32>,
+    pred_count: Arc<Vec<u32>>,
 }
 
 impl CompiledGraph {
@@ -106,17 +112,17 @@ impl CompiledGraph {
         }
 
         CompiledGraph {
-            task_ids,
+            task_ids: Arc::new(task_ids),
             arena_len: cap,
-            threads,
-            thread_of,
-            cost_ns,
-            duration_ns,
-            priority,
-            comm_thread,
-            succ_off,
-            succ,
-            pred_count,
+            threads: Arc::new(threads),
+            thread_of: Arc::new(thread_of),
+            cost_ns: Arc::new(cost_ns),
+            duration_ns: Arc::new(duration_ns),
+            priority: Arc::new(priority),
+            comm_thread: Arc::new(comm_thread),
+            succ_off: Arc::new(succ_off),
+            succ: Arc::new(succ),
+            pred_count: Arc::new(pred_count),
         }
     }
 
@@ -203,7 +209,275 @@ impl CompiledGraph {
 
     /// A copy of all predecessor counts (the simulator's working state).
     pub fn pred_counts(&self) -> Vec<u32> {
-        self.pred_count.clone()
+        (*self.pred_count).clone()
+    }
+
+    /// The compact id of a live task, if present.
+    pub fn compact_of(&self, id: TaskId) -> Option<CompactId> {
+        self.task_ids
+            .binary_search(&id)
+            .ok()
+            .map(|i| CompactId(i as u32))
+    }
+
+    /// Applies a [`GraphPatch`] by incremental recompilation, producing
+    /// the compiled form of the patched graph without touching the base.
+    ///
+    /// Retime-only patches (scale/shrink durations, priority overrides on
+    /// unchanged topology) rebuild only the affected dense arrays and
+    /// share everything else with the base via `Arc`. Structural patches
+    /// (insert/remove tasks, edge changes, thread moves) rebuild the CSR
+    /// and per-task state in flat O(V + E) array passes — no `Task`
+    /// structs, no `BTreeMap`s, no arena walk — which is what makes a
+    /// per-scenario evaluation "emit + apply + simulate" instead of
+    /// "clone + mutate + recompile".
+    ///
+    /// Simulation over the result is pinned (proptests) to be identical to
+    /// [`GraphPatch::apply_reference`] + [`CompiledGraph::compile`]: same
+    /// task starts, waits, makespan, and per-thread ends. Compact ids stay
+    /// in ascending `TaskId` order, so id-based tie-breaks survive; the
+    /// interned thread *order* may differ from a fresh compile, but the
+    /// thread set (and thus every simulation output) does not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the patch was recorded against a different base arena.
+    pub fn apply(&self, patch: &GraphPatch) -> CompiledGraph {
+        assert_eq!(
+            self.arena_len,
+            patch.base_capacity(),
+            "patch recorded against a different base arena"
+        );
+        let d = patch.delta();
+        if d.is_structural() {
+            return self.apply_structural(patch);
+        }
+        // Dense retimes (AMP touches every GPU task) amortize one flat
+        // inverse pass; sparse ones binary-search per touched task.
+        let old_of = (d.touched().len() > 64).then(|| self.compact_inverse());
+        let compact = |id: TaskId| -> usize {
+            match &old_of {
+                Some(inv) => inv[id.0] as usize,
+                None => self.compact_of(id).expect("retimed task must be live").0 as usize,
+            }
+        };
+        // Topology untouched; a thread move still needs the structural
+        // path (thread_of rewrite + possible vacated-thread compaction).
+        let thread_changed = d.touched().iter().any(|&id| {
+            let s = d.scalars(id).expect("touched task has a slot");
+            s.thread
+                .is_some_and(|t| self.threads[self.thread_of[compact(id)].0 as usize] != t)
+        });
+        if thread_changed {
+            return self.apply_structural(patch);
+        }
+        self.apply_retime(patch, &compact)
+    }
+
+    /// Arena-indexed `TaskId -> old CompactId` inverse (u32::MAX for
+    /// tombstones). One flat O(arena) pass that replaces per-task binary
+    /// searches in the apply loops.
+    fn compact_inverse(&self) -> Vec<u32> {
+        let mut inv = vec![u32::MAX; self.arena_len];
+        for (i, &tid) in self.task_ids.iter().enumerate() {
+            inv[tid.0] = i as u32;
+        }
+        inv
+    }
+
+    /// The structural path: rebuild compaction, per-task state, and CSR
+    /// in flat array passes, reusing every untouched base span.
+    fn apply_structural(&self, patch: &GraphPatch) -> CompiledGraph {
+        let d = patch.delta();
+        let base_cap = self.arena_len;
+        let n_old = self.len();
+        let arena_new = base_cap + d.new_ids().len();
+        let old_of = self.compact_inverse();
+
+        // Final live task list, ascending (new ids all sort after base).
+        let mut live: Vec<TaskId> = Vec::with_capacity(n_old + d.new_ids().len());
+        live.extend(
+            self.task_ids
+                .iter()
+                .copied()
+                .filter(|id| !d.is_removed(*id)),
+        );
+        live.extend(d.new_ids().iter().copied().filter(|id| !d.is_removed(*id)));
+        let n = live.len();
+
+        // TaskId -> new compact id, arena-indexed.
+        let mut new_compact = vec![u32::MAX; arena_new];
+        for (i, &tid) in live.iter().enumerate() {
+            new_compact[tid.0] = i as u32;
+        }
+        // Old compact -> new compact (for remapping untouched CSR spans).
+        let remap_old: Vec<u32> = self.task_ids.iter().map(|id| new_compact[id.0]).collect();
+
+        // Per-task state. Untouched base tasks copy straight from the base
+        // arrays (no hashing, no Task access); only overlay tasks intern.
+        let mut threads_new: Vec<ExecThread> = (*self.threads).clone();
+        let mut intern: HashMap<ExecThread, u32> = threads_new
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i as u32))
+            .collect();
+        let mut thread_idx: Vec<u32> = Vec::with_capacity(n);
+        let mut cost_ns = Vec::with_capacity(n);
+        let mut duration_ns = Vec::with_capacity(n);
+        let mut priority = Vec::with_capacity(n);
+        let mut pred_count = Vec::with_capacity(n);
+        for &tid in &live {
+            match d.scalars(tid) {
+                // New tasks carry every field in their slot; modified base
+                // tasks merge sparse overrides onto the base arrays.
+                Some(s) if tid.0 >= base_cap => {
+                    let thread = s.thread.expect("new task slot is complete");
+                    let ti = *intern.entry(thread).or_insert_with(|| {
+                        threads_new.push(thread);
+                        threads_new.len() as u32 - 1
+                    });
+                    thread_idx.push(ti);
+                    let dur = s.duration_ns.expect("new task slot is complete");
+                    let gap = s.gap_ns.expect("new task slot is complete");
+                    cost_ns.push(dur + gap);
+                    duration_ns.push(dur);
+                    priority.push(s.priority.expect("new task slot is complete"));
+                }
+                Some(s) => {
+                    let oc = old_of[tid.0] as usize;
+                    let ti = match s.thread {
+                        Some(thread) => *intern.entry(thread).or_insert_with(|| {
+                            threads_new.push(thread);
+                            threads_new.len() as u32 - 1
+                        }),
+                        None => self.thread_of[oc].0,
+                    };
+                    thread_idx.push(ti);
+                    let dur = s.duration_ns.unwrap_or(self.duration_ns[oc]);
+                    let gap = s.gap_ns.unwrap_or(self.cost_ns[oc] - self.duration_ns[oc]);
+                    cost_ns.push(dur + gap);
+                    duration_ns.push(dur);
+                    priority.push(s.priority.unwrap_or(self.priority[oc]));
+                }
+                None => {
+                    let oc = old_of[tid.0] as usize;
+                    thread_idx.push(self.thread_of[oc].0);
+                    cost_ns.push(self.cost_ns[oc]);
+                    duration_ns.push(self.duration_ns[oc]);
+                    priority.push(self.priority[oc]);
+                }
+            }
+            pred_count.push(match d.pred_over(tid) {
+                Some(list) => list.len() as u32,
+                // A new task with no overlay entry never gained an edge.
+                None if tid.0 >= base_cap => 0,
+                None => self.pred_count[old_of[tid.0] as usize],
+            });
+        }
+
+        // Drop threads the patch vacated (a recompile would never intern
+        // them, and `SimResult::thread_end` must agree with the oracle).
+        let mut live_per_thread = vec![0u32; threads_new.len()];
+        for &t in &thread_idx {
+            live_per_thread[t as usize] += 1;
+        }
+        if live_per_thread.contains(&0) {
+            let mut remap = vec![u32::MAX; threads_new.len()];
+            let mut compacted = Vec::with_capacity(threads_new.len());
+            for (i, &t) in threads_new.iter().enumerate() {
+                if live_per_thread[i] > 0 {
+                    remap[i] = compacted.len() as u32;
+                    compacted.push(t);
+                }
+            }
+            for t in thread_idx.iter_mut() {
+                *t = remap[*t as usize];
+            }
+            threads_new = compacted;
+        }
+        let comm_thread: Vec<bool> = threads_new.iter().map(ExecThread::is_comm).collect();
+        let thread_of: Vec<ThreadId> = thread_idx.into_iter().map(ThreadId).collect();
+
+        // Successor CSR: untouched rows are remapped base spans; dirty
+        // rows come from the overlay (they never reference removed tasks —
+        // removal detaches both sides, dirtying every neighbour).
+        let mut succ_off = Vec::with_capacity(n + 1);
+        let mut succ: Vec<CompactId> = Vec::with_capacity(self.succ.len());
+        succ_off.push(0u32);
+        for &tid in &live {
+            match d.succ_over(tid) {
+                Some(list) => {
+                    for &(to, _) in list {
+                        let c = new_compact[to.0];
+                        debug_assert_ne!(c, u32::MAX, "overlay edge to a removed task");
+                        succ.push(CompactId(c));
+                    }
+                }
+                // A new task with no overlay entry has no out-edges.
+                None if tid.0 >= base_cap => {}
+                None => {
+                    let oc = CompactId(old_of[tid.0]);
+                    for &s in self.successors(oc) {
+                        let c = remap_old[s.0 as usize];
+                        debug_assert_ne!(c, u32::MAX, "stale base edge to a removed task");
+                        succ.push(CompactId(c));
+                    }
+                }
+            }
+            succ_off.push(succ.len() as u32);
+        }
+
+        CompiledGraph {
+            task_ids: Arc::new(live),
+            arena_len: arena_new,
+            threads: Arc::new(threads_new),
+            thread_of: Arc::new(thread_of),
+            cost_ns: Arc::new(cost_ns),
+            duration_ns: Arc::new(duration_ns),
+            priority: Arc::new(priority),
+            comm_thread: Arc::new(comm_thread),
+            succ_off: Arc::new(succ_off),
+            succ: Arc::new(succ),
+            pred_count: Arc::new(pred_count),
+        }
+    }
+
+    /// The retime-only fast path: topology and threads are shared with the
+    /// base; only the duration/cost (and, if touched, priority) arrays are
+    /// rebuilt.
+    fn apply_retime(&self, patch: &GraphPatch, compact: &dyn Fn(TaskId) -> usize) -> CompiledGraph {
+        let d = patch.delta();
+        let mut cost_ns = (*self.cost_ns).clone();
+        let mut duration_ns = (*self.duration_ns).clone();
+        let mut priority: Option<Vec<i64>> = None;
+        for &id in d.touched() {
+            let s = d.scalars(id).expect("touched task has a slot");
+            let c = compact(id);
+            let dur = s.duration_ns.unwrap_or(self.duration_ns[c]);
+            let gap = s.gap_ns.unwrap_or(self.cost_ns[c] - self.duration_ns[c]);
+            cost_ns[c] = dur + gap;
+            duration_ns[c] = dur;
+            if let Some(p) = s.priority {
+                if p != self.priority[c] {
+                    priority.get_or_insert_with(|| (*self.priority).clone())[c] = p;
+                }
+            }
+        }
+        CompiledGraph {
+            task_ids: Arc::clone(&self.task_ids),
+            arena_len: self.arena_len,
+            threads: Arc::clone(&self.threads),
+            thread_of: Arc::clone(&self.thread_of),
+            cost_ns: Arc::new(cost_ns),
+            duration_ns: Arc::new(duration_ns),
+            priority: priority
+                .map(Arc::new)
+                .unwrap_or_else(|| Arc::clone(&self.priority)),
+            comm_thread: Arc::clone(&self.comm_thread),
+            succ_off: Arc::clone(&self.succ_off),
+            succ: Arc::clone(&self.succ),
+            pred_count: Arc::clone(&self.pred_count),
+        }
     }
 }
 

@@ -4,7 +4,7 @@
 //! bridges thread-sequence edges so the per-thread "linked list" the paper
 //! describes stays intact (Fig. 4).
 
-use crate::task::{ExecThread, Task};
+use crate::task::{ExecThread, Task, TaskKind};
 use serde::{map_get, DeError, Deserialize, Serialize, Value};
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
@@ -52,6 +52,127 @@ impl fmt::Display for GraphError {
 }
 
 impl std::error::Error for GraphError {}
+
+/// Read access to a (possibly virtual) dependency graph.
+///
+/// Implemented by [`DependencyGraph`] itself and by
+/// [`crate::patch::PatchGraph`], the copy-on-write overlay that what-if
+/// planners emit [`crate::patch::GraphPatch`]es through. The §4.4
+/// primitives ([`crate::transform`]) are generic over this trait, so one
+/// implementation serves both the legacy mutate-in-place path and the
+/// patch-emitting path.
+pub trait GraphView {
+    /// Immutable task access.
+    fn task(&self, id: TaskId) -> &Task;
+
+    /// Successors of a task.
+    fn successors(&self, id: TaskId) -> &[(TaskId, DepKind)];
+
+    /// Predecessors of a task.
+    fn predecessors(&self, id: TaskId) -> &[(TaskId, DepKind)];
+
+    /// Live task ids in ascending order.
+    fn live_ids(&self) -> Vec<TaskId>;
+
+    /// Live tasks satisfying a predicate (the Select primitive, §4.4).
+    fn select_ids(&self, pred: impl Fn(&Task) -> bool) -> Vec<TaskId> {
+        self.live_ids()
+            .into_iter()
+            .filter(|&id| pred(self.task(id)))
+            .collect()
+    }
+}
+
+/// Mutation access to a (possibly virtual) dependency graph.
+///
+/// [`DependencyGraph`] applies these directly; [`crate::patch::PatchGraph`]
+/// records them as typed [`crate::patch::PatchOp`]s while maintaining a
+/// read-consistent overlay. Field updates are typed (no `task_mut`
+/// escape hatch) precisely so they stay recordable.
+pub trait GraphEdit: GraphView {
+    /// Adds a task, returning its id.
+    fn add_task(&mut self, task: Task) -> TaskId;
+
+    /// Adds a dependency edge (duplicates and self-edges ignored).
+    fn add_dep(&mut self, from: TaskId, to: TaskId, kind: DepKind);
+
+    /// Removes the edge `from -> to` if present.
+    fn remove_dep(&mut self, from: TaskId, to: TaskId);
+
+    /// Removes a task, bridging its thread sequences (Remove primitive).
+    fn remove_task(&mut self, id: TaskId);
+
+    /// Sets a task's duration (the shrink/scale primitives).
+    fn set_duration(&mut self, id: TaskId, duration_ns: u64);
+
+    /// Renames a task.
+    fn set_name(&mut self, id: TaskId, name: String);
+
+    /// Changes what a task does (e.g. rewritten payload bytes).
+    fn set_kind(&mut self, id: TaskId, kind: TaskKind);
+
+    /// Moves a task to a different execution thread.
+    fn set_thread(&mut self, id: TaskId, thread: ExecThread);
+
+    /// Sets a task's scheduling priority (the Schedule override).
+    fn set_priority(&mut self, id: TaskId, priority: i64);
+}
+
+impl GraphView for DependencyGraph {
+    fn task(&self, id: TaskId) -> &Task {
+        DependencyGraph::task(self, id)
+    }
+
+    fn successors(&self, id: TaskId) -> &[(TaskId, DepKind)] {
+        DependencyGraph::successors(self, id)
+    }
+
+    fn predecessors(&self, id: TaskId) -> &[(TaskId, DepKind)] {
+        DependencyGraph::predecessors(self, id)
+    }
+
+    fn live_ids(&self) -> Vec<TaskId> {
+        self.iter().map(|(id, _)| id).collect()
+    }
+}
+
+impl GraphEdit for DependencyGraph {
+    fn add_task(&mut self, task: Task) -> TaskId {
+        DependencyGraph::add_task(self, task)
+    }
+
+    fn add_dep(&mut self, from: TaskId, to: TaskId, kind: DepKind) {
+        DependencyGraph::add_dep(self, from, to, kind)
+    }
+
+    fn remove_dep(&mut self, from: TaskId, to: TaskId) {
+        DependencyGraph::remove_dep(self, from, to)
+    }
+
+    fn remove_task(&mut self, id: TaskId) {
+        DependencyGraph::remove_task(self, id)
+    }
+
+    fn set_duration(&mut self, id: TaskId, duration_ns: u64) {
+        self.task_mut(id).duration_ns = duration_ns;
+    }
+
+    fn set_name(&mut self, id: TaskId, name: String) {
+        self.task_mut(id).name = name;
+    }
+
+    fn set_kind(&mut self, id: TaskId, kind: TaskKind) {
+        self.task_mut(id).kind = kind;
+    }
+
+    fn set_thread(&mut self, id: TaskId, thread: ExecThread) {
+        self.task_mut(id).thread = thread;
+    }
+
+    fn set_priority(&mut self, id: TaskId, priority: i64) {
+        self.task_mut(id).priority = priority;
+    }
+}
 
 /// The dependency graph: tasks plus typed edges.
 ///

@@ -38,6 +38,7 @@ pub mod compiled;
 pub mod construct;
 pub mod graph;
 pub mod layer_map;
+pub mod patch;
 pub mod predict;
 pub mod replicate;
 pub mod report;
@@ -48,8 +49,11 @@ pub mod whatif;
 
 pub use compiled::{CompactId, CompiledGraph, ThreadId};
 pub use construct::{build_graph, ProfiledGraph};
-pub use graph::{DepKind, DependencyGraph, GraphError, TaskId};
-pub use predict::{makespan_ns, predict, predict_from_baseline, predict_with, Prediction};
+pub use graph::{DepKind, DependencyGraph, GraphEdit, GraphError, GraphView, TaskId};
+pub use patch::{GraphPatch, PatchGraph, PatchOp, PatchSummary};
+pub use predict::{
+    makespan_ns, predict, predict_from_baseline, predict_patched, predict_with, Prediction,
+};
 pub use replicate::{replicate_iterations, ReplicatedGraph};
 pub use report::{layer_report, LayerTimes};
 pub use sim::{

@@ -1,7 +1,9 @@
 //! Prediction reports: baseline vs what-if simulated time.
 
+use crate::compiled::CompiledGraph;
 use crate::construct::ProfiledGraph;
 use crate::graph::DependencyGraph;
+use crate::patch::GraphPatch;
 use crate::sim::{simulate, simulate_with, FrontierOrder};
 use serde::{Deserialize, Serialize};
 
@@ -99,6 +101,35 @@ where
 /// Simulates a standalone graph and returns its makespan in nanoseconds.
 pub fn makespan_ns(graph: &DependencyGraph) -> u64 {
     simulate(graph).expect("graph must be a DAG").makespan_ns
+}
+
+/// [`predict_from_baseline`] over the compiled fast path: applies an
+/// already-emitted [`GraphPatch`] to a shared immutable [`CompiledGraph`]
+/// (compiled once per base profile) and simulates the patched graph —
+/// per-scenario cost is emit + apply + simulate, with no base clone and
+/// no full recompile.
+pub fn predict_patched(
+    baseline_ns: u64,
+    compiled: &CompiledGraph,
+    patch: &GraphPatch,
+) -> Prediction {
+    predict_patched_with(baseline_ns, compiled, patch, &crate::sim::EarliestStart)
+}
+
+/// [`predict_patched`] with a custom frontier policy.
+pub fn predict_patched_with<O: FrontierOrder>(
+    baseline_ns: u64,
+    compiled: &CompiledGraph,
+    patch: &GraphPatch,
+    order: &O,
+) -> Prediction {
+    let patched = compiled.apply(patch);
+    let predicted =
+        crate::sim::simulate_compiled_with(&patched, order).expect("patched graph must stay a DAG");
+    Prediction {
+        baseline_ns,
+        predicted_ns: predicted.makespan_ns,
+    }
 }
 
 #[cfg(test)]

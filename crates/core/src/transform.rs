@@ -8,13 +8,19 @@
 //! [`crate::sim::FrontierOrder`]; the legacy [`crate::sim::Scheduler`]
 //! trait drives only the reference oracle). §5 shows ten optimizations
 //! built from these.
+//!
+//! Every primitive is generic over [`GraphEdit`], so the same code serves
+//! two call paths: mutate a [`crate::DependencyGraph`] in place (the
+//! legacy `what_if_*` API), or record a [`crate::patch::GraphPatch`]
+//! through a [`crate::patch::PatchGraph`] overlay for the
+//! compile-once-patch-per-scenario pipeline.
 
-use crate::graph::{DepKind, DependencyGraph, TaskId};
+use crate::graph::{DepKind, GraphEdit, GraphView, TaskId};
 use crate::task::{ExecThread, Task, TaskKind};
 use daydream_trace::{CudaApi, Phase};
 
 /// Returns the same-thread sequence successor of a task, if any.
-pub fn thread_successor(g: &DependencyGraph, id: TaskId) -> Option<TaskId> {
+pub fn thread_successor<G: GraphView>(g: &G, id: TaskId) -> Option<TaskId> {
     let thread = g.task(id).thread;
     g.successors(id)
         .iter()
@@ -26,7 +32,7 @@ pub fn thread_successor(g: &DependencyGraph, id: TaskId) -> Option<TaskId> {
 }
 
 /// Returns the same-thread sequence predecessor of a task, if any.
-pub fn thread_predecessor(g: &DependencyGraph, id: TaskId) -> Option<TaskId> {
+pub fn thread_predecessor<G: GraphView>(g: &G, id: TaskId) -> Option<TaskId> {
     let thread = g.task(id).thread;
     g.predecessors(id)
         .iter()
@@ -54,7 +60,7 @@ fn seq_kind(thread: ExecThread) -> DepKind {
 /// # Panics
 ///
 /// Panics if `task.thread` differs from `after`'s thread.
-pub fn insert_after(g: &mut DependencyGraph, after: TaskId, mut task: Task) -> TaskId {
+pub fn insert_after<G: GraphEdit>(g: &mut G, after: TaskId, mut task: Task) -> TaskId {
     let thread = g.task(after).thread;
     assert_eq!(
         task.thread, thread,
@@ -77,7 +83,7 @@ pub fn insert_after(g: &mut DependencyGraph, after: TaskId, mut task: Task) -> T
 /// # Panics
 ///
 /// Panics if `task.thread` differs from `before`'s thread.
-pub fn insert_before(g: &mut DependencyGraph, before: TaskId, mut task: Task) -> TaskId {
+pub fn insert_before<G: GraphEdit>(g: &mut G, before: TaskId, mut task: Task) -> TaskId {
     let thread = g.task(before).thread;
     assert_eq!(
         task.thread, thread,
@@ -99,8 +105,8 @@ pub fn insert_before(g: &mut DependencyGraph, before: TaskId, mut task: Task) ->
 /// CPU launch API that triggers it after `cpu_after` (paper Fig. 4b).
 ///
 /// Returns `(launch_id, kernel_id)`.
-pub fn insert_gpu_task_with_launch(
-    g: &mut DependencyGraph,
+pub fn insert_gpu_task_with_launch<G: GraphEdit>(
+    g: &mut G,
     cpu_after: TaskId,
     gpu_after: TaskId,
     kernel: Task,
@@ -121,15 +127,15 @@ pub fn insert_gpu_task_with_launch(
 }
 
 /// Scales the durations of selected tasks by `factor` (shrink when < 1).
-pub fn scale_durations(g: &mut DependencyGraph, sel: &[TaskId], factor: f64) {
+pub fn scale_durations<G: GraphEdit>(g: &mut G, sel: &[TaskId], factor: f64) {
     for &id in sel {
-        let t = g.task_mut(id);
-        t.duration_ns = (t.duration_ns as f64 * factor).round() as u64;
+        let scaled = (g.task(id).duration_ns as f64 * factor).round() as u64;
+        g.set_duration(id, scaled);
     }
 }
 
 /// Removes all selected tasks, bridging their thread sequences.
-pub fn remove_all(g: &mut DependencyGraph, sel: &[TaskId]) {
+pub fn remove_all<G: GraphEdit>(g: &mut G, sel: &[TaskId]) {
     for &id in sel {
         g.remove_task(id);
     }
@@ -140,34 +146,35 @@ pub mod select {
     use super::*;
 
     /// All live GPU tasks (`Select(funcPtr(IsOnGPU))` in the algorithms).
-    pub fn gpu_tasks(g: &DependencyGraph) -> Vec<TaskId> {
-        g.select(|t| t.is_on_gpu())
+    pub fn gpu_tasks<G: GraphView>(g: &G) -> Vec<TaskId> {
+        g.select_ids(|t| t.is_on_gpu())
     }
 
     /// Tasks whose name contains a keyword (e.g. `"sgemm"`).
-    pub fn by_keyword(g: &DependencyGraph, keyword: &str) -> Vec<TaskId> {
-        g.select(|t| t.name.contains(keyword))
+    pub fn by_keyword<G: GraphView>(g: &G, keyword: &str) -> Vec<TaskId> {
+        g.select_ids(|t| t.name.contains(keyword))
     }
 
     /// GPU tasks of a given phase.
-    pub fn gpu_in_phase(g: &DependencyGraph, phase: Phase) -> Vec<TaskId> {
-        g.select(|t| t.is_on_gpu() && t.in_phase(phase))
+    pub fn gpu_in_phase<G: GraphView>(g: &G, phase: Phase) -> Vec<TaskId> {
+        g.select_ids(|t| t.is_on_gpu() && t.in_phase(phase))
     }
 
     /// All tasks (CPU and GPU) of a given phase.
-    pub fn in_phase(g: &DependencyGraph, phase: Phase) -> Vec<TaskId> {
-        g.select(|t| t.in_phase(phase))
+    pub fn in_phase<G: GraphView>(g: &G, phase: Phase) -> Vec<TaskId> {
+        g.select_ids(|t| t.in_phase(phase))
     }
 
     /// GPU tasks belonging to a specific layer id.
-    pub fn gpu_of_layer(g: &DependencyGraph, layer: daydream_trace::LayerId) -> Vec<TaskId> {
-        g.select(|t| t.is_on_gpu() && t.layer.map(|l| l.layer == layer).unwrap_or(false))
+    pub fn gpu_of_layer<G: GraphView>(g: &G, layer: daydream_trace::LayerId) -> Vec<TaskId> {
+        g.select_ids(|t| t.is_on_gpu() && t.layer.map(|l| l.layer == layer).unwrap_or(false))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::DependencyGraph;
     use crate::sim::simulate;
     use daydream_trace::{CpuThreadId, DeviceId, StreamId};
 

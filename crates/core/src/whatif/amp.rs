@@ -8,6 +8,7 @@
 //! exactly.
 
 use crate::construct::ProfiledGraph;
+use crate::graph::GraphEdit;
 use crate::transform::select;
 
 /// Kernel-duration divisor for Tensor-Core-eligible kernels.
@@ -15,18 +16,25 @@ pub const COMPUTE_BOUND_GAIN: f64 = 3.0;
 /// Kernel-duration divisor for memory-bound kernels.
 pub const MEMORY_BOUND_GAIN: f64 = 2.0;
 
-/// Applies the AMP transformation to the graph (Algorithm 3).
-pub fn what_if_amp(pg: &mut ProfiledGraph) {
-    let gpu_tasks = select::gpu_tasks(&pg.graph);
-    for id in gpu_tasks {
-        let t = pg.graph.task_mut(id);
+/// The AMP transformation (Algorithm 3) over any graph edit target —
+/// a [`crate::DependencyGraph`] in place or a patch-recording
+/// [`crate::patch::PatchGraph`].
+pub fn plan_amp<G: GraphEdit>(g: &mut G) {
+    for id in select::gpu_tasks(g) {
+        let t = g.task(id);
         let divisor = if t.name.contains("sgemm") || t.name.contains("scudnn") {
             COMPUTE_BOUND_GAIN
         } else {
             MEMORY_BOUND_GAIN
         };
-        t.duration_ns = (t.duration_ns as f64 / divisor).round() as u64;
+        let shrunk = (t.duration_ns as f64 / divisor).round() as u64;
+        g.set_duration(id, shrunk);
     }
+}
+
+/// Applies the AMP transformation to the graph (Algorithm 3).
+pub fn what_if_amp(pg: &mut ProfiledGraph) {
+    plan_amp(&mut pg.graph);
 }
 
 #[cfg(test)]

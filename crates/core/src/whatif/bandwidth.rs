@@ -7,23 +7,28 @@
 //! produced by [`crate::whatif::what_if_distributed`].
 
 use crate::construct::ProfiledGraph;
-use crate::graph::TaskId;
+use crate::graph::{GraphEdit, TaskId};
 use crate::task::TaskKind;
+
+/// The bandwidth-change transformation over any graph edit target.
+///
+/// Returns the affected tasks.
+pub fn plan_bandwidth<G: GraphEdit>(g: &mut G, factor: f64) -> Vec<TaskId> {
+    assert!(factor > 0.0, "bandwidth factor must be positive");
+    let comm = g.select_ids(|t| matches!(t.kind, TaskKind::Communication { .. }));
+    for &id in &comm {
+        let scaled = (g.task(id).duration_ns as f64 / factor).round() as u64;
+        g.set_duration(id, scaled);
+    }
+    comm
+}
 
 /// Scales every communication task for a bandwidth change of `factor`
 /// (2.0 = twice the bandwidth, halving transfer times).
 ///
 /// Returns the affected tasks.
 pub fn what_if_bandwidth(pg: &mut ProfiledGraph, factor: f64) -> Vec<TaskId> {
-    assert!(factor > 0.0, "bandwidth factor must be positive");
-    let comm = pg
-        .graph
-        .select(|t| matches!(t.kind, TaskKind::Communication { .. }));
-    for &id in &comm {
-        let t = pg.graph.task_mut(id);
-        t.duration_ns = (t.duration_ns as f64 / factor).round() as u64;
-    }
-    comm
+    plan_bandwidth(&mut pg.graph, factor)
 }
 
 #[cfg(test)]

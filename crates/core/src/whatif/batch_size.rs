@@ -10,36 +10,52 @@
 //! hardware utilization.
 
 use crate::construct::ProfiledGraph;
-use crate::graph::TaskId;
+use crate::graph::{GraphEdit, TaskId};
 use crate::task::TaskKind;
 
 /// Device-side startup latency assumed fixed per kernel, ns.
 const KERNEL_OVERHEAD_NS: u64 = 3_000;
 
-/// Rescales GPU work for a change from the profiled batch size to
-/// `new_batch`. Returns the affected tasks.
-pub fn what_if_batch_size(pg: &mut ProfiledGraph, new_batch: u64) -> Vec<TaskId> {
+/// The batch-size transformation over any graph edit target; the caller
+/// supplies the profiled batch size (graph views carry no metadata).
+pub fn plan_batch_size<G: GraphEdit>(g: &mut G, old_batch: u64, new_batch: u64) -> Vec<TaskId> {
     assert!(new_batch > 0, "batch size must be positive");
-    let old_batch = pg.meta.batch_size as u64;
     let factor = new_batch as f64 / old_batch as f64;
-    let gpu_tasks = pg.graph.select(|t| t.is_on_gpu());
+    let gpu_tasks = g.select_ids(|t| t.is_on_gpu());
     for &id in &gpu_tasks {
-        let t = pg.graph.task_mut(id);
-        match &mut t.kind {
-            TaskKind::GpuMemcpy { bytes, .. } => {
-                *bytes = (*bytes as f64 * factor).round() as u64;
-                t.duration_ns = (t.duration_ns as f64 * factor).round() as u64;
+        let t = g.task(id);
+        match t.kind {
+            TaskKind::GpuMemcpy { dir, bytes } => {
+                let scaled_bytes = (bytes as f64 * factor).round() as u64;
+                let scaled_dur = (t.duration_ns as f64 * factor).round() as u64;
+                g.set_kind(
+                    id,
+                    TaskKind::GpuMemcpy {
+                        dir,
+                        bytes: scaled_bytes,
+                    },
+                );
+                g.set_duration(id, scaled_dur);
             }
             _ => {
                 // Scale the work above the fixed startup overhead.
                 let work = t.duration_ns.saturating_sub(KERNEL_OVERHEAD_NS);
-                t.duration_ns =
+                let scaled =
                     KERNEL_OVERHEAD_NS.min(t.duration_ns) + (work as f64 * factor).round() as u64;
+                g.set_duration(id, scaled);
             }
         }
     }
-    pg.meta.batch_size = new_batch as u32;
     gpu_tasks
+}
+
+/// Rescales GPU work for a change from the profiled batch size to
+/// `new_batch`. Returns the affected tasks.
+pub fn what_if_batch_size(pg: &mut ProfiledGraph, new_batch: u64) -> Vec<TaskId> {
+    let old_batch = pg.meta.batch_size as u64;
+    let affected = plan_batch_size(&mut pg.graph, old_batch, new_batch);
+    pg.meta.batch_size = new_batch as u32;
+    affected
 }
 
 #[cfg(test)]

@@ -7,18 +7,13 @@
 //! rewriting every inserted all-reduce task into the stage chain.
 
 use crate::construct::ProfiledGraph;
-use crate::graph::{DepKind, TaskId};
+use crate::graph::{DepKind, GraphEdit, TaskId};
 use crate::task::{CommChannel, CommPrimitive, ExecThread, Task, TaskKind};
 use daydream_comm::{reduce_scatter_ns, ClusterConfig};
 
-/// Applies the BlueConnect transformation to previously inserted
-/// all-reduce tasks (from [`crate::whatif::what_if_distributed`]).
-///
-/// Uses the natural two-level factorization of the cluster: GPUs within a
-/// machine over PCIe, then machines over the network. Returns the tasks of
-/// the rewritten chains.
-pub fn what_if_blueconnect(
-    pg: &mut ProfiledGraph,
+/// The BlueConnect transformation over any graph edit target.
+pub fn plan_blueconnect<G: GraphEdit>(
+    g: &mut G,
     cluster: &ClusterConfig,
     allreduce_tasks: &[TaskId],
 ) -> Vec<TaskId> {
@@ -44,24 +39,28 @@ pub fn what_if_blueconnect(
     }
 
     for &ar in allreduce_tasks {
-        let TaskKind::Communication { bytes, .. } = pg.graph.task(ar).kind else {
+        let TaskKind::Communication { bytes, .. } = g.task(ar).kind else {
             continue;
         };
-        let succs: Vec<TaskId> = pg.graph.successors(ar).iter().map(|&(s, _)| s).collect();
-        let order_hint = pg.graph.task(ar).measured_start_ns;
+        let succs: Vec<TaskId> = g.successors(ar).iter().map(|&(s, _)| s).collect();
+        let order_hint = g.task(ar).measured_start_ns;
 
         // Rewrite the all-reduce node into the first reduce-scatter stage.
         let mut shard = bytes as f64;
-        {
-            let t = pg.graph.task_mut(ar);
-            t.name = format!("{}_rs0", t.name);
-            t.kind = TaskKind::Communication {
+        let rs0_name = format!("{}_rs0", g.task(ar).name);
+        g.set_name(ar, rs0_name);
+        g.set_kind(
+            ar,
+            TaskKind::Communication {
                 prim: CommPrimitive::ReduceScatter,
                 bytes,
-            };
-            t.thread = ExecThread::Comm(CommChannel::Stage(0));
-            t.duration_ns = reduce_scatter_ns(stages[0].0, bytes, stages[0].1, stages[0].2);
-        }
+            },
+        );
+        g.set_thread(ar, ExecThread::Comm(CommChannel::Stage(0)));
+        g.set_duration(
+            ar,
+            reduce_scatter_ns(stages[0].0, bytes, stages[0].1, stages[0].2),
+        );
         chain_tasks.push(ar);
         let mut tail = ar;
         shard /= stages[0].0 as f64;
@@ -88,18 +87,32 @@ pub fn what_if_blueconnect(
                 reduce_scatter_ns(st.0, payload, st.1, st.2),
             );
             task.measured_start_ns = order_hint + hop as u64 + 1;
-            let id = pg.graph.add_task(task);
-            pg.graph.add_dep(tail, id, DepKind::Comm);
+            let id = g.add_task(task);
+            g.add_dep(tail, id, DepKind::Comm);
             tail = id;
             chain_tasks.push(id);
         }
         // The chain's end takes over the all-reduce's outgoing edges.
         for s in succs {
-            pg.graph.remove_dep(ar, s);
-            pg.graph.add_dep(tail, s, DepKind::Comm);
+            g.remove_dep(ar, s);
+            g.add_dep(tail, s, DepKind::Comm);
         }
     }
     chain_tasks
+}
+
+/// Applies the BlueConnect transformation to previously inserted
+/// all-reduce tasks (from [`crate::whatif::what_if_distributed`]).
+///
+/// Uses the natural two-level factorization of the cluster: GPUs within a
+/// machine over PCIe, then machines over the network. Returns the tasks of
+/// the rewritten chains.
+pub fn what_if_blueconnect(
+    pg: &mut ProfiledGraph,
+    cluster: &ClusterConfig,
+    allreduce_tasks: &[TaskId],
+) -> Vec<TaskId> {
+    plan_blueconnect(&mut pg.graph, cluster, allreduce_tasks)
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! [`crate::whatif::what_if_distributed`] has inserted the all-reduce tasks.
 
 use crate::construct::ProfiledGraph;
-use crate::graph::{DepKind, TaskId};
+use crate::graph::{DepKind, GraphEdit, TaskId};
 use crate::task::{Task, TaskKind};
 
 /// Configuration of the DGC what-if analysis.
@@ -32,28 +32,26 @@ impl Default for DgcConfig {
     }
 }
 
-/// Applies the DGC transformation to previously inserted communication
-/// tasks; returns the inserted compression kernels.
-pub fn what_if_dgc(pg: &mut ProfiledGraph, comm_tasks: &[TaskId], cfg: &DgcConfig) -> Vec<TaskId> {
+/// The DGC transformation over any graph edit target.
+pub fn plan_dgc<G: GraphEdit>(g: &mut G, comm_tasks: &[TaskId], cfg: &DgcConfig) -> Vec<TaskId> {
+    // Compression runs on the compute stream before each transfer.
+    let gpu_thread = g
+        .live_ids()
+        .into_iter()
+        .map(|id| g.task(id))
+        .find(|t| t.kind.is_gpu())
+        .map(|t| t.thread);
     let mut inserted = Vec::new();
     for &r in comm_tasks {
-        let TaskKind::Communication { bytes, .. } = pg.graph.task(r).kind else {
+        let TaskKind::Communication { bytes, .. } = g.task(r).kind else {
             continue;
         };
         let mb = (bytes >> 20).max(1);
         // Scale the transfer itself.
-        {
-            let t = pg.graph.task_mut(r);
-            t.duration_ns = (t.duration_ns as f64 * cfg.compression_ratio).round() as u64;
-        }
-        // Compression runs on the compute stream before the transfer.
-        let gpu_thread = pg
-            .graph
-            .iter()
-            .find(|(_, t)| t.kind.is_gpu())
-            .map(|(_, t)| t.thread)
-            .expect("profile has GPU tasks");
-        let hint = pg.graph.task(r).measured_start_ns;
+        let compressed = (g.task(r).duration_ns as f64 * cfg.compression_ratio).round() as u64;
+        g.set_duration(r, compressed);
+        let gpu_thread = gpu_thread.expect("profile has GPU tasks");
+        let hint = g.task(r).measured_start_ns;
         let mut comp = Task::new(
             "dgc_compress_kernel",
             TaskKind::GpuKernel,
@@ -61,7 +59,7 @@ pub fn what_if_dgc(pg: &mut ProfiledGraph, comm_tasks: &[TaskId], cfg: &DgcConfi
             cfg.compress_ns_per_mb * mb,
         );
         comp.measured_start_ns = hint;
-        let comp_id = pg.graph.add_task(comp);
+        let comp_id = g.add_task(comp);
         let mut dec = Task::new(
             "dgc_decompress_kernel",
             TaskKind::GpuKernel,
@@ -69,38 +67,42 @@ pub fn what_if_dgc(pg: &mut ProfiledGraph, comm_tasks: &[TaskId], cfg: &DgcConfi
             cfg.decompress_ns_per_mb * mb,
         );
         dec.measured_start_ns = hint + 1;
-        let dec_id = pg.graph.add_task(dec);
+        let dec_id = g.add_task(dec);
 
         // Rewire: preds -> compress -> transfer -> decompress -> succs.
-        let preds: Vec<TaskId> = pg
-            .graph
+        let preds: Vec<TaskId> = g
             .predecessors(r)
             .iter()
             .filter(|&&(_, k)| k == DepKind::Comm)
             .map(|&(p, _)| p)
-            .filter(|&p| !pg.graph.task(p).thread.is_comm())
+            .filter(|&p| !g.task(p).thread.is_comm())
             .collect();
-        let succs: Vec<TaskId> = pg
-            .graph
+        let succs: Vec<TaskId> = g
             .successors(r)
             .iter()
             .filter(|&&(_, k)| k == DepKind::Comm)
             .map(|&(s, _)| s)
             .collect();
         for p in preds {
-            pg.graph.remove_dep(p, r);
-            pg.graph.add_dep(p, comp_id, DepKind::Comm);
+            g.remove_dep(p, r);
+            g.add_dep(p, comp_id, DepKind::Comm);
         }
-        pg.graph.add_dep(comp_id, r, DepKind::Comm);
+        g.add_dep(comp_id, r, DepKind::Comm);
         for s in succs {
-            pg.graph.remove_dep(r, s);
-            pg.graph.add_dep(dec_id, s, DepKind::Comm);
+            g.remove_dep(r, s);
+            g.add_dep(dec_id, s, DepKind::Comm);
         }
-        pg.graph.add_dep(r, dec_id, DepKind::Comm);
+        g.add_dep(r, dec_id, DepKind::Comm);
         inserted.push(comp_id);
         inserted.push(dec_id);
     }
     inserted
+}
+
+/// Applies the DGC transformation to previously inserted communication
+/// tasks; returns the inserted compression kernels.
+pub fn what_if_dgc(pg: &mut ProfiledGraph, comm_tasks: &[TaskId], cfg: &DgcConfig) -> Vec<TaskId> {
+    plan_dgc(&mut pg.graph, comm_tasks, cfg)
 }
 
 #[cfg(test)]

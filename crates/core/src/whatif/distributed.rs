@@ -11,21 +11,25 @@
 //! ground truth (Fig. 9).
 
 use crate::construct::ProfiledGraph;
-use crate::graph::{DepKind, TaskId};
+use crate::graph::{DepKind, GraphEdit, TaskId};
 use crate::task::{CommChannel, CommPrimitive, ExecThread, Task, TaskKind};
 use crate::transform::select;
 use daydream_comm::{ring_allreduce_ns, ClusterConfig};
-use daydream_trace::{LayerId, Phase};
+use daydream_trace::{BucketInfo, LayerId, Phase};
 use std::collections::HashMap;
 
-/// Applies the distributed-training transformation (Algorithm 6).
-///
-/// Returns the inserted all-reduce tasks in bucket order, so follow-up
-/// transformations (BlueConnect, DGC) can rewrite them.
-pub fn what_if_distributed(pg: &mut ProfiledGraph, cluster: &ClusterConfig) -> Vec<TaskId> {
+/// The distributed-training transformation (Algorithm 6) over any graph
+/// edit target; the caller supplies the profiled gradient buckets (graph
+/// views carry no metadata).
+pub fn plan_distributed<G: GraphEdit>(
+    g: &mut G,
+    buckets: &[BucketInfo],
+    cluster: &ClusterConfig,
+) -> Vec<TaskId> {
     // Last backward-phase GPU task of each layer (gradient readiness).
     let mut last_bwd: HashMap<LayerId, TaskId> = HashMap::new();
-    for (id, t) in pg.graph.iter() {
+    for id in g.live_ids() {
+        let t = g.task(id);
         if !(t.is_on_gpu() && t.in_phase(Phase::Backward)) {
             continue;
         }
@@ -35,7 +39,7 @@ pub fn what_if_distributed(pg: &mut ProfiledGraph, cluster: &ClusterConfig) -> V
                 e.insert(id);
             }
             std::collections::hash_map::Entry::Occupied(mut e) => {
-                if pg.graph.task(*e.get()).measured_start_ns < t.measured_start_ns {
+                if g.task(*e.get()).measured_start_ns < t.measured_start_ns {
                     e.insert(id);
                 }
             }
@@ -43,13 +47,12 @@ pub fn what_if_distributed(pg: &mut ProfiledGraph, cluster: &ClusterConfig) -> V
     }
 
     // The earliest node of the weight-update phase gates on communication.
-    let wu_first = select::in_phase(&pg.graph, Phase::WeightUpdate)
+    let wu_first = select::in_phase(g, Phase::WeightUpdate)
         .into_iter()
-        .min_by_key(|&id| pg.graph.task(id).measured_start_ns);
+        .min_by_key(|&id| g.task(id).measured_start_ns);
 
-    let buckets = pg.meta.buckets.clone();
     let mut inserted = Vec::with_capacity(buckets.len());
-    for b in &buckets {
+    for b in buckets {
         let dur = ring_allreduce_ns(cluster, b.bytes);
         let mut task = Task::new(
             format!("allReduce_bucket{}", b.id),
@@ -65,21 +68,30 @@ pub fn what_if_distributed(pg: &mut ProfiledGraph, cluster: &ClusterConfig) -> V
             .layers
             .iter()
             .filter_map(|l| last_bwd.get(l))
-            .map(|&id| pg.graph.task(id).measured_start_ns)
+            .map(|&id| g.task(id).measured_start_ns)
             .max()
             .unwrap_or(0);
-        let id = pg.graph.add_task(task);
+        let id = g.add_task(task);
         for layer in &b.layers {
             if let Some(&dep) = last_bwd.get(layer) {
-                pg.graph.add_dep(dep, id, DepKind::Comm);
+                g.add_dep(dep, id, DepKind::Comm);
             }
         }
         if let Some(wu) = wu_first {
-            pg.graph.add_dep(id, wu, DepKind::Comm);
+            g.add_dep(id, wu, DepKind::Comm);
         }
         inserted.push(id);
     }
     inserted
+}
+
+/// Applies the distributed-training transformation (Algorithm 6).
+///
+/// Returns the inserted all-reduce tasks in bucket order, so follow-up
+/// transformations (BlueConnect, DGC) can rewrite them.
+pub fn what_if_distributed(pg: &mut ProfiledGraph, cluster: &ClusterConfig) -> Vec<TaskId> {
+    let buckets = pg.meta.buckets.clone();
+    plan_distributed(&mut pg.graph, &buckets, cluster)
 }
 
 #[cfg(test)]

@@ -7,16 +7,13 @@
 //! CPU-bound on BERT (§6.3).
 
 use crate::construct::ProfiledGraph;
-use crate::graph::TaskId;
+use crate::graph::{GraphEdit, TaskId};
 use crate::transform::{remove_all, select};
 use daydream_trace::Phase;
 
-/// Applies the FusedAdam transformation (Algorithm 4).
-///
-/// Returns the id of the surviving fused kernel, or `None` if the profile
-/// has no weight-update GPU tasks.
-pub fn what_if_fused_adam(pg: &mut ProfiledGraph) -> Option<TaskId> {
-    let wu_gpu = select::gpu_in_phase(&pg.graph, Phase::WeightUpdate);
+/// The FusedAdam transformation (Algorithm 4) over any graph edit target.
+pub fn plan_fused_adam<G: GraphEdit>(g: &mut G) -> Option<TaskId> {
+    let wu_gpu = select::gpu_in_phase(g, Phase::WeightUpdate);
     if wu_gpu.is_empty() {
         return None;
     }
@@ -28,13 +25,13 @@ pub fn what_if_fused_adam(pg: &mut ProfiledGraph) -> Option<TaskId> {
     // deliberately optimistic estimate.
     let total: u64 = wu_gpu
         .iter()
-        .map(|&id| pg.graph.task(id))
+        .map(|&id| g.task(id))
         .filter(|t| t.name.contains("sgemm") || t.name.contains("scudnn"))
         .map(|t| t.duration_ns)
         .sum();
     let floor = wu_gpu
         .iter()
-        .map(|&id| pg.graph.task(id).duration_ns)
+        .map(|&id| g.task(id).duration_ns)
         .max()
         .unwrap_or(0);
     let total = total.max(floor);
@@ -42,27 +39,31 @@ pub fn what_if_fused_adam(pg: &mut ProfiledGraph) -> Option<TaskId> {
     // Keep the first-launched GPU task as the fused kernel.
     let keep = *wu_gpu
         .iter()
-        .min_by_key(|&&id| pg.graph.task(id).measured_start_ns)
+        .min_by_key(|&&id| g.task(id).measured_start_ns)
         .expect("non-empty selection");
-    {
-        let t = pg.graph.task_mut(keep);
-        t.duration_ns = total;
-        t.name = "multi_tensor_apply_fused_adam".into();
-    }
-    let keep_launch = pg
-        .graph
+    g.set_duration(keep, total);
+    g.set_name(keep, "multi_tensor_apply_fused_adam".into());
+    let keep_launch = g
         .predecessors(keep)
         .iter()
         .find(|&&(_, k)| k == crate::graph::DepKind::Correlation)
         .map(|&(p, _)| p);
 
     // Remove every other weight-update task, CPU and GPU alike.
-    let doomed: Vec<TaskId> = select::in_phase(&pg.graph, Phase::WeightUpdate)
+    let doomed: Vec<TaskId> = select::in_phase(g, Phase::WeightUpdate)
         .into_iter()
         .filter(|&id| id != keep && Some(id) != keep_launch)
         .collect();
-    remove_all(&mut pg.graph, &doomed);
+    remove_all(g, &doomed);
     Some(keep)
+}
+
+/// Applies the FusedAdam transformation (Algorithm 4).
+///
+/// Returns the id of the surviving fused kernel, or `None` if the profile
+/// has no weight-update GPU tasks.
+pub fn what_if_fused_adam(pg: &mut ProfiledGraph) -> Option<TaskId> {
+    plan_fused_adam(&mut pg.graph)
 }
 
 #[cfg(test)]

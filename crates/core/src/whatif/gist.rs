@@ -8,7 +8,7 @@
 //! estimation guideline).
 
 use crate::construct::ProfiledGraph;
-use crate::graph::{DepKind, TaskId};
+use crate::graph::{DepKind, GraphEdit, GraphView, TaskId};
 use crate::task::{Task, TaskKind};
 use crate::transform::insert_gpu_task_with_launch;
 use daydream_trace::Phase;
@@ -32,55 +32,55 @@ impl Default for GistConfig {
     }
 }
 
-/// Applies the Gist transformation; returns the inserted GPU kernels.
-pub fn what_if_gist(pg: &mut ProfiledGraph, cfg: &GistConfig) -> Vec<TaskId> {
+/// The Gist transformation over any graph edit target; returns the
+/// inserted GPU kernels.
+pub fn plan_gist<G: GraphEdit>(g: &mut G, cfg: &GistConfig) -> Vec<TaskId> {
     // Encode after each ReLU-family forward kernel; decode before the
     // layer's backward kernel. Sizes mirror the host kernels.
     // Keyword selection must be specific: cuDNN conv kernels also carry
     // "relu" in their names ("scudnn_..._relu_interior_nn").
-    let relu_fwd: Vec<TaskId> = pg.graph.select(|t| {
+    let relu_fwd: Vec<TaskId> = g.select_ids(|t| {
         t.is_on_gpu() && t.in_phase(Phase::Forward) && t.name.contains("elementwise_kernel_relu")
     });
-    let relu_bwd: Vec<TaskId> = pg.graph.select(|t| {
+    let relu_bwd: Vec<TaskId> = g.select_ids(|t| {
         t.is_on_gpu() && t.in_phase(Phase::Backward) && t.name.contains("elementwise_kernel_relu")
     });
     let mut inserted = Vec::new();
     for &u in &relu_fwd {
-        let (dur, layer, launch_pred) = anchor(pg, u);
+        let (dur, layer, launch_pred) = anchor(g, u);
         // Binarization writes 1 bit per element: roughly half the host
         // kernel's traffic (read activations, write compact form).
         let dur = dur / 2;
         let mut k = Task::new(
             "gist_encode_kernel",
             TaskKind::GpuKernel,
-            pg.graph.task(u).thread,
+            g.task(u).thread,
             dur,
         );
         k.layer = layer;
-        let (_, kid) = insert_gpu_task_with_launch(&mut pg.graph, launch_pred, u, k, cfg.launch_ns);
+        let (_, kid) = insert_gpu_task_with_launch(g, launch_pred, u, k, cfg.launch_ns);
         inserted.push(kid);
     }
     for &u in &relu_bwd {
-        let (dur, layer, launch_pred) = anchor(pg, u);
+        let (dur, layer, launch_pred) = anchor(g, u);
         let dur = dur / 2;
         let mut k = Task::new(
             "gist_decode_kernel",
             TaskKind::GpuKernel,
-            pg.graph.task(u).thread,
+            g.task(u).thread,
             dur,
         );
         k.layer = layer;
         // Decode must precede the backward kernel: insert before it on the
         // stream, launched from the same CPU position.
-        let before = crate::transform::thread_predecessor(&pg.graph, u).unwrap_or(u);
-        let (_, kid) =
-            insert_gpu_task_with_launch(&mut pg.graph, launch_pred, before, k, cfg.launch_ns);
-        pg.graph.add_dep(kid, u, DepKind::Transform);
+        let before = crate::transform::thread_predecessor(g, u).unwrap_or(u);
+        let (_, kid) = insert_gpu_task_with_launch(g, launch_pred, before, k, cfg.launch_ns);
+        g.add_dep(kid, u, DepKind::Transform);
         inserted.push(kid);
     }
     if cfg.lossy {
         // Delayed precision reduction after every non-ReLU forward kernel.
-        let others: Vec<TaskId> = pg.graph.select(|t| {
+        let others: Vec<TaskId> = g.select_ids(|t| {
             t.is_on_gpu()
                 && t.in_phase(Phase::Forward)
                 && !t.name.contains("relu")
@@ -88,28 +88,31 @@ pub fn what_if_gist(pg: &mut ProfiledGraph, cfg: &GistConfig) -> Vec<TaskId> {
                 && !t.name.contains("memcpy")
         });
         for &u in &others {
-            let (dur, layer, launch_pred) = anchor(pg, u);
+            let (dur, layer, launch_pred) = anchor(g, u);
             let mut k = Task::new(
                 "gist_dpr_kernel",
                 TaskKind::GpuKernel,
-                pg.graph.task(u).thread,
+                g.task(u).thread,
                 dur / 2,
             );
             k.layer = layer;
-            let (_, kid) =
-                insert_gpu_task_with_launch(&mut pg.graph, launch_pred, u, k, cfg.launch_ns);
+            let (_, kid) = insert_gpu_task_with_launch(g, launch_pred, u, k, cfg.launch_ns);
             inserted.push(kid);
         }
     }
     inserted
 }
 
+/// Applies the Gist transformation; returns the inserted GPU kernels.
+pub fn what_if_gist(pg: &mut ProfiledGraph, cfg: &GistConfig) -> Vec<TaskId> {
+    plan_gist(&mut pg.graph, cfg)
+}
+
 /// Duration estimate, layer tag, and CPU anchor for an insertion next to
 /// task `u` — the "estimate from existing element-wise kernels" rule.
-fn anchor(pg: &ProfiledGraph, u: TaskId) -> (u64, Option<crate::task::LayerRef>, TaskId) {
-    let t = pg.graph.task(u);
-    let launch = pg
-        .graph
+fn anchor<G: GraphView>(g: &G, u: TaskId) -> (u64, Option<crate::task::LayerRef>, TaskId) {
+    let t = g.task(u);
+    let launch = g
         .predecessors(u)
         .iter()
         .find(|&&(_, k)| k == DepKind::Correlation)

@@ -8,6 +8,7 @@
 //! function.
 
 use crate::construct::ProfiledGraph;
+use crate::graph::GraphEdit;
 use crate::transform::{remove_all, scale_durations, select};
 use daydream_trace::LayerId;
 
@@ -20,21 +21,26 @@ pub enum Substitution {
     ScaleLayer(LayerId, f64),
 }
 
-/// Applies a substitution policy (Algorithm 9's `Remove_layer` /
-/// `Scale_layer` helpers).
-pub fn what_if_metaflow(pg: &mut ProfiledGraph, policy: &[Substitution]) {
+/// The substitution policy (Algorithm 9) over any graph edit target.
+pub fn plan_metaflow<G: GraphEdit>(g: &mut G, policy: &[Substitution]) {
     for sub in policy {
         match *sub {
             Substitution::RemoveLayer(layer) => {
-                let sel = select::gpu_of_layer(&pg.graph, layer);
-                remove_all(&mut pg.graph, &sel);
+                let sel = select::gpu_of_layer(g, layer);
+                remove_all(g, &sel);
             }
             Substitution::ScaleLayer(layer, s) => {
-                let sel = select::gpu_of_layer(&pg.graph, layer);
-                scale_durations(&mut pg.graph, &sel, s);
+                let sel = select::gpu_of_layer(g, layer);
+                scale_durations(g, &sel, s);
             }
         }
     }
+}
+
+/// Applies a substitution policy (Algorithm 9's `Remove_layer` /
+/// `Scale_layer` helpers).
+pub fn what_if_metaflow(pg: &mut ProfiledGraph, policy: &[Substitution]) {
+    plan_metaflow(&mut pg.graph, policy);
 }
 
 #[cfg(test)]

@@ -20,16 +20,19 @@ mod reconstruct_bn;
 mod upgrade_gpu;
 mod vdnn;
 
-pub use amp::{what_if_amp, COMPUTE_BOUND_GAIN, MEMORY_BOUND_GAIN};
-pub use bandwidth::what_if_bandwidth;
-pub use batch_size::what_if_batch_size;
-pub use blueconnect::what_if_blueconnect;
-pub use dgc::{what_if_dgc, DgcConfig};
-pub use distributed::what_if_distributed;
-pub use fused_adam::what_if_fused_adam;
-pub use gist::{what_if_gist, GistConfig};
-pub use metaflow::{what_if_metaflow, Substitution};
-pub use p3::{what_if_p3, P3Config, P3Prediction, P3Scheduler};
-pub use reconstruct_bn::what_if_reconstruct_bn;
-pub use upgrade_gpu::what_if_upgrade_gpu;
-pub use vdnn::{what_if_vdnn, VdnnConfig, VDNN_STREAM, VDNN_THREAD};
+pub use amp::{plan_amp, what_if_amp, COMPUTE_BOUND_GAIN, MEMORY_BOUND_GAIN};
+pub use bandwidth::{plan_bandwidth, what_if_bandwidth};
+pub use batch_size::{plan_batch_size, what_if_batch_size};
+pub use blueconnect::{plan_blueconnect, what_if_blueconnect};
+pub use dgc::{plan_dgc, what_if_dgc, DgcConfig};
+pub use distributed::{plan_distributed, what_if_distributed};
+pub use fused_adam::{plan_fused_adam, what_if_fused_adam};
+pub use gist::{plan_gist, what_if_gist, GistConfig};
+pub use metaflow::{plan_metaflow, what_if_metaflow, Substitution};
+pub use p3::{
+    p3_insert_plan, p3_replicated_base, plan_p3_inserts, what_if_p3, P3Config, P3Insert,
+    P3Prediction, P3Scheduler,
+};
+pub use reconstruct_bn::{plan_reconstruct_bn, what_if_reconstruct_bn};
+pub use upgrade_gpu::{plan_upgrade_gpu, what_if_upgrade_gpu};
+pub use vdnn::{plan_vdnn, what_if_vdnn, VdnnConfig, VDNN_STREAM, VDNN_THREAD};

@@ -15,7 +15,7 @@
 
 use crate::compiled::{CompactId, CompiledGraph};
 use crate::construct::ProfiledGraph;
-use crate::graph::{DepKind, TaskId};
+use crate::graph::{DepKind, GraphEdit, TaskId};
 use crate::replicate::{replicate_iterations, ReplicatedGraph};
 use crate::sim::{simulate_with, Candidate, FrontierOrder, Rank, Scheduler, SimResult};
 use crate::task::{CommChannel, CommPrimitive, ExecThread, Task, TaskKind};
@@ -154,13 +154,37 @@ fn slices(bytes: u64, cfg: &P3Config) -> Vec<u64> {
     }
 }
 
-/// Runs the P3 (or PS-baseline) what-if analysis on a single-GPU profile.
-///
-/// Unrolls the profile, inserts push/pull tasks per gradient slice between
-/// each layer's backward completion and its next-iteration forward start,
-/// and simulates with the priority scheduler.
-pub fn what_if_p3(pg: &ProfiledGraph, cfg: &P3Config) -> P3Prediction {
-    let mut rep = replicate_iterations(&pg.graph, cfg.iterations.max(2));
+/// One push/pull pair of the P3 insertion plan: everything needed to
+/// splice a gradient slice's transfer into the replicated graph, computed
+/// up front so the insertion itself can run against any graph edit target
+/// (including a patch-recording overlay over a shared replicated base).
+#[derive(Debug, Clone, PartialEq)]
+pub struct P3Insert {
+    /// The replica backward task whose completion releases the push.
+    pub bwd: TaskId,
+    /// The next-iteration forward task gated by the pull, if any.
+    pub consumer: Option<TaskId>,
+    /// Transfer priority (input-side layers first).
+    pub priority: i64,
+    /// Slice payload, bytes.
+    pub bytes: u64,
+    /// Wire time of the slice, ns.
+    pub wire_ns: u64,
+    /// Push task name (`push_<layer>_<slice>`).
+    pub push_name: String,
+    /// Pull task name.
+    pub pull_name: String,
+    /// Channel-order hint (the backward anchor's measured start).
+    pub start_hint_ns: u64,
+    /// `true` for the first unrolled iteration (messages-per-iteration
+    /// accounting).
+    pub first_iteration: bool,
+}
+
+/// Computes the P3 insertion plan for an unrolled profile: one push/pull
+/// pair per gradient slice per iteration, anchored between each layer's
+/// backward completion and its next-iteration forward start.
+pub fn p3_insert_plan(pg: &ProfiledGraph, rep: &ReplicatedGraph, cfg: &P3Config) -> Vec<P3Insert> {
     let ps = PsModel::new(cfg.cluster);
 
     // Per-layer anchors in the original graph.
@@ -188,7 +212,7 @@ pub fn what_if_p3(pg: &ProfiledGraph, cfg: &P3Config) -> P3Prediction {
         }
     }
 
-    let mut messages = 0usize;
+    let mut inserts = Vec::new();
     let n = rep.iterations();
     for (layer, grad) in pg.meta.gradients.iter().map(|g| (g.layer, g.bytes)) {
         let Some(&bwd) = last_bwd.get(&layer) else {
@@ -206,43 +230,80 @@ pub fn what_if_p3(pg: &ProfiledGraph, cfg: &P3Config) -> P3Prediction {
             for (si, s) in slices(grad, cfg).into_iter().enumerate() {
                 // Pure wire time: Daydream computes the duration "from the
                 // slice size and the network bandwidth" (§5.1).
-                let wire = ps.wire_ns(s);
-                let mut push = Task::new(
-                    format!("push_{layer}_{si}"),
-                    TaskKind::Communication {
-                        prim: CommPrimitive::Push,
-                        bytes: s,
-                    },
-                    ExecThread::Comm(CommChannel::Send),
-                    wire,
-                );
-                push.priority = priority;
-                push.measured_start_ns = rep.graph.task(bwd_k).measured_start_ns + 1;
-                let mut pull = Task::new(
-                    format!("pull_{layer}_{si}"),
-                    TaskKind::Communication {
-                        prim: CommPrimitive::Pull,
-                        bytes: s,
-                    },
-                    ExecThread::Comm(CommChannel::Receive),
-                    wire,
-                );
-                pull.priority = priority;
-                pull.measured_start_ns = push.measured_start_ns + 1;
-                let push_id = rep.graph.add_task(push);
-                let pull_id = rep.graph.add_task(pull);
-                rep.graph.add_dep(bwd_k, push_id, DepKind::Comm);
-                rep.graph.add_dep(push_id, pull_id, DepKind::Comm);
-                if let Some(c) = consumer {
-                    rep.graph.add_dep(pull_id, c, DepKind::Comm);
-                }
-                if k == 0 {
-                    messages += 1;
-                }
+                inserts.push(P3Insert {
+                    bwd: bwd_k,
+                    consumer,
+                    priority,
+                    bytes: s,
+                    wire_ns: ps.wire_ns(s),
+                    push_name: format!("push_{layer}_{si}"),
+                    pull_name: format!("pull_{layer}_{si}"),
+                    start_hint_ns: rep.graph.task(bwd_k).measured_start_ns,
+                    first_iteration: k == 0,
+                });
             }
         }
     }
+    inserts
+}
 
+/// Splices a P3 insertion plan into a replicated graph (or a patch
+/// overlay of one); returns the messages-per-iteration count.
+pub fn plan_p3_inserts<G: GraphEdit>(g: &mut G, inserts: &[P3Insert]) -> usize {
+    let mut messages = 0usize;
+    for ins in inserts {
+        let mut push = Task::new(
+            ins.push_name.clone(),
+            TaskKind::Communication {
+                prim: CommPrimitive::Push,
+                bytes: ins.bytes,
+            },
+            ExecThread::Comm(CommChannel::Send),
+            ins.wire_ns,
+        );
+        push.priority = ins.priority;
+        push.measured_start_ns = ins.start_hint_ns + 1;
+        let mut pull = Task::new(
+            ins.pull_name.clone(),
+            TaskKind::Communication {
+                prim: CommPrimitive::Pull,
+                bytes: ins.bytes,
+            },
+            ExecThread::Comm(CommChannel::Receive),
+            ins.wire_ns,
+        );
+        pull.priority = ins.priority;
+        pull.measured_start_ns = ins.start_hint_ns + 2;
+        let push_id = g.add_task(push);
+        let pull_id = g.add_task(pull);
+        g.add_dep(ins.bwd, push_id, DepKind::Comm);
+        g.add_dep(push_id, pull_id, DepKind::Comm);
+        if let Some(c) = ins.consumer {
+            g.add_dep(pull_id, c, DepKind::Comm);
+        }
+        if ins.first_iteration {
+            messages += 1;
+        }
+    }
+    messages
+}
+
+/// Unrolls a profile for P3's steady-state analysis (at least two
+/// iterations). The result is the shared base the sweep engine compiles
+/// once and patches per P3 scenario.
+pub fn p3_replicated_base(pg: &ProfiledGraph, iterations: usize) -> ReplicatedGraph {
+    replicate_iterations(&pg.graph, iterations.max(2))
+}
+
+/// Runs the P3 (or PS-baseline) what-if analysis on a single-GPU profile.
+///
+/// Unrolls the profile, inserts push/pull tasks per gradient slice between
+/// each layer's backward completion and its next-iteration forward start,
+/// and simulates with the priority scheduler.
+pub fn what_if_p3(pg: &ProfiledGraph, cfg: &P3Config) -> P3Prediction {
+    let mut rep = p3_replicated_base(pg, cfg.iterations);
+    let inserts = p3_insert_plan(pg, &rep, cfg);
+    let messages = plan_p3_inserts(&mut rep.graph, &inserts);
     let sim: SimResult = simulate_with(&rep.graph, &P3Scheduler).expect("P3 graph must stay a DAG");
     P3Prediction {
         iteration_ns: steady(&rep, &sim),

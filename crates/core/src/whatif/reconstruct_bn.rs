@@ -11,34 +11,40 @@
 //! model cannot know (§7.4).
 
 use crate::construct::ProfiledGraph;
+use crate::graph::GraphEdit;
 use crate::transform::remove_all;
 use daydream_models::Model;
 use daydream_trace::LayerId;
 
-/// Applies the reconstruct-batchnorm transformation (Algorithm 5).
-///
-/// `model` supplies the layer-kind lookup (`u.layer is ReLU` in the paper's
-/// pseudo-code).
-pub fn what_if_reconstruct_bn(pg: &mut ProfiledGraph, model: &Model) {
+/// The reconstruct-batchnorm transformation over any graph edit target.
+pub fn plan_reconstruct_bn<G: GraphEdit>(g: &mut G, model: &Model) {
     let kind_of = |layer: LayerId| model.layer(layer).map(|l| l.kind.type_name());
-    let relu_tasks = pg.graph.select(|t| {
+    let relu_tasks = g.select_ids(|t| {
         t.is_on_gpu()
             && t.layer
                 .map(|l| kind_of(l.layer) == Some("ReLU"))
                 .unwrap_or(false)
     });
-    remove_all(&mut pg.graph, &relu_tasks);
+    remove_all(g, &relu_tasks);
 
-    let bn_tasks = pg.graph.select(|t| {
+    let bn_tasks = g.select_ids(|t| {
         t.is_on_gpu()
             && t.layer
                 .map(|l| kind_of(l.layer) == Some("BatchNorm"))
                 .unwrap_or(false)
     });
     for id in bn_tasks {
-        let t = pg.graph.task_mut(id);
-        t.duration_ns /= 2;
+        let halved = g.task(id).duration_ns / 2;
+        g.set_duration(id, halved);
     }
+}
+
+/// Applies the reconstruct-batchnorm transformation (Algorithm 5).
+///
+/// `model` supplies the layer-kind lookup (`u.layer is ReLU` in the paper's
+/// pseudo-code).
+pub fn what_if_reconstruct_bn(pg: &mut ProfiledGraph, model: &Model) {
+    plan_reconstruct_bn(&mut pg.graph, model);
 }
 
 #[cfg(test)]

@@ -8,21 +8,20 @@
 //! AMP rule, applied across devices instead of across precisions.
 
 use crate::construct::ProfiledGraph;
-use crate::graph::TaskId;
+use crate::graph::{GraphEdit, TaskId};
 use daydream_device::{classify_kernel, GpuSpec, Precision};
 use daydream_models::OpClass;
 
-/// Rescales GPU kernels for a move from `old` to `new` hardware; memory
-/// copies scale with PCIe bandwidth. Returns the affected tasks.
-pub fn what_if_upgrade_gpu(pg: &mut ProfiledGraph, old: &GpuSpec, new: &GpuSpec) -> Vec<TaskId> {
+/// The hardware-upgrade transformation over any graph edit target.
+pub fn plan_upgrade_gpu<G: GraphEdit>(g: &mut G, old: &GpuSpec, new: &GpuSpec) -> Vec<TaskId> {
     let compute_ratio =
         old.peak_flops_per_ns(Precision::Fp32) / new.peak_flops_per_ns(Precision::Fp32);
     let memory_ratio = old.bw_bytes_per_ns() / new.bw_bytes_per_ns();
     let pcie_ratio = old.pcie_gbs / new.pcie_gbs;
 
-    let gpu_tasks = pg.graph.select(|t| t.is_on_gpu());
+    let gpu_tasks = g.select_ids(|t| t.is_on_gpu());
     for &id in &gpu_tasks {
-        let t = pg.graph.task_mut(id);
+        let t = g.task(id);
         let ratio = match &t.kind {
             crate::task::TaskKind::GpuMemcpy { .. } => pcie_ratio,
             _ => {
@@ -34,9 +33,16 @@ pub fn what_if_upgrade_gpu(pg: &mut ProfiledGraph, old: &GpuSpec, new: &GpuSpec)
                 }
             }
         };
-        t.duration_ns = (t.duration_ns as f64 * ratio).round() as u64;
+        let scaled = (t.duration_ns as f64 * ratio).round() as u64;
+        g.set_duration(id, scaled);
     }
     gpu_tasks
+}
+
+/// Rescales GPU kernels for a move from `old` to `new` hardware; memory
+/// copies scale with PCIe bandwidth. Returns the affected tasks.
+pub fn what_if_upgrade_gpu(pg: &mut ProfiledGraph, old: &GpuSpec, new: &GpuSpec) -> Vec<TaskId> {
+    plan_upgrade_gpu(&mut pg.graph, old, new)
 }
 
 #[cfg(test)]

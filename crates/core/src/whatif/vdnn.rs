@@ -12,7 +12,7 @@
 //! schedule override.
 
 use crate::construct::ProfiledGraph;
-use crate::graph::{DepKind, TaskId};
+use crate::graph::{DepKind, GraphEdit, TaskId};
 use crate::task::{ExecThread, Task, TaskKind};
 use daydream_models::{LayerKind, Model};
 use daydream_trace::{CpuThreadId, CudaApi, DeviceId, LayerId, MemcpyDir, Phase, StreamId};
@@ -42,15 +42,15 @@ impl Default for VdnnConfig {
     }
 }
 
-/// Applies the vDNN(conv) transformation; returns the number of offloaded
+/// The vDNN(conv) transformation over any graph edit target; the caller
+/// supplies the profiled batch size. Returns the number of offloaded
 /// layers.
-pub fn what_if_vdnn(pg: &mut ProfiledGraph, model: &Model, cfg: &VdnnConfig) -> usize {
-    let batch = pg.meta.batch_size as u64;
-
+pub fn plan_vdnn<G: GraphEdit>(g: &mut G, model: &Model, cfg: &VdnnConfig, batch: u64) -> usize {
     // Anchors per conv layer: last forward GPU task and first backward task.
     let mut fwd_last: HashMap<LayerId, TaskId> = HashMap::new();
     let mut bwd_first: HashMap<LayerId, TaskId> = HashMap::new();
-    for (id, t) in pg.graph.iter() {
+    for id in g.live_ids() {
+        let t = g.task(id);
         let Some(lr) = t.layer else { continue };
         if !t.is_on_gpu() {
             continue;
@@ -58,13 +58,13 @@ pub fn what_if_vdnn(pg: &mut ProfiledGraph, model: &Model, cfg: &VdnnConfig) -> 
         match lr.phase {
             Phase::Forward => {
                 let e = fwd_last.entry(lr.layer).or_insert(id);
-                if pg.graph.task(*e).measured_start_ns < t.measured_start_ns {
+                if g.task(*e).measured_start_ns < t.measured_start_ns {
                     *e = id;
                 }
             }
             Phase::Backward => {
                 let e = bwd_first.entry(lr.layer).or_insert(id);
-                if pg.graph.task(*e).measured_start_ns > t.measured_start_ns {
+                if g.task(*e).measured_start_ns > t.measured_start_ns {
                     *e = id;
                 }
             }
@@ -86,8 +86,8 @@ pub fn what_if_vdnn(pg: &mut ProfiledGraph, model: &Model, cfg: &VdnnConfig) -> 
         };
         let bytes = 4 * layer.output.numel() * batch;
         let copy_ns = (bytes as f64 / cfg.pcie_bytes_per_ns) as u64 + 2_000;
-        let hint = pg.graph.task(u).measured_start_ns;
-        let layer_ref = pg.graph.task(u).layer;
+        let hint = g.task(u).measured_start_ns;
+        let layer_ref = g.task(u).layer;
         let cpu = ExecThread::Cpu(VDNN_THREAD);
         let gpu = ExecThread::Gpu(DeviceId(0), VDNN_STREAM);
 
@@ -98,14 +98,14 @@ pub fn what_if_vdnn(pg: &mut ProfiledGraph, model: &Model, cfg: &VdnnConfig) -> 
             t
         };
         // Offload: launch + DtoH copy + free of the device buffer.
-        let t1 = pg.graph.add_task(mk(
+        let t1 = g.add_task(mk(
             "vdnn_memcpy_launch",
             TaskKind::CpuApi(CudaApi::MemcpyAsync(MemcpyDir::DeviceToHost)),
             cpu,
             9_000,
             1,
         ));
-        let t2 = pg.graph.add_task(mk(
+        let t2 = g.add_task(mk(
             "vdnn_offload_DtoH",
             TaskKind::GpuMemcpy {
                 dir: MemcpyDir::DeviceToHost,
@@ -115,7 +115,7 @@ pub fn what_if_vdnn(pg: &mut ProfiledGraph, model: &Model, cfg: &VdnnConfig) -> 
             copy_ns,
             2,
         ));
-        let t3 = pg.graph.add_task(mk(
+        let t3 = g.add_task(mk(
             "cudaFree_vDNN",
             TaskKind::CpuApi(CudaApi::Free),
             cpu,
@@ -123,21 +123,21 @@ pub fn what_if_vdnn(pg: &mut ProfiledGraph, model: &Model, cfg: &VdnnConfig) -> 
             3,
         ));
         // Prefetch: re-allocate, launch, HtoD copy.
-        let t4 = pg.graph.add_task(mk(
+        let t4 = g.add_task(mk(
             "cudaMalloc_vDNN",
             TaskKind::CpuApi(CudaApi::Malloc),
             cpu,
             45_000,
             4,
         ));
-        let t5 = pg.graph.add_task(mk(
+        let t5 = g.add_task(mk(
             "vdnn_memcpy_launch",
             TaskKind::CpuApi(CudaApi::MemcpyAsync(MemcpyDir::HostToDevice)),
             cpu,
             9_000,
             5,
         ));
-        let t6 = pg.graph.add_task(mk(
+        let t6 = g.add_task(mk(
             "vdnn_prefetch_HtoD",
             TaskKind::GpuMemcpy {
                 dir: MemcpyDir::HostToDevice,
@@ -148,24 +148,31 @@ pub fn what_if_vdnn(pg: &mut ProfiledGraph, model: &Model, cfg: &VdnnConfig) -> 
             6,
         ));
         // u -> t1 -> t2 -> t3 -> t4 -> t5 -> t6 -> v (Algorithm 10).
-        pg.graph.add_dep(u, t1, DepKind::Transform);
-        pg.graph.add_dep(t1, t2, DepKind::Correlation);
-        pg.graph.add_dep(t2, t3, DepKind::Sync);
-        pg.graph.add_dep(t3, t4, DepKind::CpuSeq);
-        pg.graph.add_dep(t4, t5, DepKind::CpuSeq);
-        pg.graph.add_dep(t5, t6, DepKind::Correlation);
-        pg.graph.add_dep(t6, v, DepKind::Transform);
+        g.add_dep(u, t1, DepKind::Transform);
+        g.add_dep(t1, t2, DepKind::Correlation);
+        g.add_dep(t2, t3, DepKind::Sync);
+        g.add_dep(t3, t4, DepKind::CpuSeq);
+        g.add_dep(t4, t5, DepKind::CpuSeq);
+        g.add_dep(t5, t6, DepKind::Correlation);
+        g.add_dep(t6, v, DepKind::Transform);
 
         // Prefetch release: the look-ahead layer's backward start (the
         // schedule-override part of Algorithm 10).
         if let Some(release_layer) = convs.get(ci + cfg.prefetch_lookahead) {
             if let Some(&r) = bwd_first.get(&release_layer.id) {
-                pg.graph.add_dep(r, t4, DepKind::Transform);
+                g.add_dep(r, t4, DepKind::Transform);
             }
         }
         offloaded += 1;
     }
     offloaded
+}
+
+/// Applies the vDNN(conv) transformation; returns the number of offloaded
+/// layers.
+pub fn what_if_vdnn(pg: &mut ProfiledGraph, model: &Model, cfg: &VdnnConfig) -> usize {
+    let batch = pg.meta.batch_size as u64;
+    plan_vdnn(&mut pg.graph, model, cfg, batch)
 }
 
 #[cfg(test)]

@@ -1,0 +1,438 @@
+//! `CompiledGraph::apply(patch)` against the mutate-then-recompile oracle.
+//!
+//! The delta pipeline (emit a [`GraphPatch`] through a [`PatchGraph`]
+//! overlay, apply it to the shared compiled base) must be *simulation-
+//! identical* to [`GraphPatch::apply_reference`] (clone the base, replay
+//! the op log through `DependencyGraph`'s own mutators, recompile): same
+//! per-task starts, waits, makespan, and per-thread ends — and the same
+//! canonical structure (threads, costs, priorities, predecessor counts,
+//! successor sets per task). Pinned on random DAGs with random op
+//! sequences, and on profiled ResNet-50 / BERT graphs for every what-if
+//! transform in the catalog, including P3 over its replicated base.
+
+use daydream_comm::ClusterConfig;
+use daydream_core::whatif::{
+    p3_insert_plan, p3_replicated_base, plan_amp, plan_bandwidth, plan_batch_size,
+    plan_blueconnect, plan_dgc, plan_distributed, plan_fused_adam, plan_gist, plan_metaflow,
+    plan_p3_inserts, plan_reconstruct_bn, plan_upgrade_gpu, plan_vdnn, what_if_distributed,
+    DgcConfig, GistConfig, P3Config, P3Scheduler, Substitution, VdnnConfig,
+};
+use daydream_core::{
+    simulate_compiled_with, simulate_with_reference, CommChannel, CompactId, CompiledGraph,
+    DepKind, DependencyGraph, EarliestStart, ExecThread, FrontierOrder, GraphEdit, GraphPatch,
+    GraphView, PatchGraph, ProfiledGraph, SimResult, Task, TaskId, TaskKind,
+};
+use daydream_trace::{CpuThreadId, DeviceId, StreamId};
+use proptest::prelude::*;
+
+/// Canonical structural form of a compiled graph: per live task, its
+/// arena id, thread, cost, duration, priority, predecessor count, and
+/// sorted successor arena ids. Interned thread *order* may differ between
+/// `apply` and a fresh compile; everything here must not.
+type CanonicalTask = (TaskId, ExecThread, u64, u64, i64, u32, Vec<TaskId>);
+
+fn canonical(cg: &CompiledGraph) -> Vec<CanonicalTask> {
+    (0..cg.len())
+        .map(|i| {
+            let c = CompactId(i as u32);
+            let mut succs: Vec<TaskId> = cg.successors(c).iter().map(|&s| cg.task_id(s)).collect();
+            succs.sort_unstable();
+            (
+                cg.task_id(c),
+                cg.exec_thread(cg.thread_of(c)),
+                cg.cost_ns(c),
+                cg.duration_ns(c),
+                cg.priority(c),
+                cg.pred_count(c),
+                succs,
+            )
+        })
+        .collect()
+}
+
+/// Simulates a compiled graph and expands to arena-indexed results.
+fn sim<O: FrontierOrder>(cg: &CompiledGraph, order: &O) -> SimResult {
+    simulate_compiled_with(cg, order)
+        .expect("graph must stay a DAG")
+        .into_sim_result(cg)
+}
+
+/// Asserts `base.apply(patch)` is equivalent to the recompiled oracle
+/// under `order`, returning the patched simulation for extra checks.
+fn assert_equiv<O: FrontierOrder>(
+    base: &DependencyGraph,
+    patch: &GraphPatch,
+    order: &O,
+) -> SimResult {
+    let compiled_base = CompiledGraph::compile(base);
+    let applied = compiled_base.apply(patch);
+    let oracle_graph = patch.apply_reference(base);
+    let oracle = CompiledGraph::compile(&oracle_graph);
+
+    assert_eq!(
+        canonical(&applied),
+        canonical(&oracle),
+        "patched structure diverged from recompile-after-mutate"
+    );
+    let fast = sim(&applied, order);
+    let slow = sim(&oracle, order);
+    assert_eq!(fast, slow, "patched simulation diverged from the oracle");
+    fast
+}
+
+/// The random-DAG universe of `sim_equivalence.rs`: two CPU threads, two
+/// GPU streams, one communication channel.
+fn thread_for(sel: u64) -> ExecThread {
+    match sel % 5 {
+        0 => ExecThread::Cpu(CpuThreadId(0)),
+        1 => ExecThread::Cpu(CpuThreadId(1)),
+        2 => ExecThread::Gpu(DeviceId(0), StreamId(0)),
+        3 => ExecThread::Gpu(DeviceId(0), StreamId(1)),
+        _ => ExecThread::Comm(CommChannel::Collective),
+    }
+}
+
+fn build_dag(tasks: &[(u64, u64, u64)], edges: &[(u64, u64)]) -> DependencyGraph {
+    let mut g = DependencyGraph::new();
+    let n = tasks.len();
+    for (i, &(sel, dur, gap)) in tasks.iter().enumerate() {
+        let mut t = Task::new(format!("t{i}"), TaskKind::CpuWork, thread_for(sel), dur);
+        t.gap_ns = gap;
+        t.priority = (dur % 7) as i64 - 3;
+        g.add_task(t);
+    }
+    for &(a, b) in edges {
+        let (x, y) = ((a as usize) % n, (b as usize) % n);
+        if x == y {
+            continue;
+        }
+        g.add_dep(TaskId(x.min(y)), TaskId(x.max(y)), DepKind::Transform);
+    }
+    g
+}
+
+/// One random mutation: `(selector, a, b, value)` decoded against the
+/// overlay's current state. Inserts keep edges forward (low id -> high
+/// id), so the patched graph stays a DAG by construction.
+fn apply_random_op(p: &mut PatchGraph<'_>, op: (u64, u64, u64, u64)) {
+    let (sel, a, b, v) = op;
+    let live = p.live_ids();
+    if live.is_empty() {
+        return;
+    }
+    let pick = |x: u64| live[(x as usize) % live.len()];
+    match sel % 8 {
+        0 => p.set_duration(pick(a), v % 500),
+        1 => p.set_priority(pick(a), v as i64 % 10 - 5),
+        2 => {
+            let (x, y) = (pick(a), pick(b));
+            if x != y {
+                p.add_dep(x.min(y), x.max(y), DepKind::Transform);
+            }
+        }
+        3 => {
+            let (x, y) = (pick(a), pick(b));
+            p.remove_dep(x.min(y), x.max(y));
+        }
+        4 => {
+            // Keep at least one task so the graph stays interesting.
+            if live.len() > 1 {
+                p.remove_task(pick(a));
+            }
+        }
+        5 => {
+            // Insert a task after an existing one (forward edge only).
+            let anchor = pick(a);
+            let mut t = Task::new("ins", TaskKind::CpuWork, thread_for(v), v % 300);
+            t.gap_ns = v % 13;
+            let id = p.add_task(t);
+            p.add_dep(anchor, id, DepKind::Transform);
+        }
+        6 => p.set_thread(pick(a), thread_for(v)),
+        _ => {
+            // Chain insert: new task between an anchor and a fresh tail.
+            let anchor = pick(a);
+            let mid = p.add_task(Task::new("mid", TaskKind::CpuWork, thread_for(b), v % 100));
+            let tail = p.add_task(Task::new("tail", TaskKind::CpuWork, thread_for(v), v % 50));
+            p.add_dep(anchor, mid, DepKind::Transform);
+            p.add_dep(mid, tail, DepKind::Transform);
+        }
+    }
+}
+
+proptest! {
+    // Random DAGs x random op sequences: apply == recompile(replay),
+    // structurally and under simulation with both frontier policies.
+    #[test]
+    fn random_patches_match_reference(
+        tasks in prop::collection::vec((0u64..5, 0u64..200, 0u64..30), 1..60),
+        edges in prop::collection::vec((0u64..10_000, 0u64..10_000), 0..150),
+        ops in prop::collection::vec(
+            (0u64..10_000, 0u64..10_000, 0u64..10_000, 0u64..10_000), 0..40),
+    ) {
+        let g = build_dag(&tasks, &edges);
+        let mut p = PatchGraph::new(&g);
+        for &op in &ops {
+            apply_random_op(&mut p, op);
+        }
+        let patch = p.finish();
+        assert_equiv(&g, &patch, &EarliestStart);
+        assert_equiv(&g, &patch, &P3Scheduler);
+        // The untouched base still simulates identically afterwards.
+        let before = sim(&CompiledGraph::compile(&g), &EarliestStart);
+        let after = sim(&CompiledGraph::compile(&g), &EarliestStart);
+        prop_assert_eq!(before, after);
+    }
+
+    // The patched graph also agrees with the legacy quadratic reference
+    // loop run over the replayed graph (three implementations, one
+    // answer).
+    #[test]
+    fn patched_simulation_matches_quadratic_loop(
+        tasks in prop::collection::vec((0u64..5, 0u64..120, 0u64..20), 1..40),
+        edges in prop::collection::vec((0u64..10_000, 0u64..10_000), 0..80),
+        ops in prop::collection::vec(
+            (0u64..10_000, 0u64..10_000, 0u64..10_000, 0u64..10_000), 0..20),
+    ) {
+        let g = build_dag(&tasks, &edges);
+        let mut p = PatchGraph::new(&g);
+        for &op in &ops {
+            apply_random_op(&mut p, op);
+        }
+        let patch = p.finish();
+        let fast = assert_equiv(&g, &patch, &EarliestStart);
+        let replayed = patch.apply_reference(&g);
+        let quadratic = simulate_with_reference(&replayed, &mut EarliestStart).unwrap();
+        prop_assert_eq!(fast, quadratic);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The full what-if catalog over profiled model graphs
+// ---------------------------------------------------------------------------
+
+fn resnet_profile() -> ProfiledGraph {
+    let model = daydream_models::zoo::resnet50();
+    let cfg = daydream_runtime::ExecConfig::pytorch_2080ti().with_batch(4);
+    ProfiledGraph::from_trace(&daydream_runtime::ground_truth::run_baseline(&model, &cfg))
+}
+
+fn bert_profile() -> ProfiledGraph {
+    let model = daydream_models::zoo::bert_base();
+    let cfg = daydream_runtime::ExecConfig::pytorch_2080ti().with_batch(2);
+    ProfiledGraph::from_trace(&daydream_runtime::ground_truth::run_baseline(&model, &cfg))
+}
+
+/// Emits a patch over `pg.graph` with `plan`, checks equivalence, and
+/// requires the patch to be non-trivial.
+fn check_transform(pg: &ProfiledGraph, plan: impl FnOnce(&mut PatchGraph<'_>)) -> SimResult {
+    let mut p = PatchGraph::new(&pg.graph);
+    plan(&mut p);
+    let patch = p.finish();
+    assert!(!patch.is_empty(), "transform must emit a non-empty patch");
+    assert_equiv(&pg.graph, &patch, &EarliestStart)
+}
+
+#[test]
+fn amp_patch_matches_reference_on_resnet() {
+    let pg = resnet_profile();
+    check_transform(&pg, |g| plan_amp(g));
+}
+
+#[test]
+fn upgrade_gpu_patch_matches_reference_on_resnet() {
+    let pg = resnet_profile();
+    let (old, new) = (
+        daydream_device::GpuSpec::rtx_2080ti(),
+        daydream_device::GpuSpec::v100(),
+    );
+    check_transform(&pg, |g| {
+        plan_upgrade_gpu(g, &old, &new);
+    });
+}
+
+#[test]
+fn batch_size_patch_matches_reference_on_resnet() {
+    let pg = resnet_profile();
+    let old_batch = pg.meta.batch_size as u64;
+    check_transform(&pg, |g| {
+        plan_batch_size(g, old_batch, 16);
+    });
+}
+
+#[test]
+fn reconstruct_bn_patch_matches_reference_on_resnet() {
+    let pg = resnet_profile();
+    let model = daydream_models::zoo::resnet50();
+    check_transform(&pg, |g| plan_reconstruct_bn(g, &model));
+}
+
+#[test]
+fn vdnn_patch_matches_reference_on_resnet() {
+    let pg = resnet_profile();
+    let model = daydream_models::zoo::resnet50();
+    let batch = pg.meta.batch_size as u64;
+    check_transform(&pg, |g| {
+        let n = plan_vdnn(g, &model, &VdnnConfig::default(), batch);
+        assert_eq!(n, 53, "all ResNet-50 convolutions offload");
+    });
+}
+
+#[test]
+fn gist_patch_matches_reference_on_resnet_lossless_and_lossy() {
+    let pg = resnet_profile();
+    check_transform(&pg, |g| {
+        plan_gist(g, &GistConfig::default());
+    });
+    check_transform(&pg, |g| {
+        plan_gist(
+            g,
+            &GistConfig {
+                lossy: true,
+                launch_ns: 6_000,
+            },
+        );
+    });
+}
+
+#[test]
+fn ddp_patch_matches_reference_on_resnet() {
+    let pg = resnet_profile();
+    let cluster = ClusterConfig::new(4, 1, 10.0);
+    let buckets = pg.meta.buckets.clone();
+    check_transform(&pg, |g| {
+        let ars = plan_distributed(g, &buckets, &cluster);
+        assert_eq!(ars.len(), buckets.len());
+    });
+}
+
+#[test]
+fn blueconnect_patch_matches_reference_on_resnet() {
+    let pg = resnet_profile();
+    let cluster = ClusterConfig::new(4, 2, 10.0);
+    let buckets = pg.meta.buckets.clone();
+    check_transform(&pg, |g| {
+        let ars = plan_distributed(g, &buckets, &cluster);
+        plan_blueconnect(g, &cluster, &ars);
+    });
+}
+
+#[test]
+fn dgc_patch_matches_reference_on_resnet() {
+    let pg = resnet_profile();
+    let cluster = ClusterConfig::new(4, 1, 10.0);
+    let buckets = pg.meta.buckets.clone();
+    check_transform(&pg, |g| {
+        let ars = plan_distributed(g, &buckets, &cluster);
+        plan_dgc(g, &ars, &DgcConfig::default());
+    });
+}
+
+#[test]
+fn bandwidth_patch_matches_reference_on_distributed_resnet() {
+    // Bandwidth scaling needs communication tasks: transform a profile
+    // with DDP first (legacy path), then patch the transformed base.
+    let mut pg = resnet_profile();
+    what_if_distributed(&mut pg, &ClusterConfig::new(4, 1, 10.0));
+    check_transform(&pg, |g| {
+        let touched = plan_bandwidth(g, 2.0);
+        assert!(!touched.is_empty());
+    });
+}
+
+#[test]
+fn fused_adam_patch_matches_reference_on_bert() {
+    let pg = bert_profile();
+    check_transform(&pg, |g| {
+        plan_fused_adam(g).expect("BERT has weight-update GPU tasks");
+    });
+}
+
+#[test]
+fn metaflow_patch_matches_reference_on_bert() {
+    let pg = bert_profile();
+    let model = daydream_models::zoo::bert_base();
+    let mut policy = Vec::new();
+    for l in &model.layers {
+        if l.name.ends_with("attn.key") || l.name.ends_with("attn.value") {
+            policy.push(Substitution::RemoveLayer(l.id));
+        } else if l.name.ends_with("attn.query") {
+            policy.push(Substitution::ScaleLayer(l.id, 1.8));
+        }
+    }
+    let pg_ref = &pg;
+    check_transform(pg_ref, |g| plan_metaflow(g, &policy));
+}
+
+#[test]
+fn p3_patch_matches_reference_on_replicated_base() {
+    // P3 patches the *replicated* base (compiled once per profile in the
+    // sweep engine); both the FIFO baseline and the sliced P3 plan must
+    // match their oracles under the priority scheduler.
+    let pg = resnet_profile();
+    let cluster = ClusterConfig::new(4, 1, 4.0);
+    for cfg in [P3Config::baseline(cluster), P3Config::p3(cluster)] {
+        let rep = p3_replicated_base(&pg, cfg.iterations);
+        let inserts = p3_insert_plan(&pg, &rep, &cfg);
+        assert!(!inserts.is_empty());
+        let mut p = PatchGraph::new(&rep.graph);
+        plan_p3_inserts(&mut p, &inserts);
+        let patch = p.finish();
+        let fast = assert_equiv(&rep.graph, &patch, &P3Scheduler);
+
+        // Steady-state extraction over the patched sim matches the legacy
+        // mutate-in-place analysis end to end.
+        let legacy = daydream_core::whatif::what_if_p3(&pg, &cfg);
+        assert_eq!(rep.steady_iteration_ns(&fast), legacy.iteration_ns);
+    }
+}
+
+/// The legacy mutate-in-place wrappers and the patch pipeline are the
+/// same code (generic planners), so their simulations must agree exactly.
+#[test]
+fn legacy_wrapper_and_patch_agree_end_to_end() {
+    let pg = resnet_profile();
+    let patched = check_transform(&pg, |g| plan_amp(g));
+    let mut legacy = pg.clone();
+    daydream_core::whatif::what_if_amp(&mut legacy);
+    let legacy_sim = daydream_core::simulate(&legacy.graph).unwrap();
+    assert_eq!(patched, legacy_sim);
+}
+
+/// Removing a task whose thread then becomes empty must drop the thread
+/// from the result set exactly like a recompile would.
+#[test]
+fn vacated_threads_are_dropped() {
+    let mut g = DependencyGraph::new();
+    let a = g.add_task(Task::new(
+        "cpu",
+        TaskKind::CpuWork,
+        ExecThread::Cpu(CpuThreadId(0)),
+        10,
+    ));
+    let b = g.add_task(Task::new(
+        "gpu",
+        TaskKind::GpuKernel,
+        ExecThread::Gpu(DeviceId(0), StreamId(0)),
+        20,
+    ));
+    g.add_dep(a, b, DepKind::Correlation);
+
+    // Remove the only GPU task.
+    let mut p = PatchGraph::new(&g);
+    p.remove_task(b);
+    let removed = p.finish();
+    let r = assert_equiv(&g, &removed, &EarliestStart);
+    assert!(!r
+        .thread_end
+        .contains_key(&ExecThread::Gpu(DeviceId(0), StreamId(0))));
+
+    // Move the only CPU task to a new thread: old thread vacated, new
+    // thread appears.
+    let mut p = PatchGraph::new(&g);
+    p.set_thread(a, ExecThread::Cpu(CpuThreadId(9)));
+    let moved = p.finish();
+    let r = assert_equiv(&g, &moved, &EarliestStart);
+    assert!(r.thread_end.contains_key(&ExecThread::Cpu(CpuThreadId(9))));
+    assert!(!r.thread_end.contains_key(&ExecThread::Cpu(CpuThreadId(0))));
+}

@@ -28,7 +28,9 @@ pub mod zoo;
 
 pub use graph::{Application, Model, ModelBuilder};
 pub use layer::{ActKind, Layer, LayerKind, PoolKind, F32_BYTES};
-pub use memory::{footprint, max_batch, vdnn_offloadable_bytes, MemoryFootprint};
+pub use memory::{
+    footprint, max_batch, stashed_activation_bytes, vdnn_offloadable_bytes, MemoryFootprint,
+};
 pub use op::{OpClass, OpSpec};
 pub use optimizer::Optimizer;
 pub use shapes::{conv2d_out_shape, conv_out_dim, pool2d_out_shape, Shape};

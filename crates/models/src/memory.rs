@@ -49,7 +49,9 @@ impl MemoryFootprint {
 ///
 /// Layers whose backward pass needs their input (convs, linears, pools,
 /// normalizations) stash it; pure shape ops do not allocate new stash.
-fn stashed_activation_bytes(layer: &crate::layer::Layer) -> u64 {
+/// Public so graph-derived memory objectives (sweep reports) can price
+/// exactly the layers a transformation touched.
+pub fn stashed_activation_bytes(layer: &crate::layer::Layer) -> u64 {
     let out = layer.output.numel() * 4;
     match &layer.kind {
         // Backward needs input and (for BN) saved statistics.

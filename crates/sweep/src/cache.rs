@@ -100,6 +100,64 @@ impl SweepCache {
     }
 }
 
+/// In-memory per-engine evaluation cache keyed by *patch* fingerprints
+/// (plus base identity): two scenarios that emit byte-identical
+/// [`daydream_core::GraphPatch`]es over the same `(model, batch)` base
+/// graph necessarily predict the same iteration time, so the second one
+/// skips apply + simulate entirely.
+///
+/// This sits *under* [`SweepCache`]: the scenario-fingerprint cache keys
+/// the full outcome (label, memory, comm) and persists to `--cache-file`;
+/// the patch cache keys only the simulated makespan and lives for the
+/// engine's lifetime.
+#[derive(Debug, Default)]
+pub struct PatchCache {
+    entries: Mutex<HashMap<u64, u64>>,
+    hits: AtomicUsize,
+}
+
+impl PatchCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a predicted makespan by patch key, counting hits.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let got = self.entries.lock().unwrap().get(&key).copied();
+        if got.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        got
+    }
+
+    /// Stores a freshly simulated makespan.
+    pub fn insert(&self, key: u64, predicted_ns: u64) {
+        self.entries.lock().unwrap().insert(key, predicted_ns);
+    }
+
+    /// Hits since construction.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of stored makespans.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries and the hit counter.
+    pub fn clear(&self) {
+        self.entries.lock().unwrap().clear();
+        self.hits.store(0, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +186,20 @@ mod tests {
         let hit = cache.lookup(7).unwrap();
         assert!(hit.cached, "hits are flagged");
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn patch_cache_counts_hits() {
+        let cache = PatchCache::new();
+        assert!(cache.get(9).is_none());
+        assert_eq!(cache.hits(), 0);
+        cache.insert(9, 1234);
+        assert_eq!(cache.get(9), Some(1234));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.get(9)), (0, None));
     }
 
     #[test]

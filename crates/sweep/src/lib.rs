@@ -46,8 +46,8 @@ pub mod grid;
 pub mod report;
 pub mod scenario;
 
-pub use cache::SweepCache;
-pub use engine::{RunStats, SweepEngine};
+pub use cache::{PatchCache, SweepCache};
+pub use engine::{explain_scenario, RunStats, SweepEngine};
 pub use executor::{parallel_map, ExecutorStats};
 pub use grid::{SweepGrid, SweepGridBuilder};
 pub use report::{AxisBest, ScenarioOutcome, SweepReport};

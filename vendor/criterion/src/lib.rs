@@ -212,6 +212,145 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) -> Op
     }
 }
 
+/// Checked-in benchmark snapshot registry.
+///
+/// Several bench binaries share one JSON snapshot file (e.g. the
+/// workspace's `BENCH_sim.json`): a top-level object with one *section*
+/// per bench (`{"sim_scale": {...}, "transform_patch": {...}}`). Each
+/// bench rewrites only its own section via [`snapshot::merge_section`],
+/// so independently-run benches never clobber each other's numbers.
+pub mod snapshot {
+    /// Replaces (or appends) one named section of the snapshot object at
+    /// `path` with a pre-rendered JSON value, preserving every other
+    /// section. Sections are written in sorted order so the file is
+    /// deterministic regardless of which bench ran last. Top-level
+    /// values that are not objects (e.g. a legacy single-bench snapshot)
+    /// are discarded.
+    pub fn merge_section(path: &str, name: &str, value_json: &str) -> std::io::Result<()> {
+        let existing = std::fs::read_to_string(path).unwrap_or_default();
+        let mut sections = parse_sections(&existing);
+        sections.retain(|(k, _)| k != name);
+        sections.push((name.to_string(), value_json.trim().to_string()));
+        sections.sort_by(|a, b| a.0.cmp(&b.0));
+        let body: Vec<String> = sections
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        std::fs::write(path, format!("{{\n{}\n}}\n", body.join(",\n")))
+    }
+
+    /// Splits a top-level JSON object into `(key, raw value)` pairs,
+    /// keeping only object-valued sections. Tolerant scanner (depth +
+    /// in-string state), not a full parser — the registry's values are
+    /// machine-written.
+    fn parse_sections(s: &str) -> Vec<(String, String)> {
+        let bytes = s.as_bytes();
+        let mut out = Vec::new();
+        let Some(start) = s.find('{') else {
+            return out;
+        };
+        let mut i = start + 1;
+        while i < bytes.len() {
+            // Next top-level key.
+            let Some(kq) = s[i..].find('"').map(|p| i + p) else {
+                break;
+            };
+            let Some(kend) = scan_string_end(bytes, kq) else {
+                break;
+            };
+            let key = &s[kq + 1..kend];
+            let Some(colon) = s[kend..].find(':').map(|p| kend + p) else {
+                break;
+            };
+            // Value: scan to the comma/close at depth 0.
+            let mut j = colon + 1;
+            let vstart = loop {
+                if j >= bytes.len() {
+                    return out;
+                }
+                if !bytes[j].is_ascii_whitespace() {
+                    break j;
+                }
+                j += 1;
+            };
+            let mut depth = 0usize;
+            let mut j = vstart;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'"' => match scan_string_end(bytes, j) {
+                        Some(e) => j = e,
+                        None => return out,
+                    },
+                    b'{' | b'[' => depth += 1,
+                    b'}' | b']' if depth > 0 => depth -= 1,
+                    b'}' | b',' if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let value = s[vstart..j].trim();
+            if value.starts_with('{') {
+                out.push((key.to_string(), value.to_string()));
+            }
+            i = j + 1;
+        }
+        out
+    }
+
+    /// Index of the closing quote of the string starting at `open`.
+    fn scan_string_end(bytes: &[u8], open: usize) -> Option<usize> {
+        let mut i = open + 1;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => return Some(i),
+                _ => i += 1,
+            }
+        }
+        None
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn merge_preserves_other_sections() {
+            let dir = std::env::temp_dir().join(format!("snapreg-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("bench.json");
+            let path = path.to_str().unwrap();
+            let _ = std::fs::remove_file(path);
+
+            merge_section(path, "alpha", "{\n  \"x\": 1\n}").unwrap();
+            merge_section(path, "beta", "{\"y\": [1, 2, {\"z\": \"a,}b\"}]}").unwrap();
+            merge_section(path, "alpha", "{\"x\": 2}").unwrap();
+            let got = std::fs::read_to_string(path).unwrap();
+            assert!(got.contains("\"alpha\": {\"x\": 2}"), "got: {got}");
+            assert!(got.contains("\"beta\""));
+            assert!(got.contains("a,}b"), "string contents survive: {got}");
+            // Sorted + idempotent shape.
+            let again = std::fs::read_to_string(path).unwrap();
+            assert_eq!(got, again);
+            let _ = std::fs::remove_file(path);
+        }
+
+        #[test]
+        fn legacy_scalar_values_are_dropped() {
+            let dir = std::env::temp_dir().join(format!("snapreg2-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("legacy.json");
+            let path = path.to_str().unwrap();
+            std::fs::write(path, "{\"bench\": \"sim_scale\", \"results\": [1, 2]}").unwrap();
+            merge_section(path, "sim_scale", "{\"ok\": true}").unwrap();
+            let got = std::fs::read_to_string(path).unwrap();
+            assert!(!got.contains("\"bench\""), "legacy scalars dropped: {got}");
+            assert!(got.contains("\"sim_scale\": {\"ok\": true}"));
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
 /// Declares a benchmark entry function running each registered target.
 #[macro_export]
 macro_rules! criterion_group {
