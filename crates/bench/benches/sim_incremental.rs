@@ -1,0 +1,278 @@
+//! Criterion bench: incremental cone re-simulation vs full re-simulation.
+//!
+//! After PR 4 the per-scenario transform stage (emit + apply) stopped
+//! being the bottleneck: every sweep scenario re-paid a from-scratch
+//! heap dispatch of a graph that is 95%+ identical to the already-
+//! simulated base. `simulate_incremental` replays the base [`Schedule`]
+//! up to the patch's earliest possible influence and re-dispatches only
+//! the affected cone — O(|cone| log |cone|) instead of O(V log V).
+//!
+//! This bench prices the **end-to-end per-scenario evaluation** (patch
+//! emit + apply + simulate) both ways, on the same synthetic
+//! communication-bound iteration graphs as `sim_scale` (1k/10k/100k
+//! tasks), for the two small-cone patch shapes a sweep produces:
+//!
+//! * **retime** — shrink the durations of the last 16 collective
+//!   transfers (a DGC/bandwidth-style tail refinement);
+//! * **structural** — insert a compression kernel in front of each of
+//!   the last 8 transfers and shrink them (a Gist/DGC-style tail edit).
+//!
+//! The base `Schedule` is captured once outside the measurement, exactly
+//! as the sweep engine amortizes it across every scenario of a profile.
+//! Unless running in `--test` smoke mode the measurements are
+//! snapshotted into the `"sim_incremental"` section of `BENCH_sim.json`.
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use daydream_core::{
+    simulate_compiled, simulate_incremental, CommChannel, CommPrimitive, CompiledGraph, DepKind,
+    DependencyGraph, ExecThread, GraphEdit, PatchGraph, Schedule, Task, TaskId, TaskKind,
+};
+use daydream_trace::{CpuThreadId, DeviceId, StreamId};
+use std::hint::black_box;
+
+const STREAMS: u32 = 4;
+
+/// The `sim_scale` graph shape: a CPU launch chain, kernels round-robined
+/// over four streams, one gradient transfer per kernel contending for a
+/// collective channel.
+fn synthetic_graph(n: usize) -> DependencyGraph {
+    let steps = n / 3;
+    let mut g = DependencyGraph::new();
+    g.reserve(steps * 3);
+    let cpu = ExecThread::Cpu(CpuThreadId(0));
+    let chan = ExecThread::Comm(CommChannel::Collective);
+    let mut prev_launch: Option<TaskId> = None;
+    let mut prev_kernel = vec![None; STREAMS as usize];
+    for i in 0..steps {
+        let stream = (i as u32) % STREAMS;
+        let launch = g.add_task(Task::new("cudaLaunchKernel", TaskKind::CpuWork, cpu, 4_000));
+        let kernel = g.add_task(Task::new(
+            "kernel",
+            TaskKind::GpuKernel,
+            ExecThread::Gpu(DeviceId(0), StreamId(stream)),
+            30_000,
+        ));
+        let comm = g.add_task(Task::new(
+            "allreduce_slice",
+            TaskKind::Communication {
+                prim: CommPrimitive::AllReduce,
+                bytes: 1 << 20,
+            },
+            chan,
+            45_000,
+        ));
+        if let Some(p) = prev_launch {
+            g.add_dep(p, launch, DepKind::CpuSeq);
+        }
+        if let Some(p) = prev_kernel[stream as usize] {
+            g.add_dep(p, kernel, DepKind::GpuSeq);
+        }
+        g.add_dep(launch, kernel, DepKind::Correlation);
+        g.add_dep(kernel, comm, DepKind::Comm);
+        prev_launch = Some(launch);
+        prev_kernel[stream as usize] = Some(kernel);
+    }
+    g
+}
+
+/// Small-cone retime: halve the durations of the given tail transfers.
+/// The target list is selected once per base, outside the measurement —
+/// a tail-refinement planner (DGC ratio sweep, bandwidth what-if over
+/// the last buckets) knows its targets and does not rescan the graph
+/// per scenario.
+fn tail_retime<G: GraphEdit>(g: &mut G, targets: &[TaskId]) {
+    for &id in targets {
+        let shrunk = g.task(id).duration_ns / 2;
+        g.set_duration(id, shrunk);
+    }
+}
+
+/// Small-cone structural edit: splice a compression kernel between the
+/// producing kernel and each target transfer (as Gist/DGC do), plus a
+/// 100x shrink of the transfer itself.
+fn tail_structural<G: GraphEdit>(g: &mut G, targets: &[TaskId]) {
+    for (i, &id) in targets.iter().enumerate() {
+        let producer = g.predecessors(id).first().map(|&(p, _)| p);
+        let gpu = ExecThread::Gpu(DeviceId(0), StreamId((i as u32) % STREAMS));
+        let k = g.add_task(Task::new("compress", TaskKind::GpuKernel, gpu, 9_000));
+        if let Some(p) = producer {
+            g.remove_dep(p, id);
+            g.add_dep(p, k, DepKind::GpuSeq);
+        }
+        g.add_dep(k, id, DepKind::Comm);
+        let shrunk = g.task(id).duration_ns / 100;
+        g.set_duration(id, shrunk);
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    let quick = c.is_quick_mode();
+    let mut rows: Vec<String> = Vec::new();
+
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let g = synthetic_graph(n);
+        let tasks = g.len();
+        let compiled = CompiledGraph::compile(&g);
+        let schedule = Schedule::capture(&compiled).expect("base must be a DAG");
+
+        // Targets selected once per base, as a tail-refinement planner
+        // would (axes vary slice sizes/ratios, not the target set).
+        let comms = g.select(|t| t.thread.is_comm());
+        let retime_targets: Vec<TaskId> = comms.iter().rev().take(16).copied().collect();
+        let structural_targets: Vec<TaskId> = comms.iter().rev().take(8).copied().collect();
+
+        // Cone sizes (and a sanity check that the incremental path runs)
+        // measured once outside the timing loop.
+        let cone_of = |plan: &dyn Fn(&mut PatchGraph<'_>)| -> (usize, bool) {
+            let mut ov = PatchGraph::new(&g);
+            plan(&mut ov);
+            let patch = ov.finish();
+            let (applied, trace) = compiled.apply_traced(&patch);
+            let out = simulate_incremental(&compiled, &schedule, &applied, &patch, &trace)
+                .expect("patched graph must stay a DAG");
+            (out.stats.redispatched, out.stats.is_incremental())
+        };
+        let (retime_cone, retime_inc) = cone_of(&|ov| tail_retime(ov, &retime_targets));
+        let (structural_cone, structural_inc) =
+            cone_of(&|ov| tail_structural(ov, &structural_targets));
+        assert!(
+            retime_inc && structural_inc,
+            "tail patches must stay incremental"
+        );
+
+        let mut group = c.benchmark_group("sim_incremental");
+        group.sample_size(if n >= 100_000 { 10 } else { 30 });
+        group.throughput(Throughput::Elements(tasks as u64));
+
+        // Full pipeline: emit + apply + from-scratch heap simulation.
+        group.bench_with_input(
+            BenchmarkId::new("retime_full", format!("{tasks} tasks")),
+            &(&g, &compiled),
+            |b, (g, compiled)| {
+                b.iter(|| {
+                    let mut ov = PatchGraph::new(black_box(g));
+                    tail_retime(&mut ov, &retime_targets);
+                    let patch = ov.finish();
+                    let applied = compiled.apply(&patch);
+                    black_box(simulate_compiled(&applied).unwrap().makespan_ns)
+                })
+            },
+        );
+        // Incremental pipeline: emit + traced apply + cone re-dispatch.
+        group.bench_with_input(
+            BenchmarkId::new("retime_incremental", format!("{tasks} tasks")),
+            &(&g, &compiled, &schedule),
+            |b, (g, compiled, schedule)| {
+                b.iter(|| {
+                    let mut ov = PatchGraph::new(black_box(g));
+                    tail_retime(&mut ov, &retime_targets);
+                    let patch = ov.finish();
+                    let (applied, trace) = compiled.apply_traced(&patch);
+                    black_box(
+                        simulate_incremental(compiled, schedule, &applied, &patch, &trace)
+                            .unwrap()
+                            .sim
+                            .makespan_ns,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("structural_full", format!("{tasks} tasks")),
+            &(&g, &compiled),
+            |b, (g, compiled)| {
+                b.iter(|| {
+                    let mut ov = PatchGraph::new(black_box(g));
+                    tail_structural(&mut ov, &structural_targets);
+                    let patch = ov.finish();
+                    let applied = compiled.apply(&patch);
+                    black_box(simulate_compiled(&applied).unwrap().makespan_ns)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("structural_incremental", format!("{tasks} tasks")),
+            &(&g, &compiled, &schedule),
+            |b, (g, compiled, schedule)| {
+                b.iter(|| {
+                    let mut ov = PatchGraph::new(black_box(g));
+                    tail_structural(&mut ov, &structural_targets);
+                    let patch = ov.finish();
+                    let (applied, trace) = compiled.apply_traced(&patch);
+                    black_box(
+                        simulate_incremental(compiled, schedule, &applied, &patch, &trace)
+                            .unwrap()
+                            .sim
+                            .makespan_ns,
+                    )
+                })
+            },
+        );
+        group.finish();
+
+        let find = |kind: &str| {
+            c.records()
+                .iter()
+                .rev()
+                .find(|r| r.name.contains(&format!("/{kind}/{tasks} tasks")))
+                .map(|r| r.ns_per_iter)
+        };
+        let speedup = |inc: Option<f64>, full: Option<f64>| match (inc, full) {
+            (Some(i), Some(f)) if i > 0.0 => Some(f / i),
+            _ => None,
+        };
+        let (rf, ri) = (find("retime_full"), find("retime_incremental"));
+        let (sf, si) = (find("structural_full"), find("structural_incremental"));
+        let (rs, ss) = (speedup(ri, rf), speedup(si, sf));
+        if let (Some(rs), Some(ss)) = (rs, ss) {
+            println!(
+                "sim_incremental {tasks} tasks: retime {rs:.1}x (cone {retime_cone}), \
+                 structural {ss:.1}x (cone {structural_cone}) over full re-simulation"
+            );
+        }
+        let fmt_opt = |v: Option<f64>| {
+            v.map(|x| format!("{x:.1}"))
+                .unwrap_or_else(|| "null".to_string())
+        };
+        rows.push(format!(
+            concat!(
+                "    {{\"tasks\": {}, ",
+                "\"retime_full_ns\": {}, \"retime_incremental_ns\": {}, ",
+                "\"retime_speedup\": {}, \"retime_cone\": {}, ",
+                "\"structural_full_ns\": {}, \"structural_incremental_ns\": {}, ",
+                "\"structural_speedup\": {}, \"structural_cone\": {}}}"
+            ),
+            tasks,
+            fmt_opt(rf),
+            fmt_opt(ri),
+            fmt_opt(rs.map(|s| (s * 10.0).round() / 10.0)),
+            retime_cone,
+            fmt_opt(sf),
+            fmt_opt(si),
+            fmt_opt(ss.map(|s| (s * 10.0).round() / 10.0)),
+            structural_cone,
+        ));
+    }
+
+    // Smoke runs (`--test`) measure one iteration — not worth snapshotting.
+    if !quick {
+        let json = format!(
+            concat!(
+                "{{\n  \"pipelines\": \"full = emit + apply + simulate_compiled; ",
+                "incremental = emit + apply_traced + simulate_incremental over the ",
+                "amortized base Schedule\",\n",
+                "  \"note\": \"end-to-end per-scenario evaluation of small-cone tail ",
+                "patches (16-transfer retime, 8-insert structural); cone = tasks ",
+                "re-dispatched\",\n",
+                "  \"results\": [\n{}\n  ]\n  }}"
+            ),
+            rows.join(",\n")
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+        match criterion::snapshot::merge_section(path, "sim_incremental", &json) {
+            Ok(()) => println!("wrote sim_incremental section of {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}

@@ -475,6 +475,10 @@ pub fn cmd_sweep(args: &Args) -> Result<(), String> {
         stats.profiles_built,
         stats.executor.steals,
     );
+    println!(
+        "sim paths: {} incremental, {} full, {} patch-cache hits ({} tasks re-dispatched)",
+        stats.incremental_sims, stats.full_sims, stats.patch_hits, stats.tasks_redispatched,
+    );
     if report.cache_hits > 0 {
         println!(
             "cache: {} hits, {} executed ({}% free)",

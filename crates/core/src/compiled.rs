@@ -35,6 +35,27 @@ pub struct CompactId(pub u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ThreadId(pub u32);
 
+/// What [`CompiledGraph::apply_traced`] did to the base: the inputs the
+/// incremental simulator ([`crate::sim::simulate_incremental_with`])
+/// needs to decide between cone re-dispatch and full fallback.
+#[derive(Debug, Clone)]
+pub struct ApplyTrace {
+    /// `true` if the structural path ran (topology or thread changes);
+    /// `false` for the retime-only fast path (identical compaction).
+    pub structural: bool,
+    /// `true` if the patch left a base thread without tasks — base
+    /// `ThreadId`s are then re-compacted and no longer stable, so the
+    /// incremental simulator must fall back to a full run.
+    pub vacated_threads: bool,
+    /// Base-compact → new-compact id remap (`u32::MAX` for removed
+    /// tasks); `None` means identity (retime-only patches).
+    pub remap: Option<Vec<u32>>,
+    /// Directly-touched task ids in the *new* compact space: retimed,
+    /// reprioritized, rethreaded, edge-rewired, and inserted tasks.
+    /// Removed tasks are reported by absence through `remap`.
+    pub touched: Vec<CompactId>,
+}
+
 /// A frozen dependency graph in CSR form, ready for simulation.
 ///
 /// Every array is behind an [`Arc`], so [`CompiledGraph::apply`] can
@@ -243,6 +264,20 @@ impl CompiledGraph {
     ///
     /// Panics if the patch was recorded against a different base arena.
     pub fn apply(&self, patch: &GraphPatch) -> CompiledGraph {
+        self.apply_traced(patch).0
+    }
+
+    /// [`CompiledGraph::apply`] plus an [`ApplyTrace`] describing what
+    /// the patch did: the compaction remap, the vacated-thread flag (the
+    /// two fallback inputs [`crate::sim::simulate_incremental_with`]
+    /// consumes — its cone itself is derived from the patch delta plus
+    /// the remap), and the directly-touched new-space ids for tooling
+    /// and diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the patch was recorded against a different base arena.
+    pub fn apply_traced(&self, patch: &GraphPatch) -> (CompiledGraph, ApplyTrace) {
         assert_eq!(
             self.arena_len,
             patch.base_capacity(),
@@ -250,7 +285,7 @@ impl CompiledGraph {
         );
         let d = patch.delta();
         if d.is_structural() {
-            return self.apply_structural(patch);
+            return self.traced_structural(patch);
         }
         // Dense retimes (AMP touches every GPU task) amortize one flat
         // inverse pass; sparse ones binary-search per touched task.
@@ -269,9 +304,56 @@ impl CompiledGraph {
                 .is_some_and(|t| self.threads[self.thread_of[compact(id)].0 as usize] != t)
         });
         if thread_changed {
-            return self.apply_structural(patch);
+            return self.traced_structural(patch);
         }
-        self.apply_retime(patch, &compact)
+        let applied = self.apply_retime(patch, &compact);
+        // Retime-only: compaction is identity and edges are untouched,
+        // so the touched set is exactly the scalar-touched ids (already
+        // unique), mapped through the same compact lookup apply used.
+        let mut touched: Vec<CompactId> = d
+            .touched()
+            .iter()
+            .map(|&id| CompactId(compact(id) as u32))
+            .collect();
+        touched.sort_unstable();
+        (
+            applied,
+            ApplyTrace {
+                structural: false,
+                vacated_threads: false,
+                remap: None,
+                touched,
+            },
+        )
+    }
+
+    /// The structural arm of [`CompiledGraph::apply_traced`].
+    fn traced_structural(&self, patch: &GraphPatch) -> (CompiledGraph, ApplyTrace) {
+        let (applied, vacated_threads, remap) = self.apply_structural(patch);
+        let d = patch.delta();
+        // Directly-touched ids in the *new* compact space: retimed /
+        // reprioritized / rethreaded / rewired survivors plus every
+        // inserted task. Removed tasks have no new id — they are
+        // reported by absence (`remap` sends them to `u32::MAX`).
+        let mut touched: Vec<CompactId> = d
+            .touched()
+            .iter()
+            .copied()
+            .chain(d.pred_overlay_ids())
+            .filter(|id| !d.is_removed(*id))
+            .filter_map(|id| applied.compact_of(id))
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        (
+            applied,
+            ApplyTrace {
+                structural: true,
+                vacated_threads,
+                remap: Some(remap),
+                touched,
+            },
+        )
     }
 
     /// Arena-indexed `TaskId -> old CompactId` inverse (u32::MAX for
@@ -286,8 +368,11 @@ impl CompiledGraph {
     }
 
     /// The structural path: rebuild compaction, per-task state, and CSR
-    /// in flat array passes, reusing every untouched base span.
-    fn apply_structural(&self, patch: &GraphPatch) -> CompiledGraph {
+    /// in flat array passes, reusing every untouched base span. Also
+    /// returns whether any base thread was vacated (its `ThreadId`s then
+    /// compact — base thread ids are *stable* otherwise) and the
+    /// old-compact → new-compact remap (`u32::MAX` for removed tasks).
+    fn apply_structural(&self, patch: &GraphPatch) -> (CompiledGraph, bool, Vec<u32>) {
         let d = patch.delta();
         let base_cap = self.arena_len;
         let n_old = self.len();
@@ -381,7 +466,8 @@ impl CompiledGraph {
         for &t in &thread_idx {
             live_per_thread[t as usize] += 1;
         }
-        if live_per_thread.contains(&0) {
+        let vacated = live_per_thread.contains(&0);
+        if vacated {
             let mut remap = vec![u32::MAX; threads_new.len()];
             let mut compacted = Vec::with_capacity(threads_new.len());
             for (i, &t) in threads_new.iter().enumerate() {
@@ -427,7 +513,7 @@ impl CompiledGraph {
             succ_off.push(succ.len() as u32);
         }
 
-        CompiledGraph {
+        let applied = CompiledGraph {
             task_ids: Arc::new(live),
             arena_len: arena_new,
             threads: Arc::new(threads_new),
@@ -439,7 +525,8 @@ impl CompiledGraph {
             succ_off: Arc::new(succ_off),
             succ: Arc::new(succ),
             pred_count: Arc::new(pred_count),
-        }
+        };
+        (applied, vacated, remap_old)
     }
 
     /// The retime-only fast path: topology and threads are shared with the

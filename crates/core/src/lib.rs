@@ -47,18 +47,20 @@ pub mod task;
 pub mod transform;
 pub mod whatif;
 
-pub use compiled::{CompactId, CompiledGraph, ThreadId};
+pub use compiled::{ApplyTrace, CompactId, CompiledGraph, ThreadId};
 pub use construct::{build_graph, ProfiledGraph};
 pub use graph::{DepKind, DependencyGraph, GraphEdit, GraphError, GraphView, TaskId};
 pub use patch::{GraphPatch, PatchGraph, PatchOp, PatchSummary};
 pub use predict::{
-    makespan_ns, predict, predict_from_baseline, predict_patched, predict_with, Prediction,
+    makespan_ns, predict, predict_from_baseline, predict_incremental, predict_patched,
+    predict_with, Prediction,
 };
 pub use replicate::{replicate_iterations, ReplicatedGraph};
 pub use report::{layer_report, LayerTimes};
 pub use sim::{
-    simulate, simulate_compiled, simulate_compiled_with, simulate_reference, simulate_with,
-    simulate_with_reference, Candidate, CompiledSim, EarliestStart, FrontierOrder, Rank, Scheduler,
-    SimResult,
+    simulate, simulate_compiled, simulate_compiled_with, simulate_incremental,
+    simulate_incremental_with, simulate_reference, simulate_with, simulate_with_reference,
+    Candidate, CompiledSim, EarliestStart, FallbackReason, FrontierOrder, IncrementalOptions,
+    IncrementalOutcome, IncrementalStats, Rank, Schedule, Scheduler, SimResult,
 };
 pub use task::{CommChannel, CommPrimitive, ExecThread, LayerRef, Task, TaskKind};

@@ -128,8 +128,10 @@ pub(crate) struct NetDelta {
     name: std::collections::HashMap<usize, String>,
     /// Lazily merged full-`Task` views: pre-filled for inserted tasks,
     /// built on first read for modified base tasks, kept in sync by
-    /// every later setter.
-    merged: Vec<std::cell::OnceCell<Box<Task>>>,
+    /// every later setter. `OnceLock` (not `OnceCell`) so finished
+    /// patches are `Sync` — the sweep engine shares cached DDP patches
+    /// across worker threads and layers refinements on top.
+    merged: Vec<std::sync::OnceLock<Box<Task>>>,
     /// Ids with a nonzero flag byte, in first-touch order.
     touched: Vec<TaskId>,
     /// Removal bitmap (base or new tasks removed by this patch).
@@ -190,7 +192,7 @@ impl NetDelta {
     fn ensure(&mut self, len: usize) {
         if self.flags.len() < len {
             self.flags.resize(len, 0);
-            self.merged.resize_with(len, std::cell::OnceCell::new);
+            self.merged.resize_with(len, std::sync::OnceLock::new);
         }
     }
 
@@ -274,6 +276,27 @@ impl NetDelta {
     /// anything that invalidates the base CSR).
     pub(crate) fn is_structural(&self) -> bool {
         self.removed_count > 0 || !self.new_ids.is_empty() || self.edges_touched
+    }
+
+    /// Ids the patch removed (set bits of the removal bitmap), ascending.
+    pub(crate) fn removed_ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.removed
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r)
+            .map(|(i, _)| TaskId(i))
+    }
+
+    /// Ids whose final predecessor list the patch overrides, ascending.
+    /// (Every edge add/remove dirties the `to` side's list, and task
+    /// removal dirties every neighbour — so this is exactly the set of
+    /// tasks whose dependency-readiness the patch can move.)
+    pub(crate) fn pred_overlay_ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.pred
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_some())
+            .map(|(i, _)| TaskId(i))
     }
 }
 
@@ -526,21 +549,7 @@ impl GraphPatch {
             self.base_capacity,
             "patch recorded against a different base arena"
         );
-        for op in &self.ops {
-            match op {
-                PatchOp::AddTask { task } => {
-                    GraphEdit::add_task(g, (**task).clone());
-                }
-                PatchOp::RemoveTask { id } => GraphEdit::remove_task(g, *id),
-                PatchOp::AddDep { from, to, kind } => GraphEdit::add_dep(g, *from, *to, *kind),
-                PatchOp::RemoveDep { from, to } => GraphEdit::remove_dep(g, *from, *to),
-                PatchOp::SetDuration { id, ns } => g.set_duration(*id, *ns),
-                PatchOp::SetName { id, name } => g.set_name(*id, name.clone()),
-                PatchOp::SetKind { id, kind } => g.set_kind(*id, kind.clone()),
-                PatchOp::SetThread { id, thread } => g.set_thread(*id, *thread),
-                PatchOp::SetPriority { id, priority } => g.set_priority(*id, *priority),
-            }
-        }
+        replay_ops(&self.ops, g);
     }
 
     /// The mutate-then-recompile oracle: clones the base, replays the op
@@ -551,6 +560,51 @@ impl GraphPatch {
         let mut g = base.clone();
         self.replay_on(&mut g);
         g
+    }
+
+    /// Composes this patch with a `refinement` recorded *on top of it*
+    /// (i.e. against `self.apply_reference(base)`), yielding one patch
+    /// over `base` whose effect equals applying the two sequentially.
+    ///
+    /// This is how the sweep engine layers BlueConnect/DGC refinements
+    /// over a cached DDP patch without re-planning the DDP stage: the
+    /// composed patch's delta is rebuilt by replaying both op logs
+    /// through a fresh [`PatchGraph`], so `AddTask` id assignment and
+    /// removal bridging come out exactly as a sequential apply would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not the arena this patch was recorded against,
+    /// or if `refinement` was not recorded against this patch's output
+    /// arena.
+    pub fn compose(&self, base: &DependencyGraph, refinement: &GraphPatch) -> GraphPatch {
+        let mut pg = PatchGraph::layered(base, self);
+        assert_eq!(
+            refinement.base_capacity,
+            pg.capacity(),
+            "refinement recorded against a different patched arena"
+        );
+        replay_ops(&refinement.ops, &mut pg);
+        pg.finish()
+    }
+}
+
+/// Replays an op log through any [`GraphEdit`] sink.
+fn replay_ops<G: GraphEdit>(ops: &[PatchOp], g: &mut G) {
+    for op in ops {
+        match op {
+            PatchOp::AddTask { task } => {
+                g.add_task((**task).clone());
+            }
+            PatchOp::RemoveTask { id } => g.remove_task(*id),
+            PatchOp::AddDep { from, to, kind } => g.add_dep(*from, *to, *kind),
+            PatchOp::RemoveDep { from, to } => g.remove_dep(*from, *to),
+            PatchOp::SetDuration { id, ns } => g.set_duration(*id, *ns),
+            PatchOp::SetName { id, name } => g.set_name(*id, name.clone()),
+            PatchOp::SetKind { id, kind } => g.set_kind(*id, kind.clone()),
+            PatchOp::SetThread { id, thread } => g.set_thread(*id, *thread),
+            PatchOp::SetPriority { id, priority } => g.set_priority(*id, *priority),
+        }
     }
 }
 
@@ -581,6 +635,29 @@ impl<'a> PatchGraph<'a> {
             base,
             ops: Vec::new(),
             delta: NetDelta::default(),
+        }
+    }
+
+    /// An overlay over `base` resumed from a previously recorded `prior`
+    /// patch: reads see base-plus-prior, new mutations append to prior's
+    /// op log, and [`PatchGraph::finish`] yields the *composed* patch.
+    /// This is the layered form behind [`GraphPatch::compose`] — a
+    /// BlueConnect/DGC planner records its refinement on top of a cached
+    /// DDP patch without the DDP stage ever being re-planned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prior` was recorded against a different base arena.
+    pub fn layered(base: &'a DependencyGraph, prior: &GraphPatch) -> Self {
+        assert_eq!(
+            base.capacity(),
+            prior.base_capacity,
+            "prior patch recorded against a different base arena"
+        );
+        PatchGraph {
+            base,
+            ops: prior.ops.clone(),
+            delta: prior.delta.clone(),
         }
     }
 

@@ -132,9 +132,59 @@ pub fn predict_patched_with<O: FrontierOrder>(
     }
 }
 
+/// The fastest per-scenario path: applies the patch incrementally and
+/// re-simulates only its cone against a [`Schedule`] captured once over
+/// the shared base ([`crate::sim::simulate_incremental_with`]), falling
+/// back to a full simulation when the cone is too large. The returned
+/// stats say which path ran and how many tasks were re-dispatched.
+pub fn predict_incremental(
+    schedule: &crate::sim::Schedule,
+    compiled: &CompiledGraph,
+    patch: &GraphPatch,
+) -> (Prediction, crate::sim::IncrementalStats) {
+    let (patched, trace) = compiled.apply_traced(patch);
+    let outcome = crate::sim::simulate_incremental(compiled, schedule, &patched, patch, &trace)
+        .expect("patched graph must stay a DAG");
+    (
+        Prediction {
+            baseline_ns: schedule.makespan_ns(),
+            predicted_ns: outcome.sim.makespan_ns,
+        },
+        outcome.stats,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::{DepKind, DependencyGraph};
+    use crate::patch::PatchGraph;
+    use crate::sim::Schedule;
+    use crate::task::{ExecThread, Task, TaskKind};
+    use daydream_trace::CpuThreadId;
+
+    #[test]
+    fn predict_incremental_matches_predict_patched() {
+        let mut g = DependencyGraph::new();
+        let cpu = ExecThread::Cpu(CpuThreadId(0));
+        let ids: Vec<_> = (0..20)
+            .map(|i| g.add_task(Task::new(format!("t{i}"), TaskKind::CpuWork, cpu, 10)))
+            .collect();
+        for w in ids.windows(2) {
+            g.add_dep(w[0], w[1], DepKind::CpuSeq);
+        }
+        let compiled = crate::CompiledGraph::compile(&g);
+        let schedule = Schedule::capture(&compiled).unwrap();
+        let mut p = PatchGraph::new(&g);
+        crate::GraphEdit::set_duration(&mut p, ids[18], 500);
+        let patch = p.finish();
+
+        let (inc, stats) = predict_incremental(&schedule, &compiled, &patch);
+        let full = predict_patched(schedule.makespan_ns(), &compiled, &patch);
+        assert_eq!(inc, full, "incremental prediction diverged");
+        assert!(stats.is_incremental());
+        assert_eq!(stats.redispatched, 2, "only the retimed tail re-dispatches");
+    }
 
     #[test]
     fn report_math() {

@@ -31,8 +31,9 @@
 //! is the global one. The reference loop is retained as the oracle for the
 //! equivalence proptests and the `sim_scale` benchmark.
 
-use crate::compiled::{CompactId, CompiledGraph, ThreadId};
+use crate::compiled::{ApplyTrace, CompactId, CompiledGraph, ThreadId};
 use crate::graph::{DependencyGraph, GraphError, TaskId};
+use crate::patch::GraphPatch;
 use crate::task::ExecThread;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
@@ -52,6 +53,26 @@ pub type Rank = (u64, u64);
 pub trait FrontierOrder {
     /// The tie-break rank of `task`.
     fn rank(&self, graph: &CompiledGraph, task: CompactId) -> Rank;
+
+    /// `true` if [`simulate_incremental_with`] may trust this policy
+    /// across a patch: ranks must be a fixed function of the task's
+    /// compact-id *order*, priority, and comm-thread flag, so the
+    /// relative rank of two untouched tasks cannot change when a patch
+    /// shifts compact ids or edits other tasks. Policies ranking on
+    /// anything else (durations, successor counts, global state) must
+    /// return `false` — the conservative default — which routes every
+    /// patched simulation through the full fallback.
+    fn incremental_safe(&self) -> bool {
+        false
+    }
+
+    /// `true` if ranks depend on task priority. Priority-only patches
+    /// then influence scheduling from the task's dependency-ready time;
+    /// policies that ignore priority (the default [`EarliestStart`])
+    /// let the incremental simulator skip them entirely.
+    fn rank_uses_priority(&self) -> bool {
+        true
+    }
 }
 
 /// The default policy: earliest feasible start, ties broken by task id
@@ -64,6 +85,14 @@ impl FrontierOrder for EarliestStart {
         // Compact ids ascend with TaskIds, so this is the reference
         // tie-break.
         (task.0 as u64, 0)
+    }
+
+    fn incremental_safe(&self) -> bool {
+        true
+    }
+
+    fn rank_uses_priority(&self) -> bool {
+        false
     }
 }
 
@@ -214,6 +243,17 @@ pub fn simulate_compiled_with<O: FrontierOrder>(
     cg: &CompiledGraph,
     order: &O,
 ) -> Result<CompiledSim, GraphError> {
+    sim_compiled_core(cg, order).map(|(sim, _)| sim)
+}
+
+/// The full-simulation core, additionally returning each task's final
+/// dependency-induced start (`max` over predecessor finishes) — the
+/// readiness times [`Schedule::capture_with`] indexes for incremental
+/// cutoff computation.
+fn sim_compiled_core<O: FrontierOrder>(
+    cg: &CompiledGraph,
+    order: &O,
+) -> Result<(CompiledSim, Vec<u64>), GraphError> {
     let n = cg.len();
     let t_count = cg.thread_count();
     let ranks: Vec<Rank> = (0..n)
@@ -242,8 +282,52 @@ pub fn simulate_compiled_with<O: FrontierOrder>(
         }
     }
 
-    let mut done = 0usize;
     let mut makespan = 0u64;
+    let done = dispatch_loop(
+        cg,
+        &ranks,
+        &mut tentative,
+        &mut preds,
+        &mut start,
+        &mut wait,
+        &mut progress,
+        &mut fronts,
+        &mut global,
+        &mut makespan,
+    );
+
+    if done != n {
+        return Err(GraphError::Cycle);
+    }
+    Ok((
+        CompiledSim {
+            start_ns: start,
+            wait_ns: wait,
+            thread_end: progress,
+            makespan_ns: makespan,
+        },
+        tentative,
+    ))
+}
+
+/// The frontier dispatch loop shared by the full and incremental
+/// simulators: drains the seeded heaps to completion, returning how many
+/// tasks were dispatched. Both entry points run *this* code, so the
+/// incremental path cannot drift from full-simulation semantics.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_loop(
+    cg: &CompiledGraph,
+    ranks: &[Rank],
+    tentative: &mut [u64],
+    preds: &mut [u32],
+    start: &mut [u64],
+    wait: &mut [u64],
+    progress: &mut [u64],
+    fronts: &mut [ThreadFrontier],
+    global: &mut BinaryHeap<Reverse<(u64, Rank, u32, u32)>>,
+    makespan: &mut u64,
+) -> usize {
+    let mut done = 0usize;
     while let Some(Reverse((feas, rank, u, t))) = global.pop() {
         let ti = t as usize;
         let front = &mut fronts[ti];
@@ -260,7 +344,7 @@ pub fn simulate_compiled_with<O: FrontierOrder>(
         start[ui] = s;
         wait[ui] = s - progress[ti];
         let fin = s + cg.cost_ns(CompactId(u));
-        makespan = makespan.max(s + cg.duration_ns(CompactId(u)));
+        *makespan = (*makespan).max(s + cg.duration_ns(CompactId(u)));
         progress[ti] = fin;
         done += 1;
 
@@ -287,16 +371,661 @@ pub fn simulate_compiled_with<O: FrontierOrder>(
             global.push(Reverse((f, r, id, t)));
         }
     }
+    done
+}
 
-    if done != n {
+// ---------------------------------------------------------------------------
+// Incremental cone re-simulation
+// ---------------------------------------------------------------------------
+
+/// A captured base simulation plus the acceleration indices incremental
+/// re-simulation needs: per-task start/finish/ready times, the dispatch
+/// sequence sorted by start, per-thread timelines, and per-task
+/// predecessor arrays sorted by predecessor start with running-max
+/// finishes. Built once per base profile ([`Schedule::capture_with`]);
+/// every patched scenario then reuses the schedule to replay the
+/// unaffected prefix verbatim and re-dispatch only its cone.
+///
+/// The indices make cutoff seeding sublinear in the prefix: thread
+/// progress at a cutoff is one binary search per thread, and a suffix
+/// task's remaining-predecessor count and seeded tentative start are one
+/// binary search over its sorted predecessor segment.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// The base simulation output (dense, compiled-space).
+    sim: CompiledSim,
+    /// Final dependency-induced start per task (max predecessor finish).
+    tentative_ns: Vec<u64>,
+    /// `start + cost` per task: when the thread moves past it.
+    fin_ns: Vec<u64>,
+    /// Task ids sorted by start time (the dispatch sequence up to
+    /// same-instant ties, which a time cutoff never splits).
+    by_start: Vec<u32>,
+    /// Starts parallel to `by_start` (ascending).
+    sorted_starts: Vec<u64>,
+    /// `makespan_prefix[i]` = max `start + duration` over `by_start[..i]`.
+    makespan_prefix: Vec<u64>,
+    /// Per-thread timeline CSR offsets into `tl_start`/`tl_fin`.
+    tl_off: Vec<u32>,
+    /// Per-thread task starts in dispatch order.
+    tl_start: Vec<u64>,
+    /// Per-thread task finishes in dispatch order (monotone per thread).
+    tl_fin: Vec<u64>,
+    /// Per-task predecessor CSR offsets into `pred_start`/`pred_fin_max`.
+    pred_off: Vec<u32>,
+    /// Predecessor starts per task, ascending within each segment.
+    pred_start: Vec<u64>,
+    /// Running max of predecessor finishes along `pred_start` order.
+    pred_fin_max: Vec<u64>,
+}
+
+impl Schedule {
+    /// Captures the base schedule under the default policy.
+    pub fn capture(cg: &CompiledGraph) -> Result<Schedule, GraphError> {
+        Self::capture_with(cg, &EarliestStart)
+    }
+
+    /// Simulates `cg` and builds the incremental-seeding indices.
+    /// O(V log V + E log E) once per base.
+    pub fn capture_with<O: FrontierOrder>(
+        cg: &CompiledGraph,
+        order: &O,
+    ) -> Result<Schedule, GraphError> {
+        let (sim, tentative_ns) = sim_compiled_core(cg, order)?;
+        let n = cg.len();
+        let fin_ns: Vec<u64> = (0..n)
+            .map(|i| sim.start_ns[i] + cg.cost_ns(CompactId(i as u32)))
+            .collect();
+
+        let mut by_start: Vec<u32> = (0..n as u32).collect();
+        by_start.sort_unstable_by_key(|&i| sim.start_ns[i as usize]);
+        let sorted_starts: Vec<u64> = by_start.iter().map(|&i| sim.start_ns[i as usize]).collect();
+        let mut makespan_prefix = Vec::with_capacity(n + 1);
+        makespan_prefix.push(0u64);
+        let mut running = 0u64;
+        for &i in &by_start {
+            running = running.max(sim.start_ns[i as usize] + cg.duration_ns(CompactId(i)));
+            makespan_prefix.push(running);
+        }
+
+        // Per-thread timelines in dispatch order. Finishes are stored as
+        // a running max per segment: serial execution makes them monotone
+        // already *except* when a zero-cost task ties a same-thread
+        // neighbour on start and the unstable by-start sort orders the
+        // tie against dispatch order — `progress_at` must still see the
+        // true thread progress.
+        let t_count = cg.thread_count();
+        let mut tl_counts = vec![0u32; t_count];
+        for i in 0..n {
+            tl_counts[cg.thread_of(CompactId(i as u32)).0 as usize] += 1;
+        }
+        let mut tl_off = Vec::with_capacity(t_count + 1);
+        tl_off.push(0u32);
+        for t in 0..t_count {
+            tl_off.push(tl_off[t] + tl_counts[t]);
+        }
+        let mut cursor: Vec<u32> = tl_off[..t_count].to_vec();
+        let mut tl_start = vec![0u64; n];
+        let mut tl_fin = vec![0u64; n];
+        for &i in &by_start {
+            let t = cg.thread_of(CompactId(i)).0 as usize;
+            let slot = cursor[t] as usize;
+            cursor[t] += 1;
+            tl_start[slot] = sim.start_ns[i as usize];
+            tl_fin[slot] = if slot > tl_off[t] as usize {
+                fin_ns[i as usize].max(tl_fin[slot - 1])
+            } else {
+                fin_ns[i as usize]
+            };
+        }
+
+        // Predecessor CSR (inverted from the successor CSR), each segment
+        // sorted by predecessor start with a running max of finishes: one
+        // binary search then seeds a suffix task's remaining-predecessor
+        // count and tentative start.
+        let mut pred_off = vec![0u32; n + 1];
+        for u in 0..n {
+            for &v in cg.successors(CompactId(u as u32)) {
+                pred_off[v.0 as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            pred_off[i + 1] += pred_off[i];
+        }
+        let e = *pred_off.last().unwrap_or(&0) as usize;
+        let mut cursor: Vec<u32> = pred_off[..n].to_vec();
+        let mut pred_task = vec![0u32; e];
+        for u in 0..n {
+            for &v in cg.successors(CompactId(u as u32)) {
+                let slot = cursor[v.0 as usize] as usize;
+                cursor[v.0 as usize] += 1;
+                pred_task[slot] = u as u32;
+            }
+        }
+        let mut pred_start = vec![0u64; e];
+        let mut pred_fin_max = vec![0u64; e];
+        for v in 0..n {
+            let seg = pred_off[v] as usize..pred_off[v + 1] as usize;
+            pred_task[seg.clone()].sort_unstable_by_key(|&p| sim.start_ns[p as usize]);
+            let mut running = 0u64;
+            for s in seg {
+                let p = pred_task[s] as usize;
+                pred_start[s] = sim.start_ns[p];
+                running = running.max(fin_ns[p]);
+                pred_fin_max[s] = running;
+            }
+        }
+
+        Ok(Schedule {
+            sim,
+            tentative_ns,
+            fin_ns,
+            by_start,
+            sorted_starts,
+            makespan_prefix,
+            tl_off,
+            tl_start,
+            tl_fin,
+            pred_off,
+            pred_start,
+            pred_fin_max,
+        })
+    }
+
+    /// Number of tasks the schedule covers.
+    pub fn len(&self) -> usize {
+        self.sim.start_ns.len()
+    }
+
+    /// `true` if the schedule covers no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.sim.start_ns.is_empty()
+    }
+
+    /// The base simulation's makespan.
+    pub fn makespan_ns(&self) -> u64 {
+        self.sim.makespan_ns
+    }
+
+    /// The captured base simulation.
+    pub fn sim(&self) -> &CompiledSim {
+        &self.sim
+    }
+
+    /// Index of the first dispatch at or after `cutoff` in start order.
+    fn first_suffix(&self, cutoff: u64) -> usize {
+        self.sorted_starts.partition_point(|&s| s < cutoff)
+    }
+
+    /// Thread progress after every dispatch strictly before `cutoff`.
+    fn progress_at(&self, thread: usize, cutoff: u64) -> u64 {
+        let seg = self.tl_off[thread] as usize..self.tl_off[thread + 1] as usize;
+        let idx = self.tl_start[seg.clone()].partition_point(|&s| s < cutoff);
+        if idx == 0 {
+            0
+        } else {
+            self.tl_fin[seg.start + idx - 1]
+        }
+    }
+
+    /// Splits a task's predecessors at `cutoff`: how many dispatch at or
+    /// after it (still owed in the continuation) and the max finish of
+    /// those already replayed (the seeded tentative start).
+    fn pred_split(&self, task: usize, cutoff: u64) -> (u32, u64) {
+        let seg = self.pred_off[task] as usize..self.pred_off[task + 1] as usize;
+        let idx = self.pred_start[seg.clone()].partition_point(|&s| s < cutoff);
+        let remaining = (seg.len() - idx) as u32;
+        let tentative = if idx == 0 {
+            0
+        } else {
+            self.pred_fin_max[seg.start + idx - 1]
+        };
+        (remaining, tentative)
+    }
+}
+
+/// Tuning knobs for [`simulate_incremental_with`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IncrementalOptions {
+    /// Fall back to a full simulation when the re-dispatch cone exceeds
+    /// this fraction of the patched graph's tasks (`1.0` never falls
+    /// back on size, `0.0` always does). Past roughly three quarters of
+    /// the graph, seeding overhead cancels the skipped prefix.
+    pub max_cone_fraction: f64,
+}
+
+impl Default for IncrementalOptions {
+    fn default() -> Self {
+        IncrementalOptions {
+            max_cone_fraction: 0.75,
+        }
+    }
+}
+
+/// Why an incremental simulation fell back to the full path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The frontier policy did not declare itself incremental-safe
+    /// ([`FrontierOrder::incremental_safe`]).
+    PolicyUnsafe,
+    /// The patch vacated a base thread, so base `ThreadId`s are not
+    /// stable in the patched graph.
+    VacatedThreads,
+    /// The cone exceeded [`IncrementalOptions::max_cone_fraction`].
+    ConeTooLarge,
+}
+
+impl std::fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FallbackReason::PolicyUnsafe => "frontier policy is not incremental-safe",
+            FallbackReason::VacatedThreads => "patch vacates a base thread",
+            FallbackReason::ConeTooLarge => "re-dispatch cone exceeds the size threshold",
+        })
+    }
+}
+
+/// Work accounting of one incremental simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IncrementalStats {
+    /// Tasks the simulator actually dispatched (the cone on the
+    /// incremental path; every task on a full fallback).
+    pub redispatched: usize,
+    /// Live tasks in the patched graph.
+    pub total: usize,
+    /// The divergence cutoff: every base dispatch strictly before this
+    /// instant was replayed verbatim (`None` on full fallback;
+    /// `u64::MAX` when the patch had no simulation-relevant effect).
+    pub cutoff_ns: Option<u64>,
+    /// `Some` when the full path ran instead of the cone.
+    pub fallback: Option<FallbackReason>,
+}
+
+impl IncrementalStats {
+    /// `true` when the cone path ran (no fallback).
+    pub fn is_incremental(&self) -> bool {
+        self.fallback.is_none()
+    }
+
+    /// Fraction of tasks re-dispatched.
+    pub fn cone_fraction(&self) -> f64 {
+        self.redispatched as f64 / self.total.max(1) as f64
+    }
+}
+
+/// Result of [`simulate_incremental_with`]: the simulation (identical to
+/// a full run of the patched graph) plus work accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalOutcome {
+    /// Dense simulation output over the patched graph.
+    pub sim: CompiledSim,
+    /// Which path ran and how much it re-dispatched.
+    pub stats: IncrementalStats,
+}
+
+/// [`simulate_incremental_with`] under the default earliest-start policy
+/// and default options.
+pub fn simulate_incremental(
+    base: &CompiledGraph,
+    schedule: &Schedule,
+    patched: &CompiledGraph,
+    patch: &GraphPatch,
+    trace: &ApplyTrace,
+) -> Result<IncrementalOutcome, GraphError> {
+    simulate_incremental_with(
+        base,
+        schedule,
+        patched,
+        patch,
+        trace,
+        &EarliestStart,
+        &IncrementalOptions::default(),
+    )
+}
+
+/// Simulates `patched = base.apply_traced(patch)` by reusing the base
+/// [`Schedule`]: replays every dispatch strictly before the patch's
+/// earliest possible influence verbatim, seeds the frontier heaps from
+/// the remaining *cone*, and drives the shared [`dispatch_loop`] over
+/// just those tasks — O(|cone| log |cone|) instead of O(V log V) per
+/// scenario. Falls back to [`simulate_compiled_with`] when the policy is
+/// not incremental-safe, the patch vacated a thread, or the cone exceeds
+/// the size threshold. The result is pinned (proptests) to be identical
+/// to the full simulation of the patched graph.
+///
+/// The cutoff is sound because dispatches happen in nondecreasing start
+/// order: every candidate created by a dispatch at time `s` has feasible
+/// start ≥ `s`, so the first behavioral divergence between base and
+/// patched simulations cannot precede the minimum over per-change
+/// influence bounds — a retime acts from the task's base start, a
+/// rank-relevant priority or thread change from its dependency-ready
+/// time, a removal from the start of the vacated slot, an insertion from
+/// its predecessors' finishes, and an edge rewire from the earlier of
+/// the target's base start and its loosest new readiness.
+///
+/// # Panics
+///
+/// Panics if `schedule` was not captured over `base`, or `patch`/`trace`
+/// do not correspond to `base` and `patched`.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_incremental_with<O: FrontierOrder>(
+    base: &CompiledGraph,
+    schedule: &Schedule,
+    patched: &CompiledGraph,
+    patch: &GraphPatch,
+    trace: &ApplyTrace,
+    order: &O,
+    opts: &IncrementalOptions,
+) -> Result<IncrementalOutcome, GraphError> {
+    assert_eq!(
+        base.len(),
+        schedule.len(),
+        "schedule captured over a different base"
+    );
+    assert_eq!(
+        base.arena_len(),
+        patch.base_capacity(),
+        "patch recorded against a different base arena"
+    );
+    let n_new = patched.len();
+    let full = |reason: FallbackReason| -> Result<IncrementalOutcome, GraphError> {
+        let sim = simulate_compiled_with(patched, order)?;
+        Ok(IncrementalOutcome {
+            sim,
+            stats: IncrementalStats {
+                redispatched: n_new,
+                total: n_new,
+                cutoff_ns: None,
+                fallback: Some(reason),
+            },
+        })
+    };
+    if !order.incremental_safe() {
+        return full(FallbackReason::PolicyUnsafe);
+    }
+    if trace.vacated_threads {
+        return full(FallbackReason::VacatedThreads);
+    }
+
+    let d = patch.delta();
+    let base_cap = patch.base_capacity();
+    let base_compact = |id: TaskId| -> usize {
+        base.compact_of(id)
+            .expect("patched task must be live in the base")
+            .0 as usize
+    };
+
+    // --- Cutoff: the earliest instant any patch effect can surface. ---
+    let mut cutoff = u64::MAX;
+    for &id in d.touched() {
+        if id.0 >= base_cap || d.is_removed(id) {
+            continue;
+        }
+        let c = base_compact(id);
+        let s = d.scalars(id).expect("touched task has a slot");
+        if s.duration_ns.is_some() || s.gap_ns.is_some() {
+            // A retime dispatches identically but finishes differently:
+            // effects start no earlier than the task's own dispatch.
+            cutoff = cutoff.min(schedule.sim.start_ns[c]);
+        }
+        if s.thread.is_some() || (s.priority.is_some() && order.rank_uses_priority()) {
+            // A rank or placement change can move the task's own
+            // dispatch, but never before its dependencies allow.
+            cutoff = cutoff.min(schedule.tentative_ns[c]);
+        }
+    }
+    for id in d.removed_ids() {
+        if id.0 < base_cap {
+            // The vacated thread slot opens where the base dispatched it.
+            cutoff = cutoff.min(schedule.sim.start_ns[base_compact(id)]);
+        }
+    }
+    let (insert_bound, insert_cost) =
+        inserted_bounds(d, base_cap, &|id| schedule.fin_ns[base_compact(id)]);
+    for (i, &v) in d.new_ids().iter().enumerate() {
+        if !d.is_removed(v) {
+            cutoff = cutoff.min(insert_bound[i]);
+        }
+    }
+    // A predecessor gates its successor at its *finish*: earliest
+    // dispatch plus cost for inserted tasks, the scheduled finish for
+    // base tasks.
+    let fin_lb_of = |p: TaskId| -> u64 {
+        if p.0 >= base_cap {
+            let i = d
+                .new_ids()
+                .binary_search(&p)
+                .expect("edge endpoint must be a known task");
+            insert_bound[i] + insert_cost[i]
+        } else {
+            schedule.fin_ns[base_compact(p)]
+        }
+    };
+    for id in d.pred_overlay_ids() {
+        if id.0 >= base_cap || d.is_removed(id) {
+            continue; // inserted tasks are covered by their bounds
+        }
+        // The rewired task can become ready as early as its loosest new
+        // predecessor finish, or miss its base dispatch slot entirely.
+        let list = d.pred_over(id).expect("overlay id has a list");
+        let ready_lb = list.iter().map(|&(p, _)| fin_lb_of(p)).max().unwrap_or(0);
+        cutoff = cutoff.min(ready_lb.min(schedule.sim.start_ns[base_compact(id)]));
+    }
+
+    if cutoff == u64::MAX {
+        // No simulation-relevant change (name/kind edits, priority edits
+        // under a priority-blind policy): the base schedule is the answer.
+        debug_assert_eq!(n_new, base.len());
+        return Ok(IncrementalOutcome {
+            sim: schedule.sim.clone(),
+            stats: IncrementalStats {
+                redispatched: 0,
+                total: n_new,
+                cutoff_ns: Some(cutoff),
+                fallback: None,
+            },
+        });
+    }
+
+    // --- Cone sizing and threshold. ---
+    let cut_idx = schedule.first_suffix(cutoff);
+    let suffix = &schedule.by_start[cut_idx..];
+    let removed_live = d
+        .removed_ids()
+        .filter(|id| id.0 < base_cap && base.compact_of(*id).is_some())
+        .count();
+    let inserted_live = d.new_ids().iter().filter(|&&v| !d.is_removed(v)).count();
+    let cone = suffix.len() - removed_live + inserted_live;
+    if cone as f64 > opts.max_cone_fraction * n_new as f64 {
+        return full(FallbackReason::ConeTooLarge);
+    }
+
+    // --- Replay the prefix verbatim. ---
+    let remap = trace.remap.as_deref();
+    let map = |c: u32| -> u32 {
+        match remap {
+            Some(r) => r[c as usize],
+            None => c,
+        }
+    };
+    let (mut start, mut wait) = match remap {
+        None => (schedule.sim.start_ns.clone(), schedule.sim.wait_ns.clone()),
+        Some(r) => {
+            let mut start = vec![0u64; n_new];
+            let mut wait = vec![0u64; n_new];
+            for (old, &new) in r.iter().enumerate() {
+                if new != u32::MAX {
+                    start[new as usize] = schedule.sim.start_ns[old];
+                    wait[new as usize] = schedule.sim.wait_ns[old];
+                }
+            }
+            (start, wait)
+        }
+    };
+    let t_new = patched.thread_count();
+    let t_base = base.thread_count();
+    debug_assert!(t_base <= t_new, "vacated threads must have fallen back");
+    let mut progress = vec![0u64; t_new];
+    for (t, p) in progress.iter_mut().enumerate().take(t_base) {
+        *p = schedule.progress_at(t, cutoff);
+    }
+
+    // --- Seed the cone. ---
+    let mut tentative = vec![0u64; n_new];
+    let mut preds = vec![0u32; n_new];
+    let mut ranks: Vec<Rank> = vec![(0, 0); n_new];
+    let mut fronts: Vec<ThreadFrontier> = (0..t_new).map(|_| ThreadFrontier::default()).collect();
+    // Remaining preds / seeded tentative from an explicit (rewired or
+    // inserted) predecessor list: prefix predecessors contribute their
+    // base finish, suffix and inserted ones stay owed to the loop.
+    let split_list = |list: &[(TaskId, crate::graph::DepKind)]| -> (u32, u64) {
+        let mut rem = 0u32;
+        let mut tent = 0u64;
+        for &(p, _) in list {
+            if p.0 >= base_cap {
+                rem += 1;
+            } else {
+                let c = base_compact(p);
+                if schedule.sim.start_ns[c] < cutoff {
+                    tent = tent.max(schedule.fin_ns[c]);
+                } else {
+                    rem += 1;
+                }
+            }
+        }
+        (rem, tent)
+    };
+    let mut seed = |c_new: u32, rem: u32, tent: u64| {
+        let i = c_new as usize;
+        preds[i] = rem;
+        tentative[i] = tent;
+        ranks[i] = order.rank(patched, CompactId(c_new));
+        if rem == 0 {
+            let t = patched.thread_of(CompactId(c_new)).0 as usize;
+            fronts[t].push(tent, ranks[i], c_new, progress[t]);
+        }
+    };
+    for &c_base in suffix {
+        let id = base.task_id(CompactId(c_base));
+        if d.is_removed(id) {
+            continue;
+        }
+        let c_new = map(c_base);
+        debug_assert_ne!(c_new, u32::MAX, "unremoved base task must survive");
+        let (rem, tent) = match d.pred_over(id) {
+            Some(list) => split_list(list),
+            None => schedule.pred_split(c_base as usize, cutoff),
+        };
+        seed(c_new, rem, tent);
+    }
+    for &v in d.new_ids() {
+        if d.is_removed(v) {
+            continue;
+        }
+        let c_new = patched
+            .compact_of(v)
+            .expect("inserted task is live in the patched graph")
+            .0;
+        let (rem, tent) = match d.pred_over(v) {
+            Some(list) => split_list(list),
+            None => (0, 0),
+        };
+        seed(c_new, rem, tent);
+    }
+
+    // --- Re-dispatch the cone through the shared loop. ---
+    let mut global: BinaryHeap<Reverse<(u64, Rank, u32, u32)>> = BinaryHeap::new();
+    for (t, front) in fronts.iter_mut().enumerate() {
+        front.refresh(progress[t]);
+        if let Some((f, r, id)) = front.best(progress[t]) {
+            global.push(Reverse((f, r, id, t as u32)));
+        }
+    }
+    let mut makespan = schedule.makespan_prefix[cut_idx];
+    let done = dispatch_loop(
+        patched,
+        &ranks,
+        &mut tentative,
+        &mut preds,
+        &mut start,
+        &mut wait,
+        &mut progress,
+        &mut fronts,
+        &mut global,
+        &mut makespan,
+    );
+    if done != cone {
         return Err(GraphError::Cycle);
     }
-    Ok(CompiledSim {
-        start_ns: start,
-        wait_ns: wait,
-        thread_end: progress,
-        makespan_ns: makespan,
+    Ok(IncrementalOutcome {
+        sim: CompiledSim {
+            start_ns: start,
+            wait_ns: wait,
+            thread_end: progress,
+            makespan_ns: makespan,
+        },
+        stats: IncrementalStats {
+            redispatched: done,
+            total: n_new,
+            cutoff_ns: Some(cutoff),
+            fallback: None,
+        },
     })
+}
+
+/// Earliest-dispatch lower bounds (and thread costs) for a patch's
+/// inserted tasks: each can start no earlier than the finishes of its
+/// base predecessors and the (bound + cost) of its inserted
+/// predecessors, propagated in topological order over the inserted-only
+/// subgraph. Tasks on a cycle (an invalid patch the full simulation will
+/// reject) keep the conservative bound 0.
+fn inserted_bounds(
+    d: &crate::patch::NetDelta,
+    base_cap: usize,
+    base_fin: &dyn Fn(TaskId) -> u64,
+) -> (Vec<u64>, Vec<u64>) {
+    let new_ids = d.new_ids();
+    let k = new_ids.len();
+    let idx_of = |id: TaskId| new_ids.binary_search(&id).ok();
+    let mut bound = vec![0u64; k];
+    let mut indeg = vec![0u32; k];
+    let mut cost = vec![0u64; k];
+    for (i, &v) in new_ids.iter().enumerate() {
+        let s = d.scalars(v).expect("inserted task has a slot");
+        cost[i] = s.duration_ns.unwrap_or(0) + s.gap_ns.unwrap_or(0);
+        if let Some(list) = d.pred_over(v) {
+            for &(p, _) in list {
+                if p.0 >= base_cap {
+                    indeg[i] += 1;
+                } else {
+                    bound[i] = bound[i].max(base_fin(p));
+                }
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..k).filter(|&i| indeg[i] == 0).collect();
+    let mut head = 0;
+    while head < queue.len() {
+        let i = queue[head];
+        head += 1;
+        if let Some(succs) = d.succ_over(new_ids[i]) {
+            for &(s, _) in succs {
+                if let Some(j) = idx_of(s) {
+                    bound[j] = bound[j].max(bound[i] + cost[i]);
+                    indeg[j] -= 1;
+                    if indeg[j] == 0 {
+                        queue.push(j);
+                    }
+                }
+            }
+        }
+    }
+    for i in 0..k {
+        if indeg[i] > 0 {
+            bound[i] = 0;
+        }
+    }
+    (bound, cost)
 }
 
 // ---------------------------------------------------------------------------

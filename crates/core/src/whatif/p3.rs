@@ -91,6 +91,17 @@ impl FrontierOrder for P3Scheduler {
             (task.0 as u64, 0)
         }
     }
+
+    // Ranks are a fixed function of (comm flag, priority, id order), so
+    // the incremental simulator may reuse a base schedule across patches
+    // — priority edits influence it from the task's ready time.
+    fn incremental_safe(&self) -> bool {
+        true
+    }
+
+    fn rank_uses_priority(&self) -> bool {
+        true
+    }
 }
 
 impl Scheduler for P3Scheduler {

@@ -1,0 +1,581 @@
+//! Incremental cone re-simulation against the full simulator.
+//!
+//! `simulate_incremental_with` must be *byte-identical* to a full
+//! `simulate_compiled_with` run of the patched graph: same per-task
+//! starts and waits, same per-thread ends, same makespan — on random
+//! DAGs with random op sequences under both frontier policies, on the
+//! profiled ResNet-50 / BERT graphs for every what-if transform in the
+//! catalog (including P3 over its replicated base), and on every
+//! fallback path. Patch composition (`GraphPatch::compose`, layered
+//! `PatchGraph`) is pinned against sequential apply here too.
+
+use daydream_comm::ClusterConfig;
+use daydream_core::whatif::{
+    p3_insert_plan, p3_replicated_base, plan_amp, plan_bandwidth, plan_batch_size,
+    plan_blueconnect, plan_dgc, plan_distributed, plan_fused_adam, plan_gist, plan_metaflow,
+    plan_p3_inserts, plan_reconstruct_bn, plan_upgrade_gpu, plan_vdnn, what_if_distributed,
+    DgcConfig, GistConfig, P3Config, P3Scheduler, Substitution, VdnnConfig,
+};
+use daydream_core::{
+    simulate_compiled_with, simulate_incremental_with, CommChannel, CompactId, CompiledGraph,
+    DepKind, DependencyGraph, EarliestStart, ExecThread, FallbackReason, FrontierOrder, GraphEdit,
+    GraphPatch, GraphView, IncrementalOptions, IncrementalStats, PatchGraph, ProfiledGraph, Rank,
+    Schedule, Task, TaskId, TaskKind,
+};
+use daydream_trace::{CpuThreadId, DeviceId, StreamId};
+use proptest::prelude::*;
+
+/// Never fall back on cone size: exercises the incremental machinery on
+/// every patch, however dense.
+const FORCE: IncrementalOptions = IncrementalOptions {
+    max_cone_fraction: 1.0,
+};
+
+/// Always fall back on cone size (unless the patch has no simulation
+/// effect at all): exercises the full-fallback path.
+const FALLBACK: IncrementalOptions = IncrementalOptions {
+    max_cone_fraction: 0.0,
+};
+
+/// Runs the incremental simulator and the full simulator over the same
+/// patched graph and asserts identical output (dense *and* expanded
+/// arena-indexed forms), returning the incremental stats.
+fn assert_incremental<O: FrontierOrder>(
+    base: &DependencyGraph,
+    patch: &GraphPatch,
+    order: &O,
+    opts: &IncrementalOptions,
+) -> IncrementalStats {
+    let cg = CompiledGraph::compile(base);
+    let schedule = Schedule::capture_with(&cg, order).expect("base must be a DAG");
+    let (applied, trace) = cg.apply_traced(patch);
+    let incremental =
+        simulate_incremental_with(&cg, &schedule, &applied, patch, &trace, order, opts)
+            .expect("patched graph must stay a DAG");
+    let full = simulate_compiled_with(&applied, order).expect("patched graph must stay a DAG");
+    assert_eq!(
+        incremental.sim, full,
+        "incremental simulation diverged from the full run"
+    );
+    assert_eq!(
+        incremental.sim.clone().into_sim_result(&applied),
+        full.into_sim_result(&applied),
+        "expanded SimResult diverged"
+    );
+    incremental.stats
+}
+
+// --- The random-DAG universe of patch_equivalence.rs -----------------------
+
+fn thread_for(sel: u64) -> ExecThread {
+    match sel % 5 {
+        0 => ExecThread::Cpu(CpuThreadId(0)),
+        1 => ExecThread::Cpu(CpuThreadId(1)),
+        2 => ExecThread::Gpu(DeviceId(0), StreamId(0)),
+        3 => ExecThread::Gpu(DeviceId(0), StreamId(1)),
+        _ => ExecThread::Comm(CommChannel::Collective),
+    }
+}
+
+fn build_dag(tasks: &[(u64, u64, u64)], edges: &[(u64, u64)]) -> DependencyGraph {
+    let mut g = DependencyGraph::new();
+    let n = tasks.len();
+    for (i, &(sel, dur, gap)) in tasks.iter().enumerate() {
+        let mut t = Task::new(format!("t{i}"), TaskKind::CpuWork, thread_for(sel), dur);
+        t.gap_ns = gap;
+        t.priority = (dur % 7) as i64 - 3;
+        g.add_task(t);
+    }
+    for &(a, b) in edges {
+        let (x, y) = ((a as usize) % n, (b as usize) % n);
+        if x == y {
+            continue;
+        }
+        g.add_dep(TaskId(x.min(y)), TaskId(x.max(y)), DepKind::Transform);
+    }
+    g
+}
+
+/// One random mutation decoded against the overlay's current state
+/// (inserts keep edges forward, so the patched graph stays a DAG).
+fn apply_random_op(p: &mut PatchGraph<'_>, op: (u64, u64, u64, u64)) {
+    let (sel, a, b, v) = op;
+    let live = p.live_ids();
+    if live.is_empty() {
+        return;
+    }
+    let pick = |x: u64| live[(x as usize) % live.len()];
+    match sel % 8 {
+        0 => p.set_duration(pick(a), v % 500),
+        1 => p.set_priority(pick(a), v as i64 % 10 - 5),
+        2 => {
+            let (x, y) = (pick(a), pick(b));
+            if x != y {
+                p.add_dep(x.min(y), x.max(y), DepKind::Transform);
+            }
+        }
+        3 => {
+            let (x, y) = (pick(a), pick(b));
+            p.remove_dep(x.min(y), x.max(y));
+        }
+        4 => {
+            if live.len() > 1 {
+                p.remove_task(pick(a));
+            }
+        }
+        5 => {
+            let anchor = pick(a);
+            let mut t = Task::new("ins", TaskKind::CpuWork, thread_for(v), v % 300);
+            t.gap_ns = v % 13;
+            let id = p.add_task(t);
+            p.add_dep(anchor, id, DepKind::Transform);
+        }
+        6 => p.set_thread(pick(a), thread_for(v)),
+        _ => {
+            let anchor = pick(a);
+            let mid = p.add_task(Task::new("mid", TaskKind::CpuWork, thread_for(b), v % 100));
+            let tail = p.add_task(Task::new("tail", TaskKind::CpuWork, thread_for(v), v % 50));
+            p.add_dep(anchor, mid, DepKind::Transform);
+            p.add_dep(mid, tail, DepKind::Transform);
+        }
+    }
+}
+
+proptest! {
+    // Random DAGs x random op sequences under both policies, with the
+    // cone forced, with the default threshold, and with forced fallback:
+    // every path must equal the full simulation.
+    #[test]
+    fn random_patches_match_full_simulation(
+        tasks in prop::collection::vec((0u64..5, 0u64..200, 0u64..30), 1..60),
+        edges in prop::collection::vec((0u64..10_000, 0u64..10_000), 0..150),
+        ops in prop::collection::vec(
+            (0u64..10_000, 0u64..10_000, 0u64..10_000, 0u64..10_000), 0..40),
+    ) {
+        let g = build_dag(&tasks, &edges);
+        let mut p = PatchGraph::new(&g);
+        for &op in &ops {
+            apply_random_op(&mut p, op);
+        }
+        let patch = p.finish();
+        let stats = assert_incremental(&g, &patch, &EarliestStart, &FORCE);
+        prop_assert!(
+            stats.fallback.is_none() || stats.fallback == Some(FallbackReason::VacatedThreads),
+            "forced cone may only fall back on vacated threads, got {:?}",
+            stats.fallback
+        );
+        assert_incremental(&g, &patch, &EarliestStart, &IncrementalOptions::default());
+        assert_incremental(&g, &patch, &P3Scheduler, &FORCE);
+        assert_incremental(&g, &patch, &P3Scheduler, &IncrementalOptions::default());
+        let fb = assert_incremental(&g, &patch, &EarliestStart, &FALLBACK);
+        prop_assert!(
+            fb.fallback.is_some() || fb.redispatched == 0,
+            "zero threshold must fall back unless the patch is a sim no-op"
+        );
+    }
+
+    // Composition: `prior.compose(base, refinement)` must equal applying
+    // the two patches sequentially — structurally and under simulation.
+    #[test]
+    fn compose_matches_sequential_apply(
+        tasks in prop::collection::vec((0u64..5, 0u64..200, 0u64..30), 1..40),
+        edges in prop::collection::vec((0u64..10_000, 0u64..10_000), 0..80),
+        prior_ops in prop::collection::vec(
+            (0u64..10_000, 0u64..10_000, 0u64..10_000, 0u64..10_000), 0..20),
+        refine_ops in prop::collection::vec(
+            (0u64..10_000, 0u64..10_000, 0u64..10_000, 0u64..10_000), 0..20),
+    ) {
+        let g = build_dag(&tasks, &edges);
+        let mut p = PatchGraph::new(&g);
+        for &op in &prior_ops {
+            apply_random_op(&mut p, op);
+        }
+        let prior = p.finish();
+        let mid = prior.apply_reference(&g);
+        let mut r = PatchGraph::new(&mid);
+        for &op in &refine_ops {
+            apply_random_op(&mut r, op);
+        }
+        let refinement = r.finish();
+
+        let composed = prior.compose(&g, &refinement);
+        let sequential = refinement.apply_reference(&mid);
+        let composed_cg = CompiledGraph::compile(&composed.apply_reference(&g));
+        let sequential_cg = CompiledGraph::compile(&sequential);
+        prop_assert_eq!(
+            canonical(&composed_cg),
+            canonical(&sequential_cg),
+            "composed structure diverged from sequential apply"
+        );
+        // The incremental compiler handles the composed patch like any
+        // other, and the incremental simulator agrees with full.
+        assert_incremental(&g, &composed, &EarliestStart, &FORCE);
+    }
+}
+
+/// Canonical structural form (as in patch_equivalence.rs): arena id,
+/// thread, cost, duration, priority, pred count, sorted successor ids.
+type CanonicalTask = (TaskId, ExecThread, u64, u64, i64, u32, Vec<TaskId>);
+
+fn canonical(cg: &CompiledGraph) -> Vec<CanonicalTask> {
+    (0..cg.len())
+        .map(|i| {
+            let c = CompactId(i as u32);
+            let mut succs: Vec<TaskId> = cg.successors(c).iter().map(|&s| cg.task_id(s)).collect();
+            succs.sort_unstable();
+            (
+                cg.task_id(c),
+                cg.exec_thread(cg.thread_of(c)),
+                cg.cost_ns(c),
+                cg.duration_ns(c),
+                cg.priority(c),
+                cg.pred_count(c),
+                succs,
+            )
+        })
+        .collect()
+}
+
+// --- Pinned small-graph behavior -------------------------------------------
+
+fn cpu(dur: u64) -> Task {
+    Task::new("c", TaskKind::CpuWork, ExecThread::Cpu(CpuThreadId(0)), dur)
+}
+
+fn gpu(dur: u64) -> Task {
+    Task::new(
+        "g",
+        TaskKind::GpuKernel,
+        ExecThread::Gpu(DeviceId(0), StreamId(0)),
+        dur,
+    )
+}
+
+/// A serial CPU chain of `n` tasks, 10 ns each.
+fn chain(n: usize) -> (DependencyGraph, Vec<TaskId>) {
+    let mut g = DependencyGraph::new();
+    let ids: Vec<TaskId> = (0..n).map(|_| g.add_task(cpu(10))).collect();
+    for w in ids.windows(2) {
+        g.add_dep(w[0], w[1], DepKind::CpuSeq);
+    }
+    (g, ids)
+}
+
+#[test]
+fn tail_retime_redispatches_only_the_tail() {
+    let (g, ids) = chain(100);
+    let mut p = PatchGraph::new(&g);
+    p.set_duration(ids[90], 500);
+    let patch = p.finish();
+    let stats = assert_incremental(&g, &patch, &EarliestStart, &IncrementalOptions::default());
+    assert!(stats.is_incremental());
+    assert_eq!(
+        stats.redispatched, 10,
+        "only the retimed task and its downstream chain re-dispatch"
+    );
+    assert_eq!(stats.cutoff_ns, Some(900), "cutoff at the retimed start");
+}
+
+#[test]
+fn empty_patch_redispatches_nothing() {
+    let (g, _) = chain(20);
+    let patch = PatchGraph::new(&g).finish();
+    let stats = assert_incremental(&g, &patch, &EarliestStart, &IncrementalOptions::default());
+    assert!(stats.is_incremental());
+    assert_eq!(stats.redispatched, 0);
+}
+
+#[test]
+fn priority_patch_is_free_under_priority_blind_policy() {
+    let (g, ids) = chain(20);
+    let mut p = PatchGraph::new(&g);
+    p.set_priority(ids[0], -99);
+    let patch = p.finish();
+    // EarliestStart ignores priority: zero cone.
+    let stats = assert_incremental(&g, &patch, &EarliestStart, &IncrementalOptions::default());
+    assert_eq!(stats.redispatched, 0);
+    // P3 ranks comm tasks by priority: the change must be simulated
+    // (here everything still agrees — the chain has no comm thread).
+    assert_incremental(&g, &patch, &P3Scheduler, &FORCE);
+}
+
+/// A dependency removal can let a *later-ranked but earlier-timeline*
+/// untouched task be overtaken: the prefix cutoff must not replay it.
+/// Base: `x` (GPU, 100 ns) gates `u` (CPU id 1), so `w` (CPU id 2) runs
+/// first on the CPU at t=0. Removing the edge frees `u` at t=0; with the
+/// lower id it wins the tie and pushes `w` back.
+#[test]
+fn removed_dep_overtakes_earlier_timeline_task() {
+    let mut g = DependencyGraph::new();
+    let x = g.add_task(gpu(100));
+    let u = g.add_task(cpu(10));
+    let w = g.add_task(cpu(50));
+    g.add_dep(x, u, DepKind::Sync);
+    let mut p = PatchGraph::new(&g);
+    p.remove_dep(x, u);
+    let patch = p.finish();
+    let stats = assert_incremental(&g, &patch, &EarliestStart, &FORCE);
+    assert!(stats.is_incremental());
+    assert_eq!(
+        stats.cutoff_ns,
+        Some(0),
+        "u can become ready at t=0, so nothing may be replayed"
+    );
+    // And the semantics: u (id 1) now beats w (id 2) on the shared CPU.
+    let cg = CompiledGraph::compile(&g).apply(&patch);
+    let sim = simulate_compiled_with(&cg, &EarliestStart)
+        .unwrap()
+        .into_sim_result(&cg);
+    assert_eq!(sim.start_of(u), 0);
+    assert_eq!(sim.start_of(w), 10);
+}
+
+#[test]
+fn late_removed_dep_replays_the_prefix() {
+    // x (GPU, long) gates c4 of a CPU chain; removing the edge frees c4
+    // at c3's finish. Everything dispatched before fin(c3) replays.
+    let (mut g, ids) = chain(6);
+    let x = g.add_task(gpu(1_000));
+    g.add_dep(x, ids[4], DepKind::Sync);
+    let mut p = PatchGraph::new(&g);
+    p.remove_dep(x, ids[4]);
+    let patch = p.finish();
+    let stats = assert_incremental(&g, &patch, &EarliestStart, &IncrementalOptions::default());
+    assert!(stats.is_incremental());
+    assert_eq!(stats.cutoff_ns, Some(40), "cutoff at c3's finish");
+    assert_eq!(
+        stats.redispatched, 2,
+        "only c4 and c5 re-dispatch; c0..c3 and x (dispatched at t=0) replay"
+    );
+}
+
+#[test]
+fn vacating_patch_falls_back() {
+    let mut g = DependencyGraph::new();
+    let a = g.add_task(cpu(10));
+    let b = g.add_task(gpu(20));
+    g.add_dep(a, b, DepKind::Correlation);
+    let mut p = PatchGraph::new(&g);
+    p.remove_task(b);
+    let patch = p.finish();
+    let stats = assert_incremental(&g, &patch, &EarliestStart, &FORCE);
+    assert_eq!(stats.fallback, Some(FallbackReason::VacatedThreads));
+}
+
+#[test]
+fn unsafe_policy_falls_back() {
+    /// A policy that ranks by duration — not stable across retimes.
+    struct ByDuration;
+    impl FrontierOrder for ByDuration {
+        fn rank(&self, graph: &CompiledGraph, task: CompactId) -> Rank {
+            (graph.duration_ns(task), task.0 as u64)
+        }
+    }
+    let (g, ids) = chain(10);
+    let mut p = PatchGraph::new(&g);
+    p.set_duration(ids[9], 99);
+    let patch = p.finish();
+    let stats = assert_incremental(&g, &patch, &ByDuration, &FORCE);
+    assert_eq!(stats.fallback, Some(FallbackReason::PolicyUnsafe));
+}
+
+#[test]
+fn layered_overlay_equals_compose() {
+    let (g, ids) = chain(8);
+    // Prior: retime + insert.
+    let mut p = PatchGraph::new(&g);
+    p.set_duration(ids[2], 77);
+    let ins = p.add_task(gpu(30));
+    p.add_dep(ids[3], ins, DepKind::Correlation);
+    let prior = p.finish();
+    // Refinement recorded two ways: on the materialized mid graph, and
+    // on a layered overlay resumed from the prior patch.
+    let mid = prior.apply_reference(&g);
+    let mut r = PatchGraph::new(&mid);
+    r.set_duration(ins, 5);
+    r.remove_task(ids[7]);
+    let refinement = r.finish();
+    let composed = prior.compose(&g, &refinement);
+
+    let mut layered = PatchGraph::layered(&g, &prior);
+    layered.set_duration(ins, 5);
+    layered.remove_task(ids[7]);
+    let via_layered = layered.finish();
+
+    assert_eq!(composed.ops(), via_layered.ops());
+    assert_eq!(composed.fingerprint(), via_layered.fingerprint());
+    let a = CompiledGraph::compile(&composed.apply_reference(&g));
+    let b = CompiledGraph::compile(&refinement.apply_reference(&mid));
+    assert_eq!(canonical(&a), canonical(&b));
+    assert_incremental(&g, &composed, &EarliestStart, &FORCE);
+}
+
+// --- The full what-if catalog over profiled model graphs -------------------
+
+fn resnet_profile() -> ProfiledGraph {
+    let model = daydream_models::zoo::resnet50();
+    let cfg = daydream_runtime::ExecConfig::pytorch_2080ti().with_batch(4);
+    ProfiledGraph::from_trace(&daydream_runtime::ground_truth::run_baseline(&model, &cfg))
+}
+
+fn bert_profile() -> ProfiledGraph {
+    let model = daydream_models::zoo::bert_base();
+    let cfg = daydream_runtime::ExecConfig::pytorch_2080ti().with_batch(2);
+    ProfiledGraph::from_trace(&daydream_runtime::ground_truth::run_baseline(&model, &cfg))
+}
+
+/// Checks a transform's patch on the profile under the forced cone, the
+/// default threshold, and forced fallback — all must equal full.
+fn check_transform(pg: &ProfiledGraph, plan: impl FnOnce(&mut PatchGraph<'_>)) {
+    let mut p = PatchGraph::new(&pg.graph);
+    plan(&mut p);
+    let patch = p.finish();
+    assert!(!patch.is_empty(), "transform must emit a non-empty patch");
+    assert_incremental(&pg.graph, &patch, &EarliestStart, &FORCE);
+    assert_incremental(
+        &pg.graph,
+        &patch,
+        &EarliestStart,
+        &IncrementalOptions::default(),
+    );
+    assert_incremental(&pg.graph, &patch, &EarliestStart, &FALLBACK);
+}
+
+#[test]
+fn incremental_matches_full_for_amp_on_resnet() {
+    check_transform(&resnet_profile(), |g| plan_amp(g));
+}
+
+#[test]
+fn incremental_matches_full_for_upgrade_gpu_on_resnet() {
+    let (old, new) = (
+        daydream_device::GpuSpec::rtx_2080ti(),
+        daydream_device::GpuSpec::v100(),
+    );
+    check_transform(&resnet_profile(), |g| {
+        plan_upgrade_gpu(g, &old, &new);
+    });
+}
+
+#[test]
+fn incremental_matches_full_for_batch_size_on_resnet() {
+    let pg = resnet_profile();
+    let old_batch = pg.meta.batch_size as u64;
+    check_transform(&pg, |g| {
+        plan_batch_size(g, old_batch, 16);
+    });
+}
+
+#[test]
+fn incremental_matches_full_for_reconstruct_bn_on_resnet() {
+    let model = daydream_models::zoo::resnet50();
+    check_transform(&resnet_profile(), |g| plan_reconstruct_bn(g, &model));
+}
+
+#[test]
+fn incremental_matches_full_for_vdnn_on_resnet() {
+    let pg = resnet_profile();
+    let model = daydream_models::zoo::resnet50();
+    let batch = pg.meta.batch_size as u64;
+    check_transform(&pg, |g| {
+        plan_vdnn(g, &model, &VdnnConfig::default(), batch);
+    });
+}
+
+#[test]
+fn incremental_matches_full_for_gist_on_resnet() {
+    check_transform(&resnet_profile(), |g| {
+        plan_gist(g, &GistConfig::default());
+    });
+    check_transform(&resnet_profile(), |g| {
+        plan_gist(
+            g,
+            &GistConfig {
+                lossy: true,
+                launch_ns: 6_000,
+            },
+        );
+    });
+}
+
+#[test]
+fn incremental_matches_full_for_ddp_on_resnet() {
+    let pg = resnet_profile();
+    let cluster = ClusterConfig::new(4, 1, 10.0);
+    let buckets = pg.meta.buckets.clone();
+    check_transform(&pg, |g| {
+        plan_distributed(g, &buckets, &cluster);
+    });
+}
+
+#[test]
+fn incremental_matches_full_for_blueconnect_on_resnet() {
+    let pg = resnet_profile();
+    let cluster = ClusterConfig::new(4, 2, 10.0);
+    let buckets = pg.meta.buckets.clone();
+    check_transform(&pg, |g| {
+        let ars = plan_distributed(g, &buckets, &cluster);
+        plan_blueconnect(g, &cluster, &ars);
+    });
+}
+
+#[test]
+fn incremental_matches_full_for_dgc_on_resnet() {
+    let pg = resnet_profile();
+    let cluster = ClusterConfig::new(4, 1, 10.0);
+    let buckets = pg.meta.buckets.clone();
+    check_transform(&pg, |g| {
+        let ars = plan_distributed(g, &buckets, &cluster);
+        plan_dgc(g, &ars, &DgcConfig::default());
+    });
+}
+
+#[test]
+fn incremental_matches_full_for_bandwidth_on_distributed_resnet() {
+    let mut pg = resnet_profile();
+    what_if_distributed(&mut pg, &ClusterConfig::new(4, 1, 10.0));
+    check_transform(&pg, |g| {
+        plan_bandwidth(g, 2.0);
+    });
+}
+
+#[test]
+fn incremental_matches_full_for_fused_adam_on_bert() {
+    check_transform(&bert_profile(), |g| {
+        plan_fused_adam(g).expect("BERT has weight-update GPU tasks");
+    });
+}
+
+#[test]
+fn incremental_matches_full_for_metaflow_on_bert() {
+    let model = daydream_models::zoo::bert_base();
+    let mut policy = Vec::new();
+    for l in &model.layers {
+        if l.name.ends_with("attn.key") || l.name.ends_with("attn.value") {
+            policy.push(Substitution::RemoveLayer(l.id));
+        } else if l.name.ends_with("attn.query") {
+            policy.push(Substitution::ScaleLayer(l.id, 1.8));
+        }
+    }
+    check_transform(&bert_profile(), |g| plan_metaflow(g, &policy));
+}
+
+#[test]
+fn incremental_matches_full_for_p3_on_replicated_base() {
+    let pg = resnet_profile();
+    let cluster = ClusterConfig::new(4, 1, 4.0);
+    for cfg in [P3Config::baseline(cluster), P3Config::p3(cluster)] {
+        let rep = p3_replicated_base(&pg, cfg.iterations);
+        let inserts = p3_insert_plan(&pg, &rep, &cfg);
+        let mut p = PatchGraph::new(&rep.graph);
+        plan_p3_inserts(&mut p, &inserts);
+        let patch = p.finish();
+        assert_incremental(&rep.graph, &patch, &P3Scheduler, &FORCE);
+        assert_incremental(
+            &rep.graph,
+            &patch,
+            &P3Scheduler,
+            &IncrementalOptions::default(),
+        );
+    }
+}

@@ -565,6 +565,8 @@ mod tests {
             speedup: 100.0 / 90.0,
             memory_bytes: 1,
             comm_bytes: 0,
+            sim_path: "incremental".into(),
+            tasks_redispatched: 5,
             cached: false,
         }
     }

@@ -84,10 +84,19 @@ impl SweepCache {
     }
 
     /// Loads entries from [`SweepCache::to_json`] output, merging over
-    /// existing ones.
+    /// existing ones. Cache files written before the incremental-
+    /// simulation fields existed still load: their rows came from full
+    /// re-simulations, so the missing fields are back-filled as
+    /// `sim_path: "full"` with an unknown (zero) re-dispatch count.
     pub fn load_json(&self, json: &str) -> Result<usize, String> {
-        let entries: Vec<ScenarioOutcome> =
-            serde_json::from_str(json).map_err(|e| format!("invalid cache file: {e}"))?;
+        let entries: Vec<ScenarioOutcome> = match serde_json::from_str(json) {
+            Ok(entries) => entries,
+            Err(e) => serde_json::from_str::<Vec<LegacyOutcome>>(json)
+                .map_err(|_| format!("invalid cache file: {e}"))?
+                .into_iter()
+                .map(LegacyOutcome::upgrade)
+                .collect(),
+        };
         let mut map = self.entries.lock().unwrap();
         let mut loaded = 0;
         for outcome in entries {
@@ -100,6 +109,60 @@ impl SweepCache {
     }
 }
 
+/// A cache row from before `ScenarioOutcome` carried `sim_path` /
+/// `tasks_redispatched` — kept loadable so an upgrade doesn't brick
+/// persisted `--cache-file`s.
+#[derive(serde::Deserialize)]
+struct LegacyOutcome {
+    key: String,
+    label: String,
+    model: String,
+    batch: u64,
+    opt: String,
+    baseline_ns: u64,
+    predicted_ns: u64,
+    speedup: f64,
+    memory_bytes: u64,
+    comm_bytes: u64,
+    cached: bool,
+}
+
+impl LegacyOutcome {
+    fn upgrade(self) -> ScenarioOutcome {
+        ScenarioOutcome {
+            key: self.key,
+            label: self.label,
+            model: self.model,
+            batch: self.batch,
+            opt: self.opt,
+            baseline_ns: self.baseline_ns,
+            predicted_ns: self.predicted_ns,
+            speedup: self.speedup,
+            memory_bytes: self.memory_bytes,
+            comm_bytes: self.comm_bytes,
+            sim_path: "full".into(),
+            tasks_redispatched: 0,
+            cached: self.cached,
+        }
+    }
+}
+
+/// One cached patch evaluation: the simulated makespan *plus the
+/// simulation path that produced it*, so a hit replays the original
+/// accounting (and a threshold change between code versions cannot
+/// silently masquerade a fallback result as an incremental one — the
+/// path travels with the record).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatchEval {
+    /// Simulated post-patch iteration time, ns.
+    pub predicted_ns: u64,
+    /// `true` if the incremental cone path produced it, `false` for a
+    /// full re-simulation.
+    pub incremental: bool,
+    /// Tasks the simulator re-dispatched to produce it.
+    pub tasks_redispatched: u64,
+}
+
 /// In-memory per-engine evaluation cache keyed by *patch* fingerprints
 /// (plus base identity): two scenarios that emit byte-identical
 /// [`daydream_core::GraphPatch`]es over the same `(model, batch)` base
@@ -108,11 +171,11 @@ impl SweepCache {
 ///
 /// This sits *under* [`SweepCache`]: the scenario-fingerprint cache keys
 /// the full outcome (label, memory, comm) and persists to `--cache-file`;
-/// the patch cache keys only the simulated makespan and lives for the
-/// engine's lifetime.
+/// the patch cache keys only the simulated [`PatchEval`] and lives for
+/// the engine's lifetime.
 #[derive(Debug, Default)]
 pub struct PatchCache {
-    entries: Mutex<HashMap<u64, u64>>,
+    entries: Mutex<HashMap<u64, PatchEval>>,
     hits: AtomicUsize,
 }
 
@@ -122,8 +185,8 @@ impl PatchCache {
         Self::default()
     }
 
-    /// Looks up a predicted makespan by patch key, counting hits.
-    pub fn get(&self, key: u64) -> Option<u64> {
+    /// Looks up a recorded evaluation by patch key, counting hits.
+    pub fn get(&self, key: u64) -> Option<PatchEval> {
         let got = self.entries.lock().unwrap().get(&key).copied();
         if got.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -131,9 +194,9 @@ impl PatchCache {
         got
     }
 
-    /// Stores a freshly simulated makespan.
-    pub fn insert(&self, key: u64, predicted_ns: u64) {
-        self.entries.lock().unwrap().insert(key, predicted_ns);
+    /// Stores a freshly simulated evaluation.
+    pub fn insert(&self, key: u64, eval: PatchEval) {
+        self.entries.lock().unwrap().insert(key, eval);
     }
 
     /// Hits since construction.
@@ -174,6 +237,8 @@ mod tests {
             speedup: 1.25,
             memory_bytes: 1 << 30,
             comm_bytes: 0,
+            sim_path: "incremental".into(),
+            tasks_redispatched: 3,
             cached: false,
         }
     }
@@ -189,17 +254,50 @@ mod tests {
     }
 
     #[test]
-    fn patch_cache_counts_hits() {
+    fn patch_cache_counts_hits_and_keeps_the_sim_path() {
         let cache = PatchCache::new();
         assert!(cache.get(9).is_none());
         assert_eq!(cache.hits(), 0);
-        cache.insert(9, 1234);
-        assert_eq!(cache.get(9), Some(1234));
+        let eval = PatchEval {
+            predicted_ns: 1234,
+            incremental: true,
+            tasks_redispatched: 42,
+        };
+        cache.insert(9, eval);
+        assert_eq!(cache.get(9), Some(eval), "path travels with the record");
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.len(), 1);
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!((cache.hits(), cache.get(9)), (0, None));
+    }
+
+    #[test]
+    fn legacy_cache_rows_without_sim_path_still_load() {
+        // A cache file persisted before the incremental-simulation
+        // fields existed: rows lack sim_path/tasks_redispatched.
+        let legacy = r#"[{
+            "key": "0000000000000007",
+            "label": "ResNet-50 b8 amp",
+            "model": "ResNet-50",
+            "batch": 8,
+            "opt": "amp",
+            "baseline_ns": 100,
+            "predicted_ns": 80,
+            "speedup": 1.25,
+            "memory_bytes": 1073741824,
+            "comm_bytes": 0,
+            "cached": false
+        }]"#;
+        let cache = SweepCache::new();
+        assert_eq!(cache.load_json(legacy).unwrap(), 1);
+        let hit = cache.lookup(7).unwrap();
+        assert_eq!(hit.sim_path, "full", "legacy rows were full simulations");
+        assert_eq!(hit.tasks_redispatched, 0);
+        assert_eq!(hit.predicted_ns, 80);
+        // Garbage still fails loudly.
+        assert!(cache.load_json("{not json").is_err());
+        assert!(cache.load_json("[{\"key\": 3}]").is_err());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! *patch emit + incremental apply + simulate*, and assembles the ranked
 //! report.
 
-use crate::cache::{PatchCache, SweepCache};
+use crate::cache::{PatchCache, PatchEval, SweepCache};
 use crate::executor::{parallel_map, ExecutorStats};
 use crate::grid::SweepGrid;
 use crate::report::{ScenarioOutcome, SweepReport};
@@ -17,8 +17,8 @@ use daydream_core::whatif::{
     P3Config, P3Scheduler, Substitution, VdnnConfig,
 };
 use daydream_core::{
-    simulate, simulate_compiled, simulate_compiled_with, CompiledGraph, GraphPatch, PatchGraph,
-    Prediction, ProfiledGraph, TaskKind,
+    simulate_compiled_with, simulate_incremental, CompiledGraph, GraphPatch, IncrementalStats,
+    PatchGraph, Prediction, ProfiledGraph, Schedule, TaskId, TaskKind,
 };
 use daydream_device::GpuSpec;
 use daydream_models::{
@@ -27,6 +27,7 @@ use daydream_models::{
 use daydream_runtime::{ground_truth, ExecConfig};
 use daydream_trace::{LayerId, MemcpyDir};
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Iterations unrolled for P3 steady-state analysis (both the P3 and the
@@ -41,17 +42,31 @@ struct P3Base {
     compiled: CompiledGraph,
 }
 
+/// The cached DDP stage of a distributed scenario: the replicated-base
+/// patch `plan_distributed` emits for one cluster shape, plus the
+/// allreduce task ids BlueConnect/DGC refine. Built once per (profile,
+/// cluster) and shared — refinements layer on top via
+/// [`PatchGraph::layered`] instead of re-planning the DDP stage.
+struct DdpPlan {
+    patch: Arc<GraphPatch>,
+    allreduces: Vec<TaskId>,
+}
+
 /// A profiled (model, batch) base shared immutably (via `Arc`) across
-/// scenarios. The baseline is simulated exactly once and the dependency
-/// graph compiled exactly once, at profile-build time; per-scenario work
-/// is patch emit + [`CompiledGraph::apply`] + simulate — no scenario
-/// clones the graph or recompiles it from scratch.
+/// scenarios. The baseline is simulated exactly once — its full
+/// [`Schedule`] (dispatch order, per-thread timelines, readiness times)
+/// is retained — and the dependency graph compiled exactly once, at
+/// profile-build time; per-scenario work is patch emit +
+/// [`CompiledGraph::apply_traced`] + *incremental* simulate: only the
+/// cone of tasks the patch can affect is re-dispatched.
 struct BaseProfile {
     model: Model,
     graph: ProfiledGraph,
     baseline_ns: u64,
     compiled: CompiledGraph,
+    schedule: Schedule,
     p3: OnceLock<P3Base>,
+    ddp: Mutex<HashMap<(u32, u32, u64), Arc<DdpPlan>>>,
 }
 
 impl BaseProfile {
@@ -61,6 +76,26 @@ impl BaseProfile {
             let compiled = CompiledGraph::compile(&rep.graph);
             P3Base { rep, compiled }
         })
+    }
+
+    /// The shared DDP patch for one cluster shape (planned at most once
+    /// per profile; BlueConnect/DGC compose their refinements on top).
+    fn ddp_plan(&self, cluster: &ClusterConfig) -> Arc<DdpPlan> {
+        let key = (
+            cluster.machines,
+            cluster.gpus_per_machine,
+            cluster.inter_node_gbps.to_bits(),
+        );
+        if let Some(plan) = self.ddp.lock().unwrap().get(&key) {
+            return Arc::clone(plan);
+        }
+        let mut ov = PatchGraph::new(&self.graph.graph);
+        let allreduces = plan_distributed(&mut ov, &self.graph.meta.buckets, cluster);
+        let plan = Arc::new(DdpPlan {
+            patch: Arc::new(ov.finish()),
+            allreduces,
+        });
+        self.ddp.lock().unwrap().entry(key).or_insert(plan).clone()
     }
 }
 
@@ -72,8 +107,42 @@ pub struct RunStats {
     /// Scenario evaluations answered by the patch-fingerprint cache
     /// (identical patch over the same base: simulation skipped).
     pub patch_hits: usize,
+    /// Simulations served by the incremental cone path this run.
+    pub incremental_sims: usize,
+    /// Simulations that ran the full dispatch loop this run (fallbacks
+    /// and P3 replicated-base analyses).
+    pub full_sims: usize,
+    /// Tasks dispatched across all simulations this run.
+    pub tasks_redispatched: u64,
     /// Work-stealing counters of the scenario evaluation phase.
     pub executor: ExecutorStats,
+}
+
+/// Thread-safe simulation-path accounting shared by one `run_scenarios`
+/// call's workers.
+#[derive(Debug, Default)]
+struct SimCounters {
+    incremental: AtomicUsize,
+    full: AtomicUsize,
+    redispatched: AtomicU64,
+}
+
+impl SimCounters {
+    fn record(&self, stats: &IncrementalStats) {
+        if stats.is_incremental() {
+            self.incremental.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.full.fetch_add(1, Ordering::Relaxed);
+        }
+        self.redispatched
+            .fetch_add(stats.redispatched as u64, Ordering::Relaxed);
+    }
+
+    fn record_full(&self, dispatched: usize) {
+        self.full.fetch_add(1, Ordering::Relaxed);
+        self.redispatched
+            .fetch_add(dispatched as u64, Ordering::Relaxed);
+    }
 }
 
 /// Parallel scenario-sweep engine with result and profile caches that
@@ -194,12 +263,13 @@ impl SweepEngine {
             needed
         };
         let patch_hits_before = self.patches.hits();
+        let counters = SimCounters::default();
         let (evaluated, exec_stats) =
             parallel_map(misses, self.threads, |(i, scenario)| -> Result<_, String> {
                 let base = bases
                     .get(&(scenario.model.clone(), scenario.batch))
                     .expect("phase 1 built every base");
-                let outcome = evaluate(&scenario, base, &self.patches)?;
+                let outcome = evaluate(&scenario, base, &self.patches, &counters)?;
                 self.cache.insert(scenario.fingerprint(), &outcome);
                 Ok((i, outcome))
             });
@@ -215,6 +285,9 @@ impl SweepEngine {
         *self.last_stats.lock().unwrap() = RunStats {
             profiles_built,
             patch_hits: self.patches.hits() - patch_hits_before,
+            incremental_sims: counters.incremental.load(Ordering::Relaxed),
+            full_sims: counters.full.load(Ordering::Relaxed),
+            tasks_redispatched: counters.redispatched.load(Ordering::Relaxed),
             executor: exec_stats,
         };
         Ok(outcomes)
@@ -222,23 +295,26 @@ impl SweepEngine {
 }
 
 /// Profiles one baseline iteration (the paper's PyTorch / RTX 2080 Ti
-/// single-GPU setting, fixed seed) and compiles it for patching.
+/// single-GPU setting, fixed seed), compiles it for patching, and
+/// captures the baseline [`Schedule`] the incremental simulator replays.
 fn build_profile(model_name: &str, batch: u64) -> Result<BaseProfile, String> {
     let model = daydream_models::zoo::by_name(model_name)
         .ok_or_else(|| format!("unknown model '{model_name}'"))?;
     let cfg = ExecConfig::pytorch_2080ti().with_batch(batch);
     let trace = ground_truth::run_baseline(&model, &cfg);
     let graph = ProfiledGraph::from_trace(&trace);
-    let baseline_ns = simulate(&graph.graph)
-        .map_err(|e| format!("baseline graph for {model_name} b{batch}: {e}"))?
-        .makespan_ns;
     let compiled = CompiledGraph::compile(&graph.graph);
+    let schedule = Schedule::capture(&compiled)
+        .map_err(|e| format!("baseline graph for {model_name} b{batch}: {e}"))?;
+    let baseline_ns = schedule.makespan_ns();
     Ok(BaseProfile {
         model,
         graph,
         baseline_ns,
         compiled,
+        schedule,
         p3: OnceLock::new(),
+        ddp: Mutex::new(HashMap::new()),
     })
 }
 
@@ -246,8 +322,12 @@ fn build_profile(model_name: &str, batch: u64) -> Result<BaseProfile, String> {
 ///
 /// `Baseline` yields an empty patch; P3 is not patchable over the
 /// single-iteration base (it needs the replicated base — see
-/// [`p3_prediction`]) and is rejected here.
-fn emit_patch(opt: &OptSpec, base: &BaseProfile) -> Result<GraphPatch, String> {
+/// [`p3_prediction`]) and is rejected here. Distributed scenarios share
+/// the per-cluster DDP patch through [`BaseProfile::ddp_plan`]:
+/// BlueConnect and DGC resume a [`PatchGraph::layered`] overlay on top
+/// of it and record only their refinement, so `finish` yields the
+/// composed patch without re-planning the DDP stage.
+fn emit_patch(opt: &OptSpec, base: &BaseProfile) -> Result<Arc<GraphPatch>, String> {
     let pg = &base.graph;
     let model = &base.model;
     let profile_batch = pg.meta.batch_size as u64;
@@ -277,7 +357,7 @@ fn emit_patch(opt: &OptSpec, base: &BaseProfile) -> Result<GraphPatch, String> {
             bw_gbps,
         } => {
             let cluster = ClusterConfig::new(*machines, *gpus_per_machine, *bw_gbps);
-            plan_distributed(&mut ov, &pg.meta.buckets, &cluster);
+            return Ok(Arc::clone(&base.ddp_plan(&cluster).patch));
         }
         OptSpec::BlueConnect {
             machines,
@@ -285,8 +365,10 @@ fn emit_patch(opt: &OptSpec, base: &BaseProfile) -> Result<GraphPatch, String> {
             bw_gbps,
         } => {
             let cluster = ClusterConfig::new(*machines, *gpus_per_machine, *bw_gbps);
-            let ars = plan_distributed(&mut ov, &pg.meta.buckets, &cluster);
-            plan_blueconnect(&mut ov, &cluster, &ars);
+            let ddp = base.ddp_plan(&cluster);
+            let mut layered = PatchGraph::layered(&pg.graph, &ddp.patch);
+            plan_blueconnect(&mut layered, &cluster, &ddp.allreduces);
+            return Ok(Arc::new(layered.finish()));
         }
         OptSpec::Dgc {
             machines,
@@ -299,8 +381,10 @@ fn emit_patch(opt: &OptSpec, base: &BaseProfile) -> Result<GraphPatch, String> {
                 compression_ratio: *ratio,
                 ..DgcConfig::default()
             };
-            let ars = plan_distributed(&mut ov, &pg.meta.buckets, &cluster);
-            plan_dgc(&mut ov, &ars, &cfg);
+            let ddp = base.ddp_plan(&cluster);
+            let mut layered = PatchGraph::layered(&pg.graph, &ddp.patch);
+            plan_dgc(&mut layered, &ddp.allreduces, &cfg);
+            return Ok(Arc::new(layered.finish()));
         }
         OptSpec::Vdnn { lookahead } => {
             let cfg = VdnnConfig {
@@ -328,7 +412,7 @@ fn emit_patch(opt: &OptSpec, base: &BaseProfile) -> Result<GraphPatch, String> {
             plan_batch_size(&mut ov, profile_batch, *batch);
         }
     }
-    Ok(ov.finish())
+    Ok(Arc::new(ov.finish()))
 }
 
 /// Patch-cache key: the base identity plus the patch content hash (and a
@@ -389,38 +473,48 @@ fn offloaded_bytes(patch: &GraphPatch) -> u64 {
 /// Runs the P3 analysis for one parameter-server config over the shared
 /// replicated base: emit the push/pull patch, apply it to the compiled
 /// replicated graph, simulate under the priority scheduler, and extract
-/// the steady-state iteration time.
+/// the steady-state iteration time. Always a full simulation — steady-
+/// state extraction reads the whole replicated timeline, and the
+/// replicated base keeps no captured schedule.
 fn p3_prediction(
     scenario: &Scenario,
     base: &BaseProfile,
     cfg: &P3Config,
     patches: &PatchCache,
-) -> u64 {
+    counters: &SimCounters,
+) -> PatchEval {
     let p3b = base.p3_base();
     let inserts = p3_insert_plan(&base.graph, &p3b.rep, cfg);
     let mut ov = PatchGraph::new(&p3b.rep.graph);
     plan_p3_inserts(&mut ov, &inserts);
     let patch = ov.finish();
     let key = patch_key(scenario, "p3", patch.fingerprint());
-    if let Some(ns) = patches.get(key) {
-        return ns;
+    if let Some(eval) = patches.get(key) {
+        return eval;
     }
     let applied = p3b.compiled.apply(&patch);
     let sim = simulate_compiled_with(&applied, &P3Scheduler)
         .expect("P3 graph must stay a DAG")
         .into_sim_result(&applied);
-    let ns = p3b.rep.steady_iteration_ns(&sim);
-    patches.insert(key, ns);
-    ns
+    counters.record_full(applied.len());
+    let eval = PatchEval {
+        predicted_ns: p3b.rep.steady_iteration_ns(&sim),
+        incremental: false,
+        tasks_redispatched: applied.len() as u64,
+    };
+    patches.insert(key, eval);
+    eval
 }
 
 /// Evaluates one scenario against its shared base profile: emit the
-/// patch, consult the patch-fingerprint cache, apply + simulate on a
-/// miss, and derive the report's memory/communication objectives.
+/// patch, consult the patch-fingerprint cache, apply + *incrementally*
+/// simulate on a miss (re-dispatching only the cone the patch can
+/// affect), and derive the report's memory/communication objectives.
 fn evaluate(
     scenario: &Scenario,
     base: &BaseProfile,
     patches: &PatchCache,
+    counters: &SimCounters,
 ) -> Result<ScenarioOutcome, String> {
     let pg = &base.graph;
     let model = &base.model;
@@ -435,21 +529,29 @@ fn evaluate(
     let mut memory_bytes = fp.total();
     let mut comm_bytes = 0u64;
 
-    // Patched evaluation: apply to the shared compiled base + simulate,
-    // short-circuited by the patch-fingerprint cache.
-    let run_patch = |patch: &GraphPatch| -> u64 {
+    // Patched evaluation: incremental apply + cone re-simulation against
+    // the base schedule (full simulation only when the cone is too
+    // large), short-circuited by the patch-fingerprint cache.
+    let run_patch = |patch: &GraphPatch| -> PatchEval {
         let key = patch_key(scenario, "default", patch.fingerprint());
-        if let Some(ns) = patches.get(key) {
-            return ns;
+        if let Some(eval) = patches.get(key) {
+            return eval;
         }
-        let applied = base.compiled.apply(patch);
-        let ns = simulate_compiled(&applied)
-            .expect("patched graph must stay a DAG")
-            .makespan_ns;
-        patches.insert(key, ns);
-        ns
+        let (applied, trace) = base.compiled.apply_traced(patch);
+        let outcome = simulate_incremental(&base.compiled, &base.schedule, &applied, patch, &trace)
+            .expect("patched graph must stay a DAG");
+        counters.record(&outcome.stats);
+        let eval = PatchEval {
+            predicted_ns: outcome.sim.makespan_ns,
+            incremental: outcome.stats.is_incremental(),
+            tasks_redispatched: outcome.stats.redispatched as u64,
+        };
+        patches.insert(key, eval);
+        eval
     };
 
+    let mut sim_path = "baseline";
+    let mut tasks_redispatched = 0u64;
     let prediction: Prediction = match &scenario.opt {
         OptSpec::Baseline => Prediction {
             baseline_ns: base.baseline_ns,
@@ -466,11 +568,19 @@ fn evaluate(
             // cluster with FIFO layer-granularity transfers (paper
             // §6.6), not the single-GPU profile — so the speedup column
             // means "what P3's slicing+priority buys on this cluster".
-            let fifo = p3_prediction(scenario, base, &P3Config::baseline(cluster), patches);
-            let p3 = p3_prediction(scenario, base, &P3Config::p3(cluster), patches);
+            let fifo = p3_prediction(
+                scenario,
+                base,
+                &P3Config::baseline(cluster),
+                patches,
+                counters,
+            );
+            let p3 = p3_prediction(scenario, base, &P3Config::p3(cluster), patches, counters);
+            sim_path = "full";
+            tasks_redispatched = fifo.tasks_redispatched + p3.tasks_redispatched;
             Prediction {
-                baseline_ns: fifo,
-                predicted_ns: p3,
+                baseline_ns: fifo.predicted_ns,
+                predicted_ns: p3.predicted_ns,
             }
         }
         opt => {
@@ -535,9 +645,16 @@ fn evaluate(
                 }
                 _ => {}
             }
+            let eval = run_patch(&patch);
+            sim_path = if eval.incremental {
+                "incremental"
+            } else {
+                "full"
+            };
+            tasks_redispatched = eval.tasks_redispatched;
             Prediction {
                 baseline_ns: base.baseline_ns,
-                predicted_ns: run_patch(&patch),
+                predicted_ns: eval.predicted_ns,
             }
         }
     };
@@ -553,16 +670,20 @@ fn evaluate(
         speedup: prediction.speedup(),
         memory_bytes,
         comm_bytes,
+        sim_path: sim_path.to_string(),
+        tasks_redispatched,
         cached: false,
     })
 }
 
 /// Renders a human-readable patch explanation for one scenario: builds
-/// the base profile, emits the scenario's patch, and summarizes what it
-/// does to the graph (`daydream sweep --explain`).
+/// the base profile, emits the scenario's patch, summarizes what it does
+/// to the graph, and reports which simulation path would evaluate it —
+/// for the incremental path, the cone size and the share of tasks
+/// re-dispatched (`daydream sweep --explain`).
 pub fn explain_scenario(scenario: &Scenario) -> Result<String, String> {
     let base = build_profile(&scenario.model, scenario.batch)?;
-    let (note, patch) = match &scenario.opt {
+    let (note, sim_note, patch) = match &scenario.opt {
         OptSpec::P3 {
             machines,
             gpus_per_machine,
@@ -576,7 +697,10 @@ pub fn explain_scenario(scenario: &Scenario) -> Result<String, String> {
             plan_p3_inserts(&mut ov, &inserts);
             (
                 format!("patch over the {P3_ITERATIONS}-iteration replicated base"),
-                ov.finish(),
+                "full re-simulation (P3 steady-state analysis reads the \
+                 whole replicated timeline)"
+                    .to_string(),
+                Arc::new(ov.finish()),
             )
         }
         opt => {
@@ -586,7 +710,21 @@ pub fn explain_scenario(scenario: &Scenario) -> Result<String, String> {
             } else {
                 "patch over the profiled base graph".to_string()
             };
-            (note, patch)
+            let (applied, trace) = base.compiled.apply_traced(&patch);
+            let outcome =
+                simulate_incremental(&base.compiled, &base.schedule, &applied, &patch, &trace)
+                    .map_err(|e| format!("patched graph for {}: {e}", scenario.label()))?;
+            let s = outcome.stats;
+            let sim_note = match s.fallback {
+                None => format!(
+                    "incremental cone re-simulation\ncone:      {} of {} tasks re-dispatched ({:.1}%)",
+                    s.redispatched,
+                    s.total,
+                    s.cone_fraction() * 100.0
+                ),
+                Some(reason) => format!("full re-simulation ({reason})"),
+            };
+            (note, sim_note, patch)
         }
     };
     let mut out = String::new();
@@ -596,6 +734,7 @@ pub fn explain_scenario(scenario: &Scenario) -> Result<String, String> {
         "patch:     {:016x} ({note})\n",
         patch.fingerprint()
     ));
+    out.push_str(&format!("sim path:  {sim_note}\n"));
     out.push_str(&format!("{}\n", patch.summary()));
     let offloaded = offloaded_bytes(&patch);
     if offloaded > 0 {
@@ -731,9 +870,10 @@ mod tests {
             },
         ];
         let patches = PatchCache::new();
+        let counters = SimCounters::default();
         for opt in scenarios {
             let scenario = Scenario::new("ResNet-50", 4, opt.clone());
-            let outcome = evaluate(&scenario, &base, &patches).unwrap();
+            let outcome = evaluate(&scenario, &base, &patches, &counters).unwrap();
             let legacy = predict_from_baseline(base.baseline_ns, &base.graph, |g| {
                 let cluster = |m: u32, gm: u32, bw: f64| ClusterConfig::new(m, gm, bw);
                 match &opt {
@@ -840,7 +980,13 @@ mod tests {
         // the bytes of the DtoH offload copies the patch inserted.
         let base = build_profile("ResNet-50", 4).unwrap();
         let scenario = Scenario::new("ResNet-50", 4, OptSpec::Vdnn { lookahead: 2 });
-        let outcome = evaluate(&scenario, &base, &PatchCache::new()).unwrap();
+        let outcome = evaluate(
+            &scenario,
+            &base,
+            &PatchCache::new(),
+            &SimCounters::default(),
+        )
+        .unwrap();
         let patch = emit_patch(&scenario.opt, &base).unwrap();
         let offloaded = offloaded_bytes(&patch);
         assert!(offloaded > 0, "vDNN must offload something");

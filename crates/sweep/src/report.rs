@@ -30,6 +30,16 @@ pub struct ScenarioOutcome {
     pub memory_bytes: u64,
     /// Estimated network bytes per iteration (0 for single-GPU what-ifs).
     pub comm_bytes: u64,
+    /// Simulation path that produced the prediction: `"incremental"`
+    /// (cone re-dispatch over the base schedule), `"full"` (complete
+    /// re-simulation), or `"baseline"` (no patched simulation at all).
+    /// Deterministic per scenario, so sharded and single-process sweeps
+    /// agree byte-for-byte.
+    pub sim_path: String,
+    /// Tasks the simulator re-dispatched to evaluate this scenario (the
+    /// cone size on the incremental path, the whole graph on a full
+    /// re-simulation).
+    pub tasks_redispatched: u64,
     /// Whether this outcome came from the result cache.
     pub cached: bool,
 }
@@ -77,6 +87,12 @@ pub struct SweepReport {
     pub executed: usize,
     /// Scenarios answered from the result cache.
     pub cache_hits: usize,
+    /// Scenarios whose prediction came off the incremental cone path.
+    pub incremental_sims: usize,
+    /// Scenarios that required a full re-simulation.
+    pub full_sims: usize,
+    /// Total tasks re-dispatched across all scenario evaluations.
+    pub tasks_redispatched: u64,
     /// All outcomes, ranked by predicted time (ties by label).
     pub results: Vec<ScenarioOutcome>,
     /// Fastest scenario within each model.
@@ -101,6 +117,12 @@ impl SweepReport {
         });
         let cache_hits = results.iter().filter(|o| o.cached).count();
         let scenario_count = results.len();
+        let incremental_sims = results
+            .iter()
+            .filter(|o| o.sim_path == "incremental")
+            .count();
+        let full_sims = results.iter().filter(|o| o.sim_path == "full").count();
+        let tasks_redispatched = results.iter().map(|o| o.tasks_redispatched).sum();
 
         let best_per_model = axis_best(
             &results,
@@ -134,6 +156,9 @@ impl SweepReport {
             scenario_count,
             executed: scenario_count - cache_hits,
             cache_hits,
+            incremental_sims,
+            full_sims,
+            tasks_redispatched,
             results,
             best_per_model,
             best_per_opt,
@@ -152,11 +177,11 @@ impl SweepReport {
     /// lists), which would otherwise shift every later column.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "rank,label,model,batch,opt,baseline_ms,predicted_ms,speedup,memory_gib,comm_mib,cached\n",
+            "rank,label,model,batch,opt,baseline_ms,predicted_ms,speedup,memory_gib,comm_mib,sim_path,redispatched,cached\n",
         );
         for (i, o) in self.results.iter().enumerate() {
             out.push_str(&format!(
-                "{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{}\n",
+                "{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{}\n",
                 i + 1,
                 csv_field(&o.label),
                 csv_field(&o.model),
@@ -167,6 +192,8 @@ impl SweepReport {
                 o.speedup,
                 o.memory_bytes as f64 / (1u64 << 30) as f64,
                 o.comm_bytes as f64 / (1u64 << 20) as f64,
+                csv_field(&o.sim_path),
+                o.tasks_redispatched,
                 o.cached
             ));
         }
@@ -178,8 +205,13 @@ impl SweepReport {
     pub fn render(&self, top: usize) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{} scenarios ({} executed, {} cache hits)\n\n",
-            self.scenario_count, self.executed, self.cache_hits
+            "{} scenarios ({} executed, {} cache hits; {} incremental sims, {} full sims, {} tasks re-dispatched)\n\n",
+            self.scenario_count,
+            self.executed,
+            self.cache_hits,
+            self.incremental_sims,
+            self.full_sims,
+            self.tasks_redispatched
         ));
         out.push_str(&format!(
             "{:<4} {:<44} {:>12} {:>12} {:>8} {:>9} {:>9}\n",
@@ -302,6 +334,8 @@ mod tests {
             speedup: 100.0 / pred as f64,
             memory_bytes: mem,
             comm_bytes: comm,
+            sim_path: "incremental".into(),
+            tasks_redispatched: 7,
             cached: false,
         }
     }
@@ -401,7 +435,7 @@ mod tests {
                 _ => {}
             }
         }
-        assert_eq!(cols + 1, 11, "escaped row parses to 11 columns");
+        assert_eq!(cols + 1, 13, "escaped row parses to 13 columns");
         // Comma-free fields stay unquoted (historical output unchanged).
         let plain = SweepReport::from_outcomes(vec![outcome("a", "A", "amp", 50, 100, 0)]);
         assert!(plain
@@ -421,5 +455,26 @@ mod tests {
             outcome("b", "A", "gist[lossless]", 60, 90, 0),
         ]);
         assert_eq!((r.scenario_count, r.executed, r.cache_hits), (2, 1, 1));
+    }
+
+    #[test]
+    fn sim_path_accounting() {
+        let mut full = outcome("b", "A", "gist[lossless]", 60, 90, 0);
+        full.sim_path = "full".into();
+        full.tasks_redispatched = 100;
+        let mut baseline = outcome("c", "A", "baseline", 100, 90, 0);
+        baseline.sim_path = "baseline".into();
+        baseline.tasks_redispatched = 0;
+        let r =
+            SweepReport::from_outcomes(vec![outcome("a", "A", "amp", 50, 100, 0), full, baseline]);
+        assert_eq!((r.incremental_sims, r.full_sims), (1, 1));
+        assert_eq!(r.tasks_redispatched, 107);
+        let csv = r.to_csv();
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .contains("sim_path,redispatched"));
+        assert!(csv.contains(",incremental,7,"));
     }
 }
