@@ -1,0 +1,98 @@
+//! Criterion bench: hash-chained JSONL trace I/O and fidelity diffing.
+//!
+//! Measures the golden-corpus hot paths on a real ResNet-50 batch-4
+//! profile: chained serialization (`to_jsonl`), chain verification
+//! without materializing the trace (`verify_jsonl`), full parse
+//! (`from_jsonl`), and the schedule↔trace fidelity diff
+//! (`diff_traces`). Unless running in `--test` smoke mode, the
+//! measurements are snapshotted into the `"trace_io"` section of
+//! `BENCH_sim.json` at the workspace root.
+
+use criterion::{Criterion, Throughput};
+use daydream_core::{simulate_to_trace, ProfiledGraph};
+use daydream_models::zoo;
+use daydream_runtime::{ground_truth, ExecConfig};
+use daydream_trace::{diff_traces, from_jsonl, to_jsonl, verify_jsonl};
+use std::hint::black_box;
+
+fn main() {
+    let mut c = Criterion::default();
+    let quick = c.is_quick_mode();
+
+    let model = zoo::resnet50();
+    let cfg = ExecConfig::pytorch_2080ti().with_batch(4);
+    let truth = ground_truth::run_baseline(&model, &cfg);
+    let jsonl = to_jsonl(&truth).expect("serializable");
+    let pg = ProfiledGraph::from_trace(&truth);
+    let exported = simulate_to_trace(&pg).expect("simulates");
+
+    let mut group = c.benchmark_group("trace_io");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(jsonl.len() as u64));
+    group.bench_function("jsonl_write", |b| {
+        b.iter(|| to_jsonl(black_box(&truth)).unwrap())
+    });
+    group.bench_function("jsonl_verify", |b| {
+        b.iter(|| verify_jsonl(black_box(&jsonl)).unwrap())
+    });
+    group.bench_function("jsonl_read", |b| {
+        b.iter(|| from_jsonl(black_box(&jsonl)).unwrap())
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("trace_diff");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(truth.activities.len() as u64));
+    group.bench_function("diff_traces", |b| {
+        b.iter(|| diff_traces(black_box(&exported), black_box(&truth)))
+    });
+    group.finish();
+
+    // Smoke runs (`--test`) measure one iteration — not worth snapshotting.
+    if !quick {
+        let find = |name: &str| {
+            c.records()
+                .iter()
+                .rev()
+                .find(|r| r.name.contains(name))
+                .map(|r| r.ns_per_iter)
+        };
+        let fmt_opt = |v: Option<f64>| {
+            v.map(|x| format!("{x:.1}"))
+                .unwrap_or_else(|| "null".to_string())
+        };
+        let mbps = |v: Option<f64>| {
+            v.map(|ns| format!("{:.1}", jsonl.len() as f64 / ns * 1e3))
+                .unwrap_or_else(|| "null".to_string())
+        };
+        let (write, verify, read, diff) = (
+            find("jsonl_write"),
+            find("jsonl_verify"),
+            find("jsonl_read"),
+            find("diff_traces"),
+        );
+        let json = format!(
+            concat!(
+                "{{\n  \"trace\": \"ResNet-50 batch 4 baseline ({} activities, {} bytes JSONL)\",\n",
+                "  \"jsonl_write_ns\": {}, \"jsonl_write_mb_s\": {},\n",
+                "  \"jsonl_verify_ns\": {}, \"jsonl_verify_mb_s\": {},\n",
+                "  \"jsonl_read_ns\": {}, \"jsonl_read_mb_s\": {},\n",
+                "  \"diff_traces_ns\": {}\n  }}"
+            ),
+            truth.activities.len(),
+            jsonl.len(),
+            fmt_opt(write),
+            mbps(write),
+            fmt_opt(verify),
+            mbps(verify),
+            fmt_opt(read),
+            mbps(read),
+            fmt_opt(diff),
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+        match criterion::snapshot::merge_section(path, "trace_io", &json) {
+            Ok(()) => println!("wrote trace_io section of {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}

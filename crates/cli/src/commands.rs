@@ -1,6 +1,7 @@
 //! CLI subcommand implementations.
 
 use crate::args::Args;
+use crate::fidelity;
 use daydream_comm::ClusterConfig;
 use daydream_core::whatif::{
     what_if_amp, what_if_bandwidth, what_if_blueconnect, what_if_dgc, what_if_distributed,
@@ -16,7 +17,7 @@ use daydream_shard::{
     ShardDisposition, ShardPlan, WorkerConfig,
 };
 use daydream_sweep::{explain_scenario, SweepEngine, SweepGrid};
-use daydream_trace::{runtime_breakdown, Framework};
+use daydream_trace::{diff_traces, runtime_breakdown, Framework};
 
 /// Resolves a model name or exits with a helpful message.
 fn model_or_die(name: &str) -> Model {
@@ -145,6 +146,162 @@ pub fn cmd_profile(args: &Args) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
         println!("  wrote {path} (chrome://tracing)");
     }
+    if let Some(path) = args.opt_maybe("jsonl") {
+        std::fs::write(
+            path,
+            daydream_trace::to_jsonl(&trace).map_err(|e| e.to_string())?,
+        )
+        .map_err(|e| e.to_string())?;
+        println!("  wrote {path} (hash-chained JSONL)");
+    }
+    // The remaining options look at the *simulated* schedule, exported
+    // as a trace (the schedule↔trace fidelity artifact).
+    if args.flag("fidelity")
+        || args.opt_maybe("sim-chrome").is_some()
+        || args.opt_maybe("sim-out").is_some()
+    {
+        let exported = daydream_core::simulate_to_trace(&pg).map_err(|e| e.to_string())?;
+        if let Some(path) = args.opt_maybe("sim-chrome") {
+            std::fs::write(
+                path,
+                daydream_trace::to_chrome_trace(&exported).map_err(|e| e.to_string())?,
+            )
+            .map_err(|e| e.to_string())?;
+            println!("  wrote {path} (simulated schedule, chrome://tracing)");
+        }
+        if let Some(path) = args.opt_maybe("sim-out") {
+            std::fs::write(
+                path,
+                daydream_trace::to_jsonl(&exported).map_err(|e| e.to_string())?,
+            )
+            .map_err(|e| e.to_string())?;
+            println!("  wrote {path} (simulated schedule, hash-chained JSONL)");
+        }
+        if args.flag("fidelity") {
+            let d = diff_traces(&exported, &trace);
+            println!("\nfidelity (simulated schedule vs this recording):");
+            print!("{}", d.render(args.num("top", 10usize)?));
+        }
+    }
+    Ok(())
+}
+
+/// `daydream trace-diff <sim> <truth>` — align a simulated trace
+/// against a ground-truth recording and attribute the prediction error.
+pub fn cmd_trace_diff(args: &Args) -> Result<(), String> {
+    reject_unknown(
+        args,
+        "trace-diff",
+        &["format", "top", "out", "tolerance"],
+        2,
+    )?;
+    let (sim_path, truth_path) = match args.positional.as_slice() {
+        [a, b] => (a, b),
+        _ => return Err("usage: daydream trace-diff <sim trace> <truth trace>".into()),
+    };
+    let format = args.opt("format", "text");
+    if !matches!(format.as_str(), "text" | "json" | "csv") {
+        return Err(format!("unknown --format '{format}' (text | json | csv)"));
+    }
+    let sim = fidelity::load_trace(sim_path)?;
+    let truth = fidelity::load_trace(truth_path)?;
+    let d = diff_traces(&sim, &truth);
+    let top: usize = args.num("top", 10usize)?;
+    let rendered = match format.as_str() {
+        "text" => d.render(top),
+        "json" => d.to_json().map_err(|e| e.to_string())?,
+        "csv" => d.attribution_csv(),
+        _ => unreachable!("validated above"),
+    };
+    match args.opt_maybe("out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| e.to_string())?;
+            println!("wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    if let Some(tol) = args.opt_maybe("tolerance") {
+        let tol: f64 = tol
+            .parse()
+            .map_err(|_| format!("invalid --tolerance {tol}"))?;
+        if !d.within_tolerance(tol) {
+            return Err(format!(
+                "fidelity outside tolerance {tol}: end-to-end {:+.2}%, {:.1}% ops matched",
+                d.end_to_end_rel_err() * 100.0,
+                d.match_fraction() * 100.0
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// `daydream trace-verify` — replay prediction against the checked-in
+/// golden corpus and gate on the tolerance budget.
+pub fn cmd_trace_verify(args: &Args) -> Result<(), String> {
+    reject_unknown(args, "trace-verify", &["dir", "tolerance", "perturb"], 0)?;
+    let dir = args.opt("dir", "goldens");
+    let tolerance = match args.opt_maybe("tolerance") {
+        Some(t) => Some(t.parse().map_err(|_| format!("invalid --tolerance {t}"))?),
+        None => None,
+    };
+    let perturb: f64 = args.num("perturb", 1.0)?;
+    if perturb <= 0.0 {
+        return Err(format!("--perturb must be positive, got {perturb}"));
+    }
+    let (tol, outcomes) = fidelity::verify_goldens(std::path::Path::new(&dir), tolerance, perturb)?;
+    if perturb != 1.0 {
+        println!("(simulated durations perturbed by {perturb}x)");
+    }
+    let mut failures = 0usize;
+    for o in &outcomes {
+        println!(
+            "{:<5} {:<14} end-to-end {:+.2}% | {} ops matched, {} unmatched{}",
+            if o.pass { "ok" } else { "FAIL" },
+            o.name,
+            o.rel_err * 100.0,
+            o.matched,
+            o.unmatched,
+            o.worst_op
+                .as_ref()
+                .map(|w| format!(" | worst op: {w}"))
+                .unwrap_or_default()
+        );
+        failures += usize::from(!o.pass);
+    }
+    if failures > 0 {
+        return Err(format!(
+            "{failures} of {} golden(s) outside the {:.1}% fidelity budget \
+             (rerun `daydream trace-diff` on the golden pair for per-op attribution)",
+            outcomes.len(),
+            tol * 100.0
+        ));
+    }
+    println!(
+        "{} golden(s) within the {:.1}% fidelity budget",
+        outcomes.len(),
+        tol * 100.0
+    );
+    Ok(())
+}
+
+/// `daydream golden-gen` — (re)record the golden corpus and pin it in
+/// the manifest.
+pub fn cmd_golden_gen(args: &Args) -> Result<(), String> {
+    reject_unknown(args, "golden-gen", &["dir"], 0)?;
+    let dir = args.opt("dir", "goldens");
+    let manifest = fidelity::generate_goldens(std::path::Path::new(&dir))?;
+    for g in &manifest.goldens {
+        println!(
+            "{}/{}: {} batch {} — {} activities, {} markers, chain {}",
+            dir, g.file, g.model, g.batch, g.activities, g.markers, g.chain
+        );
+    }
+    println!(
+        "pinned {} golden(s) in {dir}/{} (tolerance {:.1}%)",
+        manifest.goldens.len(),
+        fidelity::MANIFEST_FILE,
+        manifest.tolerance * 100.0
+    );
     Ok(())
 }
 
@@ -479,6 +636,15 @@ pub fn cmd_sweep(args: &Args) -> Result<(), String> {
         "sim paths: {} incremental, {} full, {} patch-cache hits ({} tasks re-dispatched)",
         stats.incremental_sims, stats.full_sims, stats.patch_hits, stats.tasks_redispatched,
     );
+    if stats.fidelity_checks > 0 {
+        println!(
+            "fidelity: {} baseline check(s), {} over the {:.0}% budget (worst {:.2}%)",
+            stats.fidelity_checks,
+            stats.fidelity_failures,
+            daydream_sweep::FIDELITY_TOLERANCE * 100.0,
+            stats.fidelity_worst_rel_err * 100.0,
+        );
+    }
     if report.cache_hits > 0 {
         println!(
             "cache: {} hits, {} executed ({}% free)",
@@ -979,6 +1145,62 @@ mod tests {
         assert!(err.contains("unexpected argument 'rundir'"), "got: {err}");
         let err = cmd_sweep_diff(&args(&["a", "b", "c"])).unwrap_err();
         assert!(err.contains("unexpected argument 'c'"), "got: {err}");
+    }
+
+    #[test]
+    fn trace_diff_requires_two_trace_files() {
+        let err = cmd_trace_diff(&args(&["only-one.jsonl"])).unwrap_err();
+        assert!(err.contains("usage"), "got: {err}");
+        let err = cmd_trace_diff(&args(&["a", "b", "--format", "yaml"])).unwrap_err();
+        assert!(err.contains("unknown --format"), "got: {err}");
+        let err = cmd_trace_diff(&args(&["a", "b", "--fromat", "csv"])).unwrap_err();
+        assert!(
+            err.contains("unknown trace-diff option --fromat"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn trace_verify_rejects_bad_knobs() {
+        let err = cmd_trace_verify(&args(&["--perturb", "0"])).unwrap_err();
+        assert!(err.contains("--perturb must be positive"), "got: {err}");
+        let err = cmd_trace_verify(&args(&["--tolerance", "lots"])).unwrap_err();
+        assert!(err.contains("invalid --tolerance"), "got: {err}");
+        // A corpus-less directory names the fix.
+        let err = cmd_trace_verify(&args(&["--dir", "/nonexistent/goldens"])).unwrap_err();
+        assert!(err.contains("golden-gen"), "got: {err}");
+    }
+
+    #[test]
+    fn profile_fidelity_diffs_sim_against_recording() {
+        // In-process gate: the baseline replay of a small profile must
+        // sit inside the sweep engine's fidelity budget, and the same
+        // pair must report ranked attribution through trace-diff.
+        let dir = std::env::temp_dir().join(format!("daydream-cli-fid-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let truth_path = dir.join("truth.jsonl");
+        let sim_path = dir.join("sim.jsonl");
+        cmd_profile(&args(&[
+            "ResNet-50",
+            "--batch",
+            "4",
+            "--fidelity",
+            "--jsonl",
+            truth_path.to_str().unwrap(),
+            "--sim-out",
+            sim_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        cmd_trace_diff(&args(&[
+            sim_path.to_str().unwrap(),
+            truth_path.to_str().unwrap(),
+            "--format",
+            "csv",
+            "--tolerance",
+            "0.05",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! Golden-trace fidelity harness: generate, pin, and verify the
+//! checked-in golden corpus.
+//!
+//! A *golden* is a hash-chained JSONL recording of one deterministic
+//! ground-truth iteration (`goldens/*.jsonl`), pinned by
+//! `goldens/MANIFEST.json` with its final chain hash and record counts.
+//! `daydream trace-verify` replays prediction against each golden —
+//! rebuild the dependency graph from the recorded trace, simulate it,
+//! export the schedule as a trace, and diff it against the recording —
+//! and fails when the end-to-end error or unmatched-op fraction leaves
+//! the tolerance budget. That turns simulator/cost-model regressions
+//! into CI failures with per-op attribution attached.
+//!
+//! `--perturb F` scales every simulated duration by `F` before the
+//! diff, emulating a cost-model regression; CI uses it to prove the
+//! gate actually fails (a gate that cannot fail guards nothing).
+
+use daydream_core::{simulate_to_trace, ProfiledGraph};
+use daydream_models::zoo;
+use daydream_runtime::{ground_truth, ExecConfig};
+use daydream_sweep::FIDELITY_TOLERANCE;
+use daydream_trace::{diff_traces, from_jsonl, verify_jsonl, Trace, TraceDiff};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// Manifest file name inside the golden directory.
+pub const MANIFEST_FILE: &str = "MANIFEST.json";
+
+/// The models the golden corpus pins: one CNN and one transformer at a
+/// small fixed batch, matching the paper's two main single-GPU subjects.
+const GOLDEN_SPECS: &[(&str, &str, u64)] = &[
+    ("resnet50-b4", "ResNet-50", 4),
+    ("bert-base-b4", "BERT_Base", 4),
+];
+
+/// One pinned golden recording.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GoldenEntry {
+    /// Short corpus name (also the file stem).
+    pub name: String,
+    /// JSONL file name, relative to the golden directory.
+    pub file: String,
+    /// Model zoo name the recording profiles.
+    pub model: String,
+    /// Mini-batch size of the recording.
+    pub batch: u64,
+    /// Final hash-chain value of the JSONL stream (16 hex digits).
+    pub chain: String,
+    /// Activity records in the stream.
+    pub activities: u64,
+    /// Layer-marker records in the stream.
+    pub markers: u64,
+    /// Recorded ground-truth iteration time (ns).
+    pub truth_iteration_ns: u64,
+}
+
+/// The checked-in golden manifest (`goldens/MANIFEST.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GoldenManifest {
+    /// Manifest format version.
+    pub version: u32,
+    /// Relative-error budget `trace-verify` gates on by default.
+    pub tolerance: f64,
+    /// The pinned recordings.
+    pub goldens: Vec<GoldenEntry>,
+}
+
+/// The verdict for one golden after a prediction replay.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GoldenOutcome {
+    /// Golden name.
+    pub name: String,
+    /// Signed end-to-end iteration error (sim − truth) / truth.
+    pub rel_err: f64,
+    /// Aligned op pairs.
+    pub matched: usize,
+    /// Ops on only one side (sim-only + truth-only).
+    pub unmatched: usize,
+    /// Worst-offender op name (largest Σ|Δdur|), when any error exists.
+    pub worst_op: Option<String>,
+    /// `true` when the diff sits inside the tolerance budget.
+    pub pass: bool,
+}
+
+/// Loads a trace file, auto-detecting the format: hash-chained JSONL
+/// (verified) or the plain `Trace::to_json` document.
+pub fn load_trace(path: &str) -> Result<Trace, String> {
+    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if content.starts_with("{\"chain\":") {
+        from_jsonl(&content).map_err(|e| format!("{path}: {e}"))
+    } else {
+        Trace::from_json(&content).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// Records the golden corpus into `dir` and writes its manifest.
+/// Returns the manifest. Regenerating over an existing corpus is the
+/// intended workflow after a deliberate executor change — the diff of
+/// `MANIFEST.json` then documents the new chain hashes.
+pub fn generate_goldens(dir: &Path) -> Result<GoldenManifest, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let mut goldens = Vec::with_capacity(GOLDEN_SPECS.len());
+    for &(name, model_name, batch) in GOLDEN_SPECS {
+        let model = zoo::by_name(model_name)
+            .ok_or_else(|| format!("golden spec names unknown model '{model_name}'"))?;
+        let cfg = ExecConfig::pytorch_2080ti().with_batch(batch);
+        let (trace, jsonl) =
+            ground_truth::record_baseline(&model, &cfg).map_err(|e| e.to_string())?;
+        let file = format!("{name}.jsonl");
+        std::fs::write(dir.join(&file), &jsonl).map_err(|e| format!("cannot write {file}: {e}"))?;
+        let summary = verify_jsonl(&jsonl).map_err(|e| e.to_string())?;
+        goldens.push(GoldenEntry {
+            name: name.to_string(),
+            file,
+            model: model_name.to_string(),
+            batch,
+            chain: summary.chain_hex(),
+            activities: summary.activities,
+            markers: summary.markers,
+            truth_iteration_ns: trace.meta.iteration_ns(),
+        });
+    }
+    let manifest = GoldenManifest {
+        version: MANIFEST_VERSION,
+        tolerance: FIDELITY_TOLERANCE,
+        goldens,
+    };
+    let json = serde_json::to_string_pretty(&manifest).map_err(|e| e.to_string())?;
+    std::fs::write(dir.join(MANIFEST_FILE), json + "\n")
+        .map_err(|e| format!("cannot write {MANIFEST_FILE}: {e}"))?;
+    Ok(manifest)
+}
+
+/// Reads and parses the manifest in `dir`.
+pub fn read_manifest(dir: &Path) -> Result<GoldenManifest, String> {
+    let path = dir.join(MANIFEST_FILE);
+    let json = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "cannot read {}: {e} (generate the corpus with `daydream golden-gen`)",
+            path.display()
+        )
+    })?;
+    let manifest: GoldenManifest =
+        serde_json::from_str(&json).map_err(|e| format!("{}: {e}", path.display()))?;
+    if manifest.version != MANIFEST_VERSION {
+        return Err(format!(
+            "{}: manifest version {} unsupported (expected {MANIFEST_VERSION})",
+            path.display(),
+            manifest.version
+        ));
+    }
+    Ok(manifest)
+}
+
+/// Scales every timestamp and duration of a trace by `factor` — the
+/// uniform cost-model drift `--perturb` injects into the simulated side.
+fn perturb_trace(t: &mut Trace, factor: f64) {
+    fn scale(ns: u64, factor: f64) -> u64 {
+        (ns as f64 * factor).round() as u64
+    }
+    for a in &mut t.activities {
+        a.start_ns = scale(a.start_ns, factor);
+        a.dur_ns = scale(a.dur_ns, factor).max(1);
+    }
+    for m in &mut t.markers {
+        m.start_ns = scale(m.start_ns, factor);
+        m.end_ns = scale(m.end_ns, factor).max(m.start_ns + 1);
+    }
+    t.meta.iteration_start_ns = scale(t.meta.iteration_start_ns, factor);
+    t.meta.iteration_end_ns = scale(t.meta.iteration_end_ns, factor);
+}
+
+/// Replays prediction against one verified golden recording and diffs
+/// the simulated schedule against it.
+fn replay_golden(dir: &Path, entry: &GoldenEntry, perturb: f64) -> Result<TraceDiff, String> {
+    let path = dir.join(&entry.file);
+    let jsonl = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    // Chain verification first: corruption reports the offending line
+    // before any graph work happens.
+    let summary = verify_jsonl(&jsonl).map_err(|e| format!("{}: {e}", entry.file))?;
+    if summary.chain_hex() != entry.chain {
+        return Err(format!(
+            "{}: chain {} does not match the manifest's {} (file replaced or regenerated \
+             without `daydream golden-gen`)",
+            entry.file,
+            summary.chain_hex(),
+            entry.chain
+        ));
+    }
+    if summary.activities != entry.activities || summary.markers != entry.markers {
+        return Err(format!(
+            "{}: stream has {} activities / {} markers; manifest pins {} / {}",
+            entry.file, summary.activities, summary.markers, entry.activities, entry.markers
+        ));
+    }
+    let truth = from_jsonl(&jsonl).map_err(|e| format!("{}: {e}", entry.file))?;
+    let pg = ProfiledGraph::from_trace(&truth);
+    let mut exported = simulate_to_trace(&pg).map_err(|e| format!("{}: {e}", entry.name))?;
+    if perturb != 1.0 {
+        perturb_trace(&mut exported, perturb);
+    }
+    Ok(diff_traces(&exported, &truth))
+}
+
+/// Verifies the whole golden corpus in `dir`: chain integrity, manifest
+/// agreement, and prediction fidelity within `tolerance` (defaulting to
+/// the manifest's budget). `perturb` scales simulated durations to
+/// emulate a cost-model regression (1.0 = none).
+pub fn verify_goldens(
+    dir: &Path,
+    tolerance: Option<f64>,
+    perturb: f64,
+) -> Result<(f64, Vec<GoldenOutcome>), String> {
+    let manifest = read_manifest(dir)?;
+    let tol = tolerance.unwrap_or(manifest.tolerance);
+    let mut outcomes = Vec::with_capacity(manifest.goldens.len());
+    for entry in &manifest.goldens {
+        let d = replay_golden(dir, entry, perturb)?;
+        outcomes.push(GoldenOutcome {
+            name: entry.name.clone(),
+            rel_err: d.end_to_end_rel_err(),
+            matched: d.matched,
+            unmatched: d.sim_only + d.truth_only,
+            worst_op: d
+                .attribution
+                .iter()
+                .find(|g| g.abs_err_ns > 0)
+                .map(|g| g.name.clone()),
+            pass: d.within_tolerance(tol),
+        });
+    }
+    Ok((tol, outcomes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("daydream-fidelity-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn missing_manifest_points_at_golden_gen() {
+        let dir = temp_dir("missing");
+        let err = read_manifest(&dir.join("nowhere")).unwrap_err();
+        assert!(err.contains("golden-gen"), "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let manifest = GoldenManifest {
+            version: MANIFEST_VERSION,
+            tolerance: 0.05,
+            goldens: vec![GoldenEntry {
+                name: "toy".into(),
+                file: "toy.jsonl".into(),
+                model: "ResNet-50".into(),
+                batch: 4,
+                chain: "0123456789abcdef".into(),
+                activities: 10,
+                markers: 2,
+                truth_iteration_ns: 1_000_000,
+            }],
+        };
+        let json = serde_json::to_string_pretty(&manifest).unwrap();
+        let back: GoldenManifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, manifest);
+    }
+
+    #[test]
+    fn unsupported_manifest_version_is_rejected() {
+        let dir = temp_dir("version");
+        std::fs::write(
+            dir.join(MANIFEST_FILE),
+            "{\"version\": 99, \"tolerance\": 0.05, \"goldens\": []}",
+        )
+        .unwrap();
+        let err = read_manifest(&dir).unwrap_err();
+        assert!(err.contains("version 99"), "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn perturbation_scales_spans() {
+        let model = zoo::resnet50();
+        let cfg = ExecConfig::pytorch_2080ti().with_batch(4);
+        let mut t = ground_truth::run_baseline(&model, &cfg);
+        let before = t.meta.iteration_ns();
+        perturb_trace(&mut t, 1.5);
+        let scaled = t.meta.iteration_ns();
+        // Start and end round independently, so allow ±2 ns of slack.
+        // (Rounding can also introduce 1 ns lane overlaps; that is fine —
+        // the perturbed trace only ever feeds `diff_traces`, never
+        // `validate`.)
+        assert!(
+            (scaled as f64 - before as f64 * 1.5).abs() <= 2.0,
+            "span {before} -> {scaled}"
+        );
+    }
+}

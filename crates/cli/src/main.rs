@@ -10,10 +10,14 @@
 //! daydream sweep-worker --run-dir D            drain a sharded run's shards
 //! daydream sweep-merge  --run-dir D            merge shard results into a report
 //! daydream sweep-diff   <A> <B>                compare two runs' predictions
+//! daydream trace-diff   <sim> <truth>          attribute sim-vs-truth timing error
+//! daydream trace-verify [--dir goldens]        gate fidelity against golden traces
+//! daydream golden-gen   [--dir goldens]        (re)record the golden corpus
 //! ```
 
 mod args;
 mod commands;
+mod fidelity;
 
 use args::Args;
 
@@ -33,6 +37,11 @@ COMMANDS:
     sweep-worker --run-dir D       claim and evaluate shards until a run drains
     sweep-merge  --run-dir D       merge shard results into the ranked report
     sweep-diff   <A> <B>           diff two runs' predicted times (regressions)
+    trace-diff   <sim> <truth>     align a simulated trace against a recording
+                                   and rank the per-op prediction error
+    trace-verify                   replay prediction against the golden corpus
+                                   and fail when fidelity leaves the budget
+    golden-gen                     (re)record the golden corpus and pin chains
 
 COMMON OPTIONS:
     --batch N          mini-batch size (default: the paper's per-model value)
@@ -42,6 +51,22 @@ COMMON OPTIONS:
 PROFILE OPTIONS:
     --verify           cross-check the compiled simulator against the
                        reference oracle on this profile and print the speedup
+    --out F.json       write the recording as JSON
+    --chrome F.json    write the recording for chrome://tracing
+    --jsonl F.jsonl    write the recording as hash-chained JSONL
+    --fidelity         diff the simulated schedule against this recording
+                       (per-lane/per-phase error + worst-offender table)
+    --sim-chrome F     write the *simulated* schedule for chrome://tracing
+    --sim-out F.jsonl  write the simulated schedule as hash-chained JSONL
+
+TRACE / GOLDEN OPTIONS:
+    trace-diff   accepts: --format text|json|csv (default text), --top N,
+                 --out F (write instead of print), --tolerance FRAC
+                 (nonzero exit when the diff leaves the budget)
+    trace-verify accepts: --dir D (default goldens), --tolerance FRAC
+                 (default: the manifest's budget), --perturb F (scale
+                 simulated durations to prove the gate fails)
+    golden-gen   accepts: --dir D (default goldens)
 
 PREDICT OPTIONS:
     --opt O            amp | fused-adam | reconstruct-bn | ddp | blueconnect |
@@ -86,6 +111,10 @@ DISTRIBUTED SWEEP OPTIONS (shard a grid across processes/machines):
 
 EXAMPLES:
     daydream profile BERT_Base --out bert.json
+    daydream profile ResNet-50 --batch 4 --fidelity --jsonl truth.jsonl --sim-out sim.jsonl
+    daydream trace-diff sim.jsonl truth.jsonl --format csv --top 10
+    daydream trace-verify                              # gate against goldens/
+    daydream golden-gen                                # re-pin after an executor change
     daydream predict BERT_Large --opt fused-adam
     daydream predict ResNet-50 --opt ddp --machines 4 --gpus 2 --bw 10
     daydream predict ResNet-50 --opt upgrade-gpu --to v100
@@ -120,6 +149,9 @@ fn main() {
         "sweep-worker" => commands::cmd_sweep_worker(&parsed),
         "sweep-merge" => commands::cmd_sweep_merge(&parsed),
         "sweep-diff" => commands::cmd_sweep_diff(&parsed),
+        "trace-diff" => commands::cmd_trace_diff(&parsed),
+        "trace-verify" => commands::cmd_trace_verify(&parsed),
+        "golden-gen" => commands::cmd_golden_gen(&parsed),
         other => {
             eprintln!("unknown command '{other}'\n\n{USAGE}");
             std::process::exit(2);

@@ -36,6 +36,7 @@
 
 pub mod compiled;
 pub mod construct;
+pub mod export;
 pub mod graph;
 pub mod layer_map;
 pub mod patch;
@@ -49,6 +50,7 @@ pub mod whatif;
 
 pub use compiled::{ApplyTrace, CompactId, CompiledGraph, ThreadId};
 pub use construct::{build_graph, ProfiledGraph};
+pub use export::{sim_to_trace, simulate_to_trace};
 pub use graph::{DepKind, DependencyGraph, GraphEdit, GraphError, GraphView, TaskId};
 pub use patch::{GraphPatch, PatchGraph, PatchOp, PatchSummary};
 pub use predict::{

@@ -12,7 +12,7 @@ use crate::config::ExecConfig;
 use crate::executor::Executor;
 use crate::plan::{amp_plan, baseline_plan, fused_adam_plan, reconstruct_bn_plan};
 use daydream_models::Model;
-use daydream_trace::Trace;
+use daydream_trace::{to_jsonl, Trace, TraceError};
 
 /// Seed salt distinguishing re-executions from the profiling run.
 const RERUN_SALT: u64 = 0x5EED_CAFE;
@@ -22,6 +22,18 @@ pub fn run_baseline(model: &Model, cfg: &ExecConfig) -> Trace {
     let ex = Executor::new(model, cfg);
     let plan = baseline_plan(model, ex.batch());
     ex.run(&plan)
+}
+
+/// Profiles the baseline iteration *and* serializes it as the
+/// hash-chained JSONL artifact the golden corpus checks in.
+///
+/// The executor is deterministic for a given (model, config, seed), so
+/// the byte stream — and therefore the final chain hash pinned by
+/// `goldens/MANIFEST.json` — is reproducible across runs and hosts.
+pub fn record_baseline(model: &Model, cfg: &ExecConfig) -> Result<(Trace, String), TraceError> {
+    let trace = run_baseline(model, cfg);
+    let jsonl = to_jsonl(&trace)?;
+    Ok((trace, jsonl))
 }
 
 /// Ground truth of NVIDIA Apex Automatic Mixed Precision (Fig. 5).
@@ -57,6 +69,19 @@ mod tests {
     use super::*;
     use daydream_models::zoo;
     use daydream_trace::runtime_breakdown;
+
+    #[test]
+    fn recorded_baseline_is_reproducible_and_chain_verified() {
+        let model = zoo::resnet50();
+        let cfg = ExecConfig::pytorch_2080ti().with_batch(4);
+        let (trace, jsonl) = record_baseline(&model, &cfg).unwrap();
+        let (_, again) = record_baseline(&model, &cfg).unwrap();
+        assert_eq!(jsonl, again, "recorded artifact must be byte-reproducible");
+        let summary = daydream_trace::verify_jsonl(&jsonl).unwrap();
+        assert_eq!(summary.activities as usize, trace.activities.len());
+        assert_eq!(summary.markers as usize, trace.markers.len());
+        assert_eq!(daydream_trace::from_jsonl(&jsonl).unwrap(), trace);
+    }
 
     #[test]
     fn amp_speeds_up_resnet_substantially() {

@@ -47,7 +47,7 @@ pub mod report;
 pub mod scenario;
 
 pub use cache::{PatchCache, SweepCache};
-pub use engine::{explain_scenario, RunStats, SweepEngine};
+pub use engine::{explain_scenario, RunStats, SweepEngine, FIDELITY_TOLERANCE};
 pub use executor::{parallel_map, ExecutorStats};
 pub use grid::{SweepGrid, SweepGridBuilder};
 pub use report::{AxisBest, ScenarioOutcome, SweepReport};

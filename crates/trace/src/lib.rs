@@ -15,7 +15,11 @@
 //!   correlation-id integrity);
 //! - [`runtime_breakdown`] implementing the CPU-only / GPU-only / CPU+GPU
 //!   decomposition of paper Fig. 6;
-//! - Chrome-trace export for visual inspection ([`to_chrome_trace`]).
+//! - Chrome-trace export for visual inspection ([`to_chrome_trace`]);
+//! - hash-chained append-only JSONL emission with tamper/truncation
+//!   detection ([`TraceWriter`], [`from_jsonl`], [`verify_jsonl`]);
+//! - schedule↔trace fidelity diff with per-op error attribution
+//!   ([`diff_traces`]).
 //!
 //! No CUDA hardware is required: the `daydream-runtime` crate produces
 //! traces in this format from a calibrated execution model, and real CUPTI
@@ -24,8 +28,10 @@
 mod activity;
 mod analysis;
 mod chrome;
+mod diff;
 mod ids;
 mod intervals;
+mod jsonl;
 mod marker;
 mod meta;
 mod trace;
@@ -35,8 +41,10 @@ pub use analysis::{
     iteration_window, lane_stats, max_concurrency, runtime_breakdown, LaneStats, RuntimeBreakdown,
 };
 pub use chrome::to_chrome_trace;
+pub use diff::{diff_traces, LaneDiff, OpDiff, OpGroupError, PhaseDiff, TraceDiff};
 pub use ids::{ActivityId, CorrelationId, CpuThreadId, DeviceId, Lane, LayerId, StreamId};
 pub use intervals::IntervalSet;
+pub use jsonl::{from_jsonl, to_jsonl, verify_jsonl, ChainSummary, TraceWriter, JSONL_VERSION};
 pub use marker::{LayerMarker, Phase};
 pub use meta::{BucketInfo, Framework, GradientInfo, TraceMeta};
 pub use trace::{Trace, TraceError};

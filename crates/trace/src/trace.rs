@@ -28,6 +28,20 @@ pub enum TraceError {
     TimeTravel { api: ActivityId, gpu: ActivityId },
     /// A layer marker window is empty or inverted.
     BadMarker { index: usize },
+    /// A JSONL line could not be parsed as a chained trace record.
+    Malformed { line: usize, detail: String },
+    /// The running hash chain broke at a record: the file was edited,
+    /// reordered, or corrupted at this line.
+    ChainMismatch {
+        line: usize,
+        expected: u64,
+        found: u64,
+    },
+    /// The stream ended before the end-of-trace record (or the end
+    /// record's counts disagree with what was read).
+    Truncated { line: usize, detail: String },
+    /// Reading or writing the underlying stream failed.
+    Io(String),
 }
 
 impl fmt::Display for TraceError {
@@ -65,6 +79,21 @@ impl fmt::Display for TraceError {
                 )
             }
             TraceError::BadMarker { index } => write!(f, "layer marker {index} has empty window"),
+            TraceError::Malformed { line, detail } => {
+                write!(f, "line {line}: malformed trace record ({detail})")
+            }
+            TraceError::ChainMismatch {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "line {line}: hash chain broken (expected {expected:016x}, record carries {found:016x})"
+            ),
+            TraceError::Truncated { line, detail } => {
+                write!(f, "line {line}: trace truncated ({detail})")
+            }
+            TraceError::Io(e) => write!(f, "trace stream I/O error: {e}"),
         }
     }
 }

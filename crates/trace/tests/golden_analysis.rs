@@ -1,0 +1,151 @@
+//! Pinned analyses over one synthetic two-layer trace: a chrome-export
+//! golden snapshot plus exact `runtime_breakdown` / `lane_stats` values.
+//!
+//! The synthetic trace models a minimal but complete iteration shape —
+//! data loading, two launch+kernel pairs inside layer-marker windows, a
+//! blocking device synchronize — so the pinned numbers exercise every
+//! branch of the Fig. 6 decomposition.
+
+use daydream_trace::{
+    lane_stats, max_concurrency, runtime_breakdown, to_chrome_trace, Activity, ActivityKind,
+    CorrelationId, CpuThreadId, CudaApi, DeviceId, Framework, Lane, LayerId, LayerMarker, Phase,
+    StreamId, Trace, TraceMeta,
+};
+
+fn synthetic_trace() -> Trace {
+    let mut t = Trace::empty(TraceMeta {
+        model: "pinned".into(),
+        framework: Framework::PyTorch,
+        batch_size: 2,
+        device: "test-gpu".into(),
+        iteration_start_ns: 0,
+        iteration_end_ns: 10_000,
+        gradients: vec![],
+        buckets: vec![],
+    });
+    t.activities.push(Activity {
+        name: "load_minibatch".into(),
+        kind: ActivityKind::DataLoading { bytes: 1024 },
+        lane: Lane::Cpu(CpuThreadId(1)),
+        start_ns: 0,
+        dur_ns: 1_000,
+        correlation: None,
+    });
+    t.activities.push(Activity {
+        name: "cudaLaunchKernel".into(),
+        kind: ActivityKind::RuntimeApi(CudaApi::LaunchKernel),
+        lane: Lane::Cpu(CpuThreadId(0)),
+        start_ns: 1_000,
+        dur_ns: 500,
+        correlation: Some(CorrelationId(1)),
+    });
+    t.activities.push(Activity {
+        name: "conv_fwd".into(),
+        kind: ActivityKind::Kernel,
+        lane: Lane::Gpu(DeviceId(0), StreamId(7)),
+        start_ns: 2_000,
+        dur_ns: 3_000,
+        correlation: Some(CorrelationId(1)),
+    });
+    t.activities.push(Activity {
+        name: "cudaLaunchKernel".into(),
+        kind: ActivityKind::RuntimeApi(CudaApi::LaunchKernel),
+        lane: Lane::Cpu(CpuThreadId(0)),
+        start_ns: 2_000,
+        dur_ns: 500,
+        correlation: Some(CorrelationId(2)),
+    });
+    t.activities.push(Activity {
+        name: "relu_fwd".into(),
+        kind: ActivityKind::Kernel,
+        lane: Lane::Gpu(DeviceId(0), StreamId(7)),
+        start_ns: 5_000,
+        dur_ns: 2_000,
+        correlation: Some(CorrelationId(2)),
+    });
+    t.activities.push(Activity {
+        name: "cudaDeviceSynchronize".into(),
+        kind: ActivityKind::RuntimeApi(CudaApi::DeviceSynchronize),
+        lane: Lane::Cpu(CpuThreadId(0)),
+        start_ns: 4_000,
+        dur_ns: 3_000,
+        correlation: None,
+    });
+    t.markers.push(LayerMarker {
+        layer: LayerId(0),
+        phase: Phase::Forward,
+        thread: CpuThreadId(0),
+        start_ns: 1_000,
+        end_ns: 1_800,
+    });
+    t.markers.push(LayerMarker {
+        layer: LayerId(1),
+        phase: Phase::Forward,
+        thread: CpuThreadId(0),
+        start_ns: 1_800,
+        end_ns: 2_800,
+    });
+    t
+}
+
+#[test]
+fn synthetic_trace_is_structurally_valid() {
+    assert!(synthetic_trace().validate().is_ok());
+}
+
+#[test]
+fn chrome_export_golden_snapshot() {
+    let json = to_chrome_trace(&synthetic_trace()).unwrap();
+    let golden = concat!(
+        r#"[{"name":"load_minibatch","cat":"dataload","ph":"X","ts":0.0,"dur":1.0,"pid":1,"tid":1},"#,
+        r#"{"name":"cudaLaunchKernel","cat":"cuda_api","ph":"X","ts":1.0,"dur":0.5,"pid":1,"tid":0},"#,
+        r#"{"name":"conv_fwd","cat":"kernel","ph":"X","ts":2.0,"dur":3.0,"pid":2,"tid":7},"#,
+        r#"{"name":"cudaLaunchKernel","cat":"cuda_api","ph":"X","ts":2.0,"dur":0.5,"pid":1,"tid":0},"#,
+        r#"{"name":"relu_fwd","cat":"kernel","ph":"X","ts":5.0,"dur":2.0,"pid":2,"tid":7},"#,
+        r#"{"name":"cudaDeviceSynchronize","cat":"cuda_api","ph":"X","ts":4.0,"dur":3.0,"pid":1,"tid":0},"#,
+        r#"{"name":"L0 fwd","cat":"layer","ph":"X","ts":1.0,"dur":0.8,"pid":0,"tid":0},"#,
+        r#"{"name":"L1 fwd","cat":"layer","ph":"X","ts":1.8,"dur":1.0,"pid":0,"tid":0}]"#
+    );
+    assert_eq!(json, golden);
+}
+
+#[test]
+fn runtime_breakdown_is_pinned() {
+    let b = runtime_breakdown(&synthetic_trace());
+    // Iteration window [0, 10000): the sync window [4000,7000) is
+    // GPU-only; kernel busy time [2000,5000)∪[5000,7000) outside the
+    // sync window is [2000,4000) = 2000 overlap; the rest is CPU-only.
+    assert_eq!(b.total_ns, 10_000);
+    assert_eq!(b.gpu_only_ns, 3_000);
+    assert_eq!(b.overlap_ns, 2_000);
+    assert_eq!(b.cpu_only_ns, 5_000);
+    assert_eq!(b.cpu_only_ns + b.gpu_only_ns + b.overlap_ns, b.total_ns);
+}
+
+#[test]
+fn lane_stats_are_pinned() {
+    let t = synthetic_trace();
+    let stats = lane_stats(&t);
+    assert_eq!(stats.len(), 3);
+    // cpu:0 — launch, launch, sync: busy 500+500+3000, gaps 500+1500.
+    let (lane, s) = stats[0];
+    assert_eq!(lane, Lane::Cpu(CpuThreadId(0)));
+    assert_eq!(s.count, 3);
+    assert_eq!(s.busy_ns, 4_000);
+    assert_eq!(s.idle_ns, 2_000);
+    assert_eq!(s.max_gap_ns, 1_500);
+    // cpu:1 — the loader: one activity, no gaps.
+    let (lane, s) = stats[1];
+    assert_eq!(lane, Lane::Cpu(CpuThreadId(1)));
+    assert_eq!(s.count, 1);
+    assert_eq!(s.busy_ns, 1_000);
+    assert_eq!(s.idle_ns, 0);
+    // gpu0:stream7 — two kernels back to back.
+    let (lane, s) = stats[2];
+    assert_eq!(lane, Lane::Gpu(DeviceId(0), StreamId(7)));
+    assert_eq!(s.count, 2);
+    assert_eq!(s.busy_ns, 5_000);
+    assert_eq!(s.idle_ns, 0);
+    assert_eq!(s.max_gap_ns, 0);
+    assert_eq!(max_concurrency(&t), 2);
+}

@@ -49,7 +49,8 @@ pub use daydream_trace as trace;
 pub mod prelude {
     pub use daydream_comm::ClusterConfig;
     pub use daydream_core::{
-        predict, simulate, whatif, DependencyGraph, ProfiledGraph, SimResult, TaskId,
+        predict, simulate, simulate_to_trace, whatif, DependencyGraph, ProfiledGraph, SimResult,
+        TaskId,
     };
     pub use daydream_models::{zoo, Model};
     pub use daydream_runtime::{ground_truth, ExecConfig, Executor};
@@ -57,5 +58,8 @@ pub mod prelude {
         diff_runs, merge_run, run_worker, RunDir, RunStore, ShardPlan, WorkerConfig,
     };
     pub use daydream_sweep::{OptSpec, Scenario, SweepEngine, SweepGrid, SweepReport};
-    pub use daydream_trace::{runtime_breakdown, Trace};
+    pub use daydream_trace::{
+        diff_traces, from_jsonl, runtime_breakdown, to_jsonl, verify_jsonl, Trace, TraceDiff,
+        TraceWriter,
+    };
 }

@@ -18,6 +18,13 @@
 //! no additions were required. (The vendored `proptest` shim, by
 //! contrast, grew tuple-strategy arity 7-8 for the grid-determinism
 //! properties backing sharding.)
+//!
+//! Audited again for the golden-trace fidelity harness: the chained
+//! JSONL `Record` enum (struct variants, externally tagged), the
+//! `TraceDiff`/`OpDiff`/`LaneDiff`/`PhaseDiff`/`OpGroupError`
+//! serialize-only report types, and the CLI's `GoldenManifest` /
+//! `GoldenEntry` round-trip types all fit the existing
+//! struct/enum/scalar surface — no additions were required.
 
 pub use serde_derive::{Deserialize, Serialize};
 
