@@ -1,0 +1,213 @@
+//! Criterion bench: exhaustive sweep vs multi-fidelity successive
+//! halving over a 10³-scenario what-if grid.
+//!
+//! One profiled base (ResNet-50, batch 4) swept across the three big
+//! parametric families — 256 bandwidth factors, 84 DGC compression
+//! ratios × 4 bandwidths × 2 cluster shapes, 64 target batch sizes —
+//! plus the singleton optimizations. The exhaustive side evaluates every
+//! scenario at full fidelity; the halving side ranks rung 0 with the
+//! analytic surrogate / busy-bound estimates, prunes to `keep_fraction`,
+//! and evaluates only the survivors exactly.
+//!
+//! Before timing, the bench asserts the search's per-model top-1 equals
+//! the exhaustive sweep's (label and predicted time). Top-10 overlap is
+//! reported by scenario key and by predicted value separately: large
+//! grids carry exact ties (256 bandwidth factors over a single-GPU base
+//! are all no-ops), and exhaustive vs halving may surface different —
+//! value-identical — tie-mates.
+//!
+//! Unless running in `--test` smoke mode, results are snapshotted into
+//! the `"sweep_search"` section of `BENCH_sim.json` at the workspace
+//! root.
+
+use criterion::Criterion;
+use daydream_sweep::{run_search, SearchConfig, SweepEngine, SweepGrid, SweepReport};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+fn bench_grid() -> SweepGrid {
+    let factors: Vec<f64> = (101..=356).map(|i| i as f64 / 100.0).collect();
+    let ratios: Vec<f64> = (1..=84).map(|i| i as f64 / 400.0).collect();
+    let target_batches: Vec<u64> = (5..=68).collect();
+    SweepGrid::builder()
+        .models(["ResNet-50"])
+        .batches([4])
+        .opts([
+            "baseline",
+            "amp",
+            "gist",
+            "vdnn",
+            "bandwidth",
+            "batch-size",
+            "ddp",
+            "dgc",
+        ])
+        .bandwidths([5.0, 10.0, 25.0, 50.0])
+        .machines([2, 4])
+        .bandwidth_factors(factors)
+        .dgc_ratios(ratios)
+        .target_batches(target_batches)
+        .build()
+}
+
+fn search_config() -> SearchConfig {
+    SearchConfig {
+        rungs: 2,
+        keep_fraction: 0.05,
+        ..SearchConfig::default()
+    }
+}
+
+/// Top-`k` overlap between two ranked reports, by scenario key and by
+/// predicted value (the latter treats exact tie-mates as equal).
+fn topk_overlap(a: &SweepReport, b: &SweepReport, k: usize) -> (usize, usize) {
+    let keys: HashSet<&str> = a.results.iter().take(k).map(|o| o.key.as_str()).collect();
+    let by_key = b
+        .results
+        .iter()
+        .take(k)
+        .filter(|o| keys.contains(o.key.as_str()))
+        .count();
+    let values: Vec<u64> = a.results.iter().take(k).map(|o| o.predicted_ns).collect();
+    let mut pool = values;
+    let mut by_value = 0;
+    for o in b.results.iter().take(k) {
+        if let Some(i) = pool.iter().position(|&v| v == o.predicted_ns) {
+            pool.swap_remove(i);
+            by_value += 1;
+        }
+    }
+    (by_key, by_value)
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    let quick = c.is_quick_mode();
+    let grid = bench_grid();
+    let cfg = search_config();
+    let scenarios = grid.expand().expect("valid grid").len();
+
+    // One engine, profile warmed outside every timed region; the result
+    // and patch caches are cleared per iteration so both sides evaluate
+    // all their scenarios instead of replaying cache hits.
+    let engine = SweepEngine::new(1);
+    engine.run(&grid).expect("warmup run");
+
+    // --- Agreement gate (fresh evaluations on both sides). ---
+    engine.clear_result_cache();
+    let exhaustive = engine.run(&grid).expect("exhaustive sweep");
+    engine.clear_result_cache();
+    let search = run_search(&engine, &grid, &cfg).expect("halving search");
+    for best in &exhaustive.best_per_model {
+        let found = search
+            .report
+            .best_per_model
+            .iter()
+            .find(|b| b.value == best.value)
+            .unwrap_or_else(|| panic!("search lost model {}", best.value));
+        assert_eq!(
+            (found.label.as_str(), found.predicted_ns),
+            (best.label.as_str(), best.predicted_ns),
+            "halving top-1 for {} must equal the exhaustive top-1",
+            best.value
+        );
+    }
+    let (top10_by_key, top10_by_value) = topk_overlap(&exhaustive, &search.report, 10);
+
+    // --- Timed comparison. ---
+    let mut group = c.benchmark_group("sweep_search");
+    group.sample_size(10);
+    group.bench_function(&format!("exhaustive/{scenarios}scen"), |b| {
+        b.iter(|| {
+            engine.clear_result_cache();
+            black_box(engine.run(&grid).expect("exhaustive sweep"))
+        })
+    });
+    group.bench_function(&format!("halving/{scenarios}scen"), |b| {
+        b.iter(|| {
+            engine.clear_result_cache();
+            black_box(run_search(&engine, &grid, &cfg).expect("halving search"))
+        })
+    });
+    group.finish();
+
+    let find = |kind: &str| {
+        c.records()
+            .iter()
+            .rev()
+            .find(|r| r.name.contains(&format!("/{kind}/{scenarios}scen")))
+            .map(|r| r.ns_per_iter)
+    };
+    let (exhaustive_ns, halving_ns) = (find("exhaustive"), find("halving"));
+    if let (Some(ex), Some(ha)) = (exhaustive_ns, halving_ns) {
+        println!(
+            "sweep_search: exhaustive {:.1} ms, halving {:.1} ms ({:.2}x), \
+             top-10 overlap {top10_by_key}/10 by key, {top10_by_value}/10 by value",
+            ex / 1e6,
+            ha / 1e6,
+            ex / ha,
+        );
+    }
+
+    // Smoke runs (`--test`) measure one iteration — not worth snapshotting.
+    if !quick {
+        let (Some(ex), Some(ha)) = (exhaustive_ns, halving_ns) else {
+            eprintln!("missing bench records; skipping snapshot");
+            return;
+        };
+        let rungs: Vec<String> = search
+            .rungs
+            .iter()
+            .map(|r| {
+                format!(
+                    concat!(
+                        "    {{\"rung\": {}, \"fidelity\": \"{}\", \"evaluated\": {}, ",
+                        "\"kept\": {}, \"estimate_sims\": {}, \"full_sims\": {}, ",
+                        "\"incremental_sims\": {}}}"
+                    ),
+                    r.rung,
+                    r.fidelity,
+                    r.evaluated,
+                    r.kept,
+                    r.estimate_sims,
+                    r.full_sims,
+                    r.incremental_sims
+                )
+            })
+            .collect();
+        let json = format!(
+            concat!(
+                "{{\n  \"grid\": \"ResNet-50 b4: 256 bandwidth factors, 84 DGC ratios x 4 bw ",
+                "x 2 cluster shapes, 64 target batches, plus singletons\",\n",
+                "  \"note\": \"halving rung 0 ranks scalable families with the analytic ",
+                "surrogate (no patch emitted) and the rest with busy-bound estimates; ",
+                "only survivors are evaluated exactly. Top-10 overlap is reported by key ",
+                "and by predicted value: exact ties (no-op bandwidth factors) may surface ",
+                "different, value-identical tie-mates on the two sides\",\n",
+                "  \"scenarios\": {},\n",
+                "  \"config\": {{\"rungs\": {}, \"keep_fraction\": {}}},\n",
+                "  \"exhaustive_ns_per_iter\": {},\n",
+                "  \"halving_ns_per_iter\": {},\n",
+                "  \"speedup\": {},\n",
+                "  \"top1_per_model_agrees\": true,\n",
+                "  \"top10_overlap_by_key\": {},\n",
+                "  \"top10_overlap_by_value\": {},\n",
+                "  \"rungs\": [\n{}\n  ]\n  }}"
+            ),
+            scenarios,
+            cfg.rungs,
+            cfg.keep_fraction,
+            ex,
+            ha,
+            (ex / ha * 100.0).round() / 100.0,
+            top10_by_key,
+            top10_by_value,
+            rungs.join(",\n")
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+        match criterion::snapshot::merge_section(path, "sweep_search", &json) {
+            Ok(()) => println!("wrote sweep_search section of {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}

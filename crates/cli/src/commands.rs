@@ -16,7 +16,7 @@ use daydream_shard::{
     diff_runs, merge_run, merged_cache, process_shard, run_worker, write_merged, RunDir,
     ShardDisposition, ShardPlan, WorkerConfig,
 };
-use daydream_sweep::{explain_scenario, SweepEngine, SweepGrid};
+use daydream_sweep::{explain_scenario, run_search, SearchConfig, SweepEngine, SweepGrid};
 use daydream_trace::{diff_traces, runtime_breakdown, Framework};
 
 /// Resolves a model name or exits with a helpful message.
@@ -521,6 +521,12 @@ const SWEEP_KEYS: &[&str] = &[
     "csv",
     "cache-file",
     "explain",
+    "search",
+    "rungs",
+    "keep-fraction",
+    "keep-min",
+    "tolerance",
+    "cone-budgets",
     "shards",
     "shard-index",
     "run-dir",
@@ -572,6 +578,8 @@ pub fn cmd_sweep(args: &Args) -> Result<(), String> {
         .filter(move |s| s.batch <= max_batch)
         .build();
 
+    let search_cfg = sweep_search_config(args)?;
+
     if let Some(prefix) = args.opt_maybe("explain") {
         for key in [
             "run-dir",
@@ -587,14 +595,30 @@ pub fn cmd_sweep(args: &Args) -> Result<(), String> {
                 return Err(format!("--explain does not combine with --{key}"));
             }
         }
-        return cmd_sweep_explain(&grid, prefix);
+        // Validates the prefix and prints the scenario's graph patch;
+        // under --search halving, follow with its rung-by-rung history
+        // (which needs an actual search run to exist).
+        cmd_sweep_explain(&grid, prefix)?;
+        if let Some(cfg) = &search_cfg {
+            let engine = sweep_engine(args)?;
+            let search = run_search(&engine, &grid, cfg)?;
+            match search.render_history(&prefix.to_lowercase()) {
+                Some(history) => println!("\n{history}"),
+                None => println!("\n(scenario took no part in the search: deduplicated out)"),
+            }
+        }
+        return Ok(());
     }
 
-    let engine = match args.opt_maybe("threads") {
-        Some(t) => SweepEngine::new(t.parse().map_err(|_| format!("invalid --threads {t}"))?),
-        None => SweepEngine::with_available_parallelism(),
-    };
+    let engine = sweep_engine(args)?;
     if args.opt_maybe("run-dir").is_some() {
+        if search_cfg.is_some() {
+            return Err(
+                "--search does not combine with --run-dir: shard each search round \
+                 explicitly (round plans come from the search report's survivor sets)"
+                    .into(),
+            );
+        }
         return cmd_sweep_sharded(args, &grid, &engine);
     }
     for key in ["shards", "shard-index", "worker-id", "lease-ttl-secs"] {
@@ -619,10 +643,32 @@ pub fn cmd_sweep(args: &Args) -> Result<(), String> {
     }
 
     let start = std::time::Instant::now();
-    let report = engine.run(&grid)?;
+    let search = match &search_cfg {
+        Some(cfg) => Some(run_search(&engine, &grid, cfg)?),
+        None => None,
+    };
+    let report = match &search {
+        Some(s) => s.report.clone(),
+        None => engine.run(&grid)?,
+    };
     let elapsed = start.elapsed();
     let stats = engine.last_stats();
 
+    if let Some(s) = &search {
+        let auto = s.promotions.iter().filter(|p| p.auto_promoted).count();
+        println!(
+            "halving search: {} candidates -> {} finalists over {} rungs, {} evaluations total ({} auto-promoted)",
+            s.rungs.first().map_or(0, |r| r.expanded) + auto,
+            report.scenario_count,
+            s.rungs.len(),
+            s.total_evaluations(),
+            auto,
+        );
+        println!("{}", s.render_rungs());
+        for w in &s.warnings {
+            println!("warning: {w}");
+        }
+    }
     println!(
         "swept {} scenarios on {} threads in {:.2}s ({:.1} scenarios/s, {} base profiles built, {} steals)",
         report.scenario_count,
@@ -673,10 +719,61 @@ pub fn cmd_sweep(args: &Args) -> Result<(), String> {
         println!("wrote {path}");
     }
     if let Some(path) = args.opt_maybe("csv") {
-        std::fs::write(path, report.to_csv()).map_err(|e| e.to_string())?;
+        let mut csv = report.to_csv();
+        if let Some(s) = &search {
+            // Rung accounting rides along after a blank separator line.
+            csv.push('\n');
+            csv.push_str(&s.rungs_csv());
+        }
+        std::fs::write(path, csv).map_err(|e| e.to_string())?;
         println!("wrote {path}");
     }
     Ok(())
+}
+
+/// Builds the sweep engine from `--threads` (all cores when absent).
+fn sweep_engine(args: &Args) -> Result<SweepEngine, String> {
+    Ok(match args.opt_maybe("threads") {
+        Some(t) => SweepEngine::new(t.parse().map_err(|_| format!("invalid --threads {t}"))?),
+        None => SweepEngine::with_available_parallelism(),
+    })
+}
+
+/// Parses `--search halving` plus its knobs into a [`SearchConfig`].
+/// Returns `None` for a plain exhaustive sweep — and rejects
+/// search-only knobs given without `--search`, so a forgotten flag
+/// cannot silently run the wrong strategy.
+fn sweep_search_config(args: &Args) -> Result<Option<SearchConfig>, String> {
+    let Some(mode) = args.opt_maybe("search") else {
+        for key in [
+            "rungs",
+            "keep-fraction",
+            "keep-min",
+            "tolerance",
+            "cone-budgets",
+        ] {
+            if args.opt_maybe(key).is_some() {
+                return Err(format!("--{key} requires --search halving"));
+            }
+        }
+        return Ok(None);
+    };
+    if mode != "halving" {
+        return Err(format!(
+            "unknown --search strategy '{mode}' (the only strategy is 'halving')"
+        ));
+    }
+    let defaults = SearchConfig::default();
+    Ok(Some(SearchConfig {
+        rungs: args.num("rungs", defaults.rungs)?,
+        keep_fraction: args.num("keep-fraction", defaults.keep_fraction)?,
+        keep_min: args.num("keep-min", defaults.keep_min)?,
+        tolerance: args.num("tolerance", defaults.tolerance)?,
+        cone_budgets: match args.opt_maybe("cone-budgets") {
+            Some(_) => parse_list(args, "cone-budgets", "")?,
+            None => defaults.cone_budgets,
+        },
+    }))
 }
 
 /// Rejects unknown options and stray positionals for the shard

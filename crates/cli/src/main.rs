@@ -97,6 +97,17 @@ SWEEP OPTIONS (comma-separated lists expand into grid axes):
     --explain FP       print one scenario's graph patch (tasks scaled /
                        inserted / removed, deps changed) instead of sweeping;
                        FP is a result-key (fingerprint) prefix from a report
+                       (with --search halving, also prints the scenario's
+                       rung-by-rung promotion history)
+
+ADAPTIVE SEARCH OPTIONS (multi-fidelity successive halving):
+    --search halving   prune the grid over low-fidelity rungs instead of
+                       evaluating every scenario at full fidelity
+    --rungs N          total rungs incl. the final exact pass (default 3)
+    --keep-fraction F  fraction kept per rung and model       (default 0.25)
+    --keep-min N       survivor floor per pruning group       (default 2)
+    --tolerance F      near-miss warning margin               (default 0.02)
+    --cone-budgets A,B incremental-cone budget per low rung   (default 0.05,0.25)
 
 DISTRIBUTED SWEEP OPTIONS (shard a grid across processes/machines):
     --shards N         split the grid into N fingerprint-balanced shards
@@ -119,6 +130,7 @@ EXAMPLES:
     daydream predict ResNet-50 --opt ddp --machines 4 --gpus 2 --bw 10
     daydream predict ResNet-50 --opt upgrade-gpu --to v100
     daydream sweep --models ResNet-50,BERT_Base --opts amp,ddp,dgc --bw 10,25,40
+    daydream sweep --search halving --rungs 3 --keep-fraction 0.25 --factors 1.5,2,3,4
     daydream sweep --shards 4 --run-dir /shared/run1   # plan a distributed run
     daydream sweep-worker --run-dir /shared/run1       # on each of 4 machines
     daydream sweep-merge --run-dir /shared/run1 --out ranked.json

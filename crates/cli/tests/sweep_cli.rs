@@ -129,6 +129,121 @@ fn sweep_top_controls_ranked_row_count() {
     );
 }
 
+/// `--search halving` on a monotone curated grid agrees with the
+/// exhaustive sweep on the per-model winner, prints rung accounting,
+/// and appends the rung table to `--csv`.
+#[test]
+fn sweep_search_halving_agrees_with_exhaustive_top1() {
+    let dir = std::env::temp_dir().join(format!("daydream-search-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let grid = [
+        "sweep",
+        "--models",
+        "ResNet-50",
+        "--batches",
+        "4",
+        "--opts",
+        "baseline,amp,gist,vdnn,bandwidth,batch-size",
+        "--factors",
+        "1.5,2,3",
+        "--target-batches",
+        "8,16",
+        "--threads",
+        "2",
+    ];
+
+    let exhaustive = daydream().args(grid).output().expect("binary runs");
+    assert!(exhaustive.status.success());
+    let exhaustive_out = String::from_utf8_lossy(&exhaustive.stdout).into_owned();
+
+    let csv_path = dir.join("search.csv");
+    let search = daydream()
+        .args(grid)
+        .args([
+            "--search",
+            "halving",
+            "--rungs",
+            "3",
+            "--keep-fraction",
+            "0.4",
+        ])
+        .args(["--csv", csv_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    let search_out = String::from_utf8_lossy(&search.stdout).into_owned();
+    assert!(search.status.success(), "search failed: {search_out}");
+    assert!(
+        search_out.contains("halving search:"),
+        "rung summary prints: {search_out}"
+    );
+    assert!(
+        search_out.contains("rung  fidelity  expanded"),
+        "rung table prints: {search_out}"
+    );
+
+    // Same per-model winner line as the exhaustive sweep.
+    let winner = |out: &str| -> String {
+        let lines: Vec<&str> = out.lines().collect();
+        let i = lines
+            .iter()
+            .position(|l| l.starts_with("best per model"))
+            .expect("winner section");
+        lines[i + 1].trim().to_string()
+    };
+    assert_eq!(
+        winner(&search_out),
+        winner(&exhaustive_out),
+        "halving must keep the exhaustive per-model winner"
+    );
+
+    // The CSV carries the ranked rows plus the rung accounting section.
+    let csv = std::fs::read_to_string(&csv_path).unwrap();
+    assert!(csv.starts_with("rank,label,model"), "got: {csv}");
+    assert!(
+        csv.contains("rung,fidelity,expanded,evaluated"),
+        "rung csv rides along: {csv}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The search knobs are rejected without `--search halving`, unknown
+/// strategies fail, and `--search` refuses sharded mode.
+#[test]
+fn sweep_search_flag_validation() {
+    let base = ["sweep", "--models", "ResNet-50", "--batches", "4"];
+    let stderr_of = |extra: &[&str]| {
+        let out = daydream().args(base).args(extra).output().unwrap();
+        assert!(!out.status.success(), "should fail: {extra:?}");
+        String::from_utf8_lossy(&out.stderr).into_owned()
+    };
+    assert!(
+        stderr_of(&["--rungs", "3"]).contains("--rungs requires --search halving"),
+        "search knobs need the strategy flag"
+    );
+    assert!(
+        stderr_of(&["--search", "annealing"]).contains("unknown --search strategy"),
+        "unknown strategies are typos, not defaults"
+    );
+    assert!(
+        stderr_of(&[
+            "--search",
+            "halving",
+            "--run-dir",
+            "/tmp/x",
+            "--shards",
+            "2"
+        ])
+        .contains("--search does not combine with --run-dir"),
+        "sharded halving is planned per round, not via --run-dir"
+    );
+    assert!(
+        stderr_of(&["--search", "halving", "--keep-fraction", "0"])
+            .contains("invalid keep fraction"),
+        "config validation reaches the CLI"
+    );
+}
+
 #[test]
 fn sweep_rejects_unknown_model_with_nonzero_exit() {
     let out = daydream()

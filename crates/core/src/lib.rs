@@ -47,6 +47,7 @@ pub mod sim;
 pub mod task;
 pub mod transform;
 pub mod whatif;
+pub mod windowed;
 
 pub use compiled::{ApplyTrace, CompactId, CompiledGraph, ThreadId};
 pub use construct::{build_graph, ProfiledGraph};
@@ -60,9 +61,11 @@ pub use predict::{
 pub use replicate::{replicate_iterations, ReplicatedGraph};
 pub use report::{layer_report, LayerTimes};
 pub use sim::{
-    simulate, simulate_compiled, simulate_compiled_with, simulate_incremental,
-    simulate_incremental_with, simulate_reference, simulate_with, simulate_with_reference,
+    busy_time_bound, incremental_cone_fits, simulate, simulate_compiled, simulate_compiled_with,
+    simulate_incremental, simulate_incremental_with, simulate_reference, simulate_with,
+    simulate_with_reference, thread_busy_after, thread_busy_ns, try_simulate_incremental_with,
     Candidate, CompiledSim, EarliestStart, FallbackReason, FrontierOrder, IncrementalOptions,
     IncrementalOutcome, IncrementalStats, Rank, Schedule, Scheduler, SimResult,
 };
 pub use task::{CommChannel, CommPrimitive, ExecThread, LayerRef, Task, TaskKind};
+pub use windowed::{simulate_windowed, simulate_windowed_with, WindowedOptions, WindowedStats};

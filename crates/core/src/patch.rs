@@ -244,7 +244,7 @@ impl NetDelta {
     }
 
     /// The full task state of an *inserted* task (always materialized).
-    fn new_task(&self, id: TaskId) -> &Task {
+    pub(crate) fn new_task(&self, id: TaskId) -> &Task {
         self.merged
             .get(id.0)
             .and_then(|c| c.get())

@@ -36,7 +36,7 @@ use crate::graph::{DependencyGraph, GraphError, TaskId};
 use crate::patch::GraphPatch;
 use crate::task::ExecThread;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 /// Secondary dispatch key: breaks ties among candidates feasible at the
 /// same instant. Lower ranks dispatch first; ranks must be fixed per task
@@ -170,7 +170,7 @@ impl CompiledSim {
 /// whose dependency-induced start is still in the thread's future
 /// (ordered by that start, then rank).
 #[derive(Debug, Default)]
-struct ThreadFrontier {
+pub(crate) struct ThreadFrontier {
     pending: BinaryHeap<Reverse<(u64, Rank, u32)>>,
     ready: BinaryHeap<Reverse<(Rank, u32)>>,
 }
@@ -178,7 +178,7 @@ struct ThreadFrontier {
 impl ThreadFrontier {
     /// Migrates pending tasks overtaken by `progress` into the ready tier.
     #[inline]
-    fn refresh(&mut self, progress: u64) {
+    pub(crate) fn refresh(&mut self, progress: u64) {
         while let Some(&Reverse((t, rank, id))) = self.pending.peek() {
             if t > progress {
                 break;
@@ -191,7 +191,7 @@ impl ThreadFrontier {
     /// The thread's best candidate as `(feasible_start, rank, task)`.
     /// Call [`ThreadFrontier::refresh`] first.
     #[inline]
-    fn best(&self, progress: u64) -> Option<(u64, Rank, u32)> {
+    pub(crate) fn best(&self, progress: u64) -> Option<(u64, Rank, u32)> {
         if let Some(&Reverse((rank, id))) = self.ready.peek() {
             return Some((progress, rank, id));
         }
@@ -202,7 +202,7 @@ impl ThreadFrontier {
 
     /// Inserts a newly dispatchable task.
     #[inline]
-    fn push(&mut self, tentative: u64, rank: Rank, task: u32, progress: u64) {
+    pub(crate) fn push(&mut self, tentative: u64, rank: Rank, task: u32, progress: u64) {
         if tentative <= progress {
             self.ready.push(Reverse((rank, task)));
         } else {
@@ -212,7 +212,7 @@ impl ThreadFrontier {
 
     /// Removes the current best (after [`ThreadFrontier::refresh`]).
     #[inline]
-    fn pop_best(&mut self) {
+    pub(crate) fn pop_best(&mut self) {
         if self.ready.pop().is_none() {
             self.pending.pop();
         }
@@ -250,7 +250,7 @@ pub fn simulate_compiled_with<O: FrontierOrder>(
 /// dependency-induced start (`max` over predecessor finishes) — the
 /// readiness times [`Schedule::capture_with`] indexes for incremental
 /// cutoff computation.
-fn sim_compiled_core<O: FrontierOrder>(
+pub(crate) fn sim_compiled_core<O: FrontierOrder>(
     cg: &CompiledGraph,
     order: &O,
 ) -> Result<(CompiledSim, Vec<u64>), GraphError> {
@@ -310,12 +310,12 @@ fn sim_compiled_core<O: FrontierOrder>(
     ))
 }
 
-/// The frontier dispatch loop shared by the full and incremental
-/// simulators: drains the seeded heaps to completion, returning how many
-/// tasks were dispatched. Both entry points run *this* code, so the
-/// incremental path cannot drift from full-simulation semantics.
+/// The frontier dispatch loop shared by the full, incremental, and
+/// windowed simulators: drains the seeded heaps to completion, returning
+/// how many tasks were dispatched. All entry points run *this* code, so
+/// no derived path can drift from full-simulation semantics.
 #[allow(clippy::too_many_arguments)]
-fn dispatch_loop(
+pub(crate) fn dispatch_loop(
     cg: &CompiledGraph,
     ranks: &[Rank],
     tentative: &mut [u64],
@@ -717,36 +717,47 @@ pub fn simulate_incremental_with<O: FrontierOrder>(
     order: &O,
     opts: &IncrementalOptions,
 ) -> Result<IncrementalOutcome, GraphError> {
-    assert_eq!(
-        base.len(),
-        schedule.len(),
-        "schedule captured over a different base"
-    );
-    assert_eq!(
-        base.arena_len(),
-        patch.base_capacity(),
-        "patch recorded against a different base arena"
-    );
-    let n_new = patched.len();
-    let full = |reason: FallbackReason| -> Result<IncrementalOutcome, GraphError> {
-        let sim = simulate_compiled_with(patched, order)?;
-        Ok(IncrementalOutcome {
-            sim,
-            stats: IncrementalStats {
-                redispatched: n_new,
-                total: n_new,
-                cutoff_ns: None,
-                fallback: Some(reason),
-            },
-        })
-    };
-    if !order.incremental_safe() {
-        return full(FallbackReason::PolicyUnsafe);
+    match try_simulate_incremental_with(base, schedule, patched, patch, trace, order, opts)? {
+        Ok(outcome) => Ok(outcome),
+        Err(reason) => {
+            let n_new = patched.len();
+            let sim = simulate_compiled_with(patched, order)?;
+            Ok(IncrementalOutcome {
+                sim,
+                stats: IncrementalStats {
+                    redispatched: n_new,
+                    total: n_new,
+                    cutoff_ns: None,
+                    fallback: Some(reason),
+                },
+            })
+        }
     }
-    if trace.vacated_threads {
-        return full(FallbackReason::VacatedThreads);
-    }
+}
 
+/// The patch-influence cutoff and re-dispatch cone size over the base
+/// schedule, derived from the *unapplied* patch — base, delta, and
+/// schedule only. This is the whole decision surface of the incremental
+/// path's size threshold, so [`incremental_cone_fits`] can answer it
+/// without paying [`CompiledGraph::apply_traced`].
+struct ConeBound {
+    /// Earliest instant any patch effect can surface (`u64::MAX` when
+    /// the patch has no simulation-relevant effect).
+    cutoff: u64,
+    /// Index of the first base dispatch at or after `cutoff`.
+    cut_idx: usize,
+    /// Tasks the incremental path would re-dispatch.
+    cone: usize,
+    /// Live tasks of the patched graph (base − removed + inserted).
+    n_new: usize,
+}
+
+fn cone_bound<O: FrontierOrder>(
+    base: &CompiledGraph,
+    schedule: &Schedule,
+    patch: &GraphPatch,
+    order: &O,
+) -> ConeBound {
     let d = patch.delta();
     let base_cap = patch.base_capacity();
     let base_compact = |id: TaskId| -> usize {
@@ -812,11 +823,221 @@ pub fn simulate_incremental_with<O: FrontierOrder>(
         cutoff = cutoff.min(ready_lb.min(schedule.sim.start_ns[base_compact(id)]));
     }
 
+    let removed_live = d
+        .removed_ids()
+        .filter(|id| id.0 < base_cap && base.compact_of(*id).is_some())
+        .count();
+    let inserted_live = d.new_ids().iter().filter(|&&v| !d.is_removed(v)).count();
+    let n_new = base.len() - removed_live + inserted_live;
+    if cutoff == u64::MAX {
+        return ConeBound {
+            cutoff,
+            cut_idx: schedule.by_start.len(),
+            cone: 0,
+            n_new,
+        };
+    }
+
+    // --- Cone sizing. ---
+    let cut_idx = schedule.first_suffix(cutoff);
+    let cone = (schedule.by_start.len() - cut_idx) - removed_live + inserted_live;
+    ConeBound {
+        cutoff,
+        cut_idx,
+        cone,
+        n_new,
+    }
+}
+
+/// Decides — without paying [`CompiledGraph::apply_traced`] — whether
+/// the incremental cone of `patch` fits `opts.max_cone_fraction`. When
+/// it returns `false`, [`try_simulate_incremental_with`] on the applied
+/// graph would answer `Err(..)` with the same policy and options, so a
+/// caller that only wants a cheap ranking signal (the sweep search's
+/// low-fidelity rungs) can skip the apply entirely and fall back to
+/// [`busy_time_bound`]. A `true` answer is necessary but not sufficient:
+/// the applied patch can still fall back for vacated threads, which are
+/// only visible after the apply.
+pub fn incremental_cone_fits<O: FrontierOrder>(
+    base: &CompiledGraph,
+    schedule: &Schedule,
+    patch: &GraphPatch,
+    order: &O,
+    opts: &IncrementalOptions,
+) -> bool {
+    if !order.incremental_safe() {
+        return false;
+    }
+    let b = cone_bound(base, schedule, patch, order);
+    b.cutoff == u64::MAX || b.cone as f64 <= opts.max_cone_fraction * b.n_new as f64
+}
+
+/// Per-thread busy time (sum of [`CompiledGraph::cost_ns`]) of a
+/// compiled graph, indexed by interned `ThreadId`. The maximum entry is
+/// an O(V) optimistic stand-in for the makespan (a lower bound up to
+/// trailing per-task gaps) — what the sweep search's low-fidelity rungs
+/// use to rank patches whose cone busts the budget.
+pub fn thread_busy_ns(g: &CompiledGraph) -> Vec<u64> {
+    let mut busy = vec![0u64; g.thread_count()];
+    for i in 0..g.len() as u32 {
+        let c = CompactId(i);
+        busy[g.thread_of(c).0 as usize] += g.cost_ns(c);
+    }
+    busy
+}
+
+/// Max per-thread busy time of `base.apply(patch)` computed from the
+/// base's busy sums plus the patch delta — O(|patch|) with no patched
+/// graph materialized. `base_busy` must be [`thread_busy_ns`] of `base`
+/// (precompute it once per base; it is amortized over every patch).
+/// Equal to `thread_busy_ns(&base.apply(patch)).max()` by construction:
+/// retimes shift their thread's sum by the cost delta, thread moves and
+/// removals vacate their old slot, and insertions add their cost to the
+/// target thread (interned fresh when the base never ran on it).
+pub fn busy_time_bound(base: &CompiledGraph, base_busy: &[u64], patch: &GraphPatch) -> u64 {
+    let (busy, extra) = busy_after_patch(base, base_busy, patch);
+    busy.iter()
+        .chain(extra.values())
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .max(0) as u64
+}
+
+/// Per-thread busy times of `base.apply(patch)`, keyed by execution
+/// thread — the full vector behind [`busy_time_bound`], for callers that
+/// need the per-thread decomposition (the sweep search precomputes it
+/// once per DDP cluster to price DGC compression ratios analytically).
+/// Entries are clamped at zero like the bound's maximum.
+pub fn thread_busy_after(
+    base: &CompiledGraph,
+    base_busy: &[u64],
+    patch: &GraphPatch,
+) -> Vec<(ExecThread, u64)> {
+    let (busy, extra) = busy_after_patch(base, base_busy, patch);
+    busy.into_iter()
+        .enumerate()
+        .map(|(i, b)| (base.exec_thread(ThreadId(i as u32)), b))
+        .chain(extra)
+        .map(|(t, b)| (t, b.max(0) as u64))
+        .collect()
+}
+
+/// Shared delta accumulation: the base's per-`ThreadId` busy sums
+/// adjusted by the patch, plus sums for execution threads the base never
+/// interned (moves or inserts onto fresh threads).
+fn busy_after_patch(
+    base: &CompiledGraph,
+    base_busy: &[u64],
+    patch: &GraphPatch,
+) -> (Vec<i128>, HashMap<ExecThread, i128>) {
+    debug_assert_eq!(base_busy.len(), base.thread_count());
+    let d = patch.delta();
+    let base_cap = patch.base_capacity();
+    let mut busy: Vec<i128> = base_busy.iter().map(|&b| b as i128).collect();
+    // Threads that only exist in the patched graph (a move or an insert
+    // onto an execution thread the base never interned).
+    let mut extra: HashMap<ExecThread, i128> = HashMap::new();
+    let mut by_exec: Option<HashMap<ExecThread, usize>> = None;
+    macro_rules! add_exec {
+        ($t:expr, $cost:expr) => {{
+            let map = by_exec.get_or_insert_with(|| {
+                (0..base.thread_count())
+                    .map(|i| (base.exec_thread(ThreadId(i as u32)), i))
+                    .collect()
+            });
+            match map.get(&$t) {
+                Some(&i) => busy[i] += $cost,
+                None => *extra.entry($t).or_insert(0) += $cost,
+            }
+        }};
+    }
+    for &id in d.touched() {
+        if id.0 >= base_cap || d.is_removed(id) {
+            continue;
+        }
+        let Some(c) = base.compact_of(id) else {
+            continue;
+        };
+        let Some(s) = d.scalars(id) else { continue };
+        let old_cost = base.cost_ns(c);
+        let new_cost = s.duration_ns.unwrap_or(base.duration_ns(c))
+            + s.gap_ns.unwrap_or(old_cost - base.duration_ns(c));
+        match s.thread {
+            Some(t) => {
+                busy[base.thread_of(c).0 as usize] -= old_cost as i128;
+                add_exec!(t, new_cost as i128);
+            }
+            None => busy[base.thread_of(c).0 as usize] += new_cost as i128 - old_cost as i128,
+        }
+    }
+    for id in d.removed_ids() {
+        if id.0 < base_cap {
+            if let Some(c) = base.compact_of(id) {
+                busy[base.thread_of(c).0 as usize] -= base.cost_ns(c) as i128;
+            }
+        }
+    }
+    for &v in d.new_ids() {
+        if d.is_removed(v) {
+            continue;
+        }
+        let t = d.new_task(v);
+        add_exec!(t.thread, t.cost_ns() as i128);
+    }
+    (busy, extra)
+}
+
+/// The cone path of [`simulate_incremental_with`] *without* the full-sim
+/// fallback: the inner `Err` names why the cone cannot (or should not)
+/// run, leaving the caller free to substitute something cheaper than a
+/// full simulation — the multi-fidelity sweep search answers a too-large
+/// cone at a low rung with an O(|patch|) analytic estimate instead.
+#[allow(clippy::too_many_arguments)]
+pub fn try_simulate_incremental_with<O: FrontierOrder>(
+    base: &CompiledGraph,
+    schedule: &Schedule,
+    patched: &CompiledGraph,
+    patch: &GraphPatch,
+    trace: &ApplyTrace,
+    order: &O,
+    opts: &IncrementalOptions,
+) -> Result<Result<IncrementalOutcome, FallbackReason>, GraphError> {
+    assert_eq!(
+        base.len(),
+        schedule.len(),
+        "schedule captured over a different base"
+    );
+    assert_eq!(
+        base.arena_len(),
+        patch.base_capacity(),
+        "patch recorded against a different base arena"
+    );
+    let n_new = patched.len();
+    if !order.incremental_safe() {
+        return Ok(Err(FallbackReason::PolicyUnsafe));
+    }
+    if trace.vacated_threads {
+        return Ok(Err(FallbackReason::VacatedThreads));
+    }
+
+    let d = patch.delta();
+    let base_cap = patch.base_capacity();
+    let base_compact = |id: TaskId| -> usize {
+        base.compact_of(id)
+            .expect("patched task must be live in the base")
+            .0 as usize
+    };
+
+    let bound = cone_bound(base, schedule, patch, order);
+    debug_assert_eq!(bound.n_new, n_new, "delta-derived live count must match");
+    let cutoff = bound.cutoff;
+
     if cutoff == u64::MAX {
         // No simulation-relevant change (name/kind edits, priority edits
         // under a priority-blind policy): the base schedule is the answer.
         debug_assert_eq!(n_new, base.len());
-        return Ok(IncrementalOutcome {
+        return Ok(Ok(IncrementalOutcome {
             sim: schedule.sim.clone(),
             stats: IncrementalStats {
                 redispatched: 0,
@@ -824,20 +1045,14 @@ pub fn simulate_incremental_with<O: FrontierOrder>(
                 cutoff_ns: Some(cutoff),
                 fallback: None,
             },
-        });
+        }));
     }
 
-    // --- Cone sizing and threshold. ---
-    let cut_idx = schedule.first_suffix(cutoff);
+    let cut_idx = bound.cut_idx;
     let suffix = &schedule.by_start[cut_idx..];
-    let removed_live = d
-        .removed_ids()
-        .filter(|id| id.0 < base_cap && base.compact_of(*id).is_some())
-        .count();
-    let inserted_live = d.new_ids().iter().filter(|&&v| !d.is_removed(v)).count();
-    let cone = suffix.len() - removed_live + inserted_live;
+    let cone = bound.cone;
     if cone as f64 > opts.max_cone_fraction * n_new as f64 {
-        return full(FallbackReason::ConeTooLarge);
+        return Ok(Err(FallbackReason::ConeTooLarge));
     }
 
     // --- Replay the prefix verbatim. ---
@@ -957,7 +1172,7 @@ pub fn simulate_incremental_with<O: FrontierOrder>(
     if done != cone {
         return Err(GraphError::Cycle);
     }
-    Ok(IncrementalOutcome {
+    Ok(Ok(IncrementalOutcome {
         sim: CompiledSim {
             start_ns: start,
             wait_ns: wait,
@@ -970,7 +1185,7 @@ pub fn simulate_incremental_with<O: FrontierOrder>(
             cutoff_ns: Some(cutoff),
             fallback: None,
         },
-    })
+    }))
 }
 
 /// Earliest-dispatch lower bounds (and thread costs) for a patch's

@@ -13,8 +13,10 @@ use crate::construct::ProfiledGraph;
 use crate::graph::{GraphEdit, TaskId};
 use crate::task::TaskKind;
 
-/// Device-side startup latency assumed fixed per kernel, ns.
-const KERNEL_OVERHEAD_NS: u64 = 3_000;
+/// Device-side startup latency assumed fixed per kernel, ns. Public so
+/// analytic stand-ins (the sweep search's rung-0 surrogate) can split
+/// kernel time into the fixed and batch-scalable shares the same way.
+pub const KERNEL_OVERHEAD_NS: u64 = 3_000;
 
 /// The batch-size transformation over any graph edit target; the caller
 /// supplies the profiled batch size (graph views carry no metadata).

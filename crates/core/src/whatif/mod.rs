@@ -22,7 +22,7 @@ mod vdnn;
 
 pub use amp::{plan_amp, what_if_amp, COMPUTE_BOUND_GAIN, MEMORY_BOUND_GAIN};
 pub use bandwidth::{plan_bandwidth, what_if_bandwidth};
-pub use batch_size::{plan_batch_size, what_if_batch_size};
+pub use batch_size::{plan_batch_size, what_if_batch_size, KERNEL_OVERHEAD_NS};
 pub use blueconnect::{plan_blueconnect, what_if_blueconnect};
 pub use dgc::{plan_dgc, what_if_dgc, DgcConfig};
 pub use distributed::{plan_distributed, what_if_distributed};

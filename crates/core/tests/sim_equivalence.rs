@@ -10,8 +10,9 @@
 
 use daydream_core::whatif::P3Scheduler;
 use daydream_core::{
-    simulate, simulate_reference, simulate_with, CommChannel, DepKind, DependencyGraph, ExecThread,
-    Task, TaskKind,
+    simulate, simulate_compiled, simulate_reference, simulate_windowed_with, simulate_with,
+    CommChannel, CompiledGraph, DepKind, DependencyGraph, EarliestStart, ExecThread, Task,
+    TaskKind, WindowedOptions,
 };
 use daydream_trace::{CpuThreadId, DeviceId, StreamId};
 use proptest::prelude::*;
@@ -103,6 +104,28 @@ proptest! {
         let oracle = simulate_reference(&g).unwrap();
         prop_assert_eq!(&fast.start_ns, &oracle.start_ns);
         prop_assert_eq!(fast.makespan_ns, oracle.makespan_ns);
+    }
+
+    // The speculative windowed path must be byte-identical to the serial
+    // compiled simulator on arbitrary DAGs. Forced to engage on small
+    // graphs (`min_tasks: 0`); adversarial shapes (zero durations,
+    // cross-thread fan-in, removals) trigger both full certification and
+    // rollback re-dispatch across runs, so both commit paths are covered.
+    #[test]
+    fn windowed_simulator_matches_serial(
+        tasks in prop::collection::vec((0u64..5, 0u64..200, 0u64..30), 1..90),
+        edges in prop::collection::vec((0u64..10_000, 0u64..10_000), 0..250),
+        removals in prop::collection::vec(0u64..10_000, 0..12),
+        windows in 1usize..9,
+    ) {
+        let g = build(&tasks, &edges, &removals);
+        let cg = CompiledGraph::compile(&g);
+        let serial = simulate_compiled(&cg).expect("forward-edge graphs are DAGs");
+        let opts = WindowedOptions { windows, min_tasks: 0 };
+        let (win, stats) = simulate_windowed_with(&cg, &EarliestStart, &opts)
+            .expect("forward-edge graphs are DAGs");
+        prop_assert_eq!(&win, &serial);
+        prop_assert_eq!(stats.certified_tasks + stats.redispatched_tasks, cg.len());
     }
 }
 

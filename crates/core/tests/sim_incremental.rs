@@ -174,6 +174,58 @@ proptest! {
         );
     }
 
+    // The apply-free estimate surface of the sweep search's low-fidelity
+    // rungs: `busy_time_bound` over the base + delta must equal summing
+    // costs over the *applied* graph, and `incremental_cone_fits` must
+    // mirror the real path's size decision — a `false` answer implies
+    // the applied attempt refuses, a `true` answer implies it only ever
+    // refuses for vacated threads (invisible before the apply).
+    #[test]
+    fn apply_free_estimates_match_the_applied_graph(
+        tasks in prop::collection::vec((0u64..5, 0u64..200, 0u64..30), 1..60),
+        edges in prop::collection::vec((0u64..10_000, 0u64..10_000), 0..150),
+        ops in prop::collection::vec(
+            (0u64..10_000, 0u64..10_000, 0u64..10_000, 0u64..10_000), 0..40),
+        budget_pct in 0u64..101,
+    ) {
+        use daydream_core::{
+            busy_time_bound, incremental_cone_fits, thread_busy_ns,
+            try_simulate_incremental_with,
+        };
+        let g = build_dag(&tasks, &edges);
+        let mut p = PatchGraph::new(&g);
+        for &op in &ops {
+            apply_random_op(&mut p, op);
+        }
+        let patch = p.finish();
+        let base = CompiledGraph::compile(&g);
+        let (applied, trace) = base.apply_traced(&patch);
+
+        let base_busy = thread_busy_ns(&base);
+        let bound = busy_time_bound(&base, &base_busy, &patch);
+        let applied_busy = thread_busy_ns(&applied).into_iter().max().unwrap_or(0);
+        prop_assert_eq!(
+            bound, applied_busy,
+            "delta busy bound diverged from the applied graph's busy time"
+        );
+        // Not asserted against the makespan: a trailing `gap_ns` on a
+        // thread's last task occupies the thread but not the makespan,
+        // so the busy sum is a lower bound only up to trailing gaps.
+
+        let opts = IncrementalOptions { max_cone_fraction: budget_pct as f64 / 100.0 };
+        let schedule = Schedule::capture_with(&base, &EarliestStart).unwrap();
+        let fits = incremental_cone_fits(&base, &schedule, &patch, &EarliestStart, &opts);
+        let attempt =
+            try_simulate_incremental_with(&base, &schedule, &applied, &patch, &trace,
+                &EarliestStart, &opts)
+            .unwrap();
+        match attempt {
+            Ok(_) => prop_assert!(fits, "the attempt ran the cone but the precheck said no"),
+            Err(FallbackReason::VacatedThreads) => {} // invisible pre-apply, either answer is fine
+            Err(_) => prop_assert!(!fits, "the attempt refused on size but the precheck said fits"),
+        }
+    }
+
     // Composition: `prior.compose(base, refinement)` must equal applying
     // the two patches sequentially — structurally and under simulation.
     #[test]

@@ -1,0 +1,70 @@
+//! Windowed dispatch at scale: a 100k-task distributed-training unroll
+//! must simulate byte-identically to the serial path, with the
+//! speculative fast path fully certified (CI's "Search smoke" runs this
+//! in release mode). The falsifiability half — a corrupted speculation
+//! being caught and rolled back — is pinned by the `#[cfg(test)]` hook
+//! tests inside `daydream_core::windowed`.
+
+use daydream_core::{
+    simulate_compiled, simulate_windowed_with, CommChannel, CommPrimitive, CompiledGraph, DepKind,
+    DependencyGraph, EarliestStart, ExecThread, Task, TaskKind, WindowedOptions,
+};
+use daydream_trace::{CpuThreadId, DeviceId, StreamId};
+
+/// The `sim_scale` bench family: CPU launch chain, 4 GPU stream chains,
+/// one collective channel.
+fn synthetic_graph(n: usize) -> DependencyGraph {
+    let steps = n / 3;
+    let mut g = DependencyGraph::new();
+    g.reserve(steps * 3);
+    let cpu = ExecThread::Cpu(CpuThreadId(0));
+    let chan = ExecThread::Comm(CommChannel::Collective);
+    let mut prev_launch = None;
+    let mut prev_kernel = [None; 4];
+    for i in 0..steps {
+        let stream = (i % 4) as u32;
+        let launch = g.add_task(Task::new("cudaLaunchKernel", TaskKind::CpuWork, cpu, 4_000));
+        let kernel = g.add_task(Task::new(
+            "kernel",
+            TaskKind::GpuKernel,
+            ExecThread::Gpu(DeviceId(0), StreamId(stream)),
+            30_000,
+        ));
+        let comm = g.add_task(Task::new(
+            "allreduce_slice",
+            TaskKind::Communication {
+                prim: CommPrimitive::AllReduce,
+                bytes: 1 << 20,
+            },
+            chan,
+            45_000,
+        ));
+        if let Some(p) = prev_launch {
+            g.add_dep(p, launch, DepKind::CpuSeq);
+        }
+        if let Some(p) = prev_kernel[stream as usize] {
+            g.add_dep(p, kernel, DepKind::GpuSeq);
+        }
+        g.add_dep(launch, kernel, DepKind::Correlation);
+        g.add_dep(kernel, comm, DepKind::Comm);
+        prev_launch = Some(launch);
+        prev_kernel[stream as usize] = Some(kernel);
+    }
+    g
+}
+
+#[test]
+fn windowed_is_byte_identical_to_serial_at_100k() {
+    let cg = CompiledGraph::compile(&synthetic_graph(100_000));
+    let serial = simulate_compiled(&cg).unwrap();
+    let (win, stats) =
+        simulate_windowed_with(&cg, &EarliestStart, &WindowedOptions::default()).unwrap();
+    assert_eq!(win, serial, "windowed schedule must be byte-identical");
+    assert!(stats.engaged, "100k tasks must engage the windowed path");
+    assert_eq!(
+        stats.rollbacks, 0,
+        "replay-shaped unrolls must certify without rollback"
+    );
+    assert_eq!(stats.certified_tasks, cg.len());
+    assert!(stats.windows >= 4);
+}

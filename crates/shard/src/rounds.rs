@@ -1,0 +1,148 @@
+//! Round-based shard plans for the distributed successive-halving
+//! search.
+//!
+//! A halving search ([`daydream_sweep::run_search`]) evaluates a
+//! shrinking candidate set per rung. Distributing it keeps the same
+//! shape: **round r** shards the scenarios entering rung r across
+//! workers, the merged rung outcomes select the survivors, and the next
+//! round re-shards only those survivors. Because survivor sets are
+//! fingerprint-sorted (see [`daydream_sweep::RungStats::survivors`]) and
+//! [`ShardPlan::partition`] keys purely on fingerprints, every planner
+//! that sees the same search report derives byte-identical round plans —
+//! no coordinator needed, exactly like the flat sweep sharding.
+
+use crate::plan::ShardPlan;
+use daydream_sweep::{RungStats, Scenario};
+use std::collections::HashMap;
+
+/// Per-round shard plans mirroring a search's rung ladder: round 0
+/// covers the full candidate list, round `r >= 1` covers the survivors
+/// promoted out of rung `r - 1`. The last round is the exact-fidelity
+/// pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundPlan {
+    rounds: Vec<ShardPlan>,
+}
+
+impl RoundPlan {
+    /// Builds the round plans for `universe` (the search's full
+    /// candidate list) against the rung ladder of a finished or planned
+    /// search. Every survivor fingerprint must resolve to a scenario of
+    /// `universe`; unknown fingerprints are an error (the report and the
+    /// grid disagree — re-plan from the same grid).
+    pub fn from_search(
+        universe: &[Scenario],
+        rungs: &[RungStats],
+        shards: usize,
+    ) -> Result<RoundPlan, String> {
+        if rungs.is_empty() {
+            return Err("cannot build round plans from an empty rung ladder".into());
+        }
+        let by_fingerprint: HashMap<String, &Scenario> =
+            universe.iter().map(|s| (s.fingerprint_hex(), s)).collect();
+        let mut rounds = Vec::with_capacity(rungs.len());
+        // Round 0: everything the search would feed rung 0.
+        rounds.push(ShardPlan::partition(universe.to_vec(), shards)?);
+        // Round r: the survivors of rung r - 1.
+        for prior in &rungs[..rungs.len() - 1] {
+            let mut scenarios = Vec::with_capacity(prior.survivors.len());
+            for key in &prior.survivors {
+                let s = by_fingerprint.get(key).ok_or_else(|| {
+                    format!(
+                        "survivor {key} of rung {} is not in the planned grid: \
+                         the search report and the grid disagree",
+                        prior.rung
+                    )
+                })?;
+                scenarios.push((*s).clone());
+            }
+            rounds.push(ShardPlan::partition(scenarios, shards)?);
+        }
+        Ok(RoundPlan { rounds })
+    }
+
+    /// Number of rounds (== the search's rung count).
+    pub fn round_count(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// The shard plan of one round.
+    pub fn round(&self, index: usize) -> &ShardPlan {
+        &self.rounds[index]
+    }
+
+    /// Scenario counts per round — monotonically non-increasing after
+    /// round 0 for a pruning search.
+    pub fn round_sizes(&self) -> Vec<usize> {
+        self.rounds.iter().map(ShardPlan::scenario_count).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daydream_sweep::{run_search, SearchConfig, SweepEngine, SweepGrid};
+
+    fn searched() -> (Vec<Scenario>, Vec<RungStats>) {
+        let grid = SweepGrid::builder()
+            .models(["ResNet-50"])
+            .batches([4])
+            .opts(["baseline", "amp", "gist", "bandwidth", "batch-size"])
+            .bandwidth_factors([1.5, 2.0, 3.0])
+            .target_batches([8, 16])
+            .build();
+        let cfg = SearchConfig {
+            rungs: 3,
+            keep_fraction: 0.5,
+            ..SearchConfig::default()
+        };
+        let report = run_search(&SweepEngine::new(2), &grid, &cfg).unwrap();
+        (grid.expand().unwrap(), report.rungs)
+    }
+
+    #[test]
+    fn rounds_mirror_the_rung_ladder_and_shrink() {
+        let (universe, rungs) = searched();
+        let plan = RoundPlan::from_search(&universe, &rungs, 2).unwrap();
+        assert_eq!(plan.round_count(), rungs.len());
+        let sizes = plan.round_sizes();
+        assert_eq!(sizes[0], universe.len(), "round 0 covers the whole grid");
+        for w in sizes.windows(2) {
+            assert!(w[1] <= w[0], "pruning search rounds shrink: {sizes:?}");
+        }
+        assert!(
+            sizes[sizes.len() - 1] < sizes[0],
+            "a 0.5 keep fraction over 8 scenarios must prune something"
+        );
+        // Round r covers exactly rung r-1's survivors.
+        for (r, prior) in rungs[..rungs.len() - 1].iter().enumerate() {
+            let round = plan.round(r + 1);
+            let mut keys: Vec<String> = (0..round.shard_count())
+                .flat_map(|i| round.shard(i).iter().map(Scenario::fingerprint_hex))
+                .collect();
+            keys.sort();
+            let mut expected = prior.survivors.clone();
+            expected.sort();
+            assert_eq!(keys, expected);
+        }
+    }
+
+    #[test]
+    fn round_plans_are_deterministic() {
+        let (universe, rungs) = searched();
+        let a = RoundPlan::from_search(&universe, &rungs, 3).unwrap();
+        let mut reversed = universe.clone();
+        reversed.reverse();
+        let b = RoundPlan::from_search(&reversed, &rungs, 3).unwrap();
+        assert_eq!(a, b, "round plans key on fingerprints, not input order");
+    }
+
+    #[test]
+    fn unknown_survivors_are_rejected() {
+        let (universe, mut rungs) = searched();
+        rungs[0].survivors.push("deadbeefdeadbeef".into());
+        let err = RoundPlan::from_search(&universe, &rungs, 2).unwrap_err();
+        assert!(err.contains("not in the planned grid"), "got: {err}");
+        assert!(RoundPlan::from_search(&universe, &[], 2).is_err());
+    }
+}

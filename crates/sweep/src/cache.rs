@@ -159,6 +159,11 @@ pub struct PatchEval {
     /// `true` if the incremental cone path produced it, `false` for a
     /// full re-simulation.
     pub incremental: bool,
+    /// `true` if a low-fidelity rung answered with the analytic busy-time
+    /// estimate instead of simulating (never set at exact fidelity — the
+    /// patch key carries the fidelity tag, so rung entries cannot be
+    /// served to exact requests).
+    pub estimated: bool,
     /// Tasks the simulator re-dispatched to produce it.
     pub tasks_redispatched: u64,
 }
@@ -261,6 +266,7 @@ mod tests {
         let eval = PatchEval {
             predicted_ns: 1234,
             incremental: true,
+            estimated: false,
             tasks_redispatched: 42,
         };
         cache.insert(9, eval);

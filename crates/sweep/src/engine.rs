@@ -14,11 +14,13 @@ use daydream_core::whatif::{
     p3_insert_plan, p3_replicated_base, plan_amp, plan_bandwidth, plan_batch_size,
     plan_blueconnect, plan_dgc, plan_distributed, plan_fused_adam, plan_gist, plan_metaflow,
     plan_p3_inserts, plan_reconstruct_bn, plan_upgrade_gpu, plan_vdnn, DgcConfig, GistConfig,
-    P3Config, P3Scheduler, Substitution, VdnnConfig,
+    P3Config, P3Scheduler, Substitution, VdnnConfig, KERNEL_OVERHEAD_NS,
 };
 use daydream_core::{
-    simulate_compiled_with, simulate_incremental, CompiledGraph, GraphPatch, IncrementalStats,
-    PatchGraph, Prediction, ProfiledGraph, Schedule, TaskId, TaskKind,
+    busy_time_bound, incremental_cone_fits, simulate_compiled_with, simulate_incremental,
+    thread_busy_after, thread_busy_ns, try_simulate_incremental_with, CompactId, CompiledGraph,
+    EarliestStart, ExecThread, GraphPatch, IncrementalOptions, IncrementalStats, PatchGraph,
+    Prediction, ProfiledGraph, Schedule, TaskId, TaskKind,
 };
 use daydream_device::GpuSpec;
 use daydream_models::{
@@ -40,6 +42,42 @@ const P3_ITERATIONS: usize = 3;
 /// headroom for pathological shapes without masking real drift).
 pub const FIDELITY_TOLERANCE: f64 = 0.05;
 
+/// Evaluation fidelity of one `run_scenarios` pass.
+///
+/// `Exact` is the engine's normal mode: incremental cone re-simulation
+/// with the full-dispatch fallback, results eligible for the persistent
+/// [`SweepCache`]. `Rung` is the successive-halving search's low-fidelity
+/// mode: the cone budget is overridden, and a patch whose cone exceeds it
+/// is answered with an O(threads + tasks) analytic busy-time estimate
+/// instead of a full simulation — cheap, approximately ranked, never
+/// cached as a scenario result. The fidelity's tag is folded into the
+/// patch-cache key, so a rung-0 estimate can never be served where an
+/// exact prediction was requested.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fidelity {
+    /// Full-fidelity evaluation (default cone budget, full-sim fallback).
+    Exact,
+    /// Low-fidelity rung: cone re-simulation capped at `max_cone_fraction`
+    /// of the graph, analytic estimate past the cap.
+    Rung {
+        /// Cone budget as a fraction of the patched graph's tasks.
+        max_cone_fraction: f64,
+    },
+}
+
+impl Fidelity {
+    /// The cache-key tag distinguishing this fidelity's patch evaluations
+    /// (also the rung label in search reports).
+    pub fn tag(&self) -> String {
+        match self {
+            Fidelity::Exact => "exact".to_string(),
+            Fidelity::Rung { max_cone_fraction } => {
+                format!("cone{}", (max_cone_fraction * 1000.0).round() as u64)
+            }
+        }
+    }
+}
+
 /// The unrolled P3 base: replicated graph plus its compiled form, built
 /// lazily (only grids containing P3 scenarios pay for it) and shared
 /// across every P3 scenario of the profile.
@@ -56,6 +94,72 @@ struct P3Base {
 struct DdpPlan {
     patch: Arc<GraphPatch>,
     allreduces: Vec<TaskId>,
+    /// Ratio-independent DGC pricing aggregates over this cluster's DDP
+    /// patch, built lazily on the first rung-0 DGC surrogate.
+    dgc: OnceLock<DgcAgg>,
+}
+
+/// Per-thread duration-class sums of the base profile — the coefficients
+/// of the rung-0 *analytic surrogate*: for transform families that only
+/// rescale task durations by a per-class factor (bandwidth, batch-size),
+/// the patched graph's busy-time bound is a linear function of these
+/// sums, so a low-fidelity rung can rank a candidate in O(threads)
+/// without emitting (or hashing) its patch at all. Each task's cost
+/// lands in exactly one duration class plus `gap`, so per thread
+/// `gap + comm + memcpy + gpu_fixed + gpu_work + other` equals the
+/// baseline busy time.
+#[derive(Default, Clone, Copy)]
+struct ClassSums {
+    /// Inter-task gaps — no transform rescales these.
+    gap: u64,
+    /// Communication-task durations (bandwidth divides by its factor).
+    comm: u64,
+    /// GPU memcpy durations (batch-size scales the whole copy).
+    memcpy: u64,
+    /// The fixed per-kernel startup share, `min(KERNEL_OVERHEAD_NS, d)`,
+    /// of GPU kernels — batch-size holds this constant.
+    gpu_fixed: u64,
+    /// GPU kernel time above the startup overhead — batch-size scales it.
+    gpu_work: u64,
+    /// Everything else (CPU launch work) — per-kernel, not per-sample.
+    other: u64,
+}
+
+/// Per-cluster aggregates pricing `dgc[ratio]` analytically: DGC scales
+/// each allreduce transfer to `ratio` of its duration and adds fixed
+/// compress/decompress kernels, so over the cached DDP patch's busy
+/// vector the estimate is linear in `ratio` — O(threads) per candidate
+/// against an O(|DDP patch|) build paid once per cluster shape.
+struct DgcAgg {
+    /// Per-thread busy times of `base.apply(ddp_patch)`.
+    busy: Vec<(ExecThread, u64)>,
+    /// Σ inserted allreduce durations per `busy` entry.
+    ar: Vec<u64>,
+    /// `busy` index of the GPU thread `plan_dgc` puts its kernels on.
+    gpu_idx: Option<usize>,
+    /// Σ compress+decompress kernel time over all allreduces — DGC adds
+    /// it whole regardless of ratio.
+    gpu_extra: u64,
+}
+
+impl DgcAgg {
+    fn estimate(&self, ratio: f64) -> u64 {
+        self.busy
+            .iter()
+            .zip(&self.ar)
+            .enumerate()
+            .map(|(i, ((_, busy), &ar))| {
+                let scaled = (ar as f64 * ratio).round() as u64;
+                let extra = if Some(i) == self.gpu_idx {
+                    self.gpu_extra
+                } else {
+                    0
+                };
+                busy.saturating_sub(ar) + scaled + extra
+            })
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// A profiled (model, batch) base shared immutably (via `Arc`) across
@@ -74,11 +178,92 @@ struct BaseProfile {
     fidelity_rel_err: f64,
     compiled: CompiledGraph,
     schedule: Schedule,
+    /// Per-thread busy sums of the base ([`thread_busy_ns`]), computed
+    /// lazily on the first low-fidelity estimate: the O(|patch|) busy
+    /// delta of [`busy_time_bound`] amortizes against it.
+    busy: OnceLock<Vec<u64>>,
+    /// Per-thread duration-class sums behind the rung-0 analytic
+    /// surrogate, computed lazily on its first use.
+    classes: OnceLock<Vec<ClassSums>>,
     p3: OnceLock<P3Base>,
     ddp: Mutex<HashMap<(u32, u32, u64), Arc<DdpPlan>>>,
 }
 
 impl BaseProfile {
+    fn busy_ns(&self) -> &[u64] {
+        self.busy.get_or_init(|| thread_busy_ns(&self.compiled))
+    }
+
+    /// Duration-class sums per execution thread (order is incidental —
+    /// the surrogates only take a maximum over threads).
+    fn class_sums(&self) -> &[ClassSums] {
+        self.classes.get_or_init(|| {
+            let mut by_thread: HashMap<ExecThread, ClassSums> = HashMap::new();
+            for (_, t) in self.graph.graph.iter() {
+                let s = by_thread.entry(t.thread).or_default();
+                s.gap += t.gap_ns;
+                let d = t.duration_ns;
+                if matches!(t.kind, TaskKind::Communication { .. }) {
+                    s.comm += d;
+                } else if t.is_on_gpu() {
+                    if matches!(t.kind, TaskKind::GpuMemcpy { .. }) {
+                        s.memcpy += d;
+                    } else {
+                        let fixed = KERNEL_OVERHEAD_NS.min(d);
+                        s.gpu_fixed += fixed;
+                        s.gpu_work += d - fixed;
+                    }
+                } else {
+                    s.other += d;
+                }
+            }
+            by_thread.into_values().collect()
+        })
+    }
+
+    /// DGC pricing aggregates for one cluster shape (built once per
+    /// cluster on top of the cached DDP plan).
+    fn dgc_agg(&self, cluster: &ClusterConfig) -> Arc<DdpPlan> {
+        let plan = self.ddp_plan(cluster);
+        plan.dgc.get_or_init(|| {
+            let busy = thread_busy_after(&self.compiled, self.busy_ns(), &plan.patch);
+            let idx: HashMap<ExecThread, usize> =
+                busy.iter().enumerate().map(|(i, &(t, _))| (t, i)).collect();
+            let mut ar = vec![0u64; busy.len()];
+            let cfg = DgcConfig::default();
+            let mut gpu_extra = 0u64;
+            let ars: HashSet<TaskId> = plan.allreduces.iter().copied().collect();
+            for (id, t) in plan.patch.inserted_tasks() {
+                if !ars.contains(&id) {
+                    continue;
+                }
+                if let TaskKind::Communication { bytes, .. } = t.kind {
+                    if let Some(&i) = idx.get(&t.thread) {
+                        ar[i] += t.duration_ns;
+                    }
+                    let mb = (bytes >> 20).max(1);
+                    gpu_extra += (cfg.compress_ns_per_mb + cfg.decompress_ns_per_mb) * mb;
+                }
+            }
+            // plan_dgc puts its kernels on the first live GPU task's
+            // thread — over the layered overlay that is the base
+            // graph's first GPU task.
+            let gpu_idx = self
+                .graph
+                .graph
+                .iter()
+                .find(|(_, t)| t.kind.is_gpu())
+                .and_then(|(_, t)| idx.get(&t.thread).copied());
+            DgcAgg {
+                busy,
+                ar,
+                gpu_idx,
+                gpu_extra,
+            }
+        });
+        plan
+    }
+
     fn p3_base(&self) -> &P3Base {
         self.p3.get_or_init(|| {
             let rep = p3_replicated_base(&self.graph, P3_ITERATIONS);
@@ -103,6 +288,7 @@ impl BaseProfile {
         let plan = Arc::new(DdpPlan {
             patch: Arc::new(ov.finish()),
             allreduces,
+            dgc: OnceLock::new(),
         });
         self.ddp.lock().unwrap().entry(key).or_insert(plan).clone()
     }
@@ -131,6 +317,9 @@ pub struct RunStats {
     pub fidelity_failures: usize,
     /// Largest |sim − recorded| / recorded across this run's profiles.
     pub fidelity_worst_rel_err: f64,
+    /// Evaluations answered by the analytic busy-time estimate this run
+    /// (low-fidelity rungs only; always 0 at exact fidelity).
+    pub estimate_sims: usize,
     /// Work-stealing counters of the scenario evaluation phase.
     pub executor: ExecutorStats,
 }
@@ -141,6 +330,7 @@ pub struct RunStats {
 struct SimCounters {
     incremental: AtomicUsize,
     full: AtomicUsize,
+    estimates: AtomicUsize,
     redispatched: AtomicU64,
 }
 
@@ -159,6 +349,10 @@ impl SimCounters {
         self.full.fetch_add(1, Ordering::Relaxed);
         self.redispatched
             .fetch_add(dispatched as u64, Ordering::Relaxed);
+    }
+
+    fn record_estimate(&self) {
+        self.estimates.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -226,13 +420,43 @@ impl SweepEngine {
     /// [`SweepEngine::run`]; outcome values are independent of thread
     /// count and of how scenarios are split across calls.
     pub fn run_scenarios(&self, scenarios: Vec<Scenario>) -> Result<Vec<ScenarioOutcome>, String> {
+        self.run_scenarios_inner(scenarios, Fidelity::Exact, true)
+    }
+
+    /// Evaluates a scenario list at a *low-fidelity rung*: the cone
+    /// budget is overridden with `max_cone_fraction`, patches whose cone
+    /// exceeds it are answered with the analytic busy-time estimate, and
+    /// the persistent result cache is bypassed entirely — rung outcomes
+    /// are ranking signals for the successive-halving search, never
+    /// scenario results. Rung patch evaluations are cached under
+    /// fidelity-tagged keys, so they cannot leak into exact runs.
+    pub fn run_scenarios_rung(
+        &self,
+        scenarios: Vec<Scenario>,
+        max_cone_fraction: f64,
+    ) -> Result<Vec<ScenarioOutcome>, String> {
+        self.run_scenarios_inner(scenarios, Fidelity::Rung { max_cone_fraction }, false)
+    }
+
+    fn run_scenarios_inner(
+        &self,
+        scenarios: Vec<Scenario>,
+        fidelity: Fidelity,
+        use_result_cache: bool,
+    ) -> Result<Vec<ScenarioOutcome>, String> {
         // Phase 0: answer what we can from the result cache, so fully
         // cached scenarios cost neither evaluation nor base profiling
         // (a cross-process `--cache-file` rerun builds no profiles).
+        // Rung runs skip it: their outcomes are low-fidelity and must
+        // neither read nor pollute the exact-result store.
         let mut outcomes: Vec<Option<ScenarioOutcome>> = Vec::with_capacity(scenarios.len());
         let mut misses: Vec<(usize, Scenario)> = Vec::new();
         for (i, scenario) in scenarios.into_iter().enumerate() {
-            let hit = self.cache.lookup(scenario.fingerprint());
+            let hit = if use_result_cache {
+                self.cache.lookup(scenario.fingerprint())
+            } else {
+                None
+            };
             if hit.is_none() {
                 misses.push((i, scenario));
             }
@@ -293,8 +517,10 @@ impl SweepEngine {
                 let base = bases
                     .get(&(scenario.model.clone(), scenario.batch))
                     .expect("phase 1 built every base");
-                let outcome = evaluate(&scenario, base, &self.patches, &counters)?;
-                self.cache.insert(scenario.fingerprint(), &outcome);
+                let outcome = evaluate(&scenario, base, &self.patches, &counters, fidelity)?;
+                if use_result_cache {
+                    self.cache.insert(scenario.fingerprint(), &outcome);
+                }
                 Ok((i, outcome))
             });
         for result in evaluated {
@@ -315,6 +541,7 @@ impl SweepEngine {
             fidelity_checks: profiles_built,
             fidelity_failures,
             fidelity_worst_rel_err,
+            estimate_sims: counters.estimates.load(Ordering::Relaxed),
             executor: exec_stats,
         };
         Ok(outcomes)
@@ -350,6 +577,8 @@ fn build_profile(model_name: &str, batch: u64) -> Result<BaseProfile, String> {
         fidelity_rel_err,
         compiled,
         schedule,
+        busy: OnceLock::new(),
+        classes: OnceLock::new(),
         p3: OnceLock::new(),
         ddp: Mutex::new(HashMap::new()),
     })
@@ -452,16 +681,119 @@ fn emit_patch(opt: &OptSpec, base: &BaseProfile) -> Result<Arc<GraphPatch>, Stri
     Ok(Arc::new(ov.finish()))
 }
 
-/// Patch-cache key: the base identity plus the patch content hash (and a
-/// policy tag, since P3 simulates under a different frontier order).
-fn patch_key(scenario: &Scenario, policy: &str, patch_fingerprint: u64) -> u64 {
+/// Patch-cache key: the base identity plus the patch content hash, a
+/// policy tag (P3 simulates under a different frontier order), and the
+/// fidelity tag — a rung-0 cone-capped prediction and a full-fidelity
+/// result for the same patch are *different values* and must never
+/// answer each other's lookups.
+fn patch_key(scenario: &Scenario, policy: &str, patch_fingerprint: u64, fidelity: Fidelity) -> u64 {
     fnv1a64(
         format!(
-            "{}|{}|{policy}|{patch_fingerprint:016x}",
-            scenario.model, scenario.batch
+            "{}|{}|{policy}|{}|{patch_fingerprint:016x}",
+            scenario.model,
+            scenario.batch,
+            fidelity.tag()
         )
         .as_bytes(),
     )
+}
+
+/// The low-fidelity stand-in for a simulation whose cone exceeds the
+/// rung's budget: the patched graph's maximum per-thread busy time
+/// (Σ `cost_ns` over each thread's tasks). A lower bound on the
+/// makespan, not a prediction — global transforms rescale exactly these
+/// costs, so it ranks rung candidates in O(tasks) without dispatching
+/// anything. Exact-fidelity evaluation never uses it.
+fn busy_time_estimate(applied: &CompiledGraph) -> u64 {
+    let mut busy = vec![0u64; applied.thread_count()];
+    for i in 0..applied.len() {
+        let c = CompactId(i as u32);
+        busy[applied.thread_of(c).0 as usize] += applied.cost_ns(c);
+    }
+    busy.into_iter().max().unwrap_or(0)
+}
+
+/// What the rung-0 analytic surrogate knows about a candidate without
+/// emitting its patch.
+enum Surrogate {
+    /// The transform is a no-op on this base (its patch would be empty),
+    /// so the *exact* answer is the baseline itself. Classed with the
+    /// exactly-known outcomes, never with the estimates — an estimate
+    /// label here would flood the estimate survivor class with baseline
+    /// duplicates and crowd out real contenders.
+    Noop,
+    /// Analytic busy-bound estimate — a ranking signal, not a makespan.
+    Estimate(u64),
+}
+
+/// The rung-0 analytic surrogate: for transform families whose effect on
+/// the busy-time bound is a per-duration-class rescale — bandwidth
+/// (communication ÷ factor), batch-size (GPU work × batch ratio above
+/// the fixed kernel overhead), DGC (allreduce × ratio plus fixed
+/// compress/decompress kernels) — the estimate comes straight from
+/// precomputed per-thread class sums in O(threads), with *no patch
+/// emitted or hashed*. At 10³+-scenario grids these families dominate
+/// the candidate set, and patch emission is most of a low-rung eval.
+///
+/// Tracks [`busy_time_bound`] of the family's emitted patch up to
+/// per-task-vs-per-sum rounding (pinned by a unit test); like that
+/// bound it ranks candidates, it does not predict makespans. `None`
+/// means the family has no surrogate and the rung falls back to the
+/// patch path.
+fn surrogate_estimate(opt: &OptSpec, base: &BaseProfile) -> Option<Surrogate> {
+    match opt {
+        OptSpec::Bandwidth { factor } => {
+            let sums = base.class_sums();
+            // A single-GPU profile has no communication tasks (and
+            // factor 1 rescales nothing): the patch would be empty.
+            if *factor == 1.0 || sums.iter().all(|s| s.comm == 0) {
+                return Some(Surrogate::Noop);
+            }
+            Some(Surrogate::Estimate(
+                sums.iter()
+                    .map(|s| {
+                        let fixed = s.gap + s.memcpy + s.gpu_fixed + s.gpu_work + s.other;
+                        fixed + (s.comm as f64 / factor).round() as u64
+                    })
+                    .max()
+                    .unwrap_or(0),
+            ))
+        }
+        OptSpec::BatchSize { batch } => {
+            let profile_batch = base.graph.meta.batch_size as u64;
+            if *batch == profile_batch {
+                return Some(Surrogate::Noop);
+            }
+            let factor = *batch as f64 / profile_batch as f64;
+            Some(Surrogate::Estimate(
+                base.class_sums()
+                    .iter()
+                    .map(|s| {
+                        let fixed = s.gap + s.comm + s.other + s.gpu_fixed;
+                        let scalable = (s.gpu_work + s.memcpy) as f64;
+                        fixed + (scalable * factor).round() as u64
+                    })
+                    .max()
+                    .unwrap_or(0),
+            ))
+        }
+        OptSpec::Dgc {
+            machines,
+            gpus_per_machine,
+            bw_gbps,
+            ratio,
+        } => {
+            let cluster = ClusterConfig::new(*machines, *gpus_per_machine, *bw_gbps);
+            let plan = base.dgc_agg(&cluster);
+            Some(Surrogate::Estimate(
+                plan.dgc
+                    .get()
+                    .expect("dgc_agg initializes it")
+                    .estimate(*ratio),
+            ))
+        }
+        _ => None,
+    }
 }
 
 /// Σ stashed-activation bytes of the given layers at a batch size.
@@ -525,7 +857,9 @@ fn p3_prediction(
     let mut ov = PatchGraph::new(&p3b.rep.graph);
     plan_p3_inserts(&mut ov, &inserts);
     let patch = ov.finish();
-    let key = patch_key(scenario, "p3", patch.fingerprint());
+    // P3 is never evaluated at a reduced rung (the steady-state analysis
+    // has no cheap stand-in), so its key is always exact-fidelity.
+    let key = patch_key(scenario, "p3", patch.fingerprint(), Fidelity::Exact);
     if let Some(eval) = patches.get(key) {
         return eval;
     }
@@ -537,6 +871,7 @@ fn p3_prediction(
     let eval = PatchEval {
         predicted_ns: p3b.rep.steady_iteration_ns(&sim),
         incremental: false,
+        estimated: false,
         tasks_redispatched: applied.len() as u64,
     };
     patches.insert(key, eval);
@@ -552,6 +887,7 @@ fn evaluate(
     base: &BaseProfile,
     patches: &PatchCache,
     counters: &SimCounters,
+    fidelity: Fidelity,
 ) -> Result<ScenarioOutcome, String> {
     let pg = &base.graph;
     let model = &base.model;
@@ -570,18 +906,82 @@ fn evaluate(
     // the base schedule (full simulation only when the cone is too
     // large), short-circuited by the patch-fingerprint cache.
     let run_patch = |patch: &GraphPatch| -> PatchEval {
-        let key = patch_key(scenario, "default", patch.fingerprint());
+        let key = patch_key(scenario, "default", patch.fingerprint(), fidelity);
         if let Some(eval) = patches.get(key) {
             return eval;
         }
-        let (applied, trace) = base.compiled.apply_traced(patch);
-        let outcome = simulate_incremental(&base.compiled, &base.schedule, &applied, patch, &trace)
-            .expect("patched graph must stay a DAG");
-        counters.record(&outcome.stats);
-        let eval = PatchEval {
-            predicted_ns: outcome.sim.makespan_ns,
-            incremental: outcome.stats.is_incremental(),
-            tasks_redispatched: outcome.stats.redispatched as u64,
+        let eval = match fidelity {
+            Fidelity::Exact => {
+                let (applied, trace) = base.compiled.apply_traced(patch);
+                let outcome =
+                    simulate_incremental(&base.compiled, &base.schedule, &applied, patch, &trace)
+                        .expect("patched graph must stay a DAG");
+                counters.record(&outcome.stats);
+                PatchEval {
+                    predicted_ns: outcome.sim.makespan_ns,
+                    incremental: outcome.stats.is_incremental(),
+                    estimated: false,
+                    tasks_redispatched: outcome.stats.redispatched as u64,
+                }
+            }
+            Fidelity::Rung { max_cone_fraction } => {
+                let opts = IncrementalOptions { max_cone_fraction };
+                // Decide the cone budget from the *unapplied* patch: an
+                // over-budget patch answers with the O(|patch|) busy
+                // delta and never materializes the patched graph — at a
+                // low rung the apply itself is most of a full eval.
+                if !incremental_cone_fits(
+                    &base.compiled,
+                    &base.schedule,
+                    patch,
+                    &EarliestStart,
+                    &opts,
+                ) {
+                    counters.record_estimate();
+                    let eval = PatchEval {
+                        predicted_ns: busy_time_bound(&base.compiled, base.busy_ns(), patch),
+                        incremental: false,
+                        estimated: true,
+                        tasks_redispatched: 0,
+                    };
+                    patches.insert(key, eval);
+                    return eval;
+                }
+                let (applied, trace) = base.compiled.apply_traced(patch);
+                let attempt = try_simulate_incremental_with(
+                    &base.compiled,
+                    &base.schedule,
+                    &applied,
+                    patch,
+                    &trace,
+                    &EarliestStart,
+                    &opts,
+                )
+                .expect("patched graph must stay a DAG");
+                match attempt {
+                    Ok(outcome) => {
+                        counters.record(&outcome.stats);
+                        PatchEval {
+                            predicted_ns: outcome.sim.makespan_ns,
+                            incremental: outcome.stats.is_incremental(),
+                            estimated: false,
+                            tasks_redispatched: outcome.stats.redispatched as u64,
+                        }
+                    }
+                    // Vacated threads — only visible after the apply;
+                    // the busy bound over the applied graph equals the
+                    // delta form, so the estimate is path-independent.
+                    Err(_) => {
+                        counters.record_estimate();
+                        PatchEval {
+                            predicted_ns: busy_time_estimate(&applied),
+                            incremental: false,
+                            estimated: true,
+                            tasks_redispatched: 0,
+                        }
+                    }
+                }
+            }
         };
         patches.insert(key, eval);
         eval
@@ -621,6 +1021,52 @@ fn evaluate(
             }
         }
         opt => {
+            // Low-fidelity rungs rank scalable families (bandwidth,
+            // batch-size, DGC) through the analytic surrogate — no
+            // patch is emitted, hashed, or cached. These families'
+            // memory/comm objectives never derive from the patch
+            // either, so the outcome is complete without one.
+            if matches!(fidelity, Fidelity::Rung { .. }) {
+                if let Some(sur) = surrogate_estimate(opt, base) {
+                    let (est_ns, path) = match sur {
+                        // Exactly known: an empty patch replays the base
+                        // schedule unchanged. No estimate, no sim.
+                        Surrogate::Noop => (base.baseline_ns, "baseline"),
+                        Surrogate::Estimate(ns) => {
+                            counters.record_estimate();
+                            (ns, "estimate")
+                        }
+                    };
+                    match opt {
+                        OptSpec::BatchSize { batch } => {
+                            memory_bytes = footprint(model, *batch).total();
+                        }
+                        OptSpec::Dgc { ratio, .. } => {
+                            comm_bytes = (grad_bytes as f64 * ratio).ceil() as u64;
+                        }
+                        _ => {}
+                    }
+                    let prediction = Prediction {
+                        baseline_ns: base.baseline_ns,
+                        predicted_ns: est_ns,
+                    };
+                    return Ok(ScenarioOutcome {
+                        key: scenario.fingerprint_hex(),
+                        label: scenario.label(),
+                        model: scenario.model.clone(),
+                        batch: scenario.batch,
+                        opt: scenario.opt.label(),
+                        baseline_ns: prediction.baseline_ns,
+                        predicted_ns: prediction.predicted_ns,
+                        speedup: prediction.speedup(),
+                        memory_bytes,
+                        comm_bytes,
+                        sim_path: path.to_string(),
+                        tasks_redispatched: 0,
+                        cached: false,
+                    });
+                }
+            }
             let patch = emit_patch(opt, base)?;
             match opt {
                 OptSpec::Amp => {
@@ -683,7 +1129,9 @@ fn evaluate(
                 _ => {}
             }
             let eval = run_patch(&patch);
-            sim_path = if eval.incremental {
+            sim_path = if eval.estimated {
+                "estimate"
+            } else if eval.incremental {
                 "incremental"
             } else {
                 "full"
@@ -794,6 +1242,53 @@ mod tests {
             .batches([4])
             .opts(["baseline", "amp", "gist"])
             .build()
+    }
+
+    #[test]
+    fn rung_surrogates_track_the_patch_busy_bound() {
+        // The analytic surrogate must mirror what the emitted patch's
+        // busy-time bound would have said — it replaces that bound at
+        // rung 0, so any planner change that breaks the mirror (new
+        // duration classes, different DGC kernel costs) must fail here,
+        // not silently skew the search's pruning.
+        let base = build_profile("ResNet-50", 4).unwrap();
+        let families = [
+            OptSpec::BatchSize { batch: 16 },
+            OptSpec::BatchSize { batch: 2 },
+            OptSpec::Dgc {
+                machines: 2,
+                gpus_per_machine: 1,
+                bw_gbps: 10.0,
+                ratio: 0.01,
+            },
+            OptSpec::Dgc {
+                machines: 4,
+                gpus_per_machine: 1,
+                bw_gbps: 25.0,
+                ratio: 0.25,
+            },
+        ];
+        for opt in families {
+            let Some(Surrogate::Estimate(sur)) = surrogate_estimate(&opt, &base) else {
+                panic!("{opt:?} must have an estimate surrogate");
+            };
+            let patch = emit_patch(&opt, &base).unwrap();
+            let bound = busy_time_bound(&base.compiled, base.busy_ns(), &patch);
+            // Per-task vs per-sum rounding differ by well under 0.1%.
+            let rel = (sur as f64 - bound as f64).abs() / bound.max(1) as f64;
+            assert!(
+                rel < 1e-3,
+                "{opt:?}: surrogate {sur} vs patch bound {bound} (rel {rel:.6})"
+            );
+        }
+        // Bandwidth over a single-GPU profile rescales nothing: the
+        // surrogate knows the patch is empty and answers exactly.
+        assert!(matches!(
+            surrogate_estimate(&OptSpec::Bandwidth { factor: 2.0 }, &base),
+            Some(Surrogate::Noop)
+        ));
+        // Families without a surrogate fall through to the patch path.
+        assert!(surrogate_estimate(&OptSpec::Amp, &base).is_none());
     }
 
     #[test]
@@ -927,7 +1422,7 @@ mod tests {
         let counters = SimCounters::default();
         for opt in scenarios {
             let scenario = Scenario::new("ResNet-50", 4, opt.clone());
-            let outcome = evaluate(&scenario, &base, &patches, &counters).unwrap();
+            let outcome = evaluate(&scenario, &base, &patches, &counters, Fidelity::Exact).unwrap();
             let legacy = predict_from_baseline(base.baseline_ns, &base.graph, |g| {
                 let cluster = |m: u32, gm: u32, bw: f64| ClusterConfig::new(m, gm, bw);
                 match &opt {
@@ -1039,6 +1534,7 @@ mod tests {
             &base,
             &PatchCache::new(),
             &SimCounters::default(),
+            Fidelity::Exact,
         )
         .unwrap();
         let patch = emit_patch(&scenario.opt, &base).unwrap();
@@ -1046,6 +1542,51 @@ mod tests {
         assert!(offloaded > 0, "vDNN must offload something");
         let fp = footprint(&base.model, 4);
         assert_eq!(outcome.memory_bytes, fp.total().saturating_sub(offloaded));
+    }
+
+    #[test]
+    fn rung_patch_cache_entries_never_serve_exact_requests() {
+        // Satellite of the fidelity-keyed patch cache: a low-fidelity
+        // rung-0 prediction (tiny cone budget forces the analytic
+        // estimate) must never answer a full-fidelity lookup for the
+        // same patch — the fidelity tag in the key separates them.
+        let engine = SweepEngine::new(1);
+        let s = Scenario::new("ResNet-50", 4, OptSpec::Amp);
+        let rung = engine.run_scenarios_rung(vec![s.clone()], 0.01).unwrap();
+        assert_eq!(rung[0].sim_path, "estimate", "1% cone budget must trip");
+        assert_eq!(engine.last_stats().estimate_sims, 1);
+        let exact = engine.run_scenarios(vec![s.clone()]).unwrap();
+        assert_eq!(
+            engine.last_stats().patch_hits,
+            0,
+            "the exact run must not be served the rung-keyed estimate"
+        );
+        assert_ne!(exact[0].sim_path, "estimate", "exact runs never estimate");
+        // The exact prediction matches a never-rung engine's bit for bit.
+        let fresh = SweepEngine::new(1).run_scenarios(vec![s]).unwrap();
+        assert_eq!(exact[0].predicted_ns, fresh[0].predicted_ns);
+        assert_ne!(
+            rung[0].predicted_ns, exact[0].predicted_ns,
+            "the busy-time bound is not the simulated makespan"
+        );
+    }
+
+    #[test]
+    fn rung_runs_bypass_the_result_cache() {
+        // A rung evaluation must neither read nor write the persistent
+        // scenario-result cache: its outcomes are ranking signals only.
+        let engine = SweepEngine::new(1);
+        let s = Scenario::new("ResNet-50", 4, OptSpec::Amp);
+        engine.run_scenarios(vec![s.clone()]).unwrap();
+        let exact_hits = engine.cache().hits();
+        let rung = engine.run_scenarios_rung(vec![s.clone()], 0.01).unwrap();
+        assert_eq!(
+            engine.cache().hits(),
+            exact_hits,
+            "rung run must not read the exact-result cache"
+        );
+        assert!(!rung[0].cached);
+        assert_eq!(rung[0].sim_path, "estimate");
     }
 
     #[test]

@@ -45,10 +45,15 @@ pub mod executor;
 pub mod grid;
 pub mod report;
 pub mod scenario;
+pub mod search;
 
 pub use cache::{PatchCache, SweepCache};
-pub use engine::{explain_scenario, RunStats, SweepEngine, FIDELITY_TOLERANCE};
+pub use engine::{explain_scenario, Fidelity, RunStats, SweepEngine, FIDELITY_TOLERANCE};
 pub use executor::{parallel_map, ExecutorStats};
 pub use grid::{SweepGrid, SweepGridBuilder};
 pub use report::{AxisBest, ScenarioOutcome, SweepReport};
 pub use scenario::{OptSpec, Scenario};
+pub use search::{
+    near_miss_warnings, run_search, search_scenarios, PromotionRecord, RungStats, SearchConfig,
+    SearchReport,
+};
