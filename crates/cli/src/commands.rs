@@ -12,8 +12,9 @@ use daydream_core::{layer_report, predict, simulate, ProfiledGraph};
 use daydream_device::GpuSpec;
 use daydream_models::{footprint, max_batch, zoo, Model, Optimizer};
 use daydream_runtime::{ground_truth, ExecConfig};
+use daydream_serve::{http_request, ServeConfig, Server};
 use daydream_shard::{
-    diff_runs, merge_run, merged_cache, process_shard, run_worker, write_merged, RunDir,
+    diff_runs, merge_run, merged_cache, process_shard, run_worker, write_merged, RunDir, RunStore,
     ShardDisposition, ShardPlan, WorkerConfig,
 };
 use daydream_sweep::{explain_scenario, run_search, SearchConfig, SweepEngine, SweepGrid};
@@ -1034,6 +1035,108 @@ pub fn cmd_sweep_diff(args: &Args) -> Result<(), String> {
             diff.a_id,
             diff.b_id
         ));
+    }
+    Ok(())
+}
+
+/// `daydream serve` — run the resident sweep-as-a-service daemon.
+pub fn cmd_serve(args: &Args) -> Result<(), String> {
+    reject_unknown(
+        args,
+        "serve",
+        &["addr", "threads", "store", "max-requests", "timeout-secs"],
+        0,
+    )?;
+    let threads = args.num(
+        "threads",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2),
+    )?;
+    let config = ServeConfig {
+        addr: args.opt("addr", "127.0.0.1:8484"),
+        threads,
+        store_root: args.opt_maybe("store").map(std::path::PathBuf::from),
+        max_requests: args.num("max-requests", 0u64)?,
+        timeout_secs: args.num("timeout-secs", 0u64)?,
+        limits: Default::default(),
+    };
+    let server = Server::bind(config)?;
+    // Spawners (tests, scripts) parse the port from this line, so it
+    // must hit the pipe before the accept loop starts.
+    println!("daydream serve listening on {}", server.local_addr()?);
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    let summary = server.run()?;
+    println!(
+        "daydream serve stopped ({}) after {} request(s), {} job(s)",
+        summary.stop_reason, summary.requests, summary.jobs_submitted
+    );
+    Ok(())
+}
+
+/// `daydream query <path>` — one-shot client for a running daemon.
+/// A `--body` implies POST; the response body prints verbatim, and a
+/// non-2xx status is a nonzero exit.
+pub fn cmd_query(args: &Args) -> Result<(), String> {
+    reject_unknown(args, "query", &["addr", "body", "method"], 1)?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: daydream query <path> [--addr HOST:PORT] [--body JSON]")?;
+    if !path.starts_with('/') {
+        return Err(format!("query path '{path}' must start with /"));
+    }
+    let addr = args.opt("addr", "127.0.0.1:8484");
+    let body = args.opt("body", "");
+    let default_method = if body.is_empty() { "GET" } else { "POST" };
+    let method = args.opt("method", default_method).to_uppercase();
+    let resp = http_request(&addr, &method, path, &body)?;
+    println!("{}", resp.body);
+    if resp.is_ok() {
+        Ok(())
+    } else {
+        Err(format!("{method} {path} answered {}", resp.status))
+    }
+}
+
+/// `daydream sweep-history` — the best scenarios ever recorded across a
+/// run store's history (the offline twin of the daemon's
+/// `GET /history/best`; both are [`RunStore::best_for`]).
+pub fn cmd_sweep_history(args: &Args) -> Result<(), String> {
+    reject_unknown(args, "sweep-history", &["store", "model", "top", "out"], 0)?;
+    let store = RunStore::open(args.opt("store", "."))?;
+    let model = args.opt_maybe("model");
+    let top: usize = args.num("top", 10)?;
+    let entries = store.best_for(model, top)?;
+    if entries.is_empty() {
+        println!(
+            "no stored outcomes{} under {}/runs",
+            model
+                .map(|m| format!(" for model '{m}'"))
+                .unwrap_or_default(),
+            store.path().display()
+        );
+        return Ok(());
+    }
+    println!(
+        "{:<4} {:<44} {:>12} {:>9} {:>9}",
+        "rank", "scenario", "predicted", "speedup", "run"
+    );
+    for (i, e) in entries.iter().enumerate() {
+        println!(
+            "{:<4} {:<44} {:>9.2} ms {:>8.2}x {:>9}",
+            i + 1,
+            e.label,
+            e.predicted_ns as f64 / 1e6,
+            e.speedup,
+            e.run_id
+        );
+    }
+    if let Some(path) = args.opt_maybe("out") {
+        let json = serde_json::to_string_pretty(&entries).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
     }
     Ok(())
 }

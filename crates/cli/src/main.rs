@@ -10,6 +10,9 @@
 //! daydream sweep-worker --run-dir D            drain a sharded run's shards
 //! daydream sweep-merge  --run-dir D            merge shard results into a report
 //! daydream sweep-diff   <A> <B>                compare two runs' predictions
+//! daydream sweep-history [--model M]           best scenarios across stored runs
+//! daydream serve [--addr A] [--store D]        resident sweep-as-a-service daemon
+//! daydream query <path> [--body JSON]          one-shot client for the daemon
 //! daydream trace-diff   <sim> <truth>          attribute sim-vs-truth timing error
 //! daydream trace-verify [--dir goldens]        gate fidelity against golden traces
 //! daydream golden-gen   [--dir goldens]        (re)record the golden corpus
@@ -37,6 +40,11 @@ COMMANDS:
     sweep-worker --run-dir D       claim and evaluate shards until a run drains
     sweep-merge  --run-dir D       merge shard results into the ranked report
     sweep-diff   <A> <B>           diff two runs' predicted times (regressions)
+    sweep-history                  best scenarios ever recorded across a run
+                                   store's history, fastest first
+    serve                          resident sweep-as-a-service HTTP daemon over
+                                   one warm engine (what-ifs in microseconds)
+    query <path>                   one-shot HTTP client for a running daemon
     trace-diff   <sim> <truth>     align a simulated trace against a recording
                                    and rank the per-op prediction error
     trace-verify                   replay prediction against the golden corpus
@@ -100,6 +108,22 @@ SWEEP OPTIONS (comma-separated lists expand into grid axes):
                        (with --search halving, also prints the scenario's
                        rung-by-rung promotion history)
 
+SERVE / QUERY / HISTORY OPTIONS:
+    serve accepts:  --addr HOST:PORT   bind address        (default 127.0.0.1:8484;
+                                       port 0 picks a free port, printed on startup)
+                    --threads N        engine worker threads (default all cores)
+                    --store DIR        persist completed jobs under DIR/runs and
+                                       serve GET /history/best from them
+                    --max-requests N   stop after N requests        (default unlimited)
+                    --timeout-secs S   stop after S seconds         (default unlimited)
+        endpoints:  GET  /healthz /metrics /models /history/best?model=X&top=N
+                    GET  /jobs/<id>  /jobs/<id>/results?top=N
+                    POST /whatif /sweep /shutdown      (JSON bodies)
+    query accepts:  --addr HOST:PORT (default 127.0.0.1:8484), --body JSON
+                    (implies POST), --method GET|POST; prints the response body
+    sweep-history accepts: --store DIR (default .), --model M, --top N
+                    (default 10), --out F.json
+
 ADAPTIVE SEARCH OPTIONS (multi-fidelity successive halving):
     --search halving   prune the grid over low-fidelity rungs instead of
                        evaluating every scenario at full fidelity
@@ -135,6 +159,10 @@ EXAMPLES:
     daydream sweep-worker --run-dir /shared/run1       # on each of 4 machines
     daydream sweep-merge --run-dir /shared/run1 --out ranked.json
     daydream sweep-diff /shared/run1 /shared/run2 --fail-on-regression
+    daydream serve --addr 127.0.0.1:8484 --store /shared/history
+    daydream query /whatif --body '{\"model\": \"ResNet-50\", \"opt\": \"amp\"}'
+    daydream query '/history/best?model=ResNet-50&top=5'
+    daydream sweep-history --store /shared/history --model ResNet-50
 ";
 
 fn main() {
@@ -161,6 +189,9 @@ fn main() {
         "sweep-worker" => commands::cmd_sweep_worker(&parsed),
         "sweep-merge" => commands::cmd_sweep_merge(&parsed),
         "sweep-diff" => commands::cmd_sweep_diff(&parsed),
+        "sweep-history" => commands::cmd_sweep_history(&parsed),
+        "serve" => commands::cmd_serve(&parsed),
+        "query" => commands::cmd_query(&parsed),
         "trace-diff" => commands::cmd_trace_diff(&parsed),
         "trace-verify" => commands::cmd_trace_verify(&parsed),
         "golden-gen" => commands::cmd_golden_gen(&parsed),

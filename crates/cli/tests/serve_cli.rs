@@ -1,0 +1,189 @@
+//! End-to-end test of `daydream serve` / `daydream query` /
+//! `daydream sweep-history`: spawns the real daemon binary, drives it
+//! with the real client binary, and asserts the served sweep report is
+//! byte-identical to the offline `daydream sweep` of the same grid.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn daydream() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_daydream"))
+}
+
+/// Starts the daemon on a free port, returning the child, the address
+/// parsed from its startup line, and the still-open stdout reader
+/// (dropping it would close the pipe and break the daemon's final
+/// status print).
+fn spawn_daemon(extra: &[&str]) -> (Child, String, BufReader<std::process::ChildStdout>) {
+    let mut child = daydream()
+        .args(["serve", "--addr", "127.0.0.1:0", "--threads", "2"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("startup line");
+    let addr = line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("address on startup line")
+        .to_string();
+    assert!(
+        line.contains("listening"),
+        "unexpected startup line: {line}"
+    );
+    (child, addr, reader)
+}
+
+/// Runs `daydream query` against the daemon, returning (exit ok, stdout).
+fn query(addr: &str, path: &str, body: Option<&str>) -> (bool, String) {
+    let mut cmd = daydream();
+    cmd.args(["query", path, "--addr", addr]);
+    if let Some(b) = body {
+        cmd.args(["--body", b]);
+    }
+    let out = cmd.output().expect("query runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+fn wait_job_done(addr: &str, job: &str) {
+    for _ in 0..600 {
+        let (ok, body) = query(addr, &format!("/jobs/{job}"), None);
+        assert!(ok, "job status query failed: {body}");
+        if body.contains("\"state\":\"done\"") {
+            return;
+        }
+        assert!(!body.contains("\"state\":\"failed\""), "job failed: {body}");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    panic!("job {job} did not finish");
+}
+
+#[test]
+fn served_sweep_report_is_byte_identical_to_offline() {
+    let dir = std::env::temp_dir().join(format!("daydream-serve-cli-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("store");
+    let offline_path = dir.join("offline.json");
+
+    let (mut child, addr, _stdout) = spawn_daemon(&["--store", store.to_str().unwrap()]);
+
+    // Liveness through the real client binary.
+    let (ok, health) = query(&addr, "/healthz", None);
+    assert!(ok && health.contains("\"status\":\"ok\""), "got: {health}");
+
+    // Submit a grid to the daemon...
+    let grid_body = r#"{"models": ["ResNet-50", "BERT_Base"], "batches": [4],
+                        "opts": ["amp", "gist", "bandwidth"]}"#;
+    let (ok, submitted) = query(&addr, "/sweep", Some(grid_body));
+    assert!(ok && submitted.contains("\"job_id\":1"), "got: {submitted}");
+    wait_job_done(&addr, "1");
+    let (ok, served) = query(&addr, "/jobs/1/results", None);
+    assert!(ok, "results query failed: {served}");
+
+    // ...and sweep the same grid offline with the stock CLI.
+    let out = daydream()
+        .args([
+            "sweep",
+            "--models",
+            "ResNet-50,BERT_Base",
+            "--batches",
+            "4",
+            "--opts",
+            "amp,gist,bandwidth",
+            "--threads",
+            "2",
+            "--out",
+            offline_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("offline sweep runs");
+    assert!(
+        out.status.success(),
+        "offline sweep failed: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let offline = std::fs::read_to_string(&offline_path).unwrap();
+
+    // The daemon's report for the same grid must be byte-identical to
+    // the offline one — warm caches, streaming, and persistence must
+    // never change what a sweep *means*.
+    assert_eq!(
+        served.trim_end(),
+        offline.trim_end(),
+        "served and offline reports diverge"
+    );
+
+    // The job persisted as run-0001, and history queries see it — over
+    // HTTP and through the offline `sweep-history` twin.
+    let (ok, best) = query(&addr, "/history/best?model=ResNet-50&top=3", None);
+    assert!(ok, "history query failed: {best}");
+    assert!(best.contains("\"run_id\":\"run-0001\""), "got: {best}");
+
+    let hist = daydream()
+        .args([
+            "sweep-history",
+            "--store",
+            store.to_str().unwrap(),
+            "--model",
+            "ResNet-50",
+        ])
+        .output()
+        .expect("sweep-history runs");
+    let hist_out = String::from_utf8_lossy(&hist.stdout);
+    assert!(hist.status.success(), "sweep-history failed: {hist_out}");
+    assert!(hist_out.contains("run-0001"), "got: {hist_out}");
+    assert!(hist_out.contains("ResNet-50"), "got: {hist_out}");
+
+    // Garbage on the wire gets a typed error and doesn't kill the
+    // daemon; a clean shutdown does.
+    let mut raw = TcpStream::connect(&addr).unwrap();
+    raw.write_all(b"GET /metrics HTTP/2.0\r\n\r\n").unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut wire = Vec::new();
+    raw.read_to_end(&mut wire).ok();
+    assert!(
+        String::from_utf8_lossy(&wire).contains(" 505 "),
+        "got: {}",
+        String::from_utf8_lossy(&wire)
+    );
+    let (ok, _) = query(&addr, "/healthz", None);
+    assert!(ok, "daemon must survive a malformed client");
+
+    let (ok, _) = query(&addr, "/shutdown", Some("{}"));
+    assert!(ok);
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit status: {status}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn query_reports_errors_with_nonzero_exit() {
+    let (mut child, addr, _stdout) = spawn_daemon(&["--max-requests", "3"]);
+
+    // A 400 from the daemon is a nonzero exit from the client, with the
+    // error JSON still printed.
+    let (ok, body) = query(&addr, "/whatif", Some(r#"{"model": "AlexNet"}"#));
+    assert!(!ok, "bad model must fail the client");
+    assert!(body.contains("unknown model"), "got: {body}");
+    let (ok, body) = query(&addr, "/nope", None);
+    assert!(!ok);
+    assert!(body.contains("error"), "got: {body}");
+
+    // Third request exhausts --max-requests and the daemon stops on its
+    // own — the lifetime bound the CI smoke test relies on.
+    let (ok, _) = query(&addr, "/healthz", None);
+    assert!(ok);
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit status: {status}");
+}

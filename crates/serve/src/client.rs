@@ -1,0 +1,124 @@
+//! A minimal blocking HTTP/1.1 client for the daemon's API — used by
+//! `daydream query`, the e2e tests, and the latency bench. One request
+//! per connection (`Connection: close`), so response framing is just
+//! "read to EOF".
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed response: status code plus body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HttpResponse {
+    /// Numeric status code from the status line.
+    pub status: u16,
+    /// Response body (the daemon always sends JSON).
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// True for 2xx statuses.
+    pub fn is_ok(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// Sends one request to `addr` and reads the full response. `body` is
+/// sent as `application/json` when non-empty.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<HttpResponse, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .map_err(|e| e.to_string())?;
+    request_over(stream, method, path, body)
+}
+
+fn request_over(
+    mut stream: TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<HttpResponse, String> {
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: daydream\r\nConnection: close\r\n");
+    if !body.is_empty() {
+        head.push_str(&format!(
+            "Content-Type: application/json\r\nContent-Length: {}\r\n",
+            body.len()
+        ));
+    }
+    head.push_str("\r\n");
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|_| stream.write_all(body.as_bytes()))
+        .map_err(|e| format!("send request: {e}"))?;
+
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read response: {e}"))?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> Result<HttpResponse, String> {
+    let text = String::from_utf8_lossy(raw);
+    let (head, response_body) = text
+        .split_once("\r\n\r\n")
+        .ok_or("response missing header terminator")?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("malformed status line '{status_line}'"))?;
+    // Connection: close framing — the body is everything after the
+    // headers, but honor Content-Length if the server sent one and the
+    // stream carried trailing bytes.
+    let declared = head.lines().skip(1).find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            value.trim().parse::<usize>().ok()
+        } else {
+            None
+        }
+    });
+    let body = match declared {
+        Some(n) if n <= response_body.len() => response_body[..n].to_string(),
+        _ => response_body.to_string(),
+    };
+    Ok(HttpResponse { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response_with_content_length() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "{}");
+        assert!(resp.is_ok());
+    }
+
+    #[test]
+    fn parses_an_error_response_without_content_length() {
+        let raw = b"HTTP/1.1 404 Not Found\r\n\r\n{\"error\":\"no\"}";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 404);
+        assert_eq!(resp.body, "{\"error\":\"no\"}");
+        assert!(!resp.is_ok());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+}

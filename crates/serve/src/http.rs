@@ -1,0 +1,498 @@
+//! A minimal, defensive HTTP/1.1 request parser and response writer.
+//!
+//! Scope: exactly what the daemon needs. Methods GET/POST, bodies
+//! declared by `Content-Length`, keep-alive with pipelining, CRLF line
+//! endings. Everything a hostile or broken client can send maps to a
+//! typed [`HttpError`] with an RFC-appropriate status code — the parser
+//! never panics and never over-buffers past its [`Limits`].
+//!
+//! The parser is *incremental*: feed it bytes as they arrive off the
+//! socket (possibly one at a time), and it yields a [`Request`] only
+//! once the head and the declared body are fully buffered. Leftover
+//! bytes stay queued, so pipelined requests parse one per call.
+
+use std::collections::VecDeque;
+
+/// Buffering bounds the parser enforces before a request is accepted.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes of the head (request line + headers). Exceeding it
+    /// is `431 Request Header Fields Too Large`.
+    pub max_head_bytes: usize,
+    /// Maximum declared `Content-Length`. Exceeding it is
+    /// `413 Content Too Large` — the body is never buffered.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// A typed protocol error: the status code to answer with and a
+/// human-readable message for the JSON error body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// HTTP status code (4xx/5xx).
+    pub status: u16,
+    /// What was wrong, client-safe.
+    pub message: String,
+}
+
+impl HttpError {
+    /// A `400 Bad Request` with `message`.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        HttpError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    /// Any status with `message`.
+    pub fn new(status: u16, message: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method verb, uppercase (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the target, without the query string.
+    pub path: String,
+    /// Query parameters in target order (`k=v` pairs; bare keys get an
+    /// empty value). No percent-decoding — the API's vocabulary (model
+    /// names, numbers) never needs it.
+    pub query: Vec<(String, String)>,
+    /// Headers with lowercased names, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of query parameter `key`, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to drop the connection after this
+    /// request (`Connection: close`, case-insensitive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false)
+    }
+}
+
+/// Incremental request parser over a byte queue. One parser per
+/// connection; [`RequestParser::feed`] bytes in, [`RequestParser::next_request`]
+/// requests out.
+#[derive(Debug)]
+pub struct RequestParser {
+    buf: VecDeque<u8>,
+    limits: Limits,
+}
+
+impl RequestParser {
+    /// A parser enforcing `limits`.
+    pub fn new(limits: Limits) -> Self {
+        RequestParser {
+            buf: VecDeque::new(),
+            limits,
+        }
+    }
+
+    /// Queues bytes read off the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend(bytes.iter().copied());
+    }
+
+    /// Whether any unconsumed bytes are buffered (a partially received
+    /// request at timeout, or pipelined data).
+    pub fn has_buffered(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Parses the next complete request out of the buffer.
+    ///
+    /// `Ok(None)` means "need more bytes". An `Err` is fatal for the
+    /// connection: the caller should answer with the error's status and
+    /// close (the buffer state is unspecified after an error).
+    pub fn next_request(&mut self) -> Result<Option<Request>, HttpError> {
+        // The head ends at the first CRLFCRLF.
+        let Some(head_end) = find_subsequence(&self.buf, b"\r\n\r\n") else {
+            if self.buf.len() > self.limits.max_head_bytes {
+                return Err(HttpError::new(
+                    431,
+                    format!("request head exceeds {} bytes", self.limits.max_head_bytes),
+                ));
+            }
+            return Ok(None);
+        };
+        if head_end > self.limits.max_head_bytes {
+            return Err(HttpError::new(
+                431,
+                format!("request head exceeds {} bytes", self.limits.max_head_bytes),
+            ));
+        }
+
+        let head: Vec<u8> = self.buf.iter().take(head_end).copied().collect();
+        let head = String::from_utf8(head)
+            .map_err(|_| HttpError::bad_request("request head is not valid UTF-8"))?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or_default();
+        let (method, path, query) = parse_request_line(request_line)?;
+
+        let mut headers: Vec<(String, String)> = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(HttpError::bad_request(format!(
+                    "malformed header line '{}'",
+                    truncate_for_message(line)
+                )));
+            };
+            if name.is_empty() || name.contains(' ') || name.contains('\t') {
+                return Err(HttpError::bad_request(format!(
+                    "malformed header name '{}'",
+                    truncate_for_message(name)
+                )));
+            }
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+            return Err(HttpError::new(
+                501,
+                "transfer-encoding is not supported; send Content-Length",
+            ));
+        }
+        let mut content_length = 0usize;
+        let mut seen_length: Option<&str> = None;
+        for (k, v) in &headers {
+            if k == "content-length" {
+                if let Some(prev) = seen_length {
+                    if prev != v {
+                        return Err(HttpError::bad_request("conflicting Content-Length headers"));
+                    }
+                }
+                seen_length = Some(v);
+                content_length = v
+                    .parse()
+                    .map_err(|_| HttpError::bad_request(format!("invalid Content-Length '{v}'")))?;
+            }
+        }
+        if content_length > self.limits.max_body_bytes {
+            return Err(HttpError::new(
+                413,
+                format!(
+                    "declared body of {content_length} bytes exceeds the {} byte limit",
+                    self.limits.max_body_bytes
+                ),
+            ));
+        }
+
+        let total = head_end + 4 + content_length;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        // Consume head + separator, then take the body.
+        self.buf.drain(..head_end + 4);
+        let body: Vec<u8> = self.buf.drain(..content_length).collect();
+        Ok(Some(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+        }))
+    }
+}
+
+/// `(method, path, query pairs)` from a parsed request line.
+type RequestLine = (String, String, Vec<(String, String)>);
+
+/// Splits `METHOD SP target SP HTTP/1.x` and the target's query string.
+fn parse_request_line(line: &str) -> Result<RequestLine, HttpError> {
+    let mut parts = line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::bad_request(format!(
+            "malformed request line '{}'",
+            truncate_for_message(line)
+        )));
+    };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::bad_request(format!(
+            "malformed method '{}'",
+            truncate_for_message(method)
+        )));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::new(
+            505,
+            format!(
+                "unsupported protocol version '{}'",
+                truncate_for_message(version)
+            ),
+        ));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::bad_request(format!(
+            "request target '{}' must be origin-form (start with /)",
+            truncate_for_message(target)
+        )));
+    }
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect();
+    Ok((method.to_string(), path.to_string(), query))
+}
+
+/// Clips attacker-controlled text quoted back in error messages.
+fn truncate_for_message(s: &str) -> String {
+    const MAX: usize = 64;
+    if s.len() <= MAX {
+        s.to_string()
+    } else {
+        let cut = (0..=MAX)
+            .rev()
+            .find(|&i| s.is_char_boundary(i))
+            .unwrap_or(0);
+        format!("{}...", &s[..cut])
+    }
+}
+
+/// The standard reason phrase for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Content Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes one response with `Content-Length` (and `Connection:
+/// close` when `close`), ready to write to the socket in one call.
+pub fn response_bytes(status: u16, content_type: &str, body: &[u8], close: bool) -> Vec<u8> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len()
+    );
+    if close {
+        head.push_str("Connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Finds `needle` in the queued bytes, returning its start offset.
+fn find_subsequence(haystack: &VecDeque<u8>, needle: &[u8]) -> Option<usize> {
+    if haystack.len() < needle.len() {
+        return None;
+    }
+    // VecDeque is not contiguous; scan via indexing (heads are small —
+    // bounded by max_head_bytes — so O(n·m) with m=4 is fine).
+    'outer: for start in 0..=(haystack.len() - needle.len()) {
+        for (j, &nb) in needle.iter().enumerate() {
+            if haystack[start + j] != nb {
+                continue 'outer;
+            }
+        }
+        return Some(start);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parser() -> RequestParser {
+        RequestParser::new(Limits::default())
+    }
+
+    #[test]
+    fn parses_a_complete_get() {
+        let mut p = parser();
+        p.feed(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        let req = p.next_request().unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.query.is_empty());
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+        // Nothing buffered, nothing more to parse.
+        assert!(p.next_request().unwrap().is_none());
+        assert!(!p.has_buffered());
+    }
+
+    #[test]
+    fn partial_reads_across_tcp_segments_one_byte_at_a_time() {
+        let wire = b"POST /whatif HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+        let mut p = parser();
+        for (i, b) in wire.iter().enumerate() {
+            assert!(
+                p.next_request().unwrap().is_none(),
+                "no request before byte {i}"
+            );
+            p.feed(&[*b]);
+        }
+        let req = p.next_request().unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_order() {
+        let mut p = parser();
+        p.feed(b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /c?x=1&y HTTP/1.1\r\n\r\n");
+        let a = p.next_request().unwrap().unwrap();
+        let b = p.next_request().unwrap().unwrap();
+        let c = p.next_request().unwrap().unwrap();
+        assert_eq!((a.method.as_str(), a.path.as_str()), ("GET", "/a"));
+        assert_eq!((b.method.as_str(), b.body.as_slice()), ("POST", &b"hi"[..]));
+        assert_eq!(c.path, "/c");
+        assert_eq!(c.query_param("x"), Some("1"));
+        assert_eq!(c.query_param("y"), Some(""));
+        assert!(p.next_request().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_head_is_431_even_without_terminator() {
+        let mut p = RequestParser::new(Limits {
+            max_head_bytes: 64,
+            max_body_bytes: 1024,
+        });
+        p.feed(&[b'A'; 65]);
+        let err = p.next_request().unwrap_err();
+        assert_eq!(err.status, 431);
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413_without_buffering_it() {
+        let mut p = RequestParser::new(Limits {
+            max_head_bytes: 1024,
+            max_body_bytes: 8,
+        });
+        p.feed(b"POST /whatif HTTP/1.1\r\nContent-Length: 9\r\n\r\n");
+        let err = p.next_request().unwrap_err();
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn malformed_inputs_get_rfc_codes() {
+        let cases: &[(&[u8], u16)] = &[
+            (b"NOT-HTTP\r\n\r\n", 400),        // one-token request line
+            (b"get /x HTTP/1.1\r\n\r\n", 400), // lowercase method
+            (b"GET /x HTTP/2.0\r\n\r\n", 505), // wrong version
+            (b"GET x HTTP/1.1\r\n\r\n", 400),  // not origin-form
+            (b"GET /x HTTP/1.1\r\nBad Header: v\r\n\r\n", 400), // space in name
+            (b"GET /x HTTP/1.1\r\nNoColon\r\n\r\n", 400), // no colon
+            (b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400), // bad length
+            (
+                b"POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n",
+                400,
+            ),
+            (
+                b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                501,
+            ),
+            (b"\xff\xfe garbage\r\n\r\n", 400), // not UTF-8
+        ];
+        for (wire, want) in cases {
+            let mut p = parser();
+            p.feed(wire);
+            let err = p
+                .next_request()
+                .expect_err(&format!("{:?} must fail", String::from_utf8_lossy(wire)));
+            assert_eq!(err.status, *want, "for {:?}", String::from_utf8_lossy(wire));
+        }
+    }
+
+    #[test]
+    fn equal_duplicate_content_lengths_are_tolerated() {
+        let mut p = parser();
+        p.feed(b"POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok");
+        let req = p.next_request().unwrap().unwrap();
+        assert_eq!(req.body, b"ok");
+    }
+
+    #[test]
+    fn connection_close_is_case_insensitive() {
+        let mut p = parser();
+        p.feed(b"GET /x HTTP/1.1\r\nConnection: Close\r\n\r\n");
+        assert!(p.next_request().unwrap().unwrap().wants_close());
+    }
+
+    #[test]
+    fn response_bytes_carry_length_and_close() {
+        let out = response_bytes(200, "application/json", b"{}", false);
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"), "got: {s}");
+        assert!(s.contains("Content-Length: 2\r\n"));
+        assert!(!s.contains("Connection: close"));
+        assert!(s.ends_with("\r\n\r\n{}"));
+
+        let closed =
+            String::from_utf8(response_bytes(400, "application/json", b"x", true)).unwrap();
+        assert!(closed.contains("Connection: close\r\n"));
+        assert!(closed.contains("400 Bad Request"));
+    }
+
+    #[test]
+    fn error_messages_clip_attacker_controlled_text() {
+        let mut p = parser();
+        let long = format!("GET /{} HTTP-XX/9\r\n\r\n", "a".repeat(500));
+        p.feed(long.as_bytes());
+        let err = p.next_request().unwrap_err();
+        assert!(err.message.len() < 200, "clipped: {}", err.message);
+    }
+}

@@ -1,0 +1,379 @@
+//! The async job queue: grid submissions drain onto the shared warm
+//! engine on a background worker, with per-job status, streaming ranked
+//! partial results, and [`RunStore`] persistence of completed jobs.
+
+use daydream_shard::{merge_run, write_merged, RunStore, ShardPlan};
+use daydream_sweep::report::ScenarioOutcome;
+use daydream_sweep::{Scenario, SweepEngine, SweepReport};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Lifecycle of one submitted job.
+#[derive(Debug, Clone, PartialEq)]
+enum JobPhase {
+    Queued,
+    Running,
+    Done {
+        run_id: Option<String>,
+        note: Option<String>,
+    },
+    Failed(String),
+}
+
+/// One submitted grid job. Partial outcomes stream in from engine
+/// worker threads while the job runs; on completion they are replaced
+/// by the exact, `cached`-normalized final set.
+struct Job {
+    total: usize,
+    scenarios: Vec<Scenario>,
+    partial: Mutex<Vec<ScenarioOutcome>>,
+    phase: Mutex<JobPhase>,
+}
+
+/// A point-in-time public view of a job, JSON-ready.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSnapshot {
+    /// Job id (dense, starting at 1).
+    pub id: u64,
+    /// `queued` | `running` | `done` | `failed`.
+    pub state: String,
+    /// Outcomes resolved so far.
+    pub done: usize,
+    /// Scenarios submitted.
+    pub total: usize,
+    /// Failure message, for `failed` jobs.
+    pub error: Option<String>,
+    /// `runs/run-NNNN` id the job was persisted under, once done.
+    pub run_id: Option<String>,
+    /// Non-fatal completion note (e.g. a persistence error).
+    pub note: Option<String>,
+}
+
+struct Shared {
+    engine: Arc<SweepEngine>,
+    store: Option<RunStore>,
+    jobs: Mutex<Vec<Arc<Job>>>,
+    pending: Mutex<VecDeque<Arc<Job>>>,
+    cv: Condvar,
+    stop: Mutex<bool>,
+}
+
+/// The queue handle: submit from any connection thread, drain on the
+/// background worker. Dropping the queue stops the worker after its
+/// current job.
+pub struct JobQueue {
+    shared: Arc<Shared>,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl JobQueue {
+    /// A queue evaluating jobs on `engine`, persisting completed jobs
+    /// into `store` (when given) as `runs/run-NNNN`.
+    pub fn new(engine: Arc<SweepEngine>, store: Option<RunStore>) -> JobQueue {
+        let shared = Arc::new(Shared {
+            engine,
+            store,
+            jobs: Mutex::new(Vec::new()),
+            pending: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            stop: Mutex::new(false),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("daydream-serve-jobs".into())
+            .spawn(move || worker_loop(worker_shared))
+            .expect("spawn job worker");
+        JobQueue {
+            shared,
+            worker: Mutex::new(Some(worker)),
+        }
+    }
+
+    /// Enqueues a scenario list; returns the job id immediately.
+    pub fn submit(&self, scenarios: Vec<Scenario>) -> u64 {
+        let mut jobs = self.shared.jobs.lock().unwrap();
+        let id = jobs.len() as u64 + 1;
+        let job = Arc::new(Job {
+            total: scenarios.len(),
+            scenarios,
+            partial: Mutex::new(Vec::new()),
+            phase: Mutex::new(JobPhase::Queued),
+        });
+        jobs.push(Arc::clone(&job));
+        drop(jobs);
+        self.shared.pending.lock().unwrap().push_back(job);
+        self.shared.cv.notify_one();
+        id
+    }
+
+    fn job(&self, id: u64) -> Option<Arc<Job>> {
+        let jobs = self.shared.jobs.lock().unwrap();
+        if id == 0 || id as usize > jobs.len() {
+            return None;
+        }
+        Some(Arc::clone(&jobs[id as usize - 1]))
+    }
+
+    /// Status of job `id`, if it exists.
+    pub fn snapshot(&self, id: u64) -> Option<JobSnapshot> {
+        let job = self.job(id)?;
+        let phase = job.phase.lock().unwrap().clone();
+        let done = job.partial.lock().unwrap().len();
+        let (state, error, run_id, note) = match phase {
+            JobPhase::Queued => ("queued", None, None, None),
+            JobPhase::Running => ("running", None, None, None),
+            JobPhase::Done { run_id, note } => ("done", None, run_id, note),
+            JobPhase::Failed(e) => ("failed", Some(e), None, None),
+        };
+        Some(JobSnapshot {
+            id,
+            state: state.into(),
+            done,
+            total: job.total,
+            error,
+            run_id,
+            note,
+        })
+    }
+
+    /// The ranked report over job `id`'s outcomes so far, and whether it
+    /// is final. While the job runs this is a *partial* ranking (only
+    /// resolved scenarios appear); once done it is byte-identical to the
+    /// offline sweep of the same scenario list.
+    pub fn results(&self, id: u64) -> Option<(SweepReport, bool)> {
+        let job = self.job(id)?;
+        let outcomes = job.partial.lock().unwrap().clone();
+        let is_final = matches!(&*job.phase.lock().unwrap(), JobPhase::Done { .. });
+        Some((SweepReport::from_outcomes(outcomes), is_final))
+    }
+
+    /// Counts of jobs by state: (queued, running, done, failed).
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        let jobs = self.shared.jobs.lock().unwrap();
+        let mut c = (0, 0, 0, 0);
+        for job in jobs.iter() {
+            match &*job.phase.lock().unwrap() {
+                JobPhase::Queued => c.0 += 1,
+                JobPhase::Running => c.1 += 1,
+                JobPhase::Done { .. } => c.2 += 1,
+                JobPhase::Failed(_) => c.3 += 1,
+            }
+        }
+        c
+    }
+
+    /// Stops the worker after its current job and joins it. Queued but
+    /// unstarted jobs stay `queued` (visible in their snapshots).
+    pub fn shutdown(&self) {
+        *self.shared.stop.lock().unwrap() = true;
+        self.shared.cv.notify_all();
+        if let Some(handle) = self.worker.lock().unwrap().take() {
+            handle.join().ok();
+        }
+    }
+}
+
+impl Drop for JobQueue {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut pending = shared.pending.lock().unwrap();
+            loop {
+                if *shared.stop.lock().unwrap() {
+                    return;
+                }
+                if let Some(job) = pending.pop_front() {
+                    break job;
+                }
+                pending = shared.cv.wait(pending).unwrap();
+            }
+        };
+        *job.phase.lock().unwrap() = JobPhase::Running;
+        let streamed = |outcome: &ScenarioOutcome| {
+            job.partial.lock().unwrap().push(outcome.clone());
+        };
+        match shared
+            .engine
+            .run_scenarios_observed(job.scenarios.clone(), &streamed)
+        {
+            Ok(mut outcomes) => {
+                // Normalize the cache provenance away, exactly like the
+                // distributed merge does: the final report must be
+                // byte-identical to a cold offline sweep of the same
+                // grid no matter what the resident engine already knew.
+                for o in &mut outcomes {
+                    o.cached = false;
+                }
+                let (run_id, note) = match &shared.store {
+                    Some(store) => match persist(store, &job.scenarios, &outcomes) {
+                        Ok(run_id) => (Some(run_id), None),
+                        Err(e) => (None, Some(format!("persist failed: {e}"))),
+                    },
+                    None => (None, None),
+                };
+                *job.partial.lock().unwrap() = outcomes;
+                *job.phase.lock().unwrap() = JobPhase::Done { run_id, note };
+            }
+            Err(e) => {
+                *job.phase.lock().unwrap() = JobPhase::Failed(e);
+            }
+        }
+    }
+}
+
+/// Writes a completed job into the store as a fully drained single-shard
+/// run (plan, claim, complete, merge), so history queries and
+/// `sweep-diff` see daemon jobs exactly like offline sharded runs.
+fn persist(
+    store: &RunStore,
+    scenarios: &[Scenario],
+    outcomes: &[ScenarioOutcome],
+) -> Result<String, String> {
+    let plan = ShardPlan::partition(scenarios.to_vec(), 1)?;
+    let run = store.create_run(&plan)?;
+    let claim = run
+        .claim(0, "serve", 60_000)?
+        .ok_or("freshly created run has no claimable shard")?;
+    // The plan orders scenarios by fingerprint; re-order the outcomes to
+    // match its shard order.
+    let by_key: HashMap<&str, &ScenarioOutcome> =
+        outcomes.iter().map(|o| (o.key.as_str(), o)).collect();
+    let ordered: Vec<ScenarioOutcome> = claim
+        .scenarios
+        .iter()
+        .map(|s| {
+            by_key
+                .get(s.fingerprint_hex().as_str())
+                .map(|o| (*o).clone())
+                .ok_or_else(|| format!("no outcome for scenario '{}'", s.label()))
+        })
+        .collect::<Result<_, String>>()?;
+    run.complete(&claim, ordered)?;
+    let report = merge_run(&run)?;
+    write_merged(&run, &report)?;
+    run.manifest().map(|m| m.run_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daydream_sweep::SweepGrid;
+
+    fn scenarios() -> Vec<Scenario> {
+        SweepGrid::builder()
+            .models(["ResNet-50"])
+            .batches([4])
+            .opts(["baseline", "amp", "gist", "bandwidth"])
+            .build()
+            .expand()
+            .unwrap()
+    }
+
+    fn tmp_store(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "daydream-serve-jobs-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn wait_done(queue: &JobQueue, id: u64) -> JobSnapshot {
+        for _ in 0..600 {
+            let snap = queue.snapshot(id).unwrap();
+            if snap.state == "done" || snap.state == "failed" {
+                return snap;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        panic!("job {id} did not finish");
+    }
+
+    #[test]
+    fn job_runs_to_done_and_report_matches_offline() {
+        let engine = Arc::new(SweepEngine::new(2));
+        let queue = JobQueue::new(Arc::clone(&engine), None);
+        let id = queue.submit(scenarios());
+        assert_eq!(id, 1);
+        let snap = wait_done(&queue, id);
+        assert_eq!(snap.state, "done", "{snap:?}");
+        assert_eq!(snap.done, snap.total);
+        assert!(snap.run_id.is_none(), "no store configured");
+
+        let (report, is_final) = queue.results(id).unwrap();
+        assert!(is_final);
+        let offline = SweepEngine::new(1)
+            .run_scenarios(scenarios())
+            .map(SweepReport::from_outcomes)
+            .unwrap();
+        assert_eq!(
+            report.to_json().unwrap(),
+            offline.to_json().unwrap(),
+            "served report must be byte-identical to the offline sweep"
+        );
+
+        // A second submission of the same grid is answered from the
+        // result cache — and still normalizes provenance.
+        let id2 = queue.submit(scenarios());
+        let snap2 = wait_done(&queue, id2);
+        assert_eq!(snap2.state, "done");
+        let (report2, _) = queue.results(id2).unwrap();
+        assert_eq!(report2.to_json().unwrap(), offline.to_json().unwrap());
+
+        assert_eq!(queue.counts(), (0, 0, 2, 0));
+        assert!(queue.snapshot(0).is_none());
+        assert!(queue.snapshot(99).is_none());
+    }
+
+    #[test]
+    fn jobs_persist_into_the_run_store() {
+        let root = tmp_store("persist");
+        let store = RunStore::open(&root).unwrap();
+        let engine = Arc::new(SweepEngine::new(2));
+        let queue = JobQueue::new(engine, Some(store));
+        let id = queue.submit(scenarios());
+        let snap = wait_done(&queue, id);
+        assert_eq!(snap.state, "done", "{snap:?}");
+        assert_eq!(snap.run_id.as_deref(), Some("run-0001"));
+        assert!(snap.note.is_none(), "{snap:?}");
+
+        // The persisted merged report equals the served one.
+        let store = RunStore::open(&root).unwrap();
+        let run = store.open_run("run-0001").unwrap();
+        let merged = daydream_shard::load_merged(&run).unwrap().unwrap();
+        let (report, _) = queue.results(id).unwrap();
+        assert_eq!(merged.to_json().unwrap(), report.to_json().unwrap());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn failed_jobs_report_the_error() {
+        let engine = Arc::new(SweepEngine::new(1));
+        let queue = JobQueue::new(engine, None);
+        // An unknown model passes grid-free submission but fails in the
+        // engine at profile-build time.
+        let bad = vec![Scenario::new(
+            "NoSuchNet",
+            4,
+            daydream_sweep::OptSpec::Baseline,
+        )];
+        let id = queue.submit(bad);
+        let snap = wait_done(&queue, id);
+        assert_eq!(snap.state, "failed");
+        assert!(
+            snap.error
+                .as_deref()
+                .unwrap_or("")
+                .contains("unknown model"),
+            "{snap:?}"
+        );
+        assert_eq!(queue.counts(), (0, 0, 0, 1));
+    }
+}

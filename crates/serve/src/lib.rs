@@ -1,0 +1,44 @@
+//! `daydream-serve` — sweep-as-a-service: a resident HTTP daemon over
+//! the warm sweep engine.
+//!
+//! The engine already amortizes everything expensive — compiled bases,
+//! captured baseline schedules, DDP plans, patch caches — per *process*
+//! ([`daydream_sweep::SweepEngine`] keeps them across `run` calls). This
+//! crate amortizes them per *fleet*: one long-lived daemon owns one warm
+//! engine, answers single-scenario what-ifs synchronously in
+//! microseconds via the incremental path, drains grid submissions
+//! through an async job queue with streaming ranked partial results,
+//! and persists every completed job into a
+//! [`daydream_shard::RunStore`] so "best scenario ever seen for model
+//! X" is a query, not a re-run.
+//!
+//! The HTTP/1.1 layer is hand-rolled over `std::net::TcpListener`
+//! (build environment has no network for real dependencies — same
+//! policy as the `vendor/` shims) and deliberately minimal: GET/POST,
+//! `Content-Length` bodies, keep-alive with pipelining, strict size
+//! limits, typed status codes for every malformed input. JSON is the
+//! vendored serde.
+//!
+//! | Endpoint | Answer |
+//! |---|---|
+//! | `GET /healthz` | liveness + uptime |
+//! | `GET /metrics` | engine-lifetime [`daydream_sweep::RunStats`] + cache + job counters |
+//! | `GET /models` | model zoo + warm profile registry |
+//! | `POST /whatif` | one scenario, evaluated synchronously against the warm base |
+//! | `POST /sweep` | submit a grid; returns a job id |
+//! | `GET /jobs/{id}` | job status (queued / running / done / failed) |
+//! | `GET /jobs/{id}/results?top=N` | ranked report, partial while running |
+//! | `GET /history/best?model=X` | best scenarios across all stored runs |
+//! | `POST /shutdown` | graceful stop |
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod jobs;
+pub mod server;
+
+pub use api::{SweepRequest, WhatIfRequest};
+pub use client::{http_request, HttpResponse};
+pub use http::{HttpError, Limits, Request, RequestParser};
+pub use jobs::{JobQueue, JobSnapshot};
+pub use server::{ServeConfig, ServeSummary, Server};

@@ -61,9 +61,9 @@ pub mod rundir;
 pub mod store;
 pub mod worker;
 
-pub use merge::{merge_run, merged_cache, write_merged};
+pub use merge::{load_merged, merge_run, merged_cache, write_merged};
 pub use plan::ShardPlan;
 pub use rounds::RoundPlan;
 pub use rundir::{ClaimedShard, RunDir, RunManifest, RunStatus, ShardLease, ShardResult};
-pub use store::{diff_runs, DiffEntry, RunDiff, RunStore};
+pub use store::{diff_runs, BestEntry, DiffEntry, RunDiff, RunStore};
 pub use worker::{process_shard, run_worker, ShardDisposition, WorkerConfig, WorkerSummary};

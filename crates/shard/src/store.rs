@@ -91,6 +91,72 @@ impl RunStore {
     }
 }
 
+/// One history-query hit: a scenario's best observation across all
+/// stored runs, and the run that produced it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BestEntry {
+    /// Scenario fingerprint (hex).
+    pub key: String,
+    /// Scenario label.
+    pub label: String,
+    /// Model name.
+    pub model: String,
+    /// Parameterized optimization label.
+    pub opt: String,
+    /// Best (lowest) predicted iteration time ever recorded, ns.
+    pub predicted_ns: u64,
+    /// Speedup over baseline at that observation.
+    pub speedup: f64,
+    /// Run id of the observation (earliest run on ties).
+    pub run_id: String,
+}
+
+impl RunStore {
+    /// The best scenarios ever seen across the whole run history,
+    /// fastest first: every stored run's merged outcomes, deduplicated
+    /// by scenario fingerprint keeping each scenario's lowest predicted
+    /// time (ties go to the earliest run). `model` filters
+    /// case-insensitively; `top` caps the result count.
+    pub fn best_for(&self, model: Option<&str>, top: usize) -> Result<Vec<BestEntry>, String> {
+        let mut best: BTreeMap<String, BestEntry> = BTreeMap::new();
+        for id in self.list()? {
+            let run = self.open_run(&id)?;
+            for o in run_outcomes(&run)? {
+                if let Some(m) = model {
+                    if !o.model.eq_ignore_ascii_case(m) {
+                        continue;
+                    }
+                }
+                let entry = BestEntry {
+                    key: o.key.clone(),
+                    label: o.label,
+                    model: o.model,
+                    opt: o.opt,
+                    predicted_ns: o.predicted_ns,
+                    speedup: o.speedup,
+                    run_id: id.clone(),
+                };
+                match best.get(&o.key) {
+                    // Strictly-better only: equal times keep the
+                    // earliest run (ids iterate in allocation order).
+                    Some(seen) if seen.predicted_ns <= entry.predicted_ns => {}
+                    _ => {
+                        best.insert(o.key, entry);
+                    }
+                }
+            }
+        }
+        let mut entries: Vec<BestEntry> = best.into_values().collect();
+        entries.sort_by(|a, b| {
+            a.predicted_ns
+                .cmp(&b.predicted_ns)
+                .then_with(|| a.label.cmp(&b.label))
+        });
+        entries.truncate(top);
+        Ok(entries)
+    }
+}
+
 /// One scenario whose predicted time moved between two runs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DiffEntry {
@@ -316,6 +382,44 @@ mod tests {
         assert_eq!(diff.unchanged, 3);
         // Reopening by id works.
         store.open_run("run-0001").unwrap();
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn best_for_dedupes_across_runs_and_filters_by_model() {
+        let root = tmp_store("best");
+        let store = RunStore::open(&root).unwrap();
+        let engine = SweepEngine::new(2);
+        let _a = drained_run(&store, &engine);
+        let b = drained_run(&store, &engine);
+
+        // Run B observed a faster time for the top scenario; the query
+        // must surface B's observation for that key and A's for the
+        // rest (ties keep the earliest run).
+        let mut report = load_merged(&b).unwrap().unwrap();
+        report.results[0].predicted_ns -= 1_000;
+        let improved_key = report.results[0].key.clone();
+        write_merged(&b, &report).unwrap();
+
+        let best = store.best_for(Some("ResNet-50"), 10).unwrap();
+        assert_eq!(best.len(), 3, "3 distinct scenarios across both runs");
+        assert!(best
+            .windows(2)
+            .all(|w| w[0].predicted_ns <= w[1].predicted_ns));
+        for e in &best {
+            let expect = if e.key == improved_key {
+                "run-0002"
+            } else {
+                "run-0001"
+            };
+            assert_eq!(e.run_id, expect, "{e:?}");
+        }
+
+        // Case-insensitive filter; unknown models yield nothing.
+        assert_eq!(store.best_for(Some("resnet-50"), 10).unwrap().len(), 3);
+        assert!(store.best_for(Some("GNMT"), 10).unwrap().is_empty());
+        // `top` caps, no filter returns everything.
+        assert_eq!(store.best_for(None, 2).unwrap().len(), 2);
         std::fs::remove_dir_all(&root).ok();
     }
 

@@ -28,6 +28,7 @@ use daydream_models::{
 };
 use daydream_runtime::{ground_truth, ExecConfig};
 use daydream_trace::{LayerId, MemcpyDir};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -324,6 +325,45 @@ pub struct RunStats {
     pub executor: ExecutorStats,
 }
 
+impl RunStats {
+    /// Folds another run's counters into this one: counts add, the worst
+    /// fidelity error is the max, and the worker count is the widest pool
+    /// seen. This is how [`SweepEngine::total_stats`] aggregates
+    /// engine-lifetime counters for a long-lived server process.
+    pub fn absorb(&mut self, other: &RunStats) {
+        self.profiles_built += other.profiles_built;
+        self.patch_hits += other.patch_hits;
+        self.incremental_sims += other.incremental_sims;
+        self.full_sims += other.full_sims;
+        self.tasks_redispatched += other.tasks_redispatched;
+        self.fidelity_checks += other.fidelity_checks;
+        self.fidelity_failures += other.fidelity_failures;
+        self.fidelity_worst_rel_err = self
+            .fidelity_worst_rel_err
+            .max(other.fidelity_worst_rel_err);
+        self.estimate_sims += other.estimate_sims;
+        self.executor.executed += other.executor.executed;
+        self.executor.steals += other.executor.steals;
+        self.executor.workers = self.executor.workers.max(other.executor.workers);
+    }
+}
+
+/// One warm `(model, batch)` base resident in a [`SweepEngine`]'s profile
+/// registry — what a serve daemon reports for `GET /models`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResidentProfile {
+    /// Zoo model name.
+    pub model: String,
+    /// Profiled mini-batch size.
+    pub batch: u64,
+    /// Compiled task count of the baseline graph.
+    pub tasks: usize,
+    /// Simulated baseline iteration time, ns.
+    pub baseline_ns: u64,
+    /// Baseline-replay fidelity error vs. the recorded iteration.
+    pub fidelity_rel_err: f64,
+}
+
 /// Thread-safe simulation-path accounting shared by one `run_scenarios`
 /// call's workers.
 #[derive(Debug, Default)]
@@ -365,7 +405,13 @@ pub struct SweepEngine {
     cache: SweepCache,
     patches: PatchCache,
     last_stats: Mutex<RunStats>,
+    totals: Mutex<RunStats>,
 }
+
+/// Per-outcome progress callback for [`SweepEngine::run_scenarios_observed`]:
+/// invoked from worker threads as each scenario resolves (cache hits
+/// included), in completion order, not input order.
+pub type OutcomeObserver<'a> = &'a (dyn Fn(&ScenarioOutcome) + Sync);
 
 impl SweepEngine {
     /// An engine evaluating scenarios on `threads` worker threads.
@@ -376,6 +422,7 @@ impl SweepEngine {
             cache: SweepCache::new(),
             patches: PatchCache::new(),
             last_stats: Mutex::new(RunStats::default()),
+            totals: Mutex::new(RunStats::default()),
         }
     }
 
@@ -405,6 +452,32 @@ impl SweepEngine {
         *self.last_stats.lock().unwrap()
     }
 
+    /// Engine-lifetime counters: every run's [`RunStats`] folded together
+    /// with [`RunStats::absorb`]. A resident daemon exposes these as its
+    /// `/metrics`, where per-run snapshots would race between clients.
+    pub fn total_stats(&self) -> RunStats {
+        *self.totals.lock().unwrap()
+    }
+
+    /// The warm `(model, batch)` bases currently resident in the profile
+    /// registry, sorted by key — the registry listing a serve daemon
+    /// reports (and the warm/cold distinction a what-if client sees).
+    pub fn resident_profiles(&self) -> Vec<ResidentProfile> {
+        let have = self.profiles.lock().unwrap();
+        let mut out: Vec<ResidentProfile> = have
+            .iter()
+            .map(|((model, batch), p)| ResidentProfile {
+                model: model.clone(),
+                batch: *batch,
+                tasks: p.compiled.len(),
+                baseline_ns: p.baseline_ns,
+                fidelity_rel_err: p.fidelity_rel_err,
+            })
+            .collect();
+        out.sort_by(|a, b| a.model.cmp(&b.model).then(a.batch.cmp(&b.batch)));
+        out
+    }
+
     /// Expands the grid, evaluates every scenario in parallel (sharing
     /// base profiles, consulting the result cache), and returns the
     /// ranked report. Deterministic for a given grid: the report is
@@ -420,7 +493,20 @@ impl SweepEngine {
     /// [`SweepEngine::run`]; outcome values are independent of thread
     /// count and of how scenarios are split across calls.
     pub fn run_scenarios(&self, scenarios: Vec<Scenario>) -> Result<Vec<ScenarioOutcome>, String> {
-        self.run_scenarios_inner(scenarios, Fidelity::Exact, true)
+        self.run_scenarios_inner(scenarios, Fidelity::Exact, true, None)
+    }
+
+    /// Like [`SweepEngine::run_scenarios`], but streams each outcome to
+    /// `observer` as it resolves (from worker threads, in completion
+    /// order) — a resident job queue uses this to serve ranked partial
+    /// results while a grid is still evaluating. The returned vector is
+    /// identical to `run_scenarios` on the same input.
+    pub fn run_scenarios_observed(
+        &self,
+        scenarios: Vec<Scenario>,
+        observer: OutcomeObserver<'_>,
+    ) -> Result<Vec<ScenarioOutcome>, String> {
+        self.run_scenarios_inner(scenarios, Fidelity::Exact, true, Some(observer))
     }
 
     /// Evaluates a scenario list at a *low-fidelity rung*: the cone
@@ -435,7 +521,7 @@ impl SweepEngine {
         scenarios: Vec<Scenario>,
         max_cone_fraction: f64,
     ) -> Result<Vec<ScenarioOutcome>, String> {
-        self.run_scenarios_inner(scenarios, Fidelity::Rung { max_cone_fraction }, false)
+        self.run_scenarios_inner(scenarios, Fidelity::Rung { max_cone_fraction }, false, None)
     }
 
     fn run_scenarios_inner(
@@ -443,6 +529,7 @@ impl SweepEngine {
         scenarios: Vec<Scenario>,
         fidelity: Fidelity,
         use_result_cache: bool,
+        observer: Option<OutcomeObserver<'_>>,
     ) -> Result<Vec<ScenarioOutcome>, String> {
         // Phase 0: answer what we can from the result cache, so fully
         // cached scenarios cost neither evaluation nor base profiling
@@ -459,6 +546,8 @@ impl SweepEngine {
             };
             if hit.is_none() {
                 misses.push((i, scenario));
+            } else if let (Some(observe), Some(outcome)) = (observer, hit.as_ref()) {
+                observe(outcome);
             }
             outcomes.push(hit);
         }
@@ -521,6 +610,9 @@ impl SweepEngine {
                 if use_result_cache {
                     self.cache.insert(scenario.fingerprint(), &outcome);
                 }
+                if let Some(observe) = observer {
+                    observe(&outcome);
+                }
                 Ok((i, outcome))
             });
         for result in evaluated {
@@ -532,7 +624,7 @@ impl SweepEngine {
             .map(|o| o.expect("every slot is a hit or an evaluated miss"))
             .collect();
 
-        *self.last_stats.lock().unwrap() = RunStats {
+        let stats = RunStats {
             profiles_built,
             patch_hits: self.patches.hits() - patch_hits_before,
             incremental_sims: counters.incremental.load(Ordering::Relaxed),
@@ -544,6 +636,8 @@ impl SweepEngine {
             estimate_sims: counters.estimates.load(Ordering::Relaxed),
             executor: exec_stats,
         };
+        *self.last_stats.lock().unwrap() = stats;
+        self.totals.lock().unwrap().absorb(&stats);
         Ok(outcomes)
     }
 }

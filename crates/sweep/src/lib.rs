@@ -48,7 +48,10 @@ pub mod scenario;
 pub mod search;
 
 pub use cache::{PatchCache, SweepCache};
-pub use engine::{explain_scenario, Fidelity, RunStats, SweepEngine, FIDELITY_TOLERANCE};
+pub use engine::{
+    explain_scenario, Fidelity, OutcomeObserver, ResidentProfile, RunStats, SweepEngine,
+    FIDELITY_TOLERANCE,
+};
 pub use executor::{parallel_map, ExecutorStats};
 pub use grid::{SweepGrid, SweepGridBuilder};
 pub use report::{AxisBest, ScenarioOutcome, SweepReport};
