@@ -1,0 +1,191 @@
+//! Criterion bench: O(cone) warm evaluation on the scratch arena.
+//!
+//! `sim_incremental` showed the cone re-dispatch itself is cheap, but
+//! the *evaluation wrapper* around it was still O(n): every call cloned
+//! the base schedule's `start_ns`/`wait_ns` prefixes, re-allocated the
+//! per-task seed vectors, and applied the patch into a fresh
+//! `CompiledGraph`. At 100k tasks a 16-transfer tail retime cost
+//! ~2.21 ms — ~400x its 1k-task cost for the same cone.
+//!
+//! `simulate_warm` answers the same query from an epoch-stamped
+//! [`SimScratch`] arena: buffers are sized once per base and reset by a
+//! generation bump, touched durations live in a copy-on-write overlay
+//! over the captured base arrays, and the replayed prefix is never
+//! copied. This bench prices that warm path against the fresh
+//! clone-everything pipeline on the shared synthetic graphs
+//! (1k/10k/100k tasks, fixed 16-transfer retime cone), pins the warm
+//! result byte-identical to the fresh oracle, and — outside `--test`
+//! smoke mode — asserts the two acceptance floors: warm evaluation at
+//! ~100k tasks must beat the old 2.21 ms pipeline by >= 20x, and must
+//! scale 1k -> 100k by <= 5x (O(cone + touched), not O(n)).
+//!
+//! Patch emit stays outside the measured warm path: the sweep engine
+//! caches emitted patches by fingerprint, so a warm what-if pays only
+//! the simulation. The `fresh` rows keep emit + apply in the loop —
+//! they are the pre-arena per-scenario pipeline, unchanged.
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use daydream_bench::synth::{synthetic_graph, tail_retime};
+use daydream_core::{
+    simulate_incremental, simulate_warm, CompiledGraph, PatchGraph, Schedule, SimScratch, TaskId,
+};
+use std::hint::black_box;
+
+/// `retime_incremental_ns` at 99999 tasks from the `sim_incremental`
+/// section of `BENCH_sim.json` before the arena existed — the fresh
+/// pipeline this PR's >= 20x acceptance floor is pinned against.
+const FRESH_BASELINE_100K_NS: f64 = 2_209_199.3;
+
+fn main() {
+    let mut c = Criterion::default();
+    let quick = c.is_quick_mode();
+    let mut rows: Vec<String> = Vec::new();
+    let mut warm_ns_by_size: Vec<(usize, f64)> = Vec::new();
+
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let g = synthetic_graph(n);
+        let tasks = g.len();
+        let compiled = CompiledGraph::compile(&g);
+        let schedule = Schedule::capture(&compiled).expect("base must be a DAG");
+        let comms = g.select(|t| t.thread.is_comm());
+        let targets: Vec<TaskId> = comms.iter().rev().take(16).copied().collect();
+
+        // Pre-emitted patch (the engine caches these by fingerprint).
+        let mut ov = PatchGraph::new(&g);
+        tail_retime(&mut ov, &targets);
+        let patch = ov.finish();
+
+        // Warm the arena once outside the measurement and pin the warm
+        // answer byte-identical to the fresh-allocation oracle.
+        let mut scratch = SimScratch::new();
+        let warm0 = simulate_warm(&compiled, &schedule, &patch, &mut scratch)
+            .expect("patched graph must stay a DAG");
+        let (applied, trace) = compiled.apply_traced(&patch);
+        let oracle = simulate_incremental(&compiled, &schedule, &applied, &patch, &trace)
+            .expect("patched graph must stay a DAG");
+        assert!(warm0.stats.is_incremental(), "tail retime must stay warm");
+        assert_eq!(warm0.makespan_ns, oracle.sim.makespan_ns);
+        assert_eq!(warm0.stats, oracle.stats);
+        assert_eq!(
+            scratch.materialize(&schedule).expect("warm eval completed"),
+            oracle.sim,
+            "arena result must be byte-identical to the fresh path"
+        );
+        let cone = warm0.stats.redispatched;
+
+        let mut group = c.benchmark_group("eval_warm");
+        group.sample_size(if n >= 100_000 { 20 } else { 60 });
+        group.throughput(Throughput::Elements(tasks as u64));
+        group.bench_with_input(
+            BenchmarkId::new("warm", format!("{tasks} tasks")),
+            &(&compiled, &schedule, &patch),
+            |b, (compiled, schedule, patch)| {
+                b.iter(|| {
+                    black_box(
+                        simulate_warm(compiled, schedule, black_box(patch), &mut scratch)
+                            .unwrap()
+                            .makespan_ns,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fresh", format!("{tasks} tasks")),
+            &(&g, &compiled, &schedule),
+            |b, (g, compiled, schedule)| {
+                b.iter(|| {
+                    let mut ov = PatchGraph::new(black_box(g));
+                    tail_retime(&mut ov, &targets);
+                    let patch = ov.finish();
+                    let (applied, trace) = compiled.apply_traced(&patch);
+                    black_box(
+                        simulate_incremental(compiled, schedule, &applied, &patch, &trace)
+                            .unwrap()
+                            .sim
+                            .makespan_ns,
+                    )
+                })
+            },
+        );
+        group.finish();
+
+        let find = |kind: &str| {
+            c.records()
+                .iter()
+                .rev()
+                .find(|r| r.name.contains(&format!("/{kind}/{tasks} tasks")))
+                .map(|r| r.ns_per_iter)
+        };
+        let (warm, fresh) = (find("warm"), find("fresh"));
+        if let (Some(w), Some(f)) = (warm, fresh) {
+            println!(
+                "eval_warm {tasks} tasks: warm {w:.0} ns vs fresh {f:.0} ns ({:.1}x, cone {cone})",
+                f / w.max(1e-9)
+            );
+            warm_ns_by_size.push((tasks, w));
+        }
+        let fmt_opt = |v: Option<f64>| {
+            v.map(|x| format!("{x:.1}"))
+                .unwrap_or_else(|| "null".to_string())
+        };
+        let speedup = match (warm, fresh) {
+            (Some(w), Some(f)) if w > 0.0 => Some(((f / w) * 10.0).round() / 10.0),
+            _ => None,
+        };
+        rows.push(format!(
+            concat!(
+                "    {{\"tasks\": {}, \"cone\": {}, ",
+                "\"warm_ns\": {}, \"fresh_ns\": {}, \"speedup\": {}}}"
+            ),
+            tasks,
+            cone,
+            fmt_opt(warm),
+            fmt_opt(fresh),
+            fmt_opt(speedup),
+        ));
+    }
+
+    // Smoke runs (`--test`) measure one iteration — no assertions, no
+    // snapshot. Full runs enforce the acceptance floors.
+    if !quick {
+        let w1k = warm_ns_by_size
+            .iter()
+            .find(|(t, _)| *t < 10_000)
+            .map(|&(_, w)| w)
+            .expect("1k row measured");
+        let w100k = warm_ns_by_size
+            .iter()
+            .find(|(t, _)| *t > 50_000)
+            .map(|&(_, w)| w)
+            .expect("100k row measured");
+        assert!(
+            w100k * 20.0 <= FRESH_BASELINE_100K_NS,
+            "warm eval at 100k tasks must beat the {FRESH_BASELINE_100K_NS:.0} ns \
+             fresh pipeline by >= 20x, measured {w100k:.0} ns"
+        );
+        assert!(
+            w100k <= 5.0 * w1k,
+            "fixed-cone warm eval must scale 1k -> 100k by <= 5x \
+             (O(cone + touched), not O(n)): {w1k:.0} ns -> {w100k:.0} ns"
+        );
+
+        let json = format!(
+            concat!(
+                "{{\n  \"pipelines\": \"warm = simulate_warm on a persistent ",
+                "SimScratch arena, patch pre-emitted; fresh = emit + apply_traced + ",
+                "simulate_incremental with per-call clones\",\n",
+                "  \"note\": \"16-transfer tail retime at every size (fixed cone); ",
+                "full runs assert warm@100k >= 20x over the {} ns pre-arena baseline ",
+                "and <= 5x scaling 1k -> 100k\",\n",
+                "  \"results\": [\n{}\n  ]\n  }}"
+            ),
+            FRESH_BASELINE_100K_NS,
+            rows.join(",\n")
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+        match criterion::snapshot::merge_section(path, "eval_warm", &json) {
+            Ok(()) => println!("wrote eval_warm section of {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}

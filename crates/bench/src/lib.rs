@@ -14,6 +14,7 @@
 //! ```
 
 pub mod exhibits;
+pub mod synth;
 pub mod util;
 
-pub use util::{profile_for, Table};
+pub use util::{assert_no_allocs, profile_for, thread_allocs, Table};

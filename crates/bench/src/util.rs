@@ -1,4 +1,6 @@
-//! Shared harness utilities: result tables, CSV export, profile caching.
+//! Shared harness utilities: result tables, CSV export, profile
+//! caching, and (debug builds only) a heap-allocation counter that lets
+//! tier-1 tests pin the warm-evaluation hot path as allocation-free.
 
 use daydream_core::ProfiledGraph;
 use daydream_models::{zoo, Model};
@@ -7,6 +9,73 @@ use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::{Mutex, OnceLock};
+
+/// A [`System`](std::alloc::System) wrapper that counts allocations on
+/// the current thread. Installed as the global allocator only in debug
+/// builds (`cargo test`), so release benchmarks measure the stock
+/// allocator; [`thread_allocs`] reports 0 there and
+/// [`assert_no_allocs`] degrades to a plain call.
+#[cfg(debug_assertions)]
+mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub struct CountingAlloc;
+
+    // SAFETY: delegates verbatim to `System`; the counter is a plain
+    // thread-local `Cell` bump, which cannot itself allocate or unwind.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.with(|c| c.set(c.get() + 1));
+            unsafe { System.alloc(layout) }
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.with(|c| c.set(c.get() + 1));
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static COUNTER: CountingAlloc = CountingAlloc;
+
+    pub fn thread_allocs() -> u64 {
+        ALLOCS.with(|c| c.get())
+    }
+}
+
+/// Heap allocations (including reallocations) made by the current
+/// thread so far; always 0 in release builds, where the counting
+/// allocator is not installed.
+pub fn thread_allocs() -> u64 {
+    #[cfg(debug_assertions)]
+    {
+        counting_alloc::thread_allocs()
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        0
+    }
+}
+
+/// Runs `f` and panics (debug builds only) if it heap-allocated —
+/// how tier-1 tests pin the warm-evaluation hot loop.
+pub fn assert_no_allocs<R>(what: &str, f: impl FnOnce() -> R) -> R {
+    let before = thread_allocs();
+    let r = f();
+    let during = thread_allocs() - before;
+    #[cfg(debug_assertions)]
+    assert_eq!(during, 0, "{what} made {during} heap allocations");
+    #[cfg(not(debug_assertions))]
+    let _ = (what, during);
+    r
+}
 
 /// A titled result table with aligned text rendering and CSV export.
 #[derive(Debug, Clone)]

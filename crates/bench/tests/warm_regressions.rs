@@ -1,0 +1,105 @@
+//! Tier-1 guards on the warm-evaluation perf work.
+//!
+//! Two regressions these pin:
+//!
+//! * **Allocation creep** — the whole point of the epoch-stamped arena
+//!   is that a warmed evaluation touches no allocator. The counting
+//!   global allocator in `daydream_bench::util` (debug builds only)
+//!   fails this test the moment someone reintroduces a per-call `clone`
+//!   or `Vec::new` into the hot loop.
+//! * **Snapshot drift** — the checked-in `BENCH_sim.json` must carry an
+//!   `eval_warm` section whose numbers still clear the acceptance
+//!   floors (>= 20x over the pre-arena fresh pipeline at ~100k tasks,
+//!   <= 5x scaling 1k -> 100k at a fixed 16-transfer cone), so a
+//!   regressing re-snapshot cannot land silently.
+
+use daydream_bench::synth::{synthetic_graph, tail_retime};
+use daydream_bench::{assert_no_allocs, thread_allocs};
+use daydream_core::{
+    simulate_incremental, simulate_warm, CompiledGraph, PatchGraph, Schedule, SimScratch, TaskId,
+};
+
+#[test]
+fn warmed_evaluation_is_allocation_free() {
+    let g = synthetic_graph(3_000);
+    let compiled = CompiledGraph::compile(&g);
+    let schedule = Schedule::capture(&compiled).expect("base must be a DAG");
+    let comms = g.select(|t| t.thread.is_comm());
+    let targets: Vec<TaskId> = comms.iter().rev().take(16).copied().collect();
+    let mut ov = PatchGraph::new(&g);
+    tail_retime(&mut ov, &targets);
+    let patch = ov.finish();
+
+    // First call sizes the arena, second settles retained heap
+    // capacities; the third must be allocation-free.
+    let mut scratch = SimScratch::new();
+    let first = simulate_warm(&compiled, &schedule, &patch, &mut scratch).unwrap();
+    let second = simulate_warm(&compiled, &schedule, &patch, &mut scratch).unwrap();
+    assert!(first.stats.is_incremental(), "tail retime must stay warm");
+    assert_eq!(first.makespan_ns, second.makespan_ns);
+
+    let third = assert_no_allocs("warmed simulate_warm", || {
+        simulate_warm(&compiled, &schedule, &patch, &mut scratch).unwrap()
+    });
+    assert_eq!(third.makespan_ns, first.makespan_ns);
+
+    // And the warm answer still matches the fresh-allocation oracle.
+    let (applied, trace) = compiled.apply_traced(&patch);
+    let oracle = simulate_incremental(&compiled, &schedule, &applied, &patch, &trace).unwrap();
+    assert_eq!(third.makespan_ns, oracle.sim.makespan_ns);
+    assert_eq!(scratch.materialize(&schedule).unwrap(), oracle.sim);
+}
+
+#[test]
+fn counting_allocator_sees_this_crate() {
+    // Meta-guard: if the debug global allocator stopped being installed
+    // (say, the `#[global_allocator]` moved behind the wrong cfg), the
+    // allocation-free test above would pass vacuously.
+    if cfg!(debug_assertions) {
+        let before = thread_allocs();
+        let v: Vec<u64> = (0..64).collect();
+        assert!(thread_allocs() > before, "allocation went uncounted");
+        drop(v);
+    }
+}
+
+#[test]
+fn snapshot_eval_warm_section_clears_the_floors() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_sim.json is checked in");
+    let json: serde_json::Value = serde_json::from_str(&text).expect("snapshot parses");
+    let results = json
+        .get("eval_warm")
+        .and_then(|s| s.get("results"))
+        .and_then(|r| r.as_array())
+        .expect("snapshot has an eval_warm section with results");
+
+    let mut small: Option<(u64, f64)> = None;
+    let mut large: Option<(u64, f64)> = None;
+    for row in results {
+        let tasks = row.get("tasks").and_then(|v| v.as_u64()).expect("tasks");
+        let warm = row
+            .get("warm_ns")
+            .and_then(|v| v.as_f64())
+            .expect("warm_ns");
+        let cone = row.get("cone").and_then(|v| v.as_u64()).expect("cone");
+        assert!(cone >= 16, "tail retime cone covers the 16 targets");
+        if tasks < 10_000 {
+            small = Some((tasks, warm));
+        }
+        if tasks > 50_000 {
+            large = Some((tasks, warm));
+        }
+    }
+    let (_, w1k) = small.expect("~1k-task row present");
+    let (_, w100k) = large.expect("~100k-task row present");
+    // The pre-arena fresh pipeline measured 2_209_199.3 ns here.
+    assert!(
+        w100k * 20.0 <= 2_209_199.3,
+        "snapshotted warm eval at ~100k tasks regressed past the 20x floor: {w100k} ns"
+    );
+    assert!(
+        w100k <= 5.0 * w1k,
+        "snapshotted warm eval no longer scales O(cone): {w1k} ns -> {w100k} ns"
+    );
+}

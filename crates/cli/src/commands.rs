@@ -683,6 +683,18 @@ pub fn cmd_sweep(args: &Args) -> Result<(), String> {
         "sim paths: {} incremental, {} full, {} patch-cache hits ({} tasks re-dispatched)",
         stats.incremental_sims, stats.full_sims, stats.patch_hits, stats.tasks_redispatched,
     );
+    println!(
+        "scratch: {} arena reuses, {} allocs, {:.1} MiB of prefix copies avoided",
+        stats.scratch_reuses,
+        stats.scratch_allocs,
+        stats.bytes_copied_avoided as f64 / (1024.0 * 1024.0),
+    );
+    if stats.cache_contended > 0 || stats.patch_contended > 0 {
+        println!(
+            "cache shards: {} result-cache and {} patch-cache contended lock acquisitions",
+            stats.cache_contended, stats.patch_contended,
+        );
+    }
     if stats.fidelity_checks > 0 {
         println!(
             "fidelity: {} baseline check(s), {} over the {:.0}% budget (worst {:.2}%)",

@@ -33,10 +33,12 @@
 
 use crate::compiled::{ApplyTrace, CompactId, CompiledGraph, ThreadId};
 use crate::graph::{DependencyGraph, GraphError, TaskId};
-use crate::patch::GraphPatch;
+use crate::patch::{GraphPatch, NetDelta};
 use crate::task::ExecThread;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Secondary dispatch key: breaks ties among candidates feasible at the
 /// same instant. Lower ranks dispatch first; ranks must be fixed per task
@@ -217,6 +219,62 @@ impl ThreadFrontier {
             self.pending.pop();
         }
     }
+
+    /// Empties both tiers, retaining heap capacity for reuse.
+    #[inline]
+    pub(crate) fn clear(&mut self) {
+        self.pending.clear();
+        self.ready.clear();
+    }
+}
+
+/// The graph surface [`dispatch_loop`] reads — everything the frontier
+/// needs to dispatch a task and release its successors. Implemented by
+/// [`CompiledGraph`] itself and by [`RetimeView`], the copy-on-write
+/// overlay that serves retime patches without materializing an applied
+/// graph. The loop is monomorphized per implementation, so the compiled
+/// hot path is unchanged.
+pub(crate) trait SimGraphView {
+    fn len(&self) -> usize;
+    fn thread_count(&self) -> usize;
+    fn cost_ns(&self, c: CompactId) -> u64;
+    fn duration_ns(&self, c: CompactId) -> u64;
+    fn thread_of(&self, c: CompactId) -> ThreadId;
+    fn successors(&self, c: CompactId) -> &[CompactId];
+    fn pred_count(&self, c: CompactId) -> u32;
+}
+
+impl SimGraphView for CompiledGraph {
+    // Inherent methods shadow the trait methods, so each delegation below
+    // resolves to the inherent accessor (no recursion).
+    #[inline]
+    fn len(&self) -> usize {
+        CompiledGraph::len(self)
+    }
+    #[inline]
+    fn thread_count(&self) -> usize {
+        CompiledGraph::thread_count(self)
+    }
+    #[inline]
+    fn cost_ns(&self, c: CompactId) -> u64 {
+        CompiledGraph::cost_ns(self, c)
+    }
+    #[inline]
+    fn duration_ns(&self, c: CompactId) -> u64 {
+        CompiledGraph::duration_ns(self, c)
+    }
+    #[inline]
+    fn thread_of(&self, c: CompactId) -> ThreadId {
+        CompiledGraph::thread_of(self, c)
+    }
+    #[inline]
+    fn successors(&self, c: CompactId) -> &[CompactId] {
+        CompiledGraph::successors(self, c)
+    }
+    #[inline]
+    fn pred_count(&self, c: CompactId) -> u32 {
+        CompiledGraph::pred_count(self, c)
+    }
 }
 
 /// Simulates the graph with the default earliest-start policy.
@@ -315,8 +373,8 @@ pub(crate) fn sim_compiled_core<O: FrontierOrder>(
 /// how many tasks were dispatched. All entry points run *this* code, so
 /// no derived path can drift from full-simulation semantics.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn dispatch_loop(
-    cg: &CompiledGraph,
+pub(crate) fn dispatch_loop<G: SimGraphView>(
+    cg: &G,
     ranks: &[Rank],
     tentative: &mut [u64],
     preds: &mut [u32],
@@ -1244,6 +1302,691 @@ fn inserted_bounds(
 }
 
 // ---------------------------------------------------------------------------
+// Warm evaluation: epoch-stamped scratch arenas
+// ---------------------------------------------------------------------------
+
+/// Per-prefix-task bytes the cone path never writes: the `start`/`wait`
+/// clone (16), zeroed `tentative` (8) / `preds` (4) / `ranks` (16), and
+/// `apply_retime`'s `cost_ns`/`duration_ns` clones (16).
+const WARM_BYTES_PER_PREFIX_TASK: u64 = 60;
+/// Per-task bytes a no-op patch avoids cloning (the base [`CompiledSim`]
+/// `start`/`wait` arrays).
+const WARM_BYTES_PER_NOOP_TASK: u64 = 16;
+/// Per-task bytes the overlay-backed full fallback avoids cloning
+/// (`apply_retime`'s `cost_ns`/`duration_ns` arrays).
+const WARM_BYTES_PER_APPLY_TASK: u64 = 16;
+
+/// Copy-on-write retime overlay buffers: `stamp[c] == epoch` marks a
+/// cone-task write; every other slot reads through to the base arrays.
+/// "Resetting" the overlay is bumping the epoch — O(1), no clearing.
+#[derive(Debug, Default)]
+struct RetimeOverlay {
+    stamp: Vec<u32>,
+    cost: Vec<u64>,
+    dur: Vec<u64>,
+}
+
+impl RetimeOverlay {
+    /// Stamps `apply_retime`'s per-task cost/duration for every touched
+    /// task — O(|patch| log V) instead of cloning two full arrays.
+    fn build(&mut self, base: &CompiledGraph, d: &NetDelta, epoch: u32) {
+        for &id in d.touched() {
+            let s = d.scalars(id).expect("touched task has a slot");
+            let c = base
+                .compact_of(id)
+                .expect("retimed task must be live in the base");
+            let i = c.0 as usize;
+            let dur = s.duration_ns.unwrap_or(base.duration_ns(c));
+            let gap = s.gap_ns.unwrap_or(base.cost_ns(c) - base.duration_ns(c));
+            self.stamp[i] = epoch;
+            self.cost[i] = dur + gap;
+            self.dur[i] = dur;
+        }
+    }
+
+    fn view<'a>(&'a self, base: &'a CompiledGraph, epoch: u32) -> RetimeView<'a> {
+        RetimeView {
+            base,
+            epoch,
+            stamp: &self.stamp,
+            cost: &self.cost,
+            dur: &self.dur,
+        }
+    }
+}
+
+/// A retimed graph served straight off the base [`CompiledGraph`] plus
+/// the epoch-stamped overlay: topology, threads, and ranks are the
+/// base's by construction (warm eligibility rejects everything else),
+/// so only `cost_ns`/`duration_ns` consult the overlay.
+pub(crate) struct RetimeView<'a> {
+    base: &'a CompiledGraph,
+    epoch: u32,
+    stamp: &'a [u32],
+    cost: &'a [u64],
+    dur: &'a [u64],
+}
+
+impl SimGraphView for RetimeView<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    #[inline]
+    fn thread_count(&self) -> usize {
+        self.base.thread_count()
+    }
+    #[inline]
+    fn cost_ns(&self, c: CompactId) -> u64 {
+        let i = c.0 as usize;
+        if self.stamp[i] == self.epoch {
+            self.cost[i]
+        } else {
+            self.base.cost_ns(c)
+        }
+    }
+    #[inline]
+    fn duration_ns(&self, c: CompactId) -> u64 {
+        let i = c.0 as usize;
+        if self.stamp[i] == self.epoch {
+            self.dur[i]
+        } else {
+            self.base.duration_ns(c)
+        }
+    }
+    #[inline]
+    fn thread_of(&self, c: CompactId) -> ThreadId {
+        self.base.thread_of(c)
+    }
+    #[inline]
+    fn successors(&self, c: CompactId) -> &[CompactId] {
+        self.base.successors(c)
+    }
+    #[inline]
+    fn pred_count(&self, c: CompactId) -> u32 {
+        self.base.pred_count(c)
+    }
+}
+
+/// The reusable per-simulation working arrays. Task-indexed slots carry
+/// a generation stamp (`stamp[i] == epoch` ⇒ written this evaluation);
+/// heaps retain their capacity across runs.
+#[derive(Debug, Default)]
+struct SimBufs {
+    stamp: Vec<u32>,
+    start: Vec<u64>,
+    wait: Vec<u64>,
+    tentative: Vec<u64>,
+    preds: Vec<u32>,
+    ranks: Vec<Rank>,
+    progress: Vec<u64>,
+    fronts: Vec<ThreadFrontier>,
+    global: BinaryHeap<Reverse<(u64, Rank, u32, u32)>>,
+}
+
+impl SimBufs {
+    /// Full simulation into the scratch buffers: every slot is written,
+    /// so the whole range is stamped. `ranks_from` must rank identically
+    /// to `view` — callers pass the simulated graph itself, or the base
+    /// when retime eligibility guarantees rank equality.
+    fn run_full<G: SimGraphView, O: FrontierOrder>(
+        &mut self,
+        view: &G,
+        ranks_from: &CompiledGraph,
+        order: &O,
+        epoch: u32,
+    ) -> Result<u64, GraphError> {
+        let n = view.len();
+        let t_count = view.thread_count();
+        for i in 0..n {
+            let c = CompactId(i as u32);
+            self.stamp[i] = epoch;
+            self.ranks[i] = order.rank(ranks_from, c);
+            self.tentative[i] = 0;
+            self.preds[i] = view.pred_count(c);
+            self.start[i] = 0;
+            self.wait[i] = 0;
+        }
+        self.progress[..t_count].fill(0);
+        for i in 0..n {
+            if self.preds[i] == 0 {
+                let t = view.thread_of(CompactId(i as u32)).0 as usize;
+                self.fronts[t].push(0, self.ranks[i], i as u32, 0);
+            }
+        }
+        for (t, front) in self.fronts[..t_count].iter_mut().enumerate() {
+            if let Some((f, r, id)) = front.best(0) {
+                self.global.push(Reverse((f, r, id, t as u32)));
+            }
+        }
+        let mut makespan = 0u64;
+        let done = dispatch_loop(
+            view,
+            &self.ranks,
+            &mut self.tentative,
+            &mut self.preds,
+            &mut self.start,
+            &mut self.wait,
+            &mut self.progress,
+            &mut self.fronts,
+            &mut self.global,
+            &mut makespan,
+        );
+        if done != n {
+            return Err(GraphError::Cycle);
+        }
+        Ok(makespan)
+    }
+
+    /// Seeds and re-dispatches the cone over `view`, stamping exactly
+    /// the suffix tasks. Retime-only by contract: compaction is the
+    /// identity and topology, threads, and ranks are the base's, so the
+    /// loop provably never touches a prefix slot (every successor of a
+    /// suffix task is itself a suffix task).
+    #[allow(clippy::too_many_arguments)]
+    fn run_retime_cone<G: SimGraphView, O: FrontierOrder>(
+        &mut self,
+        view: &G,
+        base: &CompiledGraph,
+        schedule: &Schedule,
+        cutoff: u64,
+        cut_idx: usize,
+        order: &O,
+        epoch: u32,
+    ) -> Result<(usize, u64), GraphError> {
+        let t_count = base.thread_count();
+        for t in 0..t_count {
+            self.progress[t] = schedule.progress_at(t, cutoff);
+        }
+        for &c in &schedule.by_start[cut_idx..] {
+            let i = c as usize;
+            let (rem, tent) = schedule.pred_split(i, cutoff);
+            self.stamp[i] = epoch;
+            self.preds[i] = rem;
+            self.tentative[i] = tent;
+            self.ranks[i] = order.rank(base, CompactId(c));
+            if rem == 0 {
+                let t = view.thread_of(CompactId(c)).0 as usize;
+                self.fronts[t].push(tent, self.ranks[i], c, self.progress[t]);
+            }
+        }
+        for (t, front) in self.fronts[..t_count].iter_mut().enumerate() {
+            front.refresh(self.progress[t]);
+            if let Some((f, r, id)) = front.best(self.progress[t]) {
+                self.global.push(Reverse((f, r, id, t as u32)));
+            }
+        }
+        let mut makespan = schedule.makespan_prefix[cut_idx];
+        let done = dispatch_loop(
+            view,
+            &self.ranks,
+            &mut self.tentative,
+            &mut self.preds,
+            &mut self.start,
+            &mut self.wait,
+            &mut self.progress,
+            &mut self.fronts,
+            &mut self.global,
+            &mut makespan,
+        );
+        Ok((done, makespan))
+    }
+}
+
+/// What the last [`simulate_warm_with`] call left in the arena — enough
+/// for [`SimScratch::materialize`] to reconstruct the full
+/// [`CompiledSim`] the classic path would have returned.
+#[derive(Debug)]
+enum WarmLast {
+    /// Cone re-dispatch: stamped slots overlay the base schedule.
+    Cone {
+        n: usize,
+        t_count: usize,
+        makespan: u64,
+    },
+    /// Full dispatch into the buffers (fallback paths).
+    Full {
+        n: usize,
+        t_count: usize,
+        makespan: u64,
+    },
+    /// No simulation-relevant effect: the base schedule is the answer.
+    Noop,
+    /// A materialized simulation (structural patches still route through
+    /// the classic incremental path).
+    Ready(CompiledSim),
+}
+
+/// Monotonic reuse accounting of a scratch arena (or a whole
+/// [`ScratchPool`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchCounters {
+    /// Evaluations served without growing any buffer.
+    pub reuses: u64,
+    /// Evaluations that had to (re)size at least one buffer.
+    pub allocs: u64,
+    /// Bytes of per-task array copying the warm path skipped relative to
+    /// the fresh-allocation path.
+    pub bytes_copied_avoided: u64,
+}
+
+impl ScratchCounters {
+    /// Component-wise sum.
+    pub fn merged(self, other: ScratchCounters) -> ScratchCounters {
+        ScratchCounters {
+            reuses: self.reuses + other.reuses,
+            allocs: self.allocs + other.allocs,
+            bytes_copied_avoided: self.bytes_copied_avoided + other.bytes_copied_avoided,
+        }
+    }
+}
+
+/// A reusable simulation arena for [`simulate_warm_with`]: every per-sim
+/// O(V) vector lives here as epoch-stamped slots sized once per compiled
+/// base, so back-to-back warm evaluations allocate nothing and touch
+/// only their cone. Invalidation is one epoch bump per evaluation; the
+/// u32 generation counter wrapping around triggers a full stamp clear
+/// (pinned by tests), so stale stamps can never alias a new epoch.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    epoch: u32,
+    ov: RetimeOverlay,
+    bufs: SimBufs,
+    last: Option<WarmLast>,
+    reuses: u64,
+    allocs: u64,
+    bytes_copied_avoided: u64,
+}
+
+impl SimScratch {
+    /// An empty arena; buffers grow on first use and are retained.
+    pub fn new() -> SimScratch {
+        SimScratch::default()
+    }
+
+    /// Opens a new evaluation epoch and (re)sizes the buffers for a
+    /// graph of `n` tasks on `t_count` threads. O(1) when the arena has
+    /// already served a graph at least this large.
+    fn begin(&mut self, n: usize, t_count: usize) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // u32 wrap: stamps written 2^32 evaluations ago could alias
+            // the restarted epoch — clear both stamp arrays once.
+            self.bufs.stamp.fill(0);
+            self.ov.stamp.fill(0);
+            self.epoch = 1;
+        }
+        let mut grew = false;
+        if self.bufs.stamp.len() < n {
+            // Fresh stamps are 0 == never-current (epochs start at 1).
+            self.bufs.stamp.resize(n, 0);
+            self.bufs.start.resize(n, 0);
+            self.bufs.wait.resize(n, 0);
+            self.bufs.tentative.resize(n, 0);
+            self.bufs.preds.resize(n, 0);
+            self.bufs.ranks.resize(n, (0, 0));
+            self.ov.stamp.resize(n, 0);
+            self.ov.cost.resize(n, 0);
+            self.ov.dur.resize(n, 0);
+            grew = true;
+        }
+        if self.bufs.fronts.len() < t_count {
+            self.bufs
+                .fronts
+                .resize_with(t_count, ThreadFrontier::default);
+            grew = true;
+        }
+        if self.bufs.progress.len() < t_count {
+            self.bufs.progress.resize(t_count, 0);
+        }
+        for front in self.bufs.fronts[..t_count].iter_mut() {
+            front.clear();
+        }
+        self.bufs.global.clear();
+        self.last = None;
+        if grew {
+            self.allocs += 1;
+        } else {
+            self.reuses += 1;
+        }
+    }
+
+    /// Reconstructs the full [`CompiledSim`] of the last
+    /// [`simulate_warm_with`] call — byte-identical to what the classic
+    /// fresh-allocation path returns for the same patch (the oracle the
+    /// equivalence proptests pin). `schedule` must be the one that
+    /// evaluation ran against. `None` before any evaluation.
+    pub fn materialize(&self, schedule: &Schedule) -> Option<CompiledSim> {
+        match self.last.as_ref()? {
+            WarmLast::Cone {
+                n,
+                t_count,
+                makespan,
+            } => {
+                let mut start = schedule.sim.start_ns.clone();
+                let mut wait = schedule.sim.wait_ns.clone();
+                for i in 0..*n {
+                    if self.bufs.stamp[i] == self.epoch {
+                        start[i] = self.bufs.start[i];
+                        wait[i] = self.bufs.wait[i];
+                    }
+                }
+                Some(CompiledSim {
+                    start_ns: start,
+                    wait_ns: wait,
+                    thread_end: self.bufs.progress[..*t_count].to_vec(),
+                    makespan_ns: *makespan,
+                })
+            }
+            WarmLast::Full {
+                n,
+                t_count,
+                makespan,
+            } => Some(CompiledSim {
+                start_ns: self.bufs.start[..*n].to_vec(),
+                wait_ns: self.bufs.wait[..*n].to_vec(),
+                thread_end: self.bufs.progress[..*t_count].to_vec(),
+                makespan_ns: *makespan,
+            }),
+            WarmLast::Noop => Some(schedule.sim.clone()),
+            WarmLast::Ready(sim) => Some(sim.clone()),
+        }
+    }
+
+    /// Reuse accounting since construction (or the last
+    /// [`SimScratch::take_counters`]).
+    pub fn counters(&self) -> ScratchCounters {
+        ScratchCounters {
+            reuses: self.reuses,
+            allocs: self.allocs,
+            bytes_copied_avoided: self.bytes_copied_avoided,
+        }
+    }
+
+    /// Drains the counters to zero, returning the accumulated values —
+    /// how [`ScratchPool::put`] folds a returned arena into pool totals.
+    pub fn take_counters(&mut self) -> ScratchCounters {
+        let c = self.counters();
+        self.reuses = 0;
+        self.allocs = 0;
+        self.bytes_copied_avoided = 0;
+        c
+    }
+
+    /// Test hook: forces the generation counter (exercising u32 wrap).
+    #[doc(hidden)]
+    pub fn force_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+    }
+
+    /// The current generation counter.
+    #[doc(hidden)]
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+}
+
+/// A shared pool of [`SimScratch`] arenas: the sweep executor checks one
+/// out per worker for the length of a batch, the serve daemon per
+/// request, so arenas stay sized for the resident base across calls.
+/// Counters from returned arenas accumulate into pool totals.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    pool: Mutex<Vec<SimScratch>>,
+    reuses: AtomicU64,
+    allocs: AtomicU64,
+    bytes_copied_avoided: AtomicU64,
+}
+
+impl ScratchPool {
+    /// An empty pool.
+    pub fn new() -> ScratchPool {
+        ScratchPool::default()
+    }
+
+    /// Checks out an arena — the most recently returned (warmest) one,
+    /// or a fresh empty arena when the pool has run dry.
+    pub fn take(&self) -> SimScratch {
+        self.pool
+            .lock()
+            .expect("scratch pool lock poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns an arena to the pool, folding its counters into the pool
+    /// totals and dropping any materialized result it still holds.
+    pub fn put(&self, mut scratch: SimScratch) {
+        let c = scratch.take_counters();
+        self.reuses.fetch_add(c.reuses, Ordering::Relaxed);
+        self.allocs.fetch_add(c.allocs, Ordering::Relaxed);
+        self.bytes_copied_avoided
+            .fetch_add(c.bytes_copied_avoided, Ordering::Relaxed);
+        scratch.last = None;
+        self.pool
+            .lock()
+            .expect("scratch pool lock poisoned")
+            .push(scratch);
+    }
+
+    /// Accumulated counters over every returned arena.
+    pub fn counters(&self) -> ScratchCounters {
+        ScratchCounters {
+            reuses: self.reuses.load(Ordering::Relaxed),
+            allocs: self.allocs.load(Ordering::Relaxed),
+            bytes_copied_avoided: self.bytes_copied_avoided.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Result of [`simulate_warm_with`]: the predicted makespan plus the
+/// same work accounting the classic incremental path reports. The full
+/// per-task simulation stays in the arena; call
+/// [`SimScratch::materialize`] to expand it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarmOutcome {
+    /// End of the last task — the predicted iteration time.
+    pub makespan_ns: u64,
+    /// Which path ran and how much it re-dispatched.
+    pub stats: IncrementalStats,
+}
+
+/// [`simulate_warm_with`] under the default earliest-start policy and
+/// default options.
+pub fn simulate_warm(
+    base: &CompiledGraph,
+    schedule: &Schedule,
+    patch: &GraphPatch,
+    scratch: &mut SimScratch,
+) -> Result<WarmOutcome, GraphError> {
+    simulate_warm_with(
+        base,
+        schedule,
+        patch,
+        scratch,
+        &EarliestStart,
+        &IncrementalOptions::default(),
+    )
+}
+
+/// The allocation-free warm twin of [`simulate_incremental_with`]: the
+/// same dispatch semantics (pinned byte-identical by the equivalence
+/// proptests), but every per-sim O(V) buffer comes from `scratch` and a
+/// retime patch never materializes an applied graph — `cost`/`duration`
+/// reads go through a copy-on-write overlay on the base, and the replay
+/// prefix is never copied at all. Warm cost is O(cone + |patch|), not
+/// O(V):
+///
+/// * **retime-eligible** (no structural edit, no thread move, no
+///   rank-relevant priority change, incremental-safe policy): the cone
+///   is re-dispatched over [`RetimeView`]; a too-large cone falls back
+///   to a *full* re-dispatch over the same view — still zero clones and
+///   zero allocations warm (the satellite fix: fallback no longer pays
+///   the incremental path's setup cost);
+/// * **everything else** applies the patch for real and routes through
+///   the classic incremental path, with `FallbackReason` exits running
+///   the full simulation into the arena instead of allocating ~8 fresh
+///   arrays.
+///
+/// # Panics
+///
+/// Panics if `schedule` was not captured over `base`, or `patch` was not
+/// recorded against `base`'s arena.
+pub fn simulate_warm_with<O: FrontierOrder>(
+    base: &CompiledGraph,
+    schedule: &Schedule,
+    patch: &GraphPatch,
+    scratch: &mut SimScratch,
+    order: &O,
+    opts: &IncrementalOptions,
+) -> Result<WarmOutcome, GraphError> {
+    assert_eq!(
+        base.len(),
+        schedule.len(),
+        "schedule captured over a different base"
+    );
+    assert_eq!(
+        base.arena_len(),
+        patch.base_capacity(),
+        "patch recorded against a different base arena"
+    );
+    let d = patch.delta();
+    let n = base.len();
+    let t_count = base.thread_count();
+
+    // Warm eligibility mirrors apply_traced's retime arm plus rank
+    // stability: with no structural edit, no real thread move, and no
+    // rank-relevant priority change, the patched graph shares the base's
+    // topology, thread interning, and ranks — only cost/duration differ,
+    // which the overlay captures without an apply.
+    let retime_eligible = order.incremental_safe()
+        && !d.is_structural()
+        && d.touched().iter().all(|&id| {
+            let s = d.scalars(id).expect("touched task has a slot");
+            let c = base
+                .compact_of(id)
+                .expect("retimed task must be live in the base");
+            let thread_same = s
+                .thread
+                .is_none_or(|t| base.exec_thread(base.thread_of(c)) == t);
+            let rank_stable =
+                !order.rank_uses_priority() || s.priority.is_none_or(|p| p == base.priority(c));
+            thread_same && rank_stable
+        });
+
+    if retime_eligible {
+        let bound = cone_bound(base, schedule, patch, order);
+        debug_assert_eq!(bound.n_new, n, "retime patch cannot change the live count");
+        if bound.cutoff == u64::MAX {
+            // No simulation-relevant effect. Unlike the classic path,
+            // the base schedule is *referenced*, not cloned.
+            scratch.last = Some(WarmLast::Noop);
+            scratch.bytes_copied_avoided += n as u64 * WARM_BYTES_PER_NOOP_TASK;
+            return Ok(WarmOutcome {
+                makespan_ns: schedule.makespan_ns(),
+                stats: IncrementalStats {
+                    redispatched: 0,
+                    total: n,
+                    cutoff_ns: Some(u64::MAX),
+                    fallback: None,
+                },
+            });
+        }
+        scratch.begin(n, t_count);
+        scratch.ov.build(base, d, scratch.epoch);
+        let view = scratch.ov.view(base, scratch.epoch);
+        if bound.cone as f64 > opts.max_cone_fraction * n as f64 {
+            // ConeTooLarge: re-dispatch everything, but over the overlay
+            // view — no apply_retime clones, no fresh arrays.
+            let makespan = scratch.bufs.run_full(&view, base, order, scratch.epoch)?;
+            scratch.last = Some(WarmLast::Full {
+                n,
+                t_count,
+                makespan,
+            });
+            scratch.bytes_copied_avoided += n as u64 * WARM_BYTES_PER_APPLY_TASK;
+            return Ok(WarmOutcome {
+                makespan_ns: makespan,
+                stats: IncrementalStats {
+                    redispatched: n,
+                    total: n,
+                    cutoff_ns: None,
+                    fallback: Some(FallbackReason::ConeTooLarge),
+                },
+            });
+        }
+        let (done, makespan) = scratch.bufs.run_retime_cone(
+            &view,
+            base,
+            schedule,
+            bound.cutoff,
+            bound.cut_idx,
+            order,
+            scratch.epoch,
+        )?;
+        if done != bound.cone {
+            return Err(GraphError::Cycle);
+        }
+        scratch.last = Some(WarmLast::Cone {
+            n,
+            t_count,
+            makespan,
+        });
+        scratch.bytes_copied_avoided += (n - bound.cone) as u64 * WARM_BYTES_PER_PREFIX_TASK;
+        return Ok(WarmOutcome {
+            makespan_ns: makespan,
+            stats: IncrementalStats {
+                redispatched: done,
+                total: n,
+                cutoff_ns: Some(bound.cutoff),
+                fallback: None,
+            },
+        });
+    }
+
+    // Materializing paths: the patch needs a real apply (structural edit,
+    // thread move, rank-relevant priority) or the policy is unsafe.
+    let (applied, trace) = base.apply_traced(patch);
+    let full_into_scratch =
+        |scratch: &mut SimScratch, reason: FallbackReason| -> Result<WarmOutcome, GraphError> {
+            let (n_new, t_new) = (applied.len(), applied.thread_count());
+            scratch.begin(n_new, t_new);
+            let makespan = scratch
+                .bufs
+                .run_full(&applied, &applied, order, scratch.epoch)?;
+            scratch.last = Some(WarmLast::Full {
+                n: n_new,
+                t_count: t_new,
+                makespan,
+            });
+            Ok(WarmOutcome {
+                makespan_ns: makespan,
+                stats: IncrementalStats {
+                    redispatched: n_new,
+                    total: n_new,
+                    cutoff_ns: None,
+                    fallback: Some(reason),
+                },
+            })
+        };
+    if !order.incremental_safe() {
+        return full_into_scratch(scratch, FallbackReason::PolicyUnsafe);
+    }
+    match try_simulate_incremental_with(base, schedule, &applied, patch, &trace, order, opts)? {
+        Ok(outcome) => {
+            let makespan = outcome.sim.makespan_ns;
+            let stats = outcome.stats;
+            scratch.last = Some(WarmLast::Ready(outcome.sim));
+            Ok(WarmOutcome {
+                makespan_ns: makespan,
+                stats,
+            })
+        }
+        Err(reason) => full_into_scratch(scratch, reason),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Reference implementation (the oracle)
 // ---------------------------------------------------------------------------
 
@@ -1521,6 +2264,115 @@ mod tests {
         let r = simulate_checked(&g).unwrap();
         assert_eq!(r.makespan_ns, 0);
         assert!(r.thread_end.is_empty());
+    }
+
+    /// Warm evaluation against the classic fresh-allocation oracle on a
+    /// single arena across every path: cone, no-op, forced full
+    /// fallback, and a structural patch.
+    #[test]
+    fn warm_paths_match_the_classic_oracle() {
+        use crate::graph::GraphEdit;
+        use crate::patch::PatchGraph;
+        let mut g = DependencyGraph::new();
+        let ids: Vec<_> = (0..12).map(|i| g.add_task(cpu(10 + i, 1))).collect();
+        for w in ids.windows(2) {
+            g.add_dep(w[0], w[1], DepKind::CpuSeq);
+        }
+        let cg = CompiledGraph::compile(&g);
+        let schedule = Schedule::capture(&cg).unwrap();
+        let mut scratch = SimScratch::new();
+
+        let check = |patch: &GraphPatch, opts: &IncrementalOptions, scratch: &mut SimScratch| {
+            let warm = simulate_warm_with(&cg, &schedule, patch, scratch, &EarliestStart, opts)
+                .expect("patched graph must stay a DAG");
+            let (applied, trace) = cg.apply_traced(patch);
+            let oracle = simulate_incremental_with(
+                &cg,
+                &schedule,
+                &applied,
+                patch,
+                &trace,
+                &EarliestStart,
+                opts,
+            )
+            .expect("patched graph must stay a DAG");
+            assert_eq!(warm.makespan_ns, oracle.sim.makespan_ns);
+            assert_eq!(warm.stats, oracle.stats, "path accounting diverged");
+            assert_eq!(
+                scratch.materialize(&schedule).unwrap(),
+                oracle.sim,
+                "warm arena diverged from the fresh-allocation oracle"
+            );
+        };
+
+        // Cone re-dispatch.
+        let mut p = PatchGraph::new(&g);
+        p.set_duration(ids[8], 500);
+        check(&p.finish(), &IncrementalOptions::default(), &mut scratch);
+        // No-op under a priority-blind policy.
+        let mut p = PatchGraph::new(&g);
+        p.set_priority(ids[3], 7);
+        check(&p.finish(), &IncrementalOptions::default(), &mut scratch);
+        // Forced full fallback stays on the overlay (no apply).
+        let mut p = PatchGraph::new(&g);
+        p.set_duration(ids[2], 900);
+        check(
+            &p.finish(),
+            &IncrementalOptions {
+                max_cone_fraction: 0.0,
+            },
+            &mut scratch,
+        );
+        // Structural patch routes through the classic incremental path.
+        let mut p = PatchGraph::new(&g);
+        let extra = p.add_task(cpu(40, 0));
+        p.add_dep(ids[10], extra, DepKind::Transform);
+        check(&p.finish(), &IncrementalOptions::default(), &mut scratch);
+        // Back-to-back cone on the same arena: stale stamps must not leak.
+        let mut p = PatchGraph::new(&g);
+        p.set_duration(ids[4], 123);
+        check(&p.finish(), &IncrementalOptions::default(), &mut scratch);
+
+        let c = scratch.counters();
+        assert!(c.reuses >= 2, "warm arena must be reused across evals");
+        assert!(c.bytes_copied_avoided > 0);
+    }
+
+    /// Epoch overflow (u32 wrap) must reset the stamp arrays cleanly:
+    /// evaluations across the wrap stay byte-identical to the oracle and
+    /// the counter restarts at 1.
+    #[test]
+    fn epoch_wrap_resets_cleanly() {
+        use crate::graph::GraphEdit;
+        use crate::patch::PatchGraph;
+        let mut g = DependencyGraph::new();
+        let ids: Vec<_> = (0..8).map(|i| g.add_task(cpu(10 + i, 1))).collect();
+        for w in ids.windows(2) {
+            g.add_dep(w[0], w[1], DepKind::CpuSeq);
+        }
+        let cg = CompiledGraph::compile(&g);
+        let schedule = Schedule::capture(&cg).unwrap();
+        let mut scratch = SimScratch::new();
+
+        let mk = |target: usize, ns: u64| {
+            let mut p = PatchGraph::new(&g);
+            p.set_duration(ids[target], ns);
+            p.finish()
+        };
+        // Size the arena, then park the counter just below the wrap.
+        simulate_warm(&cg, &schedule, &mk(5, 500), &mut scratch).unwrap();
+        scratch.force_epoch(u32::MAX - 1);
+        // Epochs u32::MAX, then wrap -> 1, then 2 — different cones each
+        // time so a stale stamp surviving the wrap would corrupt output.
+        for (target, ns) in [(5usize, 600u64), (2, 700), (6, 800)] {
+            let patch = mk(target, ns);
+            let warm = simulate_warm(&cg, &schedule, &patch, &mut scratch).unwrap();
+            let (applied, trace) = cg.apply_traced(&patch);
+            let oracle = simulate_incremental(&cg, &schedule, &applied, &patch, &trace).unwrap();
+            assert_eq!(warm.makespan_ns, oracle.sim.makespan_ns);
+            assert_eq!(scratch.materialize(&schedule).unwrap(), oracle.sim);
+        }
+        assert_eq!(scratch.epoch(), 2, "wrap must restart the counter at 1");
     }
 
     /// A wide comm channel frontier — the shape that made the reference

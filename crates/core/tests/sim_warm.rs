@@ -1,0 +1,205 @@
+//! Warm scratch-arena evaluation against the fresh-allocation oracle.
+//!
+//! `simulate_warm_with` reuses one epoch-stamped [`SimScratch`] arena
+//! across back-to-back evaluations; a stale stamp surviving an epoch
+//! bump, a buffer sized for the wrong base, or a missed overlay slot
+//! would all show up as a divergence from `simulate_incremental_with`
+//! run fresh. So: random DAGs, random op sequences (retimes, structural
+//! inserts, removals), interleaved across *two* bases and three
+//! frontier policies (priority-blind, priority-ranking, and one that is
+//! not incremental-safe), with forced fallbacks mixed in — every step
+//! on the one shared arena must be byte-identical to the oracle.
+
+use daydream_core::whatif::P3Scheduler;
+use daydream_core::{
+    simulate_incremental_with, simulate_warm_with, CommChannel, CompactId, CompiledGraph, DepKind,
+    DependencyGraph, EarliestStart, ExecThread, FrontierOrder, GraphEdit, GraphPatch, GraphView,
+    IncrementalOptions, PatchGraph, Rank, Schedule, SimScratch, Task, TaskId, TaskKind,
+};
+use daydream_trace::{CpuThreadId, DeviceId, StreamId};
+use proptest::prelude::*;
+
+/// Ranks by duration — not stable across retimes, so the warm path must
+/// take the full-simulation fallback and still match the oracle's.
+struct ByDuration;
+impl FrontierOrder for ByDuration {
+    fn rank(&self, graph: &CompiledGraph, task: CompactId) -> Rank {
+        (graph.duration_ns(task), task.0 as u64)
+    }
+}
+
+fn thread_for(sel: u64) -> ExecThread {
+    match sel % 5 {
+        0 => ExecThread::Cpu(CpuThreadId(0)),
+        1 => ExecThread::Cpu(CpuThreadId(1)),
+        2 => ExecThread::Gpu(DeviceId(0), StreamId(0)),
+        3 => ExecThread::Gpu(DeviceId(0), StreamId(1)),
+        _ => ExecThread::Comm(CommChannel::Collective),
+    }
+}
+
+fn build_dag(tasks: &[(u64, u64, u64)], edges: &[(u64, u64)]) -> DependencyGraph {
+    let mut g = DependencyGraph::new();
+    let n = tasks.len();
+    for (i, &(sel, dur, gap)) in tasks.iter().enumerate() {
+        let mut t = Task::new(format!("t{i}"), TaskKind::CpuWork, thread_for(sel), dur);
+        t.gap_ns = gap;
+        t.priority = (dur % 7) as i64 - 3;
+        g.add_task(t);
+    }
+    for &(a, b) in edges {
+        let (x, y) = ((a as usize) % n, (b as usize) % n);
+        if x == y {
+            continue;
+        }
+        g.add_dep(TaskId(x.min(y)), TaskId(x.max(y)), DepKind::Transform);
+    }
+    g
+}
+
+/// One random mutation decoded against the overlay's current state:
+/// retimes (duration / priority / thread), structural edits (edge add
+/// and remove, task insert), and task removal.
+fn apply_random_op(p: &mut PatchGraph<'_>, op: (u64, u64, u64, u64)) {
+    let (sel, a, b, v) = op;
+    let live = p.live_ids();
+    if live.is_empty() {
+        return;
+    }
+    let pick = |x: u64| live[(x as usize) % live.len()];
+    match sel % 8 {
+        0 => p.set_duration(pick(a), v % 500),
+        1 => p.set_priority(pick(a), v as i64 % 10 - 5),
+        2 => {
+            let (x, y) = (pick(a), pick(b));
+            if x != y {
+                p.add_dep(x.min(y), x.max(y), DepKind::Transform);
+            }
+        }
+        3 => {
+            let (x, y) = (pick(a), pick(b));
+            p.remove_dep(x.min(y), x.max(y));
+        }
+        4 => {
+            if live.len() > 1 {
+                p.remove_task(pick(a));
+            }
+        }
+        5 => {
+            let anchor = pick(a);
+            let mut t = Task::new("ins", TaskKind::CpuWork, thread_for(v), v % 300);
+            t.gap_ns = v % 13;
+            let id = p.add_task(t);
+            p.add_dep(anchor, id, DepKind::Transform);
+        }
+        6 => p.set_thread(pick(a), thread_for(v)),
+        _ => p.set_duration(pick(a), v % 50),
+    }
+}
+
+/// One compiled base with a captured schedule per policy.
+struct WarmBase {
+    graph: DependencyGraph,
+    cg: CompiledGraph,
+    sched_es: Schedule,
+    sched_p3: Schedule,
+    sched_dur: Schedule,
+}
+
+impl WarmBase {
+    fn build(tasks: &[(u64, u64, u64)], edges: &[(u64, u64)]) -> WarmBase {
+        let graph = build_dag(tasks, edges);
+        let cg = CompiledGraph::compile(&graph);
+        let sched_es = Schedule::capture_with(&cg, &EarliestStart).expect("base must be a DAG");
+        let sched_p3 = Schedule::capture_with(&cg, &P3Scheduler).expect("base must be a DAG");
+        let sched_dur = Schedule::capture_with(&cg, &ByDuration).expect("base must be a DAG");
+        WarmBase {
+            graph,
+            cg,
+            sched_es,
+            sched_p3,
+            sched_dur,
+        }
+    }
+}
+
+/// Evaluates `patch` warm on the shared arena and fresh via the classic
+/// clone-everything path; the makespan, the work accounting, and the
+/// fully materialized per-task simulation must all agree.
+fn check_step<O: FrontierOrder>(
+    cg: &CompiledGraph,
+    schedule: &Schedule,
+    patch: &GraphPatch,
+    order: &O,
+    opts: &IncrementalOptions,
+    scratch: &mut SimScratch,
+) {
+    let warm = simulate_warm_with(cg, schedule, patch, scratch, order, opts)
+        .expect("patched graph must stay a DAG");
+    let (applied, trace) = cg.apply_traced(patch);
+    let oracle = simulate_incremental_with(cg, schedule, &applied, patch, &trace, order, opts)
+        .expect("patched graph must stay a DAG");
+    assert_eq!(
+        warm.makespan_ns, oracle.sim.makespan_ns,
+        "makespan diverged"
+    );
+    assert_eq!(warm.stats, oracle.stats, "path accounting diverged");
+    let materialized = scratch
+        .materialize(schedule)
+        .expect("a completed warm evaluation must materialize");
+    assert_eq!(
+        materialized, oracle.sim,
+        "arena simulation diverged from fresh allocation"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Back-to-back warm evaluations on ONE arena, hopping between two
+    // bases of different sizes and three policies, with the cone budget
+    // cycling through default / forced / zero (forced full fallback).
+    // Every step must be byte-identical to a fresh-allocation run.
+    #[test]
+    fn arena_reuse_is_byte_identical_to_fresh_allocation(
+        tasks_a in prop::collection::vec((0u64..5, 0u64..200, 0u64..30), 1..40),
+        edges_a in prop::collection::vec((0u64..10_000, 0u64..10_000), 0..80),
+        tasks_b in prop::collection::vec((0u64..5, 0u64..200, 0u64..30), 1..25),
+        edges_b in prop::collection::vec((0u64..10_000, 0u64..10_000), 0..50),
+        steps in prop::collection::vec(
+            (
+                0u64..6, // base x policy selector
+                0u64..3, // cone budget: default / forced / zero
+                prop::collection::vec(
+                    (0u64..10_000, 0u64..10_000, 0u64..10_000, 0u64..10_000), 0..8),
+            ),
+            1..10),
+    ) {
+        let bases = [
+            WarmBase::build(&tasks_a, &edges_a),
+            WarmBase::build(&tasks_b, &edges_b),
+        ];
+        let mut scratch = SimScratch::new();
+        for (sel, budget, ops) in &steps {
+            let base = &bases[(*sel as usize) % 2];
+            let mut p = PatchGraph::new(&base.graph);
+            for &op in ops {
+                apply_random_op(&mut p, op);
+            }
+            let patch = p.finish();
+            let opts = match budget {
+                0 => IncrementalOptions::default(),
+                1 => IncrementalOptions { max_cone_fraction: 1.0 },
+                _ => IncrementalOptions { max_cone_fraction: 0.0 },
+            };
+            match (*sel / 2) % 3 {
+                0 => check_step(
+                    &base.cg, &base.sched_es, &patch, &EarliestStart, &opts, &mut scratch),
+                1 => check_step(
+                    &base.cg, &base.sched_p3, &patch, &P3Scheduler, &opts, &mut scratch),
+                _ => check_step(
+                    &base.cg, &base.sched_dur, &patch, &ByDuration, &opts, &mut scratch),
+            }
+        }
+    }
+}

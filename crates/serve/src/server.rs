@@ -300,8 +300,15 @@ fn handle_healthz(state: &AppState) -> (u16, String) {
 fn handle_metrics(state: &AppState) -> (u16, String) {
     let totals = state.engine.total_stats();
     let cache = state.engine.cache();
+    let patch_cache = state.engine.patch_cache();
     let profiles = state.engine.resident_profiles();
     let (queued, running, done, failed) = state.queue.counts();
+    let shard_json = |hits: Vec<usize>, contended: Vec<usize>| {
+        format!(
+            "\"shard_hits\":{:?},\"shard_contended\":{:?}",
+            hits, contended
+        )
+    };
     let body = format!(
         concat!(
             "{{\"requests\":{},",
@@ -311,7 +318,9 @@ fn handle_metrics(state: &AppState) -> (u16, String) {
             "\"incremental_sims\":{},\"full_sims\":{},\"estimate_sims\":{},",
             "\"patch_hits\":{},\"tasks_redispatched\":{},",
             "\"fidelity_checks\":{},\"fidelity_failures\":{},\"fidelity_worst_rel_err\":{}}},",
-            "\"cache\":{{\"entries\":{},\"hits\":{},\"misses\":{}}},",
+            "\"scratch\":{{\"reuses\":{},\"allocs\":{},\"bytes_copied_avoided\":{}}},",
+            "\"cache\":{{\"entries\":{},\"hits\":{},\"misses\":{},{}}},",
+            "\"patch_cache\":{{\"entries\":{},\"hits\":{},{}}},",
             "\"jobs\":{{\"submitted\":{},\"queued\":{},\"running\":{},\"done\":{},\"failed\":{}}}}}"
         ),
         state.requests.load(Ordering::SeqCst),
@@ -326,9 +335,16 @@ fn handle_metrics(state: &AppState) -> (u16, String) {
         totals.fidelity_checks,
         totals.fidelity_failures,
         totals.fidelity_worst_rel_err,
+        totals.scratch_reuses,
+        totals.scratch_allocs,
+        totals.bytes_copied_avoided,
         cache.len(),
         cache.hits(),
         cache.misses(),
+        shard_json(cache.shard_hits(), cache.shard_contention()),
+        patch_cache.len(),
+        patch_cache.hits(),
+        shard_json(patch_cache.shard_hits(), patch_cache.shard_contention()),
         state.jobs_submitted.load(Ordering::SeqCst),
         queued,
         running,
@@ -552,11 +568,21 @@ mod tests {
             r#"{"model": "ResNet-50", "opt": "bandwidth"}"#,
         );
         assert_eq!(warm.status, 200, "{}", warm.body);
-        let after: u64 = metric(&get(&addr, "/metrics").body, "incremental_sims");
+        let metrics_body = get(&addr, "/metrics").body;
+        let after: u64 = metric(&metrics_body, "incremental_sims");
         assert!(
             after > before,
             "warm what-if must use the incremental path ({before} -> {after})"
         );
+        // The warm path runs on a pooled scratch arena whose savings the
+        // metrics expose, alongside the sharded cache counter arrays.
+        assert!(
+            metric(&metrics_body, "bytes_copied_avoided") > 0,
+            "warm eval must skip prefix clones: {metrics_body}"
+        );
+        for field in ["\"scratch\":", "\"shard_hits\":[", "\"shard_contended\":["] {
+            assert!(metrics_body.contains(field), "{field} in {metrics_body}");
+        }
 
         // Submit a sweep job and poll it to completion.
         let submitted = post(

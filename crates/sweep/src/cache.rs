@@ -7,13 +7,67 @@
 use crate::report::ScenarioOutcome;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, TryLockError};
 
-/// Thread-safe scenario-result cache.
+/// Lock shards per cache — a power of two so the FNV-mixed shard pick
+/// reduces to a mask. Sixteen shards keep the work-stealing pool and the
+/// serve job queue from serializing on one mutex without bloating the
+/// per-engine footprint.
+pub const CACHE_SHARDS: usize = 16;
+
+/// FNV-1a-mixed shard index. Keys are already content hashes, but their
+/// low bits can correlate across a scenario grid (shared model/batch
+/// prefixes), so the key's bytes run through one more FNV round before
+/// masking.
+fn shard_of(key: u64) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h & (CACHE_SHARDS as u64 - 1)) as usize
+}
+
+/// One lock shard: its slice of the key space plus hit/contention
+/// accounting local to the shard.
+#[derive(Debug)]
+struct Shard<V> {
+    entries: Mutex<HashMap<u64, V>>,
+    hits: AtomicUsize,
+    contended: AtomicUsize,
+}
+
+// Not derived: `V` itself needs no `Default` for an empty shard.
+impl<V> Default for Shard<V> {
+    fn default() -> Self {
+        Shard {
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            contended: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<V> Shard<V> {
+    /// Locks the shard, counting the acquisition as contended when
+    /// another thread currently holds it.
+    fn lock(&self) -> MutexGuard<'_, HashMap<u64, V>> {
+        match self.entries.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                self.entries.lock().unwrap()
+            }
+            Err(TryLockError::Poisoned(e)) => panic!("cache shard lock poisoned: {e}"),
+        }
+    }
+}
+
+/// Thread-safe scenario-result cache, sharded [`CACHE_SHARDS`] ways by
+/// fingerprint so concurrent workers rarely touch the same lock.
 #[derive(Debug, Default)]
 pub struct SweepCache {
-    entries: Mutex<HashMap<u64, ScenarioOutcome>>,
-    hits: AtomicUsize,
+    shards: [Shard<ScenarioOutcome>; CACHE_SHARDS],
     misses: AtomicUsize,
 }
 
@@ -26,10 +80,11 @@ impl SweepCache {
     /// Looks a fingerprint up, counting the hit or miss. Hits come back
     /// with `cached = true` so reports can show reuse.
     pub fn lookup(&self, fingerprint: u64) -> Option<ScenarioOutcome> {
-        let got = self.entries.lock().unwrap().get(&fingerprint).cloned();
+        let shard = &self.shards[shard_of(fingerprint)];
+        let got = shard.lock().get(&fingerprint).cloned();
         match got {
             Some(mut outcome) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                shard.hits.fetch_add(1, Ordering::Relaxed);
                 outcome.cached = true;
                 Some(outcome)
             }
@@ -44,12 +99,18 @@ impl SweepCache {
     pub fn insert(&self, fingerprint: u64, outcome: &ScenarioOutcome) {
         let mut stored = outcome.clone();
         stored.cached = false;
-        self.entries.lock().unwrap().insert(fingerprint, stored);
+        self.shards[shard_of(fingerprint)]
+            .lock()
+            .insert(fingerprint, stored);
     }
 
-    /// Cache hits since construction (or the last [`SweepCache::clear`]).
+    /// Cache hits since construction (or the last [`SweepCache::clear`]),
+    /// summed over shards.
     pub fn hits(&self) -> usize {
-        self.hits.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.hits.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Cache misses since construction.
@@ -57,9 +118,33 @@ impl SweepCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Per-shard hit counts, indexed by shard.
+    pub fn shard_hits(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.hits.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Per-shard contended lock acquisitions, indexed by shard.
+    pub fn shard_contention(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.contended.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Contended lock acquisitions summed over shards.
+    pub fn contended(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.contended.load(Ordering::Relaxed))
+            .sum()
+    }
+
     /// Number of stored outcomes.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Whether the cache is empty.
@@ -69,16 +154,22 @@ impl SweepCache {
 
     /// Drops all entries and counters.
     pub fn clear(&self) {
-        self.entries.lock().unwrap().clear();
-        self.hits.store(0, Ordering::Relaxed);
+        for shard in &self.shards {
+            shard.lock().clear();
+            shard.hits.store(0, Ordering::Relaxed);
+            shard.contended.store(0, Ordering::Relaxed);
+        }
         self.misses.store(0, Ordering::Relaxed);
     }
 
     /// Serializes all entries as a JSON array of outcomes (fingerprints
     /// are recomputable, but each outcome carries its `key` hex anyway).
+    /// Entries are sorted by key, so sharding never leaks into the file.
     pub fn to_json(&self) -> serde_json::Result<String> {
-        let mut entries: Vec<ScenarioOutcome> =
-            self.entries.lock().unwrap().values().cloned().collect();
+        let mut entries: Vec<ScenarioOutcome> = Vec::new();
+        for shard in &self.shards {
+            entries.extend(shard.lock().values().cloned());
+        }
         entries.sort_by(|a, b| a.key.cmp(&b.key));
         serde_json::to_string_pretty(&entries)
     }
@@ -97,12 +188,11 @@ impl SweepCache {
                 .map(LegacyOutcome::upgrade)
                 .collect(),
         };
-        let mut map = self.entries.lock().unwrap();
         let mut loaded = 0;
         for outcome in entries {
             let fp = u64::from_str_radix(&outcome.key, 16)
                 .map_err(|_| format!("invalid cache key '{}'", outcome.key))?;
-            map.insert(fp, outcome);
+            self.shards[shard_of(fp)].lock().insert(fp, outcome);
             loaded += 1;
         }
         Ok(loaded)
@@ -180,8 +270,7 @@ pub struct PatchEval {
 /// the engine's lifetime.
 #[derive(Debug, Default)]
 pub struct PatchCache {
-    entries: Mutex<HashMap<u64, PatchEval>>,
-    hits: AtomicUsize,
+    shards: [Shard<PatchEval>; CACHE_SHARDS],
 }
 
 impl PatchCache {
@@ -192,26 +281,54 @@ impl PatchCache {
 
     /// Looks up a recorded evaluation by patch key, counting hits.
     pub fn get(&self, key: u64) -> Option<PatchEval> {
-        let got = self.entries.lock().unwrap().get(&key).copied();
+        let shard = &self.shards[shard_of(key)];
+        let got = shard.lock().get(&key).copied();
         if got.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            shard.hits.fetch_add(1, Ordering::Relaxed);
         }
         got
     }
 
     /// Stores a freshly simulated evaluation.
     pub fn insert(&self, key: u64, eval: PatchEval) {
-        self.entries.lock().unwrap().insert(key, eval);
+        self.shards[shard_of(key)].lock().insert(key, eval);
     }
 
-    /// Hits since construction.
+    /// Hits since construction, summed over shards.
     pub fn hits(&self) -> usize {
-        self.hits.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.hits.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Per-shard hit counts, indexed by shard.
+    pub fn shard_hits(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.hits.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Per-shard contended lock acquisitions, indexed by shard.
+    pub fn shard_contention(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.contended.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Contended lock acquisitions summed over shards.
+    pub fn contended(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.contended.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Number of stored makespans.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Whether the cache is empty.
@@ -219,10 +336,13 @@ impl PatchCache {
         self.len() == 0
     }
 
-    /// Drops all entries and the hit counter.
+    /// Drops all entries and counters.
     pub fn clear(&self) {
-        self.entries.lock().unwrap().clear();
-        self.hits.store(0, Ordering::Relaxed);
+        for shard in &self.shards {
+            shard.lock().clear();
+            shard.hits.store(0, Ordering::Relaxed);
+            shard.contended.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -304,6 +424,34 @@ mod tests {
         // Garbage still fails loudly.
         assert!(cache.load_json("{not json").is_err());
         assert!(cache.load_json("[{\"key\": 3}]").is_err());
+    }
+
+    #[test]
+    fn sharding_spreads_keys_and_sums_counters() {
+        let cache = SweepCache::new();
+        for k in 0..64u64 {
+            cache.insert(k, &outcome(k, "x"));
+        }
+        assert_eq!(cache.len(), 64);
+        for k in 0..64u64 {
+            assert!(cache.lookup(k).is_some());
+        }
+        assert_eq!(cache.hits(), 64);
+        assert_eq!(cache.shard_hits().iter().sum::<usize>(), 64);
+        let occupied = cache.shard_hits().iter().filter(|&&h| h > 0).count();
+        assert!(
+            occupied > CACHE_SHARDS / 2,
+            "FNV pick must spread even sequential keys: {occupied} shards hit"
+        );
+        assert_eq!(cache.shard_contention().len(), CACHE_SHARDS);
+        // Serialization stays sorted by key regardless of shard layout.
+        let json = cache.to_json().unwrap();
+        let other = SweepCache::new();
+        assert_eq!(other.load_json(&json).unwrap(), 64);
+        assert_eq!(other.to_json().unwrap(), json);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.contended()), (0, 0));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! report.
 
 use crate::cache::{PatchCache, PatchEval, SweepCache};
-use crate::executor::{parallel_map, ExecutorStats};
+use crate::executor::{parallel_map, parallel_map_with, ExecutorStats};
 use crate::grid::SweepGrid;
 use crate::report::{ScenarioOutcome, SweepReport};
 use crate::scenario::{fnv1a64, OptSpec, Scenario};
@@ -18,9 +18,9 @@ use daydream_core::whatif::{
 };
 use daydream_core::{
     busy_time_bound, incremental_cone_fits, simulate_compiled_with, simulate_incremental,
-    thread_busy_after, thread_busy_ns, try_simulate_incremental_with, CompactId, CompiledGraph,
-    EarliestStart, ExecThread, GraphPatch, IncrementalOptions, IncrementalStats, PatchGraph,
-    Prediction, ProfiledGraph, Schedule, TaskId, TaskKind,
+    simulate_warm, thread_busy_after, thread_busy_ns, try_simulate_incremental_with, CompactId,
+    CompiledGraph, EarliestStart, ExecThread, GraphPatch, IncrementalOptions, IncrementalStats,
+    PatchGraph, Prediction, ProfiledGraph, Schedule, ScratchPool, SimScratch, TaskId, TaskKind,
 };
 use daydream_device::GpuSpec;
 use daydream_models::{
@@ -321,6 +321,20 @@ pub struct RunStats {
     /// Evaluations answered by the analytic busy-time estimate this run
     /// (low-fidelity rungs only; always 0 at exact fidelity).
     pub estimate_sims: usize,
+    /// Warm-arena evaluations that reused already-sized scratch buffers
+    /// (no allocation on the simulation hot path).
+    pub scratch_reuses: u64,
+    /// Warm-arena evaluations that had to (re)size at least one scratch
+    /// buffer — at most one per worker per new largest base.
+    pub scratch_allocs: u64,
+    /// Bytes of per-task array copying the warm path skipped this run
+    /// relative to the fresh-allocation path.
+    pub bytes_copied_avoided: u64,
+    /// Contended result-cache shard acquisitions this run (another
+    /// worker held the same shard's lock).
+    pub cache_contended: usize,
+    /// Contended patch-cache shard acquisitions this run.
+    pub patch_contended: usize,
     /// Work-stealing counters of the scenario evaluation phase.
     pub executor: ExecutorStats,
 }
@@ -342,6 +356,11 @@ impl RunStats {
             .fidelity_worst_rel_err
             .max(other.fidelity_worst_rel_err);
         self.estimate_sims += other.estimate_sims;
+        self.scratch_reuses += other.scratch_reuses;
+        self.scratch_allocs += other.scratch_allocs;
+        self.bytes_copied_avoided += other.bytes_copied_avoided;
+        self.cache_contended += other.cache_contended;
+        self.patch_contended += other.patch_contended;
         self.executor.executed += other.executor.executed;
         self.executor.steals += other.executor.steals;
         self.executor.workers = self.executor.workers.max(other.executor.workers);
@@ -404,6 +423,7 @@ pub struct SweepEngine {
     profiles: Mutex<HashMap<(String, u64), Arc<BaseProfile>>>,
     cache: SweepCache,
     patches: PatchCache,
+    scratch: ScratchPool,
     last_stats: Mutex<RunStats>,
     totals: Mutex<RunStats>,
 }
@@ -421,6 +441,7 @@ impl SweepEngine {
             profiles: Mutex::new(HashMap::new()),
             cache: SweepCache::new(),
             patches: PatchCache::new(),
+            scratch: ScratchPool::new(),
             last_stats: Mutex::new(RunStats::default()),
             totals: Mutex::new(RunStats::default()),
         }
@@ -437,6 +458,12 @@ impl SweepEngine {
     /// The result cache (e.g. for `--cache-file` persistence).
     pub fn cache(&self) -> &SweepCache {
         &self.cache
+    }
+
+    /// The patch-evaluation cache (per-shard hit/contention counters for
+    /// `/metrics`).
+    pub fn patch_cache(&self) -> &PatchCache {
+        &self.patches
     }
 
     /// Drops cached scenario results *and* cached patch evaluations but
@@ -600,13 +627,24 @@ impl SweepEngine {
             needed
         };
         let patch_hits_before = self.patches.hits();
+        let cache_contended_before = self.cache.contended();
+        let patch_contended_before = self.patches.contended();
+        let scratch_before = self.scratch.counters();
         let counters = SimCounters::default();
-        let (evaluated, exec_stats) =
-            parallel_map(misses, self.threads, |(i, scenario)| -> Result<_, String> {
+        // Each worker checks one scratch arena out of the pool for its
+        // whole batch, so back-to-back evaluations of a base reuse warm
+        // epoch-stamped buffers instead of allocating per scenario.
+        let (evaluated, exec_stats) = parallel_map_with(
+            misses,
+            self.threads,
+            || self.scratch.take(),
+            |s| self.scratch.put(s),
+            |scratch, (i, scenario)| -> Result<_, String> {
                 let base = bases
                     .get(&(scenario.model.clone(), scenario.batch))
                     .expect("phase 1 built every base");
-                let outcome = evaluate(&scenario, base, &self.patches, &counters, fidelity)?;
+                let outcome =
+                    evaluate(&scenario, base, &self.patches, &counters, fidelity, scratch)?;
                 if use_result_cache {
                     self.cache.insert(scenario.fingerprint(), &outcome);
                 }
@@ -614,7 +652,8 @@ impl SweepEngine {
                     observe(&outcome);
                 }
                 Ok((i, outcome))
-            });
+            },
+        );
         for result in evaluated {
             let (i, outcome) = result?;
             outcomes[i] = Some(outcome);
@@ -624,6 +663,7 @@ impl SweepEngine {
             .map(|o| o.expect("every slot is a hit or an evaluated miss"))
             .collect();
 
+        let scratch_after = self.scratch.counters();
         let stats = RunStats {
             profiles_built,
             patch_hits: self.patches.hits() - patch_hits_before,
@@ -634,6 +674,12 @@ impl SweepEngine {
             fidelity_failures,
             fidelity_worst_rel_err,
             estimate_sims: counters.estimates.load(Ordering::Relaxed),
+            scratch_reuses: scratch_after.reuses - scratch_before.reuses,
+            scratch_allocs: scratch_after.allocs - scratch_before.allocs,
+            bytes_copied_avoided: scratch_after.bytes_copied_avoided
+                - scratch_before.bytes_copied_avoided,
+            cache_contended: self.cache.contended() - cache_contended_before,
+            patch_contended: self.patches.contended() - patch_contended_before,
             executor: exec_stats,
         };
         *self.last_stats.lock().unwrap() = stats;
@@ -982,6 +1028,7 @@ fn evaluate(
     patches: &PatchCache,
     counters: &SimCounters,
     fidelity: Fidelity,
+    scratch: &mut SimScratch,
 ) -> Result<ScenarioOutcome, String> {
     let pg = &base.graph;
     let model = &base.model;
@@ -999,20 +1046,21 @@ fn evaluate(
     // Patched evaluation: incremental apply + cone re-simulation against
     // the base schedule (full simulation only when the cone is too
     // large), short-circuited by the patch-fingerprint cache.
-    let run_patch = |patch: &GraphPatch| -> PatchEval {
+    let mut run_patch = |patch: &GraphPatch| -> PatchEval {
         let key = patch_key(scenario, "default", patch.fingerprint(), fidelity);
         if let Some(eval) = patches.get(key) {
             return eval;
         }
         let eval = match fidelity {
             Fidelity::Exact => {
-                let (applied, trace) = base.compiled.apply_traced(patch);
-                let outcome =
-                    simulate_incremental(&base.compiled, &base.schedule, &applied, patch, &trace)
-                        .expect("patched graph must stay a DAG");
+                // Warm path: the arena's epoch-stamped buffers replace
+                // the per-evaluation prefix clones, so a small cone
+                // costs O(cone), not O(n).
+                let outcome = simulate_warm(&base.compiled, &base.schedule, patch, scratch)
+                    .expect("patched graph must stay a DAG");
                 counters.record(&outcome.stats);
                 PatchEval {
-                    predicted_ns: outcome.sim.makespan_ns,
+                    predicted_ns: outcome.makespan_ns,
                     incremental: outcome.stats.is_incremental(),
                     estimated: false,
                     tasks_redispatched: outcome.stats.redispatched as u64,
@@ -1514,9 +1562,18 @@ mod tests {
         ];
         let patches = PatchCache::new();
         let counters = SimCounters::default();
+        let mut scratch = SimScratch::new();
         for opt in scenarios {
             let scenario = Scenario::new("ResNet-50", 4, opt.clone());
-            let outcome = evaluate(&scenario, &base, &patches, &counters, Fidelity::Exact).unwrap();
+            let outcome = evaluate(
+                &scenario,
+                &base,
+                &patches,
+                &counters,
+                Fidelity::Exact,
+                &mut scratch,
+            )
+            .unwrap();
             let legacy = predict_from_baseline(base.baseline_ns, &base.graph, |g| {
                 let cluster = |m: u32, gm: u32, bw: f64| ClusterConfig::new(m, gm, bw);
                 match &opt {
@@ -1629,6 +1686,7 @@ mod tests {
             &PatchCache::new(),
             &SimCounters::default(),
             Fidelity::Exact,
+            &mut SimScratch::new(),
         )
         .unwrap();
         let patch = emit_patch(&scenario.opt, &base).unwrap();

@@ -30,11 +30,51 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    parallel_map_with(items, threads, || (), |_| (), |_, item| f(item))
+}
+
+/// [`parallel_map`] with per-worker state: each worker runs `init` once
+/// at spawn, threads the state mutably through every item it executes,
+/// and hands it to `finish` at exit. The sweep engine checks a
+/// [`daydream_core::SimScratch`] arena out of its pool per worker this
+/// way, so a batch of scenario evaluations shares warm buffers instead
+/// of allocating per item.
+pub fn parallel_map_with<T, R, S, I, D, F>(
+    items: Vec<T>,
+    threads: usize,
+    init: I,
+    finish: D,
+    f: F,
+) -> (Vec<R>, ExecutorStats)
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    D: Fn(S) + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
     let n = items.len();
     if n == 0 {
         return (Vec::new(), ExecutorStats::default());
     }
     let workers = threads.max(1).min(n);
+
+    // One worker means no stealing and no ordering question — run
+    // inline. A resident daemon's single warm what-if would otherwise
+    // pay a thread spawn that dwarfs the O(cone) evaluation itself.
+    if workers == 1 {
+        let mut state = init();
+        let results: Vec<R> = items.into_iter().map(|item| f(&mut state, item)).collect();
+        finish(state);
+        return (
+            results,
+            ExecutorStats {
+                executed: n,
+                steals: 0,
+                workers: 1,
+            },
+        );
+    }
 
     let queues: Vec<Mutex<VecDeque<(usize, T)>>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
@@ -53,8 +93,11 @@ where
             let queues = &queues;
             let merged = &merged;
             let steals = &steals;
+            let init = &init;
+            let finish = &finish;
             let f = &f;
             scope.spawn(move || {
+                let mut state = init();
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
                     // Own queue first (front: preserves locality of the
@@ -79,8 +122,9 @@ where
                             }
                         }
                     };
-                    local.push((idx, f(item)));
+                    local.push((idx, f(&mut state, item)));
                 }
+                finish(state);
                 merged.lock().unwrap().append(&mut local);
             });
         }
@@ -167,6 +211,34 @@ mod tests {
         });
         assert_eq!(ran.load(Ordering::Relaxed), 64);
         assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn per_worker_state_is_initialized_and_finished() {
+        let inits = AtomicUsize::new(0);
+        let counted = AtomicUsize::new(0);
+        let (out, stats) = parallel_map_with(
+            (0..50).collect::<Vec<u64>>(),
+            4,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |s| {
+                counted.fetch_add(s, Ordering::Relaxed);
+            },
+            |s, x| {
+                *s += 1;
+                x * 2
+            },
+        );
+        assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(inits.load(Ordering::Relaxed), stats.workers);
+        assert_eq!(
+            counted.load(Ordering::Relaxed),
+            50,
+            "every item threads through exactly one worker's state"
+        );
     }
 
     #[test]
