@@ -12,7 +12,7 @@ use daydream_core::{layer_report, predict, simulate, ProfiledGraph};
 use daydream_device::GpuSpec;
 use daydream_models::{footprint, max_batch, zoo, Model, Optimizer};
 use daydream_runtime::{ground_truth, ExecConfig};
-use daydream_serve::{http_request, ServeConfig, Server};
+use daydream_serve::{http_request_retrying, QueryError, RetryOptions, ServeConfig, Server};
 use daydream_shard::{
     diff_runs, merge_run, merged_cache, process_shard, run_worker, write_merged, RunDir, RunStore,
     ShardDisposition, ShardPlan, WorkerConfig,
@@ -965,12 +965,14 @@ pub fn cmd_sweep_worker(args: &Args) -> Result<(), String> {
     let summary = run_worker(&run, &engine, &cfg)?;
     println!(
         "worker {} drained: {} shards, {} scenarios in {:.2}s ({} stale leases reclaimed, \
-         {:.1}s waiting on peers)",
+         {} transient retries, {} corrupt artifacts requeued, {:.1}s waiting on peers)",
         cfg.worker_id,
         summary.shards_completed,
         summary.scenarios_evaluated,
         start.elapsed().as_secs_f64(),
         summary.leases_reclaimed,
+        summary.retries,
+        summary.requeued_corrupt,
         summary.waited_ms as f64 / 1000.0
     );
     print_run_status(&run)
@@ -1056,7 +1058,15 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
     reject_unknown(
         args,
         "serve",
-        &["addr", "threads", "store", "max-requests", "timeout-secs"],
+        &[
+            "addr",
+            "threads",
+            "store",
+            "max-requests",
+            "timeout-secs",
+            "max-queued",
+            "whatif-deadline-ms",
+        ],
         0,
     )?;
     let threads = args.num(
@@ -1065,6 +1075,7 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
             .map(|n| n.get())
             .unwrap_or(2),
     )?;
+    let defaults = ServeConfig::default();
     let config = ServeConfig {
         addr: args.opt("addr", "127.0.0.1:8484"),
         threads,
@@ -1072,6 +1083,8 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
         max_requests: args.num("max-requests", 0u64)?,
         timeout_secs: args.num("timeout-secs", 0u64)?,
         limits: Default::default(),
+        max_queued_jobs: args.num("max-queued", defaults.max_queued_jobs)?,
+        whatif_deadline_ms: args.num("whatif-deadline-ms", defaults.whatif_deadline_ms)?,
     };
     let server = Server::bind(config)?;
     // Spawners (tests, scripts) parse the port from this line, so it
@@ -1089,9 +1102,18 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
 
 /// `daydream query <path>` — one-shot client for a running daemon.
 /// A `--body` implies POST; the response body prints verbatim, and a
-/// non-2xx status is a nonzero exit.
+/// non-2xx status is a nonzero exit. `--retries N` retries connection
+/// failures, 5xx, and 429 sheds with capped exponential backoff
+/// (`--backoff-ms` sets the first delay), and the final error message
+/// distinguishes "could not connect" from "the daemon answered an
+/// error".
 pub fn cmd_query(args: &Args) -> Result<(), String> {
-    reject_unknown(args, "query", &["addr", "body", "method"], 1)?;
+    reject_unknown(
+        args,
+        "query",
+        &["addr", "body", "method", "retries", "backoff-ms"],
+        1,
+    )?;
     let path = args
         .positional
         .first()
@@ -1103,7 +1125,27 @@ pub fn cmd_query(args: &Args) -> Result<(), String> {
     let body = args.opt("body", "");
     let default_method = if body.is_empty() { "GET" } else { "POST" };
     let method = args.opt("method", default_method).to_uppercase();
-    let resp = http_request(&addr, &method, path, &body)?;
+    let defaults = RetryOptions::default();
+    let opts = RetryOptions {
+        retries: args.num("retries", defaults.retries)?,
+        backoff_ms: args.num("backoff-ms", defaults.backoff_ms)?,
+        ..defaults
+    };
+    let resp = match http_request_retrying(&addr, &method, path, &body, opts) {
+        Ok(resp) => resp,
+        Err(e @ QueryError::Connect { .. }) => return Err(e.to_string()),
+        Err(QueryError::Http {
+            attempts,
+            status,
+            body,
+            ..
+        }) => {
+            println!("{body}");
+            return Err(format!(
+                "{method} {path} answered HTTP {status} after {attempts} attempt(s)"
+            ));
+        }
+    };
     println!("{}", resp.body);
     if resp.is_ok() {
         Ok(())

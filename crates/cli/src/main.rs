@@ -116,11 +116,21 @@ SERVE / QUERY / HISTORY OPTIONS:
                                        serve GET /history/best from them
                     --max-requests N   stop after N requests        (default unlimited)
                     --timeout-secs S   stop after S seconds         (default unlimited)
+                    --max-queued N     shed POST /sweep with 429 + Retry-After once
+                                       N jobs are in flight (default 8; 0 = unbounded)
+                    --whatif-deadline-ms MS  answer 504 when a what-if exceeds MS
+                                       (default 0 = no deadline)
         endpoints:  GET  /healthz /metrics /models /history/best?model=X&top=N
                     GET  /jobs/<id>  /jobs/<id>/results?top=N
                     POST /whatif /sweep /shutdown      (JSON bodies)
+        jobs with --store are journaled before evaluation: a daemon killed
+        mid-job recovers and resumes it on restart (same run id, identical report)
     query accepts:  --addr HOST:PORT (default 127.0.0.1:8484), --body JSON
                     (implies POST), --method GET|POST; prints the response body
+                    --retries N        retry connect failures / 5xx / 429 sheds
+                                       with capped exponential backoff (default 0)
+                    --backoff-ms B     first retry delay, doubles per retry,
+                                       jittered, capped at 5s (default 100)
     sweep-history accepts: --store DIR (default .), --model M, --top N
                     (default 10), --out F.json
 

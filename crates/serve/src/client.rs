@@ -14,12 +14,151 @@ pub struct HttpResponse {
     pub status: u16,
     /// Response body (the daemon always sends JSON).
     pub body: String,
+    /// `Retry-After` header in milliseconds, when the server sent one
+    /// (it sheds load with 429 + a retry hint).
+    pub retry_after_ms: Option<u64>,
 }
 
 impl HttpResponse {
     /// True for 2xx statuses.
     pub fn is_ok(&self) -> bool {
         (200..300).contains(&self.status)
+    }
+}
+
+/// Client-side retry policy: capped exponential backoff with
+/// deterministic jitter, honoring `Retry-After` on shed responses.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryOptions {
+    /// Extra attempts after the first (0 = single attempt, no retry).
+    pub retries: u32,
+    /// First backoff in milliseconds; doubles each retry.
+    pub backoff_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub max_backoff_ms: u64,
+}
+
+impl Default for RetryOptions {
+    fn default() -> Self {
+        RetryOptions {
+            retries: 0,
+            backoff_ms: 100,
+            max_backoff_ms: 5_000,
+        }
+    }
+}
+
+impl RetryOptions {
+    /// The backoff before retry number `attempt` (0-based): capped
+    /// exponential scaled by a deterministic jitter in `[0.5, 1.5)` so
+    /// a fleet of retrying clients doesn't stampede in lockstep.
+    pub fn backoff_for(&self, attempt: u32) -> u64 {
+        let exp = self
+            .backoff_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.max_backoff_ms);
+        // FNV-1a over the attempt number; same scheme the shard worker
+        // uses server-side.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in attempt.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let jitter = 0.5 + (h % 1024) as f64 / 1024.0;
+        (exp as f64 * jitter) as u64
+    }
+}
+
+/// Why a retried request ultimately failed — connection failures and
+/// server errors are distinct so the CLI can say "is the daemon
+/// running?" for one and quote the HTTP status for the other.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Could not reach the daemon at all (refused, reset, timed out).
+    Connect {
+        /// Daemon address attempted.
+        addr: String,
+        /// Total attempts made (first try + retries).
+        attempts: u32,
+        /// The last connection error.
+        last: String,
+    },
+    /// The daemon answered, but with a retryable error status every
+    /// time (5xx, or 429 shedding).
+    Http {
+        /// Daemon address attempted.
+        addr: String,
+        /// Total attempts made (first try + retries).
+        attempts: u32,
+        /// The final response's status.
+        status: u16,
+        /// The final response's body.
+        body: String,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Connect {
+                addr,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "cannot connect to {addr} after {attempts} attempt(s) ({last}) — \
+                 is the daemon running?"
+            ),
+            QueryError::Http {
+                addr,
+                attempts,
+                status,
+                body,
+            } => write!(
+                f,
+                "daemon at {addr} answered HTTP {status} after {attempts} attempt(s): {body}"
+            ),
+        }
+    }
+}
+
+/// [`http_request`] with bounded retry: connection failures, 5xx, and
+/// 429 responses are retried with capped exponential backoff + jitter
+/// (a 429's `Retry-After` hint raises the floor); any other response —
+/// including 4xx — is returned as-is for the caller to interpret.
+pub fn http_request_retrying(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    opts: RetryOptions,
+) -> Result<HttpResponse, QueryError> {
+    let mut last: Result<HttpResponse, String> = Err("unattempted".into());
+    for attempt in 0..=opts.retries {
+        last = http_request(addr, method, path, body);
+        let retry_floor_ms = match &last {
+            Ok(resp) if resp.status < 500 && resp.status != 429 => return Ok(resp.clone()),
+            Ok(resp) => resp.retry_after_ms.unwrap_or(0),
+            Err(_) => 0,
+        };
+        if attempt < opts.retries {
+            let wait = opts.backoff_for(attempt).max(retry_floor_ms);
+            std::thread::sleep(Duration::from_millis(wait));
+        }
+    }
+    let attempts = opts.retries + 1;
+    match last {
+        Ok(resp) => Err(QueryError::Http {
+            addr: addr.into(),
+            attempts,
+            status: resp.status,
+            body: resp.body,
+        }),
+        Err(e) => Err(QueryError::Connect {
+            addr: addr.into(),
+            attempts,
+            last: e,
+        }),
     }
 }
 
@@ -90,7 +229,21 @@ fn parse_response(raw: &[u8]) -> Result<HttpResponse, String> {
         Some(n) if n <= response_body.len() => response_body[..n].to_string(),
         _ => response_body.to_string(),
     };
-    Ok(HttpResponse { status, body })
+    // Retry-After arrives in whole seconds (the only form the daemon
+    // emits); keep it in milliseconds for the backoff arithmetic.
+    let retry_after_ms = head.lines().skip(1).find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        if name.trim().eq_ignore_ascii_case("retry-after") {
+            value.trim().parse::<u64>().ok().map(|s| s * 1000)
+        } else {
+            None
+        }
+    });
+    Ok(HttpResponse {
+        status,
+        body,
+        retry_after_ms,
+    })
 }
 
 #[cfg(test)]
@@ -120,5 +273,113 @@ mod tests {
     fn rejects_garbage() {
         assert!(parse_response(b"not http").is_err());
         assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn parses_a_retry_after_hint() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\nRetry-After: 2\r\n\r\n{}";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.retry_after_ms, Some(2000));
+        assert!(parse_response(b"HTTP/1.1 200 OK\r\n\r\n{}")
+            .unwrap()
+            .retry_after_ms
+            .is_none());
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential_with_bounded_jitter() {
+        let opts = RetryOptions {
+            retries: 5,
+            backoff_ms: 100,
+            max_backoff_ms: 400,
+        };
+        for attempt in 0..6 {
+            let expected = (100u64 << attempt).min(400);
+            let b = opts.backoff_for(attempt);
+            assert!(
+                b >= expected / 2 && b < expected * 3 / 2,
+                "attempt {attempt}: {b} outside [{}, {})",
+                expected / 2,
+                expected * 3 / 2
+            );
+            // Deterministic: same attempt, same backoff.
+            assert_eq!(b, opts.backoff_for(attempt));
+        }
+    }
+
+    #[test]
+    fn connection_failures_are_distinguished_from_server_errors() {
+        // Nothing listens on a fresh ephemeral port we bind then drop.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let opts = RetryOptions {
+            retries: 2,
+            backoff_ms: 1,
+            max_backoff_ms: 2,
+        };
+        let err = http_request_retrying(&addr, "GET", "/healthz", "", opts).unwrap_err();
+        match &err {
+            QueryError::Connect { attempts, .. } => assert_eq!(*attempts, 3),
+            other => panic!("expected Connect, got {other:?}"),
+        }
+        assert!(err.to_string().contains("is the daemon running?"), "{err}");
+
+        // A server that answers 500 twice then 200: the client retries
+        // through to the success.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let responses: [&[u8]; 3] = [
+                b"HTTP/1.1 500 Internal Server Error\r\nContent-Length: 2\r\n\r\n{}",
+                b"HTTP/1.1 500 Internal Server Error\r\nContent-Length: 2\r\n\r\n{}",
+                b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\n{}",
+            ];
+            for wire in responses {
+                let (mut stream, _) = listener.accept().unwrap();
+                let mut sink = [0u8; 1024];
+                let request_bytes = stream.read(&mut sink).unwrap();
+                assert!(request_bytes > 0, "the client must send a request");
+                stream.write_all(wire).unwrap();
+            }
+        });
+        let resp = http_request_retrying(&addr, "GET", "/healthz", "", opts).unwrap();
+        assert_eq!(resp.status, 200);
+        server.join().unwrap();
+
+        // Exhausted retries against a persistent 5xx name the status.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (mut stream, _) = listener.accept().unwrap();
+                let mut sink = [0u8; 1024];
+                let request_bytes = stream.read(&mut sink).unwrap();
+                assert!(request_bytes > 0, "the client must send a request");
+                stream
+                    .write_all(b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 2\r\n\r\n{}")
+                    .unwrap();
+            }
+        });
+        let opts = RetryOptions {
+            retries: 1,
+            backoff_ms: 1,
+            max_backoff_ms: 2,
+        };
+        let err = http_request_retrying(&addr, "GET", "/healthz", "", opts).unwrap_err();
+        match &err {
+            QueryError::Http {
+                attempts, status, ..
+            } => {
+                assert_eq!(*attempts, 2);
+                assert_eq!(*status, 503);
+            }
+            other => panic!("expected Http, got {other:?}"),
+        }
+        assert!(err.to_string().contains("HTTP 503"), "{err}");
+        server.join().unwrap();
     }
 }

@@ -305,10 +305,12 @@ pub fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         413 => "Content Too Large",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         505 => "HTTP Version Not Supported",
         _ => "Unknown",
     }
@@ -317,6 +319,18 @@ pub fn reason(status: u16) -> &'static str {
 /// Serializes one response with `Content-Length` (and `Connection:
 /// close` when `close`), ready to write to the socket in one call.
 pub fn response_bytes(status: u16, content_type: &str, body: &[u8], close: bool) -> Vec<u8> {
+    response_bytes_with(status, content_type, body, close, &[])
+}
+
+/// [`response_bytes`] with extra response headers (e.g. `Retry-After`
+/// on a 429 shed).
+pub fn response_bytes_with(
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+    extra_headers: &[(&str, String)],
+) -> Vec<u8> {
     let mut head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
         status,
@@ -324,6 +338,12 @@ pub fn response_bytes(status: u16, content_type: &str, body: &[u8], close: bool)
         content_type,
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
     if close {
         head.push_str("Connection: close\r\n");
     }

@@ -1,13 +1,60 @@
 //! The async job queue: grid submissions drain onto the shared warm
 //! engine on a background worker, with per-job status, streaming ranked
 //! partial results, and [`RunStore`] persistence of completed jobs.
+//!
+//! **Crash safety.** When a store is configured, every accepted job is
+//! *journaled before evaluation*: `submit` plans the grid into a
+//! `run-NNNN` directory (todo shards + a `job.json` journal) and only
+//! then enqueues. The drain is a real shard-worker loop over that run
+//! directory, so completed shards persist as partials as the job
+//! progresses. A daemon that dies mid-job leaves a run directory with a
+//! journal, no `merged.json`, and its own leases; the next
+//! [`JobQueue::new`] re-lists those runs, force-reclaims the dead
+//! daemon's leases, resumes from the completed partials, and serves a
+//! merged report byte-identical to an uninterrupted run. A job that
+//! *fails* (not crashes) writes a `job-failed.json` poison marker so
+//! restarts do not retry it forever.
 
-use daydream_shard::{merge_run, write_merged, RunStore, ShardPlan};
+use daydream_shard::{
+    merge_run, run_worker_observed, write_json_atomic, write_merged, RunDir, RunStore, ShardPlan,
+    Step, WorkerConfig,
+};
 use daydream_sweep::report::ScenarioOutcome;
 use daydream_sweep::{Scenario, SweepEngine, SweepReport};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
+
+/// Target scenarios per journaled shard: small enough that a crash
+/// loses little progress, large enough to amortize claim overhead.
+const SCENARIOS_PER_SHARD: usize = 25;
+
+/// Most shards a single job is split into.
+const MAX_JOB_SHARDS: usize = 8;
+
+/// The journal written into a job's run directory at submit time. Its
+/// presence (without `merged.json` or `job-failed.json`) marks a job to
+/// recover after a daemon restart.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobJournal {
+    /// Job kind; only `"sweep"` today.
+    pub kind: String,
+    /// Unix milliseconds when the job was accepted.
+    pub submitted_unix_ms: u64,
+    /// Scenarios in the job's grid.
+    pub scenario_count: usize,
+}
+
+/// The poison marker written when a journaled job fails (as opposed to
+/// crashing): restarts must not re-run a job that deterministically
+/// fails.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobFailure {
+    /// The failure message.
+    pub error: String,
+    /// Unix milliseconds when the failure was recorded.
+    pub failed_unix_ms: u64,
+}
 
 /// Lifecycle of one submitted job.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,9 +73,17 @@ enum JobPhase {
 /// by the exact, `cached`-normalized final set.
 struct Job {
     total: usize,
+    /// The grid, for unjournaled (store-less) evaluation. Journaled
+    /// jobs evaluate from their run directory's shard files instead.
     scenarios: Vec<Scenario>,
     partial: Mutex<Vec<ScenarioOutcome>>,
     phase: Mutex<JobPhase>,
+    /// The journaled run directory, when a store is configured.
+    run: Option<RunDir>,
+    /// Whether this job was recovered from a journal after a restart.
+    recovered: bool,
+    /// Degradation note recorded at submit (e.g. journaling failed).
+    pre_note: Option<String>,
 }
 
 /// A point-in-time public view of a job, JSON-ready.
@@ -46,7 +101,8 @@ pub struct JobSnapshot {
     pub error: Option<String>,
     /// `runs/run-NNNN` id the job was persisted under, once done.
     pub run_id: Option<String>,
-    /// Non-fatal completion note (e.g. a persistence error).
+    /// Non-fatal completion note (e.g. a persistence error, or that the
+    /// job was recovered after a daemon restart).
     pub note: Option<String>,
 }
 
@@ -65,17 +121,41 @@ struct Shared {
 pub struct JobQueue {
     shared: Arc<Shared>,
     worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+    recovered: usize,
 }
 
 impl JobQueue {
     /// A queue evaluating jobs on `engine`, persisting completed jobs
-    /// into `store` (when given) as `runs/run-NNNN`.
+    /// into `store` (when given) as `runs/run-NNNN`. Opening a store
+    /// scans it for journaled jobs interrupted by a crash (a `job.json`
+    /// with no `merged.json` and no failure marker) and re-enqueues
+    /// them ahead of new submissions.
     pub fn new(engine: Arc<SweepEngine>, store: Option<RunStore>) -> JobQueue {
+        let mut jobs = Vec::new();
+        let mut pending = VecDeque::new();
+        if let Some(store) = &store {
+            for run in interrupted_runs(store) {
+                let total = run.manifest().map(|m| m.scenario_count).unwrap_or(0);
+                let job = Arc::new(Job {
+                    total,
+                    scenarios: Vec::new(),
+                    partial: Mutex::new(Vec::new()),
+                    phase: Mutex::new(JobPhase::Queued),
+                    run: Some(run),
+                    recovered: true,
+                    pre_note: None,
+                });
+                jobs.push(Arc::clone(&job));
+                pending.push_back(job);
+            }
+        }
+        let recovered = jobs.len();
+        engine.record_recovery(0, 0, 0, recovered as u64);
         let shared = Arc::new(Shared {
             engine,
             store,
-            jobs: Mutex::new(Vec::new()),
-            pending: Mutex::new(VecDeque::new()),
+            jobs: Mutex::new(jobs),
+            pending: Mutex::new(pending),
             cv: Condvar::new(),
             stop: Mutex::new(false),
         });
@@ -87,11 +167,33 @@ impl JobQueue {
         JobQueue {
             shared,
             worker: Mutex::new(Some(worker)),
+            recovered,
         }
     }
 
-    /// Enqueues a scenario list; returns the job id immediately.
+    /// Journaled jobs re-enqueued from the store at startup.
+    pub fn recovered_count(&self) -> usize {
+        self.recovered
+    }
+
+    /// Enqueues a scenario list; returns the job id immediately. With a
+    /// store configured the job is journaled into a `run-NNNN` before
+    /// the id is returned, so an accepted job survives a daemon crash.
+    /// If journaling itself fails the job still runs, degraded to
+    /// in-memory only, and its completion note says so.
     pub fn submit(&self, scenarios: Vec<Scenario>) -> u64 {
+        let (run, pre_note) = match &self.shared.store {
+            Some(store) => match journal_job(store, &scenarios) {
+                Ok(run) => (Some(run), None),
+                Err(e) => (
+                    None,
+                    Some(format!(
+                        "journaling failed ({e}); job will not survive a daemon restart"
+                    )),
+                ),
+            },
+            None => (None, None),
+        };
         let mut jobs = self.shared.jobs.lock().unwrap();
         let id = jobs.len() as u64 + 1;
         let job = Arc::new(Job {
@@ -99,12 +201,20 @@ impl JobQueue {
             scenarios,
             partial: Mutex::new(Vec::new()),
             phase: Mutex::new(JobPhase::Queued),
+            run,
+            recovered: false,
+            pre_note,
         });
         jobs.push(Arc::clone(&job));
         drop(jobs);
         self.shared.pending.lock().unwrap().push_back(job);
         self.shared.cv.notify_one();
         id
+    }
+
+    /// Jobs waiting to start (the shedding signal for a bounded queue).
+    pub fn queued_depth(&self) -> usize {
+        self.shared.pending.lock().unwrap().len()
     }
 
     fn job(&self, id: u64) -> Option<Arc<Job>> {
@@ -164,7 +274,8 @@ impl JobQueue {
     }
 
     /// Stops the worker after its current job and joins it. Queued but
-    /// unstarted jobs stay `queued` (visible in their snapshots).
+    /// unstarted jobs stay `queued` (visible in their snapshots) — and,
+    /// when journaled, are recovered by the next daemon.
     pub fn shutdown(&self) {
         *self.shared.stop.lock().unwrap() = true;
         self.shared.cv.notify_all();
@@ -178,6 +289,47 @@ impl Drop for JobQueue {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Journaled runs interrupted by a crash: `job.json` present, no merged
+/// report, no failure marker. Listed in id order so recovery preserves
+/// submission order.
+fn interrupted_runs(store: &RunStore) -> Vec<RunDir> {
+    let Ok(ids) = store.list() else {
+        return Vec::new();
+    };
+    let mut runs = Vec::new();
+    for id in ids {
+        let Ok(run) = store.open_run(&id) else {
+            continue;
+        };
+        if run.path().join("job.json").exists()
+            && !run.merged_path().exists()
+            && !run.path().join("job-failed.json").exists()
+        {
+            runs.push(run);
+        }
+    }
+    runs
+}
+
+/// Plans a submitted grid into a fresh `run-NNNN` and writes its job
+/// journal. After this returns, the job survives a daemon crash.
+fn journal_job(store: &RunStore, scenarios: &[Scenario]) -> Result<RunDir, String> {
+    let shards = scenarios
+        .len()
+        .div_ceil(SCENARIOS_PER_SHARD)
+        .clamp(1, MAX_JOB_SHARDS);
+    let plan = ShardPlan::partition(scenarios.to_vec(), shards)?;
+    let run = store.create_run(&plan).map_err(|e| e.to_string())?;
+    let journal = JobJournal {
+        kind: "sweep".into(),
+        submitted_unix_ms: daydream_shard::rundir::now_unix_ms(),
+        scenario_count: scenarios.len(),
+    };
+    write_json_atomic(&run.path().join("job.json"), &journal, Step::Journal)
+        .map_err(|e| e.to_string())?;
+    Ok(run)
 }
 
 fn worker_loop(shared: Arc<Shared>) {
@@ -195,69 +347,118 @@ fn worker_loop(shared: Arc<Shared>) {
             }
         };
         *job.phase.lock().unwrap() = JobPhase::Running;
-        let streamed = |outcome: &ScenarioOutcome| {
-            job.partial.lock().unwrap().push(outcome.clone());
+        let outcome = match &job.run {
+            Some(run) => drain_journaled(&shared, &job, run),
+            None => drain_in_memory(&shared, &job),
         };
-        match shared
-            .engine
-            .run_scenarios_observed(job.scenarios.clone(), &streamed)
-        {
-            Ok(mut outcomes) => {
-                // Normalize the cache provenance away, exactly like the
-                // distributed merge does: the final report must be
-                // byte-identical to a cold offline sweep of the same
-                // grid no matter what the resident engine already knew.
-                for o in &mut outcomes {
-                    o.cached = false;
-                }
-                let (run_id, note) = match &shared.store {
-                    Some(store) => match persist(store, &job.scenarios, &outcomes) {
-                        Ok(run_id) => (Some(run_id), None),
-                        Err(e) => (None, Some(format!("persist failed: {e}"))),
-                    },
-                    None => (None, None),
+        match outcome {
+            Ok((run_id, note)) => {
+                let note = match (&job.pre_note, note) {
+                    (Some(pre), Some(n)) => Some(format!("{pre}; {n}")),
+                    (Some(pre), None) => Some(pre.clone()),
+                    (None, n) => n,
                 };
-                *job.partial.lock().unwrap() = outcomes;
                 *job.phase.lock().unwrap() = JobPhase::Done { run_id, note };
             }
             Err(e) => {
+                // Poison-mark a journaled failure so a restarted daemon
+                // does not recover and re-fail it forever.
+                if let Some(run) = &job.run {
+                    let marker = JobFailure {
+                        error: e.clone(),
+                        failed_unix_ms: daydream_shard::rundir::now_unix_ms(),
+                    };
+                    write_json_atomic(&run.path().join("job-failed.json"), &marker, Step::Journal)
+                        .ok();
+                }
                 *job.phase.lock().unwrap() = JobPhase::Failed(e);
             }
         }
     }
 }
 
-/// Writes a completed job into the store as a fully drained single-shard
-/// run (plan, claim, complete, merge), so history queries and
-/// `sweep-diff` see daemon jobs exactly like offline sharded runs.
-fn persist(
-    store: &RunStore,
-    scenarios: &[Scenario],
-    outcomes: &[ScenarioOutcome],
-) -> Result<String, String> {
-    let plan = ShardPlan::partition(scenarios.to_vec(), 1)?;
-    let run = store.create_run(&plan)?;
-    let claim = run
-        .claim(0, "serve", 60_000)?
-        .ok_or("freshly created run has no claimable shard")?;
-    // The plan orders scenarios by fingerprint; re-order the outcomes to
-    // match its shard order.
-    let by_key: HashMap<&str, &ScenarioOutcome> =
-        outcomes.iter().map(|o| (o.key.as_str(), o)).collect();
-    let ordered: Vec<ScenarioOutcome> = claim
-        .scenarios
-        .iter()
-        .map(|s| {
-            by_key
-                .get(s.fingerprint_hex().as_str())
-                .map(|o| (*o).clone())
-                .ok_or_else(|| format!("no outcome for scenario '{}'", s.label()))
-        })
-        .collect::<Result<_, String>>()?;
-    run.complete(&claim, ordered)?;
-    let report = merge_run(&run)?;
-    write_merged(&run, &report)?;
-    run.manifest().map(|m| m.run_id)
+/// Evaluates an unjournaled (store-less) job directly on the engine.
+fn drain_in_memory(
+    shared: &Shared,
+    job: &Arc<Job>,
+) -> Result<(Option<String>, Option<String>), String> {
+    let streamed = |outcome: &ScenarioOutcome| {
+        job.partial.lock().unwrap().push(outcome.clone());
+    };
+    let mut outcomes = shared
+        .engine
+        .run_scenarios_observed(job.scenarios.clone(), &streamed)?;
+    // Normalize the cache provenance away, exactly like the distributed
+    // merge does: the final report must be byte-identical to a cold
+    // offline sweep of the same grid no matter what the resident engine
+    // already knew.
+    for o in &mut outcomes {
+        o.cached = false;
+    }
+    *job.partial.lock().unwrap() = outcomes;
+    Ok((None, None))
+}
+
+/// Drains a journaled job's run directory with a real shard-worker loop
+/// (claim, evaluate, publish partials), then merges and persists. This
+/// is the same protocol offline `sweep-worker` processes speak, so a
+/// crash at any point leaves a run a restarted daemon can resume.
+fn drain_journaled(
+    shared: &Shared,
+    job: &Arc<Job>,
+    run: &RunDir,
+) -> Result<(Option<String>, Option<String>), String> {
+    if job.recovered {
+        // The previous daemon is gone; its leases would otherwise pin
+        // unfinished shards until the TTL expires. Completed shards are
+        // preloaded so progress (and streamed partials) resume where the
+        // dead daemon left off.
+        let reclaimed = run.reclaim_worker("serve").map_err(|e| e.to_string())?;
+        shared
+            .engine
+            .record_recovery(0, reclaimed.len() as u64, 0, 0);
+        let manifest = run.manifest().map_err(|e| e.to_string())?;
+        let mut preloaded = job.partial.lock().unwrap();
+        for index in 0..manifest.shards {
+            if let Ok(Some(result)) = run.partial(index) {
+                for mut o in result.outcomes {
+                    o.cached = false;
+                    preloaded.push(o);
+                }
+            }
+        }
+    }
+    let streamed = |outcome: &ScenarioOutcome| {
+        let mut partial = job.partial.lock().unwrap();
+        // A reclaim race can evaluate a shard twice; the stream keeps
+        // set semantics by key.
+        if !partial.iter().any(|o| o.key == outcome.key) {
+            let mut o = outcome.clone();
+            o.cached = false;
+            partial.push(o);
+        }
+    };
+    let cfg = WorkerConfig {
+        worker_id: "serve".into(),
+        ..WorkerConfig::default()
+    };
+    let summary = run_worker_observed(run, &shared.engine, &cfg, Some(&streamed))
+        .map_err(|e| e.to_string())?;
+    let faults = run.fault_injector().map(|i| i.fired()).unwrap_or(0);
+    shared
+        .engine
+        .record_recovery(summary.retries, summary.leases_reclaimed as u64, faults, 0);
+    let report = merge_run(run).map_err(|e| e.to_string())?;
+    write_merged(run, &report).map_err(|e| e.to_string())?;
+    let run_id = run
+        .manifest()
+        .map(|m| m.run_id)
+        .map_err(|e| e.to_string())?;
+    *job.partial.lock().unwrap() = report.results.clone();
+    let note = job
+        .recovered
+        .then(|| "recovered after daemon restart".to_string());
+    Ok((Some(run_id), note))
 }
 
 #[cfg(test)]
@@ -338,15 +539,18 @@ mod tests {
         let store = RunStore::open(&root).unwrap();
         let engine = Arc::new(SweepEngine::new(2));
         let queue = JobQueue::new(engine, Some(store));
+        assert_eq!(queue.recovered_count(), 0);
         let id = queue.submit(scenarios());
         let snap = wait_done(&queue, id);
         assert_eq!(snap.state, "done", "{snap:?}");
         assert_eq!(snap.run_id.as_deref(), Some("run-0001"));
         assert!(snap.note.is_none(), "{snap:?}");
 
-        // The persisted merged report equals the served one.
+        // The persisted merged report equals the served one, and the
+        // journal survives next to it (merged.json marks it finished).
         let store = RunStore::open(&root).unwrap();
         let run = store.open_run("run-0001").unwrap();
+        assert!(run.path().join("job.json").exists());
         let merged = daydream_shard::load_merged(&run).unwrap().unwrap();
         let (report, _) = queue.results(id).unwrap();
         assert_eq!(merged.to_json().unwrap(), report.to_json().unwrap());
@@ -375,5 +579,109 @@ mod tests {
             "{snap:?}"
         );
         assert_eq!(queue.counts(), (0, 0, 0, 1));
+    }
+
+    #[test]
+    fn restart_recovers_an_interrupted_job_to_an_identical_report() {
+        let root = tmp_store("recover");
+        let store = RunStore::open(&root).unwrap();
+        let engine = Arc::new(SweepEngine::new(2));
+
+        // Fabricate exactly what a daemon killed mid-job leaves behind:
+        // a journaled run with one shard completed and one still leased
+        // by the dead daemon.
+        let run = journal_job(&store, &scenarios()).unwrap();
+        assert_eq!(run.manifest().unwrap().shards, 1);
+        // Re-plan with 2 shards to exercise partial progress: make a
+        // second journaled run shaped like a crashed multi-shard job.
+        let plan = ShardPlan::partition(scenarios(), 2).unwrap();
+        let run2 = store.create_run(&plan).unwrap();
+        write_json_atomic(
+            &run2.path().join("job.json"),
+            &JobJournal {
+                kind: "sweep".into(),
+                submitted_unix_ms: 1,
+                scenario_count: scenarios().len(),
+            },
+            Step::Journal,
+        )
+        .unwrap();
+        let claim = run2.claim(0, "serve", 3_600_000).unwrap().unwrap();
+        let outcomes = engine.run_scenarios(claim.scenarios.clone()).unwrap();
+        run2.complete(&claim, outcomes).unwrap();
+        // Shard 1: claimed by the dead daemon, never completed.
+        run2.claim(1, "serve", 3_600_000).unwrap().unwrap();
+        drop(run2);
+
+        // "Restart": a fresh queue over the same store recovers both
+        // journaled runs (ids 1 and 2, in run order) and drains them.
+        let queue = JobQueue::new(Arc::clone(&engine), Some(store));
+        assert_eq!(queue.recovered_count(), 2);
+        let snap1 = wait_done(&queue, 1);
+        let snap2 = wait_done(&queue, 2);
+        assert_eq!(snap1.state, "done", "{snap1:?}");
+        assert_eq!(snap2.state, "done", "{snap2:?}");
+        assert_eq!(snap1.run_id.as_deref(), Some("run-0001"));
+        assert_eq!(snap2.run_id.as_deref(), Some("run-0002"));
+        assert_eq!(
+            snap2.note.as_deref(),
+            Some("recovered after daemon restart")
+        );
+        assert_eq!(snap2.done, snap2.total);
+
+        // Both resumed reports are byte-identical to the offline sweep.
+        let offline = SweepEngine::new(1)
+            .run_scenarios(scenarios())
+            .map(SweepReport::from_outcomes)
+            .unwrap();
+        for id in [1, 2] {
+            let (report, is_final) = queue.results(id).unwrap();
+            assert!(is_final);
+            assert_eq!(
+                report.to_json().unwrap(),
+                offline.to_json().unwrap(),
+                "recovered job {id} must match the offline sweep"
+            );
+        }
+        // Recovery is observable.
+        assert_eq!(engine.total_stats().jobs_recovered, 2);
+        assert!(engine.total_stats().reclaims >= 1, "dead daemon's lease");
+
+        // A third queue over the same store finds nothing to recover:
+        // both runs now have merged.json.
+        queue.shutdown();
+        let store = RunStore::open(&root).unwrap();
+        let queue2 = JobQueue::new(engine, Some(store));
+        assert_eq!(queue2.recovered_count(), 0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn failed_journaled_jobs_are_not_recovered_again() {
+        let root = tmp_store("poison");
+        let store = RunStore::open(&root).unwrap();
+        let engine = Arc::new(SweepEngine::new(1));
+        // A journaled run whose grid the engine cannot evaluate.
+        let bad = vec![Scenario::new(
+            "NoSuchNet",
+            4,
+            daydream_sweep::OptSpec::Baseline,
+        )];
+        let run = journal_job(&store, &bad).unwrap();
+        let run_path = run.path().to_path_buf();
+        drop(run);
+
+        // First restart recovers it, fails it, and poison-marks it.
+        let queue = JobQueue::new(Arc::clone(&engine), Some(RunStore::open(&root).unwrap()));
+        assert_eq!(queue.recovered_count(), 1);
+        let snap = wait_done(&queue, 1);
+        assert_eq!(snap.state, "failed", "{snap:?}");
+        assert!(run_path.join("job-failed.json").exists());
+        queue.shutdown();
+
+        // Second restart skips the poisoned job.
+        let queue2 = JobQueue::new(engine, Some(RunStore::open(&root).unwrap()));
+        assert_eq!(queue2.recovered_count(), 0);
+        std::fs::remove_dir_all(&root).ok();
     }
 }

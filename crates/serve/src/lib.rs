@@ -12,6 +12,15 @@
 //! [`daydream_shard::RunStore`] so "best scenario ever seen for model
 //! X" is a query, not a re-run.
 //!
+//! The daemon is crash-safe and load-shedding: accepted jobs are
+//! journaled into the run store *before* evaluation and drained through
+//! the shard-worker protocol, so a daemon killed mid-job is recovered by
+//! the next daemon (stale leases reclaimed, completed partials reused,
+//! merged report byte-identical to an uninterrupted run); a bounded job
+//! queue sheds excess submissions with `429` + `Retry-After`, `/whatif`
+//! honors a per-request deadline (`504`), and [`http_request_retrying`]
+//! gives clients capped exponential backoff with jitter.
+//!
 //! The HTTP/1.1 layer is hand-rolled over `std::net::TcpListener`
 //! (build environment has no network for real dependencies — same
 //! policy as the `vendor/` shims) and deliberately minimal: GET/POST,
@@ -38,7 +47,7 @@ pub mod jobs;
 pub mod server;
 
 pub use api::{SweepRequest, WhatIfRequest};
-pub use client::{http_request, HttpResponse};
+pub use client::{http_request, http_request_retrying, HttpResponse, QueryError, RetryOptions};
 pub use http::{HttpError, Limits, Request, RequestParser};
-pub use jobs::{JobQueue, JobSnapshot};
+pub use jobs::{JobFailure, JobJournal, JobQueue, JobSnapshot};
 pub use server::{ServeConfig, ServeSummary, Server};

@@ -32,6 +32,13 @@ pub struct ServeConfig {
     pub timeout_secs: u64,
     /// Parser buffering limits.
     pub limits: Limits,
+    /// Most sweep jobs queued or running before `/sweep` sheds load
+    /// with `429 Too Many Requests` + `Retry-After` (0 = unbounded).
+    pub max_queued_jobs: usize,
+    /// Per-request deadline for `/whatif` in milliseconds; an
+    /// evaluation that exceeds it is answered `504 Gateway Timeout`
+    /// (0 = no deadline).
+    pub whatif_deadline_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -43,6 +50,8 @@ impl Default for ServeConfig {
             max_requests: 0,
             timeout_secs: 0,
             limits: Limits::default(),
+            max_queued_jobs: 8,
+            whatif_deadline_ms: 0,
         }
     }
 }
@@ -67,6 +76,8 @@ struct AppState {
     jobs_submitted: AtomicU64,
     shutdown: AtomicBool,
     limits: Limits,
+    max_queued_jobs: usize,
+    whatif_deadline_ms: u64,
 }
 
 /// A bound-but-not-yet-serving daemon. Binding and serving are separate
@@ -87,7 +98,7 @@ impl Server {
             .set_nonblocking(true)
             .map_err(|e| format!("cannot set nonblocking: {e}"))?;
         let store = match &config.store_root {
-            Some(root) => Some(RunStore::open(root)?),
+            Some(root) => Some(RunStore::open(root).map_err(|e| e.to_string())?),
             None => None,
         };
         let engine = Arc::new(SweepEngine::new(config.threads));
@@ -101,6 +112,8 @@ impl Server {
             jobs_submitted: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             limits: config.limits,
+            max_queued_jobs: config.max_queued_jobs,
+            whatif_deadline_ms: config.whatif_deadline_ms,
         });
         Ok(Server {
             listener,
@@ -197,7 +210,17 @@ fn serve_connection(mut stream: TcpStream, state: &AppState) {
                     let close = req.wants_close();
                     let (status, body) = catch_unwind(AssertUnwindSafe(|| route(state, &req)))
                         .unwrap_or_else(|_| (500, error_body("internal error: handler panicked")));
-                    let wire = response_bytes(status, "application/json", body.as_bytes(), close);
+                    // Shed responses carry a retry hint so well-behaved
+                    // clients back off instead of hammering.
+                    let retry_hint = [("Retry-After", "2".to_string())];
+                    let extra: &[(&str, String)] = if status == 429 { &retry_hint } else { &[] };
+                    let wire = crate::http::response_bytes_with(
+                        status,
+                        "application/json",
+                        body.as_bytes(),
+                        close,
+                        extra,
+                    );
                     if stream.write_all(&wire).is_err() {
                         return;
                     }
@@ -321,7 +344,10 @@ fn handle_metrics(state: &AppState) -> (u16, String) {
             "\"scratch\":{{\"reuses\":{},\"allocs\":{},\"bytes_copied_avoided\":{}}},",
             "\"cache\":{{\"entries\":{},\"hits\":{},\"misses\":{},{}}},",
             "\"patch_cache\":{{\"entries\":{},\"hits\":{},{}}},",
-            "\"jobs\":{{\"submitted\":{},\"queued\":{},\"running\":{},\"done\":{},\"failed\":{}}}}}"
+            "\"recovery\":{{\"retries\":{},\"reclaims\":{},\"faults_injected\":{},",
+            "\"jobs_recovered\":{}}},",
+            "\"jobs\":{{\"submitted\":{},\"queued\":{},\"running\":{},\"done\":{},",
+            "\"failed\":{},\"recovered\":{}}}}}"
         ),
         state.requests.load(Ordering::SeqCst),
         state.started.elapsed().as_millis(),
@@ -345,11 +371,16 @@ fn handle_metrics(state: &AppState) -> (u16, String) {
         patch_cache.len(),
         patch_cache.hits(),
         shard_json(patch_cache.shard_hits(), patch_cache.shard_contention()),
+        totals.retries,
+        totals.reclaims,
+        totals.faults_injected,
+        totals.jobs_recovered,
         state.jobs_submitted.load(Ordering::SeqCst),
         queued,
         running,
         done,
         failed,
+        state.queue.recovered_count(),
     );
     (200, body)
 }
@@ -400,7 +431,35 @@ fn handle_whatif(state: &AppState, body: &[u8]) -> (u16, String) {
         Ok(s) => s,
         Err(msg) => return (400, error_body(&msg)),
     };
-    match state.engine.run_scenarios(vec![scenario]) {
+    let result = if state.whatif_deadline_ms == 0 {
+        state.engine.run_scenarios(vec![scenario])
+    } else {
+        // Evaluate on a helper thread so the connection can answer 504
+        // at the deadline. A timed-out evaluation keeps running (and
+        // warms the engine), but this request stops waiting for it.
+        let engine = Arc::clone(&state.engine);
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::Builder::new()
+            .name("daydream-serve-whatif".into())
+            .spawn(move || {
+                tx.send(engine.run_scenarios(vec![scenario])).ok();
+            })
+            .ok();
+        match rx.recv_timeout(Duration::from_millis(state.whatif_deadline_ms)) {
+            Ok(result) => result,
+            Err(_) => {
+                return (
+                    504,
+                    error_body(&format!(
+                        "what-if exceeded the {} ms deadline; retry or raise \
+                         --whatif-deadline-ms",
+                        state.whatif_deadline_ms
+                    )),
+                )
+            }
+        }
+    };
+    match result {
         Ok(outcomes) => match serde_json::to_string(&outcomes[0]) {
             Ok(json) => (200, json),
             Err(e) => (500, error_body(&format!("serialize outcome: {e}"))),
@@ -426,6 +485,22 @@ fn handle_sweep(state: &AppState, body: &[u8]) -> (u16, String) {
     };
     if scenarios.is_empty() {
         return (400, error_body("grid expands to zero scenarios"));
+    }
+    // Graceful degradation: a bounded job backlog sheds new work with a
+    // retry hint instead of queueing unboundedly. Done/failed jobs don't
+    // count — only work still ahead of this submission.
+    if state.max_queued_jobs > 0 {
+        let (queued, running, _, _) = state.queue.counts();
+        if queued + running >= state.max_queued_jobs {
+            return (
+                429,
+                error_body(&format!(
+                    "job queue is full ({} jobs in flight, limit {}); retry later",
+                    queued + running,
+                    state.max_queued_jobs
+                )),
+            );
+        }
     }
     let count = scenarios.len();
     let id = state.queue.submit(scenarios);
@@ -499,7 +574,7 @@ fn handle_history_best(state: &AppState, req: &crate::http::Request) -> (u16, St
             Ok(json) => (200, format!("{{\"entries\":{json}}}")),
             Err(e) => (500, error_body(&format!("serialize entries: {e}"))),
         },
-        Err(msg) => (500, error_body(&msg)),
+        Err(e) => (500, error_body(&e.to_string())),
     }
 }
 
@@ -580,7 +655,13 @@ mod tests {
             metric(&metrics_body, "bytes_copied_avoided") > 0,
             "warm eval must skip prefix clones: {metrics_body}"
         );
-        for field in ["\"scratch\":", "\"shard_hits\":[", "\"shard_contended\":["] {
+        for field in [
+            "\"scratch\":",
+            "\"shard_hits\":[",
+            "\"shard_contended\":[",
+            "\"recovery\":{\"retries\":",
+            "\"jobs_recovered\":",
+        ] {
             assert!(metrics_body.contains(field), "{field} in {metrics_body}");
         }
 
@@ -742,6 +823,65 @@ mod tests {
         assert!(String::from_utf8_lossy(&out).contains(" 431 "));
 
         // After all that abuse, the daemon still answers politely.
+        assert_eq!(get(&addr, "/healthz").status, 200);
+        post(&addr, "/shutdown", "");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn full_job_queue_sheds_with_429_and_a_retry_hint() {
+        let (addr, handle) = spawn_server(ServeConfig {
+            max_queued_jobs: 1,
+            ..ServeConfig::default()
+        });
+        // A cold 24-scenario job keeps the queue occupied long enough
+        // for the next submission to be shed deterministically.
+        let body = r#"{"models": ["ResNet-50"], "batches": [4, 8, 16, 32],
+                       "opts": ["baseline", "amp", "gist", "bandwidth", "vdnn", "reconstruct-bn"]}"#;
+        assert_eq!(post(&addr, "/sweep", body).status, 202);
+
+        // Second submission while the first is in flight: 429 with a
+        // Retry-After header on the wire.
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        let wire = format!(
+            "POST /sweep HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        stream.write_all(wire.as_bytes()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut out = Vec::new();
+        stream.read_to_end(&mut out).ok();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains(" 429 "), "shed with 429: {text}");
+        assert!(text.contains("Retry-After: 2"), "retry hint: {text}");
+        assert!(text.contains("job queue is full"), "{text}");
+
+        // Once the backlog drains, submissions are accepted again.
+        for _ in 0..600 {
+            if get(&addr, "/jobs/1").body.contains("\"state\":\"done\"") {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        assert_eq!(post(&addr, "/sweep", body).status, 202);
+        post(&addr, "/shutdown", "");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn whatif_answers_504_past_its_deadline() {
+        let (addr, handle) = spawn_server(ServeConfig {
+            whatif_deadline_ms: 1,
+            ..ServeConfig::default()
+        });
+        // A cold what-if must build a profile first — far more than 1 ms.
+        let late = post(&addr, "/whatif", r#"{"model": "ResNet-50", "opt": "amp"}"#);
+        assert_eq!(late.status, 504, "{}", late.body);
+        assert!(late.body.contains("deadline"), "{}", late.body);
+        // The daemon survives and still answers.
         assert_eq!(get(&addr, "/healthz").status, 200);
         post(&addr, "/shutdown", "");
         handle.join().unwrap();

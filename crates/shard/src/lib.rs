@@ -21,6 +21,13 @@
 //! 5. [`RunStore`] / [`diff_runs`] — an append-only `runs/` history
 //!    with per-run manifests and outcomes, plus diffing two runs for
 //!    regression tracking of predicted times.
+//! 6. [`ShardError`] / [`FaultPlan`] — a typed error taxonomy
+//!    (retryable / reclaimable / fatal, each error naming the failed
+//!    protocol step) and a deterministic fault-injection harness that
+//!    can kill a worker at any protocol seam, tear writes, corrupt
+//!    partials, steal leases, and skew clocks — the chaos tests drive
+//!    seeded [`FaultPlan`]s through real drains and pin the merged
+//!    report byte-identical to the fault-free run.
 //!
 //! # Examples
 //!
@@ -54,6 +61,8 @@
 //! [`SweepEngine`]: daydream_sweep::SweepEngine
 //! [`SweepReport`]: daydream_sweep::SweepReport
 
+pub mod error;
+pub mod faults;
 pub mod merge;
 pub mod plan;
 pub mod rounds;
@@ -61,9 +70,15 @@ pub mod rundir;
 pub mod store;
 pub mod worker;
 
+pub use error::{with_retry, Recovery, RetryPolicy, ShardError, Step};
+pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultPoint, ScheduledFault};
 pub use merge::{load_merged, merge_run, merged_cache, write_merged};
 pub use plan::ShardPlan;
 pub use rounds::RoundPlan;
-pub use rundir::{ClaimedShard, RunDir, RunManifest, RunStatus, ShardLease, ShardResult};
+pub use rundir::{
+    write_json_atomic, ClaimedShard, RunDir, RunManifest, RunStatus, ShardLease, ShardResult,
+};
 pub use store::{diff_runs, BestEntry, DiffEntry, RunDiff, RunStore};
-pub use worker::{process_shard, run_worker, ShardDisposition, WorkerConfig, WorkerSummary};
+pub use worker::{
+    process_shard, run_worker, run_worker_observed, ShardDisposition, WorkerConfig, WorkerSummary,
+};

@@ -4,6 +4,7 @@
 use daydream_sweep::{SweepCache, SweepReport};
 use std::collections::HashSet;
 
+use crate::error::{ShardError, Step};
 use crate::rundir::{write_json_atomic, RunDir};
 
 /// Merges every shard's partial outcomes into a ranked [`SweepReport`].
@@ -16,46 +17,50 @@ use crate::rundir::{write_json_atomic, RunDir};
 /// [`SweepReport::from_outcomes`] ranks by (predicted time, label), and
 /// every prediction is deterministic, so the union carries no trace of
 /// how the scenarios were split.
-pub fn merge_run(run: &RunDir) -> Result<SweepReport, String> {
+pub fn merge_run(run: &RunDir) -> Result<SweepReport, ShardError> {
     let manifest = run.manifest()?;
     let mut outcomes = Vec::with_capacity(manifest.scenario_count);
     let mut missing = Vec::new();
     for index in 0..manifest.shards {
+        // A corrupt partial propagates as Reclaimable (with its shard),
+        // so the caller can quarantine + requeue instead of giving up.
         match run.partial(index)? {
-            Some(result) => {
-                if result.index != index {
-                    return Err(format!(
-                        "partial result for shard {index} reports index {} \
-                         (corrupt run directory)",
-                        result.index
-                    ));
-                }
-                outcomes.extend(result.outcomes);
-            }
+            Some(result) => outcomes.extend(result.outcomes),
             None => missing.push(index),
         }
     }
     if !missing.is_empty() {
         let status = run.status()?;
-        return Err(format!(
-            "run is not drained: shard(s) {missing:?} have no results yet \
-             ({} todo, {} leased, {} done of {})",
-            status.todo, status.leased, status.done, status.shards
+        // Retryable: the run simply hasn't drained yet — workers (or a
+        // reclaim) may still finish it.
+        return Err(ShardError::retryable(
+            Step::Merge,
+            format!(
+                "run is not drained: shard(s) {missing:?} have no results yet \
+                 ({} todo, {} leased, {} done of {})",
+                status.todo, status.leased, status.done, status.shards
+            ),
         ));
     }
     if outcomes.len() != manifest.scenario_count {
-        return Err(format!(
-            "merged {} outcomes but the manifest expects {}",
-            outcomes.len(),
-            manifest.scenario_count
+        return Err(ShardError::fatal(
+            Step::Merge,
+            format!(
+                "merged {} outcomes but the manifest expects {}",
+                outcomes.len(),
+                manifest.scenario_count
+            ),
         ));
     }
     let mut seen = HashSet::with_capacity(outcomes.len());
     for o in &outcomes {
         if !seen.insert(o.key.clone()) {
-            return Err(format!(
-                "scenario {} ('{}') appears in more than one shard result",
-                o.key, o.label
+            return Err(ShardError::fatal(
+                Step::Merge,
+                format!(
+                    "scenario {} ('{}') appears in more than one shard result",
+                    o.key, o.label
+                ),
             ));
         }
     }
@@ -67,19 +72,33 @@ pub fn merge_run(run: &RunDir) -> Result<SweepReport, String> {
 
 /// Writes the merged report into the run directory (`merged.json`),
 /// atomically. This is what [`crate::diff_runs`] reads.
-pub fn write_merged(run: &RunDir, report: &SweepReport) -> Result<(), String> {
-    write_json_atomic(&run.merged_path(), report)
+pub fn write_merged(run: &RunDir, report: &SweepReport) -> Result<(), ShardError> {
+    write_json_atomic(&run.merged_path(), report, Step::MergedWrite)
 }
 
-/// Loads a previously written merged report, if any.
-pub fn load_merged(run: &RunDir) -> Result<Option<SweepReport>, String> {
+/// Loads a previously written merged report, if any. A merged file that
+/// exists but does not parse is Reclaimable: the partials are still
+/// there, so the caller can re-merge instead of failing.
+pub fn load_merged(run: &RunDir) -> Result<Option<SweepReport>, ShardError> {
     let path = run.merged_path();
     match std::fs::read_to_string(&path) {
-        Ok(json) => serde_json::from_str(&json)
-            .map(Some)
-            .map_err(|e| format!("invalid merged report {}: {e}", path.display())),
+        Ok(json) => serde_json::from_str(&json).map(Some).map_err(|e| {
+            ShardError::reclaimable(
+                Step::MergedRead,
+                format!("invalid merged report {}: {e}", path.display()),
+            )
+        }),
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
-        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+        // Corruption can break the UTF-8 itself: reclaimable (re-merge
+        // from the partials), not a transient IO failure.
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => Err(ShardError::reclaimable(
+            Step::MergedRead,
+            format!("invalid merged report {}: {e}", path.display()),
+        )),
+        Err(e) => Err(ShardError::retryable(
+            Step::MergedRead,
+            format!("cannot read {}: {e}", path.display()),
+        )),
     }
 }
 
@@ -172,8 +191,12 @@ mod tests {
         let outcomes = engine.run_scenarios(claim.scenarios.clone()).unwrap();
         run.complete(&claim, outcomes).unwrap();
         let err = merge_run(&run).unwrap_err();
-        assert!(err.contains("not drained"), "got: {err}");
-        assert!(err.contains("[1]"), "names the missing shard: {err}");
+        assert_eq!(err.recovery, crate::error::Recovery::Retryable);
+        assert!(err.message.contains("not drained"), "got: {err}");
+        assert!(
+            err.message.contains("[1]"),
+            "names the missing shard: {err}"
+        );
         std::fs::remove_dir_all(&root).ok();
     }
 

@@ -4,6 +4,7 @@
 //! ```text
 //! <run>/
 //!   manifest.json            run identity, shard count, grid fingerprint
+//!   spec/shard-0003.json     pristine shard copy (never moved; requeue source)
 //!   todo/shard-0003.json     unclaimed shard (its scenario list)
 //!   leases/shard-0003.json   claimed shard (renamed here atomically)
 //!   leases/shard-0003.lease  claim metadata: worker, claim time, TTL
@@ -21,13 +22,26 @@
 //! `todo/` (again atomic — one reclaimer wins). Because evaluation is
 //! deterministic, the worst case of a reclaim race is the same shard
 //! evaluated twice with identical results — scenarios are never lost.
+//!
+//! **Crash safety.** Every fallible operation returns a typed
+//! [`ShardError`] classifying its recovery (retryable / reclaimable /
+//! fatal). The `spec/` directory keeps an immutable copy of every
+//! shard, so a shard whose working artifacts were corrupted (a torn
+//! partial, a garbage lease file) can always be quarantined and
+//! requeued from pristine state via [`RunDir::requeue_from_spec`] —
+//! corruption costs a re-evaluation, never the run. A
+//! [`FaultInjector`] attached with [`RunDir::with_faults`] simulates
+//! crashes at each protocol seam deterministically for tests.
 
 use daydream_sweep::report::ScenarioOutcome;
 use daydream_sweep::Scenario;
 use serde::{Deserialize, Serialize};
 use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
+use crate::error::{Recovery, ShardError, Step};
+use crate::faults::{FaultInjector, FaultKind, FaultPoint};
 use crate::plan::ShardPlan;
 
 /// Manifest format version this crate reads and writes.
@@ -53,7 +67,7 @@ pub struct RunManifest {
     pub shard_sizes: Vec<usize>,
 }
 
-/// One shard's scenario list (`todo/` and `leases/` file content).
+/// One shard's scenario list (`spec/`, `todo/`, and `leases/` content).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ShardFile {
     /// Shard index within the plan.
@@ -137,6 +151,8 @@ pub fn now_unix_ms() -> u64 {
 #[derive(Debug, Clone)]
 pub struct RunDir {
     root: PathBuf,
+    /// Deterministic fault injection for tests; `None` in production.
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl RunDir {
@@ -151,7 +167,7 @@ impl RunDir {
         root: impl Into<PathBuf>,
         run_id: &str,
         plan: &ShardPlan,
-    ) -> Result<(RunDir, bool), String> {
+    ) -> Result<(RunDir, bool), ShardError> {
         let root = root.into();
         if root.join("manifest.json").exists() {
             let run = RunDir::open(&root)?;
@@ -161,6 +177,7 @@ impl RunDir {
 
         let staging = staging_path(&root)?;
         let build = || -> std::io::Result<()> {
+            std::fs::create_dir_all(staging.join("spec"))?;
             std::fs::create_dir_all(staging.join("todo"))?;
             std::fs::create_dir_all(staging.join("leases"))?;
             std::fs::create_dir_all(staging.join("partial"))?;
@@ -169,11 +186,12 @@ impl RunDir {
                     index,
                     scenarios: plan.shard(index).to_vec(),
                 };
-                std::fs::write(
-                    staging.join("todo").join(shard_name(index)),
-                    serde_json::to_string_pretty(&shard)
-                        .map_err(|e| std::io::Error::other(e.to_string()))?,
-                )?;
+                let json = serde_json::to_string_pretty(&shard)
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+                // `spec/` is the immutable requeue source; `todo/` is the
+                // working copy the claim protocol moves around.
+                std::fs::write(staging.join("spec").join(shard_name(index)), &json)?;
+                std::fs::write(staging.join("todo").join(shard_name(index)), &json)?;
             }
             let manifest = RunManifest {
                 format_version: FORMAT_VERSION,
@@ -192,14 +210,21 @@ impl RunDir {
         };
         if let Err(e) = build() {
             std::fs::remove_dir_all(&staging).ok();
-            return Err(format!("cannot stage run directory: {e}"));
+            return Err(ShardError::retryable(
+                Step::InitRun,
+                format!("cannot stage run directory: {e}"),
+            ));
         }
         if let Some(parent) = root.parent() {
-            std::fs::create_dir_all(parent)
-                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            std::fs::create_dir_all(parent).map_err(|e| {
+                ShardError::retryable(
+                    Step::InitRun,
+                    format!("cannot create {}: {e}", parent.display()),
+                )
+            })?;
         }
         match std::fs::rename(&staging, &root) {
-            Ok(()) => Ok((RunDir { root }, true)),
+            Ok(()) => Ok((RunDir { root, faults: None }, true)),
             Err(_) => {
                 // Lost the init race (or `root` pre-existed non-empty):
                 // discard our staging and open whatever won.
@@ -212,17 +237,54 @@ impl RunDir {
     }
 
     /// Opens an existing run directory (its manifest must parse).
-    pub fn open(root: impl Into<PathBuf>) -> Result<RunDir, String> {
-        let run = RunDir { root: root.into() };
+    pub fn open(root: impl Into<PathBuf>) -> Result<RunDir, ShardError> {
+        let run = RunDir {
+            root: root.into(),
+            faults: None,
+        };
         let manifest = run.manifest()?;
         if manifest.format_version != FORMAT_VERSION {
-            return Err(format!(
-                "run directory {} has format version {} (this build reads {FORMAT_VERSION})",
-                run.root.display(),
-                manifest.format_version
+            return Err(ShardError::fatal(
+                Step::OpenRun,
+                format!(
+                    "run directory {} has format version {} (this build reads {FORMAT_VERSION})",
+                    run.root.display(),
+                    manifest.format_version
+                ),
             ));
         }
         Ok(run)
+    }
+
+    /// Attaches a deterministic fault injector: every protocol seam this
+    /// handle (and its clones) crosses consults the injector, and the
+    /// protocol clock is skewed by the plan's `clock_skew_ms`.
+    pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> RunDir {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The fault injector attached to this handle, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
+    }
+
+    /// The protocol clock this handle observes: wall time, skewed by the
+    /// fault plan when an injector is attached (exercises lease-TTL math
+    /// under disagreeing worker clocks).
+    pub fn now_ms(&self) -> u64 {
+        let now = now_unix_ms();
+        match &self.faults {
+            Some(inj) => {
+                let skew = inj.skew_ms();
+                if skew >= 0 {
+                    now.saturating_add(skew as u64)
+                } else {
+                    now.saturating_sub(skew.unsigned_abs())
+                }
+            }
+            None => now,
+        }
     }
 
     /// The run directory path.
@@ -231,29 +293,53 @@ impl RunDir {
     }
 
     /// Reads and parses the manifest.
-    pub fn manifest(&self) -> Result<RunManifest, String> {
+    pub fn manifest(&self) -> Result<RunManifest, ShardError> {
         let path = self.root.join("manifest.json");
-        let json = std::fs::read_to_string(&path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        serde_json::from_str(&json).map_err(|e| format!("invalid manifest {}: {e}", path.display()))
+        let json = std::fs::read_to_string(&path).map_err(|e| {
+            let recovery = if e.kind() == ErrorKind::NotFound {
+                Recovery::Fatal
+            } else {
+                Recovery::Retryable
+            };
+            ShardError {
+                step: Step::Manifest,
+                recovery,
+                shard: None,
+                message: format!("cannot read {}: {e}", path.display()),
+                injected: false,
+            }
+        })?;
+        serde_json::from_str(&json).map_err(|e| {
+            ShardError::fatal(
+                Step::Manifest,
+                format!("invalid manifest {}: {e}", path.display()),
+            )
+        })
     }
 
-    fn validate_plan(&self, plan: &ShardPlan) -> Result<(), String> {
+    fn validate_plan(&self, plan: &ShardPlan) -> Result<(), ShardError> {
         let manifest = self.manifest()?;
         if manifest.grid_fingerprint != plan.grid_fingerprint_hex()
             || manifest.shards != plan.shard_count()
         {
-            return Err(format!(
-                "run directory {} was planned for a different sweep: manifest has {} shards \
-                 over grid {}, this invocation has {} shards over grid {}",
-                self.root.display(),
-                manifest.shards,
-                manifest.grid_fingerprint,
-                plan.shard_count(),
-                plan.grid_fingerprint_hex()
+            return Err(ShardError::fatal(
+                Step::OpenRun,
+                format!(
+                    "run directory {} was planned for a different sweep: manifest has {} shards \
+                     over grid {}, this invocation has {} shards over grid {}",
+                    self.root.display(),
+                    manifest.shards,
+                    manifest.grid_fingerprint,
+                    plan.shard_count(),
+                    plan.grid_fingerprint_hex()
+                ),
             ));
         }
         Ok(())
+    }
+
+    fn spec_path(&self, index: usize) -> PathBuf {
+        self.root.join("spec").join(shard_name(index))
     }
 
     fn todo_path(&self, index: usize) -> PathBuf {
@@ -279,6 +365,34 @@ impl RunDir {
         self.root.join("merged.json")
     }
 
+    /// Reads shard `index`'s pristine spec (the immutable copy written
+    /// at init, untouched by the claim protocol).
+    pub fn shard_spec(&self, index: usize) -> Result<ShardFile, ShardError> {
+        let path = self.spec_path(index);
+        let json = std::fs::read_to_string(&path).map_err(|e| {
+            let recovery = if e.kind() == ErrorKind::NotFound {
+                Recovery::Fatal
+            } else {
+                Recovery::Retryable
+            };
+            ShardError {
+                step: Step::ShardSpec,
+                recovery,
+                shard: Some(index),
+                message: format!("cannot read {}: {e}", path.display()),
+                injected: false,
+            }
+        })?;
+        let shard: ShardFile = serde_json::from_str(&json).map_err(|e| {
+            ShardError::fatal(
+                Step::ShardSpec,
+                format!("invalid spec {}: {e}", path.display()),
+            )
+            .with_shard(index)
+        })?;
+        Ok(shard)
+    }
+
     /// Attempts to claim shard `index`: atomic rename `todo/ -> leases/`
     /// followed by writing the lease metadata. Returns `Ok(None)` when
     /// the shard is not in `todo/` (already claimed or completed), or
@@ -289,13 +403,27 @@ impl RunDir {
         index: usize,
         worker: &str,
         ttl_ms: u64,
-    ) -> Result<Option<ClaimedShard>, String> {
+    ) -> Result<Option<ClaimedShard>, ShardError> {
         let todo = self.todo_path(index);
         let lease = self.lease_path(index);
+        if let Some(inj) = &self.faults {
+            inj.maybe_kill(FaultPoint::ClaimRename, index)?;
+        }
         match std::fs::rename(&todo, &lease) {
             Ok(()) => {}
             Err(e) if e.kind() == ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(format!("cannot claim shard {index}: {e}")),
+            Err(e) => {
+                return Err(ShardError::retryable(
+                    Step::ClaimShard,
+                    format!("cannot claim shard {index}: {e}"),
+                )
+                .with_shard(index))
+            }
+        }
+        // A kill here leaves the lease renamed but no sidecar written —
+        // the state the mtime-fallback reclaim path exists for.
+        if let Some(inj) = &self.faults {
+            inj.maybe_kill(FaultPoint::LeaseWrite, index)?;
         }
         // Refresh the lease file's mtime to the claim time: rename(2)
         // preserves the source mtime (the *planning* time), which would
@@ -308,26 +436,42 @@ impl RunDir {
         let meta = ShardLease {
             index,
             worker: worker.to_string(),
-            claimed_unix_ms: now_unix_ms(),
+            claimed_unix_ms: self.now_ms(),
             ttl_ms,
         };
-        write_json_atomic(&self.lease_meta_path(index), &meta)?;
+        write_json_atomic(&self.lease_meta_path(index), &meta, Step::LeaseWrite)?;
         let json = match std::fs::read_to_string(&lease) {
             Ok(j) => j,
             // A reclaimer judged us dead and moved the shard back to
             // `todo/` between our rename and this read: the claim is
             // lost, not the run.
             Err(e) if e.kind() == ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(format!("cannot read claimed shard {index}: {e}")),
+            Err(e) => {
+                return Err(ShardError::retryable(
+                    Step::ClaimShard,
+                    format!("cannot read claimed shard {index}: {e}"),
+                )
+                .with_shard(index))
+            }
         };
-        let shard: ShardFile = serde_json::from_str(&json)
-            .map_err(|e| format!("invalid shard file for shard {index}: {e}"))?;
+        let shard: ShardFile = serde_json::from_str(&json).map_err(|e| {
+            // The working copy is corrupt; the pristine spec can requeue it.
+            ShardError::reclaimable(
+                Step::ClaimShard,
+                format!("invalid shard file for shard {index}: {e}"),
+            )
+            .with_shard(index)
+        })?;
         if shard.index != index {
-            return Err(format!(
-                "shard file {} claims index {} (corrupt run directory)",
-                lease.display(),
-                shard.index
-            ));
+            return Err(ShardError::reclaimable(
+                Step::ClaimShard,
+                format!(
+                    "shard file {} claims index {} (corrupt run directory)",
+                    lease.display(),
+                    shard.index
+                ),
+            )
+            .with_shard(index));
         }
         Ok(Some(ClaimedShard {
             index,
@@ -342,14 +486,14 @@ impl RunDir {
     /// evaluations so peers don't reclaim live work. Best-effort by
     /// design: if the lease was already reclaimed, the renewal recreates
     /// only a harmless orphan sidecar that the next claim overwrites.
-    pub fn renew(&self, index: usize, worker: &str, ttl_ms: u64) -> Result<(), String> {
+    pub fn renew(&self, index: usize, worker: &str, ttl_ms: u64) -> Result<(), ShardError> {
         let meta = ShardLease {
             index,
             worker: worker.to_string(),
-            claimed_unix_ms: now_unix_ms(),
+            claimed_unix_ms: self.now_ms(),
             ttl_ms,
         };
-        write_json_atomic(&self.lease_meta_path(index), &meta)?;
+        write_json_atomic(&self.lease_meta_path(index), &meta, Step::LeaseWrite)?;
         if let Ok(f) = std::fs::File::options()
             .write(true)
             .open(self.lease_path(index))
@@ -360,7 +504,7 @@ impl RunDir {
     }
 
     /// Claims the lowest-indexed shard still in `todo/`, if any.
-    pub fn claim_any(&self, worker: &str, ttl_ms: u64) -> Result<Option<ClaimedShard>, String> {
+    pub fn claim_any(&self, worker: &str, ttl_ms: u64) -> Result<Option<ClaimedShard>, ShardError> {
         for index in self.indices_in("todo")? {
             if let Some(claim) = self.claim(index, worker, ttl_ms)? {
                 return Ok(Some(claim));
@@ -377,21 +521,77 @@ impl RunDir {
         &self,
         claim: &ClaimedShard,
         outcomes: Vec<ScenarioOutcome>,
-    ) -> Result<(), String> {
+    ) -> Result<(), ShardError> {
         if outcomes.len() != claim.scenarios.len() {
-            return Err(format!(
-                "shard {}: {} outcomes for {} scenarios",
-                claim.index,
-                outcomes.len(),
-                claim.scenarios.len()
-            ));
+            return Err(ShardError::fatal(
+                Step::Evaluate,
+                format!(
+                    "shard {}: {} outcomes for {} scenarios",
+                    claim.index,
+                    outcomes.len(),
+                    claim.scenarios.len()
+                ),
+            )
+            .with_shard(claim.index));
         }
         let result = ShardResult {
             index: claim.index,
             worker: claim.worker.clone(),
             outcomes,
         };
-        write_json_atomic(&self.partial_path(claim.index), &result)?;
+        let partial = self.partial_path(claim.index);
+        if let Some(inj) = &self.faults {
+            match inj.take(FaultPoint::PartialWrite) {
+                Some(FaultKind::Kill) => {
+                    return Err(ShardError::injected_kill(Step::PartialWrite, claim.index))
+                }
+                Some(FaultKind::TornWrite) => {
+                    // The write-tmp-then-rename tears: half the JSON
+                    // lands in the tmp file, the rename never happens,
+                    // the worker dies. The published state is untouched;
+                    // the orphan tmp is swept by `reclaim_stale`.
+                    if let Ok(json) = serde_json::to_string_pretty(&result) {
+                        let tmp = partial.with_extension(format!("tmp.{}", std::process::id()));
+                        std::fs::write(&tmp, &json.as_bytes()[..json.len() / 2]).ok();
+                    }
+                    return Err(ShardError::injected_kill(Step::PartialWrite, claim.index));
+                }
+                _ => {}
+            }
+        }
+        write_json_atomic(&partial, &result, Step::PartialWrite)
+            .map_err(|e| e.with_shard(claim.index))?;
+        if let Some(inj) = &self.faults {
+            match inj.take(FaultPoint::PartialPublish) {
+                Some(FaultKind::CorruptPartial) => {
+                    // Bit rot after publish: flip a byte run in the
+                    // middle of the file, then die.
+                    if let Ok(mut bytes) = std::fs::read(&partial) {
+                        let mid = bytes.len() / 2;
+                        for b in bytes.iter_mut().skip(mid).take(16) {
+                            *b ^= 0xff;
+                        }
+                        std::fs::write(&partial, bytes).ok();
+                    }
+                    return Err(ShardError::injected_kill(Step::PartialWrite, claim.index));
+                }
+                Some(FaultKind::TruncatePartial) => {
+                    // Torn page after publish: cut the file in half,
+                    // then die.
+                    if let Ok(f) = std::fs::File::options().write(true).open(&partial) {
+                        let len = f.metadata().map(|m| m.len()).unwrap_or(0);
+                        f.set_len(len / 2).ok();
+                    }
+                    return Err(ShardError::injected_kill(Step::PartialWrite, claim.index));
+                }
+                Some(FaultKind::Kill) => {
+                    // Died after publishing, before releasing the lease.
+                    return Err(ShardError::injected_kill(Step::PartialWrite, claim.index));
+                }
+                _ => {}
+            }
+            inj.maybe_kill(FaultPoint::LeaseRelease, claim.index)?;
+        }
         // Best-effort release; a leftover lease next to a partial is
         // treated as completed by every reader.
         std::fs::remove_file(self.lease_meta_path(claim.index)).ok();
@@ -399,42 +599,92 @@ impl RunDir {
         Ok(())
     }
 
-    /// Reads shard `index`'s partial result, if completed.
-    pub fn partial(&self, index: usize) -> Result<Option<ShardResult>, String> {
+    /// Reads shard `index`'s partial result, if completed. A partial
+    /// that exists but does not parse is a [`Recovery::Reclaimable`]
+    /// error — [`RunDir::requeue_from_spec`] quarantines it and requeues
+    /// the shard.
+    pub fn partial(&self, index: usize) -> Result<Option<ShardResult>, ShardError> {
         let path = self.partial_path(index);
         let json = match std::fs::read_to_string(&path) {
             Ok(j) => j,
             Err(e) if e.kind() == ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+            // Corruption can break the UTF-8 itself, not just the JSON:
+            // still a reclaimable artifact, not a transient IO failure.
+            Err(e) if e.kind() == ErrorKind::InvalidData => {
+                return Err(ShardError::reclaimable(
+                    Step::PartialRead,
+                    format!("invalid partial result {}: {e}", path.display()),
+                )
+                .with_shard(index))
+            }
+            Err(e) => {
+                return Err(ShardError::retryable(
+                    Step::PartialRead,
+                    format!("cannot read {}: {e}", path.display()),
+                )
+                .with_shard(index))
+            }
         };
-        let result: ShardResult = serde_json::from_str(&json)
-            .map_err(|e| format!("invalid partial result {}: {e}", path.display()))?;
+        let result: ShardResult = serde_json::from_str(&json).map_err(|e| {
+            ShardError::reclaimable(
+                Step::PartialRead,
+                format!("invalid partial result {}: {e}", path.display()),
+            )
+            .with_shard(index)
+        })?;
+        if result.index != index {
+            return Err(ShardError::reclaimable(
+                Step::PartialRead,
+                format!("partial {} claims index {}", path.display(), result.index),
+            )
+            .with_shard(index));
+        }
         Ok(Some(result))
     }
 
     /// Reads shard `index`'s lease metadata, if present.
-    pub fn lease(&self, index: usize) -> Result<Option<ShardLease>, String> {
+    pub fn lease(&self, index: usize) -> Result<Option<ShardLease>, ShardError> {
         let path = self.lease_meta_path(index);
         let json = match std::fs::read_to_string(&path) {
             Ok(j) => j,
             Err(e) if e.kind() == ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+            Err(e) => {
+                return Err(ShardError::retryable(
+                    Step::LeaseRead,
+                    format!("cannot read {}: {e}", path.display()),
+                )
+                .with_shard(index))
+            }
         };
-        serde_json::from_str(&json)
-            .map(Some)
-            .map_err(|e| format!("invalid lease {}: {e}", path.display()))
+        serde_json::from_str(&json).map(Some).map_err(|e| {
+            // A torn sidecar is metadata, not work: treat the lease as
+            // sidecar-less (mtime fallback) by reporting it reclaimable.
+            ShardError::reclaimable(
+                Step::LeaseRead,
+                format!("invalid lease {}: {e}", path.display()),
+            )
+            .with_shard(index)
+        })
     }
 
     /// Returns abandoned leases to `todo/`. A lease is abandoned when
     /// its shard has no partial result and either its metadata's TTL
-    /// expired, or its metadata is missing (a worker died between the
-    /// claim rename and the metadata write) and the lease file's mtime
-    /// is older than `default_ttl_ms`. The metadata is removed *before*
-    /// the rename so a re-claimer's fresh lease is never deleted by a
-    /// stale reclaimer. Returns the reclaimed shard indices.
-    pub fn reclaim_stale(&self, now_ms: u64, default_ttl_ms: u64) -> Result<Vec<usize>, String> {
+    /// expired, or its metadata is missing or unparseable (a worker died
+    /// during the sidecar write) and the lease file's mtime is older
+    /// than `default_ttl_ms`. The metadata is removed *before* the
+    /// rename so a re-claimer's fresh lease is never deleted by a stale
+    /// reclaimer. Orphaned `*.tmp.*` files older than `default_ttl_ms`
+    /// (torn partial writes) are swept. Returns the reclaimed indices.
+    pub fn reclaim_stale(
+        &self,
+        now_ms: u64,
+        default_ttl_ms: u64,
+    ) -> Result<Vec<usize>, ShardError> {
         let mut reclaimed = Vec::new();
         for index in self.indices_in("leases")? {
+            if let Some(inj) = &self.faults {
+                inj.maybe_kill(FaultPoint::Reclaim, index)?;
+            }
             if self.partial_path(index).exists() {
                 // Completed but lease removal was lost in a crash:
                 // finish the release instead of re-queuing done work.
@@ -442,9 +692,11 @@ impl RunDir {
                 std::fs::remove_file(self.lease_path(index)).ok();
                 continue;
             }
-            let stale = match self.lease(index)? {
-                Some(meta) => meta.is_stale(now_ms),
-                None => std::fs::metadata(self.lease_path(index))
+            let stale = match self.lease(index) {
+                Ok(Some(meta)) => meta.is_stale(now_ms),
+                // Missing or torn sidecar: fall back to the lease file's
+                // mtime against the default TTL.
+                Ok(None) | Err(_) => std::fs::metadata(self.lease_path(index))
                     .and_then(|m| m.modified())
                     .ok()
                     .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
@@ -460,14 +712,124 @@ impl RunDir {
                 // Another reclaimer won, or the owner completed after
                 // our staleness check; both are fine.
                 Err(e) if e.kind() == ErrorKind::NotFound => {}
-                Err(e) => return Err(format!("cannot reclaim shard {index}: {e}")),
+                Err(e) => {
+                    return Err(ShardError::retryable(
+                        Step::Reclaim,
+                        format!("cannot reclaim shard {index}: {e}"),
+                    )
+                    .with_shard(index))
+                }
+            }
+        }
+        self.sweep_orphan_tmps(now_ms, default_ttl_ms);
+        Ok(reclaimed)
+    }
+
+    /// Force-reclaims every lease held by `worker_id`, regardless of
+    /// TTL. For an owner that *knows* it died (a restarted daemon
+    /// recovering its own journaled jobs): completed shards get their
+    /// dangling lease released, unfinished ones return to `todo/`.
+    pub fn reclaim_worker(&self, worker_id: &str) -> Result<Vec<usize>, ShardError> {
+        let mut reclaimed = Vec::new();
+        for index in self.indices_in("leases")? {
+            let owned = match self.lease(index) {
+                Ok(Some(meta)) => meta.worker == worker_id,
+                // No/torn sidecar: the owner is unknowable; a
+                // self-reclaiming owner treats it as its own residue.
+                Ok(None) | Err(_) => true,
+            };
+            if !owned {
+                continue;
+            }
+            std::fs::remove_file(self.lease_meta_path(index)).ok();
+            if self.partial_path(index).exists() {
+                std::fs::remove_file(self.lease_path(index)).ok();
+                continue;
+            }
+            match std::fs::rename(self.lease_path(index), self.todo_path(index)) {
+                Ok(()) => reclaimed.push(index),
+                Err(e) if e.kind() == ErrorKind::NotFound => {}
+                Err(e) => {
+                    return Err(ShardError::retryable(
+                        Step::Reclaim,
+                        format!("cannot reclaim shard {index}: {e}"),
+                    )
+                    .with_shard(index))
+                }
             }
         }
         Ok(reclaimed)
     }
 
+    /// Quarantines shard `index`'s corrupt working artifacts and
+    /// requeues the shard from its pristine `spec/` copy. Returns
+    /// `Ok(false)` when a healthy partial already exists (nothing to
+    /// recover), `Ok(true)` after a requeue. Safe against racing
+    /// recoverers: the requeue is a tmp-then-rename of identical
+    /// content, and duplicate evaluation is harmless by determinism.
+    pub fn requeue_from_spec(&self, index: usize) -> Result<bool, ShardError> {
+        match self.partial(index) {
+            Ok(Some(_)) => return Ok(false),
+            Ok(None) => {}
+            // Corrupt partial: quarantine it (post-mortem evidence),
+            // then fall through to the requeue.
+            Err(e) if e.recovery == Recovery::Reclaimable => {
+                quarantine(&self.partial_path(index));
+            }
+            Err(e) => return Err(e),
+        }
+        // Clear lease residue (a corrupt working copy may sit in
+        // `leases/` after a failed claim read).
+        std::fs::remove_file(self.lease_meta_path(index)).ok();
+        std::fs::remove_file(self.lease_path(index)).ok();
+        // Pristine spec -> tmp -> rename into todo/. Overwriting an
+        // existing todo entry is fine: the content is identical.
+        let spec = self.spec_path(index);
+        let json = std::fs::read(&spec).map_err(|e| {
+            ShardError::fatal(
+                Step::Requeue,
+                format!("cannot requeue shard {index}: spec unreadable ({e})"),
+            )
+            .with_shard(index)
+        })?;
+        let tmp = self
+            .todo_path(index)
+            .with_extension(format!("tmp.{}", std::process::id()));
+        let publish = || -> std::io::Result<()> {
+            std::fs::write(&tmp, &json)?;
+            std::fs::rename(&tmp, self.todo_path(index))
+        };
+        publish().map_err(|e| {
+            ShardError::retryable(Step::Requeue, format!("cannot requeue shard {index}: {e}"))
+                .with_shard(index)
+        })?;
+        Ok(true)
+    }
+
+    /// Verifies every published partial parses and matches the manifest
+    /// (index and outcome count). Returns the corrupt shard indices —
+    /// candidates for [`RunDir::requeue_from_spec`]. A drained run with
+    /// an empty result is safe to merge.
+    pub fn verify_partials(&self) -> Result<Vec<usize>, ShardError> {
+        let manifest = self.manifest()?;
+        let mut corrupt = Vec::new();
+        for index in 0..manifest.shards {
+            match self.partial(index) {
+                Ok(Some(result)) => {
+                    if result.outcomes.len() != manifest.shard_sizes[index] {
+                        corrupt.push(index);
+                    }
+                }
+                Ok(None) => {}
+                Err(e) if e.recovery == Recovery::Reclaimable => corrupt.push(index),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(corrupt)
+    }
+
     /// Counts shards by state.
-    pub fn status(&self) -> Result<RunStatus, String> {
+    pub fn status(&self) -> Result<RunStatus, ShardError> {
         let manifest = self.manifest()?;
         let mut status = RunStatus {
             shards: manifest.shards,
@@ -485,14 +847,64 @@ impl RunDir {
         Ok(status)
     }
 
+    /// Simulates a racing reclaimer stealing shard `index`'s lease out
+    /// from under its owner: the sidecar is dropped and the lease file
+    /// returns to `todo/`. Used by the fault-injection harness (the
+    /// [`FaultKind::StealLease`] kind); the victim worker keeps
+    /// evaluating and publishes anyway — determinism makes the duplicate
+    /// evaluation harmless.
+    pub fn steal_lease(&self, index: usize) {
+        std::fs::remove_file(self.lease_meta_path(index)).ok();
+        std::fs::rename(self.lease_path(index), self.todo_path(index)).ok();
+    }
+
+    /// Removes orphaned `*.tmp.*` files (torn atomic writes) older than
+    /// `ttl_ms`. Best-effort hygiene: a torn tmp is invisible to the
+    /// protocol either way.
+    fn sweep_orphan_tmps(&self, now_ms: u64, ttl_ms: u64) {
+        let Ok(entries) = std::fs::read_dir(self.root.join("partial")) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            if !name.to_string_lossy().contains(".tmp.") {
+                continue;
+            }
+            let old = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+                .map(|d| now_ms >= (d.as_millis() as u64).saturating_add(ttl_ms))
+                .unwrap_or(false);
+            if old {
+                std::fs::remove_file(entry.path()).ok();
+            }
+        }
+    }
+
     /// Shard indices currently present in a state subdirectory, sorted.
-    fn indices_in(&self, state: &str) -> Result<Vec<usize>, String> {
+    fn indices_in(&self, state: &str) -> Result<Vec<usize>, ShardError> {
         let dir = self.root.join(state);
-        let entries =
-            std::fs::read_dir(&dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+        let entries = std::fs::read_dir(&dir).map_err(|e| {
+            let recovery = if e.kind() == ErrorKind::NotFound {
+                Recovery::Fatal
+            } else {
+                Recovery::Retryable
+            };
+            ShardError {
+                step: Step::ListRun,
+                recovery,
+                shard: None,
+                message: format!("cannot list {}: {e}", dir.display()),
+                injected: false,
+            }
+        })?;
         let mut indices = Vec::new();
         for entry in entries {
-            let entry = entry.map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+            let entry = entry.map_err(|e| {
+                ShardError::retryable(Step::ListRun, format!("cannot list {}: {e}", dir.display()))
+            })?;
             let name = entry.file_name();
             let name = name.to_string_lossy();
             if let Some(idx) = name
@@ -512,7 +924,23 @@ fn shard_name(index: usize) -> String {
     format!("shard-{index:04}.json")
 }
 
-fn staging_path(root: &Path) -> Result<PathBuf, String> {
+/// Moves a corrupt artifact aside (post-mortem evidence) instead of
+/// deleting it. The `.corrupt-N` suffix keeps it invisible to the
+/// protocol's `shard-*.json` globs. Best-effort: a racing recoverer may
+/// have moved it first.
+fn quarantine(path: &Path) {
+    static QUARANTINE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = QUARANTINE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let Some(name) = path.file_name() else { return };
+    let target = path.with_file_name(format!(
+        "{}.corrupt-{}-{seq}",
+        name.to_string_lossy(),
+        std::process::id()
+    ));
+    std::fs::rename(path, target).ok();
+}
+
+fn staging_path(root: &Path) -> Result<PathBuf, ShardError> {
     // Unique per call, not just per process: two threads initializing
     // the same root (e.g. concurrent `RunStore::create_run`) must not
     // interleave writes in a shared staging directory.
@@ -520,23 +948,37 @@ fn staging_path(root: &Path) -> Result<PathBuf, String> {
     let seq = STAGING_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let name = root
         .file_name()
-        .ok_or_else(|| format!("run directory path {} has no name", root.display()))?
+        .ok_or_else(|| {
+            ShardError::fatal(
+                Step::InitRun,
+                format!("run directory path {} has no name", root.display()),
+            )
+        })?
         .to_string_lossy();
     Ok(root.with_file_name(format!(".{name}.init-{}-{seq}", std::process::id())))
 }
 
 /// Write-to-temp-then-rename, so concurrent readers and a crash mid-write
-/// never observe a truncated JSON file.
-pub(crate) fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> Result<(), String> {
-    let json = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+/// never observe a truncated JSON file. `step` names the protocol step
+/// in the error when the write fails.
+pub fn write_json_atomic<T: Serialize>(
+    path: &Path,
+    value: &T,
+    step: Step,
+) -> Result<(), ShardError> {
+    let json =
+        serde_json::to_string_pretty(value).map_err(|e| ShardError::fatal(step, e.to_string()))?;
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    std::fs::write(&tmp, json).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
-    std::fs::rename(&tmp, path).map_err(|e| format!("cannot publish {}: {e}", path.display()))
+    std::fs::write(&tmp, json)
+        .map_err(|e| ShardError::retryable(step, format!("cannot write {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| ShardError::retryable(step, format!("cannot publish {}: {e}", path.display())))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultPlan;
     use daydream_sweep::SweepGrid;
 
     fn tmp_dir(tag: &str) -> PathBuf {
@@ -605,6 +1047,7 @@ mod tests {
         let status = run.status().unwrap();
         assert!(status.is_drained(), "{status:?}");
         assert_eq!(run.partial(0).unwrap().unwrap().worker, "w0");
+        assert!(run.verify_partials().unwrap().is_empty());
         std::fs::remove_dir_all(&root).ok();
     }
 
@@ -625,10 +1068,11 @@ mod tests {
         )
         .unwrap();
         let err = RunDir::init_or_open(&root, "t", &other).unwrap_err();
-        assert!(err.contains("different sweep"), "got: {err}");
+        assert_eq!(err.recovery, Recovery::Fatal);
+        assert!(err.message.contains("different sweep"), "got: {err}");
         // Same grid, different shard count is a mismatch too.
         let err = RunDir::init_or_open(&root, "t", &plan(4)).unwrap_err();
-        assert!(err.contains("different sweep"), "got: {err}");
+        assert!(err.message.contains("different sweep"), "got: {err}");
         std::fs::remove_dir_all(&root).ok();
     }
 
@@ -645,7 +1089,7 @@ mod tests {
             claimed_unix_ms: 0,
             ttl_ms: 10,
         };
-        write_json_atomic(&run.lease_meta_path(0), &meta).unwrap();
+        write_json_atomic(&run.lease_meta_path(0), &meta, Step::LeaseWrite).unwrap();
         run.claim(1, "live-worker", 3_600_000).unwrap().unwrap();
 
         let reclaimed = run.reclaim_stale(now_unix_ms(), 60_000).unwrap();
@@ -718,7 +1162,7 @@ mod tests {
             claimed_unix_ms: 0,
             ttl_ms: 1_000,
         };
-        write_json_atomic(&run.lease_meta_path(0), &stale).unwrap();
+        write_json_atomic(&run.lease_meta_path(0), &stale, Step::LeaseWrite).unwrap();
         // ...then renew: the lease is fresh again and survives reclaim.
         run.renew(0, "w0", 1_000).unwrap();
         let lease = run.lease(0).unwrap().unwrap();
@@ -739,11 +1183,153 @@ mod tests {
             worker: "w0".into(),
             outcomes,
         };
-        write_json_atomic(&run.partial_path(0), &result).unwrap();
+        write_json_atomic(&run.partial_path(0), &result, Step::PartialWrite).unwrap();
         let reclaimed = run.reclaim_stale(now_unix_ms() + 1_000_000, 0).unwrap();
         assert!(reclaimed.is_empty(), "done work is not re-queued");
         assert!(!run.lease_path(0).exists(), "orphaned lease is released");
         assert!(run.status().unwrap().is_drained());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn corrupt_partial_is_reclaimable_and_requeues_from_spec() {
+        let root = tmp_dir("requeue");
+        let (run, _) = RunDir::init_or_open(&root, "t", &plan(1)).unwrap();
+        let claim = run.claim(0, "w0", 60_000).unwrap().unwrap();
+        let scenarios = claim.scenarios.clone();
+        let outcomes = claim.scenarios.iter().map(outcome_stub).collect();
+        run.complete(&claim, outcomes).unwrap();
+
+        // Truncate the published partial: the read is Reclaimable and
+        // names the shard and step.
+        let bytes = std::fs::read(run.partial_path(0)).unwrap();
+        std::fs::write(run.partial_path(0), &bytes[..bytes.len() / 2]).unwrap();
+        let err = run.partial(0).unwrap_err();
+        assert_eq!(err.recovery, Recovery::Reclaimable);
+        assert_eq!(err.step, Step::PartialRead);
+        assert_eq!(err.shard, Some(0));
+        assert_eq!(run.verify_partials().unwrap(), vec![0]);
+
+        // Requeue from spec: quarantined partial, shard back in todo/
+        // with pristine scenarios, and the re-run completes cleanly.
+        assert!(run.requeue_from_spec(0).unwrap());
+        assert_eq!(run.status().unwrap().todo, 1);
+        let again = run.claim(0, "w1", 60_000).unwrap().unwrap();
+        assert_eq!(again.scenarios, scenarios);
+        let outcomes = again.scenarios.iter().map(outcome_stub).collect();
+        run.complete(&again, outcomes).unwrap();
+        assert!(run.verify_partials().unwrap().is_empty());
+        // The corrupt artifact was kept for post-mortem, out of the
+        // protocol's sight.
+        let quarantined = std::fs::read_dir(root.join("partial"))
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains(".corrupt-"))
+            .count();
+        assert_eq!(quarantined, 1);
+        // A healthy shard is left alone.
+        assert!(!run.requeue_from_spec(0).unwrap());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn reclaim_worker_takes_only_that_workers_leases() {
+        let root = tmp_dir("reclaim-worker");
+        let (run, _) = RunDir::init_or_open(&root, "t", &plan(3)).unwrap();
+        let c0 = run.claim(0, "serve", 3_600_000).unwrap().unwrap();
+        run.claim(1, "other", 3_600_000).unwrap().unwrap();
+        let c2 = run.claim(2, "serve", 3_600_000).unwrap().unwrap();
+        // Shard 2 completed but its lease release was lost.
+        let result = ShardResult {
+            index: 2,
+            worker: "serve".into(),
+            outcomes: c2.scenarios.iter().map(outcome_stub).collect(),
+        };
+        write_json_atomic(&run.partial_path(2), &result, Step::PartialWrite).unwrap();
+
+        let reclaimed = run.reclaim_worker("serve").unwrap();
+        assert_eq!(reclaimed, vec![0], "completed shard released, not requeued");
+        let status = run.status().unwrap();
+        assert_eq!((status.todo, status.leased, status.done), (1, 1, 1));
+        // The requeued shard is claimable with identical scenarios.
+        let again = run.claim(0, "serve", 3_600_000).unwrap().unwrap();
+        assert_eq!(again.scenarios, c0.scenarios);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn injected_kill_between_claim_and_sidecar_is_recoverable() {
+        let root = tmp_dir("fault-lease-write");
+        let (run, _) = RunDir::init_or_open(&root, "t", &plan(1)).unwrap();
+        let faulty = run
+            .clone()
+            .with_faults(Arc::new(FaultInjector::new(FaultPlan::single(
+                FaultPoint::LeaseWrite,
+                FaultKind::Kill,
+            ))));
+        let err = faulty.claim(0, "w0", 60_000).unwrap_err();
+        assert!(err.is_injected_kill());
+        assert_eq!(err.step, Step::LeaseWrite);
+        // State: lease renamed, no sidecar — exactly the mtime-fallback
+        // case. With TTL 0 it reclaims immediately and completes.
+        assert_eq!(run.reclaim_stale(now_unix_ms(), 0).unwrap(), vec![0]);
+        let claim = run.claim(0, "w1", 60_000).unwrap().unwrap();
+        let outcomes = claim.scenarios.iter().map(outcome_stub).collect();
+        run.complete(&claim, outcomes).unwrap();
+        assert!(run.status().unwrap().is_drained());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn injected_torn_write_leaves_no_partial_and_sweeps_tmp() {
+        let root = tmp_dir("fault-torn");
+        let (run, _) = RunDir::init_or_open(&root, "t", &plan(1)).unwrap();
+        let faulty = run
+            .clone()
+            .with_faults(Arc::new(FaultInjector::new(FaultPlan::single(
+                FaultPoint::PartialWrite,
+                FaultKind::TornWrite,
+            ))));
+        let claim = faulty.claim(0, "w0", 60_000).unwrap().unwrap();
+        let outcomes: Vec<ScenarioOutcome> = claim.scenarios.iter().map(outcome_stub).collect();
+        let err = faulty.complete(&claim, outcomes.clone()).unwrap_err();
+        assert!(err.is_injected_kill());
+        // The tear never published: no partial, the lease is intact, and
+        // the orphan tmp file exists until reclaim sweeps it.
+        assert!(run.partial(0).unwrap().is_none());
+        let tmps = || {
+            std::fs::read_dir(root.join("partial"))
+                .unwrap()
+                .flatten()
+                .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+                .count()
+        };
+        assert_eq!(tmps(), 1);
+        run.reclaim_stale(now_unix_ms() + 1_000_000, 1_000).unwrap();
+        assert_eq!(tmps(), 0, "orphan tmp swept");
+        // The reclaimed shard completes cleanly on retry.
+        let claim = run.claim(0, "w1", 60_000).unwrap().unwrap();
+        run.complete(&claim, outcomes).unwrap();
+        assert!(run.status().unwrap().is_drained());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn clock_skew_shifts_the_protocol_clock() {
+        let root = tmp_dir("skew");
+        let (run, _) = RunDir::init_or_open(&root, "t", &plan(1)).unwrap();
+        let skewed = run
+            .clone()
+            .with_faults(Arc::new(FaultInjector::new(FaultPlan {
+                seed: 0,
+                faults: vec![],
+                clock_skew_ms: 120_000,
+            })));
+        assert!(skewed.now_ms() >= now_unix_ms() + 119_000);
+        // A skewed-fast claimant writes a future-dated lease; an unskewed
+        // reclaimer must still not treat it as stale within its TTL.
+        skewed.claim(0, "fast-clock", 300_000).unwrap().unwrap();
+        assert!(run.reclaim_stale(now_unix_ms(), 60_000).unwrap().is_empty());
         std::fs::remove_dir_all(&root).ok();
     }
 }

@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
+use crate::error::{Recovery, ShardError, Step};
 use crate::merge::{load_merged, merge_run};
 use crate::plan::ShardPlan;
 use crate::rundir::RunDir;
@@ -25,11 +26,15 @@ pub struct RunStore {
 
 impl RunStore {
     /// Opens (creating if needed) a store rooted at `root`.
-    pub fn open(root: impl Into<PathBuf>) -> Result<RunStore, String> {
+    pub fn open(root: impl Into<PathBuf>) -> Result<RunStore, ShardError> {
         let root = root.into();
         let runs = root.join("runs");
-        std::fs::create_dir_all(&runs)
-            .map_err(|e| format!("cannot create run store {}: {e}", runs.display()))?;
+        std::fs::create_dir_all(&runs).map_err(|e| {
+            ShardError::retryable(
+                Step::Store,
+                format!("cannot create run store {}: {e}", runs.display()),
+            )
+        })?;
         Ok(RunStore { root })
     }
 
@@ -44,13 +49,16 @@ impl RunStore {
 
     /// Existing run ids, sorted (allocation order, since ids are
     /// zero-padded sequence numbers).
-    pub fn list(&self) -> Result<Vec<String>, String> {
+    pub fn list(&self) -> Result<Vec<String>, ShardError> {
         let dir = self.runs_dir();
-        let entries =
-            std::fs::read_dir(&dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+        let entries = std::fs::read_dir(&dir).map_err(|e| {
+            ShardError::retryable(Step::Store, format!("cannot list {}: {e}", dir.display()))
+        })?;
         let mut ids = Vec::new();
         for entry in entries {
-            let entry = entry.map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+            let entry = entry.map_err(|e| {
+                ShardError::retryable(Step::Store, format!("cannot list {}: {e}", dir.display()))
+            })?;
             let name = entry.file_name().to_string_lossy().into_owned();
             if name.starts_with("run-") && entry.path().join("manifest.json").exists() {
                 ids.push(name);
@@ -61,7 +69,7 @@ impl RunStore {
     }
 
     /// Opens one run by id.
-    pub fn open_run(&self, id: &str) -> Result<RunDir, String> {
+    pub fn open_run(&self, id: &str) -> Result<RunDir, ShardError> {
         RunDir::open(self.runs_dir().join(id))
     }
 
@@ -69,7 +77,7 @@ impl RunStore {
     /// Concurrent allocators race on the directory rename inside
     /// [`RunDir::init_or_open`]; the loser retries with the next number,
     /// so ids stay unique and the history append-only.
-    pub fn create_run(&self, plan: &ShardPlan) -> Result<RunDir, String> {
+    pub fn create_run(&self, plan: &ShardPlan) -> Result<RunDir, ShardError> {
         let first = self
             .list()?
             .iter()
@@ -87,7 +95,10 @@ impl RunStore {
                 }
             }
         }
-        Err("run store exhausted 1000 consecutive allocation attempts".into())
+        Err(ShardError::fatal(
+            Step::StoreCreate,
+            "run store exhausted 1000 consecutive allocation attempts",
+        ))
     }
 }
 
@@ -117,11 +128,19 @@ impl RunStore {
     /// by scenario fingerprint keeping each scenario's lowest predicted
     /// time (ties go to the earliest run). `model` filters
     /// case-insensitively; `top` caps the result count.
-    pub fn best_for(&self, model: Option<&str>, top: usize) -> Result<Vec<BestEntry>, String> {
+    pub fn best_for(&self, model: Option<&str>, top: usize) -> Result<Vec<BestEntry>, ShardError> {
         let mut best: BTreeMap<String, BestEntry> = BTreeMap::new();
         for id in self.list()? {
             let run = self.open_run(&id)?;
-            for o in run_outcomes(&run)? {
+            let outcomes = match run_outcomes(&run) {
+                Ok(o) => o,
+                // A run that is still draining (a journaled serve job in
+                // flight) or mid-recovery has no trustworthy outcomes
+                // yet: history skips it rather than failing the query.
+                Err(e) if e.recovery != Recovery::Fatal => continue,
+                Err(e) => return Err(e),
+            };
+            for o in outcomes {
                 if let Some(m) = model {
                     if !o.model.eq_ignore_ascii_case(m) {
                         continue;
@@ -247,11 +266,14 @@ impl RunDiff {
 }
 
 /// Loads a run's outcomes: the written `merged.json` if present, else a
-/// fresh in-memory merge of its partial results.
-fn run_outcomes(run: &RunDir) -> Result<Vec<ScenarioOutcome>, String> {
-    let report: SweepReport = match load_merged(run)? {
-        Some(r) => r,
-        None => merge_run(run)?,
+/// fresh in-memory merge of its partial results. A corrupt merged file
+/// falls back to re-merging the partials it was built from.
+fn run_outcomes(run: &RunDir) -> Result<Vec<ScenarioOutcome>, ShardError> {
+    let report: SweepReport = match load_merged(run) {
+        Ok(Some(r)) => r,
+        Ok(None) => merge_run(run)?,
+        Err(e) if e.recovery == Recovery::Reclaimable => merge_run(run)?,
+        Err(e) => return Err(e),
     };
     Ok(report.results)
 }
@@ -260,9 +282,12 @@ fn run_outcomes(run: &RunDir) -> Result<Vec<ScenarioOutcome>, String> {
 /// `0.001` = 0.1%). Scenarios are matched by content fingerprint, so
 /// runs of overlapping-but-different grids diff sensibly: disjoint
 /// scenarios land in `only_in_a` / `only_in_b`.
-pub fn diff_runs(a: &RunDir, b: &RunDir, tolerance: f64) -> Result<RunDiff, String> {
+pub fn diff_runs(a: &RunDir, b: &RunDir, tolerance: f64) -> Result<RunDiff, ShardError> {
     if tolerance.is_nan() || tolerance < 0.0 {
-        return Err(format!("invalid tolerance {tolerance}: must be >= 0"));
+        return Err(ShardError::fatal(
+            Step::Merge,
+            format!("invalid tolerance {tolerance}: must be >= 0"),
+        ));
     }
     let a_manifest = a.manifest()?;
     let b_manifest = b.manifest()?;

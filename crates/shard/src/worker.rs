@@ -1,11 +1,21 @@
 //! The worker loop: claim shards, evaluate them with a [`SweepEngine`],
 //! publish partial results, and reclaim work abandoned by dead peers.
+//!
+//! Every protocol call the loop makes is wrapped in bounded retry with
+//! exponential backoff + jitter ([`crate::error::with_retry`]) for
+//! transient IO, and [`Recovery::Reclaimable`] failures (a corrupt
+//! working artifact) are healed in place: quarantine the artifact,
+//! requeue the shard from its pristine `spec/` copy, keep draining.
+//! Only fatal errors — and injected worker kills from a
+//! [`crate::faults::FaultInjector`] — stop a worker.
 
 use daydream_sweep::report::ScenarioOutcome;
-use daydream_sweep::SweepEngine;
+use daydream_sweep::{OutcomeObserver, SweepEngine};
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use crate::rundir::{now_unix_ms, ClaimedShard, RunDir};
+use crate::error::{with_retry, Recovery, RetryPolicy, ShardError, Step};
+use crate::faults::{FaultKind, FaultPoint};
+use crate::rundir::{ClaimedShard, RunDir};
 
 /// Worker behavior knobs.
 #[derive(Debug, Clone)]
@@ -20,6 +30,9 @@ pub struct WorkerConfig {
     /// undrained run (covers a peer that holds a lease forever while
     /// renewing nothing — should not happen, but a worker must not hang).
     pub max_wait_ms: u64,
+    /// Bounded retry + backoff applied to every transient protocol
+    /// failure (claim, complete, status, reclaim).
+    pub retry: RetryPolicy,
 }
 
 impl Default for WorkerConfig {
@@ -29,6 +42,7 @@ impl Default for WorkerConfig {
             lease_ttl_ms: 60_000,
             poll_ms: 50,
             max_wait_ms: 600_000,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -44,6 +58,10 @@ pub struct WorkerSummary {
     pub leases_reclaimed: usize,
     /// Total milliseconds spent polling for claimable work.
     pub waited_ms: u64,
+    /// Transient protocol failures retried (bounded backoff).
+    pub retries: u64,
+    /// Corrupt artifacts quarantined and requeued from `spec/`.
+    pub requeued_corrupt: usize,
 }
 
 /// Evaluates a claimed shard while a heartbeat thread renews the lease
@@ -57,7 +75,21 @@ fn evaluate_with_heartbeat(
     engine: &SweepEngine,
     claim: &ClaimedShard,
     cfg: &WorkerConfig,
-) -> Result<Vec<ScenarioOutcome>, String> {
+    observer: Option<OutcomeObserver<'_>>,
+) -> Result<Vec<ScenarioOutcome>, ShardError> {
+    // The evaluation-window faults: a kill here is a worker dying
+    // mid-shard (lease left behind for peers to reclaim); a lease theft
+    // simulates a racing reclaimer — the victim keeps evaluating and
+    // publishes anyway, which determinism makes harmless.
+    if let Some(inj) = run.fault_injector() {
+        match inj.take(FaultPoint::Evaluate) {
+            Some(FaultKind::Kill) => {
+                return Err(ShardError::injected_kill(Step::Evaluate, claim.index))
+            }
+            Some(FaultKind::StealLease) => run.steal_lease(claim.index),
+            _ => {}
+        }
+    }
     let done = AtomicBool::new(false);
     std::thread::scope(|scope| {
         scope.spawn(|| {
@@ -73,9 +105,12 @@ fn evaluate_with_heartbeat(
                 }
             }
         });
-        let result = engine.run_scenarios(claim.scenarios.clone());
+        let result = match observer {
+            Some(obs) => engine.run_scenarios_observed(claim.scenarios.clone(), obs),
+            None => engine.run_scenarios(claim.scenarios.clone()),
+        };
         done.store(true, Ordering::Relaxed);
-        result
+        result.map_err(|e| ShardError::fatal(Step::Evaluate, e).with_shard(claim.index))
     })
 }
 
@@ -86,39 +121,103 @@ pub fn run_worker(
     run: &RunDir,
     engine: &SweepEngine,
     cfg: &WorkerConfig,
-) -> Result<WorkerSummary, String> {
+) -> Result<WorkerSummary, ShardError> {
+    run_worker_observed(run, engine, cfg, None)
+}
+
+/// [`run_worker`] streaming each outcome to `observer` as it resolves
+/// (the resident job queue's partial-results path). Note a shard that
+/// gets evaluated twice (reclaim race, stolen lease) streams its
+/// outcomes twice; observers needing set semantics dedup by key.
+pub fn run_worker_observed(
+    run: &RunDir,
+    engine: &SweepEngine,
+    cfg: &WorkerConfig,
+    observer: Option<OutcomeObserver<'_>>,
+) -> Result<WorkerSummary, ShardError> {
     let mut summary = WorkerSummary::default();
     let mut idle_ms = 0u64;
     loop {
-        if let Some(claim) = run.claim_any(&cfg.worker_id, cfg.lease_ttl_ms)? {
-            let outcomes = evaluate_with_heartbeat(run, engine, &claim, cfg)?;
+        let claimed = match with_retry(&cfg.retry, &mut summary.retries, || {
+            run.claim_any(&cfg.worker_id, cfg.lease_ttl_ms)
+        }) {
+            Ok(c) => c,
+            Err(e) => {
+                requeue_or_die(run, &mut summary, e)?;
+                continue;
+            }
+        };
+        if let Some(claim) = claimed {
+            let outcomes = evaluate_with_heartbeat(run, engine, &claim, cfg, observer)?;
             summary.scenarios_evaluated += outcomes.len();
-            run.complete(&claim, outcomes)?;
+            if let Err(e) = with_retry(&cfg.retry, &mut summary.retries, || {
+                run.complete(&claim, outcomes.clone())
+            }) {
+                requeue_or_die(run, &mut summary, e)?;
+                continue;
+            }
             summary.shards_completed += 1;
             idle_ms = 0;
             continue;
         }
-        let status = run.status()?;
+        let status = with_retry(&cfg.retry, &mut summary.retries, || run.status())?;
         if status.is_drained() {
-            return Ok(summary);
+            // Drained by partial-count — but a partial may be torn or
+            // bit-rotted. Verify before declaring the run complete;
+            // corrupt shards are quarantined, requeued, and re-drained.
+            let corrupt = run.verify_partials()?;
+            if corrupt.is_empty() {
+                return Ok(summary);
+            }
+            for index in corrupt {
+                if run.requeue_from_spec(index)? {
+                    summary.requeued_corrupt += 1;
+                }
+            }
+            idle_ms = 0;
+            continue;
         }
-        let reclaimed = run.reclaim_stale(now_unix_ms(), cfg.lease_ttl_ms)?.len();
+        let reclaimed = with_retry(&cfg.retry, &mut summary.retries, || {
+            run.reclaim_stale(run.now_ms(), cfg.lease_ttl_ms)
+        })?
+        .len();
         summary.leases_reclaimed += reclaimed;
         if reclaimed > 0 {
             idle_ms = 0;
             continue;
         }
         if idle_ms >= cfg.max_wait_ms {
-            return Err(format!(
-                "worker {} gave up after {idle_ms} ms: {} shard(s) still leased by peers \
-                 and none claimable",
-                cfg.worker_id,
-                status.leased + status.todo
+            return Err(ShardError::fatal(
+                Step::WorkerDrain,
+                format!(
+                    "worker {} gave up after {idle_ms} ms: {} shard(s) still leased by peers \
+                     and none claimable",
+                    cfg.worker_id,
+                    status.leased + status.todo
+                ),
             ));
         }
         std::thread::sleep(std::time::Duration::from_millis(cfg.poll_ms));
         idle_ms += cfg.poll_ms;
         summary.waited_ms += cfg.poll_ms;
+    }
+}
+
+/// Shard-scoped reclaimable failures heal in place (quarantine +
+/// requeue from spec); everything else propagates.
+fn requeue_or_die(
+    run: &RunDir,
+    summary: &mut WorkerSummary,
+    e: ShardError,
+) -> Result<(), ShardError> {
+    match (e.recovery, e.shard, e.is_injected_kill()) {
+        (Recovery::Reclaimable, Some(index), false) => {
+            if run.requeue_from_spec(index)? {
+                summary.requeued_corrupt += 1;
+            }
+            Ok(())
+        }
+        _ => Err(e),
     }
 }
 
@@ -141,23 +240,38 @@ pub fn process_shard(
     engine: &SweepEngine,
     index: usize,
     cfg: &WorkerConfig,
-) -> Result<ShardDisposition, String> {
+) -> Result<ShardDisposition, ShardError> {
+    let mut retries = 0u64;
     let manifest = run.manifest()?;
     if index >= manifest.shards {
-        return Err(format!(
-            "shard index {index} out of range: run has {} shards",
-            manifest.shards
+        return Err(ShardError::fatal(
+            Step::OpenRun,
+            format!(
+                "shard index {index} out of range: run has {} shards",
+                manifest.shards
+            ),
         ));
     }
-    if run.partial(index)?.is_some() {
-        return Ok(ShardDisposition::AlreadyDone);
+    match run.partial(index) {
+        Ok(Some(_)) => return Ok(ShardDisposition::AlreadyDone),
+        Ok(None) => {}
+        // A corrupt partial from an earlier crashed run: quarantine and
+        // requeue, then evaluate it fresh below.
+        Err(e) if e.recovery == Recovery::Reclaimable => {
+            run.requeue_from_spec(index)?;
+        }
+        Err(e) => return Err(e),
     }
-    run.reclaim_stale(now_unix_ms(), cfg.lease_ttl_ms)?;
-    match run.claim(index, &cfg.worker_id, cfg.lease_ttl_ms)? {
+    run.reclaim_stale(run.now_ms(), cfg.lease_ttl_ms)?;
+    match with_retry(&cfg.retry, &mut retries, || {
+        run.claim(index, &cfg.worker_id, cfg.lease_ttl_ms)
+    })? {
         Some(claim) => {
-            let outcomes = evaluate_with_heartbeat(run, engine, &claim, cfg)?;
+            let outcomes = evaluate_with_heartbeat(run, engine, &claim, cfg, None)?;
             let count = outcomes.len();
-            run.complete(&claim, outcomes)?;
+            with_retry(&cfg.retry, &mut retries, || {
+                run.complete(&claim, outcomes.clone())
+            })?;
             Ok(ShardDisposition::Evaluated(count))
         }
         None => {
@@ -165,13 +279,19 @@ pub fn process_shard(
                 Ok(ShardDisposition::AlreadyDone)
             } else {
                 let holder = run
-                    .lease(index)?
+                    .lease(index)
+                    .ok()
+                    .flatten()
                     .map(|l| l.worker)
                     .unwrap_or_else(|| "unknown".into());
-                Err(format!(
-                    "shard {index} is leased by worker '{holder}' and not stale; \
-                     wait for it or re-run after its lease TTL expires"
-                ))
+                Err(ShardError::fatal(
+                    Step::ClaimShard,
+                    format!(
+                        "shard {index} is leased by worker '{holder}' and not stale; \
+                         wait for it or re-run after its lease TTL expires"
+                    ),
+                )
+                .with_shard(index))
             }
         }
     }
@@ -213,6 +333,8 @@ mod tests {
         let summary = run_worker(&run, &engine, &WorkerConfig::default()).unwrap();
         assert_eq!(summary.shards_completed, 2);
         assert_eq!(summary.scenarios_evaluated, total);
+        assert_eq!(summary.retries, 0);
+        assert_eq!(summary.requeued_corrupt, 0);
         assert!(run.status().unwrap().is_drained());
         std::fs::remove_dir_all(&root).ok();
     }
@@ -298,7 +420,28 @@ mod tests {
             ..WorkerConfig::default()
         };
         let err = run_worker(&run, &engine, &cfg).unwrap_err();
-        assert!(err.contains("gave up"), "got: {err}");
+        assert_eq!(err.step, Step::WorkerDrain);
+        assert!(err.message.contains("gave up"), "got: {err}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn worker_heals_a_corrupt_partial_before_declaring_drain() {
+        let root = tmp_dir("heal");
+        let plan = ShardPlan::partition(small_grid().expand().unwrap(), 2).unwrap();
+        let (run, _) = RunDir::init_or_open(&root, "t", &plan).unwrap();
+        let engine = SweepEngine::new(2);
+        run_worker(&run, &engine, &WorkerConfig::default()).unwrap();
+        // Corrupt one published partial behind the protocol's back.
+        let path = run.path().join("partial").join("shard-0001.json");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+        assert_eq!(run.verify_partials().unwrap(), vec![1]);
+        // A fresh drain notices, requeues from spec, and re-evaluates.
+        let summary = run_worker(&run, &engine, &WorkerConfig::default()).unwrap();
+        assert_eq!(summary.requeued_corrupt, 1);
+        assert_eq!(summary.shards_completed, 1);
+        assert!(run.verify_partials().unwrap().is_empty());
         std::fs::remove_dir_all(&root).ok();
     }
 }

@@ -335,6 +335,16 @@ pub struct RunStats {
     pub cache_contended: usize,
     /// Contended patch-cache shard acquisitions this run.
     pub patch_contended: usize,
+    /// Transient protocol failures retried with backoff (shard workers,
+    /// serve jobs). Recorded via [`SweepEngine::record_recovery`].
+    pub retries: u64,
+    /// Stale or dead-worker leases reclaimed.
+    pub reclaims: u64,
+    /// Faults fired by a deterministic fault injector (nonzero only
+    /// under chaos testing).
+    pub faults_injected: u64,
+    /// Journaled serve jobs recovered after a daemon restart.
+    pub jobs_recovered: u64,
     /// Work-stealing counters of the scenario evaluation phase.
     pub executor: ExecutorStats,
 }
@@ -361,6 +371,10 @@ impl RunStats {
         self.bytes_copied_avoided += other.bytes_copied_avoided;
         self.cache_contended += other.cache_contended;
         self.patch_contended += other.patch_contended;
+        self.retries += other.retries;
+        self.reclaims += other.reclaims;
+        self.faults_injected += other.faults_injected;
+        self.jobs_recovered += other.jobs_recovered;
         self.executor.executed += other.executor.executed;
         self.executor.steals += other.executor.steals;
         self.executor.workers = self.executor.workers.max(other.executor.workers);
@@ -484,6 +498,24 @@ impl SweepEngine {
     /// `/metrics`, where per-run snapshots would race between clients.
     pub fn total_stats(&self) -> RunStats {
         *self.totals.lock().unwrap()
+    }
+
+    /// Folds recovery activity (retried protocol calls, lease reclaims,
+    /// injected faults, recovered jobs) into the engine-lifetime totals,
+    /// so `/metrics` makes fault handling observable. Callers (shard
+    /// workers, the serve job queue) report deltas, not running totals.
+    pub fn record_recovery(
+        &self,
+        retries: u64,
+        reclaims: u64,
+        faults_injected: u64,
+        jobs_recovered: u64,
+    ) {
+        let mut totals = self.totals.lock().unwrap();
+        totals.retries += retries;
+        totals.reclaims += reclaims;
+        totals.faults_injected += faults_injected;
+        totals.jobs_recovered += jobs_recovered;
     }
 
     /// The warm `(model, batch)` bases currently resident in the profile
@@ -681,6 +713,10 @@ impl SweepEngine {
             cache_contended: self.cache.contended() - cache_contended_before,
             patch_contended: self.patches.contended() - patch_contended_before,
             executor: exec_stats,
+            retries: 0,
+            reclaims: 0,
+            faults_injected: 0,
+            jobs_recovered: 0,
         };
         *self.last_stats.lock().unwrap() = stats;
         self.totals.lock().unwrap().absorb(&stats);

@@ -55,7 +55,8 @@ pub mod prelude {
     pub use daydream_models::{zoo, Model};
     pub use daydream_runtime::{ground_truth, ExecConfig, Executor};
     pub use daydream_shard::{
-        diff_runs, merge_run, run_worker, RunDir, RunStore, ShardPlan, WorkerConfig,
+        diff_runs, merge_run, run_worker, FaultPlan, Recovery, RetryPolicy, RunDir, RunStore,
+        ShardError, ShardPlan, WorkerConfig,
     };
     pub use daydream_sweep::{OptSpec, Scenario, SweepEngine, SweepGrid, SweepReport};
     pub use daydream_trace::{
